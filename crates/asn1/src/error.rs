@@ -1,0 +1,101 @@
+//! Error type for BER encoding/decoding.
+
+use std::fmt;
+
+/// Errors raised while decoding (or validating) BER data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Asn1Error {
+    /// Input ended before a complete TLV was read.
+    UnexpectedEnd {
+        /// Byte offset at which more data was needed.
+        offset: usize,
+    },
+    /// A tag did not match what the decoder expected.
+    TagMismatch {
+        /// Expected tag (class, constructed, number) rendered as text.
+        expected: String,
+        /// Found tag rendered as text.
+        found: String,
+        /// Byte offset of the tag.
+        offset: usize,
+    },
+    /// A length field was malformed (e.g. indefinite where forbidden,
+    /// or overlong).
+    BadLength {
+        /// Byte offset of the length field.
+        offset: usize,
+    },
+    /// Element content was invalid for its type (e.g. empty INTEGER,
+    /// non-UTF-8 string, bad boolean length).
+    BadContent {
+        /// What was being decoded.
+        what: &'static str,
+        /// Byte offset of the content.
+        offset: usize,
+    },
+    /// Trailing bytes remained after the outermost element.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// A value exceeded an implementation limit (depth, length).
+    LimitExceeded(&'static str),
+    /// An enumerated/choice discriminant was not recognized.
+    UnknownVariant {
+        /// The type whose variant was unknown.
+        what: &'static str,
+        /// The unrecognized discriminant.
+        value: i64,
+    },
+}
+
+impl fmt::Display for Asn1Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Asn1Error::UnexpectedEnd { offset } => {
+                write!(f, "unexpected end of input at offset {offset}")
+            }
+            Asn1Error::TagMismatch { expected, found, offset } => {
+                write!(f, "expected tag {expected}, found {found} at offset {offset}")
+            }
+            Asn1Error::BadLength { offset } => write!(f, "malformed length at offset {offset}"),
+            Asn1Error::BadContent { what, offset } => {
+                write!(f, "invalid {what} content at offset {offset}")
+            }
+            Asn1Error::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after element")
+            }
+            Asn1Error::LimitExceeded(what) => write!(f, "limit exceeded: {what}"),
+            Asn1Error::UnknownVariant { what, value } => {
+                write!(f, "unknown {what} variant {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Asn1Error {}
+
+/// Result alias for ASN.1 operations.
+pub type Result<T> = std::result::Result<T, Asn1Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(Asn1Error::UnexpectedEnd { offset: 4 }.to_string().contains("offset 4"));
+        assert!(Asn1Error::TrailingBytes { remaining: 2 }.to_string().contains("2 trailing"));
+        assert!(
+            Asn1Error::UnknownVariant { what: "McamPdu", value: 99 }
+                .to_string()
+                .contains("McamPdu")
+        );
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Asn1Error>();
+    }
+}

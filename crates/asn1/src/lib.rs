@@ -1,0 +1,47 @@
+//! `asn1` — ASN.1 (ISO 8824/8825) subset with BER encoding.
+//!
+//! All MCAM PDUs are specified in ASN.1 and the paper generated C++
+//! data structures plus encoders/decoders from that specification (§4.2
+//! and the ASN.1→Estelle translator of ref \[9\]). This crate is the
+//! equivalent runtime: BER tag/length/value primitives ([`ber`],
+//! [`Tag`]), a dynamic value model ([`Value`]) for directory
+//! attributes, and the parallel SEQUENCE-OF encoder used to reproduce
+//! the negative result of footnote 3 ([`parallel`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use asn1::{Value, ber, Tag};
+//!
+//! # fn main() -> Result<(), asn1::Asn1Error> {
+//! // Dynamic values (directory attributes).
+//! let v = Value::Seq(vec![Value::Str("XMovie".into()), Value::Int(25)]);
+//! let bytes = v.to_ber();
+//! assert_eq!(Value::from_ber(&bytes)?, v);
+//!
+//! // Typed PDU-style encoding.
+//! let mut out = Vec::new();
+//! ber::write_constructed(Tag::application(3), &mut out, |c| {
+//!     ber::write_integer(7, c);
+//!     ber::write_string("movie", c);
+//! });
+//! let mut r = ber::Reader::new(&out);
+//! let content = r.read_expect(Tag::application(3))?;
+//! let mut inner = r.descend(content)?;
+//! assert_eq!(ber::read_integer(&mut inner)?, 7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ber;
+mod error;
+pub mod parallel;
+mod tag;
+mod value;
+
+pub use ber::Reader;
+pub use error::{Asn1Error, Result};
+pub use tag::{Tag, TagClass};
+pub use value::Value;

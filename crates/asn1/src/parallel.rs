@@ -1,0 +1,116 @@
+//! Parallel ASN.1 encoding (the negative result of paper footnote 3 /
+//! ref \[12\]).
+//!
+//! Herbert's 1991 thesis at the same chair built a parallel ASN.1
+//! encoder/decoder and found that parallelization in this area "does
+//! not obtain better performance". We reproduce the experiment: a
+//! SEQUENCE OF is split into chunks, each chunk encoded by a worker
+//! thread into its own buffer, and the buffers are concatenated under
+//! the enclosing TLV. The per-element work is tiny, so thread spawn,
+//! cache traffic, and the final copy dominate — parallel loses (or at
+//! best ties) against the sequential encoder for realistic sizes.
+
+use crate::ber::encode_length;
+use crate::tag::Tag;
+use crate::value::Value;
+
+/// Sequentially encodes `items` as one SEQUENCE-OF TLV.
+pub fn encode_sequence_of(items: &[Value]) -> Vec<u8> {
+    let mut content = Vec::new();
+    for v in items {
+        v.encode_into(&mut content);
+    }
+    let mut out = Vec::with_capacity(content.len() + 6);
+    Tag::SEQUENCE.encode_into(&mut out);
+    encode_length(content.len(), &mut out);
+    out.extend_from_slice(&content);
+    out
+}
+
+/// Encodes `items` as one SEQUENCE-OF TLV using `workers` threads over
+/// equal chunks.
+///
+/// Functionally identical to [`encode_sequence_of`]; exists to measure
+/// the (non-)benefit of parallel encoding.
+pub fn encode_sequence_of_parallel(items: &[Value], workers: usize) -> Vec<u8> {
+    let workers = workers.max(1);
+    if workers == 1 || items.len() < workers {
+        return encode_sequence_of(items);
+    }
+    let chunk = items.len().div_ceil(workers);
+    let parts: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut buf = Vec::new();
+                    for v in slice {
+                        v.encode_into(&mut buf);
+                    }
+                    buf
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("encoder panicked")).collect()
+    });
+    let content_len: usize = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(content_len + 6);
+    Tag::SEQUENCE.encode_into(&mut out);
+    encode_length(content_len, &mut out);
+    for p in &parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<Value> {
+        (0..n)
+            .map(|i| {
+                Value::Seq(vec![
+                    Value::Int(i as i64),
+                    Value::Str(format!("attr-{i}")),
+                    Value::Bool(i % 2 == 0),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_output_identical_to_sequential() {
+        for n in [0, 1, 3, 10, 100, 1000] {
+            let items = sample(n);
+            let seq = encode_sequence_of(&items);
+            for workers in [1, 2, 3, 4, 8] {
+                assert_eq!(
+                    encode_sequence_of_parallel(&items, workers),
+                    seq,
+                    "n={n} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_valid_ber() {
+        let items = sample(17);
+        let data = encode_sequence_of_parallel(&items, 4);
+        let v = Value::from_ber(&data).unwrap();
+        match v {
+            Value::Seq(decoded) => assert_eq!(decoded.len(), 17),
+            other => panic!("expected sequence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamped() {
+        let items = sample(5);
+        assert_eq!(
+            encode_sequence_of_parallel(&items, 0),
+            encode_sequence_of(&items)
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests: arbitrary values roundtrip through BER; the
+//! parallel encoder is byte-identical to the sequential one; the
+//! decoder never panics on arbitrary bytes.
+
+use asn1::parallel::{encode_sequence_of, encode_sequence_of_parallel};
+use asn1::{ber, Tag, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[a-zA-Z0-9 _.-]{0,40}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+        Just(Value::Null),
+        (-1000i64..1000).prop_map(Value::Enum),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        proptest::collection::vec(inner, 0..8).prop_map(Value::Seq)
+    })
+}
+
+proptest! {
+    #[test]
+    fn value_roundtrips(v in value_strategy()) {
+        let bytes = v.to_ber();
+        let back = Value::from_ber(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integers_roundtrip_minimally(n in any::<i64>()) {
+        let mut out = Vec::new();
+        ber::write_integer(n, &mut out);
+        // Content length is minimal: <= 8, and the first content byte
+        // is not a redundant sign byte.
+        let len = out[1] as usize;
+        prop_assert!((1..=8).contains(&len));
+        if len > 1 {
+            let b0 = out[2];
+            let b1 = out[3];
+            let redundant = (b0 == 0x00 && b1 & 0x80 == 0) || (b0 == 0xff && b1 & 0x80 != 0);
+            prop_assert!(!redundant, "non-minimal encoding of {}", n);
+        }
+        let mut r = ber::Reader::new(&out);
+        prop_assert_eq!(ber::read_integer(&mut r).unwrap(), n);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Value::from_ber(&bytes);
+        let mut r = ber::Reader::new(&bytes);
+        let _ = r.read_tlv();
+    }
+
+    #[test]
+    fn parallel_encoder_is_identical(
+        items in proptest::collection::vec(value_strategy(), 0..64),
+        workers in 1usize..6,
+    ) {
+        prop_assert_eq!(
+            encode_sequence_of_parallel(&items, workers),
+            encode_sequence_of(&items)
+        );
+    }
+
+    #[test]
+    fn tag_roundtrips(class in 0u8..4, constructed in any::<bool>(), number in 0u32..100_000) {
+        let class = match class {
+            0 => asn1::TagClass::Universal,
+            1 => asn1::TagClass::Application,
+            2 => asn1::TagClass::Context,
+            _ => asn1::TagClass::Private,
+        };
+        let tag = Tag { class, constructed, number };
+        let mut buf = Vec::new();
+        tag.encode_into(&mut buf);
+        let (got, used) = Tag::decode(&buf).expect("own tag decodes");
+        prop_assert_eq!(got, tag);
+        prop_assert_eq!(used, buf.len());
+    }
+}

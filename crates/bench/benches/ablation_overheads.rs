@@ -1,0 +1,36 @@
+//! Ablation: how the E1 speedup depends on the thread-synchronization
+//! cost of the simulated multiprocessor. Cheap sync (unrealistic for
+//! 1993 OSF/1) would let layer pipelining push speedups far above the
+//! paper's 2.0; expensive sync erases the parallel win — the paper's
+//! 1.4–2.0 band pins the overhead regime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static REPORT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    REPORT.call_once(|| {
+        let (table, speedups) =
+            harness::overhead_sensitivity(2, 100, &[0, 50, 150, 400, 800, 1600]);
+        println!("{table}");
+        // Monotone: more synchronization cost, less speedup.
+        for w in speedups.windows(2) {
+            assert!(w[1] <= w[0] + 0.05, "speedup must fall with sync cost: {speedups:?}");
+        }
+        assert!(speedups[0] > 2.5, "free sync overshoots the paper band: {}", speedups[0]);
+        assert!(
+            *speedups.last().unwrap() < 1.4,
+            "very expensive sync falls below the band: {speedups:?}"
+        );
+    });
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("sensitivity_sweep", |b| {
+        b.iter(|| harness::overhead_sensitivity(2, 25, &[50, 400]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

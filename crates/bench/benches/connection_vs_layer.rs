@@ -1,0 +1,46 @@
+//! E7 — §3: connection-per-processor yields better performance than
+//! layer-per-processor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use estelle::GroupingPolicy;
+use ksim::{Machine, Overheads};
+use std::sync::Once;
+
+static REPORT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    REPORT.call_once(|| {
+        let (table, s_conn, s_layer) = harness::conn_vs_layer_experiment(4, 100);
+        println!("{table}");
+        assert!(
+            s_conn > s_layer,
+            "connection-per-processor must win: {s_conn} vs {s_layer}"
+        );
+    });
+    let env = harness::pstack::build_ps_env(4, 100, 5);
+    let trace = harness::pstack::run_ps_env(&env, 100);
+    let ov = Overheads::ksr1_like();
+    let mut group = c.benchmark_group("mapping");
+    group.bench_function("by_connection", |b| {
+        b.iter(|| {
+            ksim::simulate(
+                &trace,
+                GroupingPolicy::ByConnection { units: 4 },
+                &Machine { processors: 4, overheads: ov },
+            )
+        });
+    });
+    group.bench_function("by_layer", |b| {
+        b.iter(|| {
+            ksim::simulate(
+                &trace,
+                GroupingPolicy::ByLayer { units: 4 },
+                &Machine { processors: 4, overheads: ov },
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

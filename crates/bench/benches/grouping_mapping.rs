@@ -1,0 +1,29 @@
+//! E2 — §5.2: grouping modules into as many units as processors beats
+//! module-per-thread when modules outnumber processors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static REPORT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    REPORT.call_once(|| {
+        let (table, pairs) = harness::grouping_experiment(8, 50, &[2, 4]);
+        println!("{table}");
+        for (ungrouped, grouped) in &pairs {
+            assert!(
+                grouped >= ungrouped,
+                "grouping must not lose: {grouped} vs {ungrouped}"
+            );
+        }
+    });
+    let mut group = c.benchmark_group("grouping");
+    group.sample_size(10);
+    group.bench_function("experiment_4conn", |b| {
+        b.iter(|| harness::grouping_experiment(4, 25, &[2]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation — the automatic mapping algorithm (paper ref [7]).
+//!
+//! The paper's conclusion: "the mapping of Estelle modules to tasks
+//! and threads influences the performance of the runtime
+//! implementation to a great extent. An algorithm for an optimal
+//! mapping is currently under development." This bench runs our
+//! implementation of that algorithm (`ksim::optimize`) against the
+//! static policies on a skewed per-connection workload and asserts it
+//! never loses to any of them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static REPORT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    REPORT.call_once(|| {
+        // One busy connection (200 requests) next to three light ones.
+        let (table, outcome) = harness::mapping_experiment(&[200, 25, 25, 25], 2);
+        println!("{table}");
+        assert!(
+            outcome.optimized_us <= outcome.by_connection_us,
+            "optimizer ({}) must not lose to connection-per-processor ({})",
+            outcome.optimized_us,
+            outcome.by_connection_us
+        );
+        assert!(
+            outcome.optimized_us <= outcome.by_layer_us,
+            "optimizer ({}) must not lose to layer-per-processor ({})",
+            outcome.optimized_us,
+            outcome.by_layer_us
+        );
+        assert!(
+            outcome.optimized_us <= outcome.per_module_us,
+            "optimizer ({}) must not lose to module-per-thread ({})",
+            outcome.optimized_us,
+            outcome.per_module_us
+        );
+    });
+    let mut group = c.benchmark_group("mapping_optimizer");
+    group.sample_size(10);
+    group.bench_function("optimize_4conn_2cpu", |b| {
+        b.iter(|| harness::mapping_experiment(&[50, 10, 10, 10], 2));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

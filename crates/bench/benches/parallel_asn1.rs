@@ -1,0 +1,55 @@
+//! E6 — footnote 3 / ref [12]: parallelizing ASN.1 encoding does not
+//! obtain better performance.
+
+use asn1::parallel::{encode_sequence_of, encode_sequence_of_parallel};
+use asn1::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static REPORT: Once = Once::new();
+
+fn items(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            Value::Seq(vec![
+                Value::Str(format!("movie-{i}")),
+                Value::Int(25),
+                Value::Int(i as i64),
+                Value::Bool(i % 2 == 0),
+            ])
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    REPORT.call_once(|| {
+        let (table, rows) = harness::parallel_asn1_experiment(&[10, 100, 1000, 10_000], &[2, 4]);
+        println!("{table}");
+        // The negative result: for every size, the parallel encoder is
+        // not meaningfully faster than the sequential one.
+        for durs in &rows {
+            let seq = durs[0];
+            for par in &durs[1..] {
+                assert!(
+                    par.as_nanos() as f64 > 0.8 * seq.as_nanos() as f64,
+                    "parallel ASN.1 should not win: {par:?} vs {seq:?}"
+                );
+            }
+        }
+    });
+    let data = items(1000);
+    let mut group = c.benchmark_group("parallel_asn1");
+    group.bench_function("sequential_1000", |b| {
+        b.iter(|| encode_sequence_of(&data));
+    });
+    group.bench_function("parallel2_1000", |b| {
+        b.iter(|| encode_sequence_of_parallel(&data, 2));
+    });
+    group.bench_function("parallel4_1000", |b| {
+        b.iter(|| encode_sequence_of_parallel(&data, 4));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E4 — §5.2: a centralized Estelle scheduler consumes up to 80 % of
+//! the runtime for small-processing-time protocols; the decentralized
+//! scheduler behaves better.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static REPORT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    REPORT.call_once(|| {
+        let (table, central, decentral) = harness::scheduler_experiment(2, 200);
+        println!("{table}");
+        assert!(central >= 0.6, "centralized scheduler share {central}");
+        assert!(central <= 0.85, "share stays near the paper's 80% ceiling");
+        let _ = decentral;
+    });
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    group.bench_function("experiment", |b| {
+        b.iter(|| harness::scheduler_experiment(2, 50));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E1 — §5.1: sequential vs parallel implementation, 2 connections,
+//! varying numbers of data requests. Paper: speedup 1.4–2.0.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use estelle::GroupingPolicy;
+use ksim::{Machine, Overheads};
+use std::sync::Once;
+
+static REPORT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    REPORT.call_once(|| {
+        let (table, speedups) =
+            harness::speedup_experiment(2, &[25, 50, 100, 500], Overheads::osf1_threads());
+        println!("{table}");
+        for s in &speedups {
+            assert!(
+                (1.3..=2.1).contains(s),
+                "speedup {s} outside the paper's 1.4-2.0 band (tolerance 1.3-2.1)"
+            );
+        }
+        assert!(speedups.windows(2).all(|w| w[0] <= w[1] + 0.05), "monotone in work");
+    });
+    // Measure the replay itself on a fixed trace.
+    let env = harness::pstack::build_ps_env(2, 100, 42);
+    let trace = harness::pstack::run_ps_env(&env, 100);
+    let ov = Overheads::osf1_threads();
+    let mut group = c.benchmark_group("speedup");
+    group.bench_function("ksim_replay_per_module_p32", |b| {
+        b.iter(|| {
+            ksim::simulate(
+                &trace,
+                GroupingPolicy::PerModule,
+                &Machine { processors: 32, overheads: ov },
+            )
+        });
+    });
+    group.bench_function("ksim_replay_sequential", |b| {
+        b.iter(|| ksim::simulate_sequential(&trace, ov));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

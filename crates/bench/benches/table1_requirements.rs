@@ -1,0 +1,33 @@
+//! T1 — Table 1: requirements dichotomy between the MCAM control
+//! protocol and the CM stream protocol, measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static REPORT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    REPORT.call_once(|| {
+        let (table, control, stream) = harness::table1_experiment(0.05, 8);
+        println!("{table}");
+        assert!((control.reliability - 1.0).abs() < 1e-9, "control must be fully reliable");
+        assert!(stream.reliability < 1.0, "lossy stream keeps streaming");
+        assert!(stream.rate_kbps > 20.0 * control.rate_kbps, "stream rate >> control rate");
+        assert!(stream.jitter_us > control.jitter_us);
+    });
+    // Measured operation: one full control transaction vs one second
+    // of stream delivery is too heavy per-iteration; measure the
+    // characterization itself on a short movie.
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("characterize_1s_movie", |b| {
+        b.iter(|| {
+            let (_, control, stream) = harness::table1_experiment(0.05, 1);
+            std::hint::black_box((control.reliability, stream.reliability))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E3 — §5.2: table-driven transition selection beats the hard-coded
+//! selection function once a module has more than a handful of
+//! transitions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use estelle::{Dispatch, Fsm, IpState};
+use harness::{WideFsm16, WideFsm64};
+use netsim::SimTime;
+use std::sync::Once;
+
+static REPORT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    REPORT.call_once(|| {
+        let (table, rows) = harness::dispatch_experiment(300_000);
+        println!("{table}");
+        // The paper's crossover: table-driven significantly better
+        // above ~4 transitions; require a clear win by 32+.
+        let (_, hard32, table32) = rows.iter().find(|r| r.0 == 32).copied().unwrap();
+        let (_, hard64, table64) = rows.iter().find(|r| r.0 == 64).copied().unwrap();
+        assert!(table32 < hard32, "32 transitions: {table32} !< {hard32}");
+        assert!(table64 < hard64 * 0.8, "64 transitions: {table64} !< 0.8*{hard64}");
+    });
+    let ips: Vec<IpState> = Vec::new();
+    let mut group = c.benchmark_group("dispatch");
+    group.bench_function("hard_coded_16", |b| {
+        let mut fsm = Fsm::new(WideFsm16::default());
+        b.iter(|| fsm.bench_step(&ips, SimTime::ZERO, SimTime::ZERO, Dispatch::HardCoded));
+    });
+    group.bench_function("table_driven_16", |b| {
+        let mut fsm = Fsm::new(WideFsm16::default());
+        b.iter(|| fsm.bench_step(&ips, SimTime::ZERO, SimTime::ZERO, Dispatch::TableDriven));
+    });
+    group.bench_function("hard_coded_64", |b| {
+        let mut fsm = Fsm::new(WideFsm64::default());
+        b.iter(|| fsm.bench_step(&ips, SimTime::ZERO, SimTime::ZERO, Dispatch::HardCoded));
+    });
+    group.bench_function("table_driven_64", |b| {
+        let mut fsm = Fsm::new(WideFsm64::default());
+        b.iter(|| fsm.bench_step(&ips, SimTime::ZERO, SimTime::ZERO, Dispatch::TableDriven));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,261 @@
+//! The MCA's child agents (Fig. 3): DUA, SUA/SPA and EUA as Estelle
+//! modules whose bodies are `external` — thin wrappers over the
+//! directory, stream-provider, and equipment services.
+
+use crate::service::{
+    DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest,
+    EquipResponse, StreamOp, StreamOutcome, StreamRequest, StreamResponse,
+};
+use crate::sps::StreamProviderSystem;
+use directory::{attr, Dn, Dua, Filter, ModOp, MovieEntry, Rdn, Scope};
+use equipment::{EquipmentId, Eua};
+use estelle::{downcast, Ctx, IpIndex, StateId, StateMachine, Transition};
+use netsim::SimDuration;
+use std::sync::Arc;
+
+/// Every agent exposes one interaction point to its MCA parent.
+pub const AGENT_IP: IpIndex = IpIndex(0);
+
+const RUN: StateId = StateId(0);
+const AGENT_COST: SimDuration = SimDuration::from_micros(120);
+
+/// Directory User Agent: executes [`DirOp`]s against the movie
+/// directory.
+#[derive(Debug)]
+pub struct DuaAgent {
+    dua: Dua,
+    base: Dn,
+    /// Operations served.
+    pub ops: u64,
+}
+
+impl DuaAgent {
+    /// Creates an agent querying through `dua` under `base`.
+    pub fn new(dua: Dua, base: Dn) -> Self {
+        DuaAgent { dua, base, ops: 0 }
+    }
+
+    fn movie_dn(&self, title: &str) -> Dn {
+        self.base.child(Rdn::new("cn", title))
+    }
+
+    fn execute(&mut self, op: DirOp) -> DirOutcome {
+        self.ops += 1;
+        match op {
+            DirOp::Add { entry } => {
+                let dn = self.movie_dn(&entry.title);
+                match self.dua.add(dn, entry.to_attrs()) {
+                    Ok(()) => DirOutcome::Done,
+                    Err(e) => DirOutcome::Failed(e.to_string()),
+                }
+            }
+            DirOp::Remove { title } => match self.dua.remove(&self.movie_dn(&title)) {
+                Ok(_) => DirOutcome::Done,
+                Err(e) => DirOutcome::Failed(e.to_string()),
+            },
+            DirOp::Lookup { title } => match self.dua.read(&self.movie_dn(&title)) {
+                Ok(attrs) => match MovieEntry::from_attrs(&attrs) {
+                    Ok(entry) => DirOutcome::Movie(entry),
+                    Err(e) => DirOutcome::Failed(e.to_string()),
+                },
+                Err(e) => DirOutcome::Failed(e.to_string()),
+            },
+            DirOp::List { contains } => {
+                let filter = if contains.is_empty() {
+                    Filter::eq_str(attr::OBJECT_CLASS, "movie")
+                } else {
+                    Filter::And(vec![
+                        Filter::eq_str(attr::OBJECT_CLASS, "movie"),
+                        Filter::Contains(attr::TITLE.into(), contains),
+                    ])
+                };
+                match self.dua.search(&self.base, Scope::Subtree, &filter) {
+                    Ok(hits) => DirOutcome::Titles(
+                        hits.iter()
+                            .filter_map(|(_, a)| {
+                                a.get(attr::TITLE).and_then(|v| v.as_str()).map(str::to_owned)
+                            })
+                            .collect(),
+                    ),
+                    Err(e) => DirOutcome::Failed(e.to_string()),
+                }
+            }
+            DirOp::Query { title, attrs } => match self.dua.read(&self.movie_dn(&title)) {
+                Ok(all) => {
+                    let selected: Vec<(String, asn1::Value)> = all
+                        .into_iter()
+                        .filter(|(k, _)| attrs.is_empty() || attrs.iter().any(|a| a.eq_ignore_ascii_case(k)))
+                        .collect();
+                    DirOutcome::Attrs(selected)
+                }
+                Err(e) => DirOutcome::Failed(e.to_string()),
+            },
+            DirOp::Modify { title, puts } => {
+                let mods: Vec<ModOp> =
+                    puts.into_iter().map(|(k, v)| ModOp::Put(k, v)).collect();
+                match self.dua.modify(&self.movie_dn(&title), &mods) {
+                    Ok(()) => DirOutcome::Done,
+                    Err(e) => DirOutcome::Failed(e.to_string()),
+                }
+            }
+        }
+    }
+}
+
+impl StateMachine for DuaAgent {
+    fn num_ips(&self) -> usize {
+        1
+    }
+    fn initial_state(&self) -> StateId {
+        RUN
+    }
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![Transition::on("dir-op", RUN, AGENT_IP, |m: &mut Self, ctx, msg| {
+            let req = downcast::<DirRequest>(msg.expect("when clause"))
+                .expect("DUA agents receive DirRequest only");
+            let outcome = m.execute(req.0);
+            ctx.output(AGENT_IP, DirResponse(outcome));
+        })
+        .cost(AGENT_COST)]
+    }
+    fn on_init(&mut self, _ctx: &mut Ctx<'_>) {}
+}
+
+/// Stream agent (SPA on the server): executes [`StreamOp`]s against
+/// the stream provider system.
+#[derive(Debug)]
+pub struct SuaAgent {
+    sps: Arc<StreamProviderSystem>,
+    /// Operations served.
+    pub ops: u64,
+}
+
+impl SuaAgent {
+    /// Creates an agent controlling `sps`.
+    pub fn new(sps: Arc<StreamProviderSystem>) -> Self {
+        SuaAgent { sps, ops: 0 }
+    }
+
+    fn execute(&mut self, op: StreamOp, now: netsim::SimTime) -> StreamOutcome {
+        self.ops += 1;
+        let done = |r: Result<(), crate::sps::SpsError>| match r {
+            Ok(()) => StreamOutcome::Done,
+            Err(e) => StreamOutcome::Failed(e.to_string()),
+        };
+        match op {
+            StreamOp::Open { movie, dest } => {
+                let id = self.sps.open(movie, netsim::NetAddr(dest));
+                StreamOutcome::Opened { stream_id: id, provider_addr: self.sps.addr().0 }
+            }
+            StreamOp::Close { stream_id } => done(self.sps.close(stream_id)),
+            StreamOp::Play { stream_id, speed_pct } => {
+                done(self.sps.play(stream_id, speed_pct, now))
+            }
+            StreamOp::Pause { stream_id } => done(self.sps.pause(stream_id)),
+            StreamOp::Stop { stream_id } => done(self.sps.stop(stream_id)),
+            StreamOp::Seek { stream_id, frame } => done(self.sps.seek(stream_id, frame)),
+        }
+    }
+}
+
+impl StateMachine for SuaAgent {
+    fn num_ips(&self) -> usize {
+        1
+    }
+    fn initial_state(&self) -> StateId {
+        RUN
+    }
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![Transition::on("stream-op", RUN, AGENT_IP, |m: &mut Self, ctx, msg| {
+            let req = downcast::<StreamRequest>(msg.expect("when clause"))
+                .expect("SUA agents receive StreamRequest only");
+            let outcome = m.execute(req.0, ctx.now());
+            ctx.output(AGENT_IP, StreamResponse(outcome));
+        })
+        .cost(AGENT_COST)]
+    }
+    fn on_init(&mut self, _ctx: &mut Ctx<'_>) {}
+}
+
+/// Equipment agent: executes [`EquipOp`]s against the site's ECS.
+#[derive(Debug)]
+pub struct EuaAgent {
+    eua: Eua,
+    site: String,
+    held: Vec<EquipmentId>,
+    /// Operations served.
+    pub ops: u64,
+}
+
+impl EuaAgent {
+    /// Creates an agent for `site` using `eua`.
+    pub fn new(eua: Eua, site: impl Into<String>) -> Self {
+        EuaAgent { eua, site: site.into(), held: Vec::new(), ops: 0 }
+    }
+
+    fn execute(&mut self, op: EquipOp) -> EquipOutcome {
+        self.ops += 1;
+        match op {
+            EquipOp::AcquireClass(class) => {
+                let list = match self.eua.list(&self.site, Some(class)) {
+                    Ok(l) => l,
+                    Err(e) => return EquipOutcome::Failed(e.to_string()),
+                };
+                for desc in list {
+                    if self.eua.reserve(&self.site, desc.id).is_ok() {
+                        if let Err(e) = self.eua.activate(&self.site, desc.id) {
+                            let _ = self.eua.release(&self.site, desc.id);
+                            return EquipOutcome::Failed(e.to_string());
+                        }
+                        self.held.push(desc.id);
+                        return EquipOutcome::Acquired(desc.id);
+                    }
+                }
+                EquipOutcome::Failed(format!("no free {class} at {}", self.site))
+            }
+            EquipOp::ReleaseAll => {
+                for id in self.held.drain(..) {
+                    let _ = self.eua.release(&self.site, id);
+                }
+                EquipOutcome::Done
+            }
+        }
+    }
+}
+
+impl StateMachine for EuaAgent {
+    fn num_ips(&self) -> usize {
+        1
+    }
+    fn initial_state(&self) -> StateId {
+        RUN
+    }
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![Transition::on("equip-op", RUN, AGENT_IP, |m: &mut Self, ctx, msg| {
+            let req = downcast::<EquipRequest>(msg.expect("when clause"))
+                .expect("EUA agents receive EquipRequest only");
+            let outcome = m.execute(req.0);
+            ctx.output(AGENT_IP, EquipResponse(outcome));
+        })
+        .cost(AGENT_COST)]
+    }
+    fn on_init(&mut self, _ctx: &mut Ctx<'_>) {}
+}
+
+/// Derives the synthetic stream source for a directory movie entry.
+/// The per-title seed keeps frame sizes stable across selects.
+pub fn source_for_entry(entry: &MovieEntry) -> mtp::MovieSource {
+    let seed = entry
+        .title
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3));
+    mtp::MovieSource {
+        frame_count: entry.frame_count,
+        frame_rate: entry.frame_rate,
+        i_size: 12_000,
+        p_size: 5_000,
+        b_size: 1_800,
+        gop: 12,
+        seed,
+    }
+}

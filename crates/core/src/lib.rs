@@ -1,0 +1,85 @@
+//! `mcam` — Movie Control, Access and Management: the paper's primary
+//! contribution.
+//!
+//! MCAM is an application-layer architecture, service and protocol for
+//! movie *access* (create, delete, select), *management* (query and
+//! modify attributes) and *control* (playback, record) in a computer
+//! network. This crate assembles the whole system of the paper:
+//!
+//! - [`McamPdu`] — the ASN.1/BER protocol data units (§4.2);
+//! - [`ClientMca`] / [`ServerMca`] — the Movie Control Agents written
+//!   as Estelle state machines (Fig. 3), with the server's DUA, SUA
+//!   and EUA child agents as external-body modules ([`agents`]);
+//! - [`AppMachine`] — the scriptable application module (the generated
+//!   X interface substitute);
+//! - [`ClientRoot`] / [`server::ServerRoot`] — system modules that
+//!   create their protocol stacks *dynamically* on connection
+//!   requests (§4.1), over either lower stack ([`StackKind`]);
+//! - [`StreamProviderSystem`] — the XMovie stream provider feeding
+//!   MTP senders (CM-stream level, deliberately outside Estelle);
+//! - [`World`] — the Fig. 2 experimental configuration: clients on
+//!   workstations, server entities on the (simulated) multiprocessor,
+//!   control pipes and the CM datagram network, with a co-simulation
+//!   driver.
+//!
+//! # Examples
+//!
+//! A complete create–select–play session:
+//!
+//! ```
+//! use mcam::{McamOp, McamPdu, StackKind, World};
+//! use netsim::{SimDuration, SimTime};
+//!
+//! let mut world = World::new(7);
+//! let server = world.add_server("ksr1", StackKind::EstellePS);
+//! let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+//! world.start();
+//!
+//! let rsp = world.client_op(&client, McamOp::Associate { user: "demo".into() });
+//! assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+//!
+//! let rsp = world.client_op(&client, McamOp::CreateMovie {
+//!     title: "Quickstart".into(),
+//!     format: "XMovie-24".into(),
+//!     frame_rate: 25,
+//!     frame_count: 50,
+//! });
+//! assert_eq!(rsp, Some(McamPdu::CreateMovieRsp { ok: true }));
+//!
+//! let rsp = world.client_op(&client, McamOp::SelectMovie { title: "Quickstart".into() });
+//! let params = match rsp {
+//!     Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+//!     other => panic!("select failed: {other:?}"),
+//! };
+//! let mut receiver = world.receiver_for(&client, &params, SimDuration::from_millis(50));
+//! let rsp = world.client_op(&client, McamOp::Play { speed_pct: 100 });
+//! assert_eq!(rsp, Some(McamPdu::PlayRsp { ok: true }));
+//! world.run_for(SimDuration::from_secs(3));
+//! let played = receiver.poll(world.net.now());
+//! assert_eq!(played.len(), 50, "all frames played");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod agents;
+mod app;
+mod mca;
+mod pdus;
+pub mod server;
+mod service;
+mod sps;
+mod stacks;
+mod world;
+
+pub use app::{AppMachine, TO_MCA as APP_TO_MCA, TO_ROOT as APP_TO_ROOT};
+pub use mca::{ClientMca, CONNECTING, CTRL, DOWN, P_RELEASING, READY, UNBOUND, UP, WAITING};
+pub use pdus::{McamPdu, MovieDesc, StreamParams};
+pub use server::{ServerMca, ServerRoot, ServerServices};
+pub use service::{
+    DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest,
+    EquipResponse, McamCnf, McamOp, McamReq, StartAssociate, StreamOp, StreamOutcome,
+    StreamRequest, StreamResponse,
+};
+pub use sps::{SpsError, StreamProviderSystem};
+pub use stacks::{wire_lower_stack, ClientRoot, StackKind, ROOT_TO_APP, ROOT_TO_MCA};
+pub use world::{ClientHandle, ServerHandle, World};

@@ -1,0 +1,226 @@
+//! The client-side Movie Control Agent.
+//!
+//! Fig. 3: only the MCA is "completely written in Estelle (header and
+//! body)"; it speaks the MCAM protocol over the presentation service
+//! below and the MCAM service to the application above.
+
+use crate::pdus::McamPdu;
+use crate::service::{McamCnf, McamOp, McamReq, StartAssociate};
+use estelle::{downcast, Ctx, Interaction, IpIndex, StateId, StateMachine, Transition};
+use netsim::SimDuration;
+use presentation::service::{PAbortInd, PConCnf, PConReq, PDataInd, PDataReq, PRelCnf, PRelReq};
+use presentation::mcam_contexts;
+
+/// Interaction point to the application module.
+pub const UP: IpIndex = IpIndex(0);
+/// Interaction point to the presentation service (Estelle stack or
+/// ISODE interface module).
+pub const DOWN: IpIndex = IpIndex(1);
+/// Interaction point to the client root (control).
+pub const CTRL: IpIndex = IpIndex(2);
+
+/// No association.
+pub const UNBOUND: StateId = StateId(0);
+/// P-CONNECT outstanding.
+pub const CONNECTING: StateId = StateId(1);
+/// Associated, no request outstanding.
+pub const READY: StateId = StateId(2);
+/// A request PDU is outstanding.
+pub const WAITING: StateId = StateId(3);
+/// MCAM released, presentation release outstanding.
+pub const P_RELEASING: StateId = StateId(4);
+
+const COST_REQ: SimDuration = SimDuration::from_micros(200);
+
+fn is<T: Interaction>(msg: Option<&dyn Interaction>) -> bool {
+    msg.is_some_and(|m| m.is::<T>())
+}
+
+/// The client MCA.
+#[derive(Debug)]
+pub struct ClientMca {
+    /// Datagram address this client's stream receiver listens on.
+    pub client_addr: u32,
+    /// True when the outstanding request is a Release.
+    release_pending: bool,
+    /// Requests sent.
+    pub requests: u64,
+    /// Responses delivered to the application.
+    pub responses: u64,
+    /// Decode or sequencing errors.
+    pub protocol_errors: u64,
+}
+
+impl ClientMca {
+    /// Creates a client MCA whose streams arrive at `client_addr`.
+    pub fn new(client_addr: u32) -> Self {
+        ClientMca { client_addr, release_pending: false, requests: 0, responses: 0, protocol_errors: 0 }
+    }
+
+    fn op_to_pdu(&self, op: McamOp) -> McamPdu {
+        match op {
+            McamOp::Associate { user } => McamPdu::AssociateReq { user },
+            McamOp::Release => McamPdu::ReleaseReq,
+            McamOp::CreateMovie { title, format, frame_rate, frame_count } => {
+                McamPdu::CreateMovieReq { title, format, frame_rate, frame_count }
+            }
+            McamOp::DeleteMovie { title } => McamPdu::DeleteMovieReq { title },
+            McamOp::SelectMovie { title } => {
+                McamPdu::SelectMovieReq { title, client_addr: self.client_addr }
+            }
+            McamOp::Deselect => McamPdu::DeselectMovieReq,
+            McamOp::List { contains } => McamPdu::ListMoviesReq { title_contains: contains },
+            McamOp::Query { title, attrs } => McamPdu::QueryAttrsReq { title, attrs },
+            McamOp::Modify { title, puts } => McamPdu::ModifyAttrsReq { title, puts },
+            McamOp::Play { speed_pct } => McamPdu::PlayReq { speed_pct },
+            McamOp::Pause => McamPdu::PauseReq,
+            McamOp::Stop => McamPdu::StopReq,
+            McamOp::Seek { frame } => McamPdu::SeekReq { frame },
+            McamOp::Record { title, frames } => McamPdu::RecordReq { title, frames },
+        }
+    }
+}
+
+impl StateMachine for ClientMca {
+    fn num_ips(&self) -> usize {
+        3
+    }
+
+    fn initial_state(&self) -> StateId {
+        UNBOUND
+    }
+
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![
+            Transition::on("start-associate", UNBOUND, CTRL, |_m: &mut Self, ctx, msg| {
+                let start = downcast::<StartAssociate>(msg.unwrap()).unwrap();
+                let aarq = McamPdu::AssociateReq { user: start.user };
+                ctx.output(
+                    DOWN,
+                    PConReq { contexts: mcam_contexts(), user_data: aarq.encode() },
+                );
+            })
+            .provided(|_, msg| is::<StartAssociate>(msg))
+            .to(CONNECTING)
+            .cost(COST_REQ),
+            Transition::on("assoc-cnf", CONNECTING, DOWN, |m: &mut Self, ctx, msg| {
+                let cnf = downcast::<PConCnf>(msg.unwrap()).unwrap();
+                if !cnf.accepted {
+                    ctx.output(UP, McamCnf(McamPdu::AssociateRsp { accepted: false }));
+                    ctx.goto(UNBOUND);
+                    return;
+                }
+                match McamPdu::decode(&cnf.user_data) {
+                    Ok(rsp @ McamPdu::AssociateRsp { accepted }) => {
+                        ctx.output(UP, McamCnf(rsp));
+                        ctx.goto(if accepted { READY } else { UNBOUND });
+                    }
+                    _ => {
+                        m.protocol_errors += 1;
+                        ctx.output(UP, McamCnf(McamPdu::AssociateRsp { accepted: false }));
+                        ctx.goto(UNBOUND);
+                    }
+                }
+            })
+            .provided(|_, msg| is::<PConCnf>(msg))
+            .cost(COST_REQ),
+            Transition::on("request", READY, UP, |m: &mut Self, ctx, msg| {
+                let req = downcast::<McamReq>(msg.unwrap()).unwrap();
+                m.release_pending = matches!(req.0, McamOp::Release);
+                let pdu = m.op_to_pdu(req.0);
+                m.requests += 1;
+                ctx.output(DOWN, PDataReq { context_id: 1, user_data: pdu.encode() });
+            })
+            .provided(|_, msg| is::<McamReq>(msg))
+            .to(WAITING)
+            .cost(COST_REQ),
+            Transition::on("response", WAITING, DOWN, |m: &mut Self, ctx, msg| {
+                let ind = downcast::<PDataInd>(msg.unwrap()).unwrap();
+                match McamPdu::decode(&ind.user_data) {
+                    Ok(pdu) => {
+                        m.responses += 1;
+                        if m.release_pending && pdu == McamPdu::ReleaseRsp {
+                            // The MCAM association is gone; tear down
+                            // the presentation association before
+                            // confirming to the user.
+                            ctx.output(DOWN, PRelReq);
+                            ctx.goto(P_RELEASING);
+                        } else {
+                            ctx.output(UP, McamCnf(pdu));
+                            ctx.goto(READY);
+                        }
+                    }
+                    Err(_) => {
+                        m.protocol_errors += 1;
+                        ctx.output(
+                            UP,
+                            McamCnf(McamPdu::ErrorRsp {
+                                code: 900,
+                                message: "undecodable response".into(),
+                            }),
+                        );
+                        ctx.goto(READY);
+                    }
+                }
+            })
+            .provided(|_, msg| is::<PDataInd>(msg))
+            .cost(COST_REQ),
+            Transition::on("released", P_RELEASING, DOWN, |m: &mut Self, ctx, msg| {
+                let _ = downcast::<PRelCnf>(msg.unwrap()).unwrap();
+                m.release_pending = false;
+                ctx.output(UP, McamCnf(McamPdu::ReleaseRsp));
+            })
+            .provided(|_, msg| is::<PRelCnf>(msg))
+            .to(UNBOUND)
+            .cost(COST_REQ),
+            Transition::on("aborted", UNBOUND, DOWN, |m: &mut Self, ctx, msg| {
+                let _ = downcast::<PAbortInd>(msg.unwrap()).unwrap();
+                m.protocol_errors += 1;
+                ctx.output(
+                    UP,
+                    McamCnf(McamPdu::ErrorRsp { code: 999, message: "association aborted".into() }),
+                );
+            })
+            .any_state()
+            .provided(|_, msg| is::<PAbortInd>(msg))
+            .priority(1)
+            .to(UNBOUND)
+            .cost(COST_REQ),
+            // Re-association: after a Release the MCA returns to
+            // UNBOUND; a fresh Associate from the application re-runs
+            // connection establishment on the same stack.
+            Transition::on("re-associate", UNBOUND, UP, |_m: &mut Self, ctx, msg| {
+                let req = downcast::<McamReq>(msg.unwrap()).unwrap();
+                let McamOp::Associate { user } = req.0 else {
+                    unreachable!("guard admits only Associate")
+                };
+                let aarq = McamPdu::AssociateReq { user };
+                ctx.output(
+                    DOWN,
+                    PConReq { contexts: mcam_contexts(), user_data: aarq.encode() },
+                );
+            })
+            .provided(|_, msg| {
+                msg.and_then(|m| m.downcast_ref::<McamReq>())
+                    .is_some_and(|r| matches!(r.0, McamOp::Associate { .. }))
+            })
+            .priority(100)
+            .to(CONNECTING)
+            .cost(COST_REQ),
+            // Requests issued while no association exists fail locally.
+            Transition::on("request-unbound", UNBOUND, UP, |m: &mut Self, ctx, msg| {
+                let _ = downcast::<McamReq>(msg.unwrap()).unwrap();
+                m.protocol_errors += 1;
+                ctx.output(
+                    UP,
+                    McamCnf(McamPdu::ErrorRsp { code: 901, message: "not associated".into() }),
+                );
+            })
+            .provided(|_, msg| is::<McamReq>(msg))
+            .priority(200)
+            .cost(SimDuration::from_micros(20)),
+        ]
+    }
+
+    fn on_init(&mut self, _ctx: &mut Ctx<'_>) {}
+}

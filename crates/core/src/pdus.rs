@@ -1,0 +1,579 @@
+//! MCAM PDUs, specified in ASN.1 and encoded with BER (paper §4.2).
+//!
+//! The operation set follows the MCAM companion paper (Keller &
+//! Effelsberg, ACM Multimedia'93): *access* (create, delete, select,
+//! deselect), *management* (list, query and modify attributes), and
+//! *control* (play, pause, stop, seek, speed, record), plus
+//! association management and error reporting.
+
+use asn1::ber::{self, Reader};
+use asn1::{Asn1Error, Tag, Value};
+
+/// Description of a movie carried in create/select responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MovieDesc {
+    /// Movie title.
+    pub title: String,
+    /// Image format name.
+    pub format: String,
+    /// Frames per second.
+    pub frame_rate: u32,
+    /// Total frames.
+    pub frame_count: u64,
+}
+
+/// Stream rendezvous parameters returned by a successful select.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamParams {
+    /// Datagram address of the stream provider.
+    pub provider_addr: u32,
+    /// Stream identifier to expect in MTP packets.
+    pub stream_id: u32,
+    /// Movie description.
+    pub movie: MovieDesc,
+}
+
+/// A complete MCAM protocol data unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McamPdu {
+    /// Open an MCAM association.
+    AssociateReq {
+        /// User name for accounting.
+        user: String,
+    },
+    /// Association response.
+    AssociateRsp {
+        /// Whether the association was admitted.
+        accepted: bool,
+    },
+    /// Orderly association release.
+    ReleaseReq,
+    /// Release confirmation.
+    ReleaseRsp,
+    /// Create a movie entry (access service).
+    CreateMovieReq {
+        /// Title (also the directory RDN).
+        title: String,
+        /// Image format.
+        format: String,
+        /// Frames per second.
+        frame_rate: u32,
+        /// Total frames.
+        frame_count: u64,
+    },
+    /// Create response.
+    CreateMovieRsp {
+        /// Success flag.
+        ok: bool,
+    },
+    /// Delete a movie entry.
+    DeleteMovieReq {
+        /// Title of the movie to delete.
+        title: String,
+    },
+    /// Delete response.
+    DeleteMovieRsp {
+        /// Success flag.
+        ok: bool,
+    },
+    /// Select a movie for playback (binds a CM stream).
+    SelectMovieReq {
+        /// Title of the movie to select.
+        title: String,
+        /// Datagram address the client will listen on.
+        client_addr: u32,
+    },
+    /// Select response with stream rendezvous parameters.
+    SelectMovieRsp {
+        /// Stream parameters; `None` when selection failed.
+        params: Option<StreamParams>,
+    },
+    /// Release the selected movie and its stream.
+    DeselectMovieReq,
+    /// Deselect response.
+    DeselectMovieRsp,
+    /// List movies whose title contains a substring (management).
+    ListMoviesReq {
+        /// Case-insensitive substring; empty lists everything.
+        title_contains: String,
+    },
+    /// Listing response.
+    ListMoviesRsp {
+        /// Matching titles.
+        titles: Vec<String>,
+    },
+    /// Query attributes of a movie (management).
+    QueryAttrsReq {
+        /// Movie title.
+        title: String,
+        /// Attribute names to fetch; empty fetches all.
+        attrs: Vec<String>,
+    },
+    /// Query response.
+    QueryAttrsRsp {
+        /// Attribute name/value pairs, or `None` if the movie is
+        /// unknown.
+        attrs: Option<Vec<(String, Value)>>,
+    },
+    /// Modify attributes of a movie (management).
+    ModifyAttrsReq {
+        /// Movie title.
+        title: String,
+        /// Attributes to set.
+        puts: Vec<(String, Value)>,
+    },
+    /// Modify response.
+    ModifyAttrsRsp {
+        /// Success flag.
+        ok: bool,
+    },
+    /// Start or resume playback (control).
+    PlayReq {
+        /// Playback speed in percent of nominal.
+        speed_pct: u32,
+    },
+    /// Play response.
+    PlayRsp {
+        /// Success flag.
+        ok: bool,
+    },
+    /// Pause playback.
+    PauseReq,
+    /// Pause response.
+    PauseRsp,
+    /// Stop playback and rewind.
+    StopReq,
+    /// Stop response.
+    StopRsp,
+    /// Seek to an absolute frame.
+    SeekReq {
+        /// Target frame index.
+        frame: u64,
+    },
+    /// Seek response.
+    SeekRsp {
+        /// Success flag.
+        ok: bool,
+    },
+    /// Record a new movie from CM equipment (control).
+    RecordReq {
+        /// Title of the new movie.
+        title: String,
+        /// Recording length in frames.
+        frames: u64,
+    },
+    /// Record response.
+    RecordRsp {
+        /// Success flag.
+        ok: bool,
+    },
+    /// Error report for a failed operation.
+    ErrorRsp {
+        /// Numeric error code.
+        code: u32,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+const T_ASSOC_REQ: u32 = 0;
+const T_ASSOC_RSP: u32 = 1;
+const T_RELEASE_REQ: u32 = 2;
+const T_RELEASE_RSP: u32 = 3;
+const T_CREATE_REQ: u32 = 4;
+const T_CREATE_RSP: u32 = 5;
+const T_DELETE_REQ: u32 = 6;
+const T_DELETE_RSP: u32 = 7;
+const T_SELECT_REQ: u32 = 8;
+const T_SELECT_RSP: u32 = 9;
+const T_DESELECT_REQ: u32 = 10;
+const T_DESELECT_RSP: u32 = 11;
+const T_LIST_REQ: u32 = 12;
+const T_LIST_RSP: u32 = 13;
+const T_QUERY_REQ: u32 = 14;
+const T_QUERY_RSP: u32 = 15;
+const T_MODIFY_REQ: u32 = 16;
+const T_MODIFY_RSP: u32 = 17;
+const T_PLAY_REQ: u32 = 18;
+const T_PLAY_RSP: u32 = 19;
+const T_PAUSE_REQ: u32 = 20;
+const T_PAUSE_RSP: u32 = 21;
+const T_STOP_REQ: u32 = 22;
+const T_STOP_RSP: u32 = 23;
+const T_SEEK_REQ: u32 = 24;
+const T_SEEK_RSP: u32 = 25;
+const T_RECORD_REQ: u32 = 26;
+const T_RECORD_RSP: u32 = 27;
+const T_ERROR_RSP: u32 = 28;
+
+fn write_attr_list(attrs: &[(String, Value)], out: &mut Vec<u8>) {
+    ber::write_constructed(Tag::SEQUENCE, out, |c| {
+        for (name, value) in attrs {
+            ber::write_constructed(Tag::SEQUENCE, c, |item| {
+                ber::write_string(name, item);
+                value.encode_into(item);
+            });
+        }
+    });
+}
+
+fn read_attr_list(r: &mut Reader<'_>) -> Result<Vec<(String, Value)>, Asn1Error> {
+    let list = r.read_expect(Tag::SEQUENCE)?;
+    let mut lr = r.descend(list)?;
+    let mut out = Vec::new();
+    while !lr.is_empty() {
+        let item = lr.read_expect(Tag::SEQUENCE)?;
+        let mut ir = lr.descend(item)?;
+        let name = ber::read_string(&mut ir)?;
+        let value = Value::decode(&mut ir)?;
+        ir.expect_end()?;
+        out.push((name, value));
+    }
+    Ok(out)
+}
+
+impl McamPdu {
+    /// True for request-type PDUs (the server-processed kind).
+    pub fn is_request(&self) -> bool {
+        use McamPdu::*;
+        matches!(
+            self,
+            AssociateReq { .. }
+                | ReleaseReq
+                | CreateMovieReq { .. }
+                | DeleteMovieReq { .. }
+                | SelectMovieReq { .. }
+                | DeselectMovieReq
+                | ListMoviesReq { .. }
+                | QueryAttrsReq { .. }
+                | ModifyAttrsReq { .. }
+                | PlayReq { .. }
+                | PauseReq
+                | StopReq
+                | SeekReq { .. }
+                | RecordReq { .. }
+        )
+    }
+
+    /// Serializes the PDU as BER.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let write = |n: u32, out: &mut Vec<u8>, f: &dyn Fn(&mut Vec<u8>)| {
+            ber::write_constructed(Tag::application(n), out, |c| f(c));
+        };
+        match self {
+            McamPdu::AssociateReq { user } => write(T_ASSOC_REQ, &mut out, &|c| {
+                ber::write_string(user, c);
+            }),
+            McamPdu::AssociateRsp { accepted } => write(T_ASSOC_RSP, &mut out, &|c| {
+                ber::write_bool(*accepted, c);
+            }),
+            McamPdu::ReleaseReq => write(T_RELEASE_REQ, &mut out, &|_| {}),
+            McamPdu::ReleaseRsp => write(T_RELEASE_RSP, &mut out, &|_| {}),
+            McamPdu::CreateMovieReq { title, format, frame_rate, frame_count } => {
+                write(T_CREATE_REQ, &mut out, &|c| {
+                    ber::write_string(title, c);
+                    ber::write_string(format, c);
+                    ber::write_integer(i64::from(*frame_rate), c);
+                    ber::write_integer(*frame_count as i64, c);
+                });
+            }
+            McamPdu::CreateMovieRsp { ok } => write(T_CREATE_RSP, &mut out, &|c| {
+                ber::write_bool(*ok, c);
+            }),
+            McamPdu::DeleteMovieReq { title } => write(T_DELETE_REQ, &mut out, &|c| {
+                ber::write_string(title, c);
+            }),
+            McamPdu::DeleteMovieRsp { ok } => write(T_DELETE_RSP, &mut out, &|c| {
+                ber::write_bool(*ok, c);
+            }),
+            McamPdu::SelectMovieReq { title, client_addr } => {
+                write(T_SELECT_REQ, &mut out, &|c| {
+                    ber::write_string(title, c);
+                    ber::write_integer(i64::from(*client_addr), c);
+                });
+            }
+            McamPdu::SelectMovieRsp { params } => write(T_SELECT_RSP, &mut out, &|c| {
+                match params {
+                    None => ber::write_bool(false, c),
+                    Some(p) => {
+                        ber::write_bool(true, c);
+                        ber::write_integer(i64::from(p.provider_addr), c);
+                        ber::write_integer(i64::from(p.stream_id), c);
+                        ber::write_string(&p.movie.title, c);
+                        ber::write_string(&p.movie.format, c);
+                        ber::write_integer(i64::from(p.movie.frame_rate), c);
+                        ber::write_integer(p.movie.frame_count as i64, c);
+                    }
+                }
+            }),
+            McamPdu::DeselectMovieReq => write(T_DESELECT_REQ, &mut out, &|_| {}),
+            McamPdu::DeselectMovieRsp => write(T_DESELECT_RSP, &mut out, &|_| {}),
+            McamPdu::ListMoviesReq { title_contains } => write(T_LIST_REQ, &mut out, &|c| {
+                ber::write_string(title_contains, c);
+            }),
+            McamPdu::ListMoviesRsp { titles } => write(T_LIST_RSP, &mut out, &|c| {
+                ber::write_constructed(Tag::SEQUENCE, c, |list| {
+                    for t in titles {
+                        ber::write_string(t, list);
+                    }
+                });
+            }),
+            McamPdu::QueryAttrsReq { title, attrs } => write(T_QUERY_REQ, &mut out, &|c| {
+                ber::write_string(title, c);
+                ber::write_constructed(Tag::SEQUENCE, c, |list| {
+                    for a in attrs {
+                        ber::write_string(a, list);
+                    }
+                });
+            }),
+            McamPdu::QueryAttrsRsp { attrs } => write(T_QUERY_RSP, &mut out, &|c| {
+                match attrs {
+                    None => ber::write_bool(false, c),
+                    Some(list) => {
+                        ber::write_bool(true, c);
+                        write_attr_list(list, c);
+                    }
+                }
+            }),
+            McamPdu::ModifyAttrsReq { title, puts } => write(T_MODIFY_REQ, &mut out, &|c| {
+                ber::write_string(title, c);
+                write_attr_list(puts, c);
+            }),
+            McamPdu::ModifyAttrsRsp { ok } => write(T_MODIFY_RSP, &mut out, &|c| {
+                ber::write_bool(*ok, c);
+            }),
+            McamPdu::PlayReq { speed_pct } => write(T_PLAY_REQ, &mut out, &|c| {
+                ber::write_integer(i64::from(*speed_pct), c);
+            }),
+            McamPdu::PlayRsp { ok } => write(T_PLAY_RSP, &mut out, &|c| {
+                ber::write_bool(*ok, c);
+            }),
+            McamPdu::PauseReq => write(T_PAUSE_REQ, &mut out, &|_| {}),
+            McamPdu::PauseRsp => write(T_PAUSE_RSP, &mut out, &|_| {}),
+            McamPdu::StopReq => write(T_STOP_REQ, &mut out, &|_| {}),
+            McamPdu::StopRsp => write(T_STOP_RSP, &mut out, &|_| {}),
+            McamPdu::SeekReq { frame } => write(T_SEEK_REQ, &mut out, &|c| {
+                ber::write_integer(*frame as i64, c);
+            }),
+            McamPdu::SeekRsp { ok } => write(T_SEEK_RSP, &mut out, &|c| {
+                ber::write_bool(*ok, c);
+            }),
+            McamPdu::RecordReq { title, frames } => write(T_RECORD_REQ, &mut out, &|c| {
+                ber::write_string(title, c);
+                ber::write_integer(*frames as i64, c);
+            }),
+            McamPdu::RecordRsp { ok } => write(T_RECORD_RSP, &mut out, &|c| {
+                ber::write_bool(*ok, c);
+            }),
+            McamPdu::ErrorRsp { code, message } => write(T_ERROR_RSP, &mut out, &|c| {
+                ber::write_integer(i64::from(*code), c);
+                ber::write_string(message, c);
+            }),
+        }
+        out
+    }
+
+    /// Parses a PDU.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Asn1Error`] on malformed BER or unknown tags.
+    pub fn decode(data: &[u8]) -> Result<McamPdu, Asn1Error> {
+        let mut r = Reader::new(data);
+        let (tag, content) = r.read_tlv()?;
+        if tag.class != asn1::TagClass::Application || !tag.constructed {
+            return Err(Asn1Error::UnknownVariant { what: "McamPdu", value: i64::from(tag.number) });
+        }
+        let mut c = r.descend(content)?;
+        let pdu = match tag.number {
+            T_ASSOC_REQ => McamPdu::AssociateReq { user: ber::read_string(&mut c)? },
+            T_ASSOC_RSP => McamPdu::AssociateRsp { accepted: ber::read_bool(&mut c)? },
+            T_RELEASE_REQ => McamPdu::ReleaseReq,
+            T_RELEASE_RSP => McamPdu::ReleaseRsp,
+            T_CREATE_REQ => McamPdu::CreateMovieReq {
+                title: ber::read_string(&mut c)?,
+                format: ber::read_string(&mut c)?,
+                frame_rate: ber::read_integer(&mut c)?.clamp(0, i64::from(u32::MAX)) as u32,
+                frame_count: ber::read_integer(&mut c)?.max(0) as u64,
+            },
+            T_CREATE_RSP => McamPdu::CreateMovieRsp { ok: ber::read_bool(&mut c)? },
+            T_DELETE_REQ => McamPdu::DeleteMovieReq { title: ber::read_string(&mut c)? },
+            T_DELETE_RSP => McamPdu::DeleteMovieRsp { ok: ber::read_bool(&mut c)? },
+            T_SELECT_REQ => McamPdu::SelectMovieReq {
+                title: ber::read_string(&mut c)?,
+                client_addr: ber::read_integer(&mut c)?.clamp(0, i64::from(u32::MAX)) as u32,
+            },
+            T_SELECT_RSP => {
+                let ok = ber::read_bool(&mut c)?;
+                let params = if ok {
+                    Some(StreamParams {
+                        provider_addr: ber::read_integer(&mut c)?.clamp(0, i64::from(u32::MAX))
+                            as u32,
+                        stream_id: ber::read_integer(&mut c)?.clamp(0, i64::from(u32::MAX)) as u32,
+                        movie: MovieDesc {
+                            title: ber::read_string(&mut c)?,
+                            format: ber::read_string(&mut c)?,
+                            frame_rate: ber::read_integer(&mut c)?.clamp(0, 120) as u32,
+                            frame_count: ber::read_integer(&mut c)?.max(0) as u64,
+                        },
+                    })
+                } else {
+                    None
+                };
+                McamPdu::SelectMovieRsp { params }
+            }
+            T_DESELECT_REQ => McamPdu::DeselectMovieReq,
+            T_DESELECT_RSP => McamPdu::DeselectMovieRsp,
+            T_LIST_REQ => McamPdu::ListMoviesReq { title_contains: ber::read_string(&mut c)? },
+            T_LIST_RSP => {
+                let list = c.read_expect(Tag::SEQUENCE)?;
+                let mut lr = c.descend(list)?;
+                let mut titles = Vec::new();
+                while !lr.is_empty() {
+                    titles.push(ber::read_string(&mut lr)?);
+                }
+                McamPdu::ListMoviesRsp { titles }
+            }
+            T_QUERY_REQ => {
+                let title = ber::read_string(&mut c)?;
+                let list = c.read_expect(Tag::SEQUENCE)?;
+                let mut lr = c.descend(list)?;
+                let mut attrs = Vec::new();
+                while !lr.is_empty() {
+                    attrs.push(ber::read_string(&mut lr)?);
+                }
+                McamPdu::QueryAttrsReq { title, attrs }
+            }
+            T_QUERY_RSP => {
+                let ok = ber::read_bool(&mut c)?;
+                let attrs = if ok { Some(read_attr_list(&mut c)?) } else { None };
+                McamPdu::QueryAttrsRsp { attrs }
+            }
+            T_MODIFY_REQ => McamPdu::ModifyAttrsReq {
+                title: ber::read_string(&mut c)?,
+                puts: read_attr_list(&mut c)?,
+            },
+            T_MODIFY_RSP => McamPdu::ModifyAttrsRsp { ok: ber::read_bool(&mut c)? },
+            T_PLAY_REQ => McamPdu::PlayReq {
+                speed_pct: ber::read_integer(&mut c)?.clamp(1, 1000) as u32,
+            },
+            T_PLAY_RSP => McamPdu::PlayRsp { ok: ber::read_bool(&mut c)? },
+            T_PAUSE_REQ => McamPdu::PauseReq,
+            T_PAUSE_RSP => McamPdu::PauseRsp,
+            T_STOP_REQ => McamPdu::StopReq,
+            T_STOP_RSP => McamPdu::StopRsp,
+            T_SEEK_REQ => McamPdu::SeekReq { frame: ber::read_integer(&mut c)?.max(0) as u64 },
+            T_SEEK_RSP => McamPdu::SeekRsp { ok: ber::read_bool(&mut c)? },
+            T_RECORD_REQ => McamPdu::RecordReq {
+                title: ber::read_string(&mut c)?,
+                frames: ber::read_integer(&mut c)?.max(0) as u64,
+            },
+            T_RECORD_RSP => McamPdu::RecordRsp { ok: ber::read_bool(&mut c)? },
+            T_ERROR_RSP => McamPdu::ErrorRsp {
+                code: ber::read_integer(&mut c)?.clamp(0, i64::from(u32::MAX)) as u32,
+                message: ber::read_string(&mut c)?,
+            },
+            other => {
+                return Err(Asn1Error::UnknownVariant {
+                    what: "McamPdu",
+                    value: i64::from(other),
+                })
+            }
+        };
+        c.expect_end()?;
+        r.expect_end()?;
+        Ok(pdu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<McamPdu> {
+        vec![
+            McamPdu::AssociateReq { user: "keller".into() },
+            McamPdu::AssociateRsp { accepted: true },
+            McamPdu::ReleaseReq,
+            McamPdu::ReleaseRsp,
+            McamPdu::CreateMovieReq {
+                title: "Star Wars".into(),
+                format: "XMovie-24".into(),
+                frame_rate: 25,
+                frame_count: 150_000,
+            },
+            McamPdu::CreateMovieRsp { ok: true },
+            McamPdu::DeleteMovieReq { title: "Old".into() },
+            McamPdu::DeleteMovieRsp { ok: false },
+            McamPdu::SelectMovieReq { title: "Star Wars".into(), client_addr: 12 },
+            McamPdu::SelectMovieRsp {
+                params: Some(StreamParams {
+                    provider_addr: 3,
+                    stream_id: 77,
+                    movie: MovieDesc {
+                        title: "Star Wars".into(),
+                        format: "XMovie-24".into(),
+                        frame_rate: 25,
+                        frame_count: 150_000,
+                    },
+                }),
+            },
+            McamPdu::SelectMovieRsp { params: None },
+            McamPdu::DeselectMovieReq,
+            McamPdu::DeselectMovieRsp,
+            McamPdu::ListMoviesReq { title_contains: "star".into() },
+            McamPdu::ListMoviesRsp { titles: vec!["Star Wars".into(), "Star Trek".into()] },
+            McamPdu::QueryAttrsReq { title: "X".into(), attrs: vec!["framerate".into()] },
+            McamPdu::QueryAttrsRsp {
+                attrs: Some(vec![("framerate".into(), Value::Int(25))]),
+            },
+            McamPdu::QueryAttrsRsp { attrs: None },
+            McamPdu::ModifyAttrsReq {
+                title: "X".into(),
+                puts: vec![("framerate".into(), Value::Int(30))],
+            },
+            McamPdu::ModifyAttrsRsp { ok: true },
+            McamPdu::PlayReq { speed_pct: 100 },
+            McamPdu::PlayRsp { ok: true },
+            McamPdu::PauseReq,
+            McamPdu::PauseRsp,
+            McamPdu::StopReq,
+            McamPdu::StopRsp,
+            McamPdu::SeekReq { frame: 1234 },
+            McamPdu::SeekRsp { ok: true },
+            McamPdu::RecordReq { title: "Lecture".into(), frames: 500 },
+            McamPdu::RecordRsp { ok: true },
+            McamPdu::ErrorRsp { code: 42, message: "no such movie".into() },
+        ]
+    }
+
+    #[test]
+    fn every_pdu_roundtrips() {
+        for pdu in samples() {
+            let enc = pdu.encode();
+            let dec = McamPdu::decode(&enc).unwrap_or_else(|e| panic!("{pdu:?}: {e}"));
+            assert_eq!(dec, pdu);
+        }
+    }
+
+    #[test]
+    fn request_classification() {
+        assert!(McamPdu::PlayReq { speed_pct: 100 }.is_request());
+        assert!(!McamPdu::PlayRsp { ok: true }.is_request());
+        assert!(McamPdu::ReleaseReq.is_request());
+        assert!(!McamPdu::ErrorRsp { code: 0, message: String::new() }.is_request());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(McamPdu::decode(&[]).is_err());
+        assert!(McamPdu::decode(&[0x02, 0x01, 0x00]).is_err());
+        let mut enc = McamPdu::PauseReq.encode();
+        enc[0] = 0x7f; // unknown application tag (high form)
+        assert!(McamPdu::decode(&enc).is_err());
+        // Truncated content.
+        let enc = McamPdu::AssociateReq { user: "u".into() }.encode();
+        assert!(McamPdu::decode(&enc[..enc.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,542 @@
+//! The server-side MCAM entity: server MCA with DUA/SUA/EUA child
+//! agents, and the server root module that spawns one entity per
+//! incoming connection (paper §4.1: "a protocol entity implemented as
+//! a process can accept a new CONNECT request and then create a new
+//! child module to handle the new connection").
+
+use crate::agents::{source_for_entry, DuaAgent, EuaAgent, SuaAgent, AGENT_IP};
+use crate::pdus::{McamPdu, MovieDesc, StreamParams};
+use crate::service::{
+    DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest,
+    EquipResponse, StreamOp, StreamOutcome, StreamRequest, StreamResponse,
+};
+use crate::sps::StreamProviderSystem;
+use crate::stacks::{wire_lower_stack, StackKind};
+use directory::{Dn, Dua, MovieEntry};
+use equipment::Eua;
+use estelle::{
+    downcast, ip, Ctx, Interaction, IpIndex, ModuleKind, ModuleLabels, StateId, StateMachine,
+    Transition,
+};
+use netsim::{Medium, SimDuration};
+use presentation::service::{
+    PAbortInd, PConInd, PConRsp, PDataInd, PDataReq, PRelInd, PRelRsp,
+};
+use std::sync::Arc;
+
+/// Interaction point to the presentation service.
+pub const DOWN: IpIndex = IpIndex(0);
+/// Interaction point to the DUA child agent.
+pub const TO_DUA: IpIndex = IpIndex(1);
+/// Interaction point to the SUA child agent.
+pub const TO_SUA: IpIndex = IpIndex(2);
+/// Interaction point to the EUA child agent.
+pub const TO_EUA: IpIndex = IpIndex(3);
+
+/// Awaiting an association.
+pub const IDLE: StateId = StateId(0);
+/// Associated; no server-side operation outstanding.
+pub const READY: StateId = StateId(1);
+/// An agent round-trip is outstanding.
+pub const BUSY: StateId = StateId(2);
+
+const COST_REQ: SimDuration = SimDuration::from_micros(250);
+
+fn is<T: Interaction>(msg: Option<&dyn Interaction>) -> bool {
+    msg.is_some_and(|m| m.is::<T>())
+}
+
+/// Shared handles every server entity needs.
+#[derive(Debug, Clone)]
+pub struct ServerServices {
+    /// Directory client.
+    pub dua: Dua,
+    /// Directory subtree holding the movies.
+    pub base: Dn,
+    /// Stream provider of this server machine.
+    pub sps: Arc<StreamProviderSystem>,
+    /// Equipment client for the server site.
+    pub eua: Eua,
+    /// The site's equipment control agent (for direct inspection and
+    /// competing reservations in tests).
+    pub eca: Arc<equipment::Eca>,
+    /// Equipment site name.
+    pub site: String,
+}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    Create,
+    Delete,
+    List,
+    Query,
+    Modify,
+    SelectLookup { client_addr: u32 },
+    SelectOpen { entry: MovieEntry },
+    Deselect,
+    Play,
+    Pause,
+    Stop,
+    Seek,
+    RecordAcquire { title: String, frames: u64 },
+    RecordAdd,
+    RecordRelease { ok: bool },
+}
+
+/// The server-side Movie Control Agent.
+#[derive(Debug)]
+pub struct ServerMca {
+    services: ServerServices,
+    /// Associated user, when bound.
+    pub user: Option<String>,
+    selected: Option<StreamParams>,
+    pending: Option<Pending>,
+    /// Requests processed.
+    pub requests: u64,
+    /// Protocol/decode errors observed.
+    pub protocol_errors: u64,
+    /// Labels inherited by the child agents.
+    labels: ModuleLabels,
+}
+
+impl ServerMca {
+    /// Creates a server MCA over the shared services.
+    pub fn new(services: ServerServices, labels: ModuleLabels) -> Self {
+        ServerMca {
+            services,
+            user: None,
+            selected: None,
+            pending: None,
+            requests: 0,
+            protocol_errors: 0,
+            labels,
+        }
+    }
+
+    fn reply(&self, ctx: &mut Ctx<'_>, pdu: McamPdu) {
+        ctx.output(DOWN, PDataReq { context_id: 1, user_data: pdu.encode() });
+    }
+
+    fn error(&self, ctx: &mut Ctx<'_>, code: u32, message: &str) {
+        self.reply(ctx, McamPdu::ErrorRsp { code, message: message.into() });
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, pdu: McamPdu) {
+        use McamPdu::*;
+        self.requests += 1;
+        match pdu {
+            AssociateReq { .. } => {
+                // Association is carried in the P-CONNECT exchange;
+                // a second one inside the data phase is an error.
+                self.protocol_errors += 1;
+                self.error(ctx, 902, "already associated");
+            }
+            ReleaseReq => {
+                // Tear down any CM stream, then confirm.
+                if let Some(sel) = self.selected.take() {
+                    let _ = self.services.sps.close(sel.stream_id);
+                }
+                self.reply(ctx, ReleaseRsp);
+            }
+            CreateMovieReq { title, format, frame_rate, frame_count } => {
+                let mut entry = MovieEntry::new(title, format!("node-{}", self.services.sps.addr().0));
+                entry.format = format;
+                entry.frame_rate = frame_rate.clamp(1, 120);
+                entry.frame_count = frame_count;
+                self.pending = Some(Pending::Create);
+                ctx.output(TO_DUA, DirRequest(DirOp::Add { entry }));
+                ctx.goto(BUSY);
+            }
+            DeleteMovieReq { title } => {
+                self.pending = Some(Pending::Delete);
+                ctx.output(TO_DUA, DirRequest(DirOp::Remove { title }));
+                ctx.goto(BUSY);
+            }
+            SelectMovieReq { title, client_addr } => {
+                self.pending = Some(Pending::SelectLookup { client_addr });
+                ctx.output(TO_DUA, DirRequest(DirOp::Lookup { title }));
+                ctx.goto(BUSY);
+            }
+            DeselectMovieReq => match self.selected.take() {
+                Some(sel) => {
+                    self.pending = Some(Pending::Deselect);
+                    ctx.output(TO_SUA, StreamRequest(StreamOp::Close { stream_id: sel.stream_id }));
+                    ctx.goto(BUSY);
+                }
+                None => self.error(ctx, 404, "no movie selected"),
+            },
+            ListMoviesReq { title_contains } => {
+                self.pending = Some(Pending::List);
+                ctx.output(TO_DUA, DirRequest(DirOp::List { contains: title_contains }));
+                ctx.goto(BUSY);
+            }
+            QueryAttrsReq { title, attrs } => {
+                self.pending = Some(Pending::Query);
+                ctx.output(TO_DUA, DirRequest(DirOp::Query { title, attrs }));
+                ctx.goto(BUSY);
+            }
+            ModifyAttrsReq { title, puts } => {
+                self.pending = Some(Pending::Modify);
+                ctx.output(TO_DUA, DirRequest(DirOp::Modify { title, puts }));
+                ctx.goto(BUSY);
+            }
+            PlayReq { speed_pct } => match &self.selected {
+                Some(sel) => {
+                    self.pending = Some(Pending::Play);
+                    ctx.output(
+                        TO_SUA,
+                        StreamRequest(StreamOp::Play { stream_id: sel.stream_id, speed_pct }),
+                    );
+                    ctx.goto(BUSY);
+                }
+                None => self.error(ctx, 404, "no movie selected"),
+            },
+            PauseReq => match &self.selected {
+                Some(sel) => {
+                    self.pending = Some(Pending::Pause);
+                    ctx.output(TO_SUA, StreamRequest(StreamOp::Pause { stream_id: sel.stream_id }));
+                    ctx.goto(BUSY);
+                }
+                None => self.error(ctx, 404, "no movie selected"),
+            },
+            StopReq => match &self.selected {
+                Some(sel) => {
+                    self.pending = Some(Pending::Stop);
+                    ctx.output(TO_SUA, StreamRequest(StreamOp::Stop { stream_id: sel.stream_id }));
+                    ctx.goto(BUSY);
+                }
+                None => self.error(ctx, 404, "no movie selected"),
+            },
+            SeekReq { frame } => match &self.selected {
+                Some(sel) => {
+                    self.pending = Some(Pending::Seek);
+                    ctx.output(
+                        TO_SUA,
+                        StreamRequest(StreamOp::Seek { stream_id: sel.stream_id, frame }),
+                    );
+                    ctx.goto(BUSY);
+                }
+                None => self.error(ctx, 404, "no movie selected"),
+            },
+            RecordReq { title, frames } => {
+                self.pending = Some(Pending::RecordAcquire { title, frames });
+                ctx.output(
+                    TO_EUA,
+                    EquipRequest(EquipOp::AcquireClass(equipment::EquipmentClass::Camera)),
+                );
+                ctx.goto(BUSY);
+            }
+            other => {
+                self.protocol_errors += 1;
+                self.error(ctx, 903, &format!("unexpected PDU {other:?}"));
+            }
+        }
+    }
+
+    fn on_dir_response(&mut self, ctx: &mut Ctx<'_>, outcome: DirOutcome) {
+        let pending = self.pending.take();
+        match pending {
+            Some(Pending::Create) => {
+                self.reply(ctx, McamPdu::CreateMovieRsp { ok: outcome == DirOutcome::Done });
+                ctx.goto(READY);
+            }
+            Some(Pending::Delete) => {
+                self.reply(ctx, McamPdu::DeleteMovieRsp { ok: outcome == DirOutcome::Done });
+                ctx.goto(READY);
+            }
+            Some(Pending::List) => {
+                let titles = match outcome {
+                    DirOutcome::Titles(t) => t,
+                    _ => Vec::new(),
+                };
+                self.reply(ctx, McamPdu::ListMoviesRsp { titles });
+                ctx.goto(READY);
+            }
+            Some(Pending::Query) => {
+                let attrs = match outcome {
+                    DirOutcome::Attrs(a) => Some(a),
+                    _ => None,
+                };
+                self.reply(ctx, McamPdu::QueryAttrsRsp { attrs });
+                ctx.goto(READY);
+            }
+            Some(Pending::Modify) => {
+                self.reply(ctx, McamPdu::ModifyAttrsRsp { ok: outcome == DirOutcome::Done });
+                ctx.goto(READY);
+            }
+            Some(Pending::SelectLookup { client_addr }) => match outcome {
+                DirOutcome::Movie(entry) => {
+                    let movie = source_for_entry(&entry);
+                    self.pending = Some(Pending::SelectOpen { entry });
+                    ctx.output(
+                        TO_SUA,
+                        StreamRequest(StreamOp::Open { movie, dest: client_addr }),
+                    );
+                    ctx.goto(BUSY);
+                }
+                _ => {
+                    self.reply(ctx, McamPdu::SelectMovieRsp { params: None });
+                    ctx.goto(READY);
+                }
+            },
+            Some(Pending::RecordAdd) => {
+                let ok = outcome == DirOutcome::Done;
+                self.pending = Some(Pending::RecordRelease { ok });
+                ctx.output(TO_EUA, EquipRequest(EquipOp::ReleaseAll));
+                ctx.goto(BUSY);
+            }
+            other => {
+                self.protocol_errors += 1;
+                self.pending = other;
+                ctx.goto(READY);
+            }
+        }
+    }
+
+    fn on_stream_response(&mut self, ctx: &mut Ctx<'_>, outcome: StreamOutcome) {
+        let pending = self.pending.take();
+        match pending {
+            Some(Pending::SelectOpen { entry }) => match outcome {
+                StreamOutcome::Opened { stream_id, provider_addr } => {
+                    let params = StreamParams {
+                        provider_addr,
+                        stream_id,
+                        movie: MovieDesc {
+                            title: entry.title.clone(),
+                            format: entry.format.clone(),
+                            frame_rate: entry.frame_rate,
+                            frame_count: entry.frame_count,
+                        },
+                    };
+                    self.selected = Some(params.clone());
+                    self.reply(ctx, McamPdu::SelectMovieRsp { params: Some(params) });
+                    ctx.goto(READY);
+                }
+                _ => {
+                    self.reply(ctx, McamPdu::SelectMovieRsp { params: None });
+                    ctx.goto(READY);
+                }
+            },
+            Some(Pending::Deselect) => {
+                self.reply(ctx, McamPdu::DeselectMovieRsp);
+                ctx.goto(READY);
+            }
+            Some(Pending::Play) => {
+                self.reply(ctx, McamPdu::PlayRsp { ok: outcome == StreamOutcome::Done });
+                ctx.goto(READY);
+            }
+            Some(Pending::Pause) => {
+                self.reply(ctx, McamPdu::PauseRsp);
+                ctx.goto(READY);
+            }
+            Some(Pending::Stop) => {
+                self.reply(ctx, McamPdu::StopRsp);
+                ctx.goto(READY);
+            }
+            Some(Pending::Seek) => {
+                self.reply(ctx, McamPdu::SeekRsp { ok: outcome == StreamOutcome::Done });
+                ctx.goto(READY);
+            }
+            other => {
+                self.protocol_errors += 1;
+                self.pending = other;
+                ctx.goto(READY);
+            }
+        }
+    }
+
+    fn on_equip_response(&mut self, ctx: &mut Ctx<'_>, outcome: EquipOutcome) {
+        let pending = self.pending.take();
+        match pending {
+            Some(Pending::RecordAcquire { title, frames }) => match outcome {
+                EquipOutcome::Acquired(_) => {
+                    let mut entry =
+                        MovieEntry::new(title, format!("node-{}", self.services.sps.addr().0));
+                    entry.frame_count = frames;
+                    self.pending = Some(Pending::RecordAdd);
+                    ctx.output(TO_DUA, DirRequest(DirOp::Add { entry }));
+                    ctx.goto(BUSY);
+                }
+                _ => {
+                    self.reply(ctx, McamPdu::RecordRsp { ok: false });
+                    ctx.goto(READY);
+                }
+            },
+            Some(Pending::RecordRelease { ok }) => {
+                self.reply(ctx, McamPdu::RecordRsp { ok });
+                ctx.goto(READY);
+            }
+            other => {
+                self.protocol_errors += 1;
+                self.pending = other;
+                ctx.goto(READY);
+            }
+        }
+    }
+}
+
+impl StateMachine for ServerMca {
+    fn num_ips(&self) -> usize {
+        4
+    }
+
+    fn initial_state(&self) -> StateId {
+        IDLE
+    }
+
+    fn on_init(&mut self, ctx: &mut Ctx<'_>) {
+        // Fig. 3: the MCA's three sibling agents with external bodies.
+        let dua = ctx.create_child(
+            "dua",
+            ModuleKind::Process,
+            self.labels,
+            DuaAgent::new(self.services.dua.clone(), self.services.base.clone()),
+        );
+        let sua = ctx.create_child(
+            "sua",
+            ModuleKind::Process,
+            self.labels,
+            SuaAgent::new(Arc::clone(&self.services.sps)),
+        );
+        let eua = ctx.create_child(
+            "eua",
+            ModuleKind::Process,
+            self.labels,
+            EuaAgent::new(self.services.eua.clone(), self.services.site.clone()),
+        );
+        ctx.connect(ctx.self_ip(TO_DUA), ip(dua, AGENT_IP));
+        ctx.connect(ctx.self_ip(TO_SUA), ip(sua, AGENT_IP));
+        ctx.connect(ctx.self_ip(TO_EUA), ip(eua, AGENT_IP));
+    }
+
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![
+            Transition::on("assoc-ind", IDLE, DOWN, |m: &mut Self, ctx, msg| {
+                let ind = downcast::<PConInd>(msg.unwrap()).unwrap();
+                match McamPdu::decode(&ind.user_data) {
+                    Ok(McamPdu::AssociateReq { user }) => {
+                        m.user = Some(user);
+                        let aare = McamPdu::AssociateRsp { accepted: true };
+                        ctx.output(DOWN, PConRsp { accept: true, user_data: aare.encode() });
+                        ctx.goto(READY);
+                    }
+                    _ => {
+                        m.protocol_errors += 1;
+                        ctx.output(DOWN, PConRsp { accept: false, user_data: Vec::new() });
+                    }
+                }
+            })
+            .provided(|_, msg| is::<PConInd>(msg))
+            .cost(COST_REQ),
+            Transition::on("request", READY, DOWN, |m: &mut Self, ctx, msg| {
+                let ind = downcast::<PDataInd>(msg.unwrap()).unwrap();
+                match McamPdu::decode(&ind.user_data) {
+                    Ok(pdu) if pdu.is_request() => m.dispatch(ctx, pdu),
+                    Ok(_) | Err(_) => {
+                        m.protocol_errors += 1;
+                        m.error(ctx, 904, "malformed request");
+                    }
+                }
+            })
+            .provided(|_, msg| is::<PDataInd>(msg))
+            .cost(COST_REQ),
+            Transition::on("dua-rsp", BUSY, TO_DUA, |m: &mut Self, ctx, msg| {
+                let rsp = downcast::<DirResponse>(msg.unwrap()).unwrap();
+                m.on_dir_response(ctx, rsp.0);
+            })
+            .cost(COST_REQ),
+            Transition::on("sua-rsp", BUSY, TO_SUA, |m: &mut Self, ctx, msg| {
+                let rsp = downcast::<StreamResponse>(msg.unwrap()).unwrap();
+                m.on_stream_response(ctx, rsp.0);
+            })
+            .cost(COST_REQ),
+            Transition::on("eua-rsp", BUSY, TO_EUA, |m: &mut Self, ctx, msg| {
+                let rsp = downcast::<EquipResponse>(msg.unwrap()).unwrap();
+                m.on_equip_response(ctx, rsp.0);
+            })
+            .cost(COST_REQ),
+            Transition::on("rel-ind", READY, DOWN, |m: &mut Self, ctx, msg| {
+                let _ = downcast::<PRelInd>(msg.unwrap()).unwrap();
+                if let Some(sel) = m.selected.take() {
+                    let _ = m.services.sps.close(sel.stream_id);
+                }
+                m.user = None;
+                ctx.output(DOWN, PRelRsp);
+            })
+            .provided(|_, msg| is::<PRelInd>(msg))
+            .to(IDLE)
+            .cost(COST_REQ),
+            Transition::on("abort-ind", IDLE, DOWN, |m: &mut Self, ctx, msg| {
+                let _ = downcast::<PAbortInd>(msg.unwrap()).unwrap();
+                if let Some(sel) = m.selected.take() {
+                    let _ = m.services.sps.close(sel.stream_id);
+                }
+                m.user = None;
+                let _ = ctx;
+            })
+            .any_state()
+            .provided(|_, msg| is::<PAbortInd>(msg))
+            .priority(1)
+            .to(IDLE)
+            .cost(COST_REQ),
+        ]
+    }
+}
+
+/// The server root: one per server machine. Spawns a complete server
+/// entity (MCA + lower stack) for every connection medium handed to
+/// it — the dynamic child-creation pattern of §4.
+pub struct ServerRoot {
+    services: ServerServices,
+    stack: StackKind,
+    /// Connection media awaiting a server entity, with their
+    /// connection index.
+    pub pending_media: Vec<(Box<dyn Medium>, u16)>,
+    /// MCA module ids of spawned entities.
+    pub entities: Vec<estelle::ModuleId>,
+}
+
+impl std::fmt::Debug for ServerRoot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerRoot")
+            .field("stack", &self.stack)
+            .field("pending", &self.pending_media.len())
+            .field("entities", &self.entities.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerRoot {
+    /// Creates a server root spawning entities of the given stack
+    /// flavour.
+    pub fn new(services: ServerServices, stack: StackKind) -> Self {
+        ServerRoot { services, stack, pending_media: Vec::new(), entities: Vec::new() }
+    }
+}
+
+impl StateMachine for ServerRoot {
+    fn num_ips(&self) -> usize {
+        0
+    }
+
+    fn initial_state(&self) -> StateId {
+        StateId(0)
+    }
+
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![Transition::spontaneous("accept", StateId(0), |m: &mut Self, ctx, _| {
+            let (medium, conn) = m.pending_media.remove(0);
+            let labels = ModuleLabels::layer_conn(0, conn);
+            let mca = ctx.create_child(
+                format!("server-mca-{conn}"),
+                ModuleKind::Process,
+                labels,
+                ServerMca::new(m.services.clone(), labels),
+            );
+            wire_lower_stack(ctx, mca, DOWN, m.stack, medium, conn);
+            m.entities.push(mca);
+        })
+        .provided(|m, _| !m.pending_media.is_empty())
+        .cost(SimDuration::from_micros(400))]
+    }
+}

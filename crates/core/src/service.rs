@@ -1,0 +1,274 @@
+//! MCAM service primitives: the interactions between the application
+//! module and the Movie Control Agent, and between the MCA and its
+//! DUA/SUA/EUA child agents.
+
+use crate::pdus::McamPdu;
+use directory::MovieEntry;
+use estelle::impl_interaction;
+use mtp::MovieSource;
+
+/// An application-level MCAM operation (what a button click in the
+/// paper's generated X interface would emit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum McamOp {
+    /// Open the association (creates the protocol stack on demand).
+    Associate {
+        /// User name.
+        user: String,
+    },
+    /// Release the association.
+    Release,
+    /// Create a movie entry.
+    CreateMovie {
+        /// Title.
+        title: String,
+        /// Image format.
+        format: String,
+        /// Frame rate.
+        frame_rate: u32,
+        /// Total frames.
+        frame_count: u64,
+    },
+    /// Delete a movie entry.
+    DeleteMovie {
+        /// Title.
+        title: String,
+    },
+    /// Select a movie for streaming.
+    SelectMovie {
+        /// Title.
+        title: String,
+    },
+    /// Deselect the current movie.
+    Deselect,
+    /// List movies by title substring.
+    List {
+        /// Substring (empty = all).
+        contains: String,
+    },
+    /// Query movie attributes.
+    Query {
+        /// Title.
+        title: String,
+        /// Attribute names (empty = all).
+        attrs: Vec<String>,
+    },
+    /// Modify movie attributes.
+    Modify {
+        /// Title.
+        title: String,
+        /// Attributes to set.
+        puts: Vec<(String, asn1::Value)>,
+    },
+    /// Start/resume playback.
+    Play {
+        /// Speed in percent of nominal.
+        speed_pct: u32,
+    },
+    /// Pause playback.
+    Pause,
+    /// Stop playback.
+    Stop,
+    /// Seek to a frame.
+    Seek {
+        /// Frame index.
+        frame: u64,
+    },
+    /// Record a new movie from equipment.
+    Record {
+        /// New title.
+        title: String,
+        /// Length in frames.
+        frames: u64,
+    },
+}
+
+/// Application request to the MCA.
+#[derive(Debug)]
+pub struct McamReq(pub McamOp);
+
+/// MCA confirmation to the application: the response PDU received
+/// from the peer (or synthesized locally for connection failures).
+#[derive(Debug)]
+pub struct McamCnf(pub McamPdu);
+
+/// Root-to-MCA instruction to start association establishment (sent
+/// after the client root has created the stack on demand, paper §4.1).
+#[derive(Debug)]
+pub struct StartAssociate {
+    /// User name for the AssociateReq.
+    pub user: String,
+}
+
+// --- MCA <-> DUA ------------------------------------------------------
+
+/// Directory operations the MCA delegates to its DUA agent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirOp {
+    /// Add a movie entry.
+    Add {
+        /// The entry.
+        entry: MovieEntry,
+    },
+    /// Remove by title.
+    Remove {
+        /// Title.
+        title: String,
+    },
+    /// Look up one movie by title.
+    Lookup {
+        /// Title.
+        title: String,
+    },
+    /// List titles containing a substring.
+    List {
+        /// Substring.
+        contains: String,
+    },
+    /// Query raw attributes.
+    Query {
+        /// Title.
+        title: String,
+        /// Names (empty = all).
+        attrs: Vec<String>,
+    },
+    /// Put attributes.
+    Modify {
+        /// Title.
+        title: String,
+        /// Attributes to set.
+        puts: Vec<(String, asn1::Value)>,
+    },
+}
+
+/// Request to the DUA agent.
+#[derive(Debug)]
+pub struct DirRequest(pub DirOp);
+
+/// DUA agent outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirOutcome {
+    /// Operation succeeded with no payload.
+    Done,
+    /// A movie entry.
+    Movie(MovieEntry),
+    /// A list of titles.
+    Titles(Vec<String>),
+    /// Raw attributes.
+    Attrs(Vec<(String, asn1::Value)>),
+    /// Failure with a message.
+    Failed(String),
+}
+
+/// Response from the DUA agent.
+#[derive(Debug)]
+pub struct DirResponse(pub DirOutcome);
+
+// --- MCA <-> SUA/SPA --------------------------------------------------
+
+/// Stream-control operations the MCA delegates to its SUA/SPA agent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamOp {
+    /// Open a stream for a movie towards a client address.
+    Open {
+        /// Synthetic source parameters derived from the movie entry.
+        movie: MovieSource,
+        /// Destination datagram address.
+        dest: u32,
+    },
+    /// Close a stream.
+    Close {
+        /// Stream id.
+        stream_id: u32,
+    },
+    /// Start/resume at a speed.
+    Play {
+        /// Stream id.
+        stream_id: u32,
+        /// Speed percent.
+        speed_pct: u32,
+    },
+    /// Pause.
+    Pause {
+        /// Stream id.
+        stream_id: u32,
+    },
+    /// Stop and rewind.
+    Stop {
+        /// Stream id.
+        stream_id: u32,
+    },
+    /// Seek to a frame.
+    Seek {
+        /// Stream id.
+        stream_id: u32,
+        /// Frame index.
+        frame: u64,
+    },
+}
+
+/// Request to the SUA agent.
+#[derive(Debug)]
+pub struct StreamRequest(pub StreamOp);
+
+/// SUA agent outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamOutcome {
+    /// Stream opened with this id.
+    Opened {
+        /// Allocated stream id.
+        stream_id: u32,
+        /// Provider address.
+        provider_addr: u32,
+    },
+    /// Operation succeeded.
+    Done,
+    /// Failure with a message.
+    Failed(String),
+}
+
+/// Response from the SUA agent.
+#[derive(Debug)]
+pub struct StreamResponse(pub StreamOutcome);
+
+// --- MCA <-> EUA ------------------------------------------------------
+
+/// Equipment operations the MCA delegates to its EUA agent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquipOp {
+    /// Reserve and activate one device of the class at the local site.
+    AcquireClass(equipment::EquipmentClass),
+    /// Release everything this agent holds.
+    ReleaseAll,
+}
+
+/// Request to the EUA agent.
+#[derive(Debug)]
+pub struct EquipRequest(pub EquipOp);
+
+/// EUA agent outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquipOutcome {
+    /// Acquired the device.
+    Acquired(equipment::EquipmentId),
+    /// Done.
+    Done,
+    /// Failure with a message.
+    Failed(String),
+}
+
+/// Response from the EUA agent.
+#[derive(Debug)]
+pub struct EquipResponse(pub EquipOutcome);
+
+impl_interaction!(
+    McamReq,
+    McamCnf,
+    StartAssociate,
+    DirRequest,
+    DirResponse,
+    StreamRequest,
+    StreamResponse,
+    EquipRequest,
+    EquipResponse
+);

@@ -1,0 +1,227 @@
+//! The Stream Provider System (SPS): manages MTP senders for a server
+//! machine.
+//!
+//! The paper separates the CM-stream level from the control level
+//! (Table 1); accordingly the SPS is plain hand-written code (like the
+//! XMovie service it stands in for), controlled *by* the Estelle
+//! specification through the SUA/SPA agent but paced by the simulation
+//! driver.
+
+use mtp::{MovieSource, MtpSender, StreamState};
+use netsim::{DatagramNet, DatagramSocket, NetAddr, SimTime};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Stream-provider errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpsError {
+    /// Unknown stream id.
+    NoSuchStream(u32),
+}
+
+impl fmt::Display for SpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpsError::NoSuchStream(id) => write!(f, "no such stream {id}"),
+        }
+    }
+}
+impl std::error::Error for SpsError {}
+
+/// The per-server stream provider: a registry of paced MTP senders
+/// sharing one datagram socket.
+pub struct StreamProviderSystem {
+    socket: DatagramSocket,
+    addr: NetAddr,
+    senders: Mutex<HashMap<u32, MtpSender>>,
+    next_stream: AtomicU32,
+}
+
+impl fmt::Debug for StreamProviderSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamProviderSystem")
+            .field("addr", &self.addr)
+            .field("streams", &self.senders.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamProviderSystem {
+    /// Binds the provider to `addr` on the datagram network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already bound (deployment error).
+    pub fn new(dg: &Arc<DatagramNet>, addr: NetAddr) -> Arc<Self> {
+        let socket = dg.bind(addr).expect("SPS address available");
+        Arc::new(StreamProviderSystem {
+            socket,
+            addr,
+            senders: Mutex::new(HashMap::new()),
+            next_stream: AtomicU32::new(1),
+        })
+    }
+
+    /// The provider's datagram address.
+    pub fn addr(&self) -> NetAddr {
+        self.addr
+    }
+
+    /// Opens a stream of `movie` towards `dest`, returning its id.
+    pub fn open(&self, movie: MovieSource, dest: NetAddr) -> u32 {
+        let id = self.next_stream.fetch_add(1, Ordering::SeqCst);
+        let sender = MtpSender::new(self.socket.clone(), dest, id, movie);
+        self.senders.lock().insert(id, sender);
+        id
+    }
+
+    /// Closes a stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ids.
+    pub fn close(&self, id: u32) -> Result<(), SpsError> {
+        self.senders.lock().remove(&id).map(|_| ()).ok_or(SpsError::NoSuchStream(id))
+    }
+
+    fn with_sender<R>(
+        &self,
+        id: u32,
+        f: impl FnOnce(&mut MtpSender) -> R,
+    ) -> Result<R, SpsError> {
+        let mut senders = self.senders.lock();
+        senders.get_mut(&id).map(f).ok_or(SpsError::NoSuchStream(id))
+    }
+
+    /// Starts or resumes playback.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ids.
+    pub fn play(&self, id: u32, speed_pct: u32, now: SimTime) -> Result<(), SpsError> {
+        self.with_sender(id, |s| {
+            s.set_speed_pct(speed_pct);
+            s.play(now);
+        })
+    }
+
+    /// Pauses playback.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ids.
+    pub fn pause(&self, id: u32) -> Result<(), SpsError> {
+        self.with_sender(id, MtpSender::pause)
+    }
+
+    /// Stops playback (rewinds).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ids.
+    pub fn stop(&self, id: u32) -> Result<(), SpsError> {
+        self.with_sender(id, MtpSender::stop)
+    }
+
+    /// Seeks to a frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ids.
+    pub fn seek(&self, id: u32, frame: u64) -> Result<(), SpsError> {
+        self.with_sender(id, |s| s.seek(frame))
+    }
+
+    /// Current playback state of a stream.
+    pub fn state(&self, id: u32) -> Option<StreamState> {
+        self.senders.lock().get(&id).map(MtpSender::state)
+    }
+
+    /// Current frame position of a stream.
+    pub fn position(&self, id: u32) -> Option<u64> {
+        self.senders.lock().get(&id).map(MtpSender::position)
+    }
+
+    /// Emits all frames due at or before `now` across all streams and
+    /// routes receiver feedback reports to their senders.
+    pub fn pump(&self, now: SimTime) -> usize {
+        let mut senders = self.senders.lock();
+        while let Some(dg) = self.socket.recv() {
+            if let Ok(fb) = mtp::MtpFeedback::decode(&dg.payload) {
+                if let Some(sender) = senders.get_mut(&fb.stream_id) {
+                    sender.handle_feedback(&fb);
+                }
+            }
+        }
+        senders.values_mut().map(|s| s.poll(now)).sum()
+    }
+
+    /// Earliest due instant across all playing streams.
+    pub fn next_due(&self) -> Option<SimTime> {
+        let senders = self.senders.lock();
+        senders.values().filter_map(MtpSender::next_due).min()
+    }
+
+    /// Number of open streams.
+    pub fn stream_count(&self) -> usize {
+        self.senders.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{LinkConfig, Network, SimDuration};
+
+    fn rig() -> (Arc<Network>, Arc<DatagramNet>, Arc<StreamProviderSystem>) {
+        let net = Arc::new(Network::new(0));
+        let dg = DatagramNet::new(&net, LinkConfig::perfect(SimDuration::from_millis(1)), 0);
+        let sps = StreamProviderSystem::new(&dg, NetAddr(100));
+        (net, dg, sps)
+    }
+
+    #[test]
+    fn open_play_pump_close() {
+        let (net, dg, sps) = rig();
+        let client = dg.bind(NetAddr(5)).unwrap();
+        let id = sps.open(MovieSource::test_movie(1, 1), NetAddr(5));
+        assert_eq!(sps.stream_count(), 1);
+        sps.play(id, 100, net.now()).unwrap();
+        assert_eq!(sps.state(id), Some(StreamState::Playing));
+        // Pump one second of frames.
+        net.run_until(SimTime::from_secs(1));
+        let sent = sps.pump(net.now());
+        assert!(sent >= 25, "sent={sent}");
+        net.run_until_idle();
+        assert!(client.pending() >= 25);
+        sps.close(id).unwrap();
+        assert_eq!(sps.close(id), Err(SpsError::NoSuchStream(id)));
+    }
+
+    #[test]
+    fn control_ops_route_to_sender() {
+        let (net, _dg, sps) = rig();
+        let id = sps.open(MovieSource::test_movie(2, 1), NetAddr(5));
+        sps.play(id, 200, net.now()).unwrap();
+        sps.pause(id).unwrap();
+        assert_eq!(sps.state(id), Some(StreamState::Paused));
+        sps.seek(id, 30).unwrap();
+        assert_eq!(sps.position(id), Some(30));
+        sps.stop(id).unwrap();
+        assert_eq!(sps.position(id), Some(0));
+        assert!(sps.play(99, 100, net.now()).is_err());
+    }
+
+    #[test]
+    fn next_due_tracks_playing_streams() {
+        let (net, _dg, sps) = rig();
+        assert!(sps.next_due().is_none());
+        let a = sps.open(MovieSource::test_movie(1, 1), NetAddr(5));
+        assert!(sps.next_due().is_none(), "ready but not playing");
+        sps.play(a, 100, net.now()).unwrap();
+        assert_eq!(sps.next_due(), Some(net.now()));
+    }
+}

@@ -1,0 +1,183 @@
+//! Stack construction: the two lower-stack configurations of the
+//! experiment (Fig. 2) and the client root module that creates its
+//! protocol stack dynamically when the application requests a
+//! connection (paper §4.1).
+
+use crate::app::{AppMachine, TO_MCA as APP_TO_MCA, TO_ROOT as APP_TO_ROOT};
+use crate::mca::{ClientMca, CTRL as MCA_CTRL, DOWN as MCA_DOWN, UP as MCA_UP};
+use crate::service::{McamOp, McamReq, StartAssociate};
+use estelle::external::{MediumModule, MEDIUM_IP};
+use estelle::{
+    downcast, ip, Ctx, IpIndex, ModuleId, ModuleKind, ModuleLabels, StateId,
+    StateMachine, Transition,
+};
+use isode::{IsodeInterfaceModule, IsodeStack};
+use netsim::{Medium, SimDuration};
+use presentation::PresentationMachine;
+use session::SessionMachine;
+
+/// Which lower stack carries the MCAM control protocol (the paper's
+/// two configurations: Estelle-generated presentation+session vs.
+/// ISODE through an interface module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackKind {
+    /// Estelle-generated ISO presentation + session kernels.
+    EstellePS,
+    /// The hand-coded ISODE stack behind the §4.3 interface module.
+    Isode,
+}
+
+/// Creates the lower-stack child modules under the calling root and
+/// wires `upper`'s `upper_ip` to them. Layer labels: presentation = 1,
+/// session = 2, wire/ISODE = 3.
+pub fn wire_lower_stack(
+    ctx: &mut Ctx<'_>,
+    upper: ModuleId,
+    upper_ip: IpIndex,
+    stack: StackKind,
+    medium: Box<dyn Medium>,
+    conn: u16,
+) {
+    match stack {
+        StackKind::EstellePS => {
+            let pres = ctx.create_child(
+                format!("pres-{conn}"),
+                ModuleKind::Process,
+                ModuleLabels::layer_conn(1, conn),
+                PresentationMachine::default(),
+            );
+            let sess = ctx.create_child(
+                format!("sess-{conn}"),
+                ModuleKind::Process,
+                ModuleLabels::layer_conn(2, conn),
+                SessionMachine::default(),
+            );
+            let wire = ctx.create_child(
+                format!("wire-{conn}"),
+                ModuleKind::Process,
+                ModuleLabels::layer_conn(3, conn),
+                MediumModule::new(medium),
+            );
+            ctx.connect(ip(upper, upper_ip), ip(pres, presentation::UP));
+            ctx.connect(ip(pres, presentation::DOWN), ip(sess, session::UP));
+            ctx.connect(ip(sess, session::DOWN), ip(wire, MEDIUM_IP));
+        }
+        StackKind::Isode => {
+            let iface = ctx.create_child(
+                format!("isode-{conn}"),
+                ModuleKind::Process,
+                ModuleLabels::layer_conn(3, conn),
+                IsodeInterfaceModule::new(IsodeStack::new(medium)),
+            );
+            ctx.connect(ip(upper, upper_ip), ip(iface, isode::UP));
+        }
+    }
+}
+
+/// Interaction point of the client root towards its application.
+pub const ROOT_TO_APP: IpIndex = IpIndex(0);
+/// Interaction point of the client root towards its MCA.
+pub const ROOT_TO_MCA: IpIndex = IpIndex(1);
+
+const RUN: StateId = StateId(0);
+
+/// The client root module: creates the application at initialization
+/// and the MCAM module plus lower stack when the application requests
+/// a connection (paper §4.1).
+pub struct ClientRoot {
+    medium: Option<Box<dyn Medium>>,
+    stack: StackKind,
+    conn: u16,
+    client_addr: u32,
+    app_machine: Option<AppMachine>,
+    /// The application module, once created.
+    pub app: Option<ModuleId>,
+    /// The MCA module, once created.
+    pub mca: Option<ModuleId>,
+    /// Bootstrap errors (e.g. duplicate Associate).
+    pub errors: u64,
+}
+
+impl std::fmt::Debug for ClientRoot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientRoot")
+            .field("stack", &self.stack)
+            .field("conn", &self.conn)
+            .field("app", &self.app)
+            .field("mca", &self.mca)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClientRoot {
+    /// Creates a client root for connection index `conn`, listening
+    /// for streams on `client_addr`, with the given application.
+    pub fn new(
+        medium: Box<dyn Medium>,
+        stack: StackKind,
+        conn: u16,
+        client_addr: u32,
+        app: AppMachine,
+    ) -> Self {
+        ClientRoot {
+            medium: Some(medium),
+            stack,
+            conn,
+            client_addr,
+            app_machine: Some(app),
+            app: None,
+            mca: None,
+            errors: 0,
+        }
+    }
+}
+
+impl StateMachine for ClientRoot {
+    fn num_ips(&self) -> usize {
+        2
+    }
+
+    fn initial_state(&self) -> StateId {
+        RUN
+    }
+
+    fn on_init(&mut self, ctx: &mut Ctx<'_>) {
+        let app = ctx.create_child(
+            format!("app-{}", self.conn),
+            ModuleKind::Process,
+            ModuleLabels::layer_conn(0, self.conn),
+            self.app_machine.take().expect("constructed with an app"),
+        );
+        ctx.connect(ctx.self_ip(ROOT_TO_APP), ip(app, APP_TO_ROOT));
+        self.app = Some(app);
+    }
+
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![Transition::on("connection-request", RUN, ROOT_TO_APP, |m: &mut Self, ctx, msg| {
+            let req = downcast::<McamReq>(msg.unwrap()).unwrap();
+            let McamOp::Associate { user } = req.0 else {
+                m.errors += 1;
+                return;
+            };
+            if m.mca.is_some() {
+                m.errors += 1;
+                return;
+            }
+            let labels = ModuleLabels::layer_conn(0, m.conn);
+            let mca = ctx.create_child(
+                format!("mca-{}", m.conn),
+                ModuleKind::Process,
+                labels,
+                ClientMca::new(m.client_addr),
+            );
+            let medium = m.medium.take().expect("unused medium");
+            wire_lower_stack(ctx, mca, MCA_DOWN, m.stack, medium, m.conn);
+            ctx.connect(ctx.self_ip(ROOT_TO_MCA), ip(mca, MCA_CTRL));
+            ctx.connect(ip(m.app.expect("init ran"), APP_TO_MCA), ip(mca, MCA_UP));
+            ctx.output(ROOT_TO_MCA, StartAssociate { user });
+            m.mca = Some(mca);
+        })
+        .provided(|_, msg| msg.is_some_and(|m| m.is::<McamReq>()))
+        .cost(SimDuration::from_micros(400))]
+    }
+}

@@ -1,0 +1,323 @@
+//! The experimental world: clients, servers, control pipes, the CM
+//! datagram network, and the co-simulation driver — Fig. 2 in code.
+
+use crate::app::AppMachine;
+use crate::pdus::{McamPdu, StreamParams};
+use crate::server::{ServerRoot, ServerServices};
+use crate::service::McamOp;
+use crate::sps::StreamProviderSystem;
+use crate::stacks::{ClientRoot, StackKind};
+use directory::{Dn, Dsa, Dua, MovieEntry};
+use equipment::{Eca, EquipmentClass, Eua};
+use estelle::sched::{run_sequential, SeqOptions};
+use estelle::{ModuleId, ModuleKind, ModuleLabels, Runtime};
+use mtp::MtpReceiver;
+use netsim::{
+    DatagramNet, DatagramSocket, LinkConfig, Medium, NetAddr, Network, Pipe, PipeMedium,
+    SimDuration, SimTime,
+};
+use std::sync::Arc;
+
+/// A server machine in the world.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    /// The server root module.
+    pub root: ModuleId,
+    /// The shared services of this server machine.
+    pub services: ServerServices,
+}
+
+/// A client workstation in the world.
+#[derive(Debug, Clone)]
+pub struct ClientHandle {
+    /// The client root module.
+    pub root: ModuleId,
+    /// The client's datagram address for CM streams.
+    pub addr: NetAddr,
+    /// The client's stream socket (clone to build receivers).
+    pub socket: DatagramSocket,
+    /// Connection index.
+    pub conn: u16,
+    /// Network endpoints of the control pipe (client side, server
+    /// side) for traffic measurements.
+    pub ctrl_endpoints: (netsim::EndpointId, netsim::EndpointId),
+}
+
+/// The complete experimental environment.
+pub struct World {
+    /// The discrete-event network core.
+    pub net: Arc<Network>,
+    /// The CM datagram service (UDP/FDDI substitute).
+    pub dg: Arc<DatagramNet>,
+    /// The Estelle runtime hosting all control modules.
+    pub rt: Arc<Runtime>,
+    /// One-way delay of control pipes.
+    pub control_delay: SimDuration,
+    providers: Vec<Arc<StreamProviderSystem>>,
+    next_addr: u32,
+    next_conn: u16,
+    /// Scheduler options used by the driver.
+    pub seq_options: SeqOptions,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("providers", &self.providers.len())
+            .field("next_conn", &self.next_conn)
+            .finish_non_exhaustive()
+    }
+}
+
+impl World {
+    /// Creates a world whose CM network uses `stream_link`.
+    pub fn with_stream_link(seed: u64, stream_link: LinkConfig) -> Self {
+        let net = Arc::new(Network::new(seed));
+        let dg = DatagramNet::new(&net, stream_link, seed.wrapping_add(17));
+        let rt = Arc::new(Runtime::with_virtual_clock(net.clock()));
+        World {
+            net,
+            dg,
+            rt,
+            control_delay: SimDuration::from_millis(1),
+            providers: Vec::new(),
+            next_addr: 1,
+            next_conn: 0,
+            seq_options: SeqOptions::default(),
+        }
+    }
+
+    /// Creates a world with a mildly jittery, lossless CM network.
+    pub fn new(seed: u64) -> Self {
+        Self::with_stream_link(
+            seed,
+            LinkConfig::lossy(SimDuration::from_millis(2), SimDuration::from_micros(500), 0.0),
+        )
+    }
+
+    fn alloc_addr(&mut self) -> NetAddr {
+        let a = NetAddr(self.next_addr);
+        self.next_addr += 1;
+        a
+    }
+
+    /// Adds a server machine: movie directory DSA, equipment site,
+    /// stream provider, and the server root module.
+    pub fn add_server(&mut self, name: &str, stack: StackKind) -> ServerHandle {
+        let dsa = Dsa::new(format!("dsa-{name}"));
+        let base: Dn = "o=movies".parse().expect("static DN");
+        // The subtree root entry.
+        dsa.add(base.clone(), directory::Attrs::new()).expect("fresh DSA");
+        let dua = Dua::new(&dsa);
+        let eca = Eca::new(format!("site-{name}"));
+        eca.register(EquipmentClass::Camera, "cam-0");
+        eca.register(EquipmentClass::Microphone, "mic-0");
+        eca.register(EquipmentClass::Speaker, "spk-0");
+        eca.register(EquipmentClass::Display, "dsp-0");
+        let mut eua = Eua::new(0);
+        eua.add_site(&eca);
+        let sps_addr = self.alloc_addr();
+        let sps = StreamProviderSystem::new(&self.dg, sps_addr);
+        self.providers.push(Arc::clone(&sps));
+        let services = ServerServices {
+            dua,
+            base,
+            sps,
+            eua,
+            eca: Arc::clone(&eca),
+            site: format!("site-{name}"),
+        };
+        let root = self
+            .rt
+            .add_module(
+                None,
+                format!("server-{name}"),
+                ModuleKind::SystemProcess,
+                ModuleLabels::default(),
+                ServerRoot::new(services.clone(), stack),
+            )
+            .expect("world builds before start");
+        ServerHandle { root, services }
+    }
+
+    /// Enables dynamic client generation (the ref \[2\] Estelle
+    /// enhancement): [`World::add_client`] may then be called *after*
+    /// [`World::start`], lifting the paper's §4.1 restriction that
+    /// "the number of clients is fixed". The new client's modules are
+    /// initialized immediately and join the next scheduling pass.
+    pub fn enable_dynamic_clients(&self) {
+        self.rt.enable_dynamic_systems();
+    }
+
+    /// Adds a client workstation connected to `server` by a control
+    /// pipe, running `script` (first op must be `Associate` — or push
+    /// operations later with [`World::push_op`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`World::start`] without
+    /// [`World::enable_dynamic_clients`] (base Estelle fixes the
+    /// system-module population at start).
+    pub fn add_client(
+        &mut self,
+        server: &ServerHandle,
+        stack: StackKind,
+        script: Vec<McamOp>,
+    ) -> ClientHandle {
+        let conn = self.next_conn;
+        self.next_conn += 1;
+        let addr = self.alloc_addr();
+        let socket = self.dg.bind(addr).expect("fresh client address");
+        let (client_end, server_end) = Pipe::create(&self.net, self.control_delay);
+        let ctrl_endpoints = (client_end.endpoint(), server_end.endpoint());
+        let server_medium: Box<dyn Medium> = Box::new(PipeMedium::new(server_end));
+        // Hand the server side of the connection to the server root;
+        // it will spawn a server entity for it (its "CONNECT request").
+        self.rt
+            .with_machine_mut::<ServerRoot, _>(server.root, |r| {
+                r.pending_media.push((server_medium, conn));
+            })
+            .expect("server root exists");
+        let app = AppMachine::with_script(script);
+        let root = self
+            .rt
+            .add_module(
+                None,
+                format!("client-{conn}"),
+                ModuleKind::SystemProcess,
+                ModuleLabels::conn(conn),
+                ClientRoot::new(
+                    Box::new(PipeMedium::new(client_end)),
+                    stack,
+                    conn,
+                    addr.0,
+                    app,
+                ),
+            )
+            .expect("before start, or with dynamic clients enabled (ref [2])");
+        ClientHandle { root, addr, socket, conn, ctrl_endpoints }
+    }
+
+    /// Pre-loads a movie into a server's directory (bypassing the
+    /// protocol; use `McamOp::CreateMovie` to exercise the wire path).
+    pub fn seed_movie(&self, server: &ServerHandle, entry: &MovieEntry) {
+        let dn = server
+            .services
+            .base
+            .child(directory::Rdn::new("cn", entry.title.clone()));
+        server
+            .services
+            .dua
+            .add(dn, entry.to_attrs())
+            .expect("seeding a fresh title");
+    }
+
+    /// Freezes the system-module population and runs all `initialize`
+    /// blocks.
+    pub fn start(&self) {
+        self.rt.start().expect("valid specification");
+    }
+
+    /// Drives control plane, stream providers, and network until
+    /// everything is idle or simulated time passes `limit`.
+    pub fn run_until_quiet(&self, limit: SimTime) {
+        self.drive(limit, |_| false);
+    }
+
+    /// The driver loop behind [`World::run_until_quiet`] and
+    /// [`World::client_op`]: runs until idle, past `limit`, or until
+    /// `done` returns true (checked between scheduler passes).
+    fn drive(&self, limit: SimTime, mut done: impl FnMut(&Self) -> bool) {
+        let mut opts = self.seq_options.clone();
+        opts.advance_time = false;
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            if guard > 2_000_000 {
+                panic!("driver did not quiesce before iteration limit");
+            }
+            run_sequential(&self.rt, &opts);
+            if done(self) {
+                break;
+            }
+            let now = self.net.now();
+            let mut sent = 0;
+            for sps in &self.providers {
+                sent += sps.pump(now);
+            }
+            if sent > 0 {
+                continue;
+            }
+            if self.rt.any_enabled(opts.dispatch) {
+                continue;
+            }
+            let next_net = self.net.next_event_at();
+            let next_delay = self.rt.next_deadline();
+            let next_due = self.providers.iter().filter_map(|s| s.next_due()).min();
+            let candidates = [next_net, next_delay, next_due];
+            let next = candidates.into_iter().flatten().min();
+            match next {
+                Some(t) if t <= limit => {
+                    if next_net.is_some_and(|n| n <= t) {
+                        self.net.step();
+                    } else {
+                        self.rt.advance_clock_to(t);
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Lets simulated time progress by `d` (streams keep flowing).
+    pub fn run_for(&self, d: SimDuration) {
+        let limit = self.net.now() + d;
+        self.run_until_quiet(limit);
+        self.rt.advance_clock_to(limit);
+    }
+
+    fn app_of(&self, client: &ClientHandle) -> ModuleId {
+        self.rt
+            .with_machine::<ClientRoot, _>(client.root, |r| r.app)
+            .flatten()
+            .expect("client root has an app after start")
+    }
+
+    /// Pushes an operation into a client's application queue without
+    /// waiting.
+    pub fn push_op(&self, client: &ClientHandle, op: McamOp) {
+        let app = self.app_of(client);
+        self.rt
+            .with_machine_mut::<AppMachine, _>(app, |a| a.queued.push_back(op))
+            .expect("app module exists");
+    }
+
+    /// All confirmations the client's application has received so far.
+    pub fn replies(&self, client: &ClientHandle) -> Vec<McamPdu> {
+        let app = self.app_of(client);
+        self.rt
+            .with_machine::<AppMachine, _>(app, |a| a.replies.clone())
+            .expect("app module exists")
+    }
+
+    /// Executes one operation synchronously: pushes it, drives the
+    /// world until the confirmation arrives (ongoing streams keep
+    /// flowing but do not delay the return), and returns the
+    /// confirmation (or `None` on a stall).
+    pub fn client_op(&self, client: &ClientHandle, op: McamOp) -> Option<McamPdu> {
+        let before = self.replies(client).len();
+        self.push_op(client, op);
+        self.drive(SimTime::MAX, |w| w.replies(client).len() > before);
+        self.replies(client).get(before).cloned()
+    }
+
+    /// Builds an MTP receiver for a stream the client selected.
+    pub fn receiver_for(
+        &self,
+        client: &ClientHandle,
+        params: &StreamParams,
+        playout_delay: SimDuration,
+    ) -> MtpReceiver {
+        MtpReceiver::new(client.socket.clone(), params.stream_id, playout_delay)
+    }
+}

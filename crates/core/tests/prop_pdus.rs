@@ -1,0 +1,85 @@
+//! Property tests: MCAM PDU roundtrip and decoder robustness.
+
+use asn1::Value;
+use mcam::{McamPdu, MovieDesc, StreamParams};
+use proptest::prelude::*;
+
+fn attr_strategy() -> impl Strategy<Value = (String, Value)> {
+    (
+        "[a-z]{1,12}",
+        prop_oneof![
+            any::<i64>().prop_map(Value::Int),
+            "[a-zA-Z0-9 ]{0,20}".prop_map(Value::Str),
+            any::<bool>().prop_map(Value::Bool),
+        ],
+    )
+}
+
+fn pdu_strategy() -> impl Strategy<Value = McamPdu> {
+    let title = "[a-zA-Z0-9 _-]{1,24}";
+    prop_oneof![
+        "[a-z]{1,12}".prop_map(|user| McamPdu::AssociateReq { user }),
+        any::<bool>().prop_map(|accepted| McamPdu::AssociateRsp { accepted }),
+        Just(McamPdu::ReleaseReq),
+        Just(McamPdu::ReleaseRsp),
+        (title, "[A-Za-z0-9-]{1,12}", 1u32..120, 0u64..1_000_000).prop_map(
+            |(title, format, frame_rate, frame_count)| McamPdu::CreateMovieReq {
+                title,
+                format,
+                frame_rate,
+                frame_count
+            }
+        ),
+        (title, any::<u32>()).prop_map(|(title, client_addr)| McamPdu::SelectMovieReq {
+            title,
+            client_addr
+        }),
+        proptest::option::of((any::<u32>(), any::<u32>(), title, 1u32..120, 0u64..100_000))
+            .prop_map(|opt| McamPdu::SelectMovieRsp {
+                params: opt.map(|(provider_addr, stream_id, t, frame_rate, frame_count)| {
+                    StreamParams {
+                        provider_addr,
+                        stream_id,
+                        movie: MovieDesc {
+                            title: t,
+                            format: "XMovie-24".into(),
+                            frame_rate,
+                            frame_count,
+                        },
+                    }
+                })
+            }),
+        proptest::collection::vec(title.prop_map(String::from), 0..6)
+            .prop_map(|titles| McamPdu::ListMoviesRsp { titles }),
+        (title, proptest::collection::vec(attr_strategy(), 0..5))
+            .prop_map(|(title, puts)| McamPdu::ModifyAttrsReq { title, puts }),
+        proptest::option::of(proptest::collection::vec(attr_strategy(), 0..5))
+            .prop_map(|attrs| McamPdu::QueryAttrsRsp { attrs }),
+        (1u32..1000).prop_map(|speed_pct| McamPdu::PlayReq { speed_pct }),
+        (0u64..(1 << 62)).prop_map(|frame| McamPdu::SeekReq { frame }),
+        (any::<u32>(), "[ -~]{0,40}").prop_map(|(code, message)| McamPdu::ErrorRsp {
+            code,
+            message
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mcam_pdus_roundtrip(pdu in pdu_strategy()) {
+        let enc = pdu.encode();
+        prop_assert_eq!(McamPdu::decode(&enc).unwrap(), pdu);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = McamPdu::decode(&bytes);
+    }
+
+    #[test]
+    fn truncation_never_panics(pdu in pdu_strategy(), cut in 0usize..64) {
+        let enc = pdu.encode();
+        let cut = cut.min(enc.len());
+        let _ = McamPdu::decode(&enc[..enc.len() - cut]);
+    }
+}

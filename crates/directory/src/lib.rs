@@ -1,0 +1,42 @@
+//! `directory` — the X.500-flavoured movie directory.
+//!
+//! One of the two support services the paper declares "absolutely
+//! necessary" for a practical distributed multimedia service (§2): a
+//! repository for movie information such as digital image format and
+//! storage location. Modeled on the X.500 world the paper deploys
+//! (DSAs in Fig. 1): distinguished names ([`Dn`]), typed attributes
+//! with a movie schema ([`MovieEntry`]), search filters ([`Filter`]),
+//! DSA servers with referrals ([`Dsa`]), and a referral-chasing user
+//! agent ([`Dua`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use directory::{Dsa, Dua, Dn, Filter, MovieEntry, Scope, attr};
+//!
+//! # fn main() -> Result<(), directory::DirError> {
+//! let dsa = Dsa::new("mannheim");
+//! let dua = Dua::new(&dsa);
+//! let name: Dn = "o=movies/cn=StarWars".parse().unwrap();
+//! dua.add(name.clone(), MovieEntry::new("Star Wars", "node-1").to_attrs())?;
+//! let hits = dua.search(
+//!     &"o=movies".parse().unwrap(),
+//!     Scope::Subtree,
+//!     &Filter::Contains(attr::TITLE.into(), "star".into()),
+//! )?;
+//! assert_eq!(hits.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod dn;
+mod dsa;
+mod filter;
+mod schema;
+
+pub use dn::{Dn, ParseDnError, Rdn};
+pub use dsa::{DirError, Dsa, Dua, ModOp, Scope};
+pub use filter::Filter;
+pub use schema::{attr, Attrs, MovieEntry, SchemaError};

@@ -1,0 +1,212 @@
+//! Movie-entry schema: the attribute vocabulary of the movie
+//! directory (paper §2: "a repository for movie information, such as
+//! digital image format and storage location").
+
+use asn1::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Attribute set of a directory entry.
+pub type Attrs = BTreeMap<String, Value>;
+
+/// Well-known attribute names.
+pub mod attr {
+    /// Human-readable title.
+    pub const TITLE: &str = "movietitle";
+    /// Digital image format (e.g. `"XMovie-24"`, `"MJPEG"`).
+    pub const FORMAT: &str = "imageformat";
+    /// Nominal frame rate (frames/second).
+    pub const FRAME_RATE: &str = "framerate";
+    /// Frame width in pixels.
+    pub const WIDTH: &str = "width";
+    /// Frame height in pixels.
+    pub const HEIGHT: &str = "height";
+    /// Storage location: the network address of the stream provider
+    /// holding the movie, as `"node-<n>"`.
+    pub const LOCATION: &str = "storagelocation";
+    /// Number of frames in the movie.
+    pub const FRAME_COUNT: &str = "framecount";
+    /// Object class marker (`"movie"` for movie entries).
+    pub const OBJECT_CLASS: &str = "objectclass";
+}
+
+/// A validated movie description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovieEntry {
+    /// Title.
+    pub title: String,
+    /// Image format name.
+    pub format: String,
+    /// Frames per second.
+    pub frame_rate: u32,
+    /// Frame width (pixels).
+    pub width: u32,
+    /// Frame height (pixels).
+    pub height: u32,
+    /// Stream-provider node that stores the movie.
+    pub location: String,
+    /// Total frames.
+    pub frame_count: u64,
+}
+
+/// Error converting attributes to a [`MovieEntry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A required attribute is absent.
+    Missing(&'static str),
+    /// An attribute has the wrong ASN.1 type or an invalid value.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Missing(a) => write!(f, "missing attribute {a}"),
+            SchemaError::Invalid(a) => write!(f, "invalid attribute {a}"),
+        }
+    }
+}
+impl std::error::Error for SchemaError {}
+
+impl MovieEntry {
+    /// Builds a movie entry with sensible XMovie-era defaults.
+    pub fn new(title: impl Into<String>, location: impl Into<String>) -> Self {
+        MovieEntry {
+            title: title.into(),
+            format: "XMovie-24".into(),
+            frame_rate: 25,
+            width: 384,
+            height: 288,
+            location: location.into(),
+            frame_count: 25 * 60, // one minute
+        }
+    }
+
+    /// Converts to a directory attribute set.
+    pub fn to_attrs(&self) -> Attrs {
+        let mut m = Attrs::new();
+        m.insert(attr::OBJECT_CLASS.into(), Value::Str("movie".into()));
+        m.insert(attr::TITLE.into(), Value::Str(self.title.clone()));
+        m.insert(attr::FORMAT.into(), Value::Str(self.format.clone()));
+        m.insert(attr::FRAME_RATE.into(), Value::Int(i64::from(self.frame_rate)));
+        m.insert(attr::WIDTH.into(), Value::Int(i64::from(self.width)));
+        m.insert(attr::HEIGHT.into(), Value::Int(i64::from(self.height)));
+        m.insert(attr::LOCATION.into(), Value::Str(self.location.clone()));
+        m.insert(attr::FRAME_COUNT.into(), Value::Int(self.frame_count as i64));
+        m
+    }
+
+    /// Parses a directory attribute set back into a movie entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError`] for missing or ill-typed attributes.
+    pub fn from_attrs(attrs: &Attrs) -> Result<Self, SchemaError> {
+        fn get_str(attrs: &Attrs, k: &'static str) -> Result<String, SchemaError> {
+            attrs
+                .get(k)
+                .ok_or(SchemaError::Missing(k))?
+                .as_str()
+                .map(str::to_owned)
+                .ok_or(SchemaError::Invalid(k))
+        }
+        fn get_int(attrs: &Attrs, k: &'static str) -> Result<i64, SchemaError> {
+            attrs
+                .get(k)
+                .ok_or(SchemaError::Missing(k))?
+                .as_int()
+                .ok_or(SchemaError::Invalid(k))
+        }
+        let class = get_str(attrs, attr::OBJECT_CLASS)?;
+        if class != "movie" {
+            return Err(SchemaError::Invalid(attr::OBJECT_CLASS));
+        }
+        let frame_rate = get_int(attrs, attr::FRAME_RATE)?;
+        if !(1..=120).contains(&frame_rate) {
+            return Err(SchemaError::Invalid(attr::FRAME_RATE));
+        }
+        Ok(MovieEntry {
+            title: get_str(attrs, attr::TITLE)?,
+            format: get_str(attrs, attr::FORMAT)?,
+            frame_rate: frame_rate as u32,
+            width: get_int(attrs, attr::WIDTH)?.max(0) as u32,
+            height: get_int(attrs, attr::HEIGHT)?.max(0) as u32,
+            location: get_str(attrs, attr::LOCATION)?,
+            frame_count: get_int(attrs, attr::FRAME_COUNT)?.max(0) as u64,
+        })
+    }
+
+    /// Duration of the movie at its nominal rate.
+    pub fn duration_secs(&self) -> f64 {
+        self.frame_count as f64 / f64::from(self.frame_rate.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attrs_roundtrip() {
+        let e = MovieEntry {
+            title: "Alien".into(),
+            format: "MJPEG".into(),
+            frame_rate: 30,
+            width: 640,
+            height: 480,
+            location: "node-3".into(),
+            frame_count: 54_000,
+        };
+        let attrs = e.to_attrs();
+        assert_eq!(MovieEntry::from_attrs(&attrs).unwrap(), e);
+    }
+
+    #[test]
+    fn missing_attribute_detected() {
+        let e = MovieEntry::new("X", "node-1");
+        let mut attrs = e.to_attrs();
+        attrs.remove(attr::LOCATION);
+        assert_eq!(
+            MovieEntry::from_attrs(&attrs),
+            Err(SchemaError::Missing(attr::LOCATION))
+        );
+    }
+
+    #[test]
+    fn ill_typed_attribute_detected() {
+        let e = MovieEntry::new("X", "node-1");
+        let mut attrs = e.to_attrs();
+        attrs.insert(attr::FRAME_RATE.into(), Value::Str("fast".into()));
+        assert_eq!(
+            MovieEntry::from_attrs(&attrs),
+            Err(SchemaError::Invalid(attr::FRAME_RATE))
+        );
+    }
+
+    #[test]
+    fn frame_rate_bounds() {
+        let e = MovieEntry::new("X", "node-1");
+        let mut attrs = e.to_attrs();
+        attrs.insert(attr::FRAME_RATE.into(), Value::Int(500));
+        assert_eq!(
+            MovieEntry::from_attrs(&attrs),
+            Err(SchemaError::Invalid(attr::FRAME_RATE))
+        );
+    }
+
+    #[test]
+    fn non_movie_class_rejected() {
+        let e = MovieEntry::new("X", "node-1");
+        let mut attrs = e.to_attrs();
+        attrs.insert(attr::OBJECT_CLASS.into(), Value::Str("printer".into()));
+        assert!(MovieEntry::from_attrs(&attrs).is_err());
+    }
+
+    #[test]
+    fn duration() {
+        let mut e = MovieEntry::new("X", "node-1");
+        e.frame_count = 250;
+        e.frame_rate = 25;
+        assert!((e.duration_secs() - 10.0).abs() < 1e-9);
+    }
+}

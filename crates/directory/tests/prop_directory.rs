@@ -1,0 +1,172 @@
+//! Property tests for the movie directory: DN algebra, filter laws,
+//! schema roundtrips, and DSA store semantics.
+
+use directory::{Attrs, Dn, Dsa, Filter, ModOp, MovieEntry, Rdn, Scope};
+use proptest::prelude::*;
+
+fn rdn_component() -> impl Strategy<Value = Rdn> {
+    ("[a-z]{1,8}", "[a-zA-Z0-9 _-]{1,12}")
+        .prop_filter("value must not be blank", |(_, v)| !v.trim().is_empty())
+        .prop_map(|(a, v)| Rdn::new(a, v.trim().to_string()))
+}
+
+fn dn_strategy() -> impl Strategy<Value = Dn> {
+    prop::collection::vec(rdn_component(), 0..5).prop_map(Dn)
+}
+
+fn value_strategy() -> impl Strategy<Value = asn1::Value> {
+    prop_oneof![
+        "[a-zA-Z0-9 ]{0,12}".prop_map(asn1::Value::Str),
+        any::<i64>().prop_map(asn1::Value::Int),
+        any::<bool>().prop_map(asn1::Value::Bool),
+    ]
+}
+
+fn attrs_strategy() -> impl Strategy<Value = Attrs> {
+    prop::collection::btree_map("[a-z]{1,6}", value_strategy(), 0..6)
+}
+
+fn filter_strategy() -> impl Strategy<Value = Filter> {
+    let leaf = prop_oneof![
+        Just(Filter::True),
+        "[a-z]{1,6}".prop_map(Filter::Present),
+        ("[a-z]{1,6}", value_strategy()).prop_map(|(a, v)| Filter::Eq(a, v)),
+        ("[a-z]{1,6}", "[a-z]{0,4}").prop_map(|(a, s)| Filter::Contains(a, s)),
+        ("[a-z]{1,6}", any::<i64>()).prop_map(|(a, b)| Filter::Ge(a, b)),
+        ("[a-z]{1,6}", any::<i64>()).prop_map(|(a, b)| Filter::Le(a, b)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Filter::And),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Filter::Or),
+            inner.prop_map(|f| Filter::Not(Box::new(f))),
+        ]
+    })
+}
+
+proptest! {
+    /// `Display` then `FromStr` reproduces any DN built from clean
+    /// components.
+    #[test]
+    fn dn_roundtrips_through_text(dn in dn_strategy()) {
+        let text = dn.to_string();
+        let parsed: Dn = text.parse().expect("rendered DN must parse");
+        prop_assert_eq!(parsed, dn);
+    }
+
+    /// `child`/`parent` are inverse; children sit below their parent.
+    #[test]
+    fn dn_child_parent_inverse(dn in dn_strategy(), rdn in rdn_component()) {
+        let child = dn.child(rdn);
+        let parent = child.parent();
+        prop_assert_eq!(parent.as_ref(), Some(&dn));
+        prop_assert!(child.starts_with(&dn));
+        prop_assert_eq!(child.depth(), dn.depth() + 1);
+        // starts_with is reflexive.
+        prop_assert!(dn.starts_with(&dn));
+    }
+
+    /// Double negation is the identity on any filter and attribute set.
+    #[test]
+    fn filter_double_negation(f in filter_strategy(), attrs in attrs_strategy()) {
+        let double = Filter::Not(Box::new(Filter::Not(Box::new(f.clone()))));
+        prop_assert_eq!(double.matches(&attrs), f.matches(&attrs));
+    }
+
+    /// De Morgan: ¬(a ∧ b) ≡ ¬a ∨ ¬b.
+    #[test]
+    fn filter_de_morgan(
+        a in filter_strategy(),
+        b in filter_strategy(),
+        attrs in attrs_strategy(),
+    ) {
+        let lhs = Filter::Not(Box::new(Filter::And(vec![a.clone(), b.clone()])));
+        let rhs = Filter::Or(vec![
+            Filter::Not(Box::new(a)),
+            Filter::Not(Box::new(b)),
+        ]);
+        prop_assert_eq!(lhs.matches(&attrs), rhs.matches(&attrs));
+    }
+
+    /// And/Or of a single filter behave as that filter; empty And is
+    /// true, empty Or is false.
+    #[test]
+    fn filter_unit_laws(f in filter_strategy(), attrs in attrs_strategy()) {
+        prop_assert_eq!(Filter::And(vec![f.clone()]).matches(&attrs), f.matches(&attrs));
+        prop_assert_eq!(Filter::Or(vec![f.clone()]).matches(&attrs), f.matches(&attrs));
+        prop_assert!(Filter::And(vec![]).matches(&attrs));
+        prop_assert!(!Filter::Or(vec![]).matches(&attrs));
+    }
+
+    /// MovieEntry survives the attribute encoding used on the wire.
+    #[test]
+    fn movie_entry_roundtrips(
+        title in "[a-zA-Z0-9 ]{1,16}",
+        format in "[a-zA-Z0-9]{1,8}",
+        rate in 1u32..120,
+        w in 16u32..4096,
+        h in 16u32..4096,
+        location in "[a-z0-9-]{1,12}",
+        frames in 1u64..1_000_000,
+    ) {
+        let entry = MovieEntry {
+            title,
+            format,
+            frame_rate: rate,
+            width: w,
+            height: h,
+            location,
+            frame_count: frames,
+        };
+        let attrs = entry.to_attrs();
+        let back = MovieEntry::from_attrs(&attrs).expect("generated attrs are valid");
+        prop_assert_eq!(back, entry);
+    }
+
+    /// Adding distinct entries then reading them back is lossless;
+    /// subtree search under the root finds them all; removal empties
+    /// the store.
+    #[test]
+    fn dsa_store_semantics(
+        names in prop::collection::btree_set("[a-z]{1,10}", 1..12),
+    ) {
+        let dsa = Dsa::new("prop");
+        let base: Dn = "o=movies".parse().unwrap();
+        dsa.add(base.clone(), Attrs::new()).unwrap();
+        let mut dns = Vec::new();
+        for n in &names {
+            let dn = base.child(Rdn::new("cn", n.clone()));
+            let mut entry = MovieEntry::new(n.clone(), "store");
+            entry.frame_count = 10;
+            dsa.add(dn.clone(), entry.to_attrs()).unwrap();
+            dns.push((dn, n.clone()));
+        }
+        prop_assert_eq!(dsa.len(), names.len() + 1);
+        // Double add is rejected.
+        let (dup, _) = &dns[0];
+        prop_assert!(dsa.add(dup.clone(), Attrs::new()).is_err());
+        // Every entry is readable and searchable.
+        for (dn, n) in &dns {
+            let attrs = dsa.read(dn).unwrap();
+            let entry = MovieEntry::from_attrs(&attrs).unwrap();
+            prop_assert_eq!(&entry.title, n);
+            let hits = dsa
+                .search(&base, Scope::Subtree, &Filter::eq_str(directory::attr::TITLE, n.clone()))
+                .unwrap();
+            prop_assert!(hits.iter().any(|(d, _)| d == dn));
+        }
+        // Base-scope search sees only the base.
+        let base_hits = dsa.search(&base, Scope::Base, &Filter::True).unwrap();
+        prop_assert_eq!(base_hits.len(), 1);
+        // Modify then read back.
+        let (first_dn, _) = &dns[0];
+        dsa.modify(first_dn, &[ModOp::Put("rating".into(), asn1::Value::Int(5))]).unwrap();
+        let modified = dsa.read(first_dn).unwrap();
+        prop_assert_eq!(modified.get("rating"), Some(&asn1::Value::Int(5)));
+        // Remove everything.
+        for (dn, _) in &dns {
+            dsa.remove(dn).unwrap();
+        }
+        prop_assert_eq!(dsa.len(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! The client-side Equipment User Agent (EUA).
+
+use crate::error::EcsError;
+use crate::registry::{ClientId, Eca, Enqueued, EquipmentClass, EquipmentDesc, EquipmentId};
+use netsim::SimTime;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Equipment User Agent: a client-side view over ECAs at multiple
+/// sites.
+#[derive(Debug, Clone)]
+pub struct Eua {
+    client: ClientId,
+    sites: BTreeMap<String, Arc<Eca>>,
+}
+
+impl Eua {
+    /// Creates an EUA acting for client `id`.
+    pub fn new(id: u32) -> Self {
+        Eua { client: ClientId(id), sites: BTreeMap::new() }
+    }
+
+    /// The client this agent acts for.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Makes a site's ECA reachable.
+    pub fn add_site(&mut self, eca: &Arc<Eca>) {
+        self.sites.insert(eca.site().to_string(), Arc::clone(eca));
+    }
+
+    /// Names of reachable sites, sorted.
+    pub fn sites(&self) -> Vec<&str> {
+        self.sites.keys().map(String::as_str).collect()
+    }
+
+    fn site(&self, name: &str) -> Result<&Arc<Eca>, EcsError> {
+        self.sites.get(name).ok_or_else(|| EcsError::UnknownSite(name.into()))
+    }
+
+    /// Lists equipment at a site.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown sites.
+    pub fn list(
+        &self,
+        site: &str,
+        class: Option<EquipmentClass>,
+    ) -> Result<Vec<EquipmentDesc>, EcsError> {
+        Ok(self.site(site)?.list(class))
+    }
+
+    /// Reserves equipment at a site (no lease).
+    ///
+    /// # Errors
+    ///
+    /// See [`Eca::reserve`].
+    pub fn reserve(&self, site: &str, id: EquipmentId) -> Result<(), EcsError> {
+        self.site(site)?.reserve(id, self.client)
+    }
+
+    /// Reserves equipment under a lease expiring at `expires`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Eca::reserve_until`].
+    pub fn reserve_until(
+        &self,
+        site: &str,
+        id: EquipmentId,
+        expires: SimTime,
+    ) -> Result<(), EcsError> {
+        self.site(site)?.reserve_until(id, self.client, expires)
+    }
+
+    /// Extends an owned lease.
+    ///
+    /// # Errors
+    ///
+    /// See [`Eca::renew`].
+    pub fn renew(&self, site: &str, id: EquipmentId, expires: SimTime) -> Result<(), EcsError> {
+        self.site(site)?.renew(id, self.client, expires)
+    }
+
+    /// Requests equipment, joining the FIFO wait queue when busy.
+    ///
+    /// # Errors
+    ///
+    /// See [`Eca::enqueue`].
+    pub fn enqueue(&self, site: &str, id: EquipmentId) -> Result<Enqueued, EcsError> {
+        self.site(site)?.enqueue(id, self.client)
+    }
+
+    /// Withdraws from a wait queue. Returns whether the client was
+    /// waiting.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown sites.
+    pub fn cancel_wait(&self, site: &str, id: EquipmentId) -> Result<bool, EcsError> {
+        Ok(self.site(site)?.cancel_wait(id, self.client))
+    }
+
+    /// Releases equipment.
+    ///
+    /// # Errors
+    ///
+    /// See [`Eca::release`].
+    pub fn release(&self, site: &str, id: EquipmentId) -> Result<(), EcsError> {
+        self.site(site)?.release(id, self.client)
+    }
+
+    /// Activates equipment.
+    ///
+    /// # Errors
+    ///
+    /// See [`Eca::activate`].
+    pub fn activate(&self, site: &str, id: EquipmentId) -> Result<(), EcsError> {
+        self.site(site)?.activate(id, self.client)
+    }
+
+    /// Deactivates equipment.
+    ///
+    /// # Errors
+    ///
+    /// See [`Eca::deactivate`].
+    pub fn deactivate(&self, site: &str, id: EquipmentId) -> Result<(), EcsError> {
+        self.site(site)?.deactivate(id, self.client)
+    }
+
+    /// Sets a parameter.
+    ///
+    /// # Errors
+    ///
+    /// See [`Eca::set_param`].
+    pub fn set_param(
+        &self,
+        site: &str,
+        id: EquipmentId,
+        name: &str,
+        value: i64,
+    ) -> Result<(), EcsError> {
+        self.site(site)?.set_param(id, self.client, name, value)
+    }
+
+    /// Finds and reserves a free device of `class` at `site`,
+    /// returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcsError::NoFreeDevice`] when every device of the
+    /// class is held by other clients, or [`EcsError::UnknownSite`].
+    pub fn acquire_class(
+        &self,
+        site: &str,
+        class: EquipmentClass,
+    ) -> Result<EquipmentId, EcsError> {
+        let eca = self.site(site)?;
+        for desc in eca.list(Some(class)) {
+            if eca.reserve(desc.id, self.client).is_ok() {
+                return Ok(desc.id);
+            }
+        }
+        Err(EcsError::NoFreeDevice(class))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params;
+    use netsim::SimDuration;
+
+    #[test]
+    fn eua_multi_site() {
+        let studio = Eca::new("studio");
+        let lecture = Eca::new("lecture-hall");
+        let cam = studio.register(EquipmentClass::Camera, "cam");
+        let spk = lecture.register(EquipmentClass::Speaker, "spk");
+        let mut eua = Eua::new(7);
+        eua.add_site(&studio);
+        eua.add_site(&lecture);
+        assert_eq!(eua.sites(), vec!["lecture-hall", "studio"]);
+        eua.reserve("studio", cam).unwrap();
+        eua.reserve("lecture-hall", spk).unwrap();
+        eua.set_param("lecture-hall", spk, params::VOLUME, 80).unwrap();
+        assert_eq!(eua.reserve("garage", cam), Err(EcsError::UnknownSite("garage".into())));
+        // A second EUA (different client) is locked out.
+        let mut other = Eua::new(8);
+        other.add_site(&studio);
+        assert_eq!(other.reserve("studio", cam), Err(EcsError::AlreadyReserved(cam)));
+    }
+
+    #[test]
+    fn acquire_class_picks_a_free_device() {
+        let site = Eca::new("studio");
+        let c1 = site.register(EquipmentClass::Camera, "c1");
+        let c2 = site.register(EquipmentClass::Camera, "c2");
+        let mut a = Eua::new(1);
+        let mut b = Eua::new(2);
+        a.add_site(&site);
+        b.add_site(&site);
+        let got_a = a.acquire_class("studio", EquipmentClass::Camera).unwrap();
+        let got_b = b.acquire_class("studio", EquipmentClass::Camera).unwrap();
+        assert_ne!(got_a, got_b);
+        assert!([c1, c2].contains(&got_a));
+        assert!([c1, c2].contains(&got_b));
+        // Both taken now.
+        let mut c = Eua::new(3);
+        c.add_site(&site);
+        assert!(c.acquire_class("studio", EquipmentClass::Camera).is_err());
+        // But a different class is unaffected (none registered).
+        assert!(c.acquire_class("studio", EquipmentClass::Speaker).is_err());
+    }
+
+    #[test]
+    fn lease_flow_via_eua() {
+        let site = Eca::new("studio");
+        let cam = site.register(EquipmentClass::Camera, "cam");
+        let mut eua = Eua::new(1);
+        eua.add_site(&site);
+        let deadline = SimTime::ZERO + SimDuration::from_millis(10);
+        eua.reserve_until("studio", cam, deadline).unwrap();
+        eua.renew("studio", cam, deadline + SimDuration::from_millis(50)).unwrap();
+        assert!(site.expire_leases(deadline + SimDuration::from_millis(20)).is_empty());
+        site.expire_leases(deadline + SimDuration::from_millis(51));
+        assert_eq!(site.state(cam), Some(crate::DeviceState::Free));
+    }
+
+    #[test]
+    fn queue_flow_via_eua() {
+        let site = Eca::new("studio");
+        let cam = site.register(EquipmentClass::Camera, "cam");
+        let mut a = Eua::new(1);
+        let mut b = Eua::new(2);
+        a.add_site(&site);
+        b.add_site(&site);
+        assert_eq!(a.enqueue("studio", cam).unwrap(), Enqueued::Granted);
+        assert_eq!(b.enqueue("studio", cam).unwrap(), Enqueued::Waiting(0));
+        assert!(b.cancel_wait("studio", cam).unwrap());
+        a.release("studio", cam).unwrap();
+        assert_eq!(site.state(cam), Some(crate::DeviceState::Free));
+    }
+}

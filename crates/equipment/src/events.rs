@@ -1,0 +1,163 @@
+//! ECS event log.
+//!
+//! The paper's generated application interface displays "incoming
+//! messages … in a window at the time of their arrival" (§4.2). The
+//! event log is the library-level analogue: every state change of the
+//! per-site registry is recorded and can be inspected by clients or
+//! test harnesses.
+
+use crate::registry::{ClientId, EquipmentId};
+use netsim::SimTime;
+use std::collections::VecDeque;
+
+/// One observable ECS state change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcsEvent {
+    /// A device was registered.
+    Registered(EquipmentId),
+    /// A client obtained the reservation.
+    Reserved(EquipmentId, ClientId),
+    /// The reservation was given up.
+    Released(EquipmentId, ClientId),
+    /// Capture/playout started.
+    Activated(EquipmentId, ClientId),
+    /// Capture/playout stopped (reservation kept).
+    Deactivated(EquipmentId, ClientId),
+    /// A parameter changed.
+    ParamSet {
+        /// Affected device.
+        id: EquipmentId,
+        /// Parameter name.
+        name: String,
+        /// New value.
+        value: i64,
+    },
+    /// A lease ran out and the reservation was revoked.
+    LeaseExpired(EquipmentId, ClientId),
+    /// A waiting client was granted the device after a release.
+    GrantedFromQueue(EquipmentId, ClientId),
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedEvent {
+    /// When the event was recorded (the registry's notion of now; the
+    /// zero time for operations that carry no clock).
+    pub at: SimTime,
+    /// What happened.
+    pub event: EcsEvent,
+}
+
+/// Bounded in-memory event log (oldest entries are dropped first).
+#[derive(Debug)]
+pub struct EventLog {
+    entries: VecDeque<LoggedEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Creates a log keeping at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        EventLog { entries: VecDeque::with_capacity(capacity.min(1024)), capacity, dropped: 0 }
+    }
+
+    /// Appends an event, evicting the oldest entry when full.
+    pub fn push(&mut self, at: SimTime, event: EcsEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(LoggedEvent { at, event });
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many entries were evicted since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The most recent `n` entries, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<LoggedEvent> {
+        let skip = self.entries.len().saturating_sub(n);
+        self.entries.iter().skip(skip).cloned().collect()
+    }
+
+    /// Drains the whole log, oldest first.
+    pub fn take_all(&mut self) -> Vec<LoggedEvent> {
+        self.entries.drain(..).collect()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u32) -> EcsEvent {
+        EcsEvent::Registered(EquipmentId(n))
+    }
+
+    #[test]
+    fn bounded_eviction() {
+        let mut log = EventLog::new(3);
+        for i in 0..5 {
+            log.push(SimTime::ZERO, ev(i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let recent = log.recent(10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].event, ev(2));
+        assert_eq!(recent[2].event, ev(4));
+    }
+
+    #[test]
+    fn recent_returns_tail() {
+        let mut log = EventLog::new(10);
+        for i in 0..6 {
+            log.push(SimTime::ZERO, ev(i));
+        }
+        let last_two = log.recent(2);
+        assert_eq!(last_two.len(), 2);
+        assert_eq!(last_two[0].event, ev(4));
+        assert_eq!(last_two[1].event, ev(5));
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing() {
+        let mut log = EventLog::new(0);
+        log.push(SimTime::ZERO, ev(1));
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn take_all_empties() {
+        let mut log = EventLog::default();
+        log.push(SimTime::ZERO, ev(1));
+        log.push(SimTime::from_micros(5), ev(2));
+        let all = log.take_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].at, SimTime::from_micros(5));
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the Estelle runtime.
+
+use crate::ids::{IpRef, ModuleId, ModuleKind};
+use std::fmt;
+
+/// Errors raised while building or executing a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstelleError {
+    /// A structural rule of Estelle (ISO 9074 §module attributes) was
+    /// violated; the message names the rule.
+    StructuralRule(String),
+    /// The referenced module does not exist or has been released.
+    UnknownModule(ModuleId),
+    /// The interaction point index is out of range for the module.
+    IpOutOfRange(IpRef),
+    /// The interaction point is already connected to a channel.
+    AlreadyConnected(IpRef),
+    /// Attempted to create a system module after the runtime was
+    /// started — the population of system modules is static (paper §4).
+    SystemPopulationFrozen(ModuleKind),
+    /// A dynamic operation was attempted by a module that is not the
+    /// parent of the target (only parents may create/release children).
+    NotParent {
+        /// Module attempting the operation.
+        actor: ModuleId,
+        /// Target child module.
+        target: ModuleId,
+    },
+    /// An interaction was output on an unconnected interaction point.
+    UnconnectedOutput(IpRef),
+}
+
+impl fmt::Display for EstelleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstelleError::StructuralRule(msg) => write!(f, "structural rule violated: {msg}"),
+            EstelleError::UnknownModule(m) => write!(f, "unknown module {m}"),
+            EstelleError::IpOutOfRange(ip) => write!(f, "interaction point out of range: {ip}"),
+            EstelleError::AlreadyConnected(ip) => {
+                write!(f, "interaction point already connected: {ip}")
+            }
+            EstelleError::SystemPopulationFrozen(k) => {
+                write!(f, "cannot create {k} module at runtime: system population is static")
+            }
+            EstelleError::NotParent { actor, target } => {
+                write!(f, "module {actor} is not the parent of {target}")
+            }
+            EstelleError::UnconnectedOutput(ip) => {
+                write!(f, "output on unconnected interaction point {ip}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstelleError {}
+
+/// Convenience result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, EstelleError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IpIndex;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EstelleError::StructuralRule("activity may contain only activities".into());
+        assert!(e.to_string().contains("activity"));
+        let e = EstelleError::AlreadyConnected(IpRef { module: ModuleId(1), ip: IpIndex(0) });
+        assert!(e.to_string().contains("m1.ip0"));
+        let e = EstelleError::SystemPopulationFrozen(ModuleKind::SystemProcess);
+        assert!(e.to_string().contains("static"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EstelleError>();
+    }
+}

@@ -1,0 +1,142 @@
+//! External-body utility modules.
+//!
+//! The paper's specification declares some module bodies `external`
+//! (ISODE interface, X application) and fills them with hand-written
+//! code (§4.3). The most common external body — bridging an Estelle
+//! interaction point to a byte-oriented transport medium — is provided
+//! here as [`MediumModule`].
+
+use crate::ids::{IpIndex, StateId};
+use crate::impl_interaction;
+use crate::machine::{StateMachine, Transition};
+use netsim::{Medium, SimDuration};
+
+/// Raw bytes crossing the boundary between a specification and a
+/// transport medium.
+#[derive(Debug)]
+pub struct WireData(pub Vec<u8>);
+impl_interaction!(WireData);
+
+/// The single interaction point of a [`MediumModule`].
+pub const MEDIUM_IP: IpIndex = IpIndex(0);
+
+/// An external-body module that forwards [`WireData`] interactions to a
+/// [`Medium`] and polls the medium for inbound traffic.
+///
+/// Structure of its body is exactly the §4.3 loop:
+///
+/// ```text
+/// while true do
+///   if (IP.message)    then send on medium
+///   if (medium.message) then output IP.message
+/// end
+/// ```
+#[derive(Debug)]
+pub struct MediumModule {
+    medium: Box<dyn Medium>,
+    /// Bytes forwarded from the specification to the medium.
+    pub bytes_out: u64,
+    /// Bytes delivered from the medium into the specification.
+    pub bytes_in: u64,
+}
+
+impl MediumModule {
+    /// Wraps `medium`.
+    pub fn new(medium: Box<dyn Medium>) -> Self {
+        MediumModule { medium, bytes_out: 0, bytes_in: 0 }
+    }
+}
+
+const RUN: StateId = StateId(0);
+
+impl StateMachine for MediumModule {
+    fn num_ips(&self) -> usize {
+        1
+    }
+
+    fn initial_state(&self) -> StateId {
+        RUN
+    }
+
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![
+            Transition::on("to-medium", RUN, MEDIUM_IP, |m: &mut Self, _ctx, msg| {
+                let data = crate::interaction::downcast::<WireData>(msg.expect("when clause"))
+                    .expect("medium modules carry WireData only");
+                m.bytes_out += data.0.len() as u64;
+                m.medium.send(data.0);
+            })
+            .cost(SimDuration::from_micros(20)),
+            Transition::spontaneous("from-medium", RUN, |m: &mut Self, ctx, _| {
+                if let Some(data) = m.medium.poll() {
+                    m.bytes_in += data.len() as u64;
+                    ctx.output(MEDIUM_IP, WireData(data));
+                }
+            })
+            .provided(|m, _| m.medium.available() > 0)
+            .cost(SimDuration::from_micros(20)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Ctx;
+    use crate::ids::{ModuleKind, ModuleLabels};
+    use crate::runtime::Runtime;
+    use crate::sched::{run_sequential, SeqOptions};
+    use netsim::LoopbackMedium;
+
+    #[derive(Debug, Default)]
+    struct EchoUser {
+        got: Vec<Vec<u8>>,
+    }
+    impl StateMachine for EchoUser {
+        fn num_ips(&self) -> usize {
+            1
+        }
+        fn initial_state(&self) -> StateId {
+            RUN
+        }
+        fn on_init(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.output(IpIndex(0), WireData(b"hello".to_vec()));
+        }
+        fn transitions() -> Vec<Transition<Self>> {
+            vec![Transition::on("recv", RUN, IpIndex(0), |m: &mut Self, _ctx, msg| {
+                let d = crate::interaction::downcast::<WireData>(msg.unwrap()).unwrap();
+                m.got.push(d.0);
+            })]
+        }
+    }
+
+    #[test]
+    fn medium_module_bridges_both_directions() {
+        let (ma, mb) = LoopbackMedium::pair();
+        let (rt, _c) = Runtime::sim();
+        let user = rt
+            .add_module(None, "user", ModuleKind::SystemProcess, ModuleLabels::default(), EchoUser::default())
+            .unwrap();
+        let sys = rt
+            .add_module(
+                None,
+                "wire",
+                ModuleKind::SystemProcess,
+                ModuleLabels::default(),
+                MediumModule::new(Box::new(ma)),
+            )
+            .unwrap();
+        rt.connect(crate::ctx::ip(user, IpIndex(0)), crate::ctx::ip(sys, MEDIUM_IP))
+            .unwrap();
+        rt.start().unwrap();
+        run_sequential(&rt, &SeqOptions::default());
+        // The user's init message crossed onto the medium.
+        assert_eq!(mb.poll().unwrap(), b"hello");
+        // Push something back and run again.
+        mb.send(b"world".to_vec());
+        run_sequential(&rt, &SeqOptions::default());
+        let got = rt.with_machine::<EchoUser, _>(user, |u| u.got.clone()).unwrap();
+        assert_eq!(got, vec![b"world".to_vec()]);
+        assert!(rt.with_machine::<MediumModule, _>(sys, |m| m.bytes_out).unwrap() == 5);
+    }
+}

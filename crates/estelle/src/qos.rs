@@ -1,0 +1,286 @@
+//! QoS annotations and runtime monitoring — the paper's missing piece.
+//!
+//! The paper's conclusion (§6) opens with: *"One of the major problems
+//! of Estelle in a real-time environment is that QoS parameters cannot
+//! be specified. … Non-realtime protocols such as MCAM also have QoS
+//! requirements, e.g. maximum delay of an interaction, but these are
+//! not as critical."* This module supplies the extension the authors
+//! wished for: a [`QosSpec`] attaches *maximum-delay budgets* to
+//! interaction points, and a [`QosMonitor`] installed on the runtime
+//! ([`crate::Runtime::attach_qos`]) measures the queueing delay of
+//! every consumed interaction — the time from `output` to the firing
+//! that consumes it — recording statistics and budget violations.
+//!
+//! # Examples
+//!
+//! ```
+//! use estelle::qos::QosSpec;
+//! use netsim::SimDuration;
+//!
+//! let spec = QosSpec::new()
+//!     .default_max_delay(SimDuration::from_millis(50));
+//! assert!(spec.budget_for_unconfigured().is_some());
+//! ```
+
+use crate::ids::{IpIndex, ModuleId};
+use netsim::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Maximum-delay budgets for interactions, keyed by the *consuming*
+/// interaction point.
+///
+/// A budget bounds the queueing delay of an interaction: the virtual
+/// time between the producing module's `output` and the consuming
+/// transition's firing. Interaction points without their own budget
+/// fall back to the default, if set; otherwise they are measured but
+/// never flagged.
+#[derive(Debug, Clone, Default)]
+pub struct QosSpec {
+    per_ip: HashMap<(ModuleId, IpIndex), SimDuration>,
+    default_budget: Option<SimDuration>,
+}
+
+impl QosSpec {
+    /// An empty spec: everything measured, nothing flagged.
+    pub fn new() -> Self {
+        QosSpec::default()
+    }
+
+    /// Sets the maximum queueing delay for interactions consumed at
+    /// `(module, ip)`.
+    pub fn max_delay(mut self, module: ModuleId, ip: IpIndex, budget: SimDuration) -> Self {
+        self.per_ip.insert((module, ip), budget);
+        self
+    }
+
+    /// Sets the budget applied to every interaction point without an
+    /// explicit one.
+    pub fn default_max_delay(mut self, budget: SimDuration) -> Self {
+        self.default_budget = Some(budget);
+        self
+    }
+
+    /// The budget in force for `(module, ip)`.
+    pub fn budget_for(&self, module: ModuleId, ip: IpIndex) -> Option<SimDuration> {
+        self.per_ip.get(&(module, ip)).copied().or(self.default_budget)
+    }
+
+    /// The fallback budget for unconfigured interaction points.
+    pub fn budget_for_unconfigured(&self) -> Option<SimDuration> {
+        self.default_budget
+    }
+}
+
+/// One budget overrun.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QosViolation {
+    /// Consuming module.
+    pub module: ModuleId,
+    /// Consuming interaction point.
+    pub ip: IpIndex,
+    /// Interaction type name.
+    pub interaction: &'static str,
+    /// Observed queueing delay.
+    pub delay: SimDuration,
+    /// The budget that was exceeded.
+    pub budget: SimDuration,
+    /// Virtual time of the consuming firing.
+    pub at: SimTime,
+}
+
+#[derive(Debug, Default, Clone)]
+struct IpStats {
+    consumed: u64,
+    total: SimDuration,
+    max: SimDuration,
+    violations: u64,
+}
+
+/// Per-interaction-point delay statistics in a [`QosReport`].
+#[derive(Debug, Clone)]
+pub struct QosEntry {
+    /// Consuming module.
+    pub module: ModuleId,
+    /// Consuming interaction point.
+    pub ip: IpIndex,
+    /// Interactions consumed.
+    pub consumed: u64,
+    /// Mean queueing delay.
+    pub mean_delay: SimDuration,
+    /// Worst queueing delay.
+    pub max_delay: SimDuration,
+    /// Budget in force, if any.
+    pub budget: Option<SimDuration>,
+    /// Number of budget overruns.
+    pub violations: u64,
+}
+
+/// Snapshot of everything a [`QosMonitor`] observed.
+#[derive(Debug, Clone, Default)]
+pub struct QosReport {
+    /// Per-interaction-point statistics, ordered by (module, ip).
+    pub entries: Vec<QosEntry>,
+    /// Every individual violation, in observation order.
+    pub violations: Vec<QosViolation>,
+}
+
+impl QosReport {
+    /// True when no budget was overrun.
+    pub fn all_within_budget(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Worst delay observed anywhere.
+    pub fn worst_delay(&self) -> SimDuration {
+        self.entries
+            .iter()
+            .map(|e| e.max_delay)
+            .fold(SimDuration::ZERO, SimDuration::max)
+    }
+}
+
+/// Runtime QoS monitor: observes every consumed interaction and
+/// checks it against a [`QosSpec`].
+///
+/// Attach with [`crate::Runtime::attach_qos`]; obtain results with
+/// [`QosMonitor::report`].
+#[derive(Debug)]
+pub struct QosMonitor {
+    spec: QosSpec,
+    stats: Mutex<HashMap<(ModuleId, IpIndex), IpStats>>,
+    violations: Mutex<Vec<QosViolation>>,
+}
+
+impl QosMonitor {
+    /// Creates a monitor enforcing `spec`.
+    pub fn new(spec: QosSpec) -> Self {
+        QosMonitor { spec, stats: Mutex::new(HashMap::new()), violations: Mutex::new(Vec::new()) }
+    }
+
+    /// The spec being enforced.
+    pub fn spec(&self) -> &QosSpec {
+        &self.spec
+    }
+
+    /// Records one consumed interaction. Called by the runtime.
+    pub(crate) fn observe(
+        &self,
+        module: ModuleId,
+        ip: IpIndex,
+        interaction: &'static str,
+        delay: SimDuration,
+        at: SimTime,
+    ) {
+        let budget = self.spec.budget_for(module, ip);
+        {
+            let mut stats = self.stats.lock();
+            let s = stats.entry((module, ip)).or_default();
+            s.consumed += 1;
+            s.total += delay;
+            s.max = s.max.max(delay);
+            if matches!(budget, Some(b) if delay > b) {
+                s.violations += 1;
+            }
+        }
+        if let Some(b) = budget {
+            if delay > b {
+                self.violations.lock().push(QosViolation {
+                    module,
+                    ip,
+                    interaction,
+                    delay,
+                    budget: b,
+                    at,
+                });
+            }
+        }
+    }
+
+    /// Snapshot of statistics and violations so far.
+    pub fn report(&self) -> QosReport {
+        let stats = self.stats.lock();
+        let mut entries: Vec<QosEntry> = stats
+            .iter()
+            .map(|(&(module, ip), s)| QosEntry {
+                module,
+                ip,
+                consumed: s.consumed,
+                mean_delay: s
+                    .total
+                    .as_micros()
+                    .checked_div(s.consumed)
+                    .map_or(SimDuration::ZERO, SimDuration::from_micros),
+                max_delay: s.max,
+                budget: self.spec.budget_for(module, ip),
+                violations: s.violations,
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.module.index(), e.ip.0));
+        QosReport { entries, violations: self.violations.lock().clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn spec_lookup_prefers_specific_budget() {
+        let m = ModuleId::from_raw(1);
+        let spec = QosSpec::new()
+            .max_delay(m, IpIndex(0), us(10))
+            .default_max_delay(us(100));
+        assert_eq!(spec.budget_for(m, IpIndex(0)), Some(us(10)));
+        assert_eq!(spec.budget_for(m, IpIndex(1)), Some(us(100)));
+        assert_eq!(QosSpec::new().budget_for(m, IpIndex(0)), None);
+    }
+
+    #[test]
+    fn monitor_flags_only_over_budget() {
+        let m = ModuleId::from_raw(3);
+        let monitor = QosMonitor::new(QosSpec::new().max_delay(m, IpIndex(0), us(50)));
+        monitor.observe(m, IpIndex(0), "A", us(20), SimTime::ZERO);
+        monitor.observe(m, IpIndex(0), "A", us(50), SimTime::ZERO); // exactly at budget: ok
+        monitor.observe(m, IpIndex(0), "A", us(80), SimTime::ZERO + us(5));
+        let report = monitor.report();
+        assert_eq!(report.entries.len(), 1);
+        let e = &report.entries[0];
+        assert_eq!(e.consumed, 3);
+        assert_eq!(e.mean_delay, us(50));
+        assert_eq!(e.max_delay, us(80));
+        assert_eq!(e.violations, 1);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].delay, us(80));
+        assert_eq!(report.violations[0].budget, us(50));
+        assert!(!report.all_within_budget());
+        assert_eq!(report.worst_delay(), us(80));
+    }
+
+    #[test]
+    fn unbudgeted_points_are_measured_not_flagged() {
+        let m = ModuleId::from_raw(4);
+        let monitor = QosMonitor::new(QosSpec::new());
+        monitor.observe(m, IpIndex(2), "B", us(1_000_000), SimTime::ZERO);
+        let report = monitor.report();
+        assert!(report.all_within_budget());
+        assert_eq!(report.entries[0].budget, None);
+        assert_eq!(report.entries[0].max_delay, us(1_000_000));
+    }
+
+    #[test]
+    fn entries_sorted_by_module_then_ip() {
+        let monitor = QosMonitor::new(QosSpec::new());
+        monitor.observe(ModuleId::from_raw(2), IpIndex(1), "X", us(1), SimTime::ZERO);
+        monitor.observe(ModuleId::from_raw(1), IpIndex(3), "X", us(1), SimTime::ZERO);
+        monitor.observe(ModuleId::from_raw(1), IpIndex(0), "X", us(1), SimTime::ZERO);
+        let report = monitor.report();
+        let keys: Vec<(usize, u16)> =
+            report.entries.iter().map(|e| (e.module.index(), e.ip.0)).collect();
+        assert_eq!(keys, vec![(1, 0), (1, 3), (2, 1)]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Schedulers: sequential reference, decentralized thread-parallel,
+//! and centralized coordinator/worker.
+//!
+//! The paper's §5.2 observation — "for protocols with small processing
+//! times, the Estelle scheduler becomes the bottleneck … runtime
+//! percentage of the scheduler of up to 80 %; our scheduler … is
+//! decentralized" — is reproduced by instrumenting selection time
+//! (scheduler) separately from action time (useful work) and by
+//! offering both a centralized and a decentralized implementation.
+
+use crate::grouping::GroupingPolicy;
+use crate::ids::ModuleId;
+use crate::machine::Dispatch;
+use crate::runtime::{Counters, FireOutcome, Runtime};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the sequential scheduler commits firings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FirePolicy {
+    /// Fire every eligible module found during one pass over the
+    /// module list before rescanning — amortizes scan cost.
+    #[default]
+    Pass,
+    /// Rescan from the beginning after every single firing — the
+    /// classic centralized scheduler with O(modules) dispatch cost per
+    /// firing.
+    OnePerScan,
+}
+
+/// Options for [`run_sequential`].
+#[derive(Debug, Clone)]
+pub struct SeqOptions {
+    /// Transition-selection strategy.
+    pub dispatch: Dispatch,
+    /// Firing commitment policy.
+    pub fire_policy: FirePolicy,
+    /// Stop after this many firings (safety valve / partial runs).
+    pub max_firings: Option<u64>,
+    /// Advance the virtual clock to the next `delay` deadline when no
+    /// transition is enabled (requires a virtual-clock runtime).
+    pub advance_time: bool,
+}
+
+impl Default for SeqOptions {
+    fn default() -> Self {
+        SeqOptions {
+            dispatch: Dispatch::TableDriven,
+            fire_policy: FirePolicy::Pass,
+            max_firings: None,
+            advance_time: true,
+        }
+    }
+}
+
+/// Why a scheduler run returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No module enabled and no future deadline (or time advancement
+    /// disabled).
+    Quiescent,
+    /// The firing budget was exhausted.
+    MaxFirings,
+    /// The wall-clock safety timeout expired.
+    Timeout,
+}
+
+/// Report of one scheduler run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Transitions fired during this run.
+    pub firings: u64,
+    /// Wall time of the run.
+    pub wall: Duration,
+    /// Why the run stopped.
+    pub stopped: StopReason,
+    /// Counter deltas accumulated during the run.
+    pub counters: Counters,
+}
+
+fn counters_delta(after: Counters, before: Counters) -> Counters {
+    Counters {
+        firings: after.firings - before.firings,
+        inits: after.inits - before.inits,
+        selects: after.selects - before.selects,
+        scan_ns: after.scan_ns - before.scan_ns,
+        action_ns: after.action_ns - before.action_ns,
+        blocked: after.blocked - before.blocked,
+        lost_outputs: after.lost_outputs - before.lost_outputs,
+        msgs_to_dead: after.msgs_to_dead - before.msgs_to_dead,
+    }
+}
+
+/// Runs the specification on a single thread until quiescence (or a
+/// budget/deadline stop). This is the reference semantics: every
+/// parallel execution must be a linearization-equivalent of what this
+/// scheduler produces at the protocol level.
+pub fn run_sequential(rt: &Runtime, opts: &SeqOptions) -> RunReport {
+    let before = rt.counters();
+    let t0 = Instant::now();
+    let mut fired_total = 0u64;
+    let stopped;
+    'outer: loop {
+        let modules = rt.alive_modules();
+        let mut fired_this_pass = 0u64;
+        for id in &modules {
+            if let Some(max) = opts.max_firings {
+                if fired_total >= max {
+                    stopped = StopReason::MaxFirings;
+                    break 'outer;
+                }
+            }
+            match rt.try_fire(*id, opts.dispatch) {
+                FireOutcome::Fired(_) => {
+                    fired_total += 1;
+                    fired_this_pass += 1;
+                    if opts.fire_policy == FirePolicy::OnePerScan {
+                        // Centralized behaviour: restart the scan after
+                        // each firing.
+                        continue 'outer;
+                    }
+                }
+                FireOutcome::NotEnabled | FireOutcome::Blocked | FireOutcome::Dead => {}
+            }
+        }
+        if fired_this_pass == 0 {
+            if opts.advance_time {
+                if let Some(deadline) = rt.next_deadline() {
+                    if deadline > rt.now() {
+                        rt.advance_clock_to(deadline);
+                        continue;
+                    }
+                }
+            }
+            stopped = StopReason::Quiescent;
+            break;
+        }
+    }
+    RunReport {
+        firings: fired_total,
+        wall: t0.elapsed(),
+        stopped,
+        counters: counters_delta(rt.counters(), before),
+    }
+}
+
+/// Options for the parallel schedulers.
+#[derive(Debug, Clone)]
+pub struct ParOptions {
+    /// Number of worker threads (units).
+    pub units: usize,
+    /// Module-to-unit mapping policy.
+    pub grouping: GroupingPolicy,
+    /// Transition-selection strategy.
+    pub dispatch: Dispatch,
+    /// Stop after this many total firings.
+    pub max_firings: Option<u64>,
+    /// Wall-clock safety timeout.
+    pub timeout: Duration,
+    /// Advance the virtual clock at global idle (virtual-clock
+    /// runtimes only).
+    pub advance_time: bool,
+}
+
+impl Default for ParOptions {
+    fn default() -> Self {
+        ParOptions {
+            units: 2,
+            grouping: GroupingPolicy::RoundRobin { units: 2 },
+            dispatch: Dispatch::TableDriven,
+            max_firings: None,
+            timeout: Duration::from_secs(30),
+            advance_time: true,
+        }
+    }
+}
+
+/// Runs the specification on `opts.units` worker threads, each worker
+/// scanning only the modules its unit owns (the *decentralized*
+/// scheduler: "each part only has to check the transitions of one
+/// module; this can be done in parallel").
+pub fn run_threads(rt: &Arc<Runtime>, opts: &ParOptions) -> RunReport {
+    let before = rt.counters();
+    let t0 = Instant::now();
+    let stop = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicU64::new(0));
+    let fired = Arc::new(AtomicU64::new(0));
+    let units = opts.units.max(1);
+
+    std::thread::scope(|scope| {
+        for unit in 0..units {
+            let rt = Arc::clone(rt);
+            let stop = Arc::clone(&stop);
+            let progress = Arc::clone(&progress);
+            let fired = Arc::clone(&fired);
+            let opts = opts.clone();
+            scope.spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let mut any = false;
+                    for id in rt.alive_modules() {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        if opts.grouping.assign_in(&rt, id).0 as usize % units != unit {
+                            continue;
+                        }
+                        if let FireOutcome::Fired(_) = rt.try_fire(id, opts.dispatch) {
+                            any = true;
+                            progress.fetch_add(1, Ordering::SeqCst);
+                            let f = fired.fetch_add(1, Ordering::SeqCst) + 1;
+                            if let Some(max) = opts.max_firings {
+                                if f >= max {
+                                    stop.store(true, Ordering::SeqCst);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    if !any {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        // Supervisor: detect quiescence (progress stagnant AND nothing
+        // enabled), advance virtual time at global idle, enforce the
+        // timeout.
+        let mut last_progress = progress.load(Ordering::SeqCst);
+        let mut stopped = StopReason::Quiescent;
+        loop {
+            std::thread::sleep(Duration::from_micros(200));
+            if stop.load(Ordering::SeqCst) {
+                stopped = StopReason::MaxFirings;
+                break;
+            }
+            if t0.elapsed() > opts.timeout {
+                stopped = StopReason::Timeout;
+                break;
+            }
+            let p = progress.load(Ordering::SeqCst);
+            if p != last_progress {
+                last_progress = p;
+                continue;
+            }
+            if rt.any_enabled(opts.dispatch) {
+                continue;
+            }
+            // Re-check stagnation after the enabled scan to close the
+            // window where a worker fired mid-scan.
+            if progress.load(Ordering::SeqCst) != p {
+                last_progress = progress.load(Ordering::SeqCst);
+                continue;
+            }
+            if opts.advance_time {
+                if let Some(deadline) = rt.next_deadline() {
+                    if deadline > rt.now() {
+                        rt.advance_clock_to(deadline);
+                        continue;
+                    }
+                }
+            }
+            break;
+        }
+        stop.store(true, Ordering::SeqCst);
+        stopped
+    });
+
+    let stopped = if t0.elapsed() > opts.timeout {
+        StopReason::Timeout
+    } else if opts
+        .max_firings
+        .is_some_and(|m| fired.load(Ordering::SeqCst) >= m)
+    {
+        StopReason::MaxFirings
+    } else {
+        StopReason::Quiescent
+    };
+    RunReport {
+        firings: fired.load(Ordering::SeqCst),
+        wall: t0.elapsed(),
+        stopped,
+        counters: counters_delta(rt.counters(), before),
+    }
+}
+
+/// Runs the specification with a *centralized* scheduler: a single
+/// coordinator repeatedly scans the whole module population for
+/// enabled transitions and hands them one at a time to a worker pool.
+/// The coordinator's scan is the global bottleneck the paper measured
+/// at up to 80 % of runtime.
+pub fn run_centralized(rt: &Arc<Runtime>, opts: &ParOptions) -> RunReport {
+    let before = rt.counters();
+    let t0 = Instant::now();
+    let units = opts.units.max(1);
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<ModuleId>();
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<bool>();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut fired_total = 0u64;
+    let mut stopped = StopReason::Quiescent;
+
+    std::thread::scope(|scope| {
+        for _ in 0..units {
+            let rt = Arc::clone(rt);
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            let stop = Arc::clone(&stop);
+            let dispatch = opts.dispatch;
+            scope.spawn(move || {
+                while let Ok(id) = work_rx.recv() {
+                    if stop.load(Ordering::SeqCst) {
+                        let _ = done_tx.send(false);
+                        continue;
+                    }
+                    let fired = matches!(rt.try_fire(id, dispatch), FireOutcome::Fired(_));
+                    let _ = done_tx.send(fired);
+                }
+            });
+        }
+        'outer: loop {
+            if t0.elapsed() > opts.timeout {
+                stopped = StopReason::Timeout;
+                break;
+            }
+            // Coordinator scan: find all currently-enabled modules.
+            let enabled: Vec<ModuleId> = rt
+                .alive_modules()
+                .into_iter()
+                .filter(|&id| rt.module_enabled(id, opts.dispatch))
+                .collect();
+            if enabled.is_empty() {
+                if opts.advance_time {
+                    if let Some(deadline) = rt.next_deadline() {
+                        if deadline > rt.now() {
+                            rt.advance_clock_to(deadline);
+                            continue;
+                        }
+                    }
+                }
+                stopped = StopReason::Quiescent;
+                break;
+            }
+            let batch = enabled.len();
+            for id in enabled {
+                work_tx.send(id).expect("workers alive");
+            }
+            for _ in 0..batch {
+                if done_rx.recv().unwrap_or(false) {
+                    fired_total += 1;
+                    if let Some(max) = opts.max_firings {
+                        if fired_total >= max {
+                            stopped = StopReason::MaxFirings;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        drop(work_tx);
+    });
+
+    RunReport {
+        firings: fired_total,
+        wall: t0.elapsed(),
+        stopped,
+        counters: counters_delta(rt.counters(), before),
+    }
+}

@@ -1,0 +1,191 @@
+//! Tests of the ref [2] extension: dynamic creation of system modules
+//! after start (base Estelle fixes the system population — paper
+//! §4.1, footnote 1).
+
+use estelle::sched::{run_sequential, SeqOptions};
+use estelle::{
+    impl_interaction, ip, Ctx, EstelleError, IpIndex, ModuleKind, ModuleLabels, Runtime,
+    StateId, StateMachine, Transition,
+};
+
+#[derive(Debug)]
+struct Hello(u32);
+impl_interaction!(Hello);
+
+const S0: StateId = StateId(0);
+const IO: IpIndex = IpIndex(0);
+
+/// Greets the server once, on its first scheduled transition (not in
+/// `initialize`, so dynamically created clients can be wired up
+/// before the greeting leaves).
+#[derive(Debug)]
+struct Client {
+    id: u32,
+    inited: bool,
+    greeted: bool,
+}
+
+impl Client {
+    fn new(id: u32) -> Self {
+        Client { id, inited: false, greeted: false }
+    }
+}
+
+impl StateMachine for Client {
+    fn num_ips(&self) -> usize {
+        1
+    }
+    fn initial_state(&self) -> StateId {
+        S0
+    }
+    fn on_init(&mut self, _ctx: &mut Ctx<'_>) {
+        self.inited = true;
+    }
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![Transition::spontaneous("greet", S0, |m: &mut Self, ctx, _| {
+            m.greeted = true;
+            ctx.output(IO, Hello(m.id));
+        })
+        .provided(|m, _| !m.greeted)]
+    }
+}
+
+/// Counts greetings from any number of clients.
+#[derive(Debug, Default)]
+struct Server {
+    greetings: Vec<u32>,
+}
+
+impl StateMachine for Server {
+    fn num_ips(&self) -> usize {
+        4
+    }
+    fn initial_state(&self) -> StateId {
+        S0
+    }
+    fn transitions() -> Vec<Transition<Self>> {
+        (0..4u16)
+            .map(|i| {
+                // One transition per interaction point; all call the
+                // same handler via a small trampoline per ip.
+                Transition::on(
+                    match i {
+                        0 => "greet0",
+                        1 => "greet1",
+                        2 => "greet2",
+                        _ => "greet3",
+                    },
+                    S0,
+                    IpIndex(i),
+                    |m: &mut Server, _ctx, msg| {
+                        let hello = estelle::downcast::<Hello>(msg.unwrap()).unwrap();
+                        m.greetings.push(hello.0);
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn base_estelle_rejects_post_start_system_modules() {
+    let (rt, _clock) = Runtime::sim();
+    rt.add_module(
+        None,
+        "server",
+        ModuleKind::SystemProcess,
+        ModuleLabels::default(),
+        Server::default(),
+    )
+    .unwrap();
+    rt.start().unwrap();
+    let err = rt
+        .add_module(
+            None,
+            "late-client",
+            ModuleKind::SystemProcess,
+            ModuleLabels::conn(1),
+            Client::new(1),
+        )
+        .unwrap_err();
+    assert!(matches!(err, EstelleError::SystemPopulationFrozen(_)), "{err:?}");
+}
+
+#[test]
+fn extension_allows_dynamic_clients() {
+    let (rt, _clock) = Runtime::sim();
+    let server = rt
+        .add_module(
+            None,
+            "server",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Server::default(),
+        )
+        .unwrap();
+    let c0 = rt
+        .add_module(
+            None,
+            "client-0",
+            ModuleKind::SystemProcess,
+            ModuleLabels::conn(0),
+            Client::new(0),
+        )
+        .unwrap();
+    rt.connect(ip(c0, IO), ip(server, IpIndex(0))).unwrap();
+    rt.enable_dynamic_systems();
+    assert!(rt.dynamic_systems_enabled());
+    rt.start().unwrap();
+    run_sequential(&rt, &SeqOptions::default());
+    assert_eq!(rt.with_machine::<Server, _>(server, |s| s.greetings.clone()).unwrap(), vec![0]);
+
+    // The number of clients is NOT fixed any more: create two more at
+    // "runtime" and wire them up.
+    for i in 1..3u32 {
+        let c = rt
+            .add_module(
+                None,
+                format!("client-{i}"),
+                ModuleKind::SystemProcess,
+                ModuleLabels::conn(i as u16),
+                Client::new(i),
+            )
+            .expect("dynamic extension active");
+        // Initialize ran immediately (and queued its greeting).
+        assert!(rt.with_machine::<Client, _>(c, |m| m.inited).unwrap());
+        rt.connect(ip(c, IO), ip(server, IpIndex(i as u16))).unwrap();
+    }
+    run_sequential(&rt, &SeqOptions::default());
+    let mut greetings = rt
+        .with_machine::<Server, _>(server, |s| s.greetings.clone())
+        .unwrap();
+    greetings.sort_unstable();
+    assert_eq!(greetings, vec![0, 1, 2]);
+}
+
+#[test]
+fn structural_rules_still_enforced_dynamically() {
+    let (rt, _clock) = Runtime::sim();
+    rt.add_module(
+        None,
+        "server",
+        ModuleKind::SystemProcess,
+        ModuleLabels::default(),
+        Server::default(),
+    )
+    .unwrap();
+    rt.enable_dynamic_systems();
+    rt.start().unwrap();
+    // A bare process module at the root violates ISO 9074 regardless
+    // of the extension (a process must live inside a system module).
+    let err = rt
+        .add_module(
+            None,
+            "loose-process",
+            ModuleKind::Process,
+            ModuleLabels::default(),
+            Client::new(9),
+        )
+        .unwrap_err();
+    assert!(matches!(err, EstelleError::StructuralRule(_)), "{err:?}");
+}

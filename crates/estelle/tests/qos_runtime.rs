@@ -1,0 +1,155 @@
+//! End-to-end tests of the QoS extension (§6): budgets on interaction
+//! delay, measured through the real runtime and schedulers.
+
+use estelle::qos::QosSpec;
+use estelle::sched::{run_sequential, SeqOptions};
+use estelle::{
+    impl_interaction, ip, Ctx, IpIndex, ModuleKind, ModuleLabels, Runtime, StateId,
+    StateMachine, Transition,
+};
+use netsim::SimDuration;
+
+#[derive(Debug)]
+struct Ping(#[allow(dead_code)] u32);
+impl_interaction!(Ping);
+
+const S0: StateId = StateId(0);
+const IO: IpIndex = IpIndex(0);
+
+/// Emits `count` pings immediately at start.
+#[derive(Debug)]
+struct Producer {
+    count: u32,
+}
+
+impl StateMachine for Producer {
+    fn num_ips(&self) -> usize {
+        1
+    }
+    fn initial_state(&self) -> StateId {
+        S0
+    }
+    fn on_init(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.count {
+            ctx.output(IO, Ping(i));
+        }
+    }
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![]
+    }
+}
+
+/// Consumes pings, but only after sitting in its state for the
+/// configured delay — so queued messages age before consumption.
+#[derive(Debug, Default)]
+struct SlowConsumer {
+    got: u32,
+}
+
+impl StateMachine for SlowConsumer {
+    fn num_ips(&self) -> usize {
+        1
+    }
+    fn initial_state(&self) -> StateId {
+        S0
+    }
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![Transition::on("consume", S0, IO, |m: &mut Self, ctx, _msg| {
+            m.got += 1;
+            // Re-arm the delay clause by re-entering the state.
+            ctx.goto(S0);
+        })
+        .delay(SimDuration::from_millis(5))]
+    }
+}
+
+fn build() -> (Runtime, estelle::ModuleId, estelle::ModuleId) {
+    let (rt, _clock) = Runtime::sim();
+    let p = rt
+        .add_module(
+            None,
+            "producer",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Producer { count: 3 },
+        )
+        .unwrap();
+    let c = rt
+        .add_module(
+            None,
+            "consumer",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            SlowConsumer::default(),
+        )
+        .unwrap();
+    rt.connect(ip(p, IO), ip(c, IO)).unwrap();
+    (rt, p, c)
+}
+
+#[test]
+fn delayed_consumption_violates_tight_budget() {
+    let (rt, _p, c) = build();
+    let monitor = rt.attach_qos(
+        QosSpec::new().max_delay(c, IO, SimDuration::from_millis(1)),
+    );
+    rt.start().unwrap();
+    run_sequential(&rt, &SeqOptions::default());
+    let got = rt.with_machine::<SlowConsumer, _>(c, |m| m.got).unwrap();
+    assert_eq!(got, 3, "all pings consumed");
+    let report = monitor.report();
+    assert!(!report.all_within_budget());
+    // Every ping waited at least the 5ms delay clause; all three
+    // violate the 1ms budget.
+    assert_eq!(report.violations.len(), 3);
+    assert!(report.worst_delay() >= SimDuration::from_millis(5));
+    let entry = &report.entries[0];
+    assert_eq!(entry.module, c);
+    assert_eq!(entry.consumed, 3);
+    assert_eq!(entry.violations, 3);
+    assert_eq!(entry.budget, Some(SimDuration::from_millis(1)));
+    // Violations carry the interaction type name.
+    assert!(report.violations.iter().all(|v| v.interaction == "Ping"));
+}
+
+#[test]
+fn generous_budget_passes() {
+    let (rt, _p, c) = build();
+    let monitor = rt.attach_qos(
+        QosSpec::new().max_delay(c, IO, SimDuration::from_secs(60)),
+    );
+    rt.start().unwrap();
+    run_sequential(&rt, &SeqOptions::default());
+    let report = monitor.report();
+    assert!(report.all_within_budget(), "violations: {:?}", report.violations);
+    assert_eq!(report.entries[0].consumed, 3);
+    assert!(report.entries[0].mean_delay >= SimDuration::from_millis(5));
+}
+
+#[test]
+fn detach_stops_observation() {
+    let (rt, _p, c) = build();
+    let monitor = rt.attach_qos(QosSpec::new());
+    assert!(rt.qos_monitor().is_some());
+    let detached = rt.detach_qos().expect("was attached");
+    assert!(rt.qos_monitor().is_none());
+    rt.start().unwrap();
+    run_sequential(&rt, &SeqOptions::default());
+    assert_eq!(detached.report().entries.len(), 0, "no observations after detach");
+    assert_eq!(monitor.report().entries.len(), 0);
+    let got = rt.with_machine::<SlowConsumer, _>(c, |m| m.got).unwrap();
+    assert_eq!(got, 3, "execution itself unaffected");
+}
+
+#[test]
+fn unbudgeted_run_measures_only() {
+    let (rt, _p, c) = build();
+    let monitor = rt.attach_qos(QosSpec::new());
+    rt.start().unwrap();
+    run_sequential(&rt, &SeqOptions::default());
+    let report = monitor.report();
+    assert!(report.all_within_budget());
+    assert_eq!(report.entries.len(), 1);
+    assert_eq!(report.entries[0].budget, None);
+    assert_eq!(report.entries[0].module, c);
+}

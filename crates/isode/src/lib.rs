@@ -1,0 +1,23 @@
+//! `isode` — the hand-coded presentation/session stack ("ISODE v8.0"
+//! substitute) plus the §4.3 Estelle↔ISODE interface module.
+//!
+//! The paper runs MCAM over two alternative lower stacks to compare
+//! generated and hand-written code:
+//!
+//! 1. Estelle-generated presentation + session (crates `presentation`,
+//!    `session`);
+//! 2. ISODE — a hand-written implementation reached through an
+//!    external-body *interface module*.
+//!
+//! [`IsodeStack`] is wire-compatible with the generated stack, so the
+//! two can interoperate across a pipe; [`IsodeInterfaceModule`] exposes
+//! the same P-service interactions (`presentation::service`) inside an
+//! Estelle specification.
+
+#![warn(missing_docs)]
+
+mod interface;
+mod stack;
+
+pub use interface::{IsodeInterfaceModule, UP};
+pub use stack::{IsodeError, IsodeEvent, IsodeStack};

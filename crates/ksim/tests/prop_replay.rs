@@ -1,0 +1,147 @@
+//! Property tests for the multiprocessor replay: scheduling-theory
+//! invariants that must hold for every causally valid trace.
+
+use estelle::{ExecTrace, FiringRecord, GroupingPolicy, ModuleId, ModuleLabels};
+use ksim::{Machine, OptimizeOptions, Overheads};
+use netsim::SimDuration;
+use proptest::prelude::*;
+
+/// A random causally valid trace: each record may depend on earlier
+/// records only.
+fn trace_strategy() -> impl Strategy<Value = ExecTrace> {
+    let record = (0u32..6, 1u64..200, prop::collection::vec(any::<prop::sample::Index>(), 0..3));
+    prop::collection::vec(record, 1..60).prop_map(|specs| {
+        let mut records = Vec::new();
+        for (i, (module, cost_us, dep_picks)) in specs.into_iter().enumerate() {
+            let seq = i as u64 + 1;
+            let mut deps: Vec<u64> = dep_picks
+                .into_iter()
+                .filter(|_| seq > 1)
+                .map(|pick| pick.index(seq as usize - 1) as u64 + 1)
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            records.push(FiringRecord {
+                seq,
+                module: ModuleId::from_raw(module),
+                labels: ModuleLabels::conn(module as u16),
+                module_type: "P",
+                transition: "t",
+                cost: SimDuration::from_micros(cost_us),
+                deps,
+            });
+        }
+        ExecTrace { records, modules: vec![] }
+    })
+}
+
+fn policies() -> impl Strategy<Value = GroupingPolicy> {
+    prop_oneof![
+        Just(GroupingPolicy::PerModule),
+        (1u32..6).prop_map(|u| GroupingPolicy::RoundRobin { units: u }),
+        (1u32..6).prop_map(|u| GroupingPolicy::ByConnection { units: u }),
+        Just(GroupingPolicy::Single),
+    ]
+}
+
+proptest! {
+    /// The makespan can never beat the two classical lower bounds:
+    /// total work / P, and the heaviest single module (a module is
+    /// sequential — its unit serializes it).
+    #[test]
+    fn makespan_respects_lower_bounds(
+        trace in trace_strategy(),
+        policy in policies(),
+        p in 1usize..8,
+    ) {
+        let machine = Machine { processors: p, overheads: Overheads::free() };
+        let report = ksim::simulate(&trace, policy, &machine);
+        let total: u64 = trace.records.iter().map(|r| r.cost.as_micros()).sum();
+        let bound_work = total.div_ceil(p as u64);
+        prop_assert!(
+            report.makespan.as_micros() >= bound_work,
+            "makespan {} < work bound {}",
+            report.makespan.as_micros(),
+            bound_work
+        );
+        let mut per_module = std::collections::HashMap::new();
+        for r in &trace.records {
+            *per_module.entry(r.module).or_insert(0u64) += r.cost.as_micros();
+        }
+        let heaviest = per_module.values().copied().max().unwrap_or(0);
+        prop_assert!(report.makespan.as_micros() >= heaviest);
+        prop_assert_eq!(report.work.as_micros(), total);
+        prop_assert_eq!(report.firings, trace.records.len());
+    }
+
+    /// Replay is deterministic.
+    #[test]
+    fn replay_is_deterministic(trace in trace_strategy(), policy in policies()) {
+        let machine = Machine::with_processors(3);
+        let a = ksim::simulate(&trace, policy, &machine);
+        let b = ksim::simulate(&trace, policy, &machine);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.ctx_switches, b.ctx_switches);
+        prop_assert_eq!(a.per_proc_busy, b.per_proc_busy);
+    }
+
+    /// On a free machine, parallel never loses to sequential (more
+    /// processors cannot hurt when coordination costs nothing).
+    #[test]
+    fn free_machine_parallel_never_loses(trace in trace_strategy(), p in 1usize..8) {
+        let seq = ksim::simulate_sequential(&trace, Overheads::free());
+        let par = ksim::simulate(
+            &trace,
+            GroupingPolicy::ByConnection { units: p as u32 },
+            &Machine { processors: p, overheads: Overheads::free() },
+        );
+        prop_assert!(
+            par.makespan <= seq.makespan,
+            "parallel {} > sequential {}",
+            par.makespan,
+            seq.makespan
+        );
+        // And the speedup cannot exceed P.
+        let s = ksim::speedup(&seq, &par);
+        prop_assert!(s <= p as f64 + 1e-9, "speedup {s} > {p}");
+    }
+
+    /// The sequential makespan on a free machine is exactly the total
+    /// work, for any trace.
+    #[test]
+    fn sequential_free_makespan_is_total_work(trace in trace_strategy()) {
+        let seq = ksim::simulate_sequential(&trace, Overheads::free());
+        let total: u64 = trace.records.iter().map(|r| r.cost.as_micros()).sum();
+        prop_assert_eq!(seq.makespan.as_micros(), total);
+        prop_assert_eq!(seq.units, 1);
+        prop_assert_eq!(seq.ctx_switches, 0);
+    }
+
+    /// The optimizer never returns a mapping worse than both of its
+    /// seeds' baselines (it starts from the better seed and only
+    /// accepts improvements).
+    #[test]
+    fn optimizer_never_worse_than_policies(trace in trace_strategy(), p in 1usize..5) {
+        let machine = Machine { processors: p, overheads: Overheads::ksr1_like() };
+        let by_conn = ksim::simulate(
+            &trace,
+            GroupingPolicy::ByConnection { units: p as u32 },
+            &machine,
+        );
+        let opt = ksim::optimize(
+            &trace,
+            &machine,
+            OptimizeOptions { units: p, max_rounds: 2 },
+        );
+        // The cluster seed reproduces connection grouping up to unit
+        // renaming when clusters = connections, so the optimizer's
+        // result must be at least as good as a *balanced* connection
+        // mapping; allow equality.
+        prop_assert!(
+            opt.report.makespan.as_micros() <= by_conn.makespan.as_micros(),
+            "optimizer {} worse than by-connection {}",
+            opt.report.makespan,
+            by_conn.makespan
+        );
+    }
+}

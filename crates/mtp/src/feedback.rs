@@ -1,0 +1,109 @@
+//! Receiver feedback and sender-side rate adaptation.
+//!
+//! XMovie's stream service adapts the sending rate when receivers or
+//! links are overloaded. We reproduce the mechanism: the receiver
+//! periodically reports its loss ledger upstream; the sender reacts by
+//! dropping B frames (the discardable GoP positions) while loss stays
+//! above a threshold, and restores full quality once the path is clean
+//! again.
+
+use std::fmt;
+
+/// Wire type tag for media data packets.
+pub const TYPE_DATA: u8 = 0x01;
+/// Wire type tag for feedback packets.
+pub const TYPE_FEEDBACK: u8 = 0x02;
+
+/// A receiver report sent back to the stream provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MtpFeedback {
+    /// Stream the report concerns.
+    pub stream_id: u32,
+    /// Highest sequence number seen.
+    pub highest_seq: u32,
+    /// Packets received so far.
+    pub received: u64,
+    /// Packets detected lost so far.
+    pub lost: u64,
+}
+
+/// Error for malformed feedback packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedbackDecodeError;
+
+impl fmt::Display for FeedbackDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("malformed MTP feedback packet")
+    }
+}
+impl std::error::Error for FeedbackDecodeError {}
+
+impl MtpFeedback {
+    /// Loss ratio reported (0.0 when nothing was observed yet).
+    pub fn loss_ratio(&self) -> f64 {
+        let total = self.received.saturating_add(self.lost);
+        if total == 0 {
+            0.0
+        } else {
+            self.lost as f64 / total as f64
+        }
+    }
+
+    /// Serializes the report (with the feedback type tag).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 4 + 4 + 8 + 8);
+        out.push(TYPE_FEEDBACK);
+        out.extend_from_slice(&self.stream_id.to_be_bytes());
+        out.extend_from_slice(&self.highest_seq.to_be_bytes());
+        out.extend_from_slice(&self.received.to_be_bytes());
+        out.extend_from_slice(&self.lost.to_be_bytes());
+        out
+    }
+
+    /// Parses a feedback packet (including the type tag).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeedbackDecodeError`] on wrong tag or truncation.
+    pub fn decode(data: &[u8]) -> Result<MtpFeedback, FeedbackDecodeError> {
+        if data.len() != 25 || data[0] != TYPE_FEEDBACK {
+            return Err(FeedbackDecodeError);
+        }
+        let u32_at = |i: usize| u32::from_be_bytes(data[i..i + 4].try_into().expect("len checked"));
+        let u64_at = |i: usize| u64::from_be_bytes(data[i..i + 8].try_into().expect("len checked"));
+        Ok(MtpFeedback {
+            stream_id: u32_at(1),
+            highest_seq: u32_at(5),
+            received: u64_at(9),
+            lost: u64_at(17),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let fb = MtpFeedback { stream_id: 9, highest_seq: 1000, received: 950, lost: 50 };
+        assert_eq!(MtpFeedback::decode(&fb.encode()).unwrap(), fb);
+        assert!((fb.loss_ratio() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(MtpFeedback::decode(&[]).is_err());
+        assert!(MtpFeedback::decode(&[TYPE_DATA; 25]).is_err());
+        let fb = MtpFeedback { stream_id: 1, highest_seq: 2, received: 3, lost: 4 };
+        let mut enc = fb.encode();
+        enc.pop();
+        assert!(MtpFeedback::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn empty_report_has_zero_loss() {
+        let fb = MtpFeedback { stream_id: 1, highest_seq: 0, received: 0, lost: 0 };
+        assert_eq!(fb.loss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! `mtp` — the XMovie Movie Transmission Protocol (CM-stream
+//! protocol).
+//!
+//! The paper's Table 1 separates the control protocol (reliable, low
+//! rate, asynchronous) from the CM-stream protocol (isochronous, high
+//! rate, lightweight error handling, delay/jitter controlled). MTP is
+//! the latter: it runs over the unreliable datagram service
+//! ([`netsim::DatagramNet`] — the UDP/IP/FDDI substitute) with
+//! sequence-numbered, media-timestamped packets, an isochronous paced
+//! sender ([`MtpSender`]) with PLAY/PAUSE/STOP/SEEK/speed control, and
+//! a playout-buffered receiver ([`MtpReceiver`]) measuring loss, delay
+//! and RFC-3550-style jitter. Synthetic variable-bitrate movies come
+//! from [`MovieSource`].
+
+#![warn(missing_docs)]
+
+mod feedback;
+mod movie;
+mod packet;
+mod receiver;
+mod sender;
+
+pub use feedback::{FeedbackDecodeError, MtpFeedback, TYPE_DATA, TYPE_FEEDBACK};
+pub use movie::{Frame, FrameKind, MovieSource};
+pub use packet::{MtpDecodeError, MtpPacket, MTP_HEADER_LEN};
+pub use receiver::{MtpReceiver, PlayedFrame, ReceiverStats};
+pub use sender::{MtpSender, SenderStats, StreamState};

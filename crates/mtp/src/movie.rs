@@ -1,0 +1,171 @@
+//! Synthetic movie sources.
+//!
+//! The paper's movies are proprietary XMovie digital films; we generate
+//! synthetic ones with a realistic group-of-pictures structure
+//! (I-frames large, P-frames medium, B-frames small) and
+//! deterministic per-frame size jitter, so the stream protocol
+//! exercises the same variable-bitrate paths.
+
+use std::fmt;
+
+/// Compression class of a frame within the GoP pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Intra-coded (largest).
+    I,
+    /// Predicted.
+    P,
+    /// Bidirectional (smallest, droppable for rate adaptation).
+    B,
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameKind::I => f.write_str("I"),
+            FrameKind::P => f.write_str("P"),
+            FrameKind::B => f.write_str("B"),
+        }
+    }
+}
+
+/// One frame's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame index within the movie.
+    pub index: u64,
+    /// Compression class.
+    pub kind: FrameKind,
+    /// Encoded size in bytes.
+    pub size: u32,
+}
+
+/// A deterministic synthetic movie.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MovieSource {
+    /// Total frames.
+    pub frame_count: u64,
+    /// Nominal frame rate (frames/second).
+    pub frame_rate: u32,
+    /// Mean I-frame size in bytes.
+    pub i_size: u32,
+    /// Mean P-frame size in bytes.
+    pub p_size: u32,
+    /// Mean B-frame size in bytes.
+    pub b_size: u32,
+    /// GoP length (an I frame every `gop` frames).
+    pub gop: u64,
+    /// Seed mixed into the per-frame size jitter.
+    pub seed: u64,
+}
+
+impl MovieSource {
+    /// A small 25 fps test movie of `seconds` seconds.
+    pub fn test_movie(seconds: u64, seed: u64) -> Self {
+        MovieSource {
+            frame_count: seconds * 25,
+            frame_rate: 25,
+            i_size: 12_000,
+            p_size: 5_000,
+            b_size: 1_800,
+            gop: 12,
+            seed,
+        }
+    }
+
+    /// Nominal frame interval in microseconds.
+    pub fn frame_interval_us(&self) -> u64 {
+        1_000_000 / u64::from(self.frame_rate.max(1))
+    }
+
+    /// The frame at `index`, or `None` past the end.
+    pub fn frame(&self, index: u64) -> Option<Frame> {
+        if index >= self.frame_count {
+            return None;
+        }
+        let in_gop = index % self.gop.max(1);
+        let kind = if in_gop == 0 {
+            FrameKind::I
+        } else if in_gop.is_multiple_of(3) {
+            FrameKind::P
+        } else {
+            FrameKind::B
+        };
+        let mean = match kind {
+            FrameKind::I => self.i_size,
+            FrameKind::P => self.p_size,
+            FrameKind::B => self.b_size,
+        };
+        // Deterministic ±25 % jitter from a splitmix-style hash.
+        let mut h = index.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.seed);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        let jitter_pct = (h % 51) as i64 - 25; // -25..=25
+        let size = i64::from(mean) + i64::from(mean) * jitter_pct / 100;
+        Some(Frame { index, kind, size: size.max(64) as u32 })
+    }
+
+    /// Iterator over all frames.
+    pub fn frames(&self) -> impl Iterator<Item = Frame> + '_ {
+        (0..self.frame_count).filter_map(move |i| self.frame(i))
+    }
+
+    /// Mean bitrate in bits/second over the whole movie.
+    pub fn mean_bitrate_bps(&self) -> u64 {
+        if self.frame_count == 0 {
+            return 0;
+        }
+        let total_bytes: u64 = self.frames().map(|f| u64::from(f.size)).sum();
+        total_bytes * 8 * u64::from(self.frame_rate) / self.frame_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gop_structure() {
+        let m = MovieSource::test_movie(4, 7);
+        assert_eq!(m.frame(0).unwrap().kind, FrameKind::I);
+        assert_eq!(m.frame(12).unwrap().kind, FrameKind::I);
+        assert_eq!(m.frame(3).unwrap().kind, FrameKind::P);
+        assert_eq!(m.frame(1).unwrap().kind, FrameKind::B);
+        assert!(m.frame(m.frame_count).is_none());
+    }
+
+    #[test]
+    fn sizes_ordered_by_kind_on_average() {
+        let m = MovieSource::test_movie(60, 3);
+        let mean = |k: FrameKind| {
+            let v: Vec<u64> =
+                m.frames().filter(|f| f.kind == k).map(|f| u64::from(f.size)).collect();
+            v.iter().sum::<u64>() / v.len() as u64
+        };
+        let (i, p, b) = (mean(FrameKind::I), mean(FrameKind::P), mean(FrameKind::B));
+        assert!(i > p && p > b, "i={i} p={p} b={b}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = MovieSource::test_movie(10, 42);
+        let b = MovieSource::test_movie(10, 42);
+        let c = MovieSource::test_movie(10, 43);
+        assert!(a.frames().eq(b.frames()));
+        assert!(!a.frames().eq(c.frames()));
+    }
+
+    #[test]
+    fn bitrate_is_plausible() {
+        let m = MovieSource::test_movie(30, 1);
+        let bps = m.mean_bitrate_bps();
+        // ~4k mean frame at 25fps -> around 0.8 Mbit/s.
+        assert!(bps > 300_000 && bps < 3_000_000, "bps={bps}");
+    }
+
+    #[test]
+    fn frame_interval() {
+        assert_eq!(MovieSource::test_movie(1, 0).frame_interval_us(), 40_000);
+    }
+}

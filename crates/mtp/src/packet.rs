@@ -1,0 +1,152 @@
+//! MTP packet format.
+//!
+//! The Movie Transmission Protocol is lightweight (paper Table 1:
+//! "error correction: lightweight or none"): a fixed header with
+//! stream id, sequence number, media timestamp and frame kind, then
+//! the frame payload. No acknowledgements, no retransmission.
+
+use crate::movie::FrameKind;
+use std::fmt;
+
+/// Header length in bytes (type tag + ids + timestamp + flags).
+pub const MTP_HEADER_LEN: usize = 1 + 4 + 4 + 8 + 1 + 1;
+
+/// A decoded MTP packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MtpPacket {
+    /// Stream identifier.
+    pub stream_id: u32,
+    /// Packet sequence number (counts transmitted packets).
+    pub seq: u32,
+    /// Media timestamp in microseconds (frame's nominal display time).
+    pub timestamp_us: u64,
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// True for the final packet of the stream.
+    pub end_of_stream: bool,
+    /// Frame payload.
+    pub payload: Vec<u8>,
+}
+
+/// Error for malformed MTP packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MtpDecodeError {
+    /// Description.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for MtpDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed MTP packet: {}", self.reason)
+    }
+}
+impl std::error::Error for MtpDecodeError {}
+
+fn kind_code(k: FrameKind) -> u8 {
+    match k {
+        FrameKind::I => 0,
+        FrameKind::P => 1,
+        FrameKind::B => 2,
+    }
+}
+
+fn code_kind(c: u8) -> Option<FrameKind> {
+    match c {
+        0 => Some(FrameKind::I),
+        1 => Some(FrameKind::P),
+        2 => Some(FrameKind::B),
+        _ => None,
+    }
+}
+
+impl MtpPacket {
+    /// Serializes the packet.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MTP_HEADER_LEN + self.payload.len());
+        out.push(crate::feedback::TYPE_DATA);
+        out.extend_from_slice(&self.stream_id.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.timestamp_us.to_be_bytes());
+        out.push(kind_code(self.kind));
+        out.push(u8::from(self.end_of_stream));
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtpDecodeError`] on truncated or invalid input.
+    pub fn decode(data: &[u8]) -> Result<MtpPacket, MtpDecodeError> {
+        if data.len() < MTP_HEADER_LEN {
+            return Err(MtpDecodeError { reason: "short header" });
+        }
+        if data[0] != crate::feedback::TYPE_DATA {
+            return Err(MtpDecodeError { reason: "not a data packet" });
+        }
+        let stream_id = u32::from_be_bytes([data[1], data[2], data[3], data[4]]);
+        let seq = u32::from_be_bytes([data[5], data[6], data[7], data[8]]);
+        let timestamp_us = u64::from_be_bytes([
+            data[9], data[10], data[11], data[12], data[13], data[14], data[15], data[16],
+        ]);
+        let kind = code_kind(data[17]).ok_or(MtpDecodeError { reason: "bad frame kind" })?;
+        let end_of_stream = data[18] != 0;
+        Ok(MtpPacket {
+            stream_id,
+            seq,
+            timestamp_us,
+            kind,
+            end_of_stream,
+            payload: data[MTP_HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = MtpPacket {
+            stream_id: 9,
+            seq: 1234,
+            timestamp_us: 5_000_000,
+            kind: FrameKind::P,
+            end_of_stream: false,
+            payload: vec![1, 2, 3, 4],
+        };
+        assert_eq!(MtpPacket::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn end_of_stream_flag() {
+        let p = MtpPacket {
+            stream_id: 1,
+            seq: 0,
+            timestamp_us: 0,
+            kind: FrameKind::I,
+            end_of_stream: true,
+            payload: vec![],
+        };
+        let d = MtpPacket::decode(&p.encode()).unwrap();
+        assert!(d.end_of_stream);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(MtpPacket::decode(&[0; 5]).is_err());
+        let mut good = MtpPacket {
+            stream_id: 1,
+            seq: 0,
+            timestamp_us: 0,
+            kind: FrameKind::I,
+            end_of_stream: false,
+            payload: vec![],
+        }
+        .encode();
+        good[17] = 9; // invalid kind
+        assert!(MtpPacket::decode(&good).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! The isochronous MTP sender (Stream Provider Agent side).
+
+use crate::feedback::MtpFeedback;
+use crate::movie::{FrameKind, MovieSource};
+use crate::packet::MtpPacket;
+use netsim::{DatagramSocket, NetAddr, SimTime};
+use std::fmt;
+
+/// Playback state of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamState {
+    /// Created but not started.
+    Ready,
+    /// Emitting frames on schedule.
+    Playing,
+    /// Paused; position retained.
+    Paused,
+    /// Finished or stopped.
+    Stopped,
+}
+
+/// Counters kept by the sender.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SenderStats {
+    /// Frames handed to the network.
+    pub frames_sent: u64,
+    /// Frames skipped by B-frame dropping (rate adaptation).
+    pub frames_skipped: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+}
+
+/// An isochronous sender pacing one movie over a datagram socket.
+pub struct MtpSender {
+    socket: DatagramSocket,
+    dest: NetAddr,
+    movie: MovieSource,
+    stream_id: u32,
+    state: StreamState,
+    next_frame: u64,
+    seq: u32,
+    /// Next instant a frame is due.
+    due: SimTime,
+    /// Playback speed as a percentage (100 = nominal).
+    speed_pct: u32,
+    /// When true, B frames are skipped — the XMovie rate-adaptation
+    /// mechanism for overloaded receivers/links.
+    pub drop_b_frames: bool,
+    /// When true the sender toggles [`MtpSender::drop_b_frames`]
+    /// automatically from receiver feedback.
+    pub adaptive: bool,
+    /// Loss ratio above which adaptation engages.
+    pub adapt_threshold: f64,
+    /// Feedback reports processed.
+    pub feedback_seen: u64,
+    /// Counters.
+    pub stats: SenderStats,
+}
+
+impl fmt::Debug for MtpSender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MtpSender")
+            .field("stream_id", &self.stream_id)
+            .field("state", &self.state)
+            .field("next_frame", &self.next_frame)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MtpSender {
+    /// Creates a sender for `movie` on `socket`, addressed to `dest`.
+    pub fn new(socket: DatagramSocket, dest: NetAddr, stream_id: u32, movie: MovieSource) -> Self {
+        MtpSender {
+            socket,
+            dest,
+            movie,
+            stream_id,
+            state: StreamState::Ready,
+            next_frame: 0,
+            seq: 0,
+            due: SimTime::ZERO,
+            speed_pct: 100,
+            drop_b_frames: false,
+            adaptive: false,
+            adapt_threshold: 0.08,
+            feedback_seen: 0,
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// Processes one receiver report; with [`MtpSender::adaptive`] set
+    /// this engages B-frame dropping above the loss threshold and
+    /// restores full quality once loss falls below a quarter of it.
+    pub fn handle_feedback(&mut self, fb: &MtpFeedback) {
+        self.feedback_seen += 1;
+        if !self.adaptive {
+            return;
+        }
+        let ratio = fb.loss_ratio();
+        if ratio > self.adapt_threshold {
+            self.drop_b_frames = true;
+        } else if ratio < self.adapt_threshold / 4.0 {
+            self.drop_b_frames = false;
+        }
+    }
+
+    /// Current playback state.
+    pub fn state(&self) -> StreamState {
+        self.state
+    }
+
+    /// Current frame position.
+    pub fn position(&self) -> u64 {
+        self.next_frame
+    }
+
+    /// Starts (or restarts) playback at the current position.
+    pub fn play(&mut self, now: SimTime) {
+        if self.state != StreamState::Playing {
+            self.state = StreamState::Playing;
+            self.due = now;
+        }
+    }
+
+    /// Pauses playback, retaining position.
+    pub fn pause(&mut self) {
+        if self.state == StreamState::Playing {
+            self.state = StreamState::Paused;
+        }
+    }
+
+    /// Stops playback and rewinds.
+    pub fn stop(&mut self) {
+        self.state = StreamState::Stopped;
+        self.next_frame = 0;
+    }
+
+    /// Seeks to an absolute frame position (clamped to the movie).
+    pub fn seek(&mut self, frame: u64) {
+        self.next_frame = frame.min(self.movie.frame_count);
+    }
+
+    /// Sets the playback speed in percent of nominal (25–400).
+    pub fn set_speed_pct(&mut self, pct: u32) {
+        self.speed_pct = pct.clamp(25, 400);
+    }
+
+    /// The instant the next frame is due, when playing.
+    pub fn next_due(&self) -> Option<SimTime> {
+        (self.state == StreamState::Playing).then_some(self.due)
+    }
+
+    fn interval_us(&self) -> u64 {
+        self.movie.frame_interval_us() * 100 / u64::from(self.speed_pct)
+    }
+
+    /// Emits every frame due at or before `now`. Returns the number of
+    /// packets sent.
+    pub fn poll(&mut self, now: SimTime) -> usize {
+        let mut sent = 0;
+        while self.state == StreamState::Playing && self.due <= now {
+            match self.movie.frame(self.next_frame) {
+                None => {
+                    // End of movie: emit an empty end-of-stream marker.
+                    let pkt = MtpPacket {
+                        stream_id: self.stream_id,
+                        seq: self.seq,
+                        timestamp_us: self.next_frame * self.movie.frame_interval_us(),
+                        kind: FrameKind::I,
+                        end_of_stream: true,
+                        payload: Vec::new(),
+                    };
+                    self.seq += 1;
+                    self.socket.send_to(self.dest, pkt.encode());
+                    self.state = StreamState::Stopped;
+                    sent += 1;
+                    break;
+                }
+                Some(frame) => {
+                    if self.drop_b_frames && frame.kind == FrameKind::B {
+                        self.stats.frames_skipped += 1;
+                    } else {
+                        let pkt = MtpPacket {
+                            stream_id: self.stream_id,
+                            seq: self.seq,
+                            timestamp_us: frame.index * self.movie.frame_interval_us(),
+                            kind: frame.kind,
+                            end_of_stream: false,
+                            payload: vec![0u8; frame.size as usize],
+                        };
+                        self.seq += 1;
+                        self.stats.frames_sent += 1;
+                        self.stats.bytes_sent += u64::from(frame.size);
+                        self.socket.send_to(self.dest, pkt.encode());
+                        sent += 1;
+                    }
+                    self.next_frame += 1;
+                    self.due += netsim::SimDuration::from_micros(self.interval_us());
+                }
+            }
+        }
+        sent
+    }
+}

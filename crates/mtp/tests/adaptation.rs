@@ -1,0 +1,109 @@
+//! End-to-end rate adaptation: receiver feedback drives B-frame
+//! dropping on the sender across a lossy network, and quality is
+//! restored when the path heals.
+
+use mtp::{MovieSource, MtpFeedback, MtpReceiver, MtpSender};
+use netsim::{DatagramNet, LinkConfig, NetAddr, Network, SimDuration};
+use std::sync::Arc;
+
+fn drive(
+    net: &Arc<Network>,
+    sender: &mut MtpSender,
+    receiver: &mut MtpReceiver,
+    feedback_to_sender: impl Fn(&mut MtpSender),
+) {
+    sender.play(net.now());
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        assert!(guard < 100_000);
+        let now = net.now();
+        sender.poll(now);
+        feedback_to_sender(sender);
+        match (net.next_event_at(), sender.next_due()) {
+            (Some(a), Some(b)) => net.run_until(a.min(b)),
+            (Some(a), None) => net.run_until(a),
+            (None, Some(b)) => net.run_until(b),
+            (None, None) => break,
+        }
+        receiver.poll(net.now());
+    }
+    receiver.poll(net.now() + SimDuration::from_secs(1));
+}
+
+#[test]
+fn feedback_engages_b_frame_dropping_under_loss() {
+    let net = Arc::new(Network::new(6));
+    let cfg = LinkConfig::lossy(SimDuration::from_millis(2), SimDuration::from_micros(300), 0.25);
+    let dg = DatagramNet::new(&net, cfg, 7);
+    let provider_sock = dg.bind(NetAddr(1)).unwrap();
+    let client_sock = dg.bind(NetAddr(2)).unwrap();
+    let movie = MovieSource::test_movie(8, 6); // 200 frames
+    let mut sender = MtpSender::new(provider_sock.clone(), NetAddr(2), 5, movie);
+    sender.adaptive = true;
+    let mut receiver = MtpReceiver::new(client_sock, 5, SimDuration::from_millis(40));
+    receiver.feedback_every = 20;
+
+    drive(&net, &mut sender, &mut receiver, |s| {
+        // The provider socket receives the feedback datagrams.
+        while let Some(dg) = provider_sock.recv() {
+            if let Ok(fb) = MtpFeedback::decode(&dg.payload) {
+                s.handle_feedback(&fb);
+            }
+        }
+    });
+
+    assert!(receiver.feedback_sent >= 2, "feedback_sent={}", receiver.feedback_sent);
+    assert!(sender.feedback_seen > 0, "feedback must reach the sender through loss");
+    assert!(sender.drop_b_frames, "25% loss engages adaptation");
+    // Adaptation engaged early, so the majority of B frames (2/3 of
+    // the GoP) were never transmitted.
+    assert!(
+        sender.stats.frames_skipped > 50,
+        "frames_skipped={}",
+        sender.stats.frames_skipped
+    );
+}
+
+#[test]
+fn clean_path_never_adapts() {
+    let net = Arc::new(Network::new(8));
+    let cfg = LinkConfig::perfect(SimDuration::from_millis(2));
+    let dg = DatagramNet::new(&net, cfg, 9);
+    let provider_sock = dg.bind(NetAddr(1)).unwrap();
+    let client_sock = dg.bind(NetAddr(2)).unwrap();
+    let movie = MovieSource::test_movie(4, 8);
+    let mut sender = MtpSender::new(provider_sock.clone(), NetAddr(2), 5, movie);
+    sender.adaptive = true;
+    let mut receiver = MtpReceiver::new(client_sock, 5, SimDuration::from_millis(40));
+    receiver.feedback_every = 20;
+
+    drive(&net, &mut sender, &mut receiver, |s| {
+        while let Some(dg) = provider_sock.recv() {
+            if let Ok(fb) = MtpFeedback::decode(&dg.payload) {
+                s.handle_feedback(&fb);
+            }
+        }
+    });
+    assert!(sender.feedback_seen > 0);
+    assert!(!sender.drop_b_frames, "no loss, no adaptation");
+    assert_eq!(sender.stats.frames_skipped, 0);
+    assert_eq!(receiver.stats.lost, 0);
+}
+
+#[test]
+fn adaptation_recovers_after_burst() {
+    // Manually exercise the hysteresis: high loss engages, low loss
+    // disengages only below a quarter of the threshold.
+    let net = Arc::new(Network::new(10));
+    let dg = DatagramNet::new(&net, LinkConfig::perfect(SimDuration::from_millis(1)), 1);
+    let sock = dg.bind(NetAddr(1)).unwrap();
+    let mut sender = MtpSender::new(sock, NetAddr(2), 1, MovieSource::test_movie(1, 0));
+    sender.adaptive = true;
+    sender.handle_feedback(&MtpFeedback { stream_id: 1, highest_seq: 100, received: 80, lost: 20 });
+    assert!(sender.drop_b_frames, "20% loss engages");
+    sender.handle_feedback(&MtpFeedback { stream_id: 1, highest_seq: 200, received: 195, lost: 10 });
+    assert!(sender.drop_b_frames, "5% still above hysteresis floor");
+    sender.handle_feedback(&MtpFeedback { stream_id: 1, highest_seq: 400, received: 396, lost: 4 });
+    assert!(!sender.drop_b_frames, "1% releases adaptation");
+}

@@ -1,0 +1,117 @@
+//! Clock abstraction: virtual (simulation-driven) and real (wall) clocks.
+
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A source of [`SimTime`] instants.
+///
+/// Protocol code reads time only through this trait so the same state
+/// machines run under the discrete-event simulator (deterministic,
+/// [`VirtualClock`]) and under real threads ([`RealClock`]).
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Returns the current instant.
+    fn now(&self) -> SimTime;
+}
+
+/// A clock advanced explicitly by a simulation driver.
+///
+/// The clock is monotone: [`VirtualClock::advance_to`] ignores attempts
+/// to move backwards.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::{Clock, VirtualClock, SimTime};
+/// let clock = VirtualClock::new();
+/// clock.advance_to(SimTime::from_millis(10));
+/// assert_eq!(clock.now(), SimTime::from_millis(10));
+/// ```
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    micros: AtomicU64,
+}
+
+impl VirtualClock {
+    /// Creates a clock positioned at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the clock forward to `t`; no-op if `t` is in the past.
+    pub fn advance_to(&self, t: SimTime) {
+        self.micros.fetch_max(t.as_micros(), Ordering::SeqCst);
+    }
+
+    /// Moves the clock forward by `d`.
+    pub fn advance(&self, d: SimDuration) {
+        self.micros.fetch_add(d.as_micros(), Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.micros.load(Ordering::SeqCst))
+    }
+}
+
+/// A clock backed by the host's monotonic wall clock.
+///
+/// The origin ([`SimTime::ZERO`]) is the moment the clock was created.
+#[derive(Debug)]
+pub struct RealClock {
+    start: Instant,
+}
+
+impl RealClock {
+    /// Creates a clock whose origin is "now".
+    pub fn new() -> Self {
+        RealClock { start: Instant::now() }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_monotone() {
+        let c = VirtualClock::new();
+        c.advance_to(SimTime::from_micros(100));
+        c.advance_to(SimTime::from_micros(50)); // ignored
+        assert_eq!(c.now().as_micros(), 100);
+        c.advance(SimDuration::from_micros(25));
+        assert_eq!(c.now().as_micros(), 125);
+    }
+
+    #[test]
+    fn real_clock_moves_forward() {
+        let c = RealClock::new();
+        let a = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = c.now();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let clocks: Vec<Box<dyn Clock>> =
+            vec![Box::new(VirtualClock::new()), Box::new(RealClock::new())];
+        for c in &clocks {
+            let _ = c.now();
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! `presentation` — ISO 8823 presentation layer (kernel) as an Estelle
+//! module.
+//!
+//! The upper of the two Estelle-generated layers the paper measures:
+//! BER-encoded CP/CPA/CPR/TD/ARU PPDUs ([`Ppdu`]), presentation-context
+//! negotiation (transfer-syntax agreement), P-service primitives
+//! ([`service`]), and the protocol machine ([`PresentationMachine`])
+//! that runs on top of [`session::SessionMachine`].
+
+#![warn(missing_docs)]
+
+mod machine;
+mod ppdu;
+pub mod service;
+
+pub use machine::{
+    mcam_contexts, PresentationMachine, CONNECTED, CONNECTING, DOWN, IDLE, RELEASING,
+    REL_RESPONDING, RESPONDING, UP,
+};
+pub use ppdu::{ContextResult, Ppdu, ProposedContext, TRANSFER_BER};

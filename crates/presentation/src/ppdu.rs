@@ -1,0 +1,261 @@
+//! PPDU wire format — ISO 8823 presentation kernel, BER-encoded.
+//!
+//! | tag              | PPDU                      |
+//! |------------------|---------------------------|
+//! | [APPLICATION 0]  | CP  — connect              |
+//! | [APPLICATION 1]  | CPA — connect accept       |
+//! | [APPLICATION 2]  | CPR — connect reject       |
+//! | [APPLICATION 3]  | TD  — transfer data        |
+//! | [APPLICATION 4]  | ARU — abnormal release     |
+
+use asn1::ber::{self, Reader};
+use asn1::{Asn1Error, Tag};
+
+/// The transfer syntax this implementation supports.
+pub const TRANSFER_BER: &str = "ber";
+
+/// One proposed presentation context (CP component).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProposedContext {
+    /// Presentation context identifier (odd integers by convention).
+    pub id: i64,
+    /// Abstract syntax name (e.g. `"mcam-pci"`).
+    pub abstract_syntax: String,
+    /// Proposed transfer syntax name.
+    pub transfer_syntax: String,
+}
+
+/// Result for one proposed context (CPA component).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextResult {
+    /// The context identifier from the proposal.
+    pub id: i64,
+    /// Whether the responder accepted it.
+    pub accepted: bool,
+}
+
+/// A decoded presentation PDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ppdu {
+    /// Connect presentation: proposed contexts + user data.
+    Cp {
+        /// Proposed presentation contexts.
+        contexts: Vec<ProposedContext>,
+        /// Presentation-user data (e.g. an MCAM AssociateReq).
+        user_data: Vec<u8>,
+    },
+    /// Connect accept: per-context results + user data.
+    Cpa {
+        /// Context negotiation results.
+        results: Vec<ContextResult>,
+        /// Presentation-user data.
+        user_data: Vec<u8>,
+    },
+    /// Connect reject.
+    Cpr {
+        /// Provider/user reason code.
+        reason: i64,
+    },
+    /// Transfer data on a negotiated context.
+    Td {
+        /// Presentation context the payload is encoded under.
+        context_id: i64,
+        /// Presentation-user data.
+        user_data: Vec<u8>,
+    },
+    /// Abnormal release (abort).
+    Aru {
+        /// Abort reason code.
+        reason: i64,
+    },
+}
+
+const TAG_CP: Tag = Tag::application(0);
+const TAG_CPA: Tag = Tag::application(1);
+const TAG_CPR: Tag = Tag::application(2);
+const TAG_TD: Tag = Tag::application(3);
+const TAG_ARU: Tag = Tag::application(4);
+
+impl Ppdu {
+    /// Serializes the PPDU as BER.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Ppdu::Cp { contexts, user_data } => {
+                ber::write_constructed(TAG_CP, &mut out, |c| {
+                    ber::write_constructed(Tag::SEQUENCE, c, |list| {
+                        for pc in contexts {
+                            ber::write_constructed(Tag::SEQUENCE, list, |item| {
+                                ber::write_integer(pc.id, item);
+                                ber::write_string(&pc.abstract_syntax, item);
+                                ber::write_string(&pc.transfer_syntax, item);
+                            });
+                        }
+                    });
+                    ber::write_octets(user_data, c);
+                });
+            }
+            Ppdu::Cpa { results, user_data } => {
+                ber::write_constructed(TAG_CPA, &mut out, |c| {
+                    ber::write_constructed(Tag::SEQUENCE, c, |list| {
+                        for r in results {
+                            ber::write_constructed(Tag::SEQUENCE, list, |item| {
+                                ber::write_integer(r.id, item);
+                                ber::write_bool(r.accepted, item);
+                            });
+                        }
+                    });
+                    ber::write_octets(user_data, c);
+                });
+            }
+            Ppdu::Cpr { reason } => {
+                ber::write_constructed(TAG_CPR, &mut out, |c| {
+                    ber::write_integer(*reason, c);
+                });
+            }
+            Ppdu::Td { context_id, user_data } => {
+                ber::write_constructed(TAG_TD, &mut out, |c| {
+                    ber::write_integer(*context_id, c);
+                    ber::write_octets(user_data, c);
+                });
+            }
+            Ppdu::Aru { reason } => {
+                ber::write_constructed(TAG_ARU, &mut out, |c| {
+                    ber::write_integer(*reason, c);
+                });
+            }
+        }
+        out
+    }
+
+    /// Parses a PPDU.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Asn1Error`] on malformed BER or unknown tags.
+    pub fn decode(data: &[u8]) -> Result<Ppdu, Asn1Error> {
+        let mut r = Reader::new(data);
+        let (tag, content) = r.read_tlv()?;
+        let mut inner = r.descend(content)?;
+        let pdu = if tag == TAG_CP {
+            let list = inner.read_expect(Tag::SEQUENCE)?;
+            let mut lr = inner.descend(list)?;
+            let mut contexts = Vec::new();
+            while !lr.is_empty() {
+                let item = lr.read_expect(Tag::SEQUENCE)?;
+                let mut ir = lr.descend(item)?;
+                contexts.push(ProposedContext {
+                    id: ber::read_integer(&mut ir)?,
+                    abstract_syntax: ber::read_string(&mut ir)?,
+                    transfer_syntax: ber::read_string(&mut ir)?,
+                });
+                ir.expect_end()?;
+            }
+            let user_data = ber::read_octets(&mut inner)?;
+            Ppdu::Cp { contexts, user_data }
+        } else if tag == TAG_CPA {
+            let list = inner.read_expect(Tag::SEQUENCE)?;
+            let mut lr = inner.descend(list)?;
+            let mut results = Vec::new();
+            while !lr.is_empty() {
+                let item = lr.read_expect(Tag::SEQUENCE)?;
+                let mut ir = lr.descend(item)?;
+                results.push(ContextResult {
+                    id: ber::read_integer(&mut ir)?,
+                    accepted: ber::read_bool(&mut ir)?,
+                });
+                ir.expect_end()?;
+            }
+            let user_data = ber::read_octets(&mut inner)?;
+            Ppdu::Cpa { results, user_data }
+        } else if tag == TAG_CPR {
+            Ppdu::Cpr { reason: ber::read_integer(&mut inner)? }
+        } else if tag == TAG_TD {
+            let context_id = ber::read_integer(&mut inner)?;
+            let user_data = ber::read_octets(&mut inner)?;
+            Ppdu::Td { context_id, user_data }
+        } else if tag == TAG_ARU {
+            Ppdu::Aru { reason: ber::read_integer(&mut inner)? }
+        } else {
+            return Err(Asn1Error::UnknownVariant { what: "Ppdu", value: i64::from(tag.number) });
+        };
+        inner.expect_end()?;
+        r.expect_end()?;
+        Ok(pdu)
+    }
+
+    /// The application tag number (0–4) identifying the PPDU kind, or
+    /// `None` if `data` does not start with a known PPDU tag. Used in
+    /// `provided` guards without a full decode.
+    pub fn peek_kind(data: &[u8]) -> Option<u32> {
+        let (tag, _) = Tag::decode(data)?;
+        if tag.class == asn1::TagClass::Application && tag.constructed && tag.number <= 4 {
+            Some(tag.number)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_contexts() -> Vec<ProposedContext> {
+        vec![
+            ProposedContext {
+                id: 1,
+                abstract_syntax: "mcam-pci".into(),
+                transfer_syntax: TRANSFER_BER.into(),
+            },
+            ProposedContext {
+                id: 3,
+                abstract_syntax: "acse".into(),
+                transfer_syntax: "per".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let samples = vec![
+            Ppdu::Cp { contexts: sample_contexts(), user_data: b"assoc".to_vec() },
+            Ppdu::Cp { contexts: vec![], user_data: vec![] },
+            Ppdu::Cpa {
+                results: vec![
+                    ContextResult { id: 1, accepted: true },
+                    ContextResult { id: 3, accepted: false },
+                ],
+                user_data: vec![7],
+            },
+            Ppdu::Cpr { reason: 2 },
+            Ppdu::Td { context_id: 1, user_data: b"P-DATA".to_vec() },
+            Ppdu::Aru { reason: 1 },
+        ];
+        for p in samples {
+            let enc = p.encode();
+            assert_eq!(Ppdu::decode(&enc).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn peek_kind_identifies_without_decoding() {
+        assert_eq!(Ppdu::peek_kind(&Ppdu::Cpr { reason: 0 }.encode()), Some(2));
+        assert_eq!(
+            Ppdu::peek_kind(&Ppdu::Td { context_id: 1, user_data: vec![] }.encode()),
+            Some(3)
+        );
+        assert_eq!(Ppdu::peek_kind(&[0x02, 0x01, 0x00]), None);
+        assert_eq!(Ppdu::peek_kind(&[]), None);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(Ppdu::decode(&[]).is_err());
+        assert!(Ppdu::decode(&[0x02, 0x01, 0x00]).is_err());
+        // CP with truncated content.
+        let mut enc = Ppdu::Cp { contexts: sample_contexts(), user_data: vec![] }.encode();
+        enc.truncate(enc.len() - 2);
+        assert!(Ppdu::decode(&enc).is_err());
+    }
+}

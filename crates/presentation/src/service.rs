@@ -1,0 +1,93 @@
+//! P-service primitives exchanged between the presentation entity and
+//! its user (MCAM).
+
+use crate::ppdu::{ContextResult, ProposedContext};
+use estelle::impl_interaction;
+
+/// P-CONNECT.request.
+#[derive(Debug)]
+pub struct PConReq {
+    /// Presentation contexts to propose.
+    pub contexts: Vec<ProposedContext>,
+    /// Presentation-user data (first application PDU).
+    pub user_data: Vec<u8>,
+}
+
+/// P-CONNECT.indication.
+#[derive(Debug)]
+pub struct PConInd {
+    /// Contexts proposed by the initiator.
+    pub contexts: Vec<ProposedContext>,
+    /// Presentation-user data.
+    pub user_data: Vec<u8>,
+}
+
+/// P-CONNECT.response.
+#[derive(Debug)]
+pub struct PConRsp {
+    /// Accept or reject the association.
+    pub accept: bool,
+    /// Presentation-user data for the CPA.
+    pub user_data: Vec<u8>,
+}
+
+/// P-CONNECT.confirm.
+#[derive(Debug)]
+pub struct PConCnf {
+    /// True when the peer accepted.
+    pub accepted: bool,
+    /// Per-context negotiation results.
+    pub results: Vec<ContextResult>,
+    /// Presentation-user data from the acceptor.
+    pub user_data: Vec<u8>,
+}
+
+/// P-DATA.request.
+#[derive(Debug)]
+pub struct PDataReq {
+    /// Negotiated context to send under.
+    pub context_id: i64,
+    /// Presentation-user data.
+    pub user_data: Vec<u8>,
+}
+
+/// P-DATA.indication.
+#[derive(Debug)]
+pub struct PDataInd {
+    /// Context the data arrived under.
+    pub context_id: i64,
+    /// Presentation-user data.
+    pub user_data: Vec<u8>,
+}
+
+/// P-RELEASE.request.
+#[derive(Debug)]
+pub struct PRelReq;
+/// P-RELEASE.indication.
+#[derive(Debug)]
+pub struct PRelInd;
+/// P-RELEASE.response.
+#[derive(Debug)]
+pub struct PRelRsp;
+/// P-RELEASE.confirm.
+#[derive(Debug)]
+pub struct PRelCnf;
+
+/// P-U-ABORT.request.
+#[derive(Debug)]
+pub struct PAbortReq {
+    /// Abort reason.
+    pub reason: i64,
+}
+
+/// P-ABORT.indication.
+#[derive(Debug)]
+pub struct PAbortInd {
+    /// Abort reason.
+    pub reason: i64,
+}
+
+impl_interaction!(
+    PConReq, PConInd, PConRsp, PConCnf, PDataReq, PDataInd, PRelReq, PRelInd, PRelRsp,
+    PRelCnf, PAbortReq, PAbortInd
+);

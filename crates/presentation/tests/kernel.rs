@@ -1,0 +1,145 @@
+//! Presentation-kernel behaviour over real session machines: context
+//! negotiation (BER accepted, foreign transfer syntaxes refused),
+//! data transfer, and orderly release — the generated-stack
+//! configuration of Fig. 2 without the transport pipe.
+
+use estelle::sched::{run_sequential, SeqOptions};
+use estelle::{ip, ModuleId, ModuleKind, ModuleLabels, Runtime};
+use presentation::service::{PConReq, PConRsp, PDataReq, PRelReq, PRelRsp};
+use presentation::{
+    mcam_contexts, PresentationMachine, ProposedContext, DOWN as P_DOWN,
+    UP as P_UP,
+};
+use session::{SessionMachine, DOWN as S_DOWN, UP as S_UP};
+
+/// Builds presentation-over-session on both sides, joined
+/// session-to-session.
+fn stacks() -> (Runtime, ModuleId, ModuleId) {
+    let (rt, _clock) = Runtime::sim();
+    let labels = ModuleLabels::default();
+    let add_stack = |side: &str| {
+        let p = rt
+            .add_module(
+                None,
+                format!("pres-{side}"),
+                ModuleKind::SystemProcess,
+                labels,
+                PresentationMachine::default(),
+            )
+            .unwrap();
+        let s = rt
+            .add_module(
+                None,
+                format!("sess-{side}"),
+                ModuleKind::SystemProcess,
+                labels,
+                SessionMachine::default(),
+            )
+            .unwrap();
+        rt.connect(ip(p, P_DOWN), ip(s, S_UP)).unwrap();
+        (p, s)
+    };
+    let (pa, sa) = add_stack("a");
+    let (pb, sb) = add_stack("b");
+    rt.connect(ip(sa, S_DOWN), ip(sb, S_DOWN)).unwrap();
+    rt.start().unwrap();
+    (rt, pa, pb)
+}
+
+fn run(rt: &Runtime) {
+    run_sequential(rt, &SeqOptions::default());
+}
+
+fn pm<R: Clone + 'static>(
+    rt: &Runtime,
+    id: ModuleId,
+    f: impl FnOnce(&PresentationMachine) -> R,
+) -> R {
+    rt.with_machine::<PresentationMachine, _>(id, f).unwrap()
+}
+
+#[test]
+fn ber_contexts_accepted_foreign_refused() {
+    let (rt, pa, pb) = stacks();
+    let mut contexts = mcam_contexts();
+    contexts.push(ProposedContext {
+        id: 71,
+        abstract_syntax: "mcam-pci".into(),
+        transfer_syntax: "per-unaligned".into(),
+    });
+    let n_proposed = contexts.len();
+    rt.inject(ip(pa, P_UP), Box::new(PConReq { contexts, user_data: b"AARQ".to_vec() }))
+        .unwrap();
+    run(&rt);
+    // The responder's user accepts the association.
+    let offered = pm(&rt, pb, |m| m.offered_contexts.clone());
+    assert_eq!(offered.len(), n_proposed, "every proposed context is offered");
+    rt.inject(ip(pb, P_UP), Box::new(PConRsp { accept: true, user_data: b"AARE".to_vec() }))
+        .unwrap();
+    run(&rt);
+    let accepted_b = pm(&rt, pb, |m| m.accepted_contexts.clone());
+    let accepted_a = pm(&rt, pa, |m| m.accepted_contexts.clone());
+    assert_eq!(accepted_a, accepted_b, "negotiation must agree on both sides");
+    assert!(!accepted_a.contains(&71), "non-BER transfer syntax must be refused");
+    assert_eq!(accepted_a.len(), n_proposed - 1, "all BER contexts accepted");
+}
+
+#[test]
+fn data_counted_on_both_sides() {
+    let (rt, pa, pb) = stacks();
+    rt.inject(
+        ip(pa, P_UP),
+        Box::new(PConReq { contexts: mcam_contexts(), user_data: vec![] }),
+    )
+    .unwrap();
+    run(&rt);
+    rt.inject(ip(pb, P_UP), Box::new(PConRsp { accept: true, user_data: vec![] })).unwrap();
+    run(&rt);
+    let ctx = pm(&rt, pa, |m| m.accepted_contexts[0]);
+    for i in 0..7u8 {
+        rt.inject(ip(pa, P_UP), Box::new(PDataReq { context_id: ctx, user_data: vec![i] }))
+            .unwrap();
+    }
+    run(&rt);
+    assert_eq!(pm(&rt, pa, |m| m.data_sent), 7);
+    assert_eq!(pm(&rt, pb, |m| m.data_received), 7);
+    assert_eq!(pm(&rt, pb, |m| m.protocol_errors), 0);
+}
+
+#[test]
+fn release_handshake_then_reconnect() {
+    let (rt, pa, pb) = stacks();
+    for round in 0..2 {
+        rt.inject(
+            ip(pa, P_UP),
+            Box::new(PConReq { contexts: mcam_contexts(), user_data: vec![] }),
+        )
+        .unwrap();
+        run(&rt);
+        rt.inject(ip(pb, P_UP), Box::new(PConRsp { accept: true, user_data: vec![] }))
+            .unwrap();
+        run(&rt);
+        assert_eq!(rt.module_state(pa), Some(presentation::CONNECTED), "round {round}");
+        rt.inject(ip(pa, P_UP), Box::new(PRelReq)).unwrap();
+        run(&rt);
+        rt.inject(ip(pb, P_UP), Box::new(PRelRsp)).unwrap();
+        run(&rt);
+        assert_eq!(rt.module_state(pa), Some(presentation::IDLE), "round {round}");
+        assert_eq!(rt.module_state(pb), Some(presentation::IDLE), "round {round}");
+    }
+}
+
+#[test]
+fn rejected_association_leaves_idle() {
+    let (rt, pa, pb) = stacks();
+    rt.inject(
+        ip(pa, P_UP),
+        Box::new(PConReq { contexts: mcam_contexts(), user_data: vec![] }),
+    )
+    .unwrap();
+    run(&rt);
+    rt.inject(ip(pb, P_UP), Box::new(PConRsp { accept: false, user_data: vec![] })).unwrap();
+    run(&rt);
+    assert_eq!(rt.module_state(pa), Some(presentation::IDLE));
+    assert_eq!(rt.module_state(pb), Some(presentation::IDLE));
+}

@@ -1,0 +1,26 @@
+//! `session` — ISO 8327 session layer (kernel functional unit) as an
+//! Estelle module.
+//!
+//! The paper's measured protocol stack consists of presentation and
+//! session *kernels* generated from Estelle sources (provided by the
+//! University of Bern) running over a simulated transport pipe. This
+//! crate is that session kernel: CN/AC/RF/DT/FN/DN/AB SPDUs
+//! ([`Spdu`]), S-service primitives ([`service`]), and the protocol
+//! state machine ([`SessionMachine`]) expressed as `estelle`
+//! transitions.
+//!
+//! Wire both entities' [`DOWN`] interaction points together (or through
+//! [`estelle::external::MediumModule`]s over a simulated pipe) and
+//! drive them with S-primitives on [`UP`].
+
+#![warn(missing_docs)]
+
+mod machine;
+pub mod service;
+mod spdu;
+
+pub use machine::{
+    SessionMachine, CONNECTED, CONNECTING, DOWN, IDLE, RELEASING, REL_RESPONDING,
+    RESPONDING, UP,
+};
+pub use spdu::{Spdu, SpduDecodeError, VERSION_1, VERSION_2};

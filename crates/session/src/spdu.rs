@@ -1,0 +1,177 @@
+//! SPDU wire format — the ISO 8327 session-kernel subset.
+//!
+//! | SI   | SPDU                 | parameters                  |
+//! |------|----------------------|-----------------------------|
+//! | 13   | CN  CONNECT          | version mask, user data     |
+//! | 14   | AC  ACCEPT           | chosen version, user data   |
+//! | 12   | RF  REFUSE           | reason                      |
+//! | 1    | DT  DATA TRANSFER    | user data                   |
+//! | 9    | FN  FINISH           | user data                   |
+//! | 10   | DN  DISCONNECT       | user data                   |
+//! | 25   | AB  ABORT            | reason                      |
+
+use std::fmt;
+
+/// Session protocol version 1 bit.
+pub const VERSION_1: u8 = 0b01;
+/// Session protocol version 2 bit.
+pub const VERSION_2: u8 = 0b10;
+
+/// A decoded session PDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Spdu {
+    /// CONNECT: proposes a version set and carries user data
+    /// (typically a presentation CP PPDU).
+    Cn {
+        /// Bitmask of proposed versions.
+        versions: u8,
+        /// Session-user data.
+        user_data: Vec<u8>,
+    },
+    /// ACCEPT: the chosen version plus user data.
+    Ac {
+        /// The single version selected by the acceptor.
+        version: u8,
+        /// Session-user data.
+        user_data: Vec<u8>,
+    },
+    /// REFUSE with a reason code.
+    Rf {
+        /// Refusal reason.
+        reason: u8,
+    },
+    /// Normal data transfer.
+    Dt {
+        /// Session-user data.
+        user_data: Vec<u8>,
+    },
+    /// Orderly release request.
+    Fn {
+        /// Session-user data.
+        user_data: Vec<u8>,
+    },
+    /// Orderly release confirmation.
+    Dn {
+        /// Session-user data.
+        user_data: Vec<u8>,
+    },
+    /// Abrupt abort.
+    Ab {
+        /// Abort reason.
+        reason: u8,
+    },
+}
+
+/// Error for malformed SPDUs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpduDecodeError {
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for SpduDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed SPDU: {}", self.reason)
+    }
+}
+impl std::error::Error for SpduDecodeError {}
+
+impl Spdu {
+    /// The SI (SPDU identifier) code.
+    pub fn si(&self) -> u8 {
+        match self {
+            Spdu::Cn { .. } => 13,
+            Spdu::Ac { .. } => 14,
+            Spdu::Rf { .. } => 12,
+            Spdu::Dt { .. } => 1,
+            Spdu::Fn { .. } => 9,
+            Spdu::Dn { .. } => 10,
+            Spdu::Ab { .. } => 25,
+        }
+    }
+
+    /// Serializes the SPDU.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8);
+        out.push(self.si());
+        match self {
+            Spdu::Cn { versions, user_data } => {
+                out.push(*versions);
+                out.extend_from_slice(user_data);
+            }
+            Spdu::Ac { version, user_data } => {
+                out.push(*version);
+                out.extend_from_slice(user_data);
+            }
+            Spdu::Rf { reason } | Spdu::Ab { reason } => out.push(*reason),
+            Spdu::Dt { user_data } | Spdu::Fn { user_data } | Spdu::Dn { user_data } => {
+                out.extend_from_slice(user_data);
+            }
+        }
+        out
+    }
+
+    /// Parses an SPDU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpduDecodeError`] on empty/truncated/unknown input.
+    pub fn decode(data: &[u8]) -> Result<Spdu, SpduDecodeError> {
+        let si = *data.first().ok_or(SpduDecodeError { reason: "empty" })?;
+        let rest = &data[1..];
+        match si {
+            13 => {
+                let versions = *rest.first().ok_or(SpduDecodeError { reason: "short CN" })?;
+                Ok(Spdu::Cn { versions, user_data: rest[1..].to_vec() })
+            }
+            14 => {
+                let version = *rest.first().ok_or(SpduDecodeError { reason: "short AC" })?;
+                Ok(Spdu::Ac { version, user_data: rest[1..].to_vec() })
+            }
+            12 => Ok(Spdu::Rf {
+                reason: *rest.first().ok_or(SpduDecodeError { reason: "short RF" })?,
+            }),
+            1 => Ok(Spdu::Dt { user_data: rest.to_vec() }),
+            9 => Ok(Spdu::Fn { user_data: rest.to_vec() }),
+            10 => Ok(Spdu::Dn { user_data: rest.to_vec() }),
+            25 => Ok(Spdu::Ab {
+                reason: *rest.first().ok_or(SpduDecodeError { reason: "short AB" })?,
+            }),
+            _ => Err(SpduDecodeError { reason: "unknown SI" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let samples = vec![
+            Spdu::Cn { versions: VERSION_1 | VERSION_2, user_data: vec![1, 2] },
+            Spdu::Ac { version: VERSION_2, user_data: vec![] },
+            Spdu::Rf { reason: 2 },
+            Spdu::Dt { user_data: b"payload".to_vec() },
+            Spdu::Fn { user_data: vec![] },
+            Spdu::Dn { user_data: vec![9] },
+            Spdu::Ab { reason: 1 },
+        ];
+        for s in samples {
+            assert_eq!(Spdu::decode(&s.encode()).unwrap(), s, "{}", s.si());
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(Spdu::decode(&[]).is_err());
+        assert!(Spdu::decode(&[99]).is_err());
+        assert!(Spdu::decode(&[13]).is_err()); // CN without version
+        assert!(Spdu::decode(&[25]).is_err()); // AB without reason
+    }
+
+    #[test]
+    fn dt_allows_empty_user_data() {
+        assert_eq!(Spdu::decode(&[1]).unwrap(), Spdu::Dt { user_data: vec![] });
+    }
+}

@@ -1,0 +1,41 @@
+//! Property tests: SPDU roundtrip and decoder robustness.
+
+use proptest::prelude::*;
+use session::{Spdu, VERSION_1, VERSION_2};
+
+fn spdu_strategy() -> impl Strategy<Value = Spdu> {
+    let data = proptest::collection::vec(any::<u8>(), 0..200);
+    prop_oneof![
+        (any::<u8>(), data.clone()).prop_map(|(v, d)| Spdu::Cn { versions: v, user_data: d }),
+        (any::<u8>(), data.clone()).prop_map(|(v, d)| Spdu::Ac { version: v, user_data: d }),
+        any::<u8>().prop_map(|r| Spdu::Rf { reason: r }),
+        data.clone().prop_map(|d| Spdu::Dt { user_data: d }),
+        data.clone().prop_map(|d| Spdu::Fn { user_data: d }),
+        data.prop_map(|d| Spdu::Dn { user_data: d }),
+        any::<u8>().prop_map(|r| Spdu::Ab { reason: r }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn spdu_roundtrips(s in spdu_strategy()) {
+        prop_assert_eq!(Spdu::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Spdu::decode(&bytes);
+    }
+
+    #[test]
+    fn si_codes_are_stable(s in spdu_strategy()) {
+        let si = s.si();
+        prop_assert!([13, 14, 12, 1, 9, 10, 25].contains(&si));
+        prop_assert_eq!(s.encode()[0], si);
+    }
+}
+
+#[test]
+fn version_bits_disjoint() {
+    assert_eq!(VERSION_1 & VERSION_2, 0);
+}

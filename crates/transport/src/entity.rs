@@ -1,0 +1,414 @@
+//! The transport entity: connection management, segmentation,
+//! reassembly over a [`Medium`].
+
+use crate::tpdu::{Tpdu, MAX_TPDU_PAYLOAD};
+use netsim::Medium;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Local identifier of a transport connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u16);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tc{}", self.0)
+    }
+}
+
+/// Service events delivered to the transport user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TEvent {
+    /// A peer requested a connection; it is already accepted (class 0
+    /// responder behaviour) and usable.
+    ConnectInd(ConnId),
+    /// A locally initiated connection completed.
+    ConnectCnf(ConnId),
+    /// A complete TSDU arrived.
+    DataInd(ConnId, Vec<u8>),
+    /// The connection was released by the peer or by error.
+    DisconnectInd(ConnId, u8),
+}
+
+/// Errors returned by service requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The connection id is unknown or closed.
+    UnknownConnection(ConnId),
+    /// The connection is not yet open.
+    NotOpen(ConnId),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownConnection(c) => write!(f, "unknown connection {c}"),
+            TransportError::NotOpen(c) => write!(f, "connection {c} not open"),
+        }
+    }
+}
+impl std::error::Error for TransportError {}
+
+#[derive(Debug, PartialEq, Eq)]
+enum ConnState {
+    CrSent,
+    Open { peer_ref: u16 },
+    Closing,
+}
+
+#[derive(Debug, Default)]
+struct Reassembly {
+    segments: Vec<u8>,
+    next_seq: u32,
+}
+
+/// One side's transport entity, pumping TPDUs through a medium.
+///
+/// Both connection initiation and responder-side auto-accept are
+/// supported; users drive the entity by calling [`TransportEntity::pump`]
+/// and draining events with [`TransportEntity::poll_event`].
+pub struct TransportEntity {
+    medium: Box<dyn Medium>,
+    next_ref: u16,
+    conns: HashMap<u16, ConnState>,
+    tx_seq: HashMap<u16, u32>,
+    reassembly: HashMap<u16, Reassembly>,
+    events: VecDeque<TEvent>,
+    /// Count of TPDUs that could not be parsed or addressed.
+    pub protocol_errors: u64,
+}
+
+impl fmt::Debug for TransportEntity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransportEntity")
+            .field("connections", &self.conns.len())
+            .field("pending_events", &self.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TransportEntity {
+    /// Creates an entity over `medium`.
+    pub fn new(medium: Box<dyn Medium>) -> Self {
+        TransportEntity {
+            medium,
+            next_ref: 1,
+            conns: HashMap::new(),
+            tx_seq: HashMap::new(),
+            reassembly: HashMap::new(),
+            events: VecDeque::new(),
+            protocol_errors: 0,
+        }
+    }
+
+    fn alloc_ref(&mut self) -> u16 {
+        let r = self.next_ref;
+        self.next_ref = self.next_ref.wrapping_add(1).max(1);
+        r
+    }
+
+    /// Initiates a connection (T-CONNECT.request). The returned id is
+    /// usable once [`TEvent::ConnectCnf`] arrives.
+    pub fn connect(&mut self) -> ConnId {
+        let local = self.alloc_ref();
+        self.conns.insert(local, ConnState::CrSent);
+        self.medium.send(Tpdu::Cr { src_ref: local }.encode());
+        ConnId(local)
+    }
+
+    /// Sends a TSDU (T-DATA.request), segmenting as needed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown or not open.
+    pub fn data(&mut self, conn: ConnId, tsdu: &[u8]) -> Result<(), TransportError> {
+        let peer_ref = match self.conns.get(&conn.0) {
+            Some(ConnState::Open { peer_ref }) => *peer_ref,
+            Some(_) => return Err(TransportError::NotOpen(conn)),
+            None => return Err(TransportError::UnknownConnection(conn)),
+        };
+        let seq = self.tx_seq.entry(conn.0).or_insert(0);
+        let chunks: Vec<&[u8]> = if tsdu.is_empty() {
+            vec![&[]]
+        } else {
+            tsdu.chunks(MAX_TPDU_PAYLOAD).collect()
+        };
+        let last = chunks.len() - 1;
+        for (i, chunk) in chunks.iter().enumerate() {
+            self.medium.send(
+                Tpdu::Dt {
+                    dst_ref: peer_ref,
+                    seq: *seq,
+                    eot: i == last,
+                    payload: chunk.to_vec(),
+                }
+                .encode(),
+            );
+            *seq += 1;
+        }
+        Ok(())
+    }
+
+    /// Releases a connection (T-DISCONNECT.request).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown.
+    pub fn disconnect(&mut self, conn: ConnId, reason: u8) -> Result<(), TransportError> {
+        let peer_ref = match self.conns.get(&conn.0) {
+            Some(ConnState::Open { peer_ref }) => Some(*peer_ref),
+            Some(_) => None,
+            None => return Err(TransportError::UnknownConnection(conn)),
+        };
+        if let Some(pr) = peer_ref {
+            self.medium.send(Tpdu::Dr { dst_ref: pr, reason }.encode());
+            self.conns.insert(conn.0, ConnState::Closing);
+        } else {
+            self.conns.remove(&conn.0);
+        }
+        Ok(())
+    }
+
+    /// True if `conn` is fully open.
+    pub fn is_open(&self, conn: ConnId) -> bool {
+        matches!(self.conns.get(&conn.0), Some(ConnState::Open { .. }))
+    }
+
+    /// Number of live (open or opening) connections.
+    pub fn connection_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Drains one pending service event.
+    pub fn poll_event(&mut self) -> Option<TEvent> {
+        self.events.pop_front()
+    }
+
+    /// True if events are waiting or the medium has traffic.
+    pub fn has_work(&self) -> bool {
+        !self.events.is_empty() || self.medium.available() > 0
+    }
+
+    /// Processes every TPDU currently available on the medium,
+    /// queueing service events. Returns the number processed.
+    pub fn pump(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(raw) = self.medium.poll() {
+            n += 1;
+            match Tpdu::decode(&raw) {
+                Ok(t) => self.handle(t),
+                Err(_) => self.protocol_errors += 1,
+            }
+        }
+        n
+    }
+
+    fn handle(&mut self, tpdu: Tpdu) {
+        match tpdu {
+            Tpdu::Cr { src_ref } => {
+                // Class-0 responder: accept immediately.
+                let local = self.alloc_ref();
+                self.conns.insert(local, ConnState::Open { peer_ref: src_ref });
+                self.medium.send(Tpdu::Cc { dst_ref: src_ref, src_ref: local }.encode());
+                self.events.push_back(TEvent::ConnectInd(ConnId(local)));
+            }
+            Tpdu::Cc { dst_ref, src_ref } => {
+                match self.conns.get_mut(&dst_ref) {
+                    Some(state @ ConnState::CrSent) => {
+                        *state = ConnState::Open { peer_ref: src_ref };
+                        self.events.push_back(TEvent::ConnectCnf(ConnId(dst_ref)));
+                    }
+                    _ => self.protocol_errors += 1,
+                }
+            }
+            Tpdu::Dt { dst_ref, seq, eot, payload } => {
+                if !matches!(self.conns.get(&dst_ref), Some(ConnState::Open { .. })) {
+                    self.protocol_errors += 1;
+                    return;
+                }
+                let re = self.reassembly.entry(dst_ref).or_default();
+                if seq != re.next_seq {
+                    // The pipe is reliable and ordered; a gap is a
+                    // protocol error.
+                    self.protocol_errors += 1;
+                    self.medium.send(Tpdu::Er { dst_ref, cause: 1 }.encode());
+                    return;
+                }
+                re.next_seq += 1;
+                re.segments.extend_from_slice(&payload);
+                if eot {
+                    let tsdu = std::mem::take(&mut re.segments);
+                    self.events.push_back(TEvent::DataInd(ConnId(dst_ref), tsdu));
+                }
+            }
+            Tpdu::Dr { dst_ref, reason } => {
+                if let Some(state) = self.conns.remove(&dst_ref) {
+                    if let ConnState::Open { peer_ref } = state {
+                        self.medium.send(Tpdu::Dc { dst_ref: peer_ref }.encode());
+                    }
+                    self.reassembly.remove(&dst_ref);
+                    self.events.push_back(TEvent::DisconnectInd(ConnId(dst_ref), reason));
+                }
+            }
+            Tpdu::Dc { dst_ref } => {
+                self.conns.remove(&dst_ref);
+                self.reassembly.remove(&dst_ref);
+            }
+            Tpdu::Er { dst_ref, cause } => {
+                self.conns.remove(&dst_ref);
+                self.events.push_back(TEvent::DisconnectInd(ConnId(dst_ref), cause));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::LoopbackMedium;
+
+    fn pair() -> (TransportEntity, TransportEntity) {
+        let (a, b) = LoopbackMedium::pair();
+        (TransportEntity::new(Box::new(a)), TransportEntity::new(Box::new(b)))
+    }
+
+    /// Pump both entities until neither has medium traffic.
+    fn settle(a: &mut TransportEntity, b: &mut TransportEntity) {
+        loop {
+            let n = a.pump() + b.pump();
+            if n == 0 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn connect_handshake() {
+        let (mut a, mut b) = pair();
+        let c = a.connect();
+        assert!(!a.is_open(c));
+        settle(&mut a, &mut b);
+        assert!(a.is_open(c));
+        assert_eq!(a.poll_event(), Some(TEvent::ConnectCnf(c)));
+        match b.poll_event() {
+            Some(TEvent::ConnectInd(bc)) => assert!(b.is_open(bc)),
+            other => panic!("expected ConnectInd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_tsdu_roundtrip() {
+        let (mut a, mut b) = pair();
+        let c = a.connect();
+        settle(&mut a, &mut b);
+        a.poll_event();
+        let bc = match b.poll_event() {
+            Some(TEvent::ConnectInd(bc)) => bc,
+            other => panic!("{other:?}"),
+        };
+        a.data(c, b"hello session layer").unwrap();
+        settle(&mut a, &mut b);
+        assert_eq!(
+            b.poll_event(),
+            Some(TEvent::DataInd(bc, b"hello session layer".to_vec()))
+        );
+    }
+
+    #[test]
+    fn large_tsdu_is_segmented_and_reassembled() {
+        let (mut a, mut b) = pair();
+        let c = a.connect();
+        settle(&mut a, &mut b);
+        a.poll_event();
+        let bc = match b.poll_event() {
+            Some(TEvent::ConnectInd(bc)) => bc,
+            other => panic!("{other:?}"),
+        };
+        let tsdu: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        a.data(c, &tsdu).unwrap();
+        settle(&mut a, &mut b);
+        assert_eq!(b.poll_event(), Some(TEvent::DataInd(bc, tsdu)));
+    }
+
+    #[test]
+    fn empty_tsdu_still_delivers() {
+        let (mut a, mut b) = pair();
+        let c = a.connect();
+        settle(&mut a, &mut b);
+        a.poll_event();
+        let bc = match b.poll_event() {
+            Some(TEvent::ConnectInd(bc)) => bc,
+            other => panic!("{other:?}"),
+        };
+        a.data(c, &[]).unwrap();
+        settle(&mut a, &mut b);
+        assert_eq!(b.poll_event(), Some(TEvent::DataInd(bc, vec![])));
+    }
+
+    #[test]
+    fn data_before_open_fails() {
+        let (mut a, _b) = pair();
+        let c = a.connect();
+        assert_eq!(a.data(c, b"x"), Err(TransportError::NotOpen(c)));
+        assert_eq!(
+            a.data(ConnId(99), b"x"),
+            Err(TransportError::UnknownConnection(ConnId(99)))
+        );
+    }
+
+    #[test]
+    fn disconnect_notifies_peer() {
+        let (mut a, mut b) = pair();
+        let c = a.connect();
+        settle(&mut a, &mut b);
+        a.poll_event();
+        let bc = match b.poll_event() {
+            Some(TEvent::ConnectInd(bc)) => bc,
+            other => panic!("{other:?}"),
+        };
+        a.disconnect(c, 3).unwrap();
+        settle(&mut a, &mut b);
+        assert_eq!(b.poll_event(), Some(TEvent::DisconnectInd(bc, 3)));
+        assert!(!b.is_open(bc));
+        assert_eq!(a.connection_count(), 0);
+        assert_eq!(b.connection_count(), 0);
+    }
+
+    #[test]
+    fn multiple_parallel_connections() {
+        let (mut a, mut b) = pair();
+        let c1 = a.connect();
+        let c2 = a.connect();
+        settle(&mut a, &mut b);
+        assert!(a.is_open(c1) && a.is_open(c2));
+        assert_eq!(b.connection_count(), 2);
+        // Interleaved data stays per-connection.
+        a.data(c1, b"one").unwrap();
+        a.data(c2, b"two").unwrap();
+        a.data(c1, b"three").unwrap();
+        settle(&mut a, &mut b);
+        let mut got = Vec::new();
+        while let Some(e) = b.poll_event() {
+            if let TEvent::DataInd(c, d) = e {
+                got.push((c, d));
+            }
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].1, b"one");
+        assert_eq!(got[1].1, b"two");
+        assert_eq!(got[2].1, b"three");
+        assert_eq!(got[0].0, got[2].0);
+        assert_ne!(got[0].0, got[1].0);
+    }
+
+    #[test]
+    fn garbage_counts_protocol_error() {
+        use netsim::Medium;
+        let (am, bm) = LoopbackMedium::pair();
+        let mut a = TransportEntity::new(Box::new(am));
+        bm.send(vec![0x42, 0x42]); // unknown TPDU code
+        bm.send(vec![]); // empty
+        a.pump();
+        assert_eq!(a.protocol_errors, 2);
+    }
+}

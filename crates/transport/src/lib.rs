@@ -1,0 +1,43 @@
+//! `transport` — an ISO 8073 class-0 flavoured transport service.
+//!
+//! The paper places its control stacks on the ISODE transport layer
+//! (or on a simulated transport pipe for measurements). This crate is
+//! the transport substrate: CR/CC/DT/DR/DC/ER TPDUs, connection
+//! references, TSDU segmentation/reassembly, and a user-facing service
+//! interface ([`TEvent`]) — all over any [`netsim::Medium`], so the
+//! same entity runs on the simulated pipe, in-process loopback, or
+//! across threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use transport::{TransportEntity, TEvent};
+//! use netsim::LoopbackMedium;
+//!
+//! let (ma, mb) = LoopbackMedium::pair();
+//! let mut initiator = TransportEntity::new(Box::new(ma));
+//! let mut responder = TransportEntity::new(Box::new(mb));
+//!
+//! let conn = initiator.connect();
+//! responder.pump(); // CR -> auto-accept, sends CC
+//! initiator.pump(); // CC
+//! assert!(initiator.is_open(conn));
+//! initiator.data(conn, b"T-DATA over class 0").unwrap();
+//! responder.pump();
+//! match responder.poll_event() {
+//!     Some(TEvent::ConnectInd(_)) => {}
+//!     other => panic!("{other:?}"),
+//! }
+//! match responder.poll_event() {
+//!     Some(TEvent::DataInd(_, tsdu)) => assert_eq!(tsdu, b"T-DATA over class 0"),
+//!     other => panic!("{other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod entity;
+mod tpdu;
+
+pub use entity::{ConnId, TEvent, TransportEntity, TransportError};
+pub use tpdu::{Tpdu, TpduDecodeError, MAX_TPDU_PAYLOAD};

@@ -1,0 +1,49 @@
+//! Property tests: TPDU roundtrip, segmentation invariants, decoder
+//! robustness.
+
+use netsim::LoopbackMedium;
+use proptest::prelude::*;
+use transport::{TEvent, Tpdu, TransportEntity};
+
+fn tpdu_strategy() -> impl Strategy<Value = Tpdu> {
+    let payload = proptest::collection::vec(any::<u8>(), 0..64);
+    prop_oneof![
+        any::<u16>().prop_map(|src_ref| Tpdu::Cr { src_ref }),
+        (any::<u16>(), any::<u16>()).prop_map(|(dst_ref, src_ref)| Tpdu::Cc { dst_ref, src_ref }),
+        (any::<u16>(), any::<u8>()).prop_map(|(dst_ref, reason)| Tpdu::Dr { dst_ref, reason }),
+        any::<u16>().prop_map(|dst_ref| Tpdu::Dc { dst_ref }),
+        (any::<u16>(), any::<u32>(), any::<bool>(), payload).prop_map(
+            |(dst_ref, seq, eot, payload)| Tpdu::Dt { dst_ref, seq, eot, payload }
+        ),
+        (any::<u16>(), any::<u8>()).prop_map(|(dst_ref, cause)| Tpdu::Er { dst_ref, cause }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn tpdus_roundtrip(t in tpdu_strategy()) {
+        prop_assert_eq!(Tpdu::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Tpdu::decode(&bytes);
+    }
+
+    #[test]
+    fn any_tsdu_survives_segmentation(tsdu in proptest::collection::vec(any::<u8>(), 0..5000)) {
+        let (ma, mb) = LoopbackMedium::pair();
+        let mut a = TransportEntity::new(Box::new(ma));
+        let mut b = TransportEntity::new(Box::new(mb));
+        let conn = a.connect();
+        while a.pump() + b.pump() > 0 {}
+        a.poll_event();
+        let bc = match b.poll_event() {
+            Some(TEvent::ConnectInd(c)) => c,
+            other => panic!("{other:?}"),
+        };
+        a.data(conn, &tsdu).unwrap();
+        while a.pump() + b.pump() > 0 {}
+        prop_assert_eq!(b.poll_event(), Some(TEvent::DataInd(bc, tsdu)));
+    }
+}

@@ -1,0 +1,92 @@
+//! Tour of the two MCAM support services (paper §2): the X.500-style
+//! movie directory with referrals, and the CM equipment control
+//! system.
+//!
+//! Run with `cargo run --example directory_equipment_tour`.
+
+use directory::{attr, Dn, Dsa, Dua, Filter, ModOp, MovieEntry, Scope};
+use equipment::{Eca, EquipmentClass, Eua, param};
+
+fn main() {
+    // --- movie directory -------------------------------------------
+    println!("-- movie directory --");
+    let mannheim = Dsa::new("mannheim");
+    let karlsruhe = Dsa::new("karlsruhe");
+    let base: Dn = "o=movies".parse().unwrap();
+    mannheim.add(base.clone(), directory::Attrs::new()).unwrap();
+    mannheim.add_referral("o=archive".parse().unwrap(), "karlsruhe");
+
+    let mut dua = Dua::new(&mannheim);
+    dua.add_dsa(&karlsruhe);
+
+    for (title, rate) in [("Star Wars", 24), ("Das Boot", 25), ("Stalker", 25)] {
+        let mut e = MovieEntry::new(title, "node-1");
+        e.frame_rate = rate;
+        let dn: Dn = format!("o=movies/cn={title}").parse().unwrap();
+        dua.add(dn, e.to_attrs()).unwrap();
+    }
+    // An archived movie mastered by the other DSA, reached by referral.
+    karlsruhe
+        .add(
+            "o=archive/cn=Metropolis".parse().unwrap(),
+            MovieEntry::new("Metropolis", "node-9").to_attrs(),
+        )
+        .unwrap();
+    let got = dua.read(&"o=archive/cn=Metropolis".parse().unwrap()).unwrap();
+    println!(
+        "referral chase: found {:?} on karlsruhe",
+        got.get(attr::TITLE).and_then(|v| v.as_str()).unwrap()
+    );
+
+    let hits = dua
+        .search(
+            &base,
+            Scope::Subtree,
+            &Filter::And(vec![
+                Filter::eq_str(attr::OBJECT_CLASS, "movie"),
+                Filter::Ge(attr::FRAME_RATE.into(), 25),
+            ]),
+        )
+        .unwrap();
+    println!("25fps movies: {:?}", hits.iter().map(|(dn, _)| dn.to_string()).collect::<Vec<_>>());
+
+    dua.modify(
+        &"o=movies/cn=Star Wars".parse().unwrap(),
+        &[ModOp::Put(attr::FRAME_RATE.into(), asn1::Value::Int(25))],
+    )
+    .unwrap();
+    println!("modified Star Wars to 25fps");
+
+    // --- equipment control ------------------------------------------
+    println!("\n-- equipment control --");
+    let studio = Eca::new("studio");
+    let cam = studio.register(EquipmentClass::Camera, "cam-1");
+    let mic = studio.register(EquipmentClass::Microphone, "mic-1");
+    studio.register(EquipmentClass::Speaker, "spk-1");
+
+    let mut producer = Eua::new(1);
+    producer.add_site(&studio);
+    producer.reserve("studio", cam).unwrap();
+    producer.reserve("studio", mic).unwrap();
+    producer.set_param("studio", cam, param::FRAME_RATE, 25).unwrap();
+    producer.set_param("studio", cam, param::BRIGHTNESS, 70).unwrap();
+    producer.activate("studio", cam).unwrap();
+    producer.activate("studio", mic).unwrap();
+    println!("producer recording with {:?}", studio.list(None).iter()
+        .filter(|d| !matches!(d.state, equipment::DeviceState::Free))
+        .map(|d| d.name.clone())
+        .collect::<Vec<_>>());
+
+    // A competing user is locked out while the recording runs.
+    let mut viewer = Eua::new(2);
+    viewer.add_site(&studio);
+    match viewer.reserve("studio", cam) {
+        Err(e) => println!("viewer blocked as expected: {e}"),
+        Ok(()) => unreachable!("camera is held by the producer"),
+    }
+
+    producer.release("studio", cam).unwrap();
+    producer.release("studio", mic).unwrap();
+    viewer.reserve("studio", cam).unwrap();
+    println!("camera handed over to the viewer");
+}

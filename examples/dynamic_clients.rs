@@ -1,0 +1,70 @@
+//! Dynamic client generation (the ref [2] Estelle enhancement).
+//!
+//! Base Estelle freezes the system-module population at start — the
+//! paper (§4.1): "the number of `systemprocess` modules cannot be
+//! changed at runtime, so the number of clients is fixed", with a
+//! footnote pointing at the enhancement of Bredereke/Gotzhein [2].
+//! This example turns that enhancement on and grows a video-on-demand
+//! service while it runs: one client exists at start; four more join
+//! live, each opening its own control connection and stream.
+//!
+//! Run with: `cargo run --example dynamic_clients`
+
+use directory::MovieEntry;
+use mcam::{McamOp, McamPdu, StackKind, World};
+use netsim::SimDuration;
+
+fn main() {
+    let mut world = World::new(77);
+    let server = world.add_server("ksr1", StackKind::EstellePS);
+    let first = world.add_client(&server, StackKind::EstellePS, vec![]);
+
+    // The ref [2] switch. Without it, add_client after start() panics
+    // with the base-Estelle frozen-population rule.
+    world.enable_dynamic_clients();
+    world.start();
+
+    let mut entry = MovieEntry::new("Metropolis", "store");
+    entry.frame_count = 50;
+    world.seed_movie(&server, &entry);
+
+    world.client_op(&first, McamOp::Associate { user: "static-0".into() });
+    println!("static client associated (population at start: 1 client)");
+
+    let mut receivers = Vec::new();
+    let mut clients = vec![first];
+    for i in 1..=4 {
+        // A new workstation appears while the system runs.
+        let late = world.add_client(&server, StackKind::EstellePS, vec![]);
+        let rsp = world.client_op(&late, McamOp::Associate { user: format!("dynamic-{i}") });
+        assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+        println!("dynamic client {i} joined the running system and associated");
+
+        let params =
+            match world.client_op(&late, McamOp::SelectMovie { title: "Metropolis".into() }) {
+                Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+                other => panic!("select failed: {other:?}"),
+            };
+        let rx = world.receiver_for(&late, &params, SimDuration::from_millis(60));
+        world.client_op(&late, McamOp::Play { speed_pct: 100 });
+        receivers.push(rx);
+        clients.push(late);
+    }
+
+    world.run_for(SimDuration::from_secs(4));
+    for (i, rx) in receivers.iter_mut().enumerate() {
+        let frames = rx.poll(world.net.now()).len();
+        println!("dynamic client {}: {frames} frames delivered", i + 1);
+        assert_eq!(frames, 50);
+    }
+
+    let entities = world
+        .rt
+        .with_machine::<mcam::ServerRoot, _>(server.root, |r| r.entities.clone())
+        .expect("server root exists");
+    println!(
+        "\nserver entities: {} (one per connection; {} of them created dynamically)",
+        entities.len(),
+        entities.len() - 1
+    );
+}

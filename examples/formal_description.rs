@@ -1,0 +1,39 @@
+//! "From a formal description to a working multimedia system" — and
+//! back: build the working system, then export the running module tree
+//! as Estelle-flavoured text and derive the §4.4 deployment report
+//! (which machine builds and starts which executable).
+//!
+//! Run with `cargo run --example formal_description`.
+
+use estelle::deploy::DeploymentPlan;
+use estelle::export::export_spec;
+use mcam::{McamOp, StackKind, World};
+
+fn main() {
+    let mut world = World::new(42);
+    let server = world.add_server("ksr1", StackKind::EstellePS);
+    let client_a = world.add_client(&server, StackKind::EstellePS, vec![]);
+    let client_b = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.start();
+    // Before the connection request the stacks do not exist yet.
+    println!("--- specification before the connection request ---\n");
+    println!("{}", export_spec(&world.rt, "mcam_system"));
+
+    world.client_op(&client_a, McamOp::Associate { user: "spec".into() });
+    world.client_op(&client_b, McamOp::Associate { user: "spec".into() });
+
+    println!("--- specification after dynamic stack creation ---\n");
+    println!("{}", export_spec(&world.rt, "mcam_system"));
+
+    // §4.1: "In comments, we declare the location (i.e. a machine
+    // name) where the module will be placed." §4.4 turns those
+    // comments into per-machine builds and a start order.
+    println!("--- §4.4 deployment ---\n");
+    let plan = DeploymentPlan::new()
+        .place(server.root, "ksr1")
+        .place(client_a.root, "sun-ws-1")
+        .place(client_b.root, "dec-ws-2")
+        .launch_from("ksr1");
+    let deployment = plan.resolve(&world.rt).expect("all system modules placed");
+    println!("{}", deployment.render(&world.rt));
+}

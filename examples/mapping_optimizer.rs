@@ -1,0 +1,81 @@
+//! Automatic module-to-processor mapping (paper ref [7]).
+//!
+//! The paper's final lesson: "the mapping of Estelle modules to tasks
+//! and threads influences the performance of the runtime
+//! implementation to a great extent. An algorithm for an optimal
+//! mapping is currently under development." This example runs that
+//! algorithm over a real protocol trace:
+//!
+//! 1. build a presentation+session environment with a *skewed* load —
+//!    one busy connection and several light ones;
+//! 2. extract the cost model (per-module work, communication matrix);
+//! 3. compare the static policies (module-per-thread,
+//!    connection-per-processor, layer-per-processor) with the
+//!    optimizer's mapping.
+//!
+//! Run with: `cargo run --example mapping_optimizer`
+
+use estelle::GroupingPolicy;
+use harness::pstack::{build_ps_env_mixed, run_ps_env_mixed};
+use ksim::{CostModel, Machine, OptimizeOptions, Overheads};
+
+fn main() {
+    let requests = [200u32, 25, 25, 25];
+    let processors = 2;
+    println!("workload: per-connection data requests {requests:?} on {processors} CPUs\n");
+
+    let env = build_ps_env_mixed(&requests, 42);
+    let trace = run_ps_env_mixed(&env, &requests);
+    let overheads = Overheads::ksr1_like();
+    let machine = Machine { processors, overheads };
+
+    // The cost model the optimizer sees.
+    let model = CostModel::from_trace(&trace);
+    println!("cost model: {} modules, total work {}", model.modules.len(), model.total_work());
+    let clusters = model.clusters();
+    println!("communication clusters (= connections): {}", clusters.len());
+    for (i, cluster) in clusters.iter().enumerate() {
+        println!("  cluster {i}: {} modules, work {}", cluster.len(), model.group_work(cluster));
+    }
+    println!();
+
+    // Static policies vs. the optimizer.
+    let baseline = ksim::simulate_sequential(&trace, overheads);
+    println!("sequential baseline: {}\n", baseline.makespan);
+
+    let policies: [(&str, GroupingPolicy); 3] = [
+        ("module-per-thread", GroupingPolicy::PerModule),
+        ("connection-per-processor", GroupingPolicy::ByConnection { units: processors as u32 }),
+        ("layer-per-processor", GroupingPolicy::ByLayer { units: processors as u32 }),
+    ];
+    for (name, policy) in policies {
+        let r = ksim::simulate(&trace, policy, &machine);
+        println!(
+            "{name:26} makespan {:>12}  speedup {:>5.2}  imbalance {:.2}",
+            r.makespan.to_string(),
+            ksim::speedup(&baseline, &r),
+            r.imbalance(),
+        );
+    }
+
+    let optimized = ksim::optimize(
+        &trace,
+        &machine,
+        OptimizeOptions { units: processors, max_rounds: 6 },
+    );
+    println!(
+        "{:26} makespan {:>12}  speedup {:>5.2}  imbalance {:.2}",
+        "optimizer (ref [7])",
+        optimized.report.makespan.to_string(),
+        ksim::speedup(&baseline, &optimized.report),
+        optimized.report.imbalance(),
+    );
+    println!(
+        "\noptimizer: {} rounds, {} candidate replays",
+        optimized.rounds, optimized.evaluations
+    );
+    println!("chosen assignment (module -> unit):");
+    for (m, u) in optimized.mapping.pairs() {
+        println!("  {m:?} -> {u:?}");
+    }
+}

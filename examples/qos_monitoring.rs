@@ -1,0 +1,171 @@
+//! QoS budgets on running Estelle systems (the §6 extension).
+//!
+//! The paper's conclusion: "One of the major problems of Estelle in a
+//! real-time environment is that QoS parameters cannot be specified …
+//! Non-realtime protocols such as MCAM also have QoS requirements,
+//! e.g. maximum delay of an interaction." This example attaches such
+//! requirements to two systems:
+//!
+//! 1. the §5.1 presentation+session stack — every hop is measured and
+//!    shown to meet a 2 ms interaction budget (the stack consumes
+//!    messages as fast as the virtual clock delivers them);
+//! 2. an interactive MCAM-style user against a *batching* server that
+//!    only wakes every 25 ms — queued requests age visibly, and a
+//!    15 ms interaction budget is violated.
+//!
+//! Run with: `cargo run --example qos_monitoring`
+
+use estelle::qos::QosSpec;
+use estelle::sched::{run_sequential, SeqOptions};
+use estelle::{
+    downcast, impl_interaction, ip, IpIndex, ModuleKind, ModuleLabels, Runtime, StateId,
+    StateMachine, Transition,
+};
+use harness::pstack::{build_ps_env, run_ps_env};
+use netsim::SimDuration;
+
+#[derive(Debug)]
+struct Request(u32);
+impl_interaction!(Request);
+
+const S0: StateId = StateId(0);
+const S1: StateId = StateId(1);
+const IO: IpIndex = IpIndex(0);
+
+/// Issues one management request every 10 ms, like a user clicking
+/// through the generated X interface (§4.2). The Estelle `delay`
+/// clause re-arms on a state change, so the machine ping-pongs
+/// between two states.
+#[derive(Debug)]
+struct InteractiveUser {
+    issued: u32,
+    budget: u32,
+}
+
+impl StateMachine for InteractiveUser {
+    fn num_ips(&self) -> usize {
+        1
+    }
+    fn initial_state(&self) -> StateId {
+        S0
+    }
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![
+            Transition::spontaneous("click", S0, |m: &mut Self, ctx, _| {
+                m.issued += 1;
+                ctx.output(IO, Request(m.issued));
+            })
+            .provided(|m, _| m.issued < m.budget)
+            .to(S1)
+            .delay(SimDuration::from_millis(10)),
+            Transition::spontaneous("rearm", S1, |_, _, _| {}).to(S0),
+        ]
+    }
+}
+
+/// A server that serves at most one request per 25 ms, so requests
+/// queue up and age while it sleeps.
+#[derive(Debug, Default)]
+struct BatchingServer {
+    served: u32,
+    last: u32,
+}
+
+impl StateMachine for BatchingServer {
+    fn num_ips(&self) -> usize {
+        1
+    }
+    fn initial_state(&self) -> StateId {
+        S0
+    }
+    fn transitions() -> Vec<Transition<Self>> {
+        vec![
+            Transition::on("serve", S0, IO, |m: &mut Self, _ctx, msg| {
+                let req = downcast::<Request>(msg.unwrap()).unwrap();
+                m.served += 1;
+                m.last = req.0;
+            })
+            .to(S1)
+            .delay(SimDuration::from_millis(25)),
+            Transition::spontaneous("rearm", S1, |_, _, _| {}).to(S0),
+        ]
+    }
+}
+
+fn stack_measurement() {
+    println!("--- 1. presentation+session stack under a 2ms interaction budget ---\n");
+    let connections = 2;
+    let data_requests = 50;
+    let env = build_ps_env(connections, data_requests, 42);
+    let monitor = env.rt.attach_qos(
+        QosSpec::new().default_max_delay(SimDuration::from_millis(2)),
+    );
+    let trace = run_ps_env(&env, data_requests);
+    let report = monitor.report();
+    let consumed: u64 = report.entries.iter().map(|e| e.consumed).sum();
+    println!(
+        "{} firings, {} interactions measured across {} interaction points",
+        trace.records.len(),
+        consumed,
+        report.entries.len()
+    );
+    println!(
+        "worst interaction delay: {}; within budget: {}\n",
+        report.worst_delay(),
+        report.all_within_budget()
+    );
+}
+
+fn batching_server_violations() {
+    println!("--- 2. interactive user vs 25ms batching server, 15ms budget ---\n");
+    let (rt, _clock) = Runtime::sim();
+    let user = rt
+        .add_module(
+            None,
+            "user",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            InteractiveUser { issued: 0, budget: 20 },
+        )
+        .expect("fresh runtime");
+    let server = rt
+        .add_module(
+            None,
+            "server",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            BatchingServer::default(),
+        )
+        .expect("fresh runtime");
+    rt.connect(ip(user, IO), ip(server, IO)).expect("both ends fresh");
+
+    let monitor = rt.attach_qos(
+        QosSpec::new().max_delay(server, IO, SimDuration::from_millis(15)),
+    );
+    rt.start().expect("valid spec");
+    run_sequential(&rt, &SeqOptions::default());
+
+    let served = rt.with_machine::<BatchingServer, _>(server, |s| s.served).unwrap();
+    let report = monitor.report();
+    let entry = &report.entries[0];
+    println!("served {served} requests");
+    println!(
+        "interaction delay: mean {}, max {} (budget {})",
+        entry.mean_delay,
+        entry.max_delay,
+        SimDuration::from_millis(15)
+    );
+    println!("violations: {} of {}", entry.violations, entry.consumed);
+    for v in report.violations.iter().take(3) {
+        println!("  e.g. {} waited {} at t={:?}", v.interaction, v.delay, v.at);
+    }
+    assert!(
+        !report.all_within_budget(),
+        "a 25ms batching interval must violate a 15ms budget"
+    );
+}
+
+fn main() {
+    stack_measurement();
+    batching_server_violations();
+}

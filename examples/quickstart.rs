@@ -1,0 +1,60 @@
+//! Quickstart: one client, one server — create a movie, select it,
+//! play it, watch the frames arrive.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use mcam::{McamOp, McamPdu, StackKind, World};
+use netsim::SimDuration;
+
+fn main() {
+    // The world: a client workstation and a server machine connected
+    // by a reliable control pipe plus a jittery CM datagram network.
+    let mut world = World::new(7);
+    let server = world.add_server("mannheim", StackKind::EstellePS);
+    let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.start();
+
+    // Associate: the client root creates the MCAM module and the
+    // Estelle presentation+session stack on demand, then the
+    // AssociateReq rides inside the P-CONNECT user data.
+    let rsp = world.client_op(&client, McamOp::Associate { user: "quickstart".into() });
+    println!("associate      -> {rsp:?}");
+
+    let rsp = world.client_op(
+        &client,
+        McamOp::CreateMovie {
+            title: "Big Buck KSR".into(),
+            format: "XMovie-24".into(),
+            frame_rate: 25,
+            frame_count: 125, // five seconds
+        },
+    );
+    println!("create movie   -> {rsp:?}");
+
+    let params = match world.client_op(&client, McamOp::SelectMovie { title: "Big Buck KSR".into() }) {
+        Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+        other => panic!("select failed: {other:?}"),
+    };
+    println!(
+        "select movie   -> stream {} from node-{} ({} frames @ {} fps)",
+        params.stream_id, params.provider_addr, params.movie.frame_count, params.movie.frame_rate
+    );
+
+    let mut receiver = world.receiver_for(&client, &params, SimDuration::from_millis(50));
+    let rsp = world.client_op(&client, McamOp::Play { speed_pct: 100 });
+    println!("play           -> {rsp:?}");
+
+    world.run_for(SimDuration::from_secs(6));
+    let frames = receiver.poll(world.net.now());
+    println!(
+        "stream done    -> {} frames played, {} lost, jitter {:.0} us, mean transit {:.1} ms",
+        frames.len(),
+        receiver.stats.lost,
+        receiver.stats.jitter_us,
+        receiver.stats.mean_transit_us / 1000.0
+    );
+    assert_eq!(frames.len(), 125);
+
+    let rsp = world.client_op(&client, McamOp::Release);
+    println!("release        -> {rsp:?}");
+}

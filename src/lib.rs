@@ -1,0 +1,17 @@
+//! Umbrella crate for the MCAM reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use
+//! a single dependency root.
+pub use asn1;
+pub use directory;
+pub use equipment;
+pub use estelle;
+pub use harness;
+pub use isode;
+pub use ksim;
+pub use mcam;
+pub use mtp;
+pub use netsim;
+pub use presentation;
+pub use session;
+pub use transport;

@@ -1,0 +1,76 @@
+//! Conformance: the paper runs MCAM on two different protocol stacks
+//! "thereby allowing us to test conformance". Because our generated
+//! and hand-coded stacks are wire-compatible, a client on one stack
+//! can interoperate with a server entity on the other — the strongest
+//! conformance statement available.
+
+use directory::MovieEntry;
+use mcam::{McamOp, McamPdu, StackKind, World};
+use netsim::SimDuration;
+
+fn full_session(client_stack: StackKind, server_stack: StackKind) {
+    let mut world = World::new(123);
+    let server = world.add_server("conf", server_stack);
+    let client = world.add_client(&server, client_stack, vec![]);
+    world.start();
+
+    assert_eq!(
+        world.client_op(&client, McamOp::Associate { user: "conformance".into() }),
+        Some(McamPdu::AssociateRsp { accepted: true }),
+        "{client_stack:?} client vs {server_stack:?} server: associate"
+    );
+    assert_eq!(
+        world.client_op(
+            &client,
+            McamOp::CreateMovie {
+                title: "Conf".into(),
+                format: "XMovie-24".into(),
+                frame_rate: 25,
+                frame_count: 50,
+            }
+        ),
+        Some(McamPdu::CreateMovieRsp { ok: true })
+    );
+    let mut extra = MovieEntry::new("Seeded", "x");
+    extra.frame_count = 25;
+    world.seed_movie(&server, &extra);
+    match world.client_op(&client, McamOp::List { contains: String::new() }) {
+        Some(McamPdu::ListMoviesRsp { mut titles }) => {
+            titles.sort();
+            assert_eq!(titles, vec!["Conf".to_string(), "Seeded".to_string()]);
+        }
+        other => panic!("{other:?}"),
+    }
+    let params = match world.client_op(&client, McamOp::SelectMovie { title: "Conf".into() }) {
+        Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+        other => panic!("{other:?}"),
+    };
+    let mut rx = world.receiver_for(&client, &params, SimDuration::from_millis(50));
+    assert_eq!(
+        world.client_op(&client, McamOp::Play { speed_pct: 100 }),
+        Some(McamPdu::PlayRsp { ok: true })
+    );
+    world.run_for(SimDuration::from_secs(3));
+    assert_eq!(rx.poll(world.net.now()).len(), 50);
+    assert_eq!(world.client_op(&client, McamOp::Release), Some(McamPdu::ReleaseRsp));
+}
+
+#[test]
+fn estelle_client_estelle_server() {
+    full_session(StackKind::EstellePS, StackKind::EstellePS);
+}
+
+#[test]
+fn isode_client_isode_server() {
+    full_session(StackKind::Isode, StackKind::Isode);
+}
+
+#[test]
+fn estelle_client_isode_server() {
+    full_session(StackKind::EstellePS, StackKind::Isode);
+}
+
+#[test]
+fn isode_client_estelle_server() {
+    full_session(StackKind::Isode, StackKind::EstellePS);
+}

@@ -1,0 +1,95 @@
+//! The ref [2] extension at the MCAM level: new client workstations
+//! join a *running* system.
+//!
+//! Paper §4.1: "the number of `systemprocess` modules cannot be
+//! changed at runtime, so the number of clients is fixed. … This
+//! disadvantage is compensated by the flat structure of the
+//! specification. [footnote:] An Estelle enhancement enabling dynamic
+//! generation of clients is described in [2]." This test exercises
+//! that enhancement end-to-end.
+
+use directory::MovieEntry;
+use mcam::{McamOp, McamPdu, StackKind, World};
+use netsim::SimDuration;
+
+#[test]
+fn clients_join_a_running_system() {
+    let mut world = World::new(21);
+    let server = world.add_server("ksr1", StackKind::EstellePS);
+    let first = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.enable_dynamic_clients();
+    world.start();
+
+    // The static client works as usual.
+    assert_eq!(
+        world.client_op(&first, McamOp::Associate { user: "static".into() }),
+        Some(McamPdu::AssociateRsp { accepted: true })
+    );
+
+    // A brand-new client workstation appears while the system runs —
+    // impossible in base Estelle.
+    let late = world.add_client(&server, StackKind::EstellePS, vec![]);
+    assert_eq!(
+        world.client_op(&late, McamOp::Associate { user: "late".into() }),
+        Some(McamPdu::AssociateRsp { accepted: true })
+    );
+
+    // The server spawned one entity per connection, including the
+    // dynamic one.
+    let entities = world
+        .rt
+        .with_machine::<mcam::ServerRoot, _>(server.root, |r| r.entities.clone())
+        .unwrap();
+    assert_eq!(entities.len(), 2);
+
+    // The dynamic client is a full citizen: directory and stream
+    // operations work.
+    let mut entry = MovieEntry::new("LateShow", "store");
+    entry.frame_count = 30;
+    world.seed_movie(&server, &entry);
+    let params = match world.client_op(&late, McamOp::SelectMovie { title: "LateShow".into() }) {
+        Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+        other => panic!("select failed: {other:?}"),
+    };
+    let mut receiver = world.receiver_for(&late, &params, SimDuration::from_millis(60));
+    assert_eq!(
+        world.client_op(&late, McamOp::Play { speed_pct: 100 }),
+        Some(McamPdu::PlayRsp { ok: true })
+    );
+    world.run_for(SimDuration::from_secs(3));
+    assert_eq!(receiver.poll(world.net.now()).len(), 30);
+}
+
+#[test]
+fn without_extension_late_clients_panic() {
+    let result = std::panic::catch_unwind(|| {
+        let mut world = World::new(22);
+        let server = world.add_server("ksr1", StackKind::EstellePS);
+        world.start();
+        // Base Estelle: the system population is frozen.
+        world.add_client(&server, StackKind::EstellePS, vec![]);
+    });
+    assert!(result.is_err(), "base Estelle must reject post-start clients");
+}
+
+#[test]
+fn many_dynamic_clients_scale() {
+    let mut world = World::new(23);
+    let server = world.add_server("ksr1", StackKind::EstellePS);
+    world.enable_dynamic_clients();
+    world.start();
+    let mut clients = Vec::new();
+    for i in 0..5 {
+        let c = world.add_client(&server, StackKind::EstellePS, vec![]);
+        assert_eq!(
+            world.client_op(&c, McamOp::Associate { user: format!("dyn-{i}") }),
+            Some(McamPdu::AssociateRsp { accepted: true })
+        );
+        clients.push(c);
+    }
+    let entities = world
+        .rt
+        .with_machine::<mcam::ServerRoot, _>(server.root, |r| r.entities.clone())
+        .unwrap();
+    assert_eq!(entities.len(), 5, "one server entity per dynamic connection");
+}

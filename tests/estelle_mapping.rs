@@ -1,0 +1,90 @@
+//! F3 — Fig. 3, mapping MCAM to Estelle modules: the client root
+//! creates application and MCAM modules dynamically; the lower stack
+//! is either generated presentation+session+wire modules or a single
+//! external-body ISODE interface module.
+
+use mcam::{ClientRoot, McamOp, McamPdu, StackKind, World};
+
+fn module_names(world: &World, parent: estelle::ModuleId) -> Vec<(String, estelle::ModuleKind)> {
+    world
+        .rt
+        .children_of(parent)
+        .into_iter()
+        .map(|c| {
+            let m = world.rt.module_meta(c).unwrap();
+            (m.name, m.kind)
+        })
+        .collect()
+}
+
+ // keep the import list honest
+
+#[test]
+fn estelle_ps_stack_mapping() {
+    let mut world = World::new(3);
+    let server = world.add_server("map", StackKind::EstellePS);
+    let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.start();
+    // Before the connection request: only the application exists.
+    let before = module_names(&world, client.root);
+    assert_eq!(before.len(), 1);
+    assert!(before[0].0.starts_with("app-"));
+
+    world.client_op(&client, McamOp::Associate { user: "map".into() });
+
+    // After: app + mca + pres + sess + wire, all process modules under
+    // the system-process root.
+    let after = module_names(&world, client.root);
+    let names: Vec<&str> = after.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["app-0", "mca-0", "pres-0", "sess-0", "wire-0"]);
+    assert!(after.iter().all(|(_, k)| *k == estelle::ModuleKind::Process));
+    let root_meta = world.rt.module_meta(client.root).unwrap();
+    assert_eq!(root_meta.kind, estelle::ModuleKind::SystemProcess);
+
+    // Layer labels drive the grouping policies.
+    let layers: Vec<Option<u16>> = world
+        .rt
+        .children_of(client.root)
+        .into_iter()
+        .map(|c| world.rt.module_meta(c).unwrap().labels.layer)
+        .collect();
+    assert_eq!(layers, vec![Some(0), Some(0), Some(1), Some(2), Some(3)]);
+}
+
+#[test]
+fn isode_stack_mapping_uses_single_interface_module() {
+    let mut world = World::new(4);
+    let server = world.add_server("map", StackKind::Isode);
+    let client = world.add_client(&server, StackKind::Isode, vec![]);
+    world.start();
+    world.client_op(&client, McamOp::Associate { user: "map".into() });
+    let after = module_names(&world, client.root);
+    let names: Vec<&str> = after.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["app-0", "mca-0", "isode-0"],
+        "MCAM module directly on top of the ISODE presentation interface"
+    );
+}
+
+#[test]
+fn client_root_records_created_modules() {
+    let mut world = World::new(5);
+    let server = world.add_server("map", StackKind::EstellePS);
+    let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.start();
+    let rsp = world.client_op(&client, McamOp::Associate { user: "map".into() });
+    assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+    let (app, mca) = world
+        .rt
+        .with_machine::<ClientRoot, _>(client.root, |r| (r.app, r.mca))
+        .unwrap();
+    assert!(app.is_some() && mca.is_some());
+    // A second Associate travels as an in-band request and the server
+    // rejects it: the association already exists.
+    let rsp = world.client_op(&client, McamOp::Associate { user: "again".into() });
+    assert_eq!(
+        rsp,
+        Some(McamPdu::ErrorRsp { code: 902, message: "already associated".into() })
+    );
+}

@@ -1,0 +1,74 @@
+//! F2 — Fig. 2, the example configuration: multiple MCAM clients on
+//! different systems control CM streams sent by MCAM server entities
+//! which all run simultaneously on the (simulated) multiprocessor.
+
+use directory::MovieEntry;
+use mcam::{McamOp, McamPdu, StackKind, World};
+use netsim::SimDuration;
+
+#[test]
+fn two_clients_three_server_entities() {
+    let mut world = World::new(8);
+    let server = world.add_server("ksr1", StackKind::EstellePS);
+    // Client #1 uses two connections (the paper: "each client can open
+    // several connections to the server"), client #2 one — three
+    // server entities total.
+    let c1a = world.add_client(&server, StackKind::EstellePS, vec![]);
+    let c1b = world.add_client(&server, StackKind::EstellePS, vec![]);
+    let c2 = world.add_client(&server, StackKind::Isode, vec![]);
+    world.start();
+    for c in [&c1a, &c1b, &c2] {
+        let rsp = world.client_op(c, McamOp::Associate { user: "fig2".into() });
+        assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+    }
+    // Three server entities now run side by side under the server root.
+    let entities = world
+        .rt
+        .with_machine::<mcam::ServerRoot, _>(server.root, |r| r.entities.clone())
+        .unwrap();
+    assert_eq!(entities.len(), 3);
+
+    // All three control connections drive CM streams concurrently.
+    let mut entry = MovieEntry::new("Fig2", "store");
+    entry.frame_count = 75;
+    world.seed_movie(&server, &entry);
+    let mut receivers = Vec::new();
+    for c in [&c1a, &c1b, &c2] {
+        let params = match world.client_op(c, McamOp::SelectMovie { title: "Fig2".into() }) {
+            Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+            other => panic!("{other:?}"),
+        };
+        let r = world.receiver_for(c, &params, SimDuration::from_millis(60));
+        assert_eq!(
+            world.client_op(c, McamOp::Play { speed_pct: 100 }),
+            Some(McamPdu::PlayRsp { ok: true })
+        );
+        receivers.push(r);
+    }
+    assert_eq!(server.services.sps.stream_count(), 3);
+    world.run_for(SimDuration::from_secs(5));
+    for r in &mut receivers {
+        assert_eq!(r.poll(world.net.now()).len(), 75);
+    }
+}
+
+#[test]
+fn per_connection_labels_support_grouping() {
+    // The connection labels Fig. 2's parallel execution depends on.
+    let mut world = World::new(9);
+    let server = world.add_server("ksr1", StackKind::EstellePS);
+    let c0 = world.add_client(&server, StackKind::EstellePS, vec![]);
+    let c1 = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.start();
+    world.client_op(&c0, McamOp::Associate { user: "a".into() });
+    world.client_op(&c1, McamOp::Associate { user: "b".into() });
+    let entities = world
+        .rt
+        .with_machine::<mcam::ServerRoot, _>(server.root, |r| r.entities.clone())
+        .unwrap();
+    let conns: Vec<Option<u16>> = entities
+        .iter()
+        .map(|&e| world.rt.module_meta(e).unwrap().labels.conn)
+        .collect();
+    assert_eq!(conns, vec![Some(0), Some(1)]);
+}

@@ -1,0 +1,81 @@
+//! F1 — Fig. 1, the MCAM functional model: each MCAM instance consists
+//! of the four agents (MCA, DUA, SUA, EUA); the directory, equipment
+//! and stream-provider levels sit behind them.
+
+use mcam::{McamOp, McamPdu, ServerMca, StackKind, World};
+use netsim::SimTime;
+
+#[test]
+fn server_entity_has_the_four_agents() {
+    let mut world = World::new(1);
+    let server = world.add_server("fm", StackKind::EstellePS);
+    let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.start();
+    let rsp = world.client_op(&client, McamOp::Associate { user: "f1".into() });
+    assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+
+    // The server root spawned one entity; its MCA has exactly the
+    // three sibling agents of Fig. 3 as children.
+    let entities = world
+        .rt
+        .with_machine::<mcam::ServerRoot, _>(server.root, |r| r.entities.clone())
+        .unwrap();
+    assert_eq!(entities.len(), 1);
+    let mca = entities[0];
+    let children = world.rt.children_of(mca);
+    let names: Vec<String> = children
+        .iter()
+        .map(|&c| world.rt.module_meta(c).unwrap().name)
+        .collect();
+    assert_eq!(names, vec!["dua", "sua", "eua"]);
+    for c in &children {
+        let meta = world.rt.module_meta(*c).unwrap();
+        assert_eq!(meta.kind, estelle::ModuleKind::Process);
+        assert_eq!(meta.parent, Some(mca));
+    }
+    // The MCA itself runs the protocol (it processed the association).
+    let user = world.rt.with_machine::<ServerMca, _>(mca, |m| m.user.clone()).unwrap();
+    assert_eq!(user, Some("f1".to_string()));
+}
+
+#[test]
+fn directory_and_equipment_reachable_through_agents() {
+    let mut world = World::new(2);
+    let server = world.add_server("fm", StackKind::EstellePS);
+    let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.start();
+    world.client_op(&client, McamOp::Associate { user: "f1".into() });
+
+    // Directory level via DUA.
+    let rsp = world.client_op(
+        &client,
+        McamOp::CreateMovie {
+            title: "ViaDua".into(),
+            format: "XMovie-24".into(),
+            frame_rate: 25,
+            frame_count: 10,
+        },
+    );
+    assert_eq!(rsp, Some(McamPdu::CreateMovieRsp { ok: true }));
+    // Visible directly in the DSA behind the agent.
+    let hits = server
+        .services
+        .dua
+        .search(
+            &server.services.base,
+            directory::Scope::Subtree,
+            &directory::Filter::eq_str(directory::attr::TITLE, "ViaDua"),
+        )
+        .unwrap();
+    assert_eq!(hits.len(), 1);
+
+    // Equipment level via EUA (record acquires the camera).
+    let rsp = world.client_op(&client, McamOp::Record { title: "Rec".into(), frames: 10 });
+    assert_eq!(rsp, Some(McamPdu::RecordRsp { ok: true }));
+
+    // Stream level via SUA.
+    let rsp = world.client_op(&client, McamOp::SelectMovie { title: "ViaDua".into() });
+    assert!(matches!(rsp, Some(McamPdu::SelectMovieRsp { params: Some(_) })));
+    assert_eq!(server.services.sps.stream_count(), 1);
+    world.run_until_quiet(SimTime::MAX);
+}

@@ -1,0 +1,216 @@
+//! Stress and fault-injection scenarios beyond `failure_injection.rs`:
+//! heavy packet reordering on the CM stream, association churn,
+//! many-client load, pause/resume under loss, and X.500 referral
+//! failures.
+
+use directory::{Attrs, DirError, Dn, Dsa, Dua, Filter, MovieEntry, Scope};
+use mcam::{McamOp, McamPdu, StackKind, World};
+use netsim::{DelayModel, LinkConfig, LossModel, SimDuration};
+
+/// A violently reordering (non-FIFO, high-jitter) but lossless link:
+/// the playout buffer must restore frame order.
+#[test]
+fn heavy_reorder_stream_plays_in_order() {
+    let cfg = LinkConfig {
+        delay: DelayModel::Uniform {
+            min: SimDuration::from_millis(1),
+            max: SimDuration::from_millis(70),
+        },
+        loss: LossModel::bernoulli(0.0),
+        bandwidth_bps: None,
+        fifo: false,
+    };
+    let mut world = World::with_stream_link(31, cfg);
+    let server = world.add_server("s", StackKind::EstellePS);
+    let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.start();
+    world.client_op(&client, McamOp::Associate { user: "reorder".into() });
+    let mut entry = MovieEntry::new("Shuffled", "x");
+    entry.frame_count = 120;
+    world.seed_movie(&server, &entry);
+    let params = match world.client_op(&client, McamOp::SelectMovie { title: "Shuffled".into() })
+    {
+        Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+        other => panic!("{other:?}"),
+    };
+    // Playout delay larger than the worst-case network delay: nothing
+    // should be late, and order must be restored.
+    let mut receiver = world.receiver_for(&client, &params, SimDuration::from_millis(120));
+    world.client_op(&client, McamOp::Play { speed_pct: 100 });
+    world.run_for(SimDuration::from_secs(10));
+    let played = receiver.poll(world.net.now());
+    assert_eq!(played.len(), 120, "lossless link delivers every frame");
+    let seqs: Vec<u32> = played.iter().map(|f| f.seq).collect();
+    let mut sorted = seqs.clone();
+    sorted.sort_unstable();
+    assert_eq!(seqs, sorted, "playout buffer must undo network reordering");
+    assert_eq!(receiver.stats.late, 0, "playout delay absorbs the jitter");
+    assert!(receiver.stats.jitter_us > 0.0, "jitter was actually present");
+}
+
+/// Release the association and associate again on the same client:
+/// the dynamically created stack modules are torn down and rebuilt.
+#[test]
+fn association_churn_rebuilds_the_stack() {
+    let mut world = World::new(32);
+    let server = world.add_server("s", StackKind::EstellePS);
+    let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.start();
+    for round in 0..3 {
+        assert_eq!(
+            world.client_op(&client, McamOp::Associate { user: format!("round-{round}") }),
+            Some(McamPdu::AssociateRsp { accepted: true }),
+            "associate round {round}"
+        );
+        // Do some work on the fresh association.
+        assert!(matches!(
+            world.client_op(&client, McamOp::List { contains: String::new() }),
+            Some(McamPdu::ListMoviesRsp { .. })
+        ));
+        assert_eq!(
+            world.client_op(&client, McamOp::Release),
+            Some(McamPdu::ReleaseRsp),
+            "release round {round}"
+        );
+    }
+}
+
+/// Ten clients with mixed stack kinds all transact concurrently.
+#[test]
+fn ten_clients_mixed_stacks() {
+    let mut world = World::new(33);
+    let server = world.add_server("ksr1", StackKind::EstellePS);
+    let mut clients = Vec::new();
+    for i in 0..10 {
+        let stack = if i % 2 == 0 { StackKind::EstellePS } else { StackKind::Isode };
+        clients.push(world.add_client(&server, stack, vec![]));
+    }
+    world.start();
+    for (i, c) in clients.iter().enumerate() {
+        assert_eq!(
+            world.client_op(c, McamOp::Associate { user: format!("u{i}") }),
+            Some(McamPdu::AssociateRsp { accepted: true })
+        );
+    }
+    // Each client creates its own movie...
+    for (i, c) in clients.iter().enumerate() {
+        assert_eq!(
+            world.client_op(
+                c,
+                McamOp::CreateMovie {
+                    title: format!("Movie-{i}"),
+                    format: "XMovie-24".into(),
+                    frame_rate: 25,
+                    frame_count: 10,
+                },
+            ),
+            Some(McamPdu::CreateMovieRsp { ok: true })
+        );
+    }
+    // ... and sees everyone else's through the shared directory.
+    for c in &clients {
+        match world.client_op(c, McamOp::List { contains: "Movie-".into() }) {
+            Some(McamPdu::ListMoviesRsp { titles }) => assert_eq!(titles.len(), 10),
+            other => panic!("{other:?}"),
+        }
+    }
+    let entities = world
+        .rt
+        .with_machine::<mcam::ServerRoot, _>(server.root, |r| r.entities.clone())
+        .unwrap();
+    assert_eq!(entities.len(), 10, "one server entity per client connection");
+}
+
+/// Pause stops frame flow, resume continues it, under mild loss.
+#[test]
+fn pause_resume_under_loss() {
+    let cfg = LinkConfig::lossy(SimDuration::from_millis(2), SimDuration::from_micros(300), 0.02);
+    let mut world = World::with_stream_link(34, cfg);
+    let server = world.add_server("s", StackKind::EstellePS);
+    let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.start();
+    world.client_op(&client, McamOp::Associate { user: "vcr".into() });
+    let mut entry = MovieEntry::new("Pausable", "x");
+    entry.frame_count = 500;
+    world.seed_movie(&server, &entry);
+    let params = match world.client_op(&client, McamOp::SelectMovie { title: "Pausable".into() })
+    {
+        Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+        other => panic!("{other:?}"),
+    };
+    let mut receiver = world.receiver_for(&client, &params, SimDuration::from_millis(60));
+    world.client_op(&client, McamOp::Play { speed_pct: 100 });
+    world.run_for(SimDuration::from_secs(2));
+    assert_eq!(world.client_op(&client, McamOp::Pause), Some(McamPdu::PauseRsp));
+    let before_pause = receiver.poll(world.net.now()).len();
+    assert!(before_pause > 0, "some frames played before the pause");
+    // While paused, (almost) nothing new arrives — allow frames
+    // already in flight/playout buffer to drain.
+    world.run_for(SimDuration::from_secs(2));
+    let during_pause = receiver.poll(world.net.now()).len();
+    assert!(
+        during_pause <= 10,
+        "paused stream must not keep flowing: {during_pause} frames"
+    );
+    // Resume and finish.
+    assert_eq!(
+        world.client_op(&client, McamOp::Play { speed_pct: 100 }),
+        Some(McamPdu::PlayRsp { ok: true })
+    );
+    world.run_for(SimDuration::from_secs(30));
+    let after_resume = receiver.poll(world.net.now()).len();
+    assert!(after_resume > 100, "stream resumed: {after_resume} frames");
+    assert_eq!(world.client_op(&client, McamOp::Stop), Some(McamPdu::StopRsp));
+}
+
+/// X.500 referral chains: following works, a referral to an unknown
+/// DSA fails cleanly, and referral loops are detected.
+#[test]
+fn referral_chains_failures_and_loops() {
+    let base: Dn = "o=movies".parse().unwrap();
+    let europe = base.child(directory::Rdn::new("ou", "europe"));
+
+    // home masters o=movies but refers ou=europe to "eu-dsa".
+    let home = Dsa::new("home");
+    home.add(base.clone(), Attrs::new()).unwrap();
+    home.add_referral(europe.clone(), "eu-dsa");
+    let eu = Dsa::new("eu-dsa");
+    eu.add(europe.clone(), Attrs::new()).unwrap();
+    let entry_dn = europe.child(directory::Rdn::new("cn", "Metropolis"));
+    eu.add(entry_dn.clone(), MovieEntry::new("Metropolis", "eu-store").to_attrs()).unwrap();
+
+    // A DUA knowing only `home` hits the referral and fails with
+    // UnknownDsa (the referenced DSA is unreachable).
+    let dua_partial = Dua::new(&home);
+    assert_eq!(
+        dua_partial.read(&entry_dn),
+        Err(DirError::UnknownDsa("eu-dsa".into()))
+    );
+
+    // Adding the EU DSA lets the same operation succeed through the
+    // referral.
+    let mut dua_full = Dua::new(&home);
+    dua_full.add_dsa(&eu);
+    let attrs = dua_full.read(&entry_dn).expect("referral followed");
+    let entry = MovieEntry::from_attrs(&attrs).unwrap();
+    assert_eq!(entry.title, "Metropolis");
+    // Search through the referral too.
+    let hits = dua_full
+        .search(&europe, Scope::Subtree, &Filter::eq_str(directory::attr::TITLE, "Metropolis"))
+        .unwrap();
+    assert_eq!(hits.len(), 1);
+
+    // Referral loop: two DSAs referring the same subtree at each
+    // other must be detected, not spin.
+    let a = Dsa::new("a");
+    let b = Dsa::new("b");
+    let looped = base.child(directory::Rdn::new("ou", "loop"));
+    a.add_referral(looped.clone(), "b");
+    b.add_referral(looped.clone(), "a");
+    let mut dua_loop = Dua::new(&a);
+    dua_loop.add_dsa(&b);
+    assert_eq!(
+        dua_loop.read(&looped.child(directory::Rdn::new("cn", "X"))),
+        Err(DirError::ReferralLoop)
+    );
+}

@@ -1,0 +1,96 @@
+//! VCR trick modes through the full protocol: seek, fast playback,
+//! stop-rewind — the paper's "control (playback or record)" service
+//! beyond plain play.
+
+use directory::MovieEntry;
+use mcam::{McamOp, McamPdu, StackKind, World};
+use netsim::SimDuration;
+
+fn setup(seed: u64, title: &str, frames: u64) -> (World, mcam::ClientHandle, mcam::StreamParams) {
+    let mut world = World::new(seed);
+    let server = world.add_server("s", StackKind::EstellePS);
+    let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.start();
+    world.client_op(&client, McamOp::Associate { user: "vcr".into() });
+    let mut entry = MovieEntry::new(title, "x");
+    entry.frame_count = frames;
+    world.seed_movie(&server, &entry);
+    let params = match world.client_op(&client, McamOp::SelectMovie { title: title.into() }) {
+        Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+        other => panic!("{other:?}"),
+    };
+    (world, client, params)
+}
+
+#[test]
+fn seek_skips_to_the_requested_frame() {
+    let (world, client, params) = setup(61, "Seekable", 100);
+    let mut rx = world.receiver_for(&client, &params, SimDuration::from_millis(60));
+    assert_eq!(
+        world.client_op(&client, McamOp::Seek { frame: 60 }),
+        Some(McamPdu::SeekRsp { ok: true })
+    );
+    world.client_op(&client, McamOp::Play { speed_pct: 100 });
+    world.run_for(SimDuration::from_secs(5));
+    let played = rx.poll(world.net.now());
+    assert_eq!(played.len(), 40, "only frames 60..100 remain after the seek");
+    // Media timestamps start at the seek target, not zero.
+    let first_ts = played.first().unwrap().timestamp_us;
+    assert_eq!(first_ts, 60 * 40_000, "40ms frames: frame 60 is at 2.4s");
+}
+
+#[test]
+fn double_speed_halves_the_wall_time() {
+    let (world, client, params) = setup(62, "Fast", 100);
+    let mut rx = world.receiver_for(&client, &params, SimDuration::from_millis(60));
+    world.client_op(&client, McamOp::Play { speed_pct: 200 });
+    // 100 frames at 50 fps = 2s (plus delivery tails).
+    world.run_for(SimDuration::from_millis(2600));
+    let played = rx.poll(world.net.now());
+    assert_eq!(played.len(), 100, "double speed finishes the movie in ~2s");
+}
+
+#[test]
+fn quarter_speed_is_clamped_and_slow() {
+    let (world, client, params) = setup(63, "Slow", 100);
+    let mut rx = world.receiver_for(&client, &params, SimDuration::from_millis(60));
+    world.client_op(&client, McamOp::Play { speed_pct: 25 });
+    // At 25% speed (6.25 fps), 2 seconds yield ~12 frames.
+    world.run_for(SimDuration::from_secs(2));
+    let played = rx.poll(world.net.now());
+    assert!(
+        (8..=20).contains(&played.len()),
+        "quarter speed plays ~12 frames in 2s, got {}",
+        played.len()
+    );
+}
+
+#[test]
+fn stop_rewinds_to_the_beginning() {
+    let (world, client, params) = setup(64, "Rewind", 50);
+    let mut rx = world.receiver_for(&client, &params, SimDuration::from_millis(60));
+    world.client_op(&client, McamOp::Play { speed_pct: 100 });
+    world.run_for(SimDuration::from_secs(1));
+    assert_eq!(world.client_op(&client, McamOp::Stop), Some(McamPdu::StopRsp));
+    let first_run = rx.poll(world.net.now()).len();
+    assert!(first_run >= 20, "about a second of frames before the stop: {first_run}");
+    assert!(first_run < 50, "the stop interrupted playback");
+    // Play again: the movie restarts from frame 0 and plays to the
+    // end. A frame or two from the first run may still be in flight
+    // at the stop and drain into this poll.
+    world.client_op(&client, McamOp::Play { speed_pct: 100 });
+    world.run_for(SimDuration::from_secs(4));
+    let second_run = rx.poll(world.net.now());
+    assert!(
+        (50..=55).contains(&second_run.len()),
+        "full movie after the rewind (plus stragglers): {}",
+        second_run.len()
+    );
+    // The rewind is visible as a frame-0 timestamp appearing again.
+    assert!(
+        second_run.iter().any(|f| f.timestamp_us == 0),
+        "restart must replay frame 0"
+    );
+    // And the end of the movie is reached.
+    assert!(second_run.iter().any(|f| f.timestamp_us == 49 * 40_000));
+}
