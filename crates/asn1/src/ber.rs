@@ -38,7 +38,11 @@ pub struct Reader<'a> {
 impl<'a> Reader<'a> {
     /// Creates a reader over `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        Reader { data, pos: 0, depth: 0 }
+        Reader {
+            data,
+            pos: 0,
+            depth: 0,
+        }
     }
 
     /// Current byte offset.
@@ -65,7 +69,9 @@ impl<'a> Reader<'a> {
         if self.is_empty() {
             Ok(())
         } else {
-            Err(Asn1Error::TrailingBytes { remaining: self.remaining() })
+            Err(Asn1Error::TrailingBytes {
+                remaining: self.remaining(),
+            })
         }
     }
 
@@ -115,8 +121,8 @@ impl<'a> Reader<'a> {
     /// Returns an error on truncation or malformed length.
     pub fn read_tlv(&mut self) -> Result<(Tag, &'a [u8])> {
         let offset = self.pos;
-        let (tag, used) = Tag::decode(&self.data[self.pos..])
-            .ok_or(Asn1Error::UnexpectedEnd { offset })?;
+        let (tag, used) =
+            Tag::decode(&self.data[self.pos..]).ok_or(Asn1Error::UnexpectedEnd { offset })?;
         self.pos += used;
         let len = self.read_length()?;
         let start = self.pos;
@@ -155,7 +161,11 @@ impl<'a> Reader<'a> {
         if self.depth + 1 > MAX_DEPTH {
             return Err(Asn1Error::LimitExceeded("nesting depth"));
         }
-        Ok(Reader { data: content, pos: 0, depth: self.depth + 1 })
+        Ok(Reader {
+            data: content,
+            pos: 0,
+            depth: self.depth + 1,
+        })
     }
 }
 
@@ -169,8 +179,7 @@ pub fn encode_integer_content(v: i64, out: &mut Vec<u8>) {
     while start < 7 {
         let b = bytes[start];
         let next = bytes[start + 1];
-        let redundant =
-            (b == 0x00 && next & 0x80 == 0) || (b == 0xff && next & 0x80 != 0);
+        let redundant = (b == 0x00 && next & 0x80 == 0) || (b == 0xff && next & 0x80 != 0);
         if redundant {
             start += 1;
         } else {
@@ -187,7 +196,10 @@ pub fn encode_integer_content(v: i64, out: &mut Vec<u8>) {
 /// Returns [`Asn1Error::BadContent`] for empty or oversized content.
 pub fn decode_integer_content(content: &[u8], offset: usize) -> Result<i64> {
     if content.is_empty() || content.len() > 8 {
-        return Err(Asn1Error::BadContent { what: "INTEGER", offset });
+        return Err(Asn1Error::BadContent {
+            what: "INTEGER",
+            offset,
+        });
     }
     let negative = content[0] & 0x80 != 0;
     let mut v: i64 = if negative { -1 } else { 0 };
@@ -251,7 +263,10 @@ pub fn read_bool(r: &mut Reader<'_>) -> Result<bool> {
     let offset = r.offset();
     let content = r.read_expect(Tag::BOOLEAN)?;
     if content.len() != 1 {
-        return Err(Asn1Error::BadContent { what: "BOOLEAN", offset });
+        return Err(Asn1Error::BadContent {
+            what: "BOOLEAN",
+            offset,
+        });
     }
     Ok(content[0] != 0)
 }
@@ -264,8 +279,10 @@ pub fn read_bool(r: &mut Reader<'_>) -> Result<bool> {
 pub fn read_string(r: &mut Reader<'_>) -> Result<String> {
     let offset = r.offset();
     let content = r.read_expect(Tag::UTF8_STRING)?;
-    String::from_utf8(content.to_vec())
-        .map_err(|_| Asn1Error::BadContent { what: "UTF8String", offset })
+    String::from_utf8(content.to_vec()).map_err(|_| Asn1Error::BadContent {
+        what: "UTF8String",
+        offset,
+    })
 }
 
 /// Reads an OCTET STRING TLV.
@@ -286,7 +303,10 @@ pub fn read_null(r: &mut Reader<'_>) -> Result<()> {
     let offset = r.offset();
     let content = r.read_expect(Tag::NULL)?;
     if !content.is_empty() {
-        return Err(Asn1Error::BadContent { what: "NULL", offset });
+        return Err(Asn1Error::BadContent {
+            what: "NULL",
+            offset,
+        });
     }
     Ok(())
 }
@@ -332,7 +352,19 @@ mod tests {
 
     #[test]
     fn integer_roundtrip_edges() {
-        for v in [0i64, 1, -1, 127, 128, -128, -129, 255, 256, i64::MAX, i64::MIN] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            127,
+            128,
+            -128,
+            -129,
+            255,
+            256,
+            i64::MAX,
+            i64::MIN,
+        ] {
             let mut out = Vec::new();
             write_integer(v, &mut out);
             let mut r = Reader::new(&out);
@@ -399,7 +431,10 @@ mod tests {
         let mut out = Vec::new();
         write_bool(false, &mut out);
         let mut r = Reader::new(&out);
-        assert!(matches!(read_integer(&mut r), Err(Asn1Error::TagMismatch { .. })));
+        assert!(matches!(
+            read_integer(&mut r),
+            Err(Asn1Error::TagMismatch { .. })
+        ));
         // Indefinite length rejected.
         let mut r = Reader::new(&[0x30, 0x80, 0x00, 0x00]);
         assert!(matches!(r.read_tlv(), Err(Asn1Error::BadLength { .. })));
@@ -409,7 +444,10 @@ mod tests {
         out.push(0xaa);
         let mut r = Reader::new(&out);
         read_null(&mut r).unwrap();
-        assert!(matches!(r.expect_end(), Err(Asn1Error::TrailingBytes { remaining: 1 })));
+        assert!(matches!(
+            r.expect_end(),
+            Err(Asn1Error::TrailingBytes { remaining: 1 })
+        ));
     }
 
     #[test]

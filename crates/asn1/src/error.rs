@@ -55,8 +55,15 @@ impl fmt::Display for Asn1Error {
             Asn1Error::UnexpectedEnd { offset } => {
                 write!(f, "unexpected end of input at offset {offset}")
             }
-            Asn1Error::TagMismatch { expected, found, offset } => {
-                write!(f, "expected tag {expected}, found {found} at offset {offset}")
+            Asn1Error::TagMismatch {
+                expected,
+                found,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "expected tag {expected}, found {found} at offset {offset}"
+                )
             }
             Asn1Error::BadLength { offset } => write!(f, "malformed length at offset {offset}"),
             Asn1Error::BadContent { what, offset } => {
@@ -84,13 +91,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(Asn1Error::UnexpectedEnd { offset: 4 }.to_string().contains("offset 4"));
-        assert!(Asn1Error::TrailingBytes { remaining: 2 }.to_string().contains("2 trailing"));
-        assert!(
-            Asn1Error::UnknownVariant { what: "McamPdu", value: 99 }
-                .to_string()
-                .contains("McamPdu")
-        );
+        assert!(Asn1Error::UnexpectedEnd { offset: 4 }
+            .to_string()
+            .contains("offset 4"));
+        assert!(Asn1Error::TrailingBytes { remaining: 2 }
+            .to_string()
+            .contains("2 trailing"));
+        assert!(Asn1Error::UnknownVariant {
+            what: "McamPdu",
+            value: 99
+        }
+        .to_string()
+        .contains("McamPdu"));
     }
 
     #[test]

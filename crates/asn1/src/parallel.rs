@@ -51,7 +51,10 @@ pub fn encode_sequence_of_parallel(items: &[Value], workers: usize) -> Vec<u8> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("encoder panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("encoder panicked"))
+            .collect()
     });
     let content_len: usize = parts.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(content_len + 6);

@@ -62,27 +62,46 @@ impl Tag {
     /// UNIVERSAL 12 — UTF8String (stand-in for IA5/GraphicString).
     pub const UTF8_STRING: Tag = Tag::universal(12);
     /// UNIVERSAL 16 (constructed) — SEQUENCE / SEQUENCE OF.
-    pub const SEQUENCE: Tag =
-        Tag { class: TagClass::Universal, constructed: true, number: 16 };
+    pub const SEQUENCE: Tag = Tag {
+        class: TagClass::Universal,
+        constructed: true,
+        number: 16,
+    };
 
     /// A primitive universal tag with the given number.
     pub const fn universal(number: u32) -> Tag {
-        Tag { class: TagClass::Universal, constructed: false, number }
+        Tag {
+            class: TagClass::Universal,
+            constructed: false,
+            number,
+        }
     }
 
     /// A constructed application tag (MCAM PDU headers).
     pub const fn application(number: u32) -> Tag {
-        Tag { class: TagClass::Application, constructed: true, number }
+        Tag {
+            class: TagClass::Application,
+            constructed: true,
+            number,
+        }
     }
 
     /// A primitive context tag.
     pub const fn context(number: u32) -> Tag {
-        Tag { class: TagClass::Context, constructed: false, number }
+        Tag {
+            class: TagClass::Context,
+            constructed: false,
+            number,
+        }
     }
 
     /// A constructed context tag.
     pub const fn context_constructed(number: u32) -> Tag {
-        Tag { class: TagClass::Context, constructed: true, number }
+        Tag {
+            class: TagClass::Context,
+            constructed: true,
+            number,
+        }
     }
 
     /// Serializes the identifier octets into `out`.
@@ -123,7 +142,14 @@ impl Tag {
         let constructed = first & 0b0010_0000 != 0;
         let low = first & 0b0001_1111;
         if low < 31 {
-            return Some((Tag { class, constructed, number: u32::from(low) }, 1));
+            return Some((
+                Tag {
+                    class,
+                    constructed,
+                    number: u32::from(low),
+                },
+                1,
+            ));
         }
         let mut number: u32 = 0;
         let mut used = 1;
@@ -131,7 +157,14 @@ impl Tag {
             used += 1;
             number = number.checked_shl(7)? | u32::from(b & 0x7f);
             if b & 0x80 == 0 {
-                return Some((Tag { class, constructed, number }, used));
+                return Some((
+                    Tag {
+                        class,
+                        constructed,
+                        number,
+                    },
+                    used,
+                ));
             }
             if used > 5 {
                 return None;
@@ -182,7 +215,11 @@ mod tests {
     fn high_tag_roundtrips() {
         roundtrip(Tag::universal(31));
         roundtrip(Tag::application(200));
-        roundtrip(Tag { class: TagClass::Private, constructed: true, number: 1_000_000 });
+        roundtrip(Tag {
+            class: TagClass::Private,
+            constructed: true,
+            number: 1_000_000,
+        });
     }
 
     #[test]

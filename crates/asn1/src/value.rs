@@ -78,7 +78,10 @@ impl Value {
             Tag::OCTET_STRING => ber::read_octets(r).map(Value::Bytes),
             Tag::NULL => ber::read_null(r).map(|()| Value::Null),
             Tag::ENUMERATED => ber::read_enumerated(r).map(Value::Enum),
-            _ => Err(Asn1Error::BadContent { what: "Value", offset }),
+            _ => Err(Asn1Error::BadContent {
+                what: "Value",
+                offset,
+            }),
         }
     }
 

@@ -51,7 +51,11 @@ fn every_truncation_of_a_valid_encoding_errors() {
     assert!(Value::from_ber(&full).is_ok());
     for cut in 0..full.len() {
         let r = Value::from_ber(&full[..cut]);
-        assert!(r.is_err(), "truncation at {cut} of {} decoded: {r:?}", full.len());
+        assert!(
+            r.is_err(),
+            "truncation at {cut} of {} decoded: {r:?}",
+            full.len()
+        );
     }
 }
 
@@ -59,7 +63,10 @@ fn every_truncation_of_a_valid_encoding_errors() {
 fn trailing_garbage_detected() {
     let mut data = Value::Int(7).to_ber();
     data.push(0x00);
-    assert!(Value::from_ber(&data).is_err(), "from_ber must demand exhaustion");
+    assert!(
+        Value::from_ber(&data).is_err(),
+        "from_ber must demand exhaustion"
+    );
 }
 
 #[test]

@@ -16,9 +16,16 @@ fn bench(c: &mut Criterion) {
         println!("{table}");
         // Monotone: more synchronization cost, less speedup.
         for w in speedups.windows(2) {
-            assert!(w[1] <= w[0] + 0.05, "speedup must fall with sync cost: {speedups:?}");
+            assert!(
+                w[1] <= w[0] + 0.05,
+                "speedup must fall with sync cost: {speedups:?}"
+            );
         }
-        assert!(speedups[0] > 2.5, "free sync overshoots the paper band: {}", speedups[0]);
+        assert!(
+            speedups[0] > 2.5,
+            "free sync overshoots the paper band: {}",
+            speedups[0]
+        );
         assert!(
             *speedups.last().unwrap() < 1.4,
             "very expensive sync falls below the band: {speedups:?}"

@@ -26,7 +26,10 @@ fn bench(c: &mut Criterion) {
             ksim::simulate(
                 &trace,
                 GroupingPolicy::ByConnection { units: 4 },
-                &Machine { processors: 4, overheads: ov },
+                &Machine {
+                    processors: 4,
+                    overheads: ov,
+                },
             )
         });
     });
@@ -35,7 +38,10 @@ fn bench(c: &mut Criterion) {
             ksim::simulate(
                 &trace,
                 GroupingPolicy::ByLayer { units: 4 },
-                &Machine { processors: 4, overheads: ov },
+                &Machine {
+                    processors: 4,
+                    overheads: ov,
+                },
             )
         });
     });

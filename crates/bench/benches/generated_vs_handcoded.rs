@@ -14,7 +14,12 @@ fn one_transaction(stack: StackKind) {
     world.start();
     let rsp = world.client_op(&client, McamOp::Associate { user: "b".into() });
     assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
-    let rsp = world.client_op(&client, McamOp::List { contains: String::new() });
+    let rsp = world.client_op(
+        &client,
+        McamOp::List {
+            contains: String::new(),
+        },
+    );
     assert!(matches!(rsp, Some(McamPdu::ListMoviesRsp { .. })));
 }
 

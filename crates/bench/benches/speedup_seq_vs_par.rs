@@ -19,7 +19,10 @@ fn bench(c: &mut Criterion) {
                 "speedup {s} outside the paper's 1.4-2.0 band (tolerance 1.3-2.1)"
             );
         }
-        assert!(speedups.windows(2).all(|w| w[0] <= w[1] + 0.05), "monotone in work");
+        assert!(
+            speedups.windows(2).all(|w| w[0] <= w[1] + 0.05),
+            "monotone in work"
+        );
     });
     // Measure the replay itself on a fixed trace.
     let env = harness::pstack::build_ps_env(2, 100, 42);
@@ -31,7 +34,10 @@ fn bench(c: &mut Criterion) {
             ksim::simulate(
                 &trace,
                 GroupingPolicy::PerModule,
-                &Machine { processors: 32, overheads: ov },
+                &Machine {
+                    processors: 32,
+                    overheads: ov,
+                },
             )
         });
     });

@@ -1,0 +1,122 @@
+//! Storage-subsystem benchmarks: streams sustained vs. disk count,
+//! and buffer-cache hit ratio vs. viewer spacing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtp::MovieSource;
+use netsim::SimTime;
+use std::sync::Once;
+use store::{BlockStore, CachePolicy, DiskParams, StoreConfig};
+
+static REPORT: Once = Once::new();
+
+fn slow_disk_config(disks: usize) -> StoreConfig {
+    StoreConfig {
+        disks,
+        block_size: 64 * 1024,
+        cache_blocks: 0, // isolate raw disk bandwidth
+        policy: CachePolicy::Lru,
+        disk: DiskParams {
+            transfer_bytes_per_sec: 2_000_000,
+            ..DiskParams::default()
+        },
+        ..StoreConfig::default()
+    }
+}
+
+/// Opens streams of one movie until admission control refuses.
+fn streams_sustained(disks: usize) -> usize {
+    let store = BlockStore::new(slow_disk_config(disks));
+    let movie = MovieSource::test_movie(60, 1);
+    let id = store.register_movie(&movie);
+    let mut admitted = 0;
+    for stream in 0..100_000u32 {
+        if store.open_stream(stream, id, 100, SimTime::ZERO).is_err() {
+            break;
+        }
+        admitted += 1;
+    }
+    admitted
+}
+
+/// Streams one full movie, starting a second viewer once the leader is
+/// `spacing_frames` ahead; returns the cache hit ratio the pair
+/// achieved.
+fn hit_ratio_at_spacing(policy: CachePolicy, cache_blocks: usize, spacing_frames: u64) -> f64 {
+    let config = StoreConfig {
+        disks: 2,
+        block_size: 64 * 1024,
+        cache_blocks,
+        policy,
+        ..StoreConfig::default()
+    };
+    let store = BlockStore::new(config);
+    let movie = MovieSource::test_movie(120, 7);
+    let spacing = spacing_frames.min(movie.frame_count);
+    let id = store.register_movie(&movie);
+    store
+        .open_stream(1, id, 100, SimTime::ZERO)
+        .expect("leader admitted");
+    let mut started_follower = false;
+    let mut now = SimTime::ZERO;
+    let mut guard = 0u32;
+    loop {
+        guard += 1;
+        assert!(guard < 1_000_000, "bench did not converge");
+        if let Some(t) = store.next_event() {
+            now = now.max(t);
+        }
+        store.pump(now);
+        let leader_frames = store.frames_ready_through(1).unwrap_or(0);
+        store.note_position(1, leader_frames);
+        if !started_follower && leader_frames >= spacing {
+            store
+                .open_stream(2, id, 100, now)
+                .expect("follower admitted");
+            started_follower = true;
+        }
+        if started_follower {
+            store.note_position(2, store.frames_ready_through(2).unwrap_or(0));
+            if store.frames_ready_through(2) == Some(movie.frame_count) {
+                break;
+            }
+        }
+    }
+    store.stats().service_hit_ratio()
+}
+
+fn bench(c: &mut Criterion) {
+    REPORT.call_once(|| {
+        println!("store_throughput: streams sustained vs. disk count");
+        let mut prev = 0;
+        for disks in [1usize, 2, 4, 8] {
+            let sustained = streams_sustained(disks);
+            println!("  disks={disks:<2} streams_sustained={sustained}");
+            assert!(
+                sustained >= prev,
+                "more disks must not sustain fewer streams"
+            );
+            prev = sustained;
+        }
+        println!("store_throughput: interval-cache hit ratio vs. viewer spacing");
+        let close = hit_ratio_at_spacing(CachePolicy::Interval, 64, 4);
+        let far = hit_ratio_at_spacing(CachePolicy::Interval, 64, 100_000);
+        println!("  spacing=close hit_ratio={close:.3}");
+        println!("  spacing=far   hit_ratio={far:.3}");
+        assert!(
+            close > far,
+            "closely-spaced viewers must hit the cache more (close={close:.3} far={far:.3})"
+        );
+    });
+    let mut group = c.benchmark_group("store_throughput");
+    group.sample_size(10);
+    group.bench_function("admission_sweep_4_disks", |b| {
+        b.iter(|| criterion::black_box(streams_sustained(4)));
+    });
+    group.bench_function("two_viewers_interval_cache", |b| {
+        b.iter(|| criterion::black_box(hit_ratio_at_spacing(CachePolicy::Interval, 64, 4)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

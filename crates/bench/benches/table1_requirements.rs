@@ -10,9 +10,15 @@ fn bench(c: &mut Criterion) {
     REPORT.call_once(|| {
         let (table, control, stream) = harness::table1_experiment(0.05, 8);
         println!("{table}");
-        assert!((control.reliability - 1.0).abs() < 1e-9, "control must be fully reliable");
+        assert!(
+            (control.reliability - 1.0).abs() < 1e-9,
+            "control must be fully reliable"
+        );
         assert!(stream.reliability < 1.0, "lossy stream keeps streaming");
-        assert!(stream.rate_kbps > 20.0 * control.rate_kbps, "stream rate >> control rate");
+        assert!(
+            stream.rate_kbps > 20.0 * control.rate_kbps,
+            "stream rate >> control rate"
+        );
         assert!(stream.jitter_us > control.jitter_us);
     });
     // Measured operation: one full control transaction vs one second

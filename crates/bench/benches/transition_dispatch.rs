@@ -19,7 +19,10 @@ fn bench(c: &mut Criterion) {
         let (_, hard32, table32) = rows.iter().find(|r| r.0 == 32).copied().unwrap();
         let (_, hard64, table64) = rows.iter().find(|r| r.0 == 64).copied().unwrap();
         assert!(table32 < hard32, "32 transitions: {table32} !< {hard32}");
-        assert!(table64 < hard64 * 0.8, "64 transitions: {table64} !< 0.8*{hard64}");
+        assert!(
+            table64 < hard64 * 0.8,
+            "64 transitions: {table64} !< 0.8*{hard64}"
+        );
     });
     let ips: Vec<IpState> = Vec::new();
     let mut group = c.benchmark_group("dispatch");

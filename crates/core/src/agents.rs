@@ -3,10 +3,10 @@
 //! directory, stream-provider, and equipment services.
 
 use crate::service::{
-    DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest,
-    EquipResponse, StreamOp, StreamOutcome, StreamRequest, StreamResponse,
+    DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest, EquipResponse,
+    StreamOp, StreamOutcome, StreamRequest, StreamResponse,
 };
-use crate::sps::StreamProviderSystem;
+use crate::sps::{SpsError, StreamProviderSystem};
 use directory::{attr, Dn, Dua, Filter, ModOp, MovieEntry, Rdn, Scope};
 use equipment::{EquipmentId, Eua};
 use estelle::{downcast, Ctx, IpIndex, StateId, StateMachine, Transition};
@@ -73,7 +73,9 @@ impl DuaAgent {
                     Ok(hits) => DirOutcome::Titles(
                         hits.iter()
                             .filter_map(|(_, a)| {
-                                a.get(attr::TITLE).and_then(|v| v.as_str()).map(str::to_owned)
+                                a.get(attr::TITLE)
+                                    .and_then(|v| v.as_str())
+                                    .map(str::to_owned)
                             })
                             .collect(),
                     ),
@@ -84,15 +86,16 @@ impl DuaAgent {
                 Ok(all) => {
                     let selected: Vec<(String, asn1::Value)> = all
                         .into_iter()
-                        .filter(|(k, _)| attrs.is_empty() || attrs.iter().any(|a| a.eq_ignore_ascii_case(k)))
+                        .filter(|(k, _)| {
+                            attrs.is_empty() || attrs.iter().any(|a| a.eq_ignore_ascii_case(k))
+                        })
                         .collect();
                     DirOutcome::Attrs(selected)
                 }
                 Err(e) => DirOutcome::Failed(e.to_string()),
             },
             DirOp::Modify { title, puts } => {
-                let mods: Vec<ModOp> =
-                    puts.into_iter().map(|(k, v)| ModOp::Put(k, v)).collect();
+                let mods: Vec<ModOp> = puts.into_iter().map(|(k, v)| ModOp::Put(k, v)).collect();
                 match self.dua.modify(&self.movie_dn(&title), &mods) {
                     Ok(()) => DirOutcome::Done,
                     Err(e) => DirOutcome::Failed(e.to_string()),
@@ -110,13 +113,15 @@ impl StateMachine for DuaAgent {
         RUN
     }
     fn transitions() -> Vec<Transition<Self>> {
-        vec![Transition::on("dir-op", RUN, AGENT_IP, |m: &mut Self, ctx, msg| {
-            let req = downcast::<DirRequest>(msg.expect("when clause"))
-                .expect("DUA agents receive DirRequest only");
-            let outcome = m.execute(req.0);
-            ctx.output(AGENT_IP, DirResponse(outcome));
-        })
-        .cost(AGENT_COST)]
+        vec![
+            Transition::on("dir-op", RUN, AGENT_IP, |m: &mut Self, ctx, msg| {
+                let req = downcast::<DirRequest>(msg.expect("when clause"))
+                    .expect("DUA agents receive DirRequest only");
+                let outcome = m.execute(req.0);
+                ctx.output(AGENT_IP, DirResponse(outcome));
+            })
+            .cost(AGENT_COST),
+        ]
     }
     fn on_init(&mut self, _ctx: &mut Ctx<'_>) {}
 }
@@ -138,22 +143,42 @@ impl SuaAgent {
 
     fn execute(&mut self, op: StreamOp, now: netsim::SimTime) -> StreamOutcome {
         self.ops += 1;
-        let done = |r: Result<(), crate::sps::SpsError>| match r {
+        let done = |r: Result<(), SpsError>| match r {
             Ok(()) => StreamOutcome::Done,
+            Err(SpsError::AdmissionRejected {
+                demanded_bps,
+                available_bps,
+            }) => StreamOutcome::Rejected {
+                demanded_bps,
+                available_bps,
+            },
             Err(e) => StreamOutcome::Failed(e.to_string()),
         };
         match op {
             StreamOp::Open { movie, dest } => {
-                let id = self.sps.open(movie, netsim::NetAddr(dest));
-                StreamOutcome::Opened { stream_id: id, provider_addr: self.sps.addr().0 }
+                match self.sps.open(movie, netsim::NetAddr(dest), now) {
+                    Ok(id) => StreamOutcome::Opened {
+                        stream_id: id,
+                        provider_addr: self.sps.addr().0,
+                    },
+                    Err(SpsError::AdmissionRejected {
+                        demanded_bps,
+                        available_bps,
+                    }) => StreamOutcome::Rejected {
+                        demanded_bps,
+                        available_bps,
+                    },
+                    Err(e) => StreamOutcome::Failed(e.to_string()),
+                }
             }
             StreamOp::Close { stream_id } => done(self.sps.close(stream_id)),
-            StreamOp::Play { stream_id, speed_pct } => {
-                done(self.sps.play(stream_id, speed_pct, now))
-            }
+            StreamOp::Play {
+                stream_id,
+                speed_pct,
+            } => done(self.sps.play(stream_id, speed_pct, now)),
             StreamOp::Pause { stream_id } => done(self.sps.pause(stream_id)),
-            StreamOp::Stop { stream_id } => done(self.sps.stop(stream_id)),
-            StreamOp::Seek { stream_id, frame } => done(self.sps.seek(stream_id, frame)),
+            StreamOp::Stop { stream_id } => done(self.sps.stop(stream_id, now)),
+            StreamOp::Seek { stream_id, frame } => done(self.sps.seek(stream_id, frame, now)),
         }
     }
 }
@@ -166,13 +191,15 @@ impl StateMachine for SuaAgent {
         RUN
     }
     fn transitions() -> Vec<Transition<Self>> {
-        vec![Transition::on("stream-op", RUN, AGENT_IP, |m: &mut Self, ctx, msg| {
-            let req = downcast::<StreamRequest>(msg.expect("when clause"))
-                .expect("SUA agents receive StreamRequest only");
-            let outcome = m.execute(req.0, ctx.now());
-            ctx.output(AGENT_IP, StreamResponse(outcome));
-        })
-        .cost(AGENT_COST)]
+        vec![
+            Transition::on("stream-op", RUN, AGENT_IP, |m: &mut Self, ctx, msg| {
+                let req = downcast::<StreamRequest>(msg.expect("when clause"))
+                    .expect("SUA agents receive StreamRequest only");
+                let outcome = m.execute(req.0, ctx.now());
+                ctx.output(AGENT_IP, StreamResponse(outcome));
+            })
+            .cost(AGENT_COST),
+        ]
     }
     fn on_init(&mut self, _ctx: &mut Ctx<'_>) {}
 }
@@ -190,7 +217,12 @@ pub struct EuaAgent {
 impl EuaAgent {
     /// Creates an agent for `site` using `eua`.
     pub fn new(eua: Eua, site: impl Into<String>) -> Self {
-        EuaAgent { eua, site: site.into(), held: Vec::new(), ops: 0 }
+        EuaAgent {
+            eua,
+            site: site.into(),
+            held: Vec::new(),
+            ops: 0,
+        }
     }
 
     fn execute(&mut self, op: EquipOp) -> EquipOutcome {
@@ -231,13 +263,15 @@ impl StateMachine for EuaAgent {
         RUN
     }
     fn transitions() -> Vec<Transition<Self>> {
-        vec![Transition::on("equip-op", RUN, AGENT_IP, |m: &mut Self, ctx, msg| {
-            let req = downcast::<EquipRequest>(msg.expect("when clause"))
-                .expect("EUA agents receive EquipRequest only");
-            let outcome = m.execute(req.0);
-            ctx.output(AGENT_IP, EquipResponse(outcome));
-        })
-        .cost(AGENT_COST)]
+        vec![
+            Transition::on("equip-op", RUN, AGENT_IP, |m: &mut Self, ctx, msg| {
+                let req = downcast::<EquipRequest>(msg.expect("when clause"))
+                    .expect("EUA agents receive EquipRequest only");
+                let outcome = m.execute(req.0);
+                ctx.output(AGENT_IP, EquipResponse(outcome));
+            })
+            .cost(AGENT_COST),
+        ]
     }
     fn on_init(&mut self, _ctx: &mut Ctx<'_>) {}
 }
@@ -245,10 +279,9 @@ impl StateMachine for EuaAgent {
 /// Derives the synthetic stream source for a directory movie entry.
 /// The per-title seed keeps frame sizes stable across selects.
 pub fn source_for_entry(entry: &MovieEntry) -> mtp::MovieSource {
-    let seed = entry
-        .title
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3));
+    let seed = entry.title.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    });
     mtp::MovieSource {
         frame_count: entry.frame_count,
         frame_rate: entry.frame_rate,

@@ -39,7 +39,10 @@ impl AppMachine {
     /// An application that will play `script`; the first operation
     /// must be [`McamOp::Associate`] (it triggers stack creation).
     pub fn with_script(script: Vec<McamOp>) -> Self {
-        AppMachine { script: script.into(), ..Default::default() }
+        AppMachine {
+            script: script.into(),
+            ..Default::default()
+        }
     }
 
     fn next_op(&mut self) -> Option<McamOp> {
@@ -95,9 +98,7 @@ impl StateMachine for AppMachine {
                 ctx.output(TO_MCA, McamReq(op));
             })
             .provided(|m, _| {
-                m.started
-                    && !m.awaiting
-                    && (!m.script.is_empty() || !m.queued.is_empty())
+                m.started && !m.awaiting && (!m.script.is_empty() || !m.queued.is_empty())
             })
             .cost(SimDuration::from_micros(30)),
         ]

@@ -16,7 +16,10 @@
 //!   create their protocol stacks *dynamically* on connection
 //!   requests (§4.1), over either lower stack ([`StackKind`]);
 //! - [`StreamProviderSystem`] — the XMovie stream provider feeding
-//!   MTP senders (CM-stream level, deliberately outside Estelle);
+//!   MTP senders (CM-stream level, deliberately outside Estelle),
+//!   pulling frames through the `store` crate's striped block store
+//!   with buffer cache, prefetch, and disk-bandwidth admission
+//!   control (overload becomes a negative MCAM response);
 //! - [`World`] — the Fig. 2 experimental configuration: clients on
 //!   workstations, server entities on the (simulated) multiprocessor,
 //!   control pipes and the CM datagram network, with a co-simulation
@@ -76,9 +79,9 @@ pub use mca::{ClientMca, CONNECTING, CTRL, DOWN, P_RELEASING, READY, UNBOUND, UP
 pub use pdus::{McamPdu, MovieDesc, StreamParams};
 pub use server::{ServerMca, ServerRoot, ServerServices};
 pub use service::{
-    DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest,
-    EquipResponse, McamCnf, McamOp, McamReq, StartAssociate, StreamOp, StreamOutcome,
-    StreamRequest, StreamResponse,
+    DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest, EquipResponse,
+    McamCnf, McamOp, McamReq, StartAssociate, StreamOp, StreamOutcome, StreamRequest,
+    StreamResponse,
 };
 pub use sps::{SpsError, StreamProviderSystem};
 pub use stacks::{wire_lower_stack, ClientRoot, StackKind, ROOT_TO_APP, ROOT_TO_MCA};

@@ -8,8 +8,8 @@ use crate::pdus::McamPdu;
 use crate::service::{McamCnf, McamOp, McamReq, StartAssociate};
 use estelle::{downcast, Ctx, Interaction, IpIndex, StateId, StateMachine, Transition};
 use netsim::SimDuration;
-use presentation::service::{PAbortInd, PConCnf, PConReq, PDataInd, PDataReq, PRelCnf, PRelReq};
 use presentation::mcam_contexts;
+use presentation::service::{PAbortInd, PConCnf, PConReq, PDataInd, PDataReq, PRelCnf, PRelReq};
 
 /// Interaction point to the application module.
 pub const UP: IpIndex = IpIndex(0);
@@ -54,22 +54,39 @@ pub struct ClientMca {
 impl ClientMca {
     /// Creates a client MCA whose streams arrive at `client_addr`.
     pub fn new(client_addr: u32) -> Self {
-        ClientMca { client_addr, release_pending: false, requests: 0, responses: 0, protocol_errors: 0 }
+        ClientMca {
+            client_addr,
+            release_pending: false,
+            requests: 0,
+            responses: 0,
+            protocol_errors: 0,
+        }
     }
 
     fn op_to_pdu(&self, op: McamOp) -> McamPdu {
         match op {
             McamOp::Associate { user } => McamPdu::AssociateReq { user },
             McamOp::Release => McamPdu::ReleaseReq,
-            McamOp::CreateMovie { title, format, frame_rate, frame_count } => {
-                McamPdu::CreateMovieReq { title, format, frame_rate, frame_count }
-            }
+            McamOp::CreateMovie {
+                title,
+                format,
+                frame_rate,
+                frame_count,
+            } => McamPdu::CreateMovieReq {
+                title,
+                format,
+                frame_rate,
+                frame_count,
+            },
             McamOp::DeleteMovie { title } => McamPdu::DeleteMovieReq { title },
-            McamOp::SelectMovie { title } => {
-                McamPdu::SelectMovieReq { title, client_addr: self.client_addr }
-            }
+            McamOp::SelectMovie { title } => McamPdu::SelectMovieReq {
+                title,
+                client_addr: self.client_addr,
+            },
             McamOp::Deselect => McamPdu::DeselectMovieReq,
-            McamOp::List { contains } => McamPdu::ListMoviesReq { title_contains: contains },
+            McamOp::List { contains } => McamPdu::ListMoviesReq {
+                title_contains: contains,
+            },
             McamOp::Query { title, attrs } => McamPdu::QueryAttrsReq { title, attrs },
             McamOp::Modify { title, puts } => McamPdu::ModifyAttrsReq { title, puts },
             McamOp::Play { speed_pct } => McamPdu::PlayReq { speed_pct },
@@ -92,14 +109,22 @@ impl StateMachine for ClientMca {
 
     fn transitions() -> Vec<Transition<Self>> {
         vec![
-            Transition::on("start-associate", UNBOUND, CTRL, |_m: &mut Self, ctx, msg| {
-                let start = downcast::<StartAssociate>(msg.unwrap()).unwrap();
-                let aarq = McamPdu::AssociateReq { user: start.user };
-                ctx.output(
-                    DOWN,
-                    PConReq { contexts: mcam_contexts(), user_data: aarq.encode() },
-                );
-            })
+            Transition::on(
+                "start-associate",
+                UNBOUND,
+                CTRL,
+                |_m: &mut Self, ctx, msg| {
+                    let start = downcast::<StartAssociate>(msg.unwrap()).unwrap();
+                    let aarq = McamPdu::AssociateReq { user: start.user };
+                    ctx.output(
+                        DOWN,
+                        PConReq {
+                            contexts: mcam_contexts(),
+                            user_data: aarq.encode(),
+                        },
+                    );
+                },
+            )
             .provided(|_, msg| is::<StartAssociate>(msg))
             .to(CONNECTING)
             .cost(COST_REQ),
@@ -129,7 +154,13 @@ impl StateMachine for ClientMca {
                 m.release_pending = matches!(req.0, McamOp::Release);
                 let pdu = m.op_to_pdu(req.0);
                 m.requests += 1;
-                ctx.output(DOWN, PDataReq { context_id: 1, user_data: pdu.encode() });
+                ctx.output(
+                    DOWN,
+                    PDataReq {
+                        context_id: 1,
+                        user_data: pdu.encode(),
+                    },
+                );
             })
             .provided(|_, msg| is::<McamReq>(msg))
             .to(WAITING)
@@ -178,7 +209,10 @@ impl StateMachine for ClientMca {
                 m.protocol_errors += 1;
                 ctx.output(
                     UP,
-                    McamCnf(McamPdu::ErrorRsp { code: 999, message: "association aborted".into() }),
+                    McamCnf(McamPdu::ErrorRsp {
+                        code: 999,
+                        message: "association aborted".into(),
+                    }),
                 );
             })
             .any_state()
@@ -197,7 +231,10 @@ impl StateMachine for ClientMca {
                 let aarq = McamPdu::AssociateReq { user };
                 ctx.output(
                     DOWN,
-                    PConReq { contexts: mcam_contexts(), user_data: aarq.encode() },
+                    PConReq {
+                        contexts: mcam_contexts(),
+                        user_data: aarq.encode(),
+                    },
                 );
             })
             .provided(|_, msg| {
@@ -213,7 +250,10 @@ impl StateMachine for ClientMca {
                 m.protocol_errors += 1;
                 ctx.output(
                     UP,
-                    McamCnf(McamPdu::ErrorRsp { code: 901, message: "not associated".into() }),
+                    McamCnf(McamPdu::ErrorRsp {
+                        code: 901,
+                        message: "not associated".into(),
+                    }),
                 );
             })
             .provided(|_, msg| is::<McamReq>(msg))

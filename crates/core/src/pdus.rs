@@ -270,7 +270,12 @@ impl McamPdu {
             }),
             McamPdu::ReleaseReq => write(T_RELEASE_REQ, &mut out, &|_| {}),
             McamPdu::ReleaseRsp => write(T_RELEASE_RSP, &mut out, &|_| {}),
-            McamPdu::CreateMovieReq { title, format, frame_rate, frame_count } => {
+            McamPdu::CreateMovieReq {
+                title,
+                format,
+                frame_rate,
+                frame_count,
+            } => {
                 write(T_CREATE_REQ, &mut out, &|c| {
                     ber::write_string(title, c);
                     ber::write_string(format, c);
@@ -293,8 +298,8 @@ impl McamPdu {
                     ber::write_integer(i64::from(*client_addr), c);
                 });
             }
-            McamPdu::SelectMovieRsp { params } => write(T_SELECT_RSP, &mut out, &|c| {
-                match params {
+            McamPdu::SelectMovieRsp { params } => {
+                write(T_SELECT_RSP, &mut out, &|c| match params {
                     None => ber::write_bool(false, c),
                     Some(p) => {
                         ber::write_bool(true, c);
@@ -305,8 +310,8 @@ impl McamPdu {
                         ber::write_integer(i64::from(p.movie.frame_rate), c);
                         ber::write_integer(p.movie.frame_count as i64, c);
                     }
-                }
-            }),
+                })
+            }
             McamPdu::DeselectMovieReq => write(T_DESELECT_REQ, &mut out, &|_| {}),
             McamPdu::DeselectMovieRsp => write(T_DESELECT_RSP, &mut out, &|_| {}),
             McamPdu::ListMoviesReq { title_contains } => write(T_LIST_REQ, &mut out, &|c| {
@@ -327,13 +332,11 @@ impl McamPdu {
                     }
                 });
             }),
-            McamPdu::QueryAttrsRsp { attrs } => write(T_QUERY_RSP, &mut out, &|c| {
-                match attrs {
-                    None => ber::write_bool(false, c),
-                    Some(list) => {
-                        ber::write_bool(true, c);
-                        write_attr_list(list, c);
-                    }
+            McamPdu::QueryAttrsRsp { attrs } => write(T_QUERY_RSP, &mut out, &|c| match attrs {
+                None => ber::write_bool(false, c),
+                Some(list) => {
+                    ber::write_bool(true, c);
+                    write_attr_list(list, c);
                 }
             }),
             McamPdu::ModifyAttrsReq { title, puts } => write(T_MODIFY_REQ, &mut out, &|c| {
@@ -383,12 +386,19 @@ impl McamPdu {
         let mut r = Reader::new(data);
         let (tag, content) = r.read_tlv()?;
         if tag.class != asn1::TagClass::Application || !tag.constructed {
-            return Err(Asn1Error::UnknownVariant { what: "McamPdu", value: i64::from(tag.number) });
+            return Err(Asn1Error::UnknownVariant {
+                what: "McamPdu",
+                value: i64::from(tag.number),
+            });
         }
         let mut c = r.descend(content)?;
         let pdu = match tag.number {
-            T_ASSOC_REQ => McamPdu::AssociateReq { user: ber::read_string(&mut c)? },
-            T_ASSOC_RSP => McamPdu::AssociateRsp { accepted: ber::read_bool(&mut c)? },
+            T_ASSOC_REQ => McamPdu::AssociateReq {
+                user: ber::read_string(&mut c)?,
+            },
+            T_ASSOC_RSP => McamPdu::AssociateRsp {
+                accepted: ber::read_bool(&mut c)?,
+            },
             T_RELEASE_REQ => McamPdu::ReleaseReq,
             T_RELEASE_RSP => McamPdu::ReleaseRsp,
             T_CREATE_REQ => McamPdu::CreateMovieReq {
@@ -397,9 +407,15 @@ impl McamPdu {
                 frame_rate: ber::read_integer(&mut c)?.clamp(0, i64::from(u32::MAX)) as u32,
                 frame_count: ber::read_integer(&mut c)?.max(0) as u64,
             },
-            T_CREATE_RSP => McamPdu::CreateMovieRsp { ok: ber::read_bool(&mut c)? },
-            T_DELETE_REQ => McamPdu::DeleteMovieReq { title: ber::read_string(&mut c)? },
-            T_DELETE_RSP => McamPdu::DeleteMovieRsp { ok: ber::read_bool(&mut c)? },
+            T_CREATE_RSP => McamPdu::CreateMovieRsp {
+                ok: ber::read_bool(&mut c)?,
+            },
+            T_DELETE_REQ => McamPdu::DeleteMovieReq {
+                title: ber::read_string(&mut c)?,
+            },
+            T_DELETE_RSP => McamPdu::DeleteMovieRsp {
+                ok: ber::read_bool(&mut c)?,
+            },
             T_SELECT_REQ => McamPdu::SelectMovieReq {
                 title: ber::read_string(&mut c)?,
                 client_addr: ber::read_integer(&mut c)?.clamp(0, i64::from(u32::MAX)) as u32,
@@ -425,7 +441,9 @@ impl McamPdu {
             }
             T_DESELECT_REQ => McamPdu::DeselectMovieReq,
             T_DESELECT_RSP => McamPdu::DeselectMovieRsp,
-            T_LIST_REQ => McamPdu::ListMoviesReq { title_contains: ber::read_string(&mut c)? },
+            T_LIST_REQ => McamPdu::ListMoviesReq {
+                title_contains: ber::read_string(&mut c)?,
+            },
             T_LIST_RSP => {
                 let list = c.read_expect(Tag::SEQUENCE)?;
                 let mut lr = c.descend(list)?;
@@ -447,29 +465,43 @@ impl McamPdu {
             }
             T_QUERY_RSP => {
                 let ok = ber::read_bool(&mut c)?;
-                let attrs = if ok { Some(read_attr_list(&mut c)?) } else { None };
+                let attrs = if ok {
+                    Some(read_attr_list(&mut c)?)
+                } else {
+                    None
+                };
                 McamPdu::QueryAttrsRsp { attrs }
             }
             T_MODIFY_REQ => McamPdu::ModifyAttrsReq {
                 title: ber::read_string(&mut c)?,
                 puts: read_attr_list(&mut c)?,
             },
-            T_MODIFY_RSP => McamPdu::ModifyAttrsRsp { ok: ber::read_bool(&mut c)? },
+            T_MODIFY_RSP => McamPdu::ModifyAttrsRsp {
+                ok: ber::read_bool(&mut c)?,
+            },
             T_PLAY_REQ => McamPdu::PlayReq {
                 speed_pct: ber::read_integer(&mut c)?.clamp(1, 1000) as u32,
             },
-            T_PLAY_RSP => McamPdu::PlayRsp { ok: ber::read_bool(&mut c)? },
+            T_PLAY_RSP => McamPdu::PlayRsp {
+                ok: ber::read_bool(&mut c)?,
+            },
             T_PAUSE_REQ => McamPdu::PauseReq,
             T_PAUSE_RSP => McamPdu::PauseRsp,
             T_STOP_REQ => McamPdu::StopReq,
             T_STOP_RSP => McamPdu::StopRsp,
-            T_SEEK_REQ => McamPdu::SeekReq { frame: ber::read_integer(&mut c)?.max(0) as u64 },
-            T_SEEK_RSP => McamPdu::SeekRsp { ok: ber::read_bool(&mut c)? },
+            T_SEEK_REQ => McamPdu::SeekReq {
+                frame: ber::read_integer(&mut c)?.max(0) as u64,
+            },
+            T_SEEK_RSP => McamPdu::SeekRsp {
+                ok: ber::read_bool(&mut c)?,
+            },
             T_RECORD_REQ => McamPdu::RecordReq {
                 title: ber::read_string(&mut c)?,
                 frames: ber::read_integer(&mut c)?.max(0) as u64,
             },
-            T_RECORD_RSP => McamPdu::RecordRsp { ok: ber::read_bool(&mut c)? },
+            T_RECORD_RSP => McamPdu::RecordRsp {
+                ok: ber::read_bool(&mut c)?,
+            },
             T_ERROR_RSP => McamPdu::ErrorRsp {
                 code: ber::read_integer(&mut c)?.clamp(0, i64::from(u32::MAX)) as u32,
                 message: ber::read_string(&mut c)?,
@@ -493,7 +525,9 @@ mod tests {
 
     fn samples() -> Vec<McamPdu> {
         vec![
-            McamPdu::AssociateReq { user: "keller".into() },
+            McamPdu::AssociateReq {
+                user: "keller".into(),
+            },
             McamPdu::AssociateRsp { accepted: true },
             McamPdu::ReleaseReq,
             McamPdu::ReleaseRsp,
@@ -504,9 +538,14 @@ mod tests {
                 frame_count: 150_000,
             },
             McamPdu::CreateMovieRsp { ok: true },
-            McamPdu::DeleteMovieReq { title: "Old".into() },
+            McamPdu::DeleteMovieReq {
+                title: "Old".into(),
+            },
             McamPdu::DeleteMovieRsp { ok: false },
-            McamPdu::SelectMovieReq { title: "Star Wars".into(), client_addr: 12 },
+            McamPdu::SelectMovieReq {
+                title: "Star Wars".into(),
+                client_addr: 12,
+            },
             McamPdu::SelectMovieRsp {
                 params: Some(StreamParams {
                     provider_addr: 3,
@@ -522,9 +561,16 @@ mod tests {
             McamPdu::SelectMovieRsp { params: None },
             McamPdu::DeselectMovieReq,
             McamPdu::DeselectMovieRsp,
-            McamPdu::ListMoviesReq { title_contains: "star".into() },
-            McamPdu::ListMoviesRsp { titles: vec!["Star Wars".into(), "Star Trek".into()] },
-            McamPdu::QueryAttrsReq { title: "X".into(), attrs: vec!["framerate".into()] },
+            McamPdu::ListMoviesReq {
+                title_contains: "star".into(),
+            },
+            McamPdu::ListMoviesRsp {
+                titles: vec!["Star Wars".into(), "Star Trek".into()],
+            },
+            McamPdu::QueryAttrsReq {
+                title: "X".into(),
+                attrs: vec!["framerate".into()],
+            },
             McamPdu::QueryAttrsRsp {
                 attrs: Some(vec![("framerate".into(), Value::Int(25))]),
             },
@@ -542,9 +588,15 @@ mod tests {
             McamPdu::StopRsp,
             McamPdu::SeekReq { frame: 1234 },
             McamPdu::SeekRsp { ok: true },
-            McamPdu::RecordReq { title: "Lecture".into(), frames: 500 },
+            McamPdu::RecordReq {
+                title: "Lecture".into(),
+                frames: 500,
+            },
             McamPdu::RecordRsp { ok: true },
-            McamPdu::ErrorRsp { code: 42, message: "no such movie".into() },
+            McamPdu::ErrorRsp {
+                code: 42,
+                message: "no such movie".into(),
+            },
         ]
     }
 
@@ -562,7 +614,11 @@ mod tests {
         assert!(McamPdu::PlayReq { speed_pct: 100 }.is_request());
         assert!(!McamPdu::PlayRsp { ok: true }.is_request());
         assert!(McamPdu::ReleaseReq.is_request());
-        assert!(!McamPdu::ErrorRsp { code: 0, message: String::new() }.is_request());
+        assert!(!McamPdu::ErrorRsp {
+            code: 0,
+            message: String::new()
+        }
+        .is_request());
     }
 
     #[test]

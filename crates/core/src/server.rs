@@ -7,8 +7,8 @@
 use crate::agents::{source_for_entry, DuaAgent, EuaAgent, SuaAgent, AGENT_IP};
 use crate::pdus::{McamPdu, MovieDesc, StreamParams};
 use crate::service::{
-    DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest,
-    EquipResponse, StreamOp, StreamOutcome, StreamRequest, StreamResponse,
+    DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest, EquipResponse,
+    StreamOp, StreamOutcome, StreamRequest, StreamResponse,
 };
 use crate::sps::StreamProviderSystem;
 use crate::stacks::{wire_lower_stack, StackKind};
@@ -19,9 +19,7 @@ use estelle::{
     Transition,
 };
 use netsim::{Medium, SimDuration};
-use presentation::service::{
-    PAbortInd, PConInd, PConRsp, PDataInd, PDataReq, PRelInd, PRelRsp,
-};
+use presentation::service::{PAbortInd, PConInd, PConRsp, PDataInd, PDataReq, PRelInd, PRelRsp};
 use std::sync::Arc;
 
 /// Interaction point to the presentation service.
@@ -42,6 +40,10 @@ pub const BUSY: StateId = StateId(2);
 
 const COST_REQ: SimDuration = SimDuration::from_micros(250);
 
+/// MCAM error code for disk-bandwidth admission rejection (server
+/// saturated; retry later or elsewhere).
+pub const ERR_ADMISSION: u32 = 503;
+
 fn is<T: Interaction>(msg: Option<&dyn Interaction>) -> bool {
     msg.is_some_and(|m| m.is::<T>())
 }
@@ -55,6 +57,9 @@ pub struct ServerServices {
     pub base: Dn,
     /// Stream provider of this server machine.
     pub sps: Arc<StreamProviderSystem>,
+    /// The machine's continuous-media block store (disk stripes,
+    /// buffer cache, admission control) feeding the stream provider.
+    pub store: Arc<store::BlockStore>,
     /// Equipment client for the server site.
     pub eua: Eua,
     /// The site's equipment control agent (for direct inspection and
@@ -114,11 +119,23 @@ impl ServerMca {
     }
 
     fn reply(&self, ctx: &mut Ctx<'_>, pdu: McamPdu) {
-        ctx.output(DOWN, PDataReq { context_id: 1, user_data: pdu.encode() });
+        ctx.output(
+            DOWN,
+            PDataReq {
+                context_id: 1,
+                user_data: pdu.encode(),
+            },
+        );
     }
 
     fn error(&self, ctx: &mut Ctx<'_>, code: u32, message: &str) {
-        self.reply(ctx, McamPdu::ErrorRsp { code, message: message.into() });
+        self.reply(
+            ctx,
+            McamPdu::ErrorRsp {
+                code,
+                message: message.into(),
+            },
+        );
     }
 
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, pdu: McamPdu) {
@@ -138,8 +155,14 @@ impl ServerMca {
                 }
                 self.reply(ctx, ReleaseRsp);
             }
-            CreateMovieReq { title, format, frame_rate, frame_count } => {
-                let mut entry = MovieEntry::new(title, format!("node-{}", self.services.sps.addr().0));
+            CreateMovieReq {
+                title,
+                format,
+                frame_rate,
+                frame_count,
+            } => {
+                let mut entry =
+                    MovieEntry::new(title, format!("node-{}", self.services.sps.addr().0));
                 entry.format = format;
                 entry.frame_rate = frame_rate.clamp(1, 120);
                 entry.frame_count = frame_count;
@@ -160,14 +183,24 @@ impl ServerMca {
             DeselectMovieReq => match self.selected.take() {
                 Some(sel) => {
                     self.pending = Some(Pending::Deselect);
-                    ctx.output(TO_SUA, StreamRequest(StreamOp::Close { stream_id: sel.stream_id }));
+                    ctx.output(
+                        TO_SUA,
+                        StreamRequest(StreamOp::Close {
+                            stream_id: sel.stream_id,
+                        }),
+                    );
                     ctx.goto(BUSY);
                 }
                 None => self.error(ctx, 404, "no movie selected"),
             },
             ListMoviesReq { title_contains } => {
                 self.pending = Some(Pending::List);
-                ctx.output(TO_DUA, DirRequest(DirOp::List { contains: title_contains }));
+                ctx.output(
+                    TO_DUA,
+                    DirRequest(DirOp::List {
+                        contains: title_contains,
+                    }),
+                );
                 ctx.goto(BUSY);
             }
             QueryAttrsReq { title, attrs } => {
@@ -185,7 +218,10 @@ impl ServerMca {
                     self.pending = Some(Pending::Play);
                     ctx.output(
                         TO_SUA,
-                        StreamRequest(StreamOp::Play { stream_id: sel.stream_id, speed_pct }),
+                        StreamRequest(StreamOp::Play {
+                            stream_id: sel.stream_id,
+                            speed_pct,
+                        }),
                     );
                     ctx.goto(BUSY);
                 }
@@ -194,7 +230,12 @@ impl ServerMca {
             PauseReq => match &self.selected {
                 Some(sel) => {
                     self.pending = Some(Pending::Pause);
-                    ctx.output(TO_SUA, StreamRequest(StreamOp::Pause { stream_id: sel.stream_id }));
+                    ctx.output(
+                        TO_SUA,
+                        StreamRequest(StreamOp::Pause {
+                            stream_id: sel.stream_id,
+                        }),
+                    );
                     ctx.goto(BUSY);
                 }
                 None => self.error(ctx, 404, "no movie selected"),
@@ -202,7 +243,12 @@ impl ServerMca {
             StopReq => match &self.selected {
                 Some(sel) => {
                     self.pending = Some(Pending::Stop);
-                    ctx.output(TO_SUA, StreamRequest(StreamOp::Stop { stream_id: sel.stream_id }));
+                    ctx.output(
+                        TO_SUA,
+                        StreamRequest(StreamOp::Stop {
+                            stream_id: sel.stream_id,
+                        }),
+                    );
                     ctx.goto(BUSY);
                 }
                 None => self.error(ctx, 404, "no movie selected"),
@@ -212,7 +258,10 @@ impl ServerMca {
                     self.pending = Some(Pending::Seek);
                     ctx.output(
                         TO_SUA,
-                        StreamRequest(StreamOp::Seek { stream_id: sel.stream_id, frame }),
+                        StreamRequest(StreamOp::Seek {
+                            stream_id: sel.stream_id,
+                            frame,
+                        }),
                     );
                     ctx.goto(BUSY);
                 }
@@ -237,11 +286,21 @@ impl ServerMca {
         let pending = self.pending.take();
         match pending {
             Some(Pending::Create) => {
-                self.reply(ctx, McamPdu::CreateMovieRsp { ok: outcome == DirOutcome::Done });
+                self.reply(
+                    ctx,
+                    McamPdu::CreateMovieRsp {
+                        ok: outcome == DirOutcome::Done,
+                    },
+                );
                 ctx.goto(READY);
             }
             Some(Pending::Delete) => {
-                self.reply(ctx, McamPdu::DeleteMovieRsp { ok: outcome == DirOutcome::Done });
+                self.reply(
+                    ctx,
+                    McamPdu::DeleteMovieRsp {
+                        ok: outcome == DirOutcome::Done,
+                    },
+                );
                 ctx.goto(READY);
             }
             Some(Pending::List) => {
@@ -261,7 +320,12 @@ impl ServerMca {
                 ctx.goto(READY);
             }
             Some(Pending::Modify) => {
-                self.reply(ctx, McamPdu::ModifyAttrsRsp { ok: outcome == DirOutcome::Done });
+                self.reply(
+                    ctx,
+                    McamPdu::ModifyAttrsRsp {
+                        ok: outcome == DirOutcome::Done,
+                    },
+                );
                 ctx.goto(READY);
             }
             Some(Pending::SelectLookup { client_addr }) => match outcome {
@@ -270,7 +334,10 @@ impl ServerMca {
                     self.pending = Some(Pending::SelectOpen { entry });
                     ctx.output(
                         TO_SUA,
-                        StreamRequest(StreamOp::Open { movie, dest: client_addr }),
+                        StreamRequest(StreamOp::Open {
+                            movie,
+                            dest: client_addr,
+                        }),
                     );
                     ctx.goto(BUSY);
                 }
@@ -297,7 +364,10 @@ impl ServerMca {
         let pending = self.pending.take();
         match pending {
             Some(Pending::SelectOpen { entry }) => match outcome {
-                StreamOutcome::Opened { stream_id, provider_addr } => {
+                StreamOutcome::Opened {
+                    stream_id,
+                    provider_addr,
+                } => {
                     let params = StreamParams {
                         provider_addr,
                         stream_id,
@@ -309,7 +379,26 @@ impl ServerMca {
                         },
                     };
                     self.selected = Some(params.clone());
-                    self.reply(ctx, McamPdu::SelectMovieRsp { params: Some(params) });
+                    self.reply(
+                        ctx,
+                        McamPdu::SelectMovieRsp {
+                            params: Some(params),
+                        },
+                    );
+                    ctx.goto(READY);
+                }
+                StreamOutcome::Rejected {
+                    demanded_bps,
+                    available_bps,
+                } => {
+                    self.error(
+                        ctx,
+                        ERR_ADMISSION,
+                        &format!(
+                            "admission rejected: stream needs {demanded_bps} bps, \
+                             {available_bps} bps of disk bandwidth available"
+                        ),
+                    );
                     ctx.goto(READY);
                 }
                 _ => {
@@ -322,7 +411,27 @@ impl ServerMca {
                 ctx.goto(READY);
             }
             Some(Pending::Play) => {
-                self.reply(ctx, McamPdu::PlayRsp { ok: outcome == StreamOutcome::Done });
+                if let StreamOutcome::Rejected {
+                    demanded_bps,
+                    available_bps,
+                } = outcome
+                {
+                    self.error(
+                        ctx,
+                        ERR_ADMISSION,
+                        &format!(
+                            "admission rejected: speed-up needs {demanded_bps} bps, \
+                             {available_bps} bps of disk bandwidth available"
+                        ),
+                    );
+                } else {
+                    self.reply(
+                        ctx,
+                        McamPdu::PlayRsp {
+                            ok: outcome == StreamOutcome::Done,
+                        },
+                    );
+                }
                 ctx.goto(READY);
             }
             Some(Pending::Pause) => {
@@ -334,7 +443,12 @@ impl ServerMca {
                 ctx.goto(READY);
             }
             Some(Pending::Seek) => {
-                self.reply(ctx, McamPdu::SeekRsp { ok: outcome == StreamOutcome::Done });
+                self.reply(
+                    ctx,
+                    McamPdu::SeekRsp {
+                        ok: outcome == StreamOutcome::Done,
+                    },
+                );
                 ctx.goto(READY);
             }
             other => {
@@ -417,12 +531,24 @@ impl StateMachine for ServerMca {
                     Ok(McamPdu::AssociateReq { user }) => {
                         m.user = Some(user);
                         let aare = McamPdu::AssociateRsp { accepted: true };
-                        ctx.output(DOWN, PConRsp { accept: true, user_data: aare.encode() });
+                        ctx.output(
+                            DOWN,
+                            PConRsp {
+                                accept: true,
+                                user_data: aare.encode(),
+                            },
+                        );
                         ctx.goto(READY);
                     }
                     _ => {
                         m.protocol_errors += 1;
-                        ctx.output(DOWN, PConRsp { accept: false, user_data: Vec::new() });
+                        ctx.output(
+                            DOWN,
+                            PConRsp {
+                                accept: false,
+                                user_data: Vec::new(),
+                            },
+                        );
                     }
                 }
             })
@@ -510,7 +636,12 @@ impl ServerRoot {
     /// Creates a server root spawning entities of the given stack
     /// flavour.
     pub fn new(services: ServerServices, stack: StackKind) -> Self {
-        ServerRoot { services, stack, pending_media: Vec::new(), entities: Vec::new() }
+        ServerRoot {
+            services,
+            stack,
+            pending_media: Vec::new(),
+            entities: Vec::new(),
+        }
     }
 }
 
@@ -524,19 +655,21 @@ impl StateMachine for ServerRoot {
     }
 
     fn transitions() -> Vec<Transition<Self>> {
-        vec![Transition::spontaneous("accept", StateId(0), |m: &mut Self, ctx, _| {
-            let (medium, conn) = m.pending_media.remove(0);
-            let labels = ModuleLabels::layer_conn(0, conn);
-            let mca = ctx.create_child(
-                format!("server-mca-{conn}"),
-                ModuleKind::Process,
-                labels,
-                ServerMca::new(m.services.clone(), labels),
-            );
-            wire_lower_stack(ctx, mca, DOWN, m.stack, medium, conn);
-            m.entities.push(mca);
-        })
-        .provided(|m, _| !m.pending_media.is_empty())
-        .cost(SimDuration::from_micros(400))]
+        vec![
+            Transition::spontaneous("accept", StateId(0), |m: &mut Self, ctx, _| {
+                let (medium, conn) = m.pending_media.remove(0);
+                let labels = ModuleLabels::layer_conn(0, conn);
+                let mca = ctx.create_child(
+                    format!("server-mca-{conn}"),
+                    ModuleKind::Process,
+                    labels,
+                    ServerMca::new(m.services.clone(), labels),
+                );
+                wire_lower_stack(ctx, mca, DOWN, m.stack, medium, conn);
+                m.entities.push(mca);
+            })
+            .provided(|m, _| !m.pending_media.is_empty())
+            .cost(SimDuration::from_micros(400)),
+        ]
     }
 }

@@ -223,6 +223,14 @@ pub enum StreamOutcome {
     },
     /// Operation succeeded.
     Done,
+    /// Disk-bandwidth admission control refused the stream: the
+    /// server is storage-saturated, not broken.
+    Rejected {
+        /// Bandwidth the stream would need, in bits/second.
+        demanded_bps: u64,
+        /// Bandwidth still uncommitted, in bits/second.
+        available_bps: u64,
+    },
     /// Failure with a message.
     Failed(String),
 }

@@ -6,6 +6,13 @@
 //! XMovie service it stands in for), controlled *by* the Estelle
 //! specification through the SUA/SPA agent but paced by the simulation
 //! driver.
+//!
+//! When built over a [`store::BlockStore`] the SPS pulls frames
+//! through the continuous-media storage subsystem: every open passes
+//! disk-bandwidth admission control, a per-stream prefetcher pipelines
+//! block reads ahead of the sender's frame deadlines, and a frame
+//! whose block has not yet arrived stalls (and is sent late) instead
+//! of being synthesized out of thin air.
 
 use mtp::{MovieSource, MtpSender, StreamState};
 use netsim::{DatagramNet, DatagramSocket, NetAddr, SimTime};
@@ -14,29 +21,64 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use store::{BlockStore, MovieId, StoreError};
 
 /// Stream-provider errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpsError {
     /// Unknown stream id.
     NoSuchStream(u32),
+    /// Admission control refused the stream's disk-bandwidth demand.
+    AdmissionRejected {
+        /// Bandwidth the stream would need, in bits/second.
+        demanded_bps: u64,
+        /// Bandwidth still uncommitted, in bits/second.
+        available_bps: u64,
+    },
+    /// The storage subsystem failed the operation.
+    StorageError(String),
 }
 
 impl fmt::Display for SpsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpsError::NoSuchStream(id) => write!(f, "no such stream {id}"),
+            SpsError::AdmissionRejected {
+                demanded_bps,
+                available_bps,
+            } => write!(
+                f,
+                "admission rejected: stream needs {demanded_bps} bps, {available_bps} bps available"
+            ),
+            SpsError::StorageError(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }
 impl std::error::Error for SpsError {}
 
+impl From<StoreError> for SpsError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::AdmissionRejected {
+                demanded_bps,
+                available_bps,
+            } => SpsError::AdmissionRejected {
+                demanded_bps,
+                available_bps,
+            },
+            other => SpsError::StorageError(other.to_string()),
+        }
+    }
+}
+
 /// The per-server stream provider: a registry of paced MTP senders
-/// sharing one datagram socket.
+/// sharing one datagram socket, optionally fed by a block store.
 pub struct StreamProviderSystem {
     socket: DatagramSocket,
     addr: NetAddr,
     senders: Mutex<HashMap<u32, MtpSender>>,
+    movie_ids: Mutex<HashMap<u32, MovieId>>,
+    store: Option<Arc<BlockStore>>,
     next_stream: AtomicU32,
 }
 
@@ -45,22 +87,40 @@ impl fmt::Debug for StreamProviderSystem {
         f.debug_struct("StreamProviderSystem")
             .field("addr", &self.addr)
             .field("streams", &self.senders.lock().len())
+            .field("store", &self.store.is_some())
             .finish_non_exhaustive()
     }
 }
 
 impl StreamProviderSystem {
-    /// Binds the provider to `addr` on the datagram network.
+    /// Binds the provider to `addr` on the datagram network, streaming
+    /// straight from synthetic sources (no storage model).
     ///
     /// # Panics
     ///
     /// Panics if the address is already bound (deployment error).
     pub fn new(dg: &Arc<DatagramNet>, addr: NetAddr) -> Arc<Self> {
+        Self::build(dg, addr, None)
+    }
+
+    /// Binds the provider to `addr`, pulling every stream through
+    /// `store` (admission control, cache, prefetch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already bound (deployment error).
+    pub fn with_store(dg: &Arc<DatagramNet>, addr: NetAddr, store: Arc<BlockStore>) -> Arc<Self> {
+        Self::build(dg, addr, Some(store))
+    }
+
+    fn build(dg: &Arc<DatagramNet>, addr: NetAddr, store: Option<Arc<BlockStore>>) -> Arc<Self> {
         let socket = dg.bind(addr).expect("SPS address available");
         Arc::new(StreamProviderSystem {
             socket,
             addr,
             senders: Mutex::new(HashMap::new()),
+            movie_ids: Mutex::new(HashMap::new()),
+            store,
             next_stream: AtomicU32::new(1),
         })
     }
@@ -70,38 +130,68 @@ impl StreamProviderSystem {
         self.addr
     }
 
-    /// Opens a stream of `movie` towards `dest`, returning its id.
-    pub fn open(&self, movie: MovieSource, dest: NetAddr) -> u32 {
-        let id = self.next_stream.fetch_add(1, Ordering::SeqCst);
-        let sender = MtpSender::new(self.socket.clone(), dest, id, movie);
-        self.senders.lock().insert(id, sender);
-        id
+    /// The storage subsystem feeding this provider, if any.
+    pub fn store(&self) -> Option<&Arc<BlockStore>> {
+        self.store.as_ref()
     }
 
-    /// Closes a stream.
+    /// Opens a stream of `movie` towards `dest`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SpsError::AdmissionRejected`] when the store's admission
+    /// control cannot fit the stream's bandwidth demand.
+    pub fn open(&self, movie: MovieSource, dest: NetAddr, now: SimTime) -> Result<u32, SpsError> {
+        let id = self.next_stream.fetch_add(1, Ordering::SeqCst);
+        if let Some(store) = &self.store {
+            let movie_id = store.register_movie(&movie);
+            store.open_stream(id, movie_id, 100, now)?;
+            self.movie_ids.lock().insert(id, movie_id);
+        }
+        let sender = MtpSender::new(self.socket.clone(), dest, id, movie);
+        self.senders.lock().insert(id, sender);
+        Ok(id)
+    }
+
+    /// Closes a stream, releasing its storage bandwidth.
     ///
     /// # Errors
     ///
     /// Fails for unknown ids.
     pub fn close(&self, id: u32) -> Result<(), SpsError> {
-        self.senders.lock().remove(&id).map(|_| ()).ok_or(SpsError::NoSuchStream(id))
+        if let Some(store) = &self.store {
+            store.close_stream(id);
+        }
+        self.movie_ids.lock().remove(&id);
+        self.senders
+            .lock()
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(SpsError::NoSuchStream(id))
     }
 
-    fn with_sender<R>(
-        &self,
-        id: u32,
-        f: impl FnOnce(&mut MtpSender) -> R,
-    ) -> Result<R, SpsError> {
+    fn with_sender<R>(&self, id: u32, f: impl FnOnce(&mut MtpSender) -> R) -> Result<R, SpsError> {
         let mut senders = self.senders.lock();
-        senders.get_mut(&id).map(f).ok_or(SpsError::NoSuchStream(id))
+        senders
+            .get_mut(&id)
+            .map(f)
+            .ok_or(SpsError::NoSuchStream(id))
     }
 
     /// Starts or resumes playback.
     ///
     /// # Errors
     ///
-    /// Fails for unknown ids.
+    /// Fails for unknown ids, and with [`SpsError::AdmissionRejected`]
+    /// when a speed above nominal would exceed the store's remaining
+    /// disk bandwidth (the stream then keeps its previous speed).
     pub fn play(&self, id: u32, speed_pct: u32, now: SimTime) -> Result<(), SpsError> {
+        if !self.senders.lock().contains_key(&id) {
+            return Err(SpsError::NoSuchStream(id));
+        }
+        if let Some(store) = &self.store {
+            store.set_speed(id, speed_pct)?;
+        }
         self.with_sender(id, |s| {
             s.set_speed_pct(speed_pct);
             s.play(now);
@@ -117,22 +207,31 @@ impl StreamProviderSystem {
         self.with_sender(id, MtpSender::pause)
     }
 
-    /// Stops playback (rewinds).
+    /// Stops playback (rewinds; the prefetcher repositions to the
+    /// movie's first block).
     ///
     /// # Errors
     ///
     /// Fails for unknown ids.
-    pub fn stop(&self, id: u32) -> Result<(), SpsError> {
-        self.with_sender(id, MtpSender::stop)
+    pub fn stop(&self, id: u32, now: SimTime) -> Result<(), SpsError> {
+        self.with_sender(id, MtpSender::stop)?;
+        if let Some(store) = &self.store {
+            store.seek_stream(id, 0, now)?;
+        }
+        Ok(())
     }
 
-    /// Seeks to a frame.
+    /// Seeks to a frame (the prefetcher follows).
     ///
     /// # Errors
     ///
     /// Fails for unknown ids.
-    pub fn seek(&self, id: u32, frame: u64) -> Result<(), SpsError> {
-        self.with_sender(id, |s| s.seek(frame))
+    pub fn seek(&self, id: u32, frame: u64, now: SimTime) -> Result<(), SpsError> {
+        self.with_sender(id, |s| s.seek(frame))?;
+        if let Some(store) = &self.store {
+            store.seek_stream(id, frame, now)?;
+        }
+        Ok(())
     }
 
     /// Current playback state of a stream.
@@ -145,9 +244,13 @@ impl StreamProviderSystem {
         self.senders.lock().get(&id).map(MtpSender::position)
     }
 
-    /// Emits all frames due at or before `now` across all streams and
-    /// routes receiver feedback reports to their senders.
+    /// Emits all frames due at or before `now` across all streams
+    /// (gated on storage delivery when a store is attached) and routes
+    /// receiver feedback reports to their senders.
     pub fn pump(&self, now: SimTime) -> usize {
+        if let Some(store) = &self.store {
+            store.pump(now);
+        }
         let mut senders = self.senders.lock();
         while let Some(dg) = self.socket.recv() {
             if let Ok(fb) = mtp::MtpFeedback::decode(&dg.payload) {
@@ -156,13 +259,43 @@ impl StreamProviderSystem {
                 }
             }
         }
-        senders.values_mut().map(|s| s.poll(now)).sum()
+        let mut sent = 0;
+        for (id, sender) in senders.iter_mut() {
+            let ready = self
+                .store
+                .as_ref()
+                .and_then(|s| s.frames_ready_through(*id));
+            sent += sender.poll_gated(now, ready);
+            if let Some(store) = &self.store {
+                store.note_position(*id, sender.position());
+            }
+        }
+        sent
     }
 
-    /// Earliest due instant across all playing streams.
+    /// Earliest instant at which any stream can make progress: the
+    /// next frame deadline of a stream whose data is ready, or the
+    /// next storage completion for stalled ones.
     pub fn next_due(&self) -> Option<SimTime> {
         let senders = self.senders.lock();
-        senders.values().filter_map(MtpSender::next_due).min()
+        let store_next = self.store.as_ref().and_then(|s| s.next_event());
+        let sender_due = senders
+            .iter()
+            .filter_map(|(id, s)| {
+                let due = s.next_due()?;
+                if let Some(store) = &self.store {
+                    let ready = store.frames_ready_through(*id).unwrap_or(u64::MAX);
+                    let position = s.position();
+                    if position < s.movie().frame_count && position >= ready {
+                        // Stalled on storage: the store's next
+                        // completion is the real wake-up point.
+                        return None;
+                    }
+                }
+                Some(due)
+            })
+            .min();
+        [store_next, sender_due].into_iter().flatten().min()
     }
 
     /// Number of open streams.
@@ -175,6 +308,7 @@ impl StreamProviderSystem {
 mod tests {
     use super::*;
     use netsim::{LinkConfig, Network, SimDuration};
+    use store::StoreConfig;
 
     fn rig() -> (Arc<Network>, Arc<DatagramNet>, Arc<StreamProviderSystem>) {
         let net = Arc::new(Network::new(0));
@@ -183,11 +317,22 @@ mod tests {
         (net, dg, sps)
     }
 
+    fn rig_with_store(
+        config: StoreConfig,
+    ) -> (Arc<Network>, Arc<DatagramNet>, Arc<StreamProviderSystem>) {
+        let net = Arc::new(Network::new(0));
+        let dg = DatagramNet::new(&net, LinkConfig::perfect(SimDuration::from_millis(1)), 0);
+        let sps = StreamProviderSystem::with_store(&dg, NetAddr(100), BlockStore::new(config));
+        (net, dg, sps)
+    }
+
     #[test]
     fn open_play_pump_close() {
         let (net, dg, sps) = rig();
         let client = dg.bind(NetAddr(5)).unwrap();
-        let id = sps.open(MovieSource::test_movie(1, 1), NetAddr(5));
+        let id = sps
+            .open(MovieSource::test_movie(1, 1), NetAddr(5), net.now())
+            .unwrap();
         assert_eq!(sps.stream_count(), 1);
         sps.play(id, 100, net.now()).unwrap();
         assert_eq!(sps.state(id), Some(StreamState::Playing));
@@ -204,13 +349,15 @@ mod tests {
     #[test]
     fn control_ops_route_to_sender() {
         let (net, _dg, sps) = rig();
-        let id = sps.open(MovieSource::test_movie(2, 1), NetAddr(5));
+        let id = sps
+            .open(MovieSource::test_movie(2, 1), NetAddr(5), net.now())
+            .unwrap();
         sps.play(id, 200, net.now()).unwrap();
         sps.pause(id).unwrap();
         assert_eq!(sps.state(id), Some(StreamState::Paused));
-        sps.seek(id, 30).unwrap();
+        sps.seek(id, 30, net.now()).unwrap();
         assert_eq!(sps.position(id), Some(30));
-        sps.stop(id).unwrap();
+        sps.stop(id, net.now()).unwrap();
         assert_eq!(sps.position(id), Some(0));
         assert!(sps.play(99, 100, net.now()).is_err());
     }
@@ -219,9 +366,58 @@ mod tests {
     fn next_due_tracks_playing_streams() {
         let (net, _dg, sps) = rig();
         assert!(sps.next_due().is_none());
-        let a = sps.open(MovieSource::test_movie(1, 1), NetAddr(5));
+        let a = sps
+            .open(MovieSource::test_movie(1, 1), NetAddr(5), net.now())
+            .unwrap();
         assert!(sps.next_due().is_none(), "ready but not playing");
         sps.play(a, 100, net.now()).unwrap();
         assert_eq!(sps.next_due(), Some(net.now()));
+    }
+
+    #[test]
+    fn stored_stream_stalls_until_blocks_arrive() {
+        let (net, dg, sps) = rig_with_store(StoreConfig::default());
+        let client = dg.bind(NetAddr(5)).unwrap();
+        let id = sps
+            .open(MovieSource::test_movie(1, 1), NetAddr(5), net.now())
+            .unwrap();
+        sps.play(id, 100, net.now()).unwrap();
+        // Nothing delivered from disk yet: the first poll stalls.
+        assert_eq!(sps.pump(net.now()), 0);
+        // The SPS points the driver at the first disk completion.
+        let wake = sps.next_due().expect("disk read outstanding");
+        assert!(wake > net.now());
+        // After a generous second, frames flow.
+        net.run_until(SimTime::from_secs(1));
+        let sent = sps.pump(net.now());
+        assert!(sent >= 25, "sent={sent}");
+        net.run_until_idle();
+        assert!(client.pending() >= 25);
+    }
+
+    #[test]
+    fn overload_rejected_and_released() {
+        let config = StoreConfig {
+            disks: 1,
+            disk: store::DiskParams {
+                transfer_bytes_per_sec: 500_000,
+                ..store::DiskParams::default()
+            },
+            ..StoreConfig::default()
+        };
+        let (net, _dg, sps) = rig_with_store(config);
+        let mut ids = Vec::new();
+        let err = loop {
+            match sps.open(MovieSource::test_movie(30, 1), NetAddr(5), net.now()) {
+                Ok(id) => ids.push(id),
+                Err(e) => break e,
+            }
+            assert!(ids.len() < 100, "slow disk must saturate eventually");
+        };
+        assert!(matches!(err, SpsError::AdmissionRejected { .. }), "{err}");
+        // Closing one stream re-opens the door.
+        sps.close(ids[0]).unwrap();
+        sps.open(MovieSource::test_movie(30, 1), NetAddr(5), net.now())
+            .unwrap();
     }
 }

@@ -8,8 +8,8 @@ use crate::mca::{ClientMca, CTRL as MCA_CTRL, DOWN as MCA_DOWN, UP as MCA_UP};
 use crate::service::{McamOp, McamReq, StartAssociate};
 use estelle::external::{MediumModule, MEDIUM_IP};
 use estelle::{
-    downcast, ip, Ctx, IpIndex, ModuleId, ModuleKind, ModuleLabels, StateId,
-    StateMachine, Transition,
+    downcast, ip, Ctx, IpIndex, ModuleId, ModuleKind, ModuleLabels, StateId, StateMachine,
+    Transition,
 };
 use isode::{IsodeInterfaceModule, IsodeStack};
 use netsim::{Medium, SimDuration};
@@ -153,30 +153,35 @@ impl StateMachine for ClientRoot {
     }
 
     fn transitions() -> Vec<Transition<Self>> {
-        vec![Transition::on("connection-request", RUN, ROOT_TO_APP, |m: &mut Self, ctx, msg| {
-            let req = downcast::<McamReq>(msg.unwrap()).unwrap();
-            let McamOp::Associate { user } = req.0 else {
-                m.errors += 1;
-                return;
-            };
-            if m.mca.is_some() {
-                m.errors += 1;
-                return;
-            }
-            let labels = ModuleLabels::layer_conn(0, m.conn);
-            let mca = ctx.create_child(
-                format!("mca-{}", m.conn),
-                ModuleKind::Process,
-                labels,
-                ClientMca::new(m.client_addr),
-            );
-            let medium = m.medium.take().expect("unused medium");
-            wire_lower_stack(ctx, mca, MCA_DOWN, m.stack, medium, m.conn);
-            ctx.connect(ctx.self_ip(ROOT_TO_MCA), ip(mca, MCA_CTRL));
-            ctx.connect(ip(m.app.expect("init ran"), APP_TO_MCA), ip(mca, MCA_UP));
-            ctx.output(ROOT_TO_MCA, StartAssociate { user });
-            m.mca = Some(mca);
-        })
+        vec![Transition::on(
+            "connection-request",
+            RUN,
+            ROOT_TO_APP,
+            |m: &mut Self, ctx, msg| {
+                let req = downcast::<McamReq>(msg.unwrap()).unwrap();
+                let McamOp::Associate { user } = req.0 else {
+                    m.errors += 1;
+                    return;
+                };
+                if m.mca.is_some() {
+                    m.errors += 1;
+                    return;
+                }
+                let labels = ModuleLabels::layer_conn(0, m.conn);
+                let mca = ctx.create_child(
+                    format!("mca-{}", m.conn),
+                    ModuleKind::Process,
+                    labels,
+                    ClientMca::new(m.client_addr),
+                );
+                let medium = m.medium.take().expect("unused medium");
+                wire_lower_stack(ctx, mca, MCA_DOWN, m.stack, medium, m.conn);
+                ctx.connect(ctx.self_ip(ROOT_TO_MCA), ip(mca, MCA_CTRL));
+                ctx.connect(ip(m.app.expect("init ran"), APP_TO_MCA), ip(mca, MCA_UP));
+                ctx.output(ROOT_TO_MCA, StartAssociate { user });
+                m.mca = Some(mca);
+            },
+        )
         .provided(|_, msg| msg.is_some_and(|m| m.is::<McamReq>()))
         .cost(SimDuration::from_micros(400))]
     }

@@ -17,6 +17,7 @@ use netsim::{
     SimDuration, SimTime,
 };
 use std::sync::Arc;
+use store::{BlockStore, StoreConfig};
 
 /// A server machine in the world.
 #[derive(Debug, Clone)]
@@ -53,6 +54,10 @@ pub struct World {
     pub rt: Arc<Runtime>,
     /// One-way delay of control pipes.
     pub control_delay: SimDuration,
+    /// Storage configuration applied to every server added after this
+    /// point (disk count, block size, cache size/policy, admission
+    /// headroom).
+    pub store_config: StoreConfig,
     providers: Vec<Arc<StreamProviderSystem>>,
     next_addr: u32,
     next_conn: u16,
@@ -72,6 +77,12 @@ impl std::fmt::Debug for World {
 impl World {
     /// Creates a world whose CM network uses `stream_link`.
     pub fn with_stream_link(seed: u64, stream_link: LinkConfig) -> Self {
+        Self::with_config(seed, stream_link, StoreConfig::default())
+    }
+
+    /// Creates a world with explicit storage knobs: every server added
+    /// gets a block store built from `store_config`.
+    pub fn with_config(seed: u64, stream_link: LinkConfig, store_config: StoreConfig) -> Self {
         let net = Arc::new(Network::new(seed));
         let dg = DatagramNet::new(&net, stream_link, seed.wrapping_add(17));
         let rt = Arc::new(Runtime::with_virtual_clock(net.clock()));
@@ -80,6 +91,7 @@ impl World {
             dg,
             rt,
             control_delay: SimDuration::from_millis(1),
+            store_config,
             providers: Vec::new(),
             next_addr: 1,
             next_conn: 0,
@@ -91,7 +103,11 @@ impl World {
     pub fn new(seed: u64) -> Self {
         Self::with_stream_link(
             seed,
-            LinkConfig::lossy(SimDuration::from_millis(2), SimDuration::from_micros(500), 0.0),
+            LinkConfig::lossy(
+                SimDuration::from_millis(2),
+                SimDuration::from_micros(500),
+                0.0,
+            ),
         )
     }
 
@@ -107,7 +123,8 @@ impl World {
         let dsa = Dsa::new(format!("dsa-{name}"));
         let base: Dn = "o=movies".parse().expect("static DN");
         // The subtree root entry.
-        dsa.add(base.clone(), directory::Attrs::new()).expect("fresh DSA");
+        dsa.add(base.clone(), directory::Attrs::new())
+            .expect("fresh DSA");
         let dua = Dua::new(&dsa);
         let eca = Eca::new(format!("site-{name}"));
         eca.register(EquipmentClass::Camera, "cam-0");
@@ -117,12 +134,14 @@ impl World {
         let mut eua = Eua::new(0);
         eua.add_site(&eca);
         let sps_addr = self.alloc_addr();
-        let sps = StreamProviderSystem::new(&self.dg, sps_addr);
+        let store = BlockStore::new(self.store_config);
+        let sps = StreamProviderSystem::with_store(&self.dg, sps_addr, Arc::clone(&store));
         self.providers.push(Arc::clone(&sps));
         let services = ServerServices {
             dua,
             base,
             sps,
+            store,
             eua,
             eca: Arc::clone(&eca),
             site: format!("site-{name}"),
@@ -195,7 +214,13 @@ impl World {
                 ),
             )
             .expect("before start, or with dynamic clients enabled (ref [2])");
-        ClientHandle { root, addr, socket, conn, ctrl_endpoints }
+        ClientHandle {
+            root,
+            addr,
+            socket,
+            conn,
+            ctrl_endpoints,
+        }
     }
 
     /// Pre-loads a movie into a server's directory (bypassing the

@@ -30,10 +30,8 @@ fn pdu_strategy() -> impl Strategy<Value = McamPdu> {
                 frame_count
             }
         ),
-        (title, any::<u32>()).prop_map(|(title, client_addr)| McamPdu::SelectMovieReq {
-            title,
-            client_addr
-        }),
+        (title, any::<u32>())
+            .prop_map(|(title, client_addr)| McamPdu::SelectMovieReq { title, client_addr }),
         proptest::option::of((any::<u32>(), any::<u32>(), title, 1u32..120, 0u64..100_000))
             .prop_map(|opt| McamPdu::SelectMovieRsp {
                 params: opt.map(|(provider_addr, stream_id, t, frame_rate, frame_count)| {
@@ -57,10 +55,8 @@ fn pdu_strategy() -> impl Strategy<Value = McamPdu> {
             .prop_map(|attrs| McamPdu::QueryAttrsRsp { attrs }),
         (1u32..1000).prop_map(|speed_pct| McamPdu::PlayReq { speed_pct }),
         (0u64..(1 << 62)).prop_map(|frame| McamPdu::SeekReq { frame }),
-        (any::<u32>(), "[ -~]{0,40}").prop_map(|(code, message)| McamPdu::ErrorRsp {
-            code,
-            message
-        }),
+        (any::<u32>(), "[ -~]{0,40}")
+            .prop_map(|(code, message)| McamPdu::ErrorRsp { code, message }),
     ]
 }
 

@@ -14,7 +14,12 @@ fn world_with_client(stack: StackKind) -> (World, mcam::ServerHandle, mcam::Clie
 }
 
 fn associate(world: &World, client: &mcam::ClientHandle) {
-    let rsp = world.client_op(client, McamOp::Associate { user: "tester".into() });
+    let rsp = world.client_op(
+        client,
+        McamOp::Associate {
+            user: "tester".into(),
+        },
+    );
     assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
 }
 
@@ -61,7 +66,12 @@ fn full_access_management_cycle() {
     assert_eq!(rsp, Some(McamPdu::CreateMovieRsp { ok: false }));
 
     // List with substring.
-    let rsp = world.client_op(&client, McamOp::List { contains: "alien".into() });
+    let rsp = world.client_op(
+        &client,
+        McamOp::List {
+            contains: "alien".into(),
+        },
+    );
     match rsp {
         Some(McamPdu::ListMoviesRsp { mut titles }) => {
             titles.sort();
@@ -73,7 +83,10 @@ fn full_access_management_cycle() {
     // Query attributes.
     let rsp = world.client_op(
         &client,
-        McamOp::Query { title: "Alien".into(), attrs: vec!["framerate".into()] },
+        McamOp::Query {
+            title: "Alien".into(),
+            attrs: vec!["framerate".into()],
+        },
     );
     match rsp {
         Some(McamPdu::QueryAttrsRsp { attrs: Some(attrs) }) => {
@@ -93,7 +106,10 @@ fn full_access_management_cycle() {
     assert_eq!(rsp, Some(McamPdu::ModifyAttrsRsp { ok: true }));
     let rsp = world.client_op(
         &client,
-        McamOp::Query { title: "Alien".into(), attrs: vec!["framerate".into()] },
+        McamOp::Query {
+            title: "Alien".into(),
+            attrs: vec!["framerate".into()],
+        },
     );
     match rsp {
         Some(McamPdu::QueryAttrsRsp { attrs: Some(attrs) }) => {
@@ -103,13 +119,29 @@ fn full_access_management_cycle() {
     }
 
     // Query of a missing movie returns None.
-    let rsp = world.client_op(&client, McamOp::Query { title: "Ghost".into(), attrs: vec![] });
+    let rsp = world.client_op(
+        &client,
+        McamOp::Query {
+            title: "Ghost".into(),
+            attrs: vec![],
+        },
+    );
     assert_eq!(rsp, Some(McamPdu::QueryAttrsRsp { attrs: None }));
 
     // Delete and verify.
-    let rsp = world.client_op(&client, McamOp::DeleteMovie { title: "Aliens".into() });
+    let rsp = world.client_op(
+        &client,
+        McamOp::DeleteMovie {
+            title: "Aliens".into(),
+        },
+    );
     assert_eq!(rsp, Some(McamPdu::DeleteMovieRsp { ok: true }));
-    let rsp = world.client_op(&client, McamOp::List { contains: String::new() });
+    let rsp = world.client_op(
+        &client,
+        McamOp::List {
+            contains: String::new(),
+        },
+    );
     match rsp {
         Some(McamPdu::ListMoviesRsp { titles }) => assert_eq!(titles, vec!["Alien".to_string()]),
         other => panic!("{other:?}"),
@@ -131,7 +163,12 @@ fn playback_control_cycle_with_stream() {
     entry.frame_count = 200; // 8 seconds at 25 fps
     world.seed_movie(&server, &entry);
 
-    let rsp = world.client_op(&client, McamOp::SelectMovie { title: "Brazil".into() });
+    let rsp = world.client_op(
+        &client,
+        McamOp::SelectMovie {
+            title: "Brazil".into(),
+        },
+    );
     let params = match rsp {
         Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
         other => panic!("{other:?}"),
@@ -149,7 +186,10 @@ fn playback_control_cycle_with_stream() {
     let first = receiver.poll(world.net.now()).len();
     assert!(first >= 20, "about a second of frames, got {first}");
 
-    assert_eq!(world.client_op(&client, McamOp::Pause), Some(McamPdu::PauseRsp));
+    assert_eq!(
+        world.client_op(&client, McamOp::Pause),
+        Some(McamPdu::PauseRsp)
+    );
     let paused_at = world.net.now();
     world.run_for(SimDuration::from_secs(1));
     let during_pause = receiver
@@ -157,7 +197,10 @@ fn playback_control_cycle_with_stream() {
         .iter()
         .filter(|f| f.seq > first as u32 + 5)
         .count();
-    assert_eq!(during_pause, 0, "no new frames while paused (after {paused_at})");
+    assert_eq!(
+        during_pause, 0,
+        "no new frames while paused (after {paused_at})"
+    );
 
     assert_eq!(
         world.client_op(&client, McamOp::Seek { frame: 180 }),
@@ -175,7 +218,10 @@ fn playback_control_cycle_with_stream() {
     );
     assert!(receiver.ended, "end-of-stream marker after frame 200");
 
-    assert_eq!(world.client_op(&client, McamOp::Deselect), Some(McamPdu::DeselectMovieRsp));
+    assert_eq!(
+        world.client_op(&client, McamOp::Deselect),
+        Some(McamPdu::DeselectMovieRsp)
+    );
     assert_eq!(server.services.sps.stream_count(), 0, "stream closed");
 }
 
@@ -197,7 +243,12 @@ fn control_before_select_is_rejected() {
 fn select_unknown_movie_fails_cleanly() {
     let (world, _s, client) = world_with_client(StackKind::Isode);
     associate(&world, &client);
-    let rsp = world.client_op(&client, McamOp::SelectMovie { title: "Nothing".into() });
+    let rsp = world.client_op(
+        &client,
+        McamOp::SelectMovie {
+            title: "Nothing".into(),
+        },
+    );
     assert_eq!(rsp, Some(McamPdu::SelectMovieRsp { params: None }));
 }
 
@@ -205,10 +256,21 @@ fn select_unknown_movie_fails_cleanly() {
 fn record_reserves_camera_and_creates_entry() {
     let (world, server, client) = world_with_client(StackKind::EstellePS);
     associate(&world, &client);
-    let rsp = world.client_op(&client, McamOp::Record { title: "Lecture".into(), frames: 250 });
+    let rsp = world.client_op(
+        &client,
+        McamOp::Record {
+            title: "Lecture".into(),
+            frames: 250,
+        },
+    );
     assert_eq!(rsp, Some(McamPdu::RecordRsp { ok: true }));
     // The recording is now a listed movie.
-    let rsp = world.client_op(&client, McamOp::List { contains: "lect".into() });
+    let rsp = world.client_op(
+        &client,
+        McamOp::List {
+            contains: "lect".into(),
+        },
+    );
     match rsp {
         Some(McamPdu::ListMoviesRsp { titles }) => assert_eq!(titles, vec!["Lecture".to_string()]),
         other => panic!("{other:?}"),
@@ -217,7 +279,10 @@ fn record_reserves_camera_and_creates_entry() {
     let cams = server
         .services
         .eua
-        .list(&server.services.site, Some(equipment::EquipmentClass::Camera))
+        .list(
+            &server.services.site,
+            Some(equipment::EquipmentClass::Camera),
+        )
         .unwrap();
     assert!(cams.iter().all(|c| c.state == equipment::DeviceState::Free));
 }
@@ -226,7 +291,10 @@ fn record_reserves_camera_and_creates_entry() {
 fn release_cycle_allows_no_further_requests() {
     let (world, _s, client) = world_with_client(StackKind::EstellePS);
     associate(&world, &client);
-    assert_eq!(world.client_op(&client, McamOp::Release), Some(McamPdu::ReleaseRsp));
+    assert_eq!(
+        world.client_op(&client, McamOp::Release),
+        Some(McamPdu::ReleaseRsp)
+    );
     // The association is gone: further requests fail locally.
     match world.client_op(&client, McamOp::Pause) {
         Some(McamPdu::ErrorRsp { code, .. }) => assert_eq!(code, 901),
@@ -255,17 +323,32 @@ fn two_clients_share_one_server_machine() {
         },
     );
     assert_eq!(rsp, Some(McamPdu::CreateMovieRsp { ok: true }));
-    let rsp = world.client_op(&c2, McamOp::List { contains: String::new() });
+    let rsp = world.client_op(
+        &c2,
+        McamOp::List {
+            contains: String::new(),
+        },
+    );
     match rsp {
         Some(McamPdu::ListMoviesRsp { titles }) => assert_eq!(titles, vec!["Shared".to_string()]),
         other => panic!("{other:?}"),
     }
     // Both can stream simultaneously.
-    let p1 = match world.client_op(&c1, McamOp::SelectMovie { title: "Shared".into() }) {
+    let p1 = match world.client_op(
+        &c1,
+        McamOp::SelectMovie {
+            title: "Shared".into(),
+        },
+    ) {
         Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
         other => panic!("{other:?}"),
     };
-    let p2 = match world.client_op(&c2, McamOp::SelectMovie { title: "Shared".into() }) {
+    let p2 = match world.client_op(
+        &c2,
+        McamOp::SelectMovie {
+            title: "Shared".into(),
+        },
+    ) {
         Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
         other => panic!("{other:?}"),
     };
@@ -313,14 +396,18 @@ fn scripted_application_plays_through() {
     let mut world = World::new(55);
     let server = world.add_server("s1", StackKind::EstellePS);
     let script = vec![
-        McamOp::Associate { user: "script".into() },
+        McamOp::Associate {
+            user: "script".into(),
+        },
         McamOp::CreateMovie {
             title: "Scripted".into(),
             format: "XMovie-24".into(),
             frame_rate: 25,
             frame_count: 25,
         },
-        McamOp::SelectMovie { title: "Scripted".into() },
+        McamOp::SelectMovie {
+            title: "Scripted".into(),
+        },
         McamOp::Play { speed_pct: 100 },
     ];
     let client = world.add_client(&server, StackKind::EstellePS, script);
@@ -330,7 +417,10 @@ fn scripted_application_plays_through() {
     assert_eq!(replies.len(), 4, "all scripted ops confirmed: {replies:?}");
     assert_eq!(replies[0], McamPdu::AssociateRsp { accepted: true });
     assert_eq!(replies[1], McamPdu::CreateMovieRsp { ok: true });
-    assert!(matches!(replies[2], McamPdu::SelectMovieRsp { params: Some(_) }));
+    assert!(matches!(
+        replies[2],
+        McamPdu::SelectMovieRsp { params: Some(_) }
+    ));
     assert_eq!(replies[3], McamPdu::PlayRsp { ok: true });
 }
 
@@ -341,7 +431,11 @@ fn lossy_stream_network_does_not_disturb_control() {
     // control correctness.
     let mut world = World::with_stream_link(
         77,
-        LinkConfig::lossy(SimDuration::from_millis(3), SimDuration::from_millis(1), 0.3),
+        LinkConfig::lossy(
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(1),
+            0.3,
+        ),
     );
     let server = world.add_server("s1", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
@@ -350,7 +444,12 @@ fn lossy_stream_network_does_not_disturb_control() {
     let mut entry = MovieEntry::new("Lossy", "node-x");
     entry.frame_count = 100;
     world.seed_movie(&server, &entry);
-    let params = match world.client_op(&client, McamOp::SelectMovie { title: "Lossy".into() }) {
+    let params = match world.client_op(
+        &client,
+        McamOp::SelectMovie {
+            title: "Lossy".into(),
+        },
+    ) {
         Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
         other => panic!("{other:?}"),
     };
@@ -365,5 +464,8 @@ fn lossy_stream_network_does_not_disturb_control() {
     assert!(receiver.stats.lost > 5, "lost={}", receiver.stats.lost);
     assert!(played.len() < 100);
     assert!(played.len() > 40);
-    assert_eq!(world.client_op(&client, McamOp::Stop), Some(McamPdu::StopRsp));
+    assert_eq!(
+        world.client_op(&client, McamOp::Stop),
+        Some(McamPdu::StopRsp)
+    );
 }

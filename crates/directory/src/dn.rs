@@ -15,7 +15,10 @@ pub struct Rdn {
 impl Rdn {
     /// Creates an RDN, normalizing the attribute type to lowercase.
     pub fn new(attr: impl Into<String>, value: impl Into<String>) -> Self {
-        Rdn { attr: attr.into().to_lowercase(), value: value.into() }
+        Rdn {
+            attr: attr.into().to_lowercase(),
+            value: value.into(),
+        }
     }
 }
 
@@ -96,11 +99,13 @@ impl FromStr for Dn {
             if part.is_empty() {
                 continue;
             }
-            let (attr, value) = part
-                .split_once('=')
-                .ok_or_else(|| ParseDnError { component: part.to_string() })?;
+            let (attr, value) = part.split_once('=').ok_or_else(|| ParseDnError {
+                component: part.to_string(),
+            })?;
             if attr.trim().is_empty() || value.trim().is_empty() {
-                return Err(ParseDnError { component: part.to_string() });
+                return Err(ParseDnError {
+                    component: part.to_string(),
+                });
             }
             rdns.push(Rdn::new(attr.trim(), value.trim()));
         }

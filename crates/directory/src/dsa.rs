@@ -107,7 +107,10 @@ impl Dsa {
     fn check_referral(&self, dn: &Dn) -> Result<(), DirError> {
         for (prefix, dsa) in self.referrals.read().iter() {
             if dn.starts_with(prefix) {
-                return Err(DirError::Referral { dsa: dsa.clone(), name: dn.clone() });
+                return Err(DirError::Referral {
+                    dsa: dsa.clone(),
+                    name: dn.clone(),
+                });
             }
         }
         Ok(())
@@ -141,7 +144,10 @@ impl Dsa {
     pub fn remove(&self, dn: &Dn) -> Result<Attrs, DirError> {
         self.bump();
         self.check_referral(dn)?;
-        self.entries.write().remove(dn).ok_or_else(|| DirError::NoSuchEntry(dn.clone()))
+        self.entries
+            .write()
+            .remove(dn)
+            .ok_or_else(|| DirError::NoSuchEntry(dn.clone()))
     }
 
     /// Reads an entry's attributes.
@@ -152,7 +158,11 @@ impl Dsa {
     pub fn read(&self, dn: &Dn) -> Result<Attrs, DirError> {
         self.bump();
         self.check_referral(dn)?;
-        self.entries.read().get(dn).cloned().ok_or_else(|| DirError::NoSuchEntry(dn.clone()))
+        self.entries
+            .read()
+            .get(dn)
+            .cloned()
+            .ok_or_else(|| DirError::NoSuchEntry(dn.clone()))
     }
 
     /// Applies modifications to an entry.
@@ -164,7 +174,9 @@ impl Dsa {
         self.bump();
         self.check_referral(dn)?;
         let mut entries = self.entries.write();
-        let attrs = entries.get_mut(dn).ok_or_else(|| DirError::NoSuchEntry(dn.clone()))?;
+        let attrs = entries
+            .get_mut(dn)
+            .ok_or_else(|| DirError::NoSuchEntry(dn.clone()))?;
         // Validate deletes first so the modify is atomic.
         for op in ops {
             if let ModOp::Delete(a) = op {
@@ -238,7 +250,10 @@ impl Dua {
     pub fn new(home: &Arc<Dsa>) -> Self {
         let mut dsas = HashMap::new();
         dsas.insert(home.name().to_string(), Arc::clone(home));
-        Dua { dsas, home: home.name().to_string() }
+        Dua {
+            dsas,
+            home: home.name().to_string(),
+        }
     }
 
     /// Makes another DSA reachable for referral chasing.
@@ -246,10 +261,7 @@ impl Dua {
         self.dsas.insert(dsa.name().to_string(), Arc::clone(dsa));
     }
 
-    fn run<T>(
-        &self,
-        mut op: impl FnMut(&Dsa) -> Result<T, DirError>,
-    ) -> Result<T, DirError> {
+    fn run<T>(&self, mut op: impl FnMut(&Dsa) -> Result<T, DirError>) -> Result<T, DirError> {
         let mut current = self.home.clone();
         for _ in 0..=MAX_REFERRAL_HOPS {
             let dsa = self
@@ -330,10 +342,17 @@ mod tests {
         let name = dn("o=movies/cn=Alien");
         let entry = MovieEntry::new("Alien", "node-2");
         dsa.add(name.clone(), entry.to_attrs()).unwrap();
-        assert_eq!(dsa.add(name.clone(), entry.to_attrs()), Err(DirError::EntryExists(name.clone())));
+        assert_eq!(
+            dsa.add(name.clone(), entry.to_attrs()),
+            Err(DirError::EntryExists(name.clone()))
+        );
         let got = MovieEntry::from_attrs(&dsa.read(&name).unwrap()).unwrap();
         assert_eq!(got, entry);
-        dsa.modify(&name, &[ModOp::Put(attr::FRAME_RATE.into(), Value::Int(30))]).unwrap();
+        dsa.modify(
+            &name,
+            &[ModOp::Put(attr::FRAME_RATE.into(), Value::Int(30))],
+        )
+        .unwrap();
         let got = dsa.read(&name).unwrap();
         assert_eq!(got.get(attr::FRAME_RATE).unwrap().as_int(), Some(30));
         dsa.remove(&name).unwrap();
@@ -344,7 +363,8 @@ mod tests {
     fn modify_is_atomic_on_bad_delete() {
         let dsa = Dsa::new("main");
         let name = dn("cn=X");
-        dsa.add(name.clone(), MovieEntry::new("X", "node-1").to_attrs()).unwrap();
+        dsa.add(name.clone(), MovieEntry::new("X", "node-1").to_attrs())
+            .unwrap();
         let err = dsa
             .modify(
                 &name,
@@ -357,7 +377,11 @@ mod tests {
         assert_eq!(err, DirError::NoSuchAttribute("missing".into()));
         // The Put before the failing Delete must not have applied.
         assert_eq!(
-            dsa.read(&name).unwrap().get(attr::FRAME_RATE).unwrap().as_int(),
+            dsa.read(&name)
+                .unwrap()
+                .get(attr::FRAME_RATE)
+                .unwrap()
+                .as_int(),
             Some(25)
         );
     }
@@ -370,18 +394,31 @@ mod tests {
         for (t, rate) in [("Alien", 24), ("Aliens", 30), ("Brazil", 25)] {
             let mut e = MovieEntry::new(t, "node-1");
             e.frame_rate = rate;
-            dsa.add(base.child(crate::dn::Rdn::new("cn", t)), e.to_attrs()).unwrap();
+            dsa.add(base.child(crate::dn::Rdn::new("cn", t)), e.to_attrs())
+                .unwrap();
         }
         let all = dsa
-            .search(&base, Scope::Subtree, &Filter::eq_str(attr::OBJECT_CLASS, "movie"))
+            .search(
+                &base,
+                Scope::Subtree,
+                &Filter::eq_str(attr::OBJECT_CLASS, "movie"),
+            )
             .unwrap();
         assert_eq!(all.len(), 3);
         let aliens = dsa
-            .search(&base, Scope::Subtree, &Filter::Contains(attr::TITLE.into(), "alien".into()))
+            .search(
+                &base,
+                Scope::Subtree,
+                &Filter::Contains(attr::TITLE.into(), "alien".into()),
+            )
             .unwrap();
         assert_eq!(aliens.len(), 2);
         let fast = dsa
-            .search(&base, Scope::Subtree, &Filter::Ge(attr::FRAME_RATE.into(), 25))
+            .search(
+                &base,
+                Scope::Subtree,
+                &Filter::Ge(attr::FRAME_RATE.into(), 25),
+            )
             .unwrap();
         assert_eq!(fast.len(), 2);
         let base_only = dsa.search(&base, Scope::Base, &Filter::True).unwrap();
@@ -394,7 +431,12 @@ mod tests {
         let remote = Dsa::new("remote");
         main.add_referral(dn("o=remote-movies"), "remote");
         let name = dn("o=remote-movies/cn=Metropolis");
-        remote.add(name.clone(), MovieEntry::new("Metropolis", "node-9").to_attrs()).unwrap();
+        remote
+            .add(
+                name.clone(),
+                MovieEntry::new("Metropolis", "node-9").to_attrs(),
+            )
+            .unwrap();
 
         // Raw DSA access reports the referral.
         assert!(matches!(main.read(&name), Err(DirError::Referral { .. })));

@@ -45,9 +45,7 @@ impl Filter {
             Filter::True => true,
             Filter::Present(a) => attrs.contains_key(&a.to_lowercase()),
             Filter::Eq(a, v) => match (attrs.get(&a.to_lowercase()), v) {
-                (Some(Value::Str(have)), Value::Str(want)) => {
-                    have.eq_ignore_ascii_case(want)
-                }
+                (Some(Value::Str(have)), Value::Str(want)) => have.eq_ignore_ascii_case(want),
                 (Some(have), want) => have == want,
                 (None, _) => false,
             },
@@ -87,7 +85,10 @@ mod tests {
         assert!(Filter::True.matches(&a));
         assert!(Filter::Present(attr::TITLE.into()).matches(&a));
         assert!(!Filter::Present("nonexistent".into()).matches(&a));
-        assert!(Filter::eq_str(attr::TITLE, "star wars").matches(&a), "case-insensitive");
+        assert!(
+            Filter::eq_str(attr::TITLE, "star wars").matches(&a),
+            "case-insensitive"
+        );
         assert!(!Filter::eq_str(attr::TITLE, "Alien").matches(&a));
         assert!(Filter::eq_int(attr::FRAME_RATE, 25).matches(&a));
         assert!(Filter::Contains(attr::TITLE.into(), "war".into()).matches(&a));

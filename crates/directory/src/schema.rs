@@ -88,11 +88,17 @@ impl MovieEntry {
         m.insert(attr::OBJECT_CLASS.into(), Value::Str("movie".into()));
         m.insert(attr::TITLE.into(), Value::Str(self.title.clone()));
         m.insert(attr::FORMAT.into(), Value::Str(self.format.clone()));
-        m.insert(attr::FRAME_RATE.into(), Value::Int(i64::from(self.frame_rate)));
+        m.insert(
+            attr::FRAME_RATE.into(),
+            Value::Int(i64::from(self.frame_rate)),
+        );
         m.insert(attr::WIDTH.into(), Value::Int(i64::from(self.width)));
         m.insert(attr::HEIGHT.into(), Value::Int(i64::from(self.height)));
         m.insert(attr::LOCATION.into(), Value::Str(self.location.clone()));
-        m.insert(attr::FRAME_COUNT.into(), Value::Int(self.frame_count as i64));
+        m.insert(
+            attr::FRAME_COUNT.into(),
+            Value::Int(self.frame_count as i64),
+        );
         m
     }
 

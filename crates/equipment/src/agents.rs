@@ -17,7 +17,10 @@ pub struct Eua {
 impl Eua {
     /// Creates an EUA acting for client `id`.
     pub fn new(id: u32) -> Self {
-        Eua { client: ClientId(id), sites: BTreeMap::new() }
+        Eua {
+            client: ClientId(id),
+            sites: BTreeMap::new(),
+        }
     }
 
     /// The client this agent acts for.
@@ -36,7 +39,9 @@ impl Eua {
     }
 
     fn site(&self, name: &str) -> Result<&Arc<Eca>, EcsError> {
-        self.sites.get(name).ok_or_else(|| EcsError::UnknownSite(name.into()))
+        self.sites
+            .get(name)
+            .ok_or_else(|| EcsError::UnknownSite(name.into()))
     }
 
     /// Lists equipment at a site.
@@ -185,12 +190,19 @@ mod tests {
         assert_eq!(eua.sites(), vec!["lecture-hall", "studio"]);
         eua.reserve("studio", cam).unwrap();
         eua.reserve("lecture-hall", spk).unwrap();
-        eua.set_param("lecture-hall", spk, params::VOLUME, 80).unwrap();
-        assert_eq!(eua.reserve("garage", cam), Err(EcsError::UnknownSite("garage".into())));
+        eua.set_param("lecture-hall", spk, params::VOLUME, 80)
+            .unwrap();
+        assert_eq!(
+            eua.reserve("garage", cam),
+            Err(EcsError::UnknownSite("garage".into()))
+        );
         // A second EUA (different client) is locked out.
         let mut other = Eua::new(8);
         other.add_site(&studio);
-        assert_eq!(other.reserve("studio", cam), Err(EcsError::AlreadyReserved(cam)));
+        assert_eq!(
+            other.reserve("studio", cam),
+            Err(EcsError::AlreadyReserved(cam))
+        );
     }
 
     #[test]
@@ -223,8 +235,11 @@ mod tests {
         eua.add_site(&site);
         let deadline = SimTime::ZERO + SimDuration::from_millis(10);
         eua.reserve_until("studio", cam, deadline).unwrap();
-        eua.renew("studio", cam, deadline + SimDuration::from_millis(50)).unwrap();
-        assert!(site.expire_leases(deadline + SimDuration::from_millis(20)).is_empty());
+        eua.renew("studio", cam, deadline + SimDuration::from_millis(50))
+            .unwrap();
+        assert!(site
+            .expire_leases(deadline + SimDuration::from_millis(20))
+            .is_empty());
         site.expire_leases(deadline + SimDuration::from_millis(51));
         assert_eq!(site.state(cam), Some(crate::DeviceState::Free));
     }

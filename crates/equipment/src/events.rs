@@ -59,7 +59,11 @@ pub struct EventLog {
 impl EventLog {
     /// Creates a log keeping at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        EventLog { entries: VecDeque::with_capacity(capacity.min(1024)), capacity, dropped: 0 }
+        EventLog {
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Appends an event, evicting the oldest entry when full.

@@ -36,10 +36,30 @@ impl ParamSpec {
     }
 }
 
-const VOLUME_SPEC: ParamSpec = ParamSpec { name: VOLUME, min: 0, max: 100, default: 50 };
-const GAIN_SPEC: ParamSpec = ParamSpec { name: GAIN, min: 0, max: 100, default: 50 };
-const FRAME_RATE_SPEC: ParamSpec = ParamSpec { name: FRAME_RATE, min: 1, max: 120, default: 25 };
-const BRIGHTNESS_SPEC: ParamSpec = ParamSpec { name: BRIGHTNESS, min: 0, max: 100, default: 50 };
+const VOLUME_SPEC: ParamSpec = ParamSpec {
+    name: VOLUME,
+    min: 0,
+    max: 100,
+    default: 50,
+};
+const GAIN_SPEC: ParamSpec = ParamSpec {
+    name: GAIN,
+    min: 0,
+    max: 100,
+    default: 50,
+};
+const FRAME_RATE_SPEC: ParamSpec = ParamSpec {
+    name: FRAME_RATE,
+    min: 1,
+    max: 120,
+    default: 25,
+};
+const BRIGHTNESS_SPEC: ParamSpec = ParamSpec {
+    name: BRIGHTNESS,
+    min: 0,
+    max: 100,
+    default: 50,
+};
 
 /// The parameters supported by a device class, with ranges and
 /// defaults.
@@ -79,7 +99,11 @@ mod tests {
             assert!(!list.is_empty(), "{class} has no parameters");
             for s in list {
                 assert!(s.min <= s.max);
-                assert!(s.accepts(s.default), "{class}/{} default out of range", s.name);
+                assert!(
+                    s.accepts(s.default),
+                    "{class}/{} default out of range",
+                    s.name
+                );
             }
         }
     }

@@ -187,7 +187,9 @@ impl Eca {
         let mut next = self.next_id.write();
         let id = EquipmentId(*next);
         *next += 1;
-        self.devices.write().insert(id, Device::new(class, name.into()));
+        self.devices
+            .write()
+            .insert(id, Device::new(class, name.into()));
         self.record(EcsEvent::Registered(id));
         id
     }
@@ -368,7 +370,9 @@ impl Eca {
     /// the client was waiting.
     pub fn cancel_wait(&self, id: EquipmentId, client: ClientId) -> bool {
         let mut devs = self.devices.write();
-        let Some(d) = devs.get_mut(&id) else { return false };
+        let Some(d) = devs.get_mut(&id) else {
+            return false;
+        };
         let before = d.waiters.len();
         d.waiters.retain(|&c| c != client);
         d.waiters.len() != before
@@ -466,21 +470,33 @@ impl Eca {
             DeviceState::Free => return Err(EcsError::NotReserved(id)),
             _ => return Err(EcsError::NotOwner(id)),
         }
-        let spec = params::spec(d.class, name)
-            .ok_or_else(|| EcsError::InvalidParameter { name: name.into(), value })?;
+        let spec = params::spec(d.class, name).ok_or_else(|| EcsError::InvalidParameter {
+            name: name.into(),
+            value,
+        })?;
         if !spec.accepts(value) {
-            return Err(EcsError::InvalidParameter { name: name.into(), value });
+            return Err(EcsError::InvalidParameter {
+                name: name.into(),
+                value,
+            });
         }
         d.params.insert(name.to_string(), value);
         drop(devs);
-        self.record(EcsEvent::ParamSet { id, name: name.to_string(), value });
+        self.record(EcsEvent::ParamSet {
+            id,
+            name: name.to_string(),
+            value,
+        });
         Ok(())
     }
 
     /// Reads a device parameter (class defaults are pre-populated at
     /// registration).
     pub fn get_param(&self, id: EquipmentId, name: &str) -> Option<i64> {
-        self.devices.read().get(&id).and_then(|d| d.params.get(name).copied())
+        self.devices
+            .read()
+            .get(&id)
+            .and_then(|d| d.params.get(name).copied())
     }
 
     /// Reads a device's state.
@@ -522,7 +538,10 @@ mod tests {
         let eca = Eca::new("lab");
         let spk = eca.register(EquipmentClass::Speaker, "spk");
         let c = ClientId(1);
-        assert_eq!(eca.set_param(spk, c, params::VOLUME, 50), Err(EcsError::NotReserved(spk)));
+        assert_eq!(
+            eca.set_param(spk, c, params::VOLUME, 50),
+            Err(EcsError::NotReserved(spk))
+        );
         eca.reserve(spk, c).unwrap();
         eca.set_param(spk, c, params::VOLUME, 80).unwrap();
         assert_eq!(eca.get_param(spk, params::VOLUME), Some(80));
@@ -593,7 +612,10 @@ mod tests {
         eca.renew(cam, alice, t(500)).unwrap();
         assert!(eca.expire_leases(t(200)).is_empty());
         assert_eq!(eca.state(cam), Some(DeviceState::Reserved(alice)));
-        assert_eq!(eca.renew(cam, ClientId(2), t(900)), Err(EcsError::NotOwner(cam)));
+        assert_eq!(
+            eca.renew(cam, ClientId(2), t(900)),
+            Err(EcsError::NotOwner(cam))
+        );
     }
 
     #[test]
@@ -670,7 +692,11 @@ mod tests {
                 EcsEvent::Registered(cam),
                 EcsEvent::Reserved(cam, a),
                 EcsEvent::Activated(cam, a),
-                EcsEvent::ParamSet { id: cam, name: params::GAIN.into(), value: 70 },
+                EcsEvent::ParamSet {
+                    id: cam,
+                    name: params::GAIN.into(),
+                    value: 70
+                },
                 EcsEvent::Deactivated(cam, a),
                 EcsEvent::Released(cam, a),
             ]

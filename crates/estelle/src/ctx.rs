@@ -18,7 +18,10 @@ use std::sync::atomic::{AtomicU32, Ordering};
 #[derive(Debug)]
 pub(crate) enum Effect {
     /// Send `msg` out of the firing module's interaction point.
-    Output { from_ip: IpIndex, msg: Box<dyn Interaction> },
+    Output {
+        from_ip: IpIndex,
+        msg: Box<dyn Interaction>,
+    },
     /// Create a child module of the firing module.
     Create(CreateEffect),
     /// Connect two interaction points with a channel.
@@ -70,7 +73,15 @@ impl<'a> Ctx<'a> {
         effects: &'a mut Vec<Effect>,
         id_alloc: &'a AtomicU32,
     ) -> Self {
-        Ctx { now, self_id, self_kind, firing_seq, effects, next_state: None, id_alloc }
+        Ctx {
+            now,
+            self_id,
+            self_kind,
+            firing_seq,
+            effects,
+            next_state: None,
+            id_alloc,
+        }
     }
 
     /// A free-standing context for unit-testing machine actions; child
@@ -103,7 +114,10 @@ impl<'a> Ctx<'a> {
     /// returns; outputs on unconnected points are counted as lost by
     /// the runtime.
     pub fn output(&mut self, ip: IpIndex, msg: impl Interaction) {
-        self.effects.push(Effect::Output { from_ip: ip, msg: Box::new(msg) });
+        self.effects.push(Effect::Output {
+            from_ip: ip,
+            msg: Box::new(msg),
+        });
     }
 
     /// Outputs an already-boxed interaction (for forwarding).
@@ -191,7 +205,10 @@ impl<'a> Ctx<'a> {
     /// Convenience: an [`IpRef`] to one of the firing module's own
     /// interaction points.
     pub fn self_ip(&self, ip: IpIndex) -> IpRef {
-        IpRef { module: self.self_id, ip }
+        IpRef {
+            module: self.self_id,
+            ip,
+        }
     }
 
     /// Releases a child module and its whole subtree (Estelle

@@ -40,7 +40,10 @@ impl fmt::Display for DeployError {
         match self {
             DeployError::UnknownModule(id) => write!(f, "unknown module {id}"),
             DeployError::NotASystemModule(id) => {
-                write!(f, "module {id} is not a system module; place its system ancestor")
+                write!(
+                    f,
+                    "module {id} is not a system module; place its system ancestor"
+                )
             }
             DeployError::Unplaced(name) => {
                 write!(f, "system module {name:?} has no location comment")
@@ -91,14 +94,22 @@ impl DeploymentPlan {
             if !meta.alive {
                 return Err(DeployError::UnknownModule(id));
             }
-            if !matches!(meta.kind, ModuleKind::SystemProcess | ModuleKind::SystemActivity) {
+            if !matches!(
+                meta.kind,
+                ModuleKind::SystemProcess | ModuleKind::SystemActivity
+            ) {
                 return Err(DeployError::NotASystemModule(id));
             }
         }
         let mut machines: BTreeMap<String, MachineAssignment> = BTreeMap::new();
         for id in rt.alive_modules() {
-            let Some(meta) = rt.module_meta(id) else { continue };
-            if !matches!(meta.kind, ModuleKind::SystemProcess | ModuleKind::SystemActivity) {
+            let Some(meta) = rt.module_meta(id) else {
+                continue;
+            };
+            if !matches!(
+                meta.kind,
+                ModuleKind::SystemProcess | ModuleKind::SystemActivity
+            ) {
                 continue;
             }
             let machine = self
@@ -220,13 +231,31 @@ mod tests {
     fn world() -> (Runtime, ModuleId, ModuleId, ModuleId) {
         let (rt, _c) = Runtime::sim();
         let server = rt
-            .add_module(None, "server", ModuleKind::SystemProcess, ModuleLabels::default(), Server)
+            .add_module(
+                None,
+                "server",
+                ModuleKind::SystemProcess,
+                ModuleLabels::default(),
+                Server,
+            )
             .unwrap();
         let c1 = rt
-            .add_module(None, "client-1", ModuleKind::SystemProcess, ModuleLabels::conn(1), Noop)
+            .add_module(
+                None,
+                "client-1",
+                ModuleKind::SystemProcess,
+                ModuleLabels::conn(1),
+                Noop,
+            )
             .unwrap();
         let c2 = rt
-            .add_module(None, "client-2", ModuleKind::SystemProcess, ModuleLabels::conn(2), Noop)
+            .add_module(
+                None,
+                "client-2",
+                ModuleKind::SystemProcess,
+                ModuleLabels::conn(2),
+                Noop,
+            )
             .unwrap();
         (rt, server, c1, c2)
     }
@@ -262,22 +291,36 @@ mod tests {
     #[test]
     fn unplaced_system_module_rejected() {
         let (rt, server, c1, _c2) = world();
-        let plan = DeploymentPlan::new().place(server, "ksr1").place(c1, "sun-ws");
-        assert_eq!(plan.resolve(&rt).unwrap_err(), DeployError::Unplaced("client-2".into()));
+        let plan = DeploymentPlan::new()
+            .place(server, "ksr1")
+            .place(c1, "sun-ws");
+        assert_eq!(
+            plan.resolve(&rt).unwrap_err(),
+            DeployError::Unplaced("client-2".into())
+        );
     }
 
     #[test]
     fn placing_a_child_module_rejected() {
         let (rt, server, c1, c2) = world();
         let child = rt
-            .add_module(Some(server), "entity", ModuleKind::Process, ModuleLabels::default(), Noop)
+            .add_module(
+                Some(server),
+                "entity",
+                ModuleKind::Process,
+                ModuleLabels::default(),
+                Noop,
+            )
             .unwrap();
         let plan = DeploymentPlan::new()
             .place(server, "ksr1")
             .place(c1, "a")
             .place(c2, "b")
             .place(child, "elsewhere");
-        assert_eq!(plan.resolve(&rt).unwrap_err(), DeployError::NotASystemModule(child));
+        assert_eq!(
+            plan.resolve(&rt).unwrap_err(),
+            DeployError::NotASystemModule(child)
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! module `delay` deadline), and repeat — a classic two-domain DES
 //! co-simulation.
 
-use crate::sched::{run_sequential, RunReport, SeqOptions, StopReason};
 use crate::runtime::Runtime;
+use crate::sched::{run_sequential, RunReport, SeqOptions, StopReason};
 use netsim::{Network, SimTime};
 use std::time::{Duration, Instant};
 

@@ -40,7 +40,10 @@ impl fmt::Display for EstelleError {
                 write!(f, "interaction point already connected: {ip}")
             }
             EstelleError::SystemPopulationFrozen(k) => {
-                write!(f, "cannot create {k} module at runtime: system population is static")
+                write!(
+                    f,
+                    "cannot create {k} module at runtime: system population is static"
+                )
             }
             EstelleError::NotParent { actor, target } => {
                 write!(f, "module {actor} is not the parent of {target}")
@@ -66,7 +69,10 @@ mod tests {
     fn display_is_informative() {
         let e = EstelleError::StructuralRule("activity may contain only activities".into());
         assert!(e.to_string().contains("activity"));
-        let e = EstelleError::AlreadyConnected(IpRef { module: ModuleId(1), ip: IpIndex(0) });
+        let e = EstelleError::AlreadyConnected(IpRef {
+            module: ModuleId(1),
+            ip: IpIndex(0),
+        });
         assert!(e.to_string().contains("m1.ip0"));
         let e = EstelleError::SystemPopulationFrozen(ModuleKind::SystemProcess);
         assert!(e.to_string().contains("static"));

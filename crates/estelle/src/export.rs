@@ -20,7 +20,9 @@ fn indent(out: &mut String, level: usize) {
 }
 
 fn render_module(rt: &Runtime, id: ModuleId, level: usize, out: &mut String) {
-    let Some(meta) = rt.module_meta(id) else { return };
+    let Some(meta) = rt.module_meta(id) else {
+        return;
+    };
     if !meta.alive {
         return;
     }
@@ -29,7 +31,12 @@ fn render_module(rt: &Runtime, id: ModuleId, level: usize, out: &mut String) {
         ModuleKind::Inactive => String::new(),
         k => format!(" {k}"),
     };
-    let _ = writeln!(out, "module {}{attr}; (* {} *)", meta.name, rt.module_type(id).unwrap_or("?"));
+    let _ = writeln!(
+        out,
+        "module {}{attr}; (* {} *)",
+        meta.name,
+        rt.module_type(id).unwrap_or("?")
+    );
     // Interaction points and their channels.
     let peers = rt.ip_peers(id);
     if !peers.is_empty() {
@@ -125,9 +132,14 @@ mod tests {
         }
         fn transitions() -> Vec<Transition<Self>> {
             vec![
-                Transition::on("connect", StateId(0), IpIndex(0), |_m: &mut Self, _c, _i| {})
-                    .to(StateId(1))
-                    .priority(1),
+                Transition::on(
+                    "connect",
+                    StateId(0),
+                    IpIndex(0),
+                    |_m: &mut Self, _c, _i| {},
+                )
+                .to(StateId(1))
+                .priority(1),
                 Transition::spontaneous("timeout", StateId(1), |_m: &mut Self, _c, _i| {})
                     .delay(SimDuration::from_millis(5))
                     .to(StateId(0)),
@@ -141,10 +153,22 @@ mod tests {
     fn exports_modules_channels_and_clauses() {
         let (rt, _c) = crate::runtime::Runtime::sim();
         let a = rt
-            .add_module(None, "alpha", ModuleKind::SystemProcess, ModuleLabels::default(), Proto)
+            .add_module(
+                None,
+                "alpha",
+                ModuleKind::SystemProcess,
+                ModuleLabels::default(),
+                Proto,
+            )
             .unwrap();
         let b = rt
-            .add_module(None, "beta", ModuleKind::SystemProcess, ModuleLabels::default(), Proto)
+            .add_module(
+                None,
+                "beta",
+                ModuleKind::SystemProcess,
+                ModuleLabels::default(),
+                Proto,
+            )
             .unwrap();
         rt.connect(ip(a, IpIndex(0)), ip(b, IpIndex(0))).unwrap();
         rt.start().unwrap();
@@ -153,7 +177,10 @@ mod tests {
         assert!(text.contains("module alpha systemprocess;"), "{text}");
         assert!(text.contains("ip0 : channel to beta.ip0;"), "{text}");
         assert!(text.contains("ip1 : (* unconnected *);"), "{text}");
-        assert!(text.contains("from s0 to s1 when ip0 priority 1 (* connect *);"), "{text}");
+        assert!(
+            text.contains("from s0 to s1 when ip0 priority 1 (* connect *);"),
+            "{text}"
+        );
         assert!(text.contains("delay(5.000ms)"), "{text}");
         assert!(text.contains("provided <guard>"), "{text}");
         assert!(text.trim_end().ends_with("end. (* demo *)"), "{text}");
@@ -162,8 +189,14 @@ mod tests {
     #[test]
     fn released_modules_disappear_from_export() {
         let (rt, _c) = crate::runtime::Runtime::sim();
-        rt.add_module(None, "root", ModuleKind::SystemProcess, ModuleLabels::default(), Proto)
-            .unwrap();
+        rt.add_module(
+            None,
+            "root",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Proto,
+        )
+        .unwrap();
         rt.start().unwrap();
         let text = export_spec(&rt, "x");
         assert!(text.contains("module root"));

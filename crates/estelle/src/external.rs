@@ -43,7 +43,11 @@ pub struct MediumModule {
 impl MediumModule {
     /// Wraps `medium`.
     pub fn new(medium: Box<dyn Medium>) -> Self {
-        MediumModule { medium, bytes_out: 0, bytes_in: 0 }
+        MediumModule {
+            medium,
+            bytes_out: 0,
+            bytes_in: 0,
+        }
     }
 }
 
@@ -103,10 +107,15 @@ mod tests {
             ctx.output(IpIndex(0), WireData(b"hello".to_vec()));
         }
         fn transitions() -> Vec<Transition<Self>> {
-            vec![Transition::on("recv", RUN, IpIndex(0), |m: &mut Self, _ctx, msg| {
-                let d = crate::interaction::downcast::<WireData>(msg.unwrap()).unwrap();
-                m.got.push(d.0);
-            })]
+            vec![Transition::on(
+                "recv",
+                RUN,
+                IpIndex(0),
+                |m: &mut Self, _ctx, msg| {
+                    let d = crate::interaction::downcast::<WireData>(msg.unwrap()).unwrap();
+                    m.got.push(d.0);
+                },
+            )]
         }
     }
 
@@ -115,7 +124,13 @@ mod tests {
         let (ma, mb) = LoopbackMedium::pair();
         let (rt, _c) = Runtime::sim();
         let user = rt
-            .add_module(None, "user", ModuleKind::SystemProcess, ModuleLabels::default(), EchoUser::default())
+            .add_module(
+                None,
+                "user",
+                ModuleKind::SystemProcess,
+                ModuleLabels::default(),
+                EchoUser::default(),
+            )
             .unwrap();
         let sys = rt
             .add_module(
@@ -126,8 +141,11 @@ mod tests {
                 MediumModule::new(Box::new(ma)),
             )
             .unwrap();
-        rt.connect(crate::ctx::ip(user, IpIndex(0)), crate::ctx::ip(sys, MEDIUM_IP))
-            .unwrap();
+        rt.connect(
+            crate::ctx::ip(user, IpIndex(0)),
+            crate::ctx::ip(sys, MEDIUM_IP),
+        )
+        .unwrap();
         rt.start().unwrap();
         run_sequential(&rt, &SeqOptions::default());
         // The user's init message crossed onto the medium.
@@ -135,8 +153,14 @@ mod tests {
         // Push something back and run again.
         mb.send(b"world".to_vec());
         run_sequential(&rt, &SeqOptions::default());
-        let got = rt.with_machine::<EchoUser, _>(user, |u| u.got.clone()).unwrap();
+        let got = rt
+            .with_machine::<EchoUser, _>(user, |u| u.got.clone())
+            .unwrap();
         assert_eq!(got, vec![b"world".to_vec()]);
-        assert!(rt.with_machine::<MediumModule, _>(sys, |m| m.bytes_out).unwrap() == 5);
+        assert!(
+            rt.with_machine::<MediumModule, _>(sys, |m| m.bytes_out)
+                .unwrap()
+                == 5
+        );
     }
 }

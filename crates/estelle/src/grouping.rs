@@ -61,9 +61,7 @@ impl GroupingPolicy {
     pub fn assign(&self, id: ModuleId, labels: ModuleLabels) -> UnitId {
         match *self {
             GroupingPolicy::PerModule => UnitId(id.index() as u32),
-            GroupingPolicy::RoundRobin { units } => {
-                UnitId(id.index() as u32 % units.max(1))
-            }
+            GroupingPolicy::RoundRobin { units } => UnitId(id.index() as u32 % units.max(1)),
             GroupingPolicy::ByConnection { units } => {
                 UnitId(u32::from(labels.conn.unwrap_or(0)) % units.max(1))
             }
@@ -136,7 +134,10 @@ mod tests {
     fn single_maps_everything_to_zero() {
         let p = GroupingPolicy::Single;
         for i in 0..10 {
-            assert_eq!(p.assign(ModuleId(i), ModuleLabels::layer_conn(3, 4)), UnitId(0));
+            assert_eq!(
+                p.assign(ModuleId(i), ModuleLabels::layer_conn(3, 4)),
+                UnitId(0)
+            );
         }
     }
 }

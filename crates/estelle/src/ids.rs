@@ -140,17 +140,26 @@ pub struct ModuleLabels {
 impl ModuleLabels {
     /// Labels with only the layer set.
     pub fn layer(layer: u16) -> Self {
-        ModuleLabels { layer: Some(layer), conn: None }
+        ModuleLabels {
+            layer: Some(layer),
+            conn: None,
+        }
     }
 
     /// Labels with only the connection set.
     pub fn conn(conn: u16) -> Self {
-        ModuleLabels { layer: None, conn: Some(conn) }
+        ModuleLabels {
+            layer: None,
+            conn: Some(conn),
+        }
     }
 
     /// Labels with both layer and connection set.
     pub fn layer_conn(layer: u16, conn: u16) -> Self {
-        ModuleLabels { layer: Some(layer), conn: Some(conn) }
+        ModuleLabels {
+            layer: Some(layer),
+            conn: Some(conn),
+        }
     }
 }
 
@@ -176,7 +185,11 @@ mod tests {
         assert_eq!(StateId(1).to_string(), "s1");
         assert_eq!(IpIndex(2).to_string(), "ip2");
         assert_eq!(
-            IpRef { module: ModuleId(3), ip: IpIndex(2) }.to_string(),
+            IpRef {
+                module: ModuleId(3),
+                ip: IpIndex(2)
+            }
+            .to_string(),
             "m3.ip2"
         );
         assert_eq!(ModuleKind::SystemActivity.to_string(), "systemactivity");

@@ -100,10 +100,8 @@ pub use grouping::GroupingPolicy;
 pub use ids::{IpIndex, IpRef, ModuleId, ModuleKind, ModuleLabels, StateId, UnitId};
 pub use interaction::{downcast, Interaction};
 pub use machine::{
-    Dispatch, FiredInfo, FromState, Fsm, IpState, ModuleExec, Selected, StateMachine,
-    Transition, TransitionInfo, DEFAULT_TRANSITION_COST,
+    Dispatch, FiredInfo, FromState, Fsm, IpState, ModuleExec, Selected, StateMachine, Transition,
+    TransitionInfo, DEFAULT_TRANSITION_COST,
 };
-pub use runtime::{
-    validate_child_kind, Counters, FireOutcome, FiredMeta, ModuleMeta, Runtime,
-};
+pub use runtime::{validate_child_kind, Counters, FireOutcome, FiredMeta, ModuleMeta, Runtime};
 pub use trace::{ExecTrace, FiringRecord, TraceModuleMeta};

@@ -391,7 +391,12 @@ impl<M: StateMachine> Fsm<M> {
             }
         }
         let state = machine.initial_state();
-        Fsm { machine, state, order, by_state }
+        Fsm {
+            machine,
+            state,
+            order,
+            by_state,
+        }
     }
 
     /// Immutable access to the wrapped machine (for assertions and the
@@ -434,13 +439,7 @@ impl<M: StateMachine> Fsm<M> {
         true
     }
 
-    fn enabled(
-        &self,
-        t: &Transition<M>,
-        ips: &[IpState],
-        now: SimTime,
-        entered: SimTime,
-    ) -> bool {
+    fn enabled(&self, t: &Transition<M>, ips: &[IpState], now: SimTime, entered: SimTime) -> bool {
         if let Some(d) = t.delay {
             if now.saturating_since(entered) < d {
                 return false;
@@ -535,7 +534,12 @@ impl<M: StateMachine> ModuleExec for Fsm<M> {
         action(&mut self.machine, ctx, input);
         let to_state = ctx.take_next_state().or(to).unwrap_or(from_state);
         self.state = to_state;
-        FiredInfo { transition: name, from_state, to_state, cost }
+        FiredInfo {
+            transition: name,
+            from_state,
+            to_state,
+            cost,
+        }
     }
 
     fn transition_info(&self) -> Vec<TransitionInfo> {
@@ -650,7 +654,11 @@ mod tests {
             .select(&ips, SimTime::ZERO, SimTime::ZERO, Dispatch::TableDriven)
             .is_none());
         let mut ips = ips;
-        ips[0].queue.push_back(QueuedMsg { msg: Box::new(Tick(1)), provenance: None, enqueued_at: SimTime::ZERO });
+        ips[0].queue.push_back(QueuedMsg {
+            msg: Box::new(Tick(1)),
+            provenance: None,
+            enqueued_at: SimTime::ZERO,
+        });
         let sel = fsm
             .select(&ips, SimTime::ZERO, SimTime::ZERO, Dispatch::TableDriven)
             .expect("enabled by message");
@@ -661,7 +669,11 @@ mod tests {
     fn priority_and_guard_interact() {
         let mut fsm = Fsm::new(Toggler::default());
         let mut ips = vec![IpState::default()];
-        ips[0].queue.push_back(QueuedMsg { msg: Box::new(Tick(1)), provenance: None, enqueued_at: SimTime::ZERO });
+        ips[0].queue.push_back(QueuedMsg {
+            msg: Box::new(Tick(1)),
+            provenance: None,
+            enqueued_at: SimTime::ZERO,
+        });
         // Gate closed: the high-priority guarded transition is not
         // enabled, so "consume" fires.
         let sel = fsm
@@ -676,7 +688,11 @@ mod tests {
         // Open the gate, return to S0: guarded wins by priority.
         fsm.machine_mut().gate_open = true;
         fsm.state = S0;
-        ips[0].queue.push_back(QueuedMsg { msg: Box::new(Tick(2)), provenance: None, enqueued_at: SimTime::ZERO });
+        ips[0].queue.push_back(QueuedMsg {
+            msg: Box::new(Tick(2)),
+            provenance: None,
+            enqueued_at: SimTime::ZERO,
+        });
         let sel = fsm
             .select(&ips, SimTime::ZERO, SimTime::ZERO, Dispatch::HardCoded)
             .unwrap();
@@ -688,7 +704,11 @@ mod tests {
     fn both_dispatch_strategies_agree() {
         let fsm = Fsm::new(Toggler::default());
         let mut ips = vec![IpState::default()];
-        ips[0].queue.push_back(QueuedMsg { msg: Box::new(Tick(1)), provenance: None, enqueued_at: SimTime::ZERO });
+        ips[0].queue.push_back(QueuedMsg {
+            msg: Box::new(Tick(1)),
+            provenance: None,
+            enqueued_at: SimTime::ZERO,
+        });
         let a = fsm.select(&ips, SimTime::ZERO, SimTime::ZERO, Dispatch::HardCoded);
         let b = fsm.select(&ips, SimTime::ZERO, SimTime::ZERO, Dispatch::TableDriven);
         assert_eq!(a.map(|s| s.index), b.map(|s| s.index));
@@ -748,12 +768,25 @@ mod tests {
         let fsm = Fsm::new(Timer);
         let entered = SimTime::from_millis(100);
         assert!(fsm
-            .select(&[], SimTime::from_millis(105), entered, Dispatch::TableDriven)
+            .select(
+                &[],
+                SimTime::from_millis(105),
+                entered,
+                Dispatch::TableDriven
+            )
             .is_none());
         assert!(fsm
-            .select(&[], SimTime::from_millis(110), entered, Dispatch::TableDriven)
+            .select(
+                &[],
+                SimTime::from_millis(110),
+                entered,
+                Dispatch::TableDriven
+            )
             .is_some());
-        assert_eq!(fsm.next_deadline(&[], entered), Some(SimTime::from_millis(110)));
+        assert_eq!(
+            fsm.next_deadline(&[], entered),
+            Some(SimTime::from_millis(110))
+        );
     }
 
     #[test]
@@ -770,16 +803,22 @@ mod tests {
                 S1
             }
             fn transitions() -> Vec<Transition<Self>> {
-                vec![Transition::on("abort", S0, IpIndex(0), |m: &mut Self, _c, _i| {
-                    m.aborted = true;
-                })
-                .any_state()
-                .to(S0)]
+                vec![
+                    Transition::on("abort", S0, IpIndex(0), |m: &mut Self, _c, _i| {
+                        m.aborted = true;
+                    })
+                    .any_state()
+                    .to(S0),
+                ]
             }
         }
         let mut fsm = Fsm::new(Abortable::default());
         let mut ips = vec![IpState::default()];
-        ips[0].queue.push_back(QueuedMsg { msg: Box::new(Tick(0)), provenance: None, enqueued_at: SimTime::ZERO });
+        ips[0].queue.push_back(QueuedMsg {
+            msg: Box::new(Tick(0)),
+            provenance: None,
+            enqueued_at: SimTime::ZERO,
+        });
         let sel = fsm
             .select(&ips, SimTime::ZERO, SimTime::ZERO, Dispatch::TableDriven)
             .expect("any-state transition enabled in S1");

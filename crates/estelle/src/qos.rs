@@ -63,7 +63,10 @@ impl QosSpec {
 
     /// The budget in force for `(module, ip)`.
     pub fn budget_for(&self, module: ModuleId, ip: IpIndex) -> Option<SimDuration> {
-        self.per_ip.get(&(module, ip)).copied().or(self.default_budget)
+        self.per_ip
+            .get(&(module, ip))
+            .copied()
+            .or(self.default_budget)
     }
 
     /// The fallback budget for unconfigured interaction points.
@@ -155,7 +158,11 @@ pub struct QosMonitor {
 impl QosMonitor {
     /// Creates a monitor enforcing `spec`.
     pub fn new(spec: QosSpec) -> Self {
-        QosMonitor { spec, stats: Mutex::new(HashMap::new()), violations: Mutex::new(Vec::new()) }
+        QosMonitor {
+            spec,
+            stats: Mutex::new(HashMap::new()),
+            violations: Mutex::new(Vec::new()),
+        }
     }
 
     /// The spec being enforced.
@@ -217,7 +224,10 @@ impl QosMonitor {
             })
             .collect();
         entries.sort_by_key(|e| (e.module.index(), e.ip.0));
-        QosReport { entries, violations: self.violations.lock().clone() }
+        QosReport {
+            entries,
+            violations: self.violations.lock().clone(),
+        }
     }
 }
 
@@ -279,8 +289,11 @@ mod tests {
         monitor.observe(ModuleId::from_raw(1), IpIndex(3), "X", us(1), SimTime::ZERO);
         monitor.observe(ModuleId::from_raw(1), IpIndex(0), "X", us(1), SimTime::ZERO);
         let report = monitor.report();
-        let keys: Vec<(usize, u16)> =
-            report.entries.iter().map(|e| (e.module.index(), e.ip.0)).collect();
+        let keys: Vec<(usize, u16)> = report
+            .entries
+            .iter()
+            .map(|e| (e.module.index(), e.ip.0))
+            .collect();
         assert_eq!(keys, vec![(1, 0), (1, 3), (2, 1)]);
     }
 }

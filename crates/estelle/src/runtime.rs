@@ -11,8 +11,7 @@ use crate::error::{EstelleError, Result};
 use crate::ids::{IpIndex, IpRef, ModuleId, ModuleKind, ModuleLabels, StateId};
 use crate::interaction::Interaction;
 use crate::machine::{
-    Dispatch, Fsm, IpState, ModuleExec, QueuedMsg, Selected, StateMachine,
-    DEFAULT_TRANSITION_COST,
+    Dispatch, Fsm, IpState, ModuleExec, QueuedMsg, Selected, StateMachine, DEFAULT_TRANSITION_COST,
 };
 use crate::trace::{ExecTrace, FiringRecord, TraceModuleMeta};
 use netsim::{Clock, SimDuration, SimTime, VirtualClock};
@@ -376,8 +375,12 @@ impl Runtime {
     /// Returns an error if a module is unknown, an index is out of
     /// range, or either point is already connected.
     pub fn connect(&self, a: IpRef, b: IpRef) -> Result<()> {
-        let sa = self.slot(a.module).ok_or(EstelleError::UnknownModule(a.module))?;
-        let sb = self.slot(b.module).ok_or(EstelleError::UnknownModule(b.module))?;
+        let sa = self
+            .slot(a.module)
+            .ok_or(EstelleError::UnknownModule(a.module))?;
+        let sb = self
+            .slot(b.module)
+            .ok_or(EstelleError::UnknownModule(b.module))?;
         if a.module == b.module {
             // Self-channel: both ends in one core; validate and set
             // under one lock.
@@ -400,7 +403,11 @@ impl Runtime {
             return Ok(());
         }
         // Lock in id order to avoid deadlock with concurrent connects.
-        let (first, second) = if a.module < b.module { (&sa, &sb) } else { (&sb, &sa) };
+        let (first, second) = if a.module < b.module {
+            (&sa, &sb)
+        } else {
+            (&sb, &sa)
+        };
         let mut c1 = first.core.lock();
         let mut c2 = second.core.lock();
         let (core_a, core_b) = if a.module < b.module {
@@ -524,7 +531,12 @@ impl Runtime {
             let mut core = slot.core.lock();
             let t_scan = Instant::now();
             let sel: Option<Selected> = {
-                let ModuleCore { exec, ips, entered_at, .. } = &mut *core;
+                let ModuleCore {
+                    exec,
+                    ips,
+                    entered_at,
+                    ..
+                } = &mut *core;
                 exec.select(ips, now, *entered_at, dispatch)
             };
             self.counters
@@ -604,8 +616,15 @@ impl Runtime {
     fn module_enabled_slot(&self, slot: &Arc<ModuleSlot>, dispatch: Dispatch) -> bool {
         let core = slot.core.lock();
         let t_scan = Instant::now();
-        let ModuleCore { exec, ips, entered_at, .. } = &*core;
-        let enabled = exec.select(ips, self.clock.now(), *entered_at, dispatch).is_some();
+        let ModuleCore {
+            exec,
+            ips,
+            entered_at,
+            ..
+        } = &*core;
+        let enabled = exec
+            .select(ips, self.clock.now(), *entered_at, dispatch)
+            .is_some();
         self.counters
             .scan_ns
             .fetch_add(t_scan.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -640,7 +659,12 @@ impl Runtime {
         let mut best: Option<SimTime> = None;
         for s in slots.iter().filter(|s| s.alive.load(Ordering::SeqCst)) {
             let core = s.core.lock();
-            let ModuleCore { exec, ips, entered_at, .. } = &*core;
+            let ModuleCore {
+                exec,
+                ips,
+                entered_at,
+                ..
+            } = &*core;
             if let Some(t) = exec.next_deadline(ips, *entered_at) {
                 best = Some(match best {
                     Some(b) => b.min(t),
@@ -664,7 +688,14 @@ impl Runtime {
         for e in effects {
             match e {
                 Effect::Create(ce) => {
-                    self.insert_slot(ce.reserved, Some(owner), ce.name, ce.kind, ce.labels, ce.exec);
+                    self.insert_slot(
+                        ce.reserved,
+                        Some(owner),
+                        ce.name,
+                        ce.kind,
+                        ce.labels,
+                        ce.exec,
+                    );
                     to_init.push(ce.reserved);
                 }
                 Effect::Connect { a, b } => {
@@ -697,9 +728,7 @@ impl Runtime {
             let core = slot.core.lock();
             match core.ips.get(from_ip.0 as usize) {
                 Some(ip) => ip.peer,
-                None => panic!(
-                    "module {owner} output on out-of-range interaction point {from_ip}"
-                ),
+                None => panic!("module {owner} output on out-of-range interaction point {from_ip}"),
             }
         };
         let Some(peer) = peer else {
@@ -807,7 +836,9 @@ impl Runtime {
 
     /// Children of `id` in creation order.
     pub fn children_of(&self, id: ModuleId) -> Vec<ModuleId> {
-        self.slot(id).map(|s| s.children.lock().clone()).unwrap_or_default()
+        self.slot(id)
+            .map(|s| s.children.lock().clone())
+            .unwrap_or_default()
     }
 
     /// First alive module whose instance name is `name`.

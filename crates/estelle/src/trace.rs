@@ -117,7 +117,11 @@ mod tests {
     #[test]
     fn totals_and_counts() {
         let t = ExecTrace {
-            records: vec![rec(1, 0, 10, vec![]), rec(2, 1, 20, vec![1]), rec(3, 0, 5, vec![1])],
+            records: vec![
+                rec(1, 0, 10, vec![]),
+                rec(2, 1, 20, vec![1]),
+                rec(3, 0, 5, vec![1]),
+            ],
             modules: vec![],
         };
         assert_eq!(t.total_cost().as_micros(), 35);

@@ -4,8 +4,8 @@
 
 use estelle::sched::{run_sequential, SeqOptions};
 use estelle::{
-    impl_interaction, ip, Ctx, EstelleError, IpIndex, ModuleKind, ModuleLabels, Runtime,
-    StateId, StateMachine, Transition,
+    impl_interaction, ip, Ctx, EstelleError, IpIndex, ModuleKind, ModuleLabels, Runtime, StateId,
+    StateMachine, Transition,
 };
 
 #[derive(Debug)]
@@ -27,7 +27,11 @@ struct Client {
 
 impl Client {
     fn new(id: u32) -> Self {
-        Client { id, inited: false, greeted: false }
+        Client {
+            id,
+            inited: false,
+            greeted: false,
+        }
     }
 }
 
@@ -42,11 +46,13 @@ impl StateMachine for Client {
         self.inited = true;
     }
     fn transitions() -> Vec<Transition<Self>> {
-        vec![Transition::spontaneous("greet", S0, |m: &mut Self, ctx, _| {
-            m.greeted = true;
-            ctx.output(IO, Hello(m.id));
-        })
-        .provided(|m, _| !m.greeted)]
+        vec![
+            Transition::spontaneous("greet", S0, |m: &mut Self, ctx, _| {
+                m.greeted = true;
+                ctx.output(IO, Hello(m.id));
+            })
+            .provided(|m, _| !m.greeted),
+        ]
     }
 }
 
@@ -108,7 +114,10 @@ fn base_estelle_rejects_post_start_system_modules() {
             Client::new(1),
         )
         .unwrap_err();
-    assert!(matches!(err, EstelleError::SystemPopulationFrozen(_)), "{err:?}");
+    assert!(
+        matches!(err, EstelleError::SystemPopulationFrozen(_)),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -137,7 +146,11 @@ fn extension_allows_dynamic_clients() {
     assert!(rt.dynamic_systems_enabled());
     rt.start().unwrap();
     run_sequential(&rt, &SeqOptions::default());
-    assert_eq!(rt.with_machine::<Server, _>(server, |s| s.greetings.clone()).unwrap(), vec![0]);
+    assert_eq!(
+        rt.with_machine::<Server, _>(server, |s| s.greetings.clone())
+            .unwrap(),
+        vec![0]
+    );
 
     // The number of clients is NOT fixed any more: create two more at
     // "runtime" and wire them up.
@@ -153,7 +166,8 @@ fn extension_allows_dynamic_clients() {
             .expect("dynamic extension active");
         // Initialize ran immediately (and queued its greeting).
         assert!(rt.with_machine::<Client, _>(c, |m| m.inited).unwrap());
-        rt.connect(ip(c, IO), ip(server, IpIndex(i as u16))).unwrap();
+        rt.connect(ip(c, IO), ip(server, IpIndex(i as u16)))
+            .unwrap();
     }
     run_sequential(&rt, &SeqOptions::default());
     let mut greetings = rt

@@ -84,13 +84,18 @@ impl StateMachine for RingNode {
         }
     }
     fn transitions() -> Vec<Transition<Self>> {
-        vec![Transition::on("forward", StateId(0), IN, |m: &mut Self, ctx, msg| {
-            let h = downcast::<Hop>(msg.unwrap()).unwrap();
-            m.hops_seen += 1;
-            if h.0 > 0 {
-                ctx.output(OUT, Hop(h.0 - 1));
-            }
-        })]
+        vec![Transition::on(
+            "forward",
+            StateId(0),
+            IN,
+            |m: &mut Self, ctx, msg| {
+                let h = downcast::<Hop>(msg.unwrap()).unwrap();
+                m.hops_seen += 1;
+                if h.0 > 0 {
+                    ctx.output(OUT, Hop(h.0 - 1));
+                }
+            },
+        )]
     }
 }
 
@@ -103,13 +108,17 @@ fn build_ring(n: usize, ttl: u32) -> (Runtime, Vec<estelle::ModuleId>) {
                 format!("node{i}"),
                 ModuleKind::SystemProcess,
                 ModuleLabels::conn(i as u16),
-                RingNode { inject: (i == 0).then_some(ttl), ..Default::default() },
+                RingNode {
+                    inject: (i == 0).then_some(ttl),
+                    ..Default::default()
+                },
             )
             .unwrap()
         })
         .collect();
     for i in 0..n {
-        rt.connect(ip(ids[i], OUT), ip(ids[(i + 1) % n], IN)).unwrap();
+        rt.connect(ip(ids[i], OUT), ip(ids[(i + 1) % n], IN))
+            .unwrap();
     }
     rt.start().unwrap();
     (rt, ids)

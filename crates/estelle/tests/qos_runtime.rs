@@ -4,8 +4,8 @@
 use estelle::qos::QosSpec;
 use estelle::sched::{run_sequential, SeqOptions};
 use estelle::{
-    impl_interaction, ip, Ctx, IpIndex, ModuleKind, ModuleLabels, Runtime, StateId,
-    StateMachine, Transition,
+    impl_interaction, ip, Ctx, IpIndex, ModuleKind, ModuleLabels, Runtime, StateId, StateMachine,
+    Transition,
 };
 use netsim::SimDuration;
 
@@ -54,12 +54,14 @@ impl StateMachine for SlowConsumer {
         S0
     }
     fn transitions() -> Vec<Transition<Self>> {
-        vec![Transition::on("consume", S0, IO, |m: &mut Self, ctx, _msg| {
-            m.got += 1;
-            // Re-arm the delay clause by re-entering the state.
-            ctx.goto(S0);
-        })
-        .delay(SimDuration::from_millis(5))]
+        vec![
+            Transition::on("consume", S0, IO, |m: &mut Self, ctx, _msg| {
+                m.got += 1;
+                // Re-arm the delay clause by re-entering the state.
+                ctx.goto(S0);
+            })
+            .delay(SimDuration::from_millis(5)),
+        ]
     }
 }
 
@@ -90,9 +92,7 @@ fn build() -> (Runtime, estelle::ModuleId, estelle::ModuleId) {
 #[test]
 fn delayed_consumption_violates_tight_budget() {
     let (rt, _p, c) = build();
-    let monitor = rt.attach_qos(
-        QosSpec::new().max_delay(c, IO, SimDuration::from_millis(1)),
-    );
+    let monitor = rt.attach_qos(QosSpec::new().max_delay(c, IO, SimDuration::from_millis(1)));
     rt.start().unwrap();
     run_sequential(&rt, &SeqOptions::default());
     let got = rt.with_machine::<SlowConsumer, _>(c, |m| m.got).unwrap();
@@ -115,13 +115,15 @@ fn delayed_consumption_violates_tight_budget() {
 #[test]
 fn generous_budget_passes() {
     let (rt, _p, c) = build();
-    let monitor = rt.attach_qos(
-        QosSpec::new().max_delay(c, IO, SimDuration::from_secs(60)),
-    );
+    let monitor = rt.attach_qos(QosSpec::new().max_delay(c, IO, SimDuration::from_secs(60)));
     rt.start().unwrap();
     run_sequential(&rt, &SeqOptions::default());
     let report = monitor.report();
-    assert!(report.all_within_budget(), "violations: {:?}", report.violations);
+    assert!(
+        report.all_within_budget(),
+        "violations: {:?}",
+        report.violations
+    );
     assert_eq!(report.entries[0].consumed, 3);
     assert!(report.entries[0].mean_delay >= SimDuration::from_millis(5));
 }
@@ -135,7 +137,11 @@ fn detach_stops_observation() {
     assert!(rt.qos_monitor().is_none());
     rt.start().unwrap();
     run_sequential(&rt, &SeqOptions::default());
-    assert_eq!(detached.report().entries.len(), 0, "no observations after detach");
+    assert_eq!(
+        detached.report().entries.len(),
+        0,
+        "no observations after detach"
+    );
     assert_eq!(monitor.report().entries.len(), 0);
     let got = rt.with_machine::<SlowConsumer, _>(c, |m| m.got).unwrap();
     assert_eq!(got, 3, "execution itself unaffected");

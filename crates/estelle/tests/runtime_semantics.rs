@@ -2,8 +2,7 @@
 //! rules, dynamic creation, precedence, exclusion, schedulers, traces.
 
 use estelle::sched::{
-    run_centralized, run_sequential, run_threads, FirePolicy, ParOptions, SeqOptions,
-    StopReason,
+    run_centralized, run_sequential, run_threads, FirePolicy, ParOptions, SeqOptions, StopReason,
 };
 use estelle::{
     downcast, impl_interaction, ip, Ctx, Dispatch, EstelleError, GroupingPolicy, IpIndex,
@@ -58,11 +57,20 @@ fn echo_pair(n: u64) -> (Runtime, estelle::ModuleId, estelle::ModuleId) {
             "a",
             ModuleKind::SystemProcess,
             ModuleLabels::default(),
-            Echo { serve: Some(n), ..Default::default() },
+            Echo {
+                serve: Some(n),
+                ..Default::default()
+            },
         )
         .unwrap();
     let b = rt
-        .add_module(None, "b", ModuleKind::SystemProcess, ModuleLabels::default(), Echo::default())
+        .add_module(
+            None,
+            "b",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Echo::default(),
+        )
         .unwrap();
     rt.connect(ip(a, IO), ip(b, IO)).unwrap();
     rt.start().unwrap();
@@ -83,7 +91,10 @@ fn echo_terminates_with_expected_counts() {
 #[test]
 fn one_per_scan_policy_reaches_same_outcome() {
     let (rt, _a, b) = echo_pair(9);
-    let opts = SeqOptions { fire_policy: FirePolicy::OnePerScan, ..Default::default() };
+    let opts = SeqOptions {
+        fire_policy: FirePolicy::OnePerScan,
+        ..Default::default()
+    };
     let report = run_sequential(&rt, &opts);
     assert_eq!(report.firings, 10);
     assert_eq!(rt.with_machine::<Echo, _>(b, |m| m.seen).unwrap(), 5);
@@ -92,7 +103,10 @@ fn one_per_scan_policy_reaches_same_outcome() {
 #[test]
 fn hardcoded_dispatch_reaches_same_outcome() {
     let (rt, _a, b) = echo_pair(9);
-    let opts = SeqOptions { dispatch: Dispatch::HardCoded, ..Default::default() };
+    let opts = SeqOptions {
+        dispatch: Dispatch::HardCoded,
+        ..Default::default()
+    };
     run_sequential(&rt, &opts);
     assert_eq!(rt.with_machine::<Echo, _>(b, |m| m.seen).unwrap(), 5);
 }
@@ -134,7 +148,13 @@ fn centralized_scheduler_matches_sequential_outcome() {
 fn process_requires_system_ancestor() {
     let (rt, _c) = Runtime::sim();
     let err = rt
-        .add_module(None, "p", ModuleKind::Process, ModuleLabels::default(), Echo::default())
+        .add_module(
+            None,
+            "p",
+            ModuleKind::Process,
+            ModuleLabels::default(),
+            Echo::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, EstelleError::StructuralRule(_)));
 }
@@ -143,10 +163,22 @@ fn process_requires_system_ancestor() {
 fn system_cannot_nest_in_attributed() {
     let (rt, _c) = Runtime::sim();
     let sys = rt
-        .add_module(None, "s", ModuleKind::SystemProcess, ModuleLabels::default(), Echo::default())
+        .add_module(
+            None,
+            "s",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Echo::default(),
+        )
         .unwrap();
     let err = rt
-        .add_module(Some(sys), "s2", ModuleKind::SystemProcess, ModuleLabels::default(), Echo::default())
+        .add_module(
+            Some(sys),
+            "s2",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Echo::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, EstelleError::StructuralRule(_)));
 }
@@ -155,13 +187,31 @@ fn system_cannot_nest_in_attributed() {
 fn inactive_root_may_contain_systems() {
     let (rt, _c) = Runtime::sim();
     let root = rt
-        .add_module(None, "spec", ModuleKind::Inactive, ModuleLabels::default(), Echo::default())
+        .add_module(
+            None,
+            "spec",
+            ModuleKind::Inactive,
+            ModuleLabels::default(),
+            Echo::default(),
+        )
         .unwrap();
     assert!(rt
-        .add_module(Some(root), "srv", ModuleKind::SystemProcess, ModuleLabels::default(), Echo::default())
+        .add_module(
+            Some(root),
+            "srv",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Echo::default()
+        )
         .is_ok());
     assert!(rt
-        .add_module(Some(root), "cli", ModuleKind::SystemActivity, ModuleLabels::default(), Echo::default())
+        .add_module(
+            Some(root),
+            "cli",
+            ModuleKind::SystemActivity,
+            ModuleLabels::default(),
+            Echo::default()
+        )
         .is_ok());
 }
 
@@ -169,25 +219,55 @@ fn inactive_root_may_contain_systems() {
 fn activity_parent_only_contains_activities() {
     let (rt, _c) = Runtime::sim();
     let sa = rt
-        .add_module(None, "sa", ModuleKind::SystemActivity, ModuleLabels::default(), Echo::default())
+        .add_module(
+            None,
+            "sa",
+            ModuleKind::SystemActivity,
+            ModuleLabels::default(),
+            Echo::default(),
+        )
         .unwrap();
     let err = rt
-        .add_module(Some(sa), "p", ModuleKind::Process, ModuleLabels::default(), Echo::default())
+        .add_module(
+            Some(sa),
+            "p",
+            ModuleKind::Process,
+            ModuleLabels::default(),
+            Echo::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, EstelleError::StructuralRule(_)));
     assert!(rt
-        .add_module(Some(sa), "a", ModuleKind::Activity, ModuleLabels::default(), Echo::default())
+        .add_module(
+            Some(sa),
+            "a",
+            ModuleKind::Activity,
+            ModuleLabels::default(),
+            Echo::default()
+        )
         .is_ok());
 }
 
 #[test]
 fn population_frozen_after_start() {
     let (rt, _c) = Runtime::sim();
-    rt.add_module(None, "s", ModuleKind::SystemProcess, ModuleLabels::default(), Echo::default())
-        .unwrap();
+    rt.add_module(
+        None,
+        "s",
+        ModuleKind::SystemProcess,
+        ModuleLabels::default(),
+        Echo::default(),
+    )
+    .unwrap();
     rt.start().unwrap();
     let err = rt
-        .add_module(None, "late", ModuleKind::SystemProcess, ModuleLabels::default(), Echo::default())
+        .add_module(
+            None,
+            "late",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Echo::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, EstelleError::SystemPopulationFrozen(_)));
 }
@@ -196,10 +276,22 @@ fn population_frozen_after_start() {
 fn double_connect_rejected() {
     let (rt, _c) = Runtime::sim();
     let a = rt
-        .add_module(None, "a", ModuleKind::SystemProcess, ModuleLabels::default(), Echo::default())
+        .add_module(
+            None,
+            "a",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Echo::default(),
+        )
         .unwrap();
     let b = rt
-        .add_module(None, "b", ModuleKind::SystemProcess, ModuleLabels::default(), Echo::default())
+        .add_module(
+            None,
+            "b",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Echo::default(),
+        )
         .unwrap();
     rt.connect(ip(a, IO), ip(b, IO)).unwrap();
     let err = rt.connect(ip(a, IO), ip(b, IO)).unwrap_err();
@@ -249,18 +341,23 @@ impl StateMachine for Server {
         S0
     }
     fn transitions() -> Vec<Transition<Self>> {
-        vec![Transition::on("accept", S0, IO, |m: &mut Self, ctx, msg| {
-            let req = downcast::<ConnectReq>(msg.unwrap()).unwrap();
-            let child = ctx.create_child(
-                format!("handler-{}", req.0),
-                ModuleKind::Process,
-                ModuleLabels::conn(req.0),
-                Handler::default(),
-            );
-            m.handlers.push(child);
-            ctx.connect(ctx.self_ip(IpIndex(1)), ip(child, IO));
-            ctx.output(IpIndex(1), Work(u64::from(req.0) + 1));
-        })]
+        vec![Transition::on(
+            "accept",
+            S0,
+            IO,
+            |m: &mut Self, ctx, msg| {
+                let req = downcast::<ConnectReq>(msg.unwrap()).unwrap();
+                let child = ctx.create_child(
+                    format!("handler-{}", req.0),
+                    ModuleKind::Process,
+                    ModuleLabels::conn(req.0),
+                    Handler::default(),
+                );
+                m.handlers.push(child);
+                ctx.connect(ctx.self_ip(IpIndex(1)), ip(child, IO));
+                ctx.output(IpIndex(1), Work(u64::from(req.0) + 1));
+            },
+        )]
     }
 }
 
@@ -268,18 +365,30 @@ impl StateMachine for Server {
 fn server_spawns_handler_per_connection() {
     let (rt, _c) = Runtime::sim();
     let srv = rt
-        .add_module(None, "server", ModuleKind::SystemProcess, ModuleLabels::default(), Server::default())
+        .add_module(
+            None,
+            "server",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Server::default(),
+        )
         .unwrap();
     rt.start().unwrap();
     rt.inject(ip(srv, IO), Box::new(ConnectReq(4))).unwrap();
     run_sequential(&rt, &SeqOptions::default());
-    let handlers = rt.with_machine::<Server, _>(srv, |s| s.handlers.clone()).unwrap();
+    let handlers = rt
+        .with_machine::<Server, _>(srv, |s| s.handlers.clone())
+        .unwrap();
     assert_eq!(handlers.len(), 1);
     let meta = rt.module_meta(handlers[0]).unwrap();
     assert_eq!(meta.kind, ModuleKind::Process);
     assert_eq!(meta.labels.conn, Some(4));
     assert_eq!(meta.parent, Some(srv));
-    assert_eq!(rt.with_machine::<Handler, _>(handlers[0], |h| h.done).unwrap(), 5);
+    assert_eq!(
+        rt.with_machine::<Handler, _>(handlers[0], |h| h.done)
+            .unwrap(),
+        5
+    );
     // The connect effect happened before the output effect, so nothing
     // was lost.
     assert_eq!(rt.counters().lost_outputs, 0);
@@ -312,11 +421,13 @@ impl StateMachine for BusyParent {
         self.child = Some(child);
     }
     fn transitions() -> Vec<Transition<Self>> {
-        vec![Transition::spontaneous("parent-work", S0, |m: &mut Self, _ctx, _| {
-            m.budget -= 1;
-            m.fired.push("parent");
-        })
-        .provided(|m, _| m.budget > 0)]
+        vec![
+            Transition::spontaneous("parent-work", S0, |m: &mut Self, _ctx, _| {
+                m.budget -= 1;
+                m.fired.push("parent");
+            })
+            .provided(|m, _| m.budget > 0),
+        ]
     }
 }
 
@@ -332,10 +443,12 @@ impl StateMachine for Spinner {
         S0
     }
     fn transitions() -> Vec<Transition<Self>> {
-        vec![Transition::spontaneous("spin", S0, |m: &mut Self, _ctx, _| {
-            m.spins += 1;
-        })
-        .provided(|m, _| m.spins < 3)]
+        vec![
+            Transition::spontaneous("spin", S0, |m: &mut Self, _ctx, _| {
+                m.spins += 1;
+            })
+            .provided(|m, _| m.spins < 3),
+        ]
     }
 }
 
@@ -348,17 +461,31 @@ fn parent_precedence_blocks_children() {
             "parent",
             ModuleKind::SystemProcess,
             ModuleLabels::default(),
-            BusyParent { budget: 5, ..Default::default() },
+            BusyParent {
+                budget: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
     rt.start().unwrap();
-    let child = rt.with_machine::<BusyParent, _>(p, |m| m.child.unwrap()).unwrap();
+    let child = rt
+        .with_machine::<BusyParent, _>(p, |m| m.child.unwrap())
+        .unwrap();
     // While the parent has budget, the child may not fire.
     use estelle::FireOutcome;
-    assert!(matches!(rt.try_fire(child, Dispatch::TableDriven), FireOutcome::Blocked));
+    assert!(matches!(
+        rt.try_fire(child, Dispatch::TableDriven),
+        FireOutcome::Blocked
+    ));
     run_sequential(&rt, &SeqOptions::default());
-    assert_eq!(rt.with_machine::<BusyParent, _>(p, |m| m.budget).unwrap(), 0);
-    assert_eq!(rt.with_machine::<Spinner, _>(child, |m| m.spins).unwrap(), 3);
+    assert_eq!(
+        rt.with_machine::<BusyParent, _>(p, |m| m.budget).unwrap(),
+        0
+    );
+    assert_eq!(
+        rt.with_machine::<Spinner, _>(child, |m| m.spins).unwrap(),
+        3
+    );
     assert!(rt.counters().blocked > 0);
 }
 
@@ -404,7 +531,10 @@ fn delay_transitions_advance_virtual_time() {
         )
         .unwrap();
     rt.start().unwrap();
-    let opts = SeqOptions { max_firings: Some(10), ..Default::default() };
+    let opts = SeqOptions {
+        max_firings: Some(10),
+        ..Default::default()
+    };
     let report = run_sequential(&rt, &opts);
     assert_eq!(report.stopped, StopReason::MaxFirings);
     assert_eq!(rt.with_machine::<Periodic, _>(m, |p| p.ticks).unwrap(), 5);
@@ -425,11 +555,20 @@ fn trace_records_causal_dependencies() {
             "a",
             ModuleKind::SystemProcess,
             ModuleLabels::default(),
-            Echo { serve: Some(3), ..Default::default() },
+            Echo {
+                serve: Some(3),
+                ..Default::default()
+            },
         )
         .unwrap();
     let b = rt
-        .add_module(None, "b", ModuleKind::SystemProcess, ModuleLabels::default(), Echo::default())
+        .add_module(
+            None,
+            "b",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Echo::default(),
+        )
         .unwrap();
     rt.connect(ip(a, IO), ip(b, IO)).unwrap();
     rt.enable_trace();
@@ -439,8 +578,11 @@ fn trace_records_causal_dependencies() {
     trace.validate().expect("consistent trace");
     // 2 inits + 4 echo firings.
     assert_eq!(trace.records.len(), 6);
-    let echo_firings: Vec<_> =
-        trace.records.iter().filter(|r| r.transition == "echo").collect();
+    let echo_firings: Vec<_> = trace
+        .records
+        .iter()
+        .filter(|r| r.transition == "echo")
+        .collect();
     assert_eq!(echo_firings.len(), 4);
     // Every echo firing consumed a message, so it must depend on the
     // producing firing.
@@ -491,10 +633,18 @@ impl StateMachine for Reaper {
 fn release_kills_subtree() {
     let (rt, _c) = Runtime::sim();
     let p = rt
-        .add_module(None, "reaper", ModuleKind::SystemProcess, ModuleLabels::default(), Reaper::default())
+        .add_module(
+            None,
+            "reaper",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            Reaper::default(),
+        )
         .unwrap();
     rt.start().unwrap();
-    let child = rt.with_machine::<Reaper, _>(p, |m| m.child.unwrap()).unwrap();
+    let child = rt
+        .with_machine::<Reaper, _>(p, |m| m.child.unwrap())
+        .unwrap();
     assert!(rt.module_meta(child).unwrap().alive);
     run_sequential(&rt, &SeqOptions::default());
     assert!(!rt.module_meta(child).unwrap().alive);

@@ -46,9 +46,7 @@ measured range: {:.2}-{:.2})\n",
 
     let (t, s_conn, s_layer) = harness::conn_vs_layer_experiment(4, 100);
     println!("{t}");
-    println!(
-        "   (paper: connection-per-processor wins; measured {s_conn:.2} vs {s_layer:.2})\n"
-    );
+    println!("   (paper: connection-per-processor wins; measured {s_conn:.2} vs {s_layer:.2})\n");
 
     let (t, outcome) = harness::mapping_experiment(&[200, 25, 25, 25], 2);
     println!("{t}");

@@ -30,7 +30,13 @@ pub fn speedup_experiment(
 ) -> (Table, Vec<f64>) {
     let mut table = Table::new(
         format!("E1 speedup: {connections} connections, module-per-thread on 32 CPUs"),
-        &["data requests", "seq makespan", "par makespan", "speedup", "utilization"],
+        &[
+            "data requests",
+            "seq makespan",
+            "par makespan",
+            "speedup",
+            "utilization",
+        ],
     );
     let mut speedups = Vec::new();
     for &dr in data_requests {
@@ -40,7 +46,10 @@ pub fn speedup_experiment(
         let par = ksim::simulate(
             &trace,
             GroupingPolicy::PerModule,
-            &Machine { processors: 32, overheads },
+            &Machine {
+                processors: 32,
+                overheads,
+            },
         );
         let s = ksim::speedup(&baseline, &par);
         speedups.push(s);
@@ -66,20 +75,35 @@ pub fn grouping_experiment(
     let overheads = Overheads::ksr1_like();
     let baseline = ksim::simulate_sequential(&trace, overheads);
     let mut table = Table::new(
-        format!("E2 grouping: {connections} connections, {} modules", trace.modules.len()),
-        &["processors", "module-per-thread", "grouped (units=P)", "speedup/ungrouped", "speedup/grouped"],
+        format!(
+            "E2 grouping: {connections} connections, {} modules",
+            trace.modules.len()
+        ),
+        &[
+            "processors",
+            "module-per-thread",
+            "grouped (units=P)",
+            "speedup/ungrouped",
+            "speedup/grouped",
+        ],
     );
     let mut pairs = Vec::new();
     for &p in processors {
         let per_module = ksim::simulate(
             &trace,
             GroupingPolicy::PerModule,
-            &Machine { processors: p, overheads },
+            &Machine {
+                processors: p,
+                overheads,
+            },
         );
         let grouped = ksim::simulate(
             &trace,
             GroupingPolicy::ByConnection { units: p as u32 },
-            &Machine { processors: p, overheads },
+            &Machine {
+                processors: p,
+                overheads,
+            },
         );
         let s_un = ksim::speedup(&baseline, &per_module);
         let s_gr = ksim::speedup(&baseline, &grouped);
@@ -154,7 +178,12 @@ fn run_dispatch<M: StateMachine + Default>(dispatch: Dispatch, firings: u64) -> 
 pub fn dispatch_experiment(firings: u64) -> (Table, Vec<(usize, f64, f64)>) {
     let mut table = Table::new(
         format!("E3 transition dispatch, {firings} firings per cell"),
-        &["transitions", "hard-coded ns/firing", "table-driven ns/firing", "table wins"],
+        &[
+            "transitions",
+            "hard-coded ns/firing",
+            "table-driven ns/firing",
+            "table wins",
+        ],
     );
     let mut rows = Vec::new();
     macro_rules! cell {
@@ -187,10 +216,7 @@ pub fn dispatch_experiment(firings: u64) -> (Table, Vec<(usize, f64, f64)>) {
 /// coordinator vs. charged locally) on the §5.1 trace; (b) the real
 /// instrumented share of selection time under the `OnePerScan`
 /// (centralized rescan) vs. `Pass` firing policies.
-pub fn scheduler_experiment(
-    connections: usize,
-    data_requests: u32,
-) -> (Table, f64, f64) {
+pub fn scheduler_experiment(connections: usize, data_requests: u32) -> (Table, f64, f64) {
     let env = build_ps_env(connections, data_requests, 13);
     let trace = run_ps_env(&env, data_requests);
     // Small transitions: shrink every cost to stress the scheduler, as
@@ -205,19 +231,36 @@ pub fn scheduler_experiment(
     };
     let central = ksim::simulate(
         &small,
-        GroupingPolicy::ByConnection { units: connections as u32 },
-        &Machine { processors: connections, overheads: Overheads { centralized: true, ..overheads } },
+        GroupingPolicy::ByConnection {
+            units: connections as u32,
+        },
+        &Machine {
+            processors: connections,
+            overheads: Overheads {
+                centralized: true,
+                ..overheads
+            },
+        },
     );
     let decentral = ksim::simulate(
         &small,
-        GroupingPolicy::ByConnection { units: connections as u32 },
-        &Machine { processors: connections, overheads },
+        GroupingPolicy::ByConnection {
+            units: connections as u32,
+        },
+        &Machine {
+            processors: connections,
+            overheads,
+        },
     );
 
     // Real instrumentation.
     let env_a = build_ps_env(connections, data_requests, 13);
     env_a.rt.start().expect("valid");
-    let opts = SeqOptions { fire_policy: FirePolicy::OnePerScan, advance_time: false, ..Default::default() };
+    let opts = SeqOptions {
+        fire_policy: FirePolicy::OnePerScan,
+        advance_time: false,
+        ..Default::default()
+    };
     estelle::driver::run_sim(&env_a.rt, &env_a.net, &opts, SimTime::from_secs(600));
     let central_counters = env_a.rt.counters();
     let central_share_real = central_counters.scheduler_share();
@@ -226,7 +269,11 @@ pub fn scheduler_experiment(
 
     let env_b = build_ps_env(connections, data_requests, 13);
     env_b.rt.start().expect("valid");
-    let opts = SeqOptions { fire_policy: FirePolicy::Pass, advance_time: false, ..Default::default() };
+    let opts = SeqOptions {
+        fire_policy: FirePolicy::Pass,
+        advance_time: false,
+        ..Default::default()
+    };
     estelle::driver::run_sim(&env_b.rt, &env_b.net, &opts, SimTime::from_secs(600));
     let pass_counters = env_b.rt.counters();
     let pass_share_real = pass_counters.scheduler_share();
@@ -268,16 +315,19 @@ pub fn scheduler_experiment(
 /// E5 — generated vs. hand-coded lower layers: the same MCAM workload
 /// over the Estelle P+S stack and over the ISODE stack. Returns the
 /// table plus (wall, firings) per stack.
-pub fn generated_vs_handcoded(
-    ops_per_client: usize,
-) -> (Table, (Duration, u64), (Duration, u64)) {
+pub fn generated_vs_handcoded(ops_per_client: usize) -> (Table, (Duration, u64), (Duration, u64)) {
     let run = |stack: StackKind| {
         let mut world = World::new(99);
         let server = world.add_server("cmp", stack);
         let client = world.add_client(&server, stack, vec![]);
         world.start();
         let t0 = Instant::now();
-        let rsp = world.client_op(&client, McamOp::Associate { user: "bench".into() });
+        let rsp = world.client_op(
+            &client,
+            McamOp::Associate {
+                user: "bench".into(),
+            },
+        );
         assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
         for i in 0..ops_per_client {
             let rsp = world.client_op(
@@ -290,8 +340,17 @@ pub fn generated_vs_handcoded(
                 },
             );
             assert_eq!(rsp, Some(McamPdu::CreateMovieRsp { ok: true }));
-            let rsp = world.client_op(&client, McamOp::Query { title: format!("m{i}"), attrs: vec![] });
-            assert!(matches!(rsp, Some(McamPdu::QueryAttrsRsp { attrs: Some(_) })));
+            let rsp = world.client_op(
+                &client,
+                McamOp::Query {
+                    title: format!("m{i}"),
+                    attrs: vec![],
+                },
+            );
+            assert!(matches!(
+                rsp,
+                Some(McamPdu::QueryAttrsRsp { attrs: Some(_) })
+            ));
         }
         let wall = t0.elapsed();
         (wall, world.rt.counters().firings)
@@ -356,10 +415,7 @@ pub fn parallel_asn1_experiment(sizes: &[usize], workers: &[usize]) -> (Table, V
 }
 
 /// E7 — §3: connection-per-processor vs. layer-per-processor.
-pub fn conn_vs_layer_experiment(
-    connections: usize,
-    data_requests: u32,
-) -> (Table, f64, f64) {
+pub fn conn_vs_layer_experiment(connections: usize, data_requests: u32) -> (Table, f64, f64) {
     let env = build_ps_env(connections, data_requests, 5);
     let trace = run_ps_env(&env, data_requests);
     let overheads = Overheads::ksr1_like();
@@ -368,12 +424,18 @@ pub fn conn_vs_layer_experiment(
     let by_conn = ksim::simulate(
         &trace,
         GroupingPolicy::ByConnection { units: p as u32 },
-        &Machine { processors: p, overheads },
+        &Machine {
+            processors: p,
+            overheads,
+        },
     );
     let by_layer = ksim::simulate(
         &trace,
         GroupingPolicy::ByLayer { units: p as u32 },
-        &Machine { processors: p, overheads },
+        &Machine {
+            processors: p,
+            overheads,
+        },
     );
     let s_conn = ksim::speedup(&baseline, &by_conn);
     let s_layer = ksim::speedup(&baseline, &by_layer);
@@ -410,7 +472,10 @@ pub struct ProtocolProfile {
 /// T1 — Table 1: measured requirements dichotomy between the control
 /// protocol (reliable stack) and the CM-stream protocol (lossy
 /// isochronous stack).
-pub fn table1_experiment(stream_loss: f64, seconds: u64) -> (Table, ProtocolProfile, ProtocolProfile) {
+pub fn table1_experiment(
+    stream_loss: f64,
+    seconds: u64,
+) -> (Table, ProtocolProfile, ProtocolProfile) {
     let mut world = World::with_stream_link(
         2026,
         LinkConfig::lossy(
@@ -446,8 +511,17 @@ pub fn table1_experiment(stream_loss: f64, seconds: u64) -> (Table, ProtocolProf
     // While streaming, keep querying attributes over the control path.
     for _ in 0..10 {
         world.run_for(SimDuration::from_millis(400));
-        let rsp = world.client_op(&client, McamOp::Query { title: "T1".into(), attrs: vec![] });
-        assert!(matches!(rsp, Some(McamPdu::QueryAttrsRsp { attrs: Some(_) })));
+        let rsp = world.client_op(
+            &client,
+            McamOp::Query {
+                title: "T1".into(),
+                attrs: vec![],
+            },
+        );
+        assert!(matches!(
+            rsp,
+            Some(McamPdu::QueryAttrsRsp { attrs: Some(_) })
+        ));
         control_ops += 1;
         receiver.poll(world.net.now());
     }
@@ -457,7 +531,8 @@ pub fn table1_experiment(stream_loss: f64, seconds: u64) -> (Table, ProtocolProf
 
     // Control profile from the pipe's endpoint stats.
     let (c_cli, c_srv) = client.ctrl_endpoints;
-    let ctrl_bytes = world.net.stats(c_cli).bytes_delivered + world.net.stats(c_srv).bytes_delivered;
+    let ctrl_bytes =
+        world.net.stats(c_cli).bytes_delivered + world.net.stats(c_srv).bytes_delivered;
     let ctrl_delivery =
         (world.net.stats(c_cli).delivery_ratio() + world.net.stats(c_srv).delivery_ratio()) / 2.0;
     let control = ProtocolProfile {
@@ -523,24 +598,34 @@ pub fn mapping_experiment(requests: &[u32], processors: usize) -> (Table, Mappin
     let env = crate::pstack::build_ps_env_mixed(requests, 42);
     let trace = crate::pstack::run_ps_env_mixed(&env, requests);
     let overheads = Overheads::ksr1_like();
-    let machine = Machine { processors, overheads };
+    let machine = Machine {
+        processors,
+        overheads,
+    };
     let baseline = ksim::simulate_sequential(&trace, overheads);
 
     let per_module = ksim::simulate(&trace, GroupingPolicy::PerModule, &machine);
     let by_conn = ksim::simulate(
         &trace,
-        GroupingPolicy::ByConnection { units: processors as u32 },
+        GroupingPolicy::ByConnection {
+            units: processors as u32,
+        },
         &machine,
     );
     let by_layer = ksim::simulate(
         &trace,
-        GroupingPolicy::ByLayer { units: processors as u32 },
+        GroupingPolicy::ByLayer {
+            units: processors as u32,
+        },
         &machine,
     );
     let optimized = ksim::optimize(
         &trace,
         &machine,
-        ksim::OptimizeOptions { units: processors, max_rounds: 6 },
+        ksim::OptimizeOptions {
+            units: processors,
+            max_rounds: 6,
+        },
     );
 
     let mut table = Table::new(
@@ -607,7 +692,10 @@ pub fn overhead_sensitivity(
         let par = ksim::simulate(
             &trace,
             GroupingPolicy::PerModule,
-            &Machine { processors: 32, overheads: ov },
+            &Machine {
+                processors: 32,
+                overheads: ov,
+            },
         );
         let s = ksim::speedup(&base, &par);
         speedups.push(s);

@@ -25,10 +25,9 @@ pub mod pstack;
 mod report;
 
 pub use experiments::{
-    conn_vs_layer_experiment, dispatch_experiment, generated_vs_handcoded,
-    grouping_experiment, mapping_experiment, overhead_sensitivity,
-    parallel_asn1_experiment, scheduler_experiment, speedup_experiment,
-    table1_experiment, MappingOutcome, ProtocolProfile,
-    WideFsm16, WideFsm2, WideFsm32, WideFsm4, WideFsm64, WideFsm8,
+    conn_vs_layer_experiment, dispatch_experiment, generated_vs_handcoded, grouping_experiment,
+    mapping_experiment, overhead_sensitivity, parallel_asn1_experiment, scheduler_experiment,
+    speedup_experiment, table1_experiment, MappingOutcome, ProtocolProfile, WideFsm16, WideFsm2,
+    WideFsm32, WideFsm4, WideFsm64, WideFsm8,
 };
 pub use report::Table;

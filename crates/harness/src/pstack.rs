@@ -8,8 +8,8 @@
 
 use estelle::external::{MediumModule, MEDIUM_IP};
 use estelle::{
-    downcast, ip, Ctx, ExecTrace, Interaction, IpIndex, ModuleKind, ModuleLabels, Runtime,
-    StateId, StateMachine, Transition,
+    downcast, ip, Ctx, ExecTrace, Interaction, IpIndex, ModuleKind, ModuleLabels, Runtime, StateId,
+    StateMachine, Transition,
 };
 use netsim::{Network, Pipe, PipeMedium, SimDuration, SimTime};
 use presentation::service::{PConCnf, PConInd, PConReq, PConRsp, PDataInd, PDataReq};
@@ -39,7 +39,11 @@ pub struct Initiator {
 impl Initiator {
     /// Creates an initiator issuing `to_send` data requests.
     pub fn new(to_send: u32) -> Self {
-        Initiator { to_send, sent: 0, connected: false }
+        Initiator {
+            to_send,
+            sent: 0,
+            connected: false,
+        }
     }
 }
 
@@ -51,7 +55,13 @@ impl StateMachine for Initiator {
         S0
     }
     fn on_init(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.output(DOWN, PConReq { contexts: mcam_contexts(), user_data: Vec::new() });
+        ctx.output(
+            DOWN,
+            PConReq {
+                contexts: mcam_contexts(),
+                user_data: Vec::new(),
+            },
+        );
     }
     fn transitions() -> Vec<Transition<Self>> {
         vec![
@@ -64,7 +74,13 @@ impl StateMachine for Initiator {
             Transition::spontaneous("send-data", S0, |m: &mut Self, ctx, _| {
                 m.sent += 1;
                 // "Very small P-Data units".
-                ctx.output(DOWN, PDataReq { context_id: 1, user_data: vec![0xAB] });
+                ctx.output(
+                    DOWN,
+                    PDataReq {
+                        context_id: 1,
+                        user_data: vec![0xAB],
+                    },
+                );
             })
             .provided(|m, _| m.connected && m.sent < m.to_send)
             .cost(SimDuration::from_micros(40)),
@@ -90,7 +106,13 @@ impl StateMachine for Responder {
         vec![
             Transition::on("accept", S0, DOWN, |_m: &mut Self, ctx, msg| {
                 let _ = downcast::<PConInd>(msg.unwrap()).unwrap();
-                ctx.output(DOWN, PConRsp { accept: true, user_data: Vec::new() });
+                ctx.output(
+                    DOWN,
+                    PConRsp {
+                        accept: true,
+                        user_data: Vec::new(),
+                    },
+                );
             })
             .provided(|_, msg| is::<PConInd>(msg))
             .cost(SimDuration::from_micros(80)),
@@ -116,7 +138,9 @@ pub struct PsEnv {
 
 impl std::fmt::Debug for PsEnv {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PsEnv").field("connections", &self.endpoints.len()).finish()
+        f.debug_struct("PsEnv")
+            .field("connections", &self.endpoints.len())
+            .finish()
     }
 }
 
@@ -215,12 +239,18 @@ pub fn build_ps_env_mixed(requests: &[u32], seed: u64) -> PsEnv {
                 MediumModule::new(Box::new(PipeMedium::new(b_end))),
             )
             .expect("builds before start");
-        rt.connect(ip(init, DOWN), ip(pres_a, presentation::UP)).expect("fresh points");
-        rt.connect(ip(pres_a, presentation::DOWN), ip(sess_a, session::UP)).expect("fresh");
-        rt.connect(ip(sess_a, session::DOWN), ip(wire_a, MEDIUM_IP)).expect("fresh");
-        rt.connect(ip(resp, DOWN), ip(pres_b, presentation::UP)).expect("fresh");
-        rt.connect(ip(pres_b, presentation::DOWN), ip(sess_b, session::UP)).expect("fresh");
-        rt.connect(ip(sess_b, session::DOWN), ip(wire_b, MEDIUM_IP)).expect("fresh");
+        rt.connect(ip(init, DOWN), ip(pres_a, presentation::UP))
+            .expect("fresh points");
+        rt.connect(ip(pres_a, presentation::DOWN), ip(sess_a, session::UP))
+            .expect("fresh");
+        rt.connect(ip(sess_a, session::DOWN), ip(wire_a, MEDIUM_IP))
+            .expect("fresh");
+        rt.connect(ip(resp, DOWN), ip(pres_b, presentation::UP))
+            .expect("fresh");
+        rt.connect(ip(pres_b, presentation::DOWN), ip(sess_b, session::UP))
+            .expect("fresh");
+        rt.connect(ip(sess_b, session::DOWN), ip(wire_b, MEDIUM_IP))
+            .expect("fresh");
         endpoints.push((init, resp));
     }
     PsEnv { rt, net, endpoints }
@@ -236,7 +266,11 @@ pub fn run_ps_env(env: &PsEnv, data_requests: u32) -> ExecTrace {
 /// [`run_ps_env`] for a per-connection request mix (see
 /// [`build_ps_env_mixed`]).
 pub fn run_ps_env_mixed(env: &PsEnv, requests: &[u32]) -> ExecTrace {
-    assert_eq!(requests.len(), env.endpoints.len(), "one request count per connection");
+    assert_eq!(
+        requests.len(),
+        env.endpoints.len(),
+        "one request count per connection"
+    );
     env.rt.enable_trace();
     env.rt.start().expect("valid spec");
     let opts = estelle::sched::SeqOptions::default();
@@ -268,11 +302,8 @@ mod tests {
         let trace = run_ps_env(&env, 10);
         assert!(trace.records.len() > 80, "records={}", trace.records.len());
         // Both connections appear in the trace.
-        let conns: std::collections::BTreeSet<_> = trace
-            .modules
-            .iter()
-            .filter_map(|m| m.labels.conn)
-            .collect();
+        let conns: std::collections::BTreeSet<_> =
+            trace.modules.iter().filter_map(|m| m.labels.conn).collect();
         assert_eq!(conns.len(), 2);
     }
 

@@ -33,7 +33,10 @@ impl Table {
     }
 
     fn widths(&self) -> Vec<usize> {
-        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut w = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             w[i] = w[i].max(h.len());

@@ -17,8 +17,8 @@ use crate::stack::{IsodeEvent, IsodeStack};
 use estelle::{downcast, Ctx, IpIndex, StateId, StateMachine, Transition};
 use netsim::SimDuration;
 use presentation::service::{
-    PAbortInd, PAbortReq, PConCnf, PConInd, PConReq, PConRsp, PDataInd, PDataReq, PRelCnf,
-    PRelInd, PRelReq, PRelRsp,
+    PAbortInd, PAbortReq, PConCnf, PConInd, PConReq, PConRsp, PDataInd, PDataReq, PRelCnf, PRelInd,
+    PRelReq, PRelRsp,
 };
 
 /// The interface module's single interaction point (P-service up).
@@ -38,7 +38,10 @@ pub struct IsodeInterfaceModule {
 impl IsodeInterfaceModule {
     /// Wraps `stack`.
     pub fn new(stack: IsodeStack) -> Self {
-        IsodeInterfaceModule { stack, call_errors: 0 }
+        IsodeInterfaceModule {
+            stack,
+            call_errors: 0,
+        }
     }
 }
 
@@ -58,7 +61,10 @@ impl StateMachine for IsodeInterfaceModule {
                 let msg = msg.expect("when clause");
                 let msg = match downcast::<PConReq>(msg) {
                     Ok(req) => {
-                        if m.stack.p_connect_request(req.contexts, req.user_data).is_err() {
+                        if m.stack
+                            .p_connect_request(req.contexts, req.user_data)
+                            .is_err()
+                        {
                             m.call_errors += 1;
                         }
                         return;
@@ -67,7 +73,10 @@ impl StateMachine for IsodeInterfaceModule {
                 };
                 let msg = match downcast::<PConRsp>(msg) {
                     Ok(rsp) => {
-                        if m.stack.p_connect_response(rsp.accept, rsp.user_data).is_err() {
+                        if m.stack
+                            .p_connect_response(rsp.accept, rsp.user_data)
+                            .is_err()
+                        {
                             m.call_errors += 1;
                         }
                         return;
@@ -76,7 +85,10 @@ impl StateMachine for IsodeInterfaceModule {
                 };
                 let msg = match downcast::<PDataReq>(msg) {
                     Ok(req) => {
-                        if m.stack.p_data_request(req.context_id, req.user_data).is_err() {
+                        if m.stack
+                            .p_data_request(req.context_id, req.user_data)
+                            .is_err()
+                        {
                             m.call_errors += 1;
                         }
                         return;
@@ -112,19 +124,53 @@ impl StateMachine for IsodeInterfaceModule {
                 m.stack.pump();
                 while let Some(ev) = m.stack.poll_event() {
                     match ev {
-                        IsodeEvent::ConnectInd { contexts, user_data } => {
-                            ctx.output(UP, PConInd { contexts, user_data });
+                        IsodeEvent::ConnectInd {
+                            contexts,
+                            user_data,
+                        } => {
+                            ctx.output(
+                                UP,
+                                PConInd {
+                                    contexts,
+                                    user_data,
+                                },
+                            );
                         }
-                        IsodeEvent::ConnectCnf { accepted, results, user_data } => {
-                            ctx.output(UP, PConCnf { accepted, results, user_data });
+                        IsodeEvent::ConnectCnf {
+                            accepted,
+                            results,
+                            user_data,
+                        } => {
+                            ctx.output(
+                                UP,
+                                PConCnf {
+                                    accepted,
+                                    results,
+                                    user_data,
+                                },
+                            );
                         }
-                        IsodeEvent::DataInd { context_id, user_data } => {
-                            ctx.output(UP, PDataInd { context_id, user_data });
+                        IsodeEvent::DataInd {
+                            context_id,
+                            user_data,
+                        } => {
+                            ctx.output(
+                                UP,
+                                PDataInd {
+                                    context_id,
+                                    user_data,
+                                },
+                            );
                         }
                         IsodeEvent::ReleaseInd => ctx.output(UP, PRelInd),
                         IsodeEvent::ReleaseCnf => ctx.output(UP, PRelCnf),
                         IsodeEvent::AbortInd { reason } => {
-                            ctx.output(UP, PAbortInd { reason: i64::from(reason) });
+                            ctx.output(
+                                UP,
+                                PAbortInd {
+                                    reason: i64::from(reason),
+                                },
+                            );
                         }
                     }
                 }
@@ -174,18 +220,33 @@ mod tests {
 
         rt.inject(
             ip(ia, UP),
-            Box::new(PConReq { contexts: mcam_contexts(), user_data: b"AARQ".to_vec() }),
+            Box::new(PConReq {
+                contexts: mcam_contexts(),
+                user_data: b"AARQ".to_vec(),
+            }),
         )
         .unwrap();
         run();
-        rt.inject(ip(ib, UP), Box::new(PConRsp { accept: true, user_data: b"AARE".to_vec() }))
-            .unwrap();
+        rt.inject(
+            ip(ib, UP),
+            Box::new(PConRsp {
+                accept: true,
+                user_data: b"AARE".to_vec(),
+            }),
+        )
+        .unwrap();
         run();
         assert!(rt
             .with_machine::<IsodeInterfaceModule, _>(ia, |m| m.stack.is_connected())
             .unwrap());
-        rt.inject(ip(ia, UP), Box::new(PDataReq { context_id: 1, user_data: b"x".to_vec() }))
-            .unwrap();
+        rt.inject(
+            ip(ia, UP),
+            Box::new(PDataReq {
+                context_id: 1,
+                user_data: b"x".to_vec(),
+            }),
+        )
+        .unwrap();
         run();
         assert_eq!(
             rt.with_machine::<IsodeInterfaceModule, _>(ib, |m| m.stack.data_received)
@@ -193,7 +254,8 @@ mod tests {
             1
         );
         assert_eq!(
-            rt.with_machine::<IsodeInterfaceModule, _>(ia, |m| m.call_errors).unwrap(),
+            rt.with_machine::<IsodeInterfaceModule, _>(ia, |m| m.call_errors)
+                .unwrap(),
             0
         );
     }

@@ -140,8 +140,14 @@ impl IsodeStack {
             return Err(IsodeError::WrongState("PConnectRequest"));
         }
         // Hand-coded optimization: build CP and CN in one pass.
-        let cp = Ppdu::Cp { contexts, user_data };
-        let cn = Spdu::Cn { versions: VERSION_1 | VERSION_2, user_data: cp.encode() };
+        let cp = Ppdu::Cp {
+            contexts,
+            user_data,
+        };
+        let cn = Spdu::Cn {
+            versions: VERSION_1 | VERSION_2,
+            user_data: cp.encode(),
+        };
         self.medium.send(cn.encode());
         self.state = St::Connecting;
         Ok(())
@@ -169,10 +175,16 @@ impl IsodeStack {
                     accepted: pc.transfer_syntax == TRANSFER_BER,
                 })
                 .collect();
-            self.accepted_contexts =
-                results.iter().filter(|r| r.accepted).map(|r| r.id).collect();
+            self.accepted_contexts = results
+                .iter()
+                .filter(|r| r.accepted)
+                .map(|r| r.id)
+                .collect();
             let cpa = Ppdu::Cpa { results, user_data };
-            let ac = Spdu::Ac { version: VERSION_2, user_data: cpa.encode() };
+            let ac = Spdu::Ac {
+                version: VERSION_2,
+                user_data: cpa.encode(),
+            };
             self.medium.send(ac.encode());
             self.state = St::Connected;
         } else {
@@ -194,8 +206,16 @@ impl IsodeStack {
         if !self.accepted_contexts.contains(&context_id) {
             return Err(IsodeError::BadContext(context_id));
         }
-        let td = Ppdu::Td { context_id, user_data: data };
-        self.medium.send(Spdu::Dt { user_data: td.encode() }.encode());
+        let td = Ppdu::Td {
+            context_id,
+            user_data: data,
+        };
+        self.medium.send(
+            Spdu::Dt {
+                user_data: td.encode(),
+            }
+            .encode(),
+        );
         self.data_sent += 1;
         Ok(())
     }
@@ -209,7 +229,12 @@ impl IsodeStack {
         if self.state != St::Connected {
             return Err(IsodeError::WrongState("PReleaseRequest"));
         }
-        self.medium.send(Spdu::Fn { user_data: Vec::new() }.encode());
+        self.medium.send(
+            Spdu::Fn {
+                user_data: Vec::new(),
+            }
+            .encode(),
+        );
         self.state = St::Releasing;
         Ok(())
     }
@@ -223,7 +248,12 @@ impl IsodeStack {
         if self.state != St::RelResponding {
             return Err(IsodeError::WrongState("PReleaseResponse"));
         }
-        self.medium.send(Spdu::Dn { user_data: Vec::new() }.encode());
+        self.medium.send(
+            Spdu::Dn {
+                user_data: Vec::new(),
+            }
+            .encode(),
+        );
         self.state = St::Idle;
         Ok(())
     }
@@ -260,10 +290,16 @@ impl IsodeStack {
     fn handle(&mut self, spdu: Spdu) {
         match (self.state, spdu) {
             (St::Idle, Spdu::Cn { user_data, .. }) => match Ppdu::decode(&user_data) {
-                Ok(Ppdu::Cp { contexts, user_data }) => {
+                Ok(Ppdu::Cp {
+                    contexts,
+                    user_data,
+                }) => {
                     self.offered = contexts.clone();
                     self.state = St::Responding;
-                    self.events.push_back(IsodeEvent::ConnectInd { contexts, user_data });
+                    self.events.push_back(IsodeEvent::ConnectInd {
+                        contexts,
+                        user_data,
+                    });
                 }
                 _ => {
                     self.protocol_errors += 1;
@@ -272,8 +308,11 @@ impl IsodeStack {
             },
             (St::Connecting, Spdu::Ac { user_data, .. }) => match Ppdu::decode(&user_data) {
                 Ok(Ppdu::Cpa { results, user_data }) => {
-                    self.accepted_contexts =
-                        results.iter().filter(|r| r.accepted).map(|r| r.id).collect();
+                    self.accepted_contexts = results
+                        .iter()
+                        .filter(|r| r.accepted)
+                        .map(|r| r.id)
+                        .collect();
                     self.state = St::Connected;
                     self.events.push_back(IsodeEvent::ConnectCnf {
                         accepted: true,
@@ -295,9 +334,15 @@ impl IsodeStack {
                 });
             }
             (St::Connected, Spdu::Dt { user_data }) => match Ppdu::decode(&user_data) {
-                Ok(Ppdu::Td { context_id, user_data }) => {
+                Ok(Ppdu::Td {
+                    context_id,
+                    user_data,
+                }) => {
                     self.data_received += 1;
-                    self.events.push_back(IsodeEvent::DataInd { context_id, user_data });
+                    self.events.push_back(IsodeEvent::DataInd {
+                        context_id,
+                        user_data,
+                    });
                 }
                 _ => self.protocol_errors += 1,
             },
@@ -334,12 +379,19 @@ mod tests {
     }
 
     fn establish(a: &mut IsodeStack, b: &mut IsodeStack) {
-        a.p_connect_request(mcam_contexts(), b"AARQ".to_vec()).unwrap();
+        a.p_connect_request(mcam_contexts(), b"AARQ".to_vec())
+            .unwrap();
         settle(a, b);
-        assert!(matches!(b.poll_event(), Some(IsodeEvent::ConnectInd { .. })));
+        assert!(matches!(
+            b.poll_event(),
+            Some(IsodeEvent::ConnectInd { .. })
+        ));
         b.p_connect_response(true, b"AARE".to_vec()).unwrap();
         settle(a, b);
-        assert!(matches!(a.poll_event(), Some(IsodeEvent::ConnectCnf { accepted: true, .. })));
+        assert!(matches!(
+            a.poll_event(),
+            Some(IsodeEvent::ConnectCnf { accepted: true, .. })
+        ));
         assert!(a.is_connected() && b.is_connected());
     }
 
@@ -351,7 +403,10 @@ mod tests {
         settle(&mut a, &mut b);
         assert_eq!(
             b.poll_event(),
-            Some(IsodeEvent::DataInd { context_id: 1, user_data: b"pdu".to_vec() })
+            Some(IsodeEvent::DataInd {
+                context_id: 1,
+                user_data: b"pdu".to_vec()
+            })
         );
         a.p_release_request().unwrap();
         settle(&mut a, &mut b);
@@ -373,7 +428,10 @@ mod tests {
         settle(&mut a, &mut b);
         assert!(matches!(
             a.poll_event(),
-            Some(IsodeEvent::ConnectCnf { accepted: false, .. })
+            Some(IsodeEvent::ConnectCnf {
+                accepted: false,
+                ..
+            })
         ));
     }
 
@@ -402,6 +460,9 @@ mod tests {
     fn bad_context_rejected() {
         let (mut a, mut b) = pair();
         establish(&mut a, &mut b);
-        assert_eq!(a.p_data_request(42, vec![]), Err(IsodeError::BadContext(42)));
+        assert_eq!(
+            a.p_data_request(42, vec![]),
+            Err(IsodeError::BadContext(42))
+        );
     }
 }

@@ -21,10 +21,22 @@ fn generated_stack_interoperates_with_handcoded_stack() {
     let (rt, _clock) = Runtime::sim();
     let labels = ModuleLabels::default();
     let pres = rt
-        .add_module(None, "pres", ModuleKind::SystemProcess, labels, PresentationMachine::default())
+        .add_module(
+            None,
+            "pres",
+            ModuleKind::SystemProcess,
+            labels,
+            PresentationMachine::default(),
+        )
         .unwrap();
     let sess = rt
-        .add_module(None, "sess", ModuleKind::SystemProcess, labels, SessionMachine::default())
+        .add_module(
+            None,
+            "sess",
+            ModuleKind::SystemProcess,
+            labels,
+            SessionMachine::default(),
+        )
         .unwrap();
     let wire = rt
         .add_module(
@@ -45,32 +57,51 @@ fn generated_stack_interoperates_with_handcoded_stack() {
     // Estelle side initiates.
     rt.inject(
         ip(pres, P_UP),
-        Box::new(PConReq { contexts: mcam_contexts(), user_data: b"AARQ".to_vec() }),
+        Box::new(PConReq {
+            contexts: mcam_contexts(),
+            user_data: b"AARQ".to_vec(),
+        }),
     )
     .unwrap();
     run();
     isode_side.pump();
     match isode_side.poll_event() {
-        Some(IsodeEvent::ConnectInd { contexts, user_data }) => {
+        Some(IsodeEvent::ConnectInd {
+            contexts,
+            user_data,
+        }) => {
             assert_eq!(contexts.len(), 1);
             assert_eq!(user_data, b"AARQ");
         }
         other => panic!("expected ConnectInd, got {other:?}"),
     }
-    isode_side.p_connect_response(true, b"AARE".to_vec()).unwrap();
+    isode_side
+        .p_connect_response(true, b"AARE".to_vec())
+        .unwrap();
     run();
     assert_eq!(rt.module_state(pres), Some(presentation::CONNECTED));
 
     // Data in both directions.
-    rt.inject(ip(pres, P_UP), Box::new(PDataReq { context_id: 1, user_data: b"from-estelle".to_vec() }))
-        .unwrap();
+    rt.inject(
+        ip(pres, P_UP),
+        Box::new(PDataReq {
+            context_id: 1,
+            user_data: b"from-estelle".to_vec(),
+        }),
+    )
+    .unwrap();
     run();
     isode_side.pump();
     assert_eq!(
         isode_side.poll_event(),
-        Some(IsodeEvent::DataInd { context_id: 1, user_data: b"from-estelle".to_vec() })
+        Some(IsodeEvent::DataInd {
+            context_id: 1,
+            user_data: b"from-estelle".to_vec()
+        })
     );
-    isode_side.p_data_request(1, b"from-isode".to_vec()).unwrap();
+    isode_side
+        .p_data_request(1, b"from-isode".to_vec())
+        .unwrap();
     run();
     let received = rt
         .with_machine::<PresentationMachine, _>(pres, |m| m.data_received)

@@ -3,9 +3,9 @@
 //! garbage on the wire.
 
 use isode::{IsodeError, IsodeEvent, IsodeStack};
-use presentation::{ProposedContext, TRANSFER_BER};
 use netsim::{LoopbackMedium, Medium};
 use presentation::mcam_contexts;
+use presentation::{ProposedContext, TRANSFER_BER};
 
 fn pair() -> (IsodeStack, IsodeStack) {
     let (a, b) = LoopbackMedium::pair();
@@ -23,7 +23,8 @@ fn settle(a: &mut IsodeStack, b: &mut IsodeStack) {
 }
 
 fn connect(a: &mut IsodeStack, b: &mut IsodeStack) {
-    a.p_connect_request(mcam_contexts(), b"AARQ".to_vec()).unwrap();
+    a.p_connect_request(mcam_contexts(), b"AARQ".to_vec())
+        .unwrap();
     settle(a, b);
     let Some(IsodeEvent::ConnectInd { .. }) = b.poll_event() else {
         panic!("responder must see P-CONNECT.indication");
@@ -43,7 +44,10 @@ fn data_before_connect_is_wrong_state() {
         a.p_data_request(1, b"x".to_vec()),
         Err(IsodeError::WrongState(_))
     ));
-    assert!(matches!(a.p_release_request(), Err(IsodeError::WrongState(_))));
+    assert!(matches!(
+        a.p_release_request(),
+        Err(IsodeError::WrongState(_))
+    ));
 }
 
 #[test]
@@ -80,18 +84,32 @@ fn unaccepted_context_rejected() {
     };
     b.p_connect_response(true, b"AARE".to_vec()).unwrap();
     settle(&mut a, &mut b);
-    let Some(IsodeEvent::ConnectCnf { accepted: true, results, .. }) = a.poll_event() else {
+    let Some(IsodeEvent::ConnectCnf {
+        accepted: true,
+        results,
+        ..
+    }) = a.poll_event()
+    else {
         panic!("no confirm");
     };
-    assert_eq!(results.len(), 2, "negotiation reports every proposed context");
+    assert_eq!(
+        results.len(),
+        2,
+        "negotiation reports every proposed context"
+    );
     assert!(results.iter().any(|r| r.id == 1 && r.accepted));
     assert!(results.iter().any(|r| r.id == 3 && !r.accepted));
     // Data on the accepted context flows; on the rejected one it
     // fails locally.
     a.p_data_request(1, b"ok".to_vec()).unwrap();
-    assert_eq!(a.p_data_request(3, b"no".to_vec()), Err(IsodeError::BadContext(3)));
+    assert_eq!(
+        a.p_data_request(3, b"no".to_vec()),
+        Err(IsodeError::BadContext(3))
+    );
     settle(&mut a, &mut b);
-    assert!(matches!(b.poll_event(), Some(IsodeEvent::DataInd { context_id, .. }) if context_id == 1));
+    assert!(
+        matches!(b.poll_event(), Some(IsodeEvent::DataInd { context_id, .. }) if context_id == 1)
+    );
 }
 
 #[test]
@@ -102,9 +120,16 @@ fn rejected_association_returns_to_idle() {
     let Some(IsodeEvent::ConnectInd { .. }) = b.poll_event() else {
         panic!("no indication");
     };
-    b.p_connect_response(false, b"AARE-reject".to_vec()).unwrap();
+    b.p_connect_response(false, b"AARE-reject".to_vec())
+        .unwrap();
     settle(&mut a, &mut b);
-    assert!(matches!(a.poll_event(), Some(IsodeEvent::ConnectCnf { accepted: false, .. })));
+    assert!(matches!(
+        a.poll_event(),
+        Some(IsodeEvent::ConnectCnf {
+            accepted: false,
+            ..
+        })
+    ));
     assert!(!a.is_connected() && !b.is_connected());
     // Both sides can associate again.
     connect(&mut a, &mut b);
@@ -131,7 +156,10 @@ fn abort_tears_down_immediately() {
     connect(&mut a, &mut b);
     a.p_abort_request(7);
     settle(&mut a, &mut b);
-    assert!(matches!(b.poll_event(), Some(IsodeEvent::AbortInd { reason: 7 })));
+    assert!(matches!(
+        b.poll_event(),
+        Some(IsodeEvent::AbortInd { reason: 7 })
+    ));
     assert!(!a.is_connected() && !b.is_connected());
 }
 
@@ -141,13 +169,19 @@ fn wire_garbage_counts_protocol_errors() {
     let mut stack = IsodeStack::new(Box::new(wire_b));
     wire_a.send(vec![0xDE, 0xAD, 0xBE, 0xEF]);
     stack.pump();
-    assert!(stack.protocol_errors > 0, "garbage must be counted, not crash");
+    assert!(
+        stack.protocol_errors > 0,
+        "garbage must be counted, not crash"
+    );
     assert!(stack.poll_event().is_none(), "garbage produces no event");
     // The stack still works afterwards.
     let mut peer = IsodeStack::new(Box::new(wire_a));
     peer.p_connect_request(mcam_contexts(), vec![]).unwrap();
     settle(&mut peer, &mut stack);
-    assert!(matches!(stack.poll_event(), Some(IsodeEvent::ConnectInd { .. })));
+    assert!(matches!(
+        stack.poll_event(),
+        Some(IsodeEvent::ConnectInd { .. })
+    ));
 }
 
 #[test]

@@ -66,9 +66,9 @@ mod replay;
 mod report;
 
 pub use machine::{Machine, Overheads};
-pub use mapping::{CostModel, ExplicitMapping, OptimizeOptions, Optimized, optimize};
+pub use mapping::{optimize, CostModel, ExplicitMapping, OptimizeOptions, Optimized};
 pub use replay::{simulate, simulate_sequential, simulate_with};
-pub use report::{SimReport, speedup};
+pub use report::{speedup, SimReport};
 
 #[cfg(test)]
 mod tests {
@@ -107,13 +107,19 @@ mod tests {
                 prev[chain as usize] = Some(seq);
             }
         }
-        ExecTrace { records, modules: vec![] }
+        ExecTrace {
+            records,
+            modules: vec![],
+        }
     }
 
     #[test]
     fn sequential_makespan_is_work_plus_dispatch() {
         let t = two_chains(10, 100);
-        let ov = Overheads { dispatch: SimDuration::from_micros(5), ..Default::default() };
+        let ov = Overheads {
+            dispatch: SimDuration::from_micros(5),
+            ..Default::default()
+        };
         let r = simulate_sequential(&t, ov);
         // 20 firings * (100 + 5) us, no switches in one unit.
         assert_eq!(r.makespan.as_micros(), 20 * 105);
@@ -148,7 +154,10 @@ mod tests {
                 if i > 1 { vec![i - 1] } else { vec![] },
             ));
         }
-        let t = ExecTrace { records, modules: vec![] };
+        let t = ExecTrace {
+            records,
+            modules: vec![],
+        };
         let base = simulate_sequential(&t, Overheads::default());
         let par = simulate(
             &t,
@@ -186,8 +195,15 @@ mod tests {
                 },
             },
         );
-        assert!(cen.makespan > dec.makespan, "coordinator serializes dispatch");
-        assert!(cen.scheduler_share() > 0.5, "share {}", cen.scheduler_share());
+        assert!(
+            cen.makespan > dec.makespan,
+            "coordinator serializes dispatch"
+        );
+        assert!(
+            cen.scheduler_share() > 0.5,
+            "share {}",
+            cen.scheduler_share()
+        );
     }
 
     #[test]
@@ -209,8 +225,14 @@ mod tests {
                 prev[chain as usize] = Some(seq);
             }
         }
-        let t = ExecTrace { records, modules: vec![] };
-        let machine = Machine { processors: 2, overheads: Overheads::ksr1_like() };
+        let t = ExecTrace {
+            records,
+            modules: vec![],
+        };
+        let machine = Machine {
+            processors: 2,
+            overheads: Overheads::ksr1_like(),
+        };
         let per_module = simulate(&t, GroupingPolicy::PerModule, &machine);
         let grouped = simulate(&t, GroupingPolicy::ByConnection { units: 2 }, &machine);
         assert!(
@@ -238,7 +260,10 @@ mod tests {
         );
         let s2 = speedup(&base, &p2);
         let s8 = speedup(&base, &p8);
-        assert!((s8 - s2).abs() < 0.2, "two chains cannot use 8 CPUs: {s2} vs {s8}");
+        assert!(
+            (s8 - s2).abs() < 0.2,
+            "two chains cannot use 8 CPUs: {s2} vs {s8}"
+        );
     }
 
     #[test]
@@ -273,9 +298,15 @@ mod tests {
         let par = simulate(
             &t,
             GroupingPolicy::ByConnection { units: 2 },
-            &Machine { processors: 2, overheads: Overheads::free() },
+            &Machine {
+                processors: 2,
+                overheads: Overheads::free(),
+            },
         );
         let s = speedup(&base, &par);
-        assert!((s - 2.0).abs() < 1e-9, "ideal machine must halve the makespan: {s}");
+        assert!(
+            (s - 2.0).abs() < 1e-9,
+            "ideal machine must halve the makespan: {s}"
+        );
     }
 }

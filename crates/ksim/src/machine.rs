@@ -91,12 +91,18 @@ pub struct Machine {
 impl Machine {
     /// A machine with `processors` CPUs and default overheads.
     pub fn with_processors(processors: usize) -> Self {
-        Machine { processors, overheads: Overheads::default() }
+        Machine {
+            processors,
+            overheads: Overheads::default(),
+        }
     }
 
     /// The paper's server machine: a 32-processor KSR1.
     pub fn ksr1() -> Self {
-        Machine { processors: 32, overheads: Overheads::ksr1_like() }
+        Machine {
+            processors: 32,
+            overheads: Overheads::ksr1_like(),
+        }
     }
 }
 

@@ -80,7 +80,13 @@ impl CostModel {
             }
             producer.insert(r.seq, r.module);
         }
-        CostModel { modules, work, comm, firings, labels }
+        CostModel {
+            modules,
+            work,
+            comm,
+            firings,
+            labels,
+        }
     }
 
     /// Total work across all modules.
@@ -92,7 +98,11 @@ impl CostModel {
 
     /// Communication edges between two modules (order-insensitive).
     pub fn edges_between(&self, a: ModuleId, b: ModuleId) -> u64 {
-        let key = if a.index() <= b.index() { (a, b) } else { (b, a) };
+        let key = if a.index() <= b.index() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.comm.get(&key).copied().unwrap_or(0)
     }
 
@@ -102,8 +112,12 @@ impl CostModel {
     /// the *connections*: the module groups the paper's
     /// connection-per-processor rule keeps together.
     pub fn clusters(&self) -> Vec<Vec<ModuleId>> {
-        let index: HashMap<ModuleId, usize> =
-            self.modules.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        let index: HashMap<ModuleId, usize> = self
+            .modules
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, i))
+            .collect();
         let mut parent: Vec<usize> = (0..self.modules.len()).collect();
         fn find(parent: &mut [usize], i: usize) -> usize {
             let mut root = i;
@@ -119,7 +133,9 @@ impl CostModel {
             root
         }
         for &(a, b) in self.comm.keys() {
-            let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) else { continue };
+            let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) else {
+                continue;
+            };
             let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
             if ra != rb {
                 parent[ra.max(rb)] = ra.min(rb);
@@ -131,7 +147,10 @@ impl CostModel {
         }
         let mut roots: Vec<usize> = by_root.keys().copied().collect();
         roots.sort_unstable();
-        roots.into_iter().map(|r| by_root.remove(&r).expect("root present")).collect()
+        roots
+            .into_iter()
+            .map(|r| by_root.remove(&r).expect("root present"))
+            .collect()
     }
 
     /// Total work of a module group.
@@ -156,7 +175,10 @@ pub struct ExplicitMapping {
 impl ExplicitMapping {
     /// Creates a mapping over `units` units from explicit pairs.
     pub fn new(units: usize, pairs: impl IntoIterator<Item = (ModuleId, UnitId)>) -> Self {
-        ExplicitMapping { map: pairs.into_iter().collect(), units: units.max(1) as u32 }
+        ExplicitMapping {
+            map: pairs.into_iter().collect(),
+            units: units.max(1) as u32,
+        }
     }
 
     /// Unit for `id` (table lookup, then round-robin fallback).
@@ -194,7 +216,10 @@ impl OptimizeOptions {
     /// One unit per processor of `machine`, with the default round
     /// limit.
     pub fn for_machine(machine: &Machine) -> Self {
-        OptimizeOptions { units: machine.processors.max(1), max_rounds: 8 }
+        OptimizeOptions {
+            units: machine.processors.max(1),
+            max_rounds: 8,
+        }
     }
 }
 
@@ -238,7 +263,10 @@ fn lpt_seed(model: &CostModel, groups: &[Vec<ModuleId>], units: usize) -> Explic
         }
         load[u] += model.group_work(&groups[g]);
     }
-    ExplicitMapping { map: table, units: units as u32 }
+    ExplicitMapping {
+        map: table,
+        units: units as u32,
+    }
 }
 
 /// Searches for a module→unit mapping minimizing the simulated
@@ -259,8 +287,7 @@ pub fn optimize(trace: &ExecTrace, machine: &Machine, opts: OptimizeOptions) -> 
     let units = opts.units.max(1);
     let clusters = model.clusters();
 
-    let singleton_groups: Vec<Vec<ModuleId>> =
-        model.modules.iter().map(|&m| vec![m]).collect();
+    let singleton_groups: Vec<Vec<ModuleId>> = model.modules.iter().map(|&m| vec![m]).collect();
     let policy_seed = |policy: estelle::GroupingPolicy| {
         ExplicitMapping::new(
             units,
@@ -277,15 +304,22 @@ pub fn optimize(trace: &ExecTrace, machine: &Machine, opts: OptimizeOptions) -> 
     let seeds = [
         lpt_seed(&model, &singleton_groups, units),
         lpt_seed(&model, &clusters, units),
-        policy_seed(estelle::GroupingPolicy::ByConnection { units: units as u32 }),
-        policy_seed(estelle::GroupingPolicy::ByLayer { units: units as u32 }),
+        policy_seed(estelle::GroupingPolicy::ByConnection {
+            units: units as u32,
+        }),
+        policy_seed(estelle::GroupingPolicy::ByLayer {
+            units: units as u32,
+        }),
     ];
     let mut evaluations = 0usize;
     let mut best: Option<(ExplicitMapping, SimReport)> = None;
     for seed in seeds {
         let report = evaluate(trace, &seed, machine);
         evaluations += 1;
-        if best.as_ref().is_none_or(|(_, b)| report.makespan < b.makespan) {
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| report.makespan < b.makespan)
+        {
             best = Some((seed, report));
         }
     }
@@ -365,7 +399,12 @@ pub fn optimize(trace: &ExecTrace, machine: &Machine, opts: OptimizeOptions) -> 
         }
     }
 
-    Optimized { mapping: best, report: best_report, rounds, evaluations }
+    Optimized {
+        mapping: best,
+        report: best_report,
+        rounds,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -401,7 +440,10 @@ mod tests {
                 prev[i] = Some(seq);
             }
         }
-        ExecTrace { records, modules: vec![] }
+        ExecTrace {
+            records,
+            modules: vec![],
+        }
     }
 
     #[test]
@@ -413,13 +455,22 @@ mod tests {
             records.push(rec(seq, 0, 100, vec![]));
             records.push(rec(seq + 1, 1, 50, vec![seq]));
         }
-        let t = ExecTrace { records, modules: vec![] };
+        let t = ExecTrace {
+            records,
+            modules: vec![],
+        };
         let m = CostModel::from_trace(&t);
         assert_eq!(m.modules.len(), 2);
         assert_eq!(m.work[&ModuleId::from_raw(0)].as_micros(), 1000);
         assert_eq!(m.work[&ModuleId::from_raw(1)].as_micros(), 500);
-        assert_eq!(m.edges_between(ModuleId::from_raw(0), ModuleId::from_raw(1)), 10);
-        assert_eq!(m.edges_between(ModuleId::from_raw(1), ModuleId::from_raw(0)), 10);
+        assert_eq!(
+            m.edges_between(ModuleId::from_raw(0), ModuleId::from_raw(1)),
+            10
+        );
+        assert_eq!(
+            m.edges_between(ModuleId::from_raw(1), ModuleId::from_raw(0)),
+            10
+        );
         assert_eq!(m.firings[&ModuleId::from_raw(0)], 10);
         assert_eq!(m.total_work().as_micros(), 1500);
     }
@@ -441,12 +492,21 @@ mod tests {
             seq += 1;
             records.push(rec(seq, 4, 10, vec![]));
         }
-        let t = ExecTrace { records, modules: vec![] };
+        let t = ExecTrace {
+            records,
+            modules: vec![],
+        };
         let model = CostModel::from_trace(&t);
         let clusters = model.clusters();
         assert_eq!(clusters.len(), 3);
-        assert_eq!(clusters[0], vec![ModuleId::from_raw(0), ModuleId::from_raw(1)]);
-        assert_eq!(clusters[1], vec![ModuleId::from_raw(2), ModuleId::from_raw(3)]);
+        assert_eq!(
+            clusters[0],
+            vec![ModuleId::from_raw(0), ModuleId::from_raw(1)]
+        );
+        assert_eq!(
+            clusters[1],
+            vec![ModuleId::from_raw(2), ModuleId::from_raw(3)]
+        );
         assert_eq!(clusters[2], vec![ModuleId::from_raw(4)]);
         assert_eq!(model.group_work(&clusters[0]).as_micros(), 100);
     }
@@ -465,9 +525,19 @@ mod tests {
         // Round-robin over 2 units pairs 400+100 vs 100+100 (load 500
         // vs 200); the optimizer should find 400 vs 100+100+100.
         let t = chains(&[400, 100, 100, 100], 20);
-        let machine = Machine { processors: 2, overheads: Overheads::ksr1_like() };
+        let machine = Machine {
+            processors: 2,
+            overheads: Overheads::ksr1_like(),
+        };
         let naive = simulate(&t, GroupingPolicy::RoundRobin { units: 2 }, &machine);
-        let opt = optimize(&t, &machine, OptimizeOptions { units: 2, max_rounds: 8 });
+        let opt = optimize(
+            &t,
+            &machine,
+            OptimizeOptions {
+                units: 2,
+                max_rounds: 8,
+            },
+        );
         assert!(
             opt.report.makespan <= naive.makespan,
             "optimizer {} vs round-robin {}",
@@ -484,9 +554,19 @@ mod tests {
     #[test]
     fn optimizer_matches_by_connection_on_homogeneous_load() {
         let t = chains(&[100, 100], 30);
-        let machine = Machine { processors: 2, overheads: Overheads::ksr1_like() };
+        let machine = Machine {
+            processors: 2,
+            overheads: Overheads::ksr1_like(),
+        };
         let by_conn = simulate(&t, GroupingPolicy::ByConnection { units: 2 }, &machine);
-        let opt = optimize(&t, &machine, OptimizeOptions { units: 2, max_rounds: 4 });
+        let opt = optimize(
+            &t,
+            &machine,
+            OptimizeOptions {
+                units: 2,
+                max_rounds: 4,
+            },
+        );
         // The optimizer must do at least as well as the paper's rule.
         assert!(opt.report.makespan <= by_conn.makespan);
         let base = simulate_sequential(&t, Overheads::ksr1_like());
@@ -505,7 +585,12 @@ mod tests {
             for pipe in 0..2u32 {
                 // Stage A.
                 seq += 1;
-                records.push(rec(seq, pipe * 2, 50, prev[pipe as usize].into_iter().collect()));
+                records.push(rec(
+                    seq,
+                    pipe * 2,
+                    50,
+                    prev[pipe as usize].into_iter().collect(),
+                ));
                 let a = seq;
                 // Stage B depends on stage A.
                 seq += 1;
@@ -513,9 +598,22 @@ mod tests {
                 prev[pipe as usize] = Some(seq);
             }
         }
-        let t = ExecTrace { records, modules: vec![] };
-        let machine = Machine { processors: 2, overheads: Overheads::osf1_threads() };
-        let opt = optimize(&t, &machine, OptimizeOptions { units: 2, max_rounds: 8 });
+        let t = ExecTrace {
+            records,
+            modules: vec![],
+        };
+        let machine = Machine {
+            processors: 2,
+            overheads: Overheads::osf1_threads(),
+        };
+        let opt = optimize(
+            &t,
+            &machine,
+            OptimizeOptions {
+                units: 2,
+                max_rounds: 8,
+            },
+        );
         assert_eq!(
             opt.mapping.assign(ModuleId::from_raw(0)),
             opt.mapping.assign(ModuleId::from_raw(1)),
@@ -536,9 +634,26 @@ mod tests {
     #[test]
     fn optimizer_is_deterministic() {
         let t = chains(&[300, 100, 200, 100], 10);
-        let machine = Machine { processors: 2, overheads: Overheads::ksr1_like() };
-        let a = optimize(&t, &machine, OptimizeOptions { units: 2, max_rounds: 8 });
-        let b = optimize(&t, &machine, OptimizeOptions { units: 2, max_rounds: 8 });
+        let machine = Machine {
+            processors: 2,
+            overheads: Overheads::ksr1_like(),
+        };
+        let a = optimize(
+            &t,
+            &machine,
+            OptimizeOptions {
+                units: 2,
+                max_rounds: 8,
+            },
+        );
+        let b = optimize(
+            &t,
+            &machine,
+            OptimizeOptions {
+                units: 2,
+                max_rounds: 8,
+            },
+        );
         assert_eq!(a.mapping, b.mapping);
         assert_eq!(a.report.makespan, b.report.makespan);
         assert_eq!(a.evaluations, b.evaluations);
@@ -546,7 +661,10 @@ mod tests {
 
     #[test]
     fn optimizer_handles_empty_trace() {
-        let t = ExecTrace { records: vec![], modules: vec![] };
+        let t = ExecTrace {
+            records: vec![],
+            modules: vec![],
+        };
         let machine = Machine::with_processors(4);
         let opt = optimize(&t, &machine, OptimizeOptions::for_machine(&machine));
         assert!(opt.report.makespan.is_zero());

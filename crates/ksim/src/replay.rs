@@ -119,6 +119,9 @@ pub fn simulate(trace: &ExecTrace, grouping: GroupingPolicy, machine: &Machine) 
 /// Replays the trace sequentially (one unit, one processor) — the
 /// baseline for speedup computations.
 pub fn simulate_sequential(trace: &ExecTrace, overheads: Overheads) -> SimReport {
-    let machine = Machine { processors: 1, overheads };
+    let machine = Machine {
+        processors: 1,
+        overheads,
+    };
     simulate(trace, GroupingPolicy::Single, &machine)
 }

@@ -54,7 +54,11 @@ impl SimReport {
         if self.per_proc_busy.is_empty() {
             return 1.0;
         }
-        let mean: f64 = self.per_proc_busy.iter().map(|d| d.as_secs_f64()).sum::<f64>()
+        let mean: f64 = self
+            .per_proc_busy
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum::<f64>()
             / self.per_proc_busy.len() as f64;
         if mean == 0.0 {
             return 1.0;
@@ -84,7 +88,10 @@ mod tests {
         SimReport {
             makespan: SimDuration::from_micros(makespan_us),
             firings: 0,
-            per_proc_busy: busy_us.iter().map(|&u| SimDuration::from_micros(u)).collect(),
+            per_proc_busy: busy_us
+                .iter()
+                .map(|&u| SimDuration::from_micros(u))
+                .collect(),
             work: SimDuration::ZERO,
             dispatch_time: SimDuration::ZERO,
             sync_time: SimDuration::ZERO,

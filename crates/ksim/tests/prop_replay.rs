@@ -9,7 +9,11 @@ use proptest::prelude::*;
 /// A random causally valid trace: each record may depend on earlier
 /// records only.
 fn trace_strategy() -> impl Strategy<Value = ExecTrace> {
-    let record = (0u32..6, 1u64..200, prop::collection::vec(any::<prop::sample::Index>(), 0..3));
+    let record = (
+        0u32..6,
+        1u64..200,
+        prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+    );
     prop::collection::vec(record, 1..60).prop_map(|specs| {
         let mut records = Vec::new();
         for (i, (module, cost_us, dep_picks)) in specs.into_iter().enumerate() {
@@ -31,7 +35,10 @@ fn trace_strategy() -> impl Strategy<Value = ExecTrace> {
                 deps,
             });
         }
-        ExecTrace { records, modules: vec![] }
+        ExecTrace {
+            records,
+            modules: vec![],
+        }
     })
 }
 

@@ -86,7 +86,12 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let fb = MtpFeedback { stream_id: 9, highest_seq: 1000, received: 950, lost: 50 };
+        let fb = MtpFeedback {
+            stream_id: 9,
+            highest_seq: 1000,
+            received: 950,
+            lost: 50,
+        };
         assert_eq!(MtpFeedback::decode(&fb.encode()).unwrap(), fb);
         assert!((fb.loss_ratio() - 0.05).abs() < 1e-9);
     }
@@ -95,7 +100,12 @@ mod tests {
     fn rejects_garbage() {
         assert!(MtpFeedback::decode(&[]).is_err());
         assert!(MtpFeedback::decode(&[TYPE_DATA; 25]).is_err());
-        let fb = MtpFeedback { stream_id: 1, highest_seq: 2, received: 3, lost: 4 };
+        let fb = MtpFeedback {
+            stream_id: 1,
+            highest_seq: 2,
+            received: 3,
+            lost: 4,
+        };
         let mut enc = fb.encode();
         enc.pop();
         assert!(MtpFeedback::decode(&enc).is_err());
@@ -103,7 +113,12 @@ mod tests {
 
     #[test]
     fn empty_report_has_zero_loss() {
-        let fb = MtpFeedback { stream_id: 1, highest_seq: 0, received: 0, lost: 0 };
+        let fb = MtpFeedback {
+            stream_id: 1,
+            highest_seq: 0,
+            received: 0,
+            lost: 0,
+        };
         assert_eq!(fb.loss_ratio(), 0.0);
     }
 }

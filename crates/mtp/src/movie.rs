@@ -97,13 +97,19 @@ impl MovieSource {
             FrameKind::B => self.b_size,
         };
         // Deterministic ±25 % jitter from a splitmix-style hash.
-        let mut h = index.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.seed);
+        let mut h = index
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.seed);
         h ^= h >> 30;
         h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
         h ^= h >> 27;
         let jitter_pct = (h % 51) as i64 - 25; // -25..=25
         let size = i64::from(mean) + i64::from(mean) * jitter_pct / 100;
-        Some(Frame { index, kind, size: size.max(64) as u32 })
+        Some(Frame {
+            index,
+            kind,
+            size: size.max(64) as u32,
+        })
     }
 
     /// Iterator over all frames.
@@ -139,8 +145,11 @@ mod tests {
     fn sizes_ordered_by_kind_on_average() {
         let m = MovieSource::test_movie(60, 3);
         let mean = |k: FrameKind| {
-            let v: Vec<u64> =
-                m.frames().filter(|f| f.kind == k).map(|f| u64::from(f.size)).collect();
+            let v: Vec<u64> = m
+                .frames()
+                .filter(|f| f.kind == k)
+                .map(|f| u64::from(f.size))
+                .collect();
             v.iter().sum::<u64>() / v.len() as u64
         };
         let (i, p, b) = (mean(FrameKind::I), mean(FrameKind::P), mean(FrameKind::B));

@@ -80,17 +80,23 @@ impl MtpPacket {
     /// Returns [`MtpDecodeError`] on truncated or invalid input.
     pub fn decode(data: &[u8]) -> Result<MtpPacket, MtpDecodeError> {
         if data.len() < MTP_HEADER_LEN {
-            return Err(MtpDecodeError { reason: "short header" });
+            return Err(MtpDecodeError {
+                reason: "short header",
+            });
         }
         if data[0] != crate::feedback::TYPE_DATA {
-            return Err(MtpDecodeError { reason: "not a data packet" });
+            return Err(MtpDecodeError {
+                reason: "not a data packet",
+            });
         }
         let stream_id = u32::from_be_bytes([data[1], data[2], data[3], data[4]]);
         let seq = u32::from_be_bytes([data[5], data[6], data[7], data[8]]);
         let timestamp_us = u64::from_be_bytes([
             data[9], data[10], data[11], data[12], data[13], data[14], data[15], data[16],
         ]);
-        let kind = code_kind(data[17]).ok_or(MtpDecodeError { reason: "bad frame kind" })?;
+        let kind = code_kind(data[17]).ok_or(MtpDecodeError {
+            reason: "bad frame kind",
+        })?;
         let end_of_stream = data[18] != 0;
         Ok(MtpPacket {
             stream_id,

@@ -200,7 +200,9 @@ impl MtpReceiver {
         if self.packets_since_feedback < self.feedback_every {
             return;
         }
-        let Some(provider) = self.provider else { return };
+        let Some(provider) = self.provider else {
+            return;
+        };
         self.packets_since_feedback = 0;
         let fb = MtpFeedback {
             stream_id: self.stream_id,
@@ -372,7 +374,11 @@ mod tests {
         let (net, mut s, mut r) = rig(0.0, 0, 9);
         s.drop_b_frames = true;
         let played = run_stream(&net, &mut s, &mut r);
-        assert!(s.stats.frames_skipped > 30, "skipped={}", s.stats.frames_skipped);
+        assert!(
+            s.stats.frames_skipped > 30,
+            "skipped={}",
+            s.stats.frames_skipped
+        );
         assert_eq!(
             s.stats.frames_sent + s.stats.frames_skipped,
             100,

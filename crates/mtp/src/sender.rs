@@ -28,6 +28,9 @@ pub struct SenderStats {
     pub frames_skipped: u64,
     /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// Poll passes that ended early because the next frame's data was
+    /// not yet delivered by storage.
+    pub storage_stalls: u64,
 }
 
 /// An isochronous sender pacing one movie over a datagram socket.
@@ -109,6 +112,11 @@ impl MtpSender {
         self.state
     }
 
+    /// The movie this sender paces.
+    pub fn movie(&self) -> &MovieSource {
+        &self.movie
+    }
+
     /// Current frame position.
     pub fn position(&self) -> u64 {
         self.next_frame
@@ -157,8 +165,24 @@ impl MtpSender {
     /// Emits every frame due at or before `now`. Returns the number of
     /// packets sent.
     pub fn poll(&mut self, now: SimTime) -> usize {
+        self.poll_gated(now, None)
+    }
+
+    /// Like [`MtpSender::poll`], but emits only frames below
+    /// `ready_through` (frames whose storage blocks have been
+    /// delivered). A due frame that is not yet ready stalls the
+    /// stream: the deadline stands, and the frames go out — late — as
+    /// soon as the store delivers them. `None` disables gating
+    /// (direct synthesis, no storage model).
+    pub fn poll_gated(&mut self, now: SimTime, ready_through: Option<u64>) -> usize {
         let mut sent = 0;
         while self.state == StreamState::Playing && self.due <= now {
+            if let Some(limit) = ready_through {
+                if self.next_frame < self.movie.frame_count && self.next_frame >= limit {
+                    self.stats.storage_stalls += 1;
+                    break;
+                }
+            }
             match self.movie.frame(self.next_frame) {
                 None => {
                     // End of movie: emit an empty end-of-stream marker.

@@ -34,7 +34,11 @@ fn drive(
 #[test]
 fn feedback_engages_b_frame_dropping_under_loss() {
     let net = Arc::new(Network::new(6));
-    let cfg = LinkConfig::lossy(SimDuration::from_millis(2), SimDuration::from_micros(300), 0.25);
+    let cfg = LinkConfig::lossy(
+        SimDuration::from_millis(2),
+        SimDuration::from_micros(300),
+        0.25,
+    );
     let dg = DatagramNet::new(&net, cfg, 7);
     let provider_sock = dg.bind(NetAddr(1)).unwrap();
     let client_sock = dg.bind(NetAddr(2)).unwrap();
@@ -53,8 +57,15 @@ fn feedback_engages_b_frame_dropping_under_loss() {
         }
     });
 
-    assert!(receiver.feedback_sent >= 2, "feedback_sent={}", receiver.feedback_sent);
-    assert!(sender.feedback_seen > 0, "feedback must reach the sender through loss");
+    assert!(
+        receiver.feedback_sent >= 2,
+        "feedback_sent={}",
+        receiver.feedback_sent
+    );
+    assert!(
+        sender.feedback_seen > 0,
+        "feedback must reach the sender through loss"
+    );
     assert!(sender.drop_b_frames, "25% loss engages adaptation");
     // Adaptation engaged early, so the majority of B frames (2/3 of
     // the GoP) were never transmitted.
@@ -100,10 +111,25 @@ fn adaptation_recovers_after_burst() {
     let sock = dg.bind(NetAddr(1)).unwrap();
     let mut sender = MtpSender::new(sock, NetAddr(2), 1, MovieSource::test_movie(1, 0));
     sender.adaptive = true;
-    sender.handle_feedback(&MtpFeedback { stream_id: 1, highest_seq: 100, received: 80, lost: 20 });
+    sender.handle_feedback(&MtpFeedback {
+        stream_id: 1,
+        highest_seq: 100,
+        received: 80,
+        lost: 20,
+    });
     assert!(sender.drop_b_frames, "20% loss engages");
-    sender.handle_feedback(&MtpFeedback { stream_id: 1, highest_seq: 200, received: 195, lost: 10 });
+    sender.handle_feedback(&MtpFeedback {
+        stream_id: 1,
+        highest_seq: 200,
+        received: 195,
+        lost: 10,
+    });
     assert!(sender.drop_b_frames, "5% still above hysteresis floor");
-    sender.handle_feedback(&MtpFeedback { stream_id: 1, highest_seq: 400, received: 396, lost: 4 });
+    sender.handle_feedback(&MtpFeedback {
+        stream_id: 1,
+        highest_seq: 400,
+        received: 396,
+        lost: 4,
+    });
     assert!(!sender.drop_b_frames, "1% releases adaptation");
 }

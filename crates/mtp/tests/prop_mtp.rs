@@ -16,14 +16,16 @@ fn packet_strategy() -> impl Strategy<Value = MtpPacket> {
         any::<bool>(),
         proptest::collection::vec(any::<u8>(), 0..256),
     )
-        .prop_map(|(stream_id, seq, timestamp_us, kind, end_of_stream, payload)| MtpPacket {
-            stream_id,
-            seq,
-            timestamp_us,
-            kind,
-            end_of_stream,
-            payload,
-        })
+        .prop_map(
+            |(stream_id, seq, timestamp_us, kind, end_of_stream, payload)| MtpPacket {
+                stream_id,
+                seq,
+                timestamp_us,
+                kind,
+                end_of_stream,
+                payload,
+            },
+        )
 }
 
 proptest! {

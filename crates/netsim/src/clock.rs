@@ -67,7 +67,9 @@ pub struct RealClock {
 impl RealClock {
     /// Creates a clock whose origin is "now".
     pub fn new() -> Self {
-        RealClock { start: Instant::now() }
+        RealClock {
+            start: Instant::now(),
+        }
     }
 }
 

@@ -117,7 +117,11 @@ impl DatagramNet {
         let ep = self.net.endpoint();
         inner.sockets.insert(addr, ep);
         inner.endpoints.insert(ep, addr);
-        Ok(DatagramSocket { dg: Arc::clone(self), addr, endpoint: ep })
+        Ok(DatagramSocket {
+            dg: Arc::clone(self),
+            addr,
+            endpoint: ep,
+        })
     }
 
     fn addr_of(&self, ep: EndpointId) -> Option<NetAddr> {
@@ -144,7 +148,8 @@ impl DatagramNet {
             drop_note(&self.net, src_ep, dest_ep, payload.len());
             return false;
         }
-        let delay = self.config.delay.sample(&mut inner.rng) + self.config.serialization(payload.len());
+        let delay =
+            self.config.delay.sample(&mut inner.rng) + self.config.serialization(payload.len());
         self.net.send(src_ep, dest_ep, payload, delay);
         true
     }
@@ -199,7 +204,11 @@ mod tests {
 
     fn setup(loss: f64, seed: u64) -> (Arc<Network>, DatagramSocket, DatagramSocket) {
         let net = Arc::new(Network::new(seed));
-        let cfg = LinkConfig::lossy(SimDuration::from_micros(300), SimDuration::from_micros(100), loss);
+        let cfg = LinkConfig::lossy(
+            SimDuration::from_micros(300),
+            SimDuration::from_micros(100),
+            loss,
+        );
         let dg = DatagramNet::new(&net, cfg, seed.wrapping_add(1));
         let a = dg.bind(NetAddr(1)).unwrap();
         let b = dg.bind(NetAddr(2)).unwrap();

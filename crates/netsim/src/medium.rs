@@ -66,7 +66,10 @@ impl LoopbackMedium {
         let ab = Arc::new(Mutex::new(VecDeque::new()));
         let ba = Arc::new(Mutex::new(VecDeque::new()));
         (
-            LoopbackMedium { tx: Arc::clone(&ab), rx: Arc::clone(&ba) },
+            LoopbackMedium {
+                tx: Arc::clone(&ab),
+                rx: Arc::clone(&ba),
+            },
             LoopbackMedium { tx: ba, rx: ab },
         )
     }
@@ -98,8 +101,14 @@ impl ThreadMedium {
         let (tx_ab, rx_ab) = crossbeam::channel::unbounded();
         let (tx_ba, rx_ba) = crossbeam::channel::unbounded();
         (
-            ThreadMedium { tx: tx_ab, rx: rx_ba },
-            ThreadMedium { tx: tx_ba, rx: rx_ab },
+            ThreadMedium {
+                tx: tx_ab,
+                rx: rx_ba,
+            },
+            ThreadMedium {
+                tx: tx_ba,
+                rx: rx_ab,
+            },
         )
     }
 }

@@ -37,7 +37,9 @@ pub enum LossModel {
 impl LossModel {
     /// Creates an independent-loss model, clamping `p` to `[0, 1]`.
     pub fn bernoulli(p: f64) -> Self {
-        LossModel::Bernoulli { p: p.clamp(0.0, 1.0) }
+        LossModel::Bernoulli {
+            p: p.clamp(0.0, 1.0),
+        }
     }
 }
 
@@ -66,7 +68,11 @@ impl LossModel {
                 } else if rng.gen_bool(p_good_to_bad.clamp(0.0, 1.0)) {
                     state.in_bad_state = true;
                 }
-                let p = if state.in_bad_state { loss_bad } else { loss_good };
+                let p = if state.in_bad_state {
+                    loss_bad
+                } else {
+                    loss_good
+                };
                 p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0))
             }
         }
@@ -160,7 +166,10 @@ impl LinkConfig {
     /// A lossy, jittery datagram link (out-of-order delivery allowed).
     pub fn lossy(mean_delay: SimDuration, jitter: SimDuration, loss_p: f64) -> Self {
         LinkConfig {
-            delay: DelayModel::Jittered { mean: mean_delay, jitter },
+            delay: DelayModel::Jittered {
+                mean: mean_delay,
+                jitter,
+            },
             loss: LossModel::bernoulli(loss_p),
             bandwidth_bps: None,
             fifo: false,

@@ -267,7 +267,11 @@ impl Network {
             s.stats.sent += 1;
             s.stats.bytes_sent += data.len() as u64;
         }
-        let loss_state = if a_to_b { &mut l.loss_ab } else { &mut l.loss_ba };
+        let loss_state = if a_to_b {
+            &mut l.loss_ab
+        } else {
+            &mut l.loss_ba
+        };
         if l.config.loss.drops(loss_state, &mut inner.rng) {
             if let Some(d) = inner.endpoints.get_mut(&dest) {
                 d.stats.dropped += 1;
@@ -277,14 +281,22 @@ impl Network {
         // Serialization: the link transmits one message at a time per
         // direction.
         let ser = l.config.serialization(data.len());
-        let busy = if a_to_b { &mut l.busy_until_ab } else { &mut l.busy_until_ba };
+        let busy = if a_to_b {
+            &mut l.busy_until_ab
+        } else {
+            &mut l.busy_until_ba
+        };
         let tx_start = (*busy).max(now);
         let tx_end = tx_start + ser;
         *busy = tx_end;
         let prop = l.config.delay.sample(&mut inner.rng);
         let mut arrival = tx_end + prop;
         if l.config.fifo {
-            let floor = if a_to_b { &mut l.fifo_floor_ab } else { &mut l.fifo_floor_ba };
+            let floor = if a_to_b {
+                &mut l.fifo_floor_ab
+            } else {
+                &mut l.fifo_floor_ba
+            };
             arrival = arrival.max(*floor);
             *floor = arrival;
         }
@@ -453,7 +465,11 @@ mod tests {
         let st = net.stats(b);
         assert_eq!(st.delivered as usize, scheduled);
         assert_eq!(st.delivered + st.dropped, 1000);
-        assert!(st.dropped > 300 && st.dropped < 700, "dropped={}", st.dropped);
+        assert!(
+            st.dropped > 300 && st.dropped < 700,
+            "dropped={}",
+            st.dropped
+        );
         assert!((st.delivery_ratio() - 0.5).abs() < 0.2);
     }
 

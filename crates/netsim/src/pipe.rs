@@ -66,8 +66,16 @@ impl Pipe {
         let b = net.endpoint();
         let link = net.link(a, b, config);
         (
-            PipeEnd { net: Arc::clone(net), link, local: a },
-            PipeEnd { net: Arc::clone(net), link, local: b },
+            PipeEnd {
+                net: Arc::clone(net),
+                link,
+                local: a,
+            },
+            PipeEnd {
+                net: Arc::clone(net),
+                link,
+                local: b,
+            },
         )
     }
 }

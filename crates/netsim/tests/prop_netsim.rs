@@ -6,8 +6,8 @@
 //! bounds — are checked for arbitrary traffic patterns.
 
 use netsim::{
-    DatagramNet, DelayModel, LinkConfig, LossModel, LossState, NetAddr, Network, Pipe,
-    SimDuration, SimTime,
+    DatagramNet, DelayModel, LinkConfig, LossModel, LossState, NetAddr, Network, Pipe, SimDuration,
+    SimTime,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -7,14 +7,14 @@
 
 use crate::ppdu::{ContextResult, Ppdu, ProposedContext, TRANSFER_BER};
 use crate::service::{
-    PAbortInd, PAbortReq, PConCnf, PConInd, PConReq, PConRsp, PDataInd, PDataReq, PRelCnf,
-    PRelInd, PRelReq, PRelRsp,
+    PAbortInd, PAbortReq, PConCnf, PConInd, PConReq, PConRsp, PDataInd, PDataReq, PRelCnf, PRelInd,
+    PRelReq, PRelRsp,
 };
 use estelle::{downcast, Ctx, Interaction, IpIndex, StateId, StateMachine, Transition};
 use netsim::SimDuration;
 use session::service::{
-    SAbortInd, SAbortReq, SConCnf, SConInd, SConReq, SConRsp, SDataInd, SDataReq, SRelCnf,
-    SRelInd, SRelReq, SRelRsp,
+    SAbortInd, SAbortReq, SConCnf, SConInd, SConReq, SConRsp, SDataInd, SDataReq, SRelCnf, SRelInd,
+    SRelReq, SRelRsp,
 };
 
 /// Interaction point towards the presentation user (MCAM).
@@ -63,7 +63,10 @@ impl PresentationMachine {
             if ok {
                 self.accepted_contexts.push(pc.id);
             }
-            results.push(ContextResult { id: pc.id, accepted: ok });
+            results.push(ContextResult {
+                id: pc.id,
+                accepted: ok,
+            });
         }
         results
     }
@@ -87,8 +90,16 @@ impl StateMachine for PresentationMachine {
             // --- establishment ----------------------------------------
             Transition::on("p-con-req", IDLE, UP, |_m: &mut Self, ctx, msg| {
                 let req = downcast::<PConReq>(msg.unwrap()).unwrap();
-                let cp = Ppdu::Cp { contexts: req.contexts, user_data: req.user_data };
-                ctx.output(DOWN, SConReq { user_data: cp.encode() });
+                let cp = Ppdu::Cp {
+                    contexts: req.contexts,
+                    user_data: req.user_data,
+                };
+                ctx.output(
+                    DOWN,
+                    SConReq {
+                        user_data: cp.encode(),
+                    },
+                );
             })
             .provided(|_, msg| is::<PConReq>(msg))
             .to(CONNECTING)
@@ -96,14 +107,29 @@ impl StateMachine for PresentationMachine {
             Transition::on("cp-ind", IDLE, DOWN, |m: &mut Self, ctx, msg| {
                 let ind = downcast::<SConInd>(msg.unwrap()).unwrap();
                 match Ppdu::decode(&ind.user_data) {
-                    Ok(Ppdu::Cp { contexts, user_data }) => {
+                    Ok(Ppdu::Cp {
+                        contexts,
+                        user_data,
+                    }) => {
                         m.offered_contexts = contexts.clone();
-                        ctx.output(UP, PConInd { contexts, user_data });
+                        ctx.output(
+                            UP,
+                            PConInd {
+                                contexts,
+                                user_data,
+                            },
+                        );
                         ctx.goto(RESPONDING);
                     }
                     _ => {
                         m.protocol_errors += 1;
-                        ctx.output(DOWN, SConRsp { accept: false, user_data: Vec::new() });
+                        ctx.output(
+                            DOWN,
+                            SConRsp {
+                                accept: false,
+                                user_data: Vec::new(),
+                            },
+                        );
                     }
                 }
             })
@@ -114,12 +140,27 @@ impl StateMachine for PresentationMachine {
                 if rsp.accept {
                     let offered = std::mem::take(&mut m.offered_contexts);
                     let results = m.negotiate(&offered);
-                    let cpa = Ppdu::Cpa { results, user_data: rsp.user_data };
-                    ctx.output(DOWN, SConRsp { accept: true, user_data: cpa.encode() });
+                    let cpa = Ppdu::Cpa {
+                        results,
+                        user_data: rsp.user_data,
+                    };
+                    ctx.output(
+                        DOWN,
+                        SConRsp {
+                            accept: true,
+                            user_data: cpa.encode(),
+                        },
+                    );
                     ctx.goto(CONNECTED);
                 } else {
                     let cpr = Ppdu::Cpr { reason: 1 };
-                    ctx.output(DOWN, SConRsp { accept: false, user_data: cpr.encode() });
+                    ctx.output(
+                        DOWN,
+                        SConRsp {
+                            accept: false,
+                            user_data: cpr.encode(),
+                        },
+                    );
                     ctx.goto(IDLE);
                 }
             })
@@ -130,22 +171,40 @@ impl StateMachine for PresentationMachine {
                 if !cnf.accepted {
                     ctx.output(
                         UP,
-                        PConCnf { accepted: false, results: Vec::new(), user_data: Vec::new() },
+                        PConCnf {
+                            accepted: false,
+                            results: Vec::new(),
+                            user_data: Vec::new(),
+                        },
                     );
                     ctx.goto(IDLE);
                     return;
                 }
                 match Ppdu::decode(&cnf.user_data) {
                     Ok(Ppdu::Cpa { results, user_data }) => {
-                        m.accepted_contexts =
-                            results.iter().filter(|r| r.accepted).map(|r| r.id).collect();
-                        ctx.output(UP, PConCnf { accepted: true, results, user_data });
+                        m.accepted_contexts = results
+                            .iter()
+                            .filter(|r| r.accepted)
+                            .map(|r| r.id)
+                            .collect();
+                        ctx.output(
+                            UP,
+                            PConCnf {
+                                accepted: true,
+                                results,
+                                user_data,
+                            },
+                        );
                         ctx.goto(CONNECTED);
                     }
                     Ok(Ppdu::Cpr { .. }) => {
                         ctx.output(
                             UP,
-                            PConCnf { accepted: false, results: Vec::new(), user_data: Vec::new() },
+                            PConCnf {
+                                accepted: false,
+                                results: Vec::new(),
+                                user_data: Vec::new(),
+                            },
                         );
                         ctx.goto(IDLE);
                     }
@@ -165,17 +224,34 @@ impl StateMachine for PresentationMachine {
                     return;
                 }
                 m.data_sent += 1;
-                let td = Ppdu::Td { context_id: req.context_id, user_data: req.user_data };
-                ctx.output(DOWN, SDataReq { user_data: td.encode() });
+                let td = Ppdu::Td {
+                    context_id: req.context_id,
+                    user_data: req.user_data,
+                };
+                ctx.output(
+                    DOWN,
+                    SDataReq {
+                        user_data: td.encode(),
+                    },
+                );
             })
             .provided(|_, msg| is::<PDataReq>(msg))
             .cost(COST_DATA),
             Transition::on("td-ind", CONNECTED, DOWN, |m: &mut Self, ctx, msg| {
                 let ind = downcast::<SDataInd>(msg.unwrap()).unwrap();
                 match Ppdu::decode(&ind.user_data) {
-                    Ok(Ppdu::Td { context_id, user_data }) => {
+                    Ok(Ppdu::Td {
+                        context_id,
+                        user_data,
+                    }) => {
                         m.data_received += 1;
-                        ctx.output(UP, PDataInd { context_id, user_data });
+                        ctx.output(
+                            UP,
+                            PDataInd {
+                                context_id,
+                                user_data,
+                            },
+                        );
                     }
                     _ => m.protocol_errors += 1,
                 }
@@ -197,10 +273,15 @@ impl StateMachine for PresentationMachine {
             .provided(|_, msg| is::<SRelInd>(msg))
             .to(REL_RESPONDING)
             .cost(COST_RELEASE),
-            Transition::on("p-rel-rsp", REL_RESPONDING, UP, |_m: &mut Self, ctx, msg| {
-                let _ = downcast::<PRelRsp>(msg.unwrap()).unwrap();
-                ctx.output(DOWN, SRelRsp);
-            })
+            Transition::on(
+                "p-rel-rsp",
+                REL_RESPONDING,
+                UP,
+                |_m: &mut Self, ctx, msg| {
+                    let _ = downcast::<PRelRsp>(msg.unwrap()).unwrap();
+                    ctx.output(DOWN, SRelRsp);
+                },
+            )
             .provided(|_, msg| is::<PRelRsp>(msg))
             .to(IDLE)
             .cost(COST_RELEASE),
@@ -214,7 +295,12 @@ impl StateMachine for PresentationMachine {
             // --- abort ------------------------------------------------
             Transition::on("p-abort-req", IDLE, UP, |_m: &mut Self, ctx, msg| {
                 let req = downcast::<PAbortReq>(msg.unwrap()).unwrap();
-                ctx.output(DOWN, SAbortReq { reason: req.reason as u8 });
+                ctx.output(
+                    DOWN,
+                    SAbortReq {
+                        reason: req.reason as u8,
+                    },
+                );
             })
             .any_state()
             .provided(|_, msg| is::<PAbortReq>(msg))
@@ -223,7 +309,12 @@ impl StateMachine for PresentationMachine {
             .cost(COST_RELEASE),
             Transition::on("abort-ind", IDLE, DOWN, |_m: &mut Self, ctx, msg| {
                 let ind = downcast::<SAbortInd>(msg.unwrap()).unwrap();
-                ctx.output(UP, PAbortInd { reason: i64::from(ind.reason) });
+                ctx.output(
+                    UP,
+                    PAbortInd {
+                        reason: i64::from(ind.reason),
+                    },
+                );
             })
             .any_state()
             .provided(|_, msg| is::<SAbortInd>(msg))
@@ -231,9 +322,14 @@ impl StateMachine for PresentationMachine {
             .to(IDLE)
             .cost(COST_RELEASE),
             // --- otherwise --------------------------------------------
-            Transition::on("unexpected-session", IDLE, DOWN, |m: &mut Self, _ctx, _msg| {
-                m.protocol_errors += 1;
-            })
+            Transition::on(
+                "unexpected-session",
+                IDLE,
+                DOWN,
+                |m: &mut Self, _ctx, _msg| {
+                    m.protocol_errors += 1;
+                },
+            )
             .any_state()
             .priority(250)
             .cost(SimDuration::from_micros(10)),
@@ -271,16 +367,40 @@ mod tests {
         let (rt, _c) = Runtime::sim();
         let labels = ModuleLabels::default();
         let pa = rt
-            .add_module(None, "pres-a", ModuleKind::SystemProcess, labels, PresentationMachine::default())
+            .add_module(
+                None,
+                "pres-a",
+                ModuleKind::SystemProcess,
+                labels,
+                PresentationMachine::default(),
+            )
             .unwrap();
         let sa = rt
-            .add_module(None, "sess-a", ModuleKind::SystemProcess, labels, SessionMachine::default())
+            .add_module(
+                None,
+                "sess-a",
+                ModuleKind::SystemProcess,
+                labels,
+                SessionMachine::default(),
+            )
             .unwrap();
         let pb = rt
-            .add_module(None, "pres-b", ModuleKind::SystemProcess, labels, PresentationMachine::default())
+            .add_module(
+                None,
+                "pres-b",
+                ModuleKind::SystemProcess,
+                labels,
+                PresentationMachine::default(),
+            )
             .unwrap();
         let sb = rt
-            .add_module(None, "sess-b", ModuleKind::SystemProcess, labels, SessionMachine::default())
+            .add_module(
+                None,
+                "sess-b",
+                ModuleKind::SystemProcess,
+                labels,
+                SessionMachine::default(),
+            )
             .unwrap();
         rt.connect(ip(pa, DOWN), ip(sa, S_UP)).unwrap();
         rt.connect(ip(pb, DOWN), ip(sb, S_UP)).unwrap();
@@ -296,13 +416,22 @@ mod tests {
     fn establish(rt: &Runtime, pa: estelle::ModuleId, pb: estelle::ModuleId) {
         rt.inject(
             ip(pa, UP),
-            Box::new(PConReq { contexts: mcam_contexts(), user_data: b"AARQ".to_vec() }),
+            Box::new(PConReq {
+                contexts: mcam_contexts(),
+                user_data: b"AARQ".to_vec(),
+            }),
         )
         .unwrap();
         run(rt);
         assert_eq!(rt.module_state(pb), Some(RESPONDING));
-        rt.inject(ip(pb, UP), Box::new(PConRsp { accept: true, user_data: b"AARE".to_vec() }))
-            .unwrap();
+        rt.inject(
+            ip(pb, UP),
+            Box::new(PConRsp {
+                accept: true,
+                user_data: b"AARE".to_vec(),
+            }),
+        )
+        .unwrap();
         run(rt);
         assert_eq!(rt.module_state(pa), Some(CONNECTED));
         assert_eq!(rt.module_state(pb), Some(CONNECTED));
@@ -317,11 +446,18 @@ mod tests {
                 .unwrap(),
             vec![1]
         );
-        rt.inject(ip(pa, UP), Box::new(PDataReq { context_id: 1, user_data: b"pdu".to_vec() }))
-            .unwrap();
+        rt.inject(
+            ip(pa, UP),
+            Box::new(PDataReq {
+                context_id: 1,
+                user_data: b"pdu".to_vec(),
+            }),
+        )
+        .unwrap();
         run(&rt);
         assert_eq!(
-            rt.with_machine::<PresentationMachine, _>(pb, |m| m.data_received).unwrap(),
+            rt.with_machine::<PresentationMachine, _>(pb, |m| m.data_received)
+                .unwrap(),
             1
         );
     }
@@ -330,12 +466,34 @@ mod tests {
     fn unknown_transfer_syntax_rejected_in_negotiation() {
         let (rt, pa, pb) = stack_pair();
         let contexts = vec![
-            ProposedContext { id: 1, abstract_syntax: "mcam-pci".into(), transfer_syntax: TRANSFER_BER.into() },
-            ProposedContext { id: 3, abstract_syntax: "weird".into(), transfer_syntax: "xdr".into() },
+            ProposedContext {
+                id: 1,
+                abstract_syntax: "mcam-pci".into(),
+                transfer_syntax: TRANSFER_BER.into(),
+            },
+            ProposedContext {
+                id: 3,
+                abstract_syntax: "weird".into(),
+                transfer_syntax: "xdr".into(),
+            },
         ];
-        rt.inject(ip(pa, UP), Box::new(PConReq { contexts, user_data: vec![] })).unwrap();
+        rt.inject(
+            ip(pa, UP),
+            Box::new(PConReq {
+                contexts,
+                user_data: vec![],
+            }),
+        )
+        .unwrap();
         run(&rt);
-        rt.inject(ip(pb, UP), Box::new(PConRsp { accept: true, user_data: vec![] })).unwrap();
+        rt.inject(
+            ip(pb, UP),
+            Box::new(PConRsp {
+                accept: true,
+                user_data: vec![],
+            }),
+        )
+        .unwrap();
         run(&rt);
         let accepted = rt
             .with_machine::<PresentationMachine, _>(pa, |m| m.accepted_contexts.clone())
@@ -347,15 +505,23 @@ mod tests {
     fn data_on_unaccepted_context_is_error() {
         let (rt, pa, pb) = stack_pair();
         establish(&rt, pa, pb);
-        rt.inject(ip(pa, UP), Box::new(PDataReq { context_id: 99, user_data: vec![] }))
-            .unwrap();
+        rt.inject(
+            ip(pa, UP),
+            Box::new(PDataReq {
+                context_id: 99,
+                user_data: vec![],
+            }),
+        )
+        .unwrap();
         run(&rt);
         assert_eq!(
-            rt.with_machine::<PresentationMachine, _>(pa, |m| m.protocol_errors).unwrap(),
+            rt.with_machine::<PresentationMachine, _>(pa, |m| m.protocol_errors)
+                .unwrap(),
             1
         );
         assert_eq!(
-            rt.with_machine::<PresentationMachine, _>(pb, |m| m.data_received).unwrap(),
+            rt.with_machine::<PresentationMachine, _>(pb, |m| m.data_received)
+                .unwrap(),
             0
         );
     }
@@ -378,11 +544,21 @@ mod tests {
         let (rt, pa, pb) = stack_pair();
         rt.inject(
             ip(pa, UP),
-            Box::new(PConReq { contexts: mcam_contexts(), user_data: vec![] }),
+            Box::new(PConReq {
+                contexts: mcam_contexts(),
+                user_data: vec![],
+            }),
         )
         .unwrap();
         run(&rt);
-        rt.inject(ip(pb, UP), Box::new(PConRsp { accept: false, user_data: vec![] })).unwrap();
+        rt.inject(
+            ip(pb, UP),
+            Box::new(PConRsp {
+                accept: false,
+                user_data: vec![],
+            }),
+        )
+        .unwrap();
         run(&rt);
         assert_eq!(rt.module_state(pa), Some(IDLE));
         assert_eq!(rt.module_state(pb), Some(IDLE));
@@ -392,7 +568,8 @@ mod tests {
     fn abort_tears_down_both_sides() {
         let (rt, pa, pb) = stack_pair();
         establish(&rt, pa, pb);
-        rt.inject(ip(pa, UP), Box::new(PAbortReq { reason: 9 })).unwrap();
+        rt.inject(ip(pa, UP), Box::new(PAbortReq { reason: 9 }))
+            .unwrap();
         run(&rt);
         assert_eq!(rt.module_state(pa), Some(IDLE));
         assert_eq!(rt.module_state(pb), Some(IDLE));

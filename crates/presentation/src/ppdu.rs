@@ -81,7 +81,10 @@ impl Ppdu {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Ppdu::Cp { contexts, user_data } => {
+            Ppdu::Cp {
+                contexts,
+                user_data,
+            } => {
                 ber::write_constructed(TAG_CP, &mut out, |c| {
                     ber::write_constructed(Tag::SEQUENCE, c, |list| {
                         for pc in contexts {
@@ -113,7 +116,10 @@ impl Ppdu {
                     ber::write_integer(*reason, c);
                 });
             }
-            Ppdu::Td { context_id, user_data } => {
+            Ppdu::Td {
+                context_id,
+                user_data,
+            } => {
                 ber::write_constructed(TAG_TD, &mut out, |c| {
                     ber::write_integer(*context_id, c);
                     ber::write_octets(user_data, c);
@@ -152,7 +158,10 @@ impl Ppdu {
                 ir.expect_end()?;
             }
             let user_data = ber::read_octets(&mut inner)?;
-            Ppdu::Cp { contexts, user_data }
+            Ppdu::Cp {
+                contexts,
+                user_data,
+            }
         } else if tag == TAG_CPA {
             let list = inner.read_expect(Tag::SEQUENCE)?;
             let mut lr = inner.descend(list)?;
@@ -169,15 +178,25 @@ impl Ppdu {
             let user_data = ber::read_octets(&mut inner)?;
             Ppdu::Cpa { results, user_data }
         } else if tag == TAG_CPR {
-            Ppdu::Cpr { reason: ber::read_integer(&mut inner)? }
+            Ppdu::Cpr {
+                reason: ber::read_integer(&mut inner)?,
+            }
         } else if tag == TAG_TD {
             let context_id = ber::read_integer(&mut inner)?;
             let user_data = ber::read_octets(&mut inner)?;
-            Ppdu::Td { context_id, user_data }
+            Ppdu::Td {
+                context_id,
+                user_data,
+            }
         } else if tag == TAG_ARU {
-            Ppdu::Aru { reason: ber::read_integer(&mut inner)? }
+            Ppdu::Aru {
+                reason: ber::read_integer(&mut inner)?,
+            }
         } else {
-            return Err(Asn1Error::UnknownVariant { what: "Ppdu", value: i64::from(tag.number) });
+            return Err(Asn1Error::UnknownVariant {
+                what: "Ppdu",
+                value: i64::from(tag.number),
+            });
         };
         inner.expect_end()?;
         r.expect_end()?;
@@ -219,17 +238,32 @@ mod tests {
     #[test]
     fn all_variants_roundtrip() {
         let samples = vec![
-            Ppdu::Cp { contexts: sample_contexts(), user_data: b"assoc".to_vec() },
-            Ppdu::Cp { contexts: vec![], user_data: vec![] },
+            Ppdu::Cp {
+                contexts: sample_contexts(),
+                user_data: b"assoc".to_vec(),
+            },
+            Ppdu::Cp {
+                contexts: vec![],
+                user_data: vec![],
+            },
             Ppdu::Cpa {
                 results: vec![
-                    ContextResult { id: 1, accepted: true },
-                    ContextResult { id: 3, accepted: false },
+                    ContextResult {
+                        id: 1,
+                        accepted: true,
+                    },
+                    ContextResult {
+                        id: 3,
+                        accepted: false,
+                    },
                 ],
                 user_data: vec![7],
             },
             Ppdu::Cpr { reason: 2 },
-            Ppdu::Td { context_id: 1, user_data: b"P-DATA".to_vec() },
+            Ppdu::Td {
+                context_id: 1,
+                user_data: b"P-DATA".to_vec(),
+            },
             Ppdu::Aru { reason: 1 },
         ];
         for p in samples {
@@ -242,7 +276,13 @@ mod tests {
     fn peek_kind_identifies_without_decoding() {
         assert_eq!(Ppdu::peek_kind(&Ppdu::Cpr { reason: 0 }.encode()), Some(2));
         assert_eq!(
-            Ppdu::peek_kind(&Ppdu::Td { context_id: 1, user_data: vec![] }.encode()),
+            Ppdu::peek_kind(
+                &Ppdu::Td {
+                    context_id: 1,
+                    user_data: vec![]
+                }
+                .encode()
+            ),
             Some(3)
         );
         assert_eq!(Ppdu::peek_kind(&[0x02, 0x01, 0x00]), None);
@@ -254,7 +294,11 @@ mod tests {
         assert!(Ppdu::decode(&[]).is_err());
         assert!(Ppdu::decode(&[0x02, 0x01, 0x00]).is_err());
         // CP with truncated content.
-        let mut enc = Ppdu::Cp { contexts: sample_contexts(), user_data: vec![] }.encode();
+        let mut enc = Ppdu::Cp {
+            contexts: sample_contexts(),
+            user_data: vec![],
+        }
+        .encode();
         enc.truncate(enc.len() - 2);
         assert!(Ppdu::decode(&enc).is_err());
     }

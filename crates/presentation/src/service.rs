@@ -88,6 +88,6 @@ pub struct PAbortInd {
 }
 
 impl_interaction!(
-    PConReq, PConInd, PConRsp, PConCnf, PDataReq, PDataInd, PRelReq, PRelInd, PRelRsp,
-    PRelCnf, PAbortReq, PAbortInd
+    PConReq, PConInd, PConRsp, PConCnf, PDataReq, PDataInd, PRelReq, PRelInd, PRelRsp, PRelCnf,
+    PAbortReq, PAbortInd
 );

@@ -7,8 +7,7 @@ use estelle::sched::{run_sequential, SeqOptions};
 use estelle::{ip, ModuleId, ModuleKind, ModuleLabels, Runtime};
 use presentation::service::{PConReq, PConRsp, PDataReq, PRelReq, PRelRsp};
 use presentation::{
-    mcam_contexts, PresentationMachine, ProposedContext, DOWN as P_DOWN,
-    UP as P_UP,
+    mcam_contexts, PresentationMachine, ProposedContext, DOWN as P_DOWN, UP as P_UP,
 };
 use session::{SessionMachine, DOWN as S_DOWN, UP as S_UP};
 
@@ -68,20 +67,46 @@ fn ber_contexts_accepted_foreign_refused() {
         transfer_syntax: "per-unaligned".into(),
     });
     let n_proposed = contexts.len();
-    rt.inject(ip(pa, P_UP), Box::new(PConReq { contexts, user_data: b"AARQ".to_vec() }))
-        .unwrap();
+    rt.inject(
+        ip(pa, P_UP),
+        Box::new(PConReq {
+            contexts,
+            user_data: b"AARQ".to_vec(),
+        }),
+    )
+    .unwrap();
     run(&rt);
     // The responder's user accepts the association.
     let offered = pm(&rt, pb, |m| m.offered_contexts.clone());
-    assert_eq!(offered.len(), n_proposed, "every proposed context is offered");
-    rt.inject(ip(pb, P_UP), Box::new(PConRsp { accept: true, user_data: b"AARE".to_vec() }))
-        .unwrap();
+    assert_eq!(
+        offered.len(),
+        n_proposed,
+        "every proposed context is offered"
+    );
+    rt.inject(
+        ip(pb, P_UP),
+        Box::new(PConRsp {
+            accept: true,
+            user_data: b"AARE".to_vec(),
+        }),
+    )
+    .unwrap();
     run(&rt);
     let accepted_b = pm(&rt, pb, |m| m.accepted_contexts.clone());
     let accepted_a = pm(&rt, pa, |m| m.accepted_contexts.clone());
-    assert_eq!(accepted_a, accepted_b, "negotiation must agree on both sides");
-    assert!(!accepted_a.contains(&71), "non-BER transfer syntax must be refused");
-    assert_eq!(accepted_a.len(), n_proposed - 1, "all BER contexts accepted");
+    assert_eq!(
+        accepted_a, accepted_b,
+        "negotiation must agree on both sides"
+    );
+    assert!(
+        !accepted_a.contains(&71),
+        "non-BER transfer syntax must be refused"
+    );
+    assert_eq!(
+        accepted_a.len(),
+        n_proposed - 1,
+        "all BER contexts accepted"
+    );
 }
 
 #[test]
@@ -89,16 +114,32 @@ fn data_counted_on_both_sides() {
     let (rt, pa, pb) = stacks();
     rt.inject(
         ip(pa, P_UP),
-        Box::new(PConReq { contexts: mcam_contexts(), user_data: vec![] }),
+        Box::new(PConReq {
+            contexts: mcam_contexts(),
+            user_data: vec![],
+        }),
     )
     .unwrap();
     run(&rt);
-    rt.inject(ip(pb, P_UP), Box::new(PConRsp { accept: true, user_data: vec![] })).unwrap();
+    rt.inject(
+        ip(pb, P_UP),
+        Box::new(PConRsp {
+            accept: true,
+            user_data: vec![],
+        }),
+    )
+    .unwrap();
     run(&rt);
     let ctx = pm(&rt, pa, |m| m.accepted_contexts[0]);
     for i in 0..7u8 {
-        rt.inject(ip(pa, P_UP), Box::new(PDataReq { context_id: ctx, user_data: vec![i] }))
-            .unwrap();
+        rt.inject(
+            ip(pa, P_UP),
+            Box::new(PDataReq {
+                context_id: ctx,
+                user_data: vec![i],
+            }),
+        )
+        .unwrap();
     }
     run(&rt);
     assert_eq!(pm(&rt, pa, |m| m.data_sent), 7);
@@ -112,20 +153,41 @@ fn release_handshake_then_reconnect() {
     for round in 0..2 {
         rt.inject(
             ip(pa, P_UP),
-            Box::new(PConReq { contexts: mcam_contexts(), user_data: vec![] }),
+            Box::new(PConReq {
+                contexts: mcam_contexts(),
+                user_data: vec![],
+            }),
         )
         .unwrap();
         run(&rt);
-        rt.inject(ip(pb, P_UP), Box::new(PConRsp { accept: true, user_data: vec![] }))
-            .unwrap();
+        rt.inject(
+            ip(pb, P_UP),
+            Box::new(PConRsp {
+                accept: true,
+                user_data: vec![],
+            }),
+        )
+        .unwrap();
         run(&rt);
-        assert_eq!(rt.module_state(pa), Some(presentation::CONNECTED), "round {round}");
+        assert_eq!(
+            rt.module_state(pa),
+            Some(presentation::CONNECTED),
+            "round {round}"
+        );
         rt.inject(ip(pa, P_UP), Box::new(PRelReq)).unwrap();
         run(&rt);
         rt.inject(ip(pb, P_UP), Box::new(PRelRsp)).unwrap();
         run(&rt);
-        assert_eq!(rt.module_state(pa), Some(presentation::IDLE), "round {round}");
-        assert_eq!(rt.module_state(pb), Some(presentation::IDLE), "round {round}");
+        assert_eq!(
+            rt.module_state(pa),
+            Some(presentation::IDLE),
+            "round {round}"
+        );
+        assert_eq!(
+            rt.module_state(pb),
+            Some(presentation::IDLE),
+            "round {round}"
+        );
     }
 }
 
@@ -134,11 +196,21 @@ fn rejected_association_leaves_idle() {
     let (rt, pa, pb) = stacks();
     rt.inject(
         ip(pa, P_UP),
-        Box::new(PConReq { contexts: mcam_contexts(), user_data: vec![] }),
+        Box::new(PConReq {
+            contexts: mcam_contexts(),
+            user_data: vec![],
+        }),
     )
     .unwrap();
     run(&rt);
-    rt.inject(ip(pb, P_UP), Box::new(PConRsp { accept: false, user_data: vec![] })).unwrap();
+    rt.inject(
+        ip(pb, P_UP),
+        Box::new(PConRsp {
+            accept: false,
+            user_data: vec![],
+        }),
+    )
+    .unwrap();
     run(&rt);
     assert_eq!(rt.module_state(pa), Some(presentation::IDLE));
     assert_eq!(rt.module_state(pb), Some(presentation::IDLE));

@@ -14,8 +14,14 @@ fn ctx_strategy() -> impl Strategy<Value = ProposedContext> {
 fn ppdu_strategy() -> impl Strategy<Value = Ppdu> {
     let data = proptest::collection::vec(any::<u8>(), 0..128);
     prop_oneof![
-        (proptest::collection::vec(ctx_strategy(), 0..5), data.clone())
-            .prop_map(|(contexts, user_data)| Ppdu::Cp { contexts, user_data }),
+        (
+            proptest::collection::vec(ctx_strategy(), 0..5),
+            data.clone()
+        )
+            .prop_map(|(contexts, user_data)| Ppdu::Cp {
+                contexts,
+                user_data
+            }),
         (
             proptest::collection::vec(
                 (-100i64..100, any::<bool>())

@@ -20,7 +20,6 @@ pub mod service;
 mod spdu;
 
 pub use machine::{
-    SessionMachine, CONNECTED, CONNECTING, DOWN, IDLE, RELEASING, REL_RESPONDING,
-    RESPONDING, UP,
+    SessionMachine, CONNECTED, CONNECTING, DOWN, IDLE, RELEASING, REL_RESPONDING, RESPONDING, UP,
 };
 pub use spdu::{Spdu, SpduDecodeError, VERSION_1, VERSION_2};

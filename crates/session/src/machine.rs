@@ -5,8 +5,8 @@
 //! functional unit with connect, data, orderly release, and abort.
 
 use crate::service::{
-    SAbortInd, SAbortReq, SConCnf, SConInd, SConReq, SConRsp, SDataInd, SDataReq, SRelCnf,
-    SRelInd, SRelReq, SRelRsp,
+    SAbortInd, SAbortReq, SConCnf, SConInd, SConReq, SConRsp, SDataInd, SDataReq, SRelCnf, SRelInd,
+    SRelReq, SRelRsp,
 };
 use crate::spdu::{Spdu, VERSION_1, VERSION_2};
 use estelle::external::WireData;
@@ -77,7 +77,10 @@ impl StateMachine for SessionMachine {
             // --- connection establishment -----------------------------
             Transition::on("s-con-req", IDLE, UP, |_m: &mut Self, ctx, msg| {
                 let req = downcast::<SConReq>(msg.unwrap()).unwrap();
-                let cn = Spdu::Cn { versions: VERSION_1 | VERSION_2, user_data: req.user_data };
+                let cn = Spdu::Cn {
+                    versions: VERSION_1 | VERSION_2,
+                    user_data: req.user_data,
+                };
                 ctx.output(DOWN, WireData(cn.encode()));
             })
             .provided(|_, msg| msg.is_some_and(|m| m.is::<SConReq>()))
@@ -85,9 +88,16 @@ impl StateMachine for SessionMachine {
             .cost(COST_CONNECT),
             Transition::on("cn-ind", IDLE, DOWN, |m: &mut Self, ctx, msg| {
                 match decode_spdu(msg.unwrap()) {
-                    Some(Spdu::Cn { versions, user_data }) => {
+                    Some(Spdu::Cn {
+                        versions,
+                        user_data,
+                    }) => {
                         // Prefer version 2 when offered.
-                        m.version = if versions & VERSION_2 != 0 { VERSION_2 } else { VERSION_1 };
+                        m.version = if versions & VERSION_2 != 0 {
+                            VERSION_2
+                        } else {
+                            VERSION_1
+                        };
                         ctx.output(UP, SConInd { user_data });
                     }
                     _ => m.protocol_errors += 1,
@@ -100,7 +110,10 @@ impl StateMachine for SessionMachine {
                 let rsp = downcast::<SConRsp>(msg.unwrap()).unwrap();
                 if rsp.accept {
                     m.connects += 1;
-                    let ac = Spdu::Ac { version: m.version, user_data: rsp.user_data };
+                    let ac = Spdu::Ac {
+                        version: m.version,
+                        user_data: rsp.user_data,
+                    };
                     ctx.output(DOWN, WireData(ac.encode()));
                     ctx.goto(CONNECTED);
                 } else {
@@ -110,22 +123,39 @@ impl StateMachine for SessionMachine {
             })
             .provided(|_, msg| msg.is_some_and(|m| m.is::<SConRsp>()))
             .cost(COST_CONNECT),
-            Transition::on("ac-cnf", CONNECTING, DOWN, |m: &mut Self, ctx, msg| {
-                match decode_spdu(msg.unwrap()) {
+            Transition::on(
+                "ac-cnf",
+                CONNECTING,
+                DOWN,
+                |m: &mut Self, ctx, msg| match decode_spdu(msg.unwrap()) {
                     Some(Spdu::Ac { version, user_data }) => {
                         m.version = version;
                         m.connects += 1;
-                        ctx.output(UP, SConCnf { accepted: true, version, user_data });
+                        ctx.output(
+                            UP,
+                            SConCnf {
+                                accepted: true,
+                                version,
+                                user_data,
+                            },
+                        );
                     }
                     _ => m.protocol_errors += 1,
-                }
-            })
+                },
+            )
             .provided(|_, msg| si_is(msg, 14))
             .to(CONNECTED)
             .cost(COST_CONNECT),
             Transition::on("rf-cnf", CONNECTING, DOWN, |_m: &mut Self, ctx, msg| {
                 let _ = decode_spdu(msg.unwrap());
-                ctx.output(UP, SConCnf { accepted: false, version: 0, user_data: Vec::new() });
+                ctx.output(
+                    UP,
+                    SConCnf {
+                        accepted: false,
+                        version: 0,
+                        user_data: Vec::new(),
+                    },
+                );
             })
             .provided(|_, msg| si_is(msg, 12))
             .to(IDLE)
@@ -134,25 +164,44 @@ impl StateMachine for SessionMachine {
             Transition::on("s-data-req", CONNECTED, UP, |m: &mut Self, ctx, msg| {
                 let req = downcast::<SDataReq>(msg.unwrap()).unwrap();
                 m.data_sent += 1;
-                ctx.output(DOWN, WireData(Spdu::Dt { user_data: req.user_data }.encode()));
+                ctx.output(
+                    DOWN,
+                    WireData(
+                        Spdu::Dt {
+                            user_data: req.user_data,
+                        }
+                        .encode(),
+                    ),
+                );
             })
             .provided(|_, msg| msg.is_some_and(|m| m.is::<SDataReq>()))
             .cost(COST_DATA),
-            Transition::on("dt-ind", CONNECTED, DOWN, |m: &mut Self, ctx, msg| {
-                match decode_spdu(msg.unwrap()) {
+            Transition::on(
+                "dt-ind",
+                CONNECTED,
+                DOWN,
+                |m: &mut Self, ctx, msg| match decode_spdu(msg.unwrap()) {
                     Some(Spdu::Dt { user_data }) => {
                         m.data_received += 1;
                         ctx.output(UP, SDataInd { user_data });
                     }
                     _ => m.protocol_errors += 1,
-                }
-            })
+                },
+            )
             .provided(|_, msg| si_is(msg, 1))
             .cost(COST_DATA),
             // --- orderly release --------------------------------------
             Transition::on("s-rel-req", CONNECTED, UP, |_m: &mut Self, ctx, msg| {
                 let _ = downcast::<SRelReq>(msg.unwrap()).unwrap();
-                ctx.output(DOWN, WireData(Spdu::Fn { user_data: Vec::new() }.encode()));
+                ctx.output(
+                    DOWN,
+                    WireData(
+                        Spdu::Fn {
+                            user_data: Vec::new(),
+                        }
+                        .encode(),
+                    ),
+                );
             })
             .provided(|_, msg| msg.is_some_and(|m| m.is::<SRelReq>()))
             .to(RELEASING)
@@ -164,10 +213,23 @@ impl StateMachine for SessionMachine {
             .provided(|_, msg| si_is(msg, 9))
             .to(REL_RESPONDING)
             .cost(COST_RELEASE),
-            Transition::on("s-rel-rsp", REL_RESPONDING, UP, |_m: &mut Self, ctx, msg| {
-                let _ = downcast::<SRelRsp>(msg.unwrap()).unwrap();
-                ctx.output(DOWN, WireData(Spdu::Dn { user_data: Vec::new() }.encode()));
-            })
+            Transition::on(
+                "s-rel-rsp",
+                REL_RESPONDING,
+                UP,
+                |_m: &mut Self, ctx, msg| {
+                    let _ = downcast::<SRelRsp>(msg.unwrap()).unwrap();
+                    ctx.output(
+                        DOWN,
+                        WireData(
+                            Spdu::Dn {
+                                user_data: Vec::new(),
+                            }
+                            .encode(),
+                        ),
+                    );
+                },
+            )
             .provided(|_, msg| msg.is_some_and(|m| m.is::<SRelRsp>()))
             .to(IDLE)
             .cost(COST_RELEASE),
@@ -234,10 +296,22 @@ mod tests {
     fn pair() -> (Runtime, estelle::ModuleId, estelle::ModuleId) {
         let (rt, _c) = Runtime::sim();
         let a = rt
-            .add_module(None, "sess-a", ModuleKind::SystemProcess, ModuleLabels::default(), SessionMachine::default())
+            .add_module(
+                None,
+                "sess-a",
+                ModuleKind::SystemProcess,
+                ModuleLabels::default(),
+                SessionMachine::default(),
+            )
             .unwrap();
         let b = rt
-            .add_module(None, "sess-b", ModuleKind::SystemProcess, ModuleLabels::default(), SessionMachine::default())
+            .add_module(
+                None,
+                "sess-b",
+                ModuleKind::SystemProcess,
+                ModuleLabels::default(),
+                SessionMachine::default(),
+            )
             .unwrap();
         rt.connect(ip(a, DOWN), ip(b, DOWN)).unwrap();
         rt.start().unwrap();
@@ -251,20 +325,46 @@ mod tests {
     #[test]
     fn connect_accept_data_release() {
         let (rt, a, b) = pair();
-        rt.inject(ip(a, UP), Box::new(SConReq { user_data: b"CP".to_vec() })).unwrap();
+        rt.inject(
+            ip(a, UP),
+            Box::new(SConReq {
+                user_data: b"CP".to_vec(),
+            }),
+        )
+        .unwrap();
         run(&rt);
         assert_eq!(rt.module_state(a), Some(CONNECTING));
         assert_eq!(rt.module_state(b), Some(RESPONDING));
-        rt.inject(ip(b, UP), Box::new(SConRsp { accept: true, user_data: b"CPA".to_vec() }))
-            .unwrap();
+        rt.inject(
+            ip(b, UP),
+            Box::new(SConRsp {
+                accept: true,
+                user_data: b"CPA".to_vec(),
+            }),
+        )
+        .unwrap();
         run(&rt);
         assert_eq!(rt.module_state(a), Some(CONNECTED));
         assert_eq!(rt.module_state(b), Some(CONNECTED));
-        assert_eq!(rt.with_machine::<SessionMachine, _>(a, |m| m.version).unwrap(), VERSION_2);
+        assert_eq!(
+            rt.with_machine::<SessionMachine, _>(a, |m| m.version)
+                .unwrap(),
+            VERSION_2
+        );
 
-        rt.inject(ip(a, UP), Box::new(SDataReq { user_data: b"P-DATA".to_vec() })).unwrap();
+        rt.inject(
+            ip(a, UP),
+            Box::new(SDataReq {
+                user_data: b"P-DATA".to_vec(),
+            }),
+        )
+        .unwrap();
         run(&rt);
-        assert_eq!(rt.with_machine::<SessionMachine, _>(b, |m| m.data_received).unwrap(), 1);
+        assert_eq!(
+            rt.with_machine::<SessionMachine, _>(b, |m| m.data_received)
+                .unwrap(),
+            1
+        );
 
         rt.inject(ip(a, UP), Box::new(SRelReq)).unwrap();
         run(&rt);
@@ -273,16 +373,32 @@ mod tests {
         run(&rt);
         assert_eq!(rt.module_state(a), Some(IDLE));
         assert_eq!(rt.module_state(b), Some(IDLE));
-        assert_eq!(rt.with_machine::<SessionMachine, _>(a, |m| m.protocol_errors).unwrap(), 0);
-        assert_eq!(rt.with_machine::<SessionMachine, _>(b, |m| m.protocol_errors).unwrap(), 0);
+        assert_eq!(
+            rt.with_machine::<SessionMachine, _>(a, |m| m.protocol_errors)
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            rt.with_machine::<SessionMachine, _>(b, |m| m.protocol_errors)
+                .unwrap(),
+            0
+        );
     }
 
     #[test]
     fn refuse_path_returns_to_idle() {
         let (rt, a, b) = pair();
-        rt.inject(ip(a, UP), Box::new(SConReq { user_data: vec![] })).unwrap();
+        rt.inject(ip(a, UP), Box::new(SConReq { user_data: vec![] }))
+            .unwrap();
         run(&rt);
-        rt.inject(ip(b, UP), Box::new(SConRsp { accept: false, user_data: vec![] })).unwrap();
+        rt.inject(
+            ip(b, UP),
+            Box::new(SConRsp {
+                accept: false,
+                user_data: vec![],
+            }),
+        )
+        .unwrap();
         run(&rt);
         assert_eq!(rt.module_state(a), Some(IDLE));
         assert_eq!(rt.module_state(b), Some(IDLE));
@@ -291,11 +407,20 @@ mod tests {
     #[test]
     fn abort_from_any_state() {
         let (rt, a, b) = pair();
-        rt.inject(ip(a, UP), Box::new(SConReq { user_data: vec![] })).unwrap();
+        rt.inject(ip(a, UP), Box::new(SConReq { user_data: vec![] }))
+            .unwrap();
         run(&rt);
-        rt.inject(ip(b, UP), Box::new(SConRsp { accept: true, user_data: vec![] })).unwrap();
+        rt.inject(
+            ip(b, UP),
+            Box::new(SConRsp {
+                accept: true,
+                user_data: vec![],
+            }),
+        )
+        .unwrap();
         run(&rt);
-        rt.inject(ip(a, UP), Box::new(SAbortReq { reason: 7 })).unwrap();
+        rt.inject(ip(a, UP), Box::new(SAbortReq { reason: 7 }))
+            .unwrap();
         run(&rt);
         assert_eq!(rt.module_state(a), Some(IDLE));
         assert_eq!(rt.module_state(b), Some(IDLE));
@@ -304,33 +429,60 @@ mod tests {
     #[test]
     fn data_before_connect_is_protocol_error() {
         let (rt, a, _b) = pair();
-        rt.inject(ip(a, UP), Box::new(SDataReq { user_data: vec![] })).unwrap();
+        rt.inject(ip(a, UP), Box::new(SDataReq { user_data: vec![] }))
+            .unwrap();
         run(&rt);
         assert_eq!(rt.module_state(a), Some(IDLE));
-        assert_eq!(rt.with_machine::<SessionMachine, _>(a, |m| m.protocol_errors).unwrap(), 1);
+        assert_eq!(
+            rt.with_machine::<SessionMachine, _>(a, |m| m.protocol_errors)
+                .unwrap(),
+            1
+        );
     }
 
     #[test]
     fn garbage_on_wire_is_swallowed() {
         let (rt, a, _b) = pair();
-        rt.inject(ip(a, DOWN), Box::new(WireData(vec![0xEE, 0x00]))).unwrap();
+        rt.inject(ip(a, DOWN), Box::new(WireData(vec![0xEE, 0x00])))
+            .unwrap();
         run(&rt);
-        assert_eq!(rt.with_machine::<SessionMachine, _>(a, |m| m.protocol_errors).unwrap(), 1);
+        assert_eq!(
+            rt.with_machine::<SessionMachine, _>(a, |m| m.protocol_errors)
+                .unwrap(),
+            1
+        );
         assert_eq!(rt.module_state(a), Some(IDLE));
     }
 
     #[test]
     fn many_data_units_in_order() {
         let (rt, a, b) = pair();
-        rt.inject(ip(a, UP), Box::new(SConReq { user_data: vec![] })).unwrap();
+        rt.inject(ip(a, UP), Box::new(SConReq { user_data: vec![] }))
+            .unwrap();
         run(&rt);
-        rt.inject(ip(b, UP), Box::new(SConRsp { accept: true, user_data: vec![] })).unwrap();
+        rt.inject(
+            ip(b, UP),
+            Box::new(SConRsp {
+                accept: true,
+                user_data: vec![],
+            }),
+        )
+        .unwrap();
         run(&rt);
         for i in 0..50u8 {
-            rt.inject(ip(a, UP), Box::new(SDataReq { user_data: vec![i] })).unwrap();
+            rt.inject(ip(a, UP), Box::new(SDataReq { user_data: vec![i] }))
+                .unwrap();
         }
         run(&rt);
-        assert_eq!(rt.with_machine::<SessionMachine, _>(a, |m| m.data_sent).unwrap(), 50);
-        assert_eq!(rt.with_machine::<SessionMachine, _>(b, |m| m.data_received).unwrap(), 50);
+        assert_eq!(
+            rt.with_machine::<SessionMachine, _>(a, |m| m.data_sent)
+                .unwrap(),
+            50
+        );
+        assert_eq!(
+            rt.with_machine::<SessionMachine, _>(b, |m| m.data_received)
+                .unwrap(),
+            50
+        );
     }
 }

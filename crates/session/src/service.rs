@@ -82,8 +82,8 @@ pub struct SAbortInd {
 }
 
 impl_interaction!(
-    SConReq, SConInd, SConRsp, SConCnf, SDataReq, SDataInd, SRelReq, SRelInd, SRelRsp,
-    SRelCnf, SAbortReq, SAbortInd
+    SConReq, SConInd, SConRsp, SConCnf, SDataReq, SDataInd, SRelReq, SRelInd, SRelRsp, SRelCnf,
+    SAbortReq, SAbortInd
 );
 
 #[cfg(test)]

@@ -95,7 +95,10 @@ impl Spdu {
         let mut out = Vec::with_capacity(8);
         out.push(self.si());
         match self {
-            Spdu::Cn { versions, user_data } => {
+            Spdu::Cn {
+                versions,
+                user_data,
+            } => {
                 out.push(*versions);
                 out.extend_from_slice(user_data);
             }
@@ -122,22 +125,36 @@ impl Spdu {
         match si {
             13 => {
                 let versions = *rest.first().ok_or(SpduDecodeError { reason: "short CN" })?;
-                Ok(Spdu::Cn { versions, user_data: rest[1..].to_vec() })
+                Ok(Spdu::Cn {
+                    versions,
+                    user_data: rest[1..].to_vec(),
+                })
             }
             14 => {
                 let version = *rest.first().ok_or(SpduDecodeError { reason: "short AC" })?;
-                Ok(Spdu::Ac { version, user_data: rest[1..].to_vec() })
+                Ok(Spdu::Ac {
+                    version,
+                    user_data: rest[1..].to_vec(),
+                })
             }
             12 => Ok(Spdu::Rf {
                 reason: *rest.first().ok_or(SpduDecodeError { reason: "short RF" })?,
             }),
-            1 => Ok(Spdu::Dt { user_data: rest.to_vec() }),
-            9 => Ok(Spdu::Fn { user_data: rest.to_vec() }),
-            10 => Ok(Spdu::Dn { user_data: rest.to_vec() }),
+            1 => Ok(Spdu::Dt {
+                user_data: rest.to_vec(),
+            }),
+            9 => Ok(Spdu::Fn {
+                user_data: rest.to_vec(),
+            }),
+            10 => Ok(Spdu::Dn {
+                user_data: rest.to_vec(),
+            }),
             25 => Ok(Spdu::Ab {
                 reason: *rest.first().ok_or(SpduDecodeError { reason: "short AB" })?,
             }),
-            _ => Err(SpduDecodeError { reason: "unknown SI" }),
+            _ => Err(SpduDecodeError {
+                reason: "unknown SI",
+            }),
         }
     }
 }
@@ -149,10 +166,18 @@ mod tests {
     #[test]
     fn all_variants_roundtrip() {
         let samples = vec![
-            Spdu::Cn { versions: VERSION_1 | VERSION_2, user_data: vec![1, 2] },
-            Spdu::Ac { version: VERSION_2, user_data: vec![] },
+            Spdu::Cn {
+                versions: VERSION_1 | VERSION_2,
+                user_data: vec![1, 2],
+            },
+            Spdu::Ac {
+                version: VERSION_2,
+                user_data: vec![],
+            },
             Spdu::Rf { reason: 2 },
-            Spdu::Dt { user_data: b"payload".to_vec() },
+            Spdu::Dt {
+                user_data: b"payload".to_vec(),
+            },
             Spdu::Fn { user_data: vec![] },
             Spdu::Dn { user_data: vec![9] },
             Spdu::Ab { reason: 1 },

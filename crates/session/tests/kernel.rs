@@ -13,10 +13,22 @@ use session::{SessionMachine, Spdu, DOWN, UP, VERSION_1, VERSION_2};
 fn pair() -> (Runtime, ModuleId, ModuleId) {
     let (rt, _clock) = Runtime::sim();
     let a = rt
-        .add_module(None, "sess-a", ModuleKind::SystemProcess, ModuleLabels::default(), SessionMachine::default())
+        .add_module(
+            None,
+            "sess-a",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            SessionMachine::default(),
+        )
         .unwrap();
     let b = rt
-        .add_module(None, "sess-b", ModuleKind::SystemProcess, ModuleLabels::default(), SessionMachine::default())
+        .add_module(
+            None,
+            "sess-b",
+            ModuleKind::SystemProcess,
+            ModuleLabels::default(),
+            SessionMachine::default(),
+        )
         .unwrap();
     rt.connect(ip(a, DOWN), ip(b, DOWN)).unwrap();
     rt.start().unwrap();
@@ -30,32 +42,62 @@ fn run(rt: &Runtime) {
 #[test]
 fn connect_negotiates_version_two() {
     let (rt, a, b) = pair();
-    rt.inject(ip(a, UP), Box::new(SConReq { user_data: b"hello".to_vec() })).unwrap();
+    rt.inject(
+        ip(a, UP),
+        Box::new(SConReq {
+            user_data: b"hello".to_vec(),
+        }),
+    )
+    .unwrap();
     run(&rt);
     // The responder saw the indication and is waiting for its user.
-    rt.inject(ip(b, UP), Box::new(SConRsp { accept: true, user_data: b"welcome".to_vec() }))
-        .unwrap();
+    rt.inject(
+        ip(b, UP),
+        Box::new(SConRsp {
+            accept: true,
+            user_data: b"welcome".to_vec(),
+        }),
+    )
+    .unwrap();
     run(&rt);
     let (va, vb) = (
-        rt.with_machine::<SessionMachine, _>(a, |m| m.version).unwrap(),
-        rt.with_machine::<SessionMachine, _>(b, |m| m.version).unwrap(),
+        rt.with_machine::<SessionMachine, _>(a, |m| m.version)
+            .unwrap(),
+        rt.with_machine::<SessionMachine, _>(b, |m| m.version)
+            .unwrap(),
     );
     assert_eq!(va, VERSION_2, "initiator adopts the negotiated version");
     assert_eq!(vb, VERSION_2, "responder prefers v2 when both are offered");
-    assert_eq!(rt.with_machine::<SessionMachine, _>(a, |m| m.connects).unwrap(), 1);
+    assert_eq!(
+        rt.with_machine::<SessionMachine, _>(a, |m| m.connects)
+            .unwrap(),
+        1
+    );
 }
 
 #[test]
 fn version_one_only_peer_is_honoured() {
     let (rt, _a, b) = pair();
     // A 1988-vintage peer offers only version 1 on the wire.
-    let cn = Spdu::Cn { versions: VERSION_1, user_data: vec![] };
-    rt.inject(ip(b, DOWN), Box::new(WireData(cn.encode()))).unwrap();
+    let cn = Spdu::Cn {
+        versions: VERSION_1,
+        user_data: vec![],
+    };
+    rt.inject(ip(b, DOWN), Box::new(WireData(cn.encode())))
+        .unwrap();
     run(&rt);
-    rt.inject(ip(b, UP), Box::new(SConRsp { accept: true, user_data: vec![] })).unwrap();
+    rt.inject(
+        ip(b, UP),
+        Box::new(SConRsp {
+            accept: true,
+            user_data: vec![],
+        }),
+    )
+    .unwrap();
     run(&rt);
     assert_eq!(
-        rt.with_machine::<SessionMachine, _>(b, |m| m.version).unwrap(),
+        rt.with_machine::<SessionMachine, _>(b, |m| m.version)
+            .unwrap(),
         VERSION_1,
         "responder falls back to version 1"
     );
@@ -64,26 +106,58 @@ fn version_one_only_peer_is_honoured() {
 #[test]
 fn refused_connection_returns_both_to_idle() {
     let (rt, a, b) = pair();
-    rt.inject(ip(a, UP), Box::new(SConReq { user_data: vec![] })).unwrap();
+    rt.inject(ip(a, UP), Box::new(SConReq { user_data: vec![] }))
+        .unwrap();
     run(&rt);
-    rt.inject(ip(b, UP), Box::new(SConRsp { accept: false, user_data: vec![] })).unwrap();
+    rt.inject(
+        ip(b, UP),
+        Box::new(SConRsp {
+            accept: false,
+            user_data: vec![],
+        }),
+    )
+    .unwrap();
     run(&rt);
-    assert_eq!(rt.with_machine::<SessionMachine, _>(a, |m| m.connects).unwrap(), 0);
-    assert_eq!(rt.with_machine::<SessionMachine, _>(b, |m| m.connects).unwrap(), 0);
+    assert_eq!(
+        rt.with_machine::<SessionMachine, _>(a, |m| m.connects)
+            .unwrap(),
+        0
+    );
+    assert_eq!(
+        rt.with_machine::<SessionMachine, _>(b, |m| m.connects)
+            .unwrap(),
+        0
+    );
     assert_eq!(rt.module_state(a), Some(session::IDLE));
     assert_eq!(rt.module_state(b), Some(session::IDLE));
     // A second attempt succeeds.
-    rt.inject(ip(a, UP), Box::new(SConReq { user_data: vec![] })).unwrap();
+    rt.inject(ip(a, UP), Box::new(SConReq { user_data: vec![] }))
+        .unwrap();
     run(&rt);
-    rt.inject(ip(b, UP), Box::new(SConRsp { accept: true, user_data: vec![] })).unwrap();
+    rt.inject(
+        ip(b, UP),
+        Box::new(SConRsp {
+            accept: true,
+            user_data: vec![],
+        }),
+    )
+    .unwrap();
     run(&rt);
     assert_eq!(rt.module_state(a), Some(session::CONNECTED));
 }
 
 fn establish(rt: &Runtime, a: ModuleId, b: ModuleId) {
-    rt.inject(ip(a, UP), Box::new(SConReq { user_data: vec![] })).unwrap();
+    rt.inject(ip(a, UP), Box::new(SConReq { user_data: vec![] }))
+        .unwrap();
     run(rt);
-    rt.inject(ip(b, UP), Box::new(SConRsp { accept: true, user_data: vec![] })).unwrap();
+    rt.inject(
+        ip(b, UP),
+        Box::new(SConRsp {
+            accept: true,
+            user_data: vec![],
+        }),
+    )
+    .unwrap();
     run(rt);
     assert_eq!(rt.module_state(a), Some(session::CONNECTED));
     assert_eq!(rt.module_state(b), Some(session::CONNECTED));
@@ -94,11 +168,20 @@ fn data_flows_and_is_counted() {
     let (rt, a, b) = pair();
     establish(&rt, a, b);
     for i in 0..5u8 {
-        rt.inject(ip(a, UP), Box::new(SDataReq { user_data: vec![i] })).unwrap();
+        rt.inject(ip(a, UP), Box::new(SDataReq { user_data: vec![i] }))
+            .unwrap();
     }
     run(&rt);
-    assert_eq!(rt.with_machine::<SessionMachine, _>(a, |m| m.data_sent).unwrap(), 5);
-    assert_eq!(rt.with_machine::<SessionMachine, _>(b, |m| m.data_received).unwrap(), 5);
+    assert_eq!(
+        rt.with_machine::<SessionMachine, _>(a, |m| m.data_sent)
+            .unwrap(),
+        5
+    );
+    assert_eq!(
+        rt.with_machine::<SessionMachine, _>(b, |m| m.data_received)
+            .unwrap(),
+        5
+    );
 }
 
 #[test]
@@ -121,13 +204,25 @@ fn wire_garbage_is_counted_not_fatal() {
     establish(&rt, a, b);
     // An SPDU with an unknown session-indicator byte reaches the
     // connected machine.
-    rt.inject(ip(b, DOWN), Box::new(WireData(vec![99, 0xFF, 0xFF]))).unwrap();
+    rt.inject(ip(b, DOWN), Box::new(WireData(vec![99, 0xFF, 0xFF])))
+        .unwrap();
     run(&rt);
-    let errors = rt.with_machine::<SessionMachine, _>(b, |m| m.protocol_errors).unwrap();
+    let errors = rt
+        .with_machine::<SessionMachine, _>(b, |m| m.protocol_errors)
+        .unwrap();
     assert!(errors > 0, "garbage must be counted");
     // Real data still flows afterwards.
-    rt.inject(ip(a, UP), Box::new(SDataReq { user_data: b"ok".to_vec() })).unwrap();
+    rt.inject(
+        ip(a, UP),
+        Box::new(SDataReq {
+            user_data: b"ok".to_vec(),
+        }),
+    )
+    .unwrap();
     run(&rt);
-    assert_eq!(rt.with_machine::<SessionMachine, _>(b, |m| m.data_received).unwrap(), 1);
+    assert_eq!(
+        rt.with_machine::<SessionMachine, _>(b, |m| m.data_received)
+            .unwrap(),
+        1
+    );
 }
-

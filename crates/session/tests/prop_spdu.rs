@@ -6,8 +6,14 @@ use session::{Spdu, VERSION_1, VERSION_2};
 fn spdu_strategy() -> impl Strategy<Value = Spdu> {
     let data = proptest::collection::vec(any::<u8>(), 0..200);
     prop_oneof![
-        (any::<u8>(), data.clone()).prop_map(|(v, d)| Spdu::Cn { versions: v, user_data: d }),
-        (any::<u8>(), data.clone()).prop_map(|(v, d)| Spdu::Ac { version: v, user_data: d }),
+        (any::<u8>(), data.clone()).prop_map(|(v, d)| Spdu::Cn {
+            versions: v,
+            user_data: d
+        }),
+        (any::<u8>(), data.clone()).prop_map(|(v, d)| Spdu::Ac {
+            version: v,
+            user_data: d
+        }),
         any::<u8>().prop_map(|r| Spdu::Rf { reason: r }),
         data.clone().prop_map(|d| Spdu::Dt { user_data: d }),
         data.clone().prop_map(|d| Spdu::Fn { user_data: d }),

@@ -1,0 +1,244 @@
+//! The server's buffer cache over movie blocks.
+//!
+//! Two replacement policies:
+//!
+//! - [`CachePolicy::Lru`] — classic least-recently-used.
+//! - [`CachePolicy::Interval`] — interval caching (Dan & Sitaram):
+//!   when several viewers watch the same movie closely spaced, the
+//!   blocks the leading stream just read are exactly what the
+//!   trailing stream needs next, so the victim is the cached block
+//!   with the *largest* distance to its nearest trailing consumer.
+//!   Blocks nobody is approaching are evicted first.
+
+use crate::layout::MovieId;
+use std::collections::HashMap;
+
+/// Replacement policy of the buffer cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Least-recently-used.
+    #[default]
+    Lru,
+    /// Interval caching: protect blocks a trailing viewer will reuse.
+    Interval,
+}
+
+/// Key of a cached block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    /// Movie the block belongs to.
+    pub movie: MovieId,
+    /// Logical block index within the movie.
+    pub index: u64,
+}
+
+/// Counters kept by the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the block resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Blocks inserted.
+    pub insertions: u64,
+    /// Blocks evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio over all lookups (0 when none).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded cache of movie blocks.
+#[derive(Debug)]
+pub struct BufferCache {
+    capacity: usize,
+    policy: CachePolicy,
+    resident: HashMap<BlockKey, u64>,
+    tick: u64,
+    /// Counters.
+    pub stats: CacheStats,
+}
+
+impl BufferCache {
+    /// Creates a cache holding up to `capacity` blocks.
+    pub fn new(capacity: usize, policy: CachePolicy) -> Self {
+        BufferCache {
+            capacity,
+            policy,
+            resident: HashMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The replacement policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Number of blocks currently resident.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Looks up `key`, counting a hit or miss and refreshing recency
+    /// on a hit.
+    pub fn lookup(&mut self, key: BlockKey) -> bool {
+        self.tick += 1;
+        match self.resident.get_mut(&key) {
+            Some(touch) => {
+                *touch = self.tick;
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts `key`, evicting if full. `consumers` lists every active
+    /// stream as `(movie, current block position)` — the interval
+    /// policy uses it to find each block's nearest trailing viewer.
+    pub fn insert(&mut self, key: BlockKey, consumers: &[(MovieId, u64)]) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.resident.contains_key(&key) {
+            self.resident.insert(key, self.tick);
+            return;
+        }
+        while self.resident.len() >= self.capacity {
+            let victim = self.pick_victim(consumers);
+            self.resident.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        self.resident.insert(key, self.tick);
+        self.stats.insertions += 1;
+    }
+
+    /// Distance from `key` to its nearest trailing consumer, or
+    /// `None` when no viewer is approaching the block.
+    fn reuse_distance(key: &BlockKey, consumers: &[(MovieId, u64)]) -> Option<u64> {
+        consumers
+            .iter()
+            .filter(|(m, pos)| *m == key.movie && *pos <= key.index)
+            .map(|(_, pos)| key.index - pos)
+            .min()
+    }
+
+    fn pick_victim(&self, consumers: &[(MovieId, u64)]) -> BlockKey {
+        let lru = |&(key, touch): &(&BlockKey, &u64)| (*touch, key.index, key.movie);
+        match self.policy {
+            CachePolicy::Lru => {
+                *self
+                    .resident
+                    .iter()
+                    .min_by_key(lru)
+                    .expect("evicting from non-empty cache")
+                    .0
+            }
+            CachePolicy::Interval => {
+                *self
+                    .resident
+                    .iter()
+                    .max_by_key(|&(key, touch)| {
+                        // Farthest-reuse first; unreachable blocks farthest
+                        // of all; LRU recency breaks ties (older = bigger).
+                        let distance = Self::reuse_distance(key, consumers).unwrap_or(u64::MAX);
+                        (distance, u64::MAX - touch)
+                    })
+                    .expect("evicting from non-empty cache")
+                    .0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(movie: u32, index: u64) -> BlockKey {
+        BlockKey {
+            movie: MovieId(movie),
+            index,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = BufferCache::new(2, CachePolicy::Lru);
+        c.insert(key(1, 0), &[]);
+        c.insert(key(1, 1), &[]);
+        assert!(c.lookup(key(1, 0))); // refresh block 0
+        c.insert(key(1, 2), &[]); // evicts block 1
+        assert!(c.lookup(key(1, 0)));
+        assert!(!c.lookup(key(1, 1)));
+        assert!(c.lookup(key(1, 2)));
+        assert_eq!(c.stats.evictions, 1);
+    }
+
+    #[test]
+    fn interval_protects_blocks_ahead_of_followers() {
+        let mut c = BufferCache::new(2, CachePolicy::Interval);
+        // A follower sits at block 4 of movie 1.
+        let consumers = [(MovieId(1), 4u64)];
+        c.insert(key(1, 5), &consumers); // 1 ahead of the follower
+        c.insert(key(1, 90), &consumers); // 86 ahead — farthest reuse
+        c.insert(key(1, 6), &consumers); // evicts 90, not 5
+        assert!(c.lookup(key(1, 5)));
+        assert!(c.lookup(key(1, 6)));
+        assert!(!c.lookup(key(1, 90)));
+    }
+
+    #[test]
+    fn interval_evicts_unreachable_blocks_first() {
+        let mut c = BufferCache::new(2, CachePolicy::Interval);
+        let consumers = [(MovieId(1), 10u64)];
+        c.insert(key(1, 3), &consumers); // behind the only viewer: unreachable
+        c.insert(key(1, 11), &consumers);
+        c.insert(key(1, 12), &consumers); // evicts 3
+        assert!(!c.lookup(key(1, 3)));
+        assert!(c.lookup(key(1, 11)));
+        assert!(c.lookup(key(1, 12)));
+    }
+
+    #[test]
+    fn hit_ratio_tracks_lookups() {
+        let mut c = BufferCache::new(4, CachePolicy::Lru);
+        c.insert(key(1, 0), &[]);
+        assert!(c.lookup(key(1, 0)));
+        assert!(!c.lookup(key(1, 1)));
+        assert!((c.stats.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = BufferCache::new(0, CachePolicy::Lru);
+        c.insert(key(1, 0), &[]);
+        assert!(!c.lookup(key(1, 0)));
+        assert!(c.is_empty());
+    }
+}

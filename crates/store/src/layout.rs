@@ -1,0 +1,152 @@
+//! Stripe layout: the bijective mapping from a movie's logical block
+//! index to a physical `(disk, offset)` location.
+//!
+//! Movies are laid out block-interleaved across all disks (RAID-0
+//! style), with a per-movie starting disk so that the first blocks of
+//! different movies do not all pile onto disk 0. The mapping and its
+//! inverse are exact — `tests/prop_layout.rs` property-tests the
+//! bijection over the movie's whole block range.
+
+use std::fmt;
+
+/// Identifier of a movie registered with the block store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MovieId(pub u32);
+
+impl fmt::Display for MovieId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "movie-{}", self.0)
+    }
+}
+
+/// A physical block location: which disk, and the block offset within
+/// that disk's slice of the movie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockAddr {
+    /// Disk index in `0..disks`.
+    pub disk: usize,
+    /// Block offset within this movie's allocation on that disk.
+    pub offset: u64,
+}
+
+/// Block-interleaved stripe layout of one movie over `disks` disks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeLayout {
+    disks: usize,
+    start_disk: usize,
+    block_count: u64,
+}
+
+impl StripeLayout {
+    /// Creates a layout of `block_count` blocks over `disks` disks,
+    /// with block 0 on `start_disk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disks` is zero.
+    pub fn new(disks: usize, start_disk: usize, block_count: u64) -> Self {
+        assert!(disks > 0, "stripe layout needs at least one disk");
+        StripeLayout {
+            disks,
+            start_disk: start_disk % disks,
+            block_count,
+        }
+    }
+
+    /// Number of disks in the stripe set.
+    pub fn disks(&self) -> usize {
+        self.disks
+    }
+
+    /// Total logical blocks in the movie.
+    pub fn block_count(&self) -> u64 {
+        self.block_count
+    }
+
+    /// Disk holding the movie's first block.
+    pub fn start_disk(&self) -> usize {
+        self.start_disk
+    }
+
+    /// Maps a logical block index to its physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of the movie's block range.
+    pub fn locate(&self, index: u64) -> BlockAddr {
+        assert!(
+            index < self.block_count,
+            "block {index} out of range 0..{}",
+            self.block_count
+        );
+        let disk = (self.start_disk + (index % self.disks as u64) as usize) % self.disks;
+        BlockAddr {
+            disk,
+            offset: index / self.disks as u64,
+        }
+    }
+
+    /// Inverts [`StripeLayout::locate`]: returns the logical block at
+    /// `addr`, or `None` if no block of this movie lives there.
+    pub fn invert(&self, addr: BlockAddr) -> Option<u64> {
+        if addr.disk >= self.disks {
+            return None;
+        }
+        let lane = (addr.disk + self.disks - self.start_disk) % self.disks;
+        let index = addr
+            .offset
+            .checked_mul(self.disks as u64)?
+            .checked_add(lane as u64)?;
+        (index < self.block_count).then_some(index)
+    }
+
+    /// Iterator over all logical block indices.
+    pub fn blocks(&self) -> impl Iterator<Item = u64> {
+        0..self.block_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_over_disks() {
+        let l = StripeLayout::new(3, 1, 7);
+        let addrs: Vec<BlockAddr> = l.blocks().map(|b| l.locate(b)).collect();
+        assert_eq!(addrs[0], BlockAddr { disk: 1, offset: 0 });
+        assert_eq!(addrs[1], BlockAddr { disk: 2, offset: 0 });
+        assert_eq!(addrs[2], BlockAddr { disk: 0, offset: 0 });
+        assert_eq!(addrs[3], BlockAddr { disk: 1, offset: 1 });
+        // Consecutive blocks never share a disk (for disks > 1).
+        for w in addrs.windows(2) {
+            assert_ne!(w[0].disk, w[1].disk);
+        }
+    }
+
+    #[test]
+    fn invert_is_exact() {
+        let l = StripeLayout::new(4, 2, 1000);
+        for b in l.blocks() {
+            assert_eq!(l.invert(l.locate(b)), Some(b));
+        }
+        // Past-the-end offsets do not invert.
+        assert_eq!(l.invert(BlockAddr { disk: 9, offset: 0 }), None);
+        let last = l.locate(999);
+        assert_eq!(
+            l.invert(BlockAddr {
+                disk: last.disk,
+                offset: last.offset + 1
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn single_disk_degenerates_to_identity() {
+        let l = StripeLayout::new(1, 0, 10);
+        for b in l.blocks() {
+            assert_eq!(l.locate(b), BlockAddr { disk: 0, offset: b });
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! `store` — the continuous-media storage subsystem of the MCAM
+//! server.
+//!
+//! The paper's server streams XMovie films from disk; this crate
+//! models the disk side of that path as a first-class, contended
+//! resource so the stream provider can refuse work it cannot deliver:
+//!
+//! - [`StripeLayout`] — movies laid out block-interleaved across N
+//!   simulated disks, with a property-tested bijective
+//!   block → (disk, offset) map;
+//! - [`Disk`] / [`DiskParams`] — a per-disk seek + transfer cost
+//!   model on the `netsim` virtual clock;
+//! - [`BufferCache`] — a bounded block cache with LRU and
+//!   interval-caching replacement ([`CachePolicy`]), the latter
+//!   exploiting closely-spaced viewers of the same movie;
+//! - per-stream prefetchers inside [`BlockStore`] that pipeline block
+//!   reads ahead of the MTP sender's frame deadlines;
+//! - [`AdmissionController`] — disk-bandwidth admission control that
+//!   rejects streams whose demand would exceed capacity, surfaced to
+//!   clients as a negative MCAM response.
+//!
+//! # Examples
+//!
+//! ```
+//! use store::{BlockStore, StoreConfig};
+//! use mtp::MovieSource;
+//! use netsim::SimTime;
+//!
+//! let store = BlockStore::new(StoreConfig::default());
+//! let movie = MovieSource::test_movie(10, 42);
+//! let id = store.register_movie(&movie);
+//! store.open_stream(1, id, 100, SimTime::ZERO).expect("fits easily");
+//! // Drive the disks until the whole movie is resident.
+//! while let Some(t) = store.next_event() {
+//!     store.pump(t);
+//! }
+//! assert_eq!(store.frames_ready_through(1), Some(movie.frame_count));
+//! ```
+
+#![warn(missing_docs)]
+
+mod admission;
+mod cache;
+mod disk;
+mod layout;
+mod store;
+
+pub use admission::{AdmissionController, AdmissionStats, Rejection};
+pub use cache::{BlockKey, BufferCache, CachePolicy, CacheStats};
+pub use disk::{Disk, DiskParams, DiskStats};
+pub use layout::{BlockAddr, MovieId, StripeLayout};
+pub use store::{BlockStore, StoreConfig, StoreError, StoreStats};

@@ -1,0 +1,730 @@
+//! The block store: striped disks + buffer cache + per-stream
+//! prefetchers + admission control, composed behind one handle.
+
+use crate::admission::{AdmissionController, AdmissionStats, Rejection};
+use crate::cache::{BlockKey, BufferCache, CachePolicy, CacheStats};
+use crate::disk::{Disk, DiskParams, DiskStats};
+use crate::layout::{MovieId, StripeLayout};
+use mtp::MovieSource;
+use netsim::SimTime;
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Configuration of a server's storage subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Number of disks in the stripe set.
+    pub disks: usize,
+    /// Block size in bytes.
+    pub block_size: u32,
+    /// Buffer-cache capacity in blocks.
+    pub cache_blocks: usize,
+    /// Buffer-cache replacement policy.
+    pub policy: CachePolicy,
+    /// Per-disk cost model.
+    pub disk: DiskParams,
+    /// Maximum outstanding block reads per stream.
+    pub prefetch_depth: u32,
+    /// How many blocks past the playback position the prefetcher may
+    /// run ahead (bounds cache pollution and wasted disk work for
+    /// paused or slow streams).
+    pub readahead_blocks: u32,
+    /// Percentage of the raw disk bandwidth the admission controller
+    /// may commit (guards against seek-heavy worst cases).
+    pub admission_headroom_pct: u32,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            disks: 4,
+            block_size: 256 * 1024,
+            cache_blocks: 512,
+            policy: CachePolicy::Interval,
+            disk: DiskParams::default(),
+            prefetch_depth: 4,
+            readahead_blocks: 8,
+            admission_headroom_pct: 85,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Deliverable bandwidth of one disk in bits/second, accounting
+    /// for a worst-case seek per block.
+    pub fn effective_disk_bps(&self) -> u64 {
+        let service = self.disk.service_time(u64::from(self.block_size));
+        if service.is_zero() {
+            return u64::MAX;
+        }
+        let bits = u64::from(self.block_size) * 8;
+        (bits as f64 / service.as_secs_f64()) as u64
+    }
+
+    /// Admissible aggregate bandwidth across all disks (a zero disk
+    /// count is clamped to one, matching the stripe set the store
+    /// actually builds).
+    pub fn capacity_bps(&self) -> u64 {
+        let raw = self
+            .effective_disk_bps()
+            .saturating_mul(self.disks.max(1) as u64);
+        raw / 100 * u64::from(self.admission_headroom_pct.min(100))
+    }
+}
+
+/// Errors surfaced by the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Admission control refused the stream's bandwidth demand.
+    AdmissionRejected {
+        /// Bandwidth the stream would need, in bits/second.
+        demanded_bps: u64,
+        /// Bandwidth still uncommitted, in bits/second.
+        available_bps: u64,
+    },
+    /// Unknown movie id.
+    UnknownMovie(MovieId),
+    /// Unknown stream id.
+    UnknownStream(u32),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::AdmissionRejected {
+                demanded_bps,
+                available_bps,
+            } => write!(
+                f,
+                "admission rejected: stream needs {demanded_bps} bps, {available_bps} bps available"
+            ),
+            StoreError::UnknownMovie(id) => write!(f, "unknown {id}"),
+            StoreError::UnknownStream(id) => write!(f, "unknown stream {id}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Aggregate counters of the store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreStats {
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Admission counters.
+    pub admission: AdmissionStats,
+    /// Per-disk counters.
+    pub disks: Vec<DiskStats>,
+    /// Blocks delivered to streams (from cache or disk).
+    pub blocks_delivered: u64,
+    /// Block requests served by piggybacking on another stream's
+    /// in-flight disk read (no extra disk work).
+    pub coalesced_reads: u64,
+    /// Streams currently open.
+    pub open_streams: usize,
+    /// Bandwidth committed, bits/second.
+    pub committed_bps: u64,
+    /// Bandwidth capacity, bits/second.
+    pub capacity_bps: u64,
+}
+
+impl StoreStats {
+    /// Fraction of block requests that needed no dedicated disk read:
+    /// buffer-cache hits plus coalesced in-flight reads.
+    pub fn service_hit_ratio(&self) -> f64 {
+        let lookups = self.cache.hits + self.cache.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.cache.hits + self.coalesced_reads) as f64 / lookups as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MovieRec {
+    layout: StripeLayout,
+    frames_per_block: u64,
+    frame_count: u64,
+    frame_rate: u32,
+    bitrate_bps: u64,
+    seed: u64,
+}
+
+#[derive(Debug)]
+struct StreamRec {
+    movie: MovieId,
+    /// Next block the prefetcher will request.
+    next_fetch: u64,
+    /// First block of the current playback run (reset by seek).
+    base_block: u64,
+    /// Contiguous blocks delivered starting at `base_block`.
+    contiguous: u64,
+    /// Blocks delivered out of order, ahead of the contiguous run.
+    early: BTreeSet<u64>,
+    /// Outstanding disk reads.
+    outstanding: u32,
+    /// Current playback block position (for interval caching).
+    position_block: u64,
+    speed_pct: u32,
+}
+
+impl StreamRec {
+    fn deliver(&mut self, block: u64) {
+        if block < self.base_block + self.contiguous {
+            return; // stale or already-counted (pre-seek) completion
+        }
+        self.early.insert(block);
+        while self.early.remove(&(self.base_block + self.contiguous)) {
+            self.contiguous += 1;
+        }
+    }
+
+    fn ready_through_block(&self) -> u64 {
+        self.base_block + self.contiguous
+    }
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct PendingRead {
+    ready_at: SimTime,
+    movie: MovieId,
+    block: u64,
+}
+
+struct StoreInner {
+    config: StoreConfig,
+    movies: HashMap<MovieId, MovieRec>,
+    next_movie: u32,
+    disks: Vec<Disk>,
+    cache: BufferCache,
+    admission: AdmissionController,
+    streams: HashMap<u32, StreamRec>,
+    pending: BinaryHeap<Reverse<PendingRead>>,
+    /// Streams waiting on each in-flight disk read (read coalescing:
+    /// a second viewer of the same block piggybacks instead of
+    /// queueing a duplicate).
+    in_flight: HashMap<BlockKey, Vec<u32>>,
+    blocks_delivered: u64,
+    coalesced_reads: u64,
+}
+
+impl StoreInner {
+    fn consumers(&self) -> Vec<(MovieId, u64)> {
+        self.streams
+            .values()
+            .map(|s| (s.movie, s.position_block))
+            .collect()
+    }
+
+    /// Issues prefetch reads for `stream`, up to the configured depth
+    /// and no further than the read-ahead horizon past the stream's
+    /// playback position.
+    fn issue(&mut self, stream_id: u32, now: SimTime) {
+        let Some(stream) = self.streams.get_mut(&stream_id) else {
+            return;
+        };
+        let movie = self.movies[&stream.movie];
+        let horizon = stream
+            .position_block
+            .max(stream.base_block)
+            .saturating_add(u64::from(self.config.readahead_blocks.max(1)));
+        while stream.outstanding < self.config.prefetch_depth.max(1)
+            && stream.next_fetch < movie.layout.block_count()
+            && stream.next_fetch < horizon
+        {
+            let block = stream.next_fetch;
+            let key = BlockKey {
+                movie: stream.movie,
+                index: block,
+            };
+            if self.cache.lookup(key) {
+                stream.next_fetch += 1;
+                stream.deliver(block);
+                self.blocks_delivered += 1;
+                continue;
+            }
+            if let Some(waiters) = self.in_flight.get_mut(&key) {
+                // Another stream already has this block on order:
+                // share the read instead of queueing a duplicate. A
+                // stream re-requesting its own in-flight block (seek
+                // back into the window) is already on the list.
+                if !waiters.contains(&stream_id) {
+                    waiters.push(stream_id);
+                    stream.outstanding += 1;
+                    self.coalesced_reads += 1;
+                }
+                stream.next_fetch += 1;
+                continue;
+            }
+            let addr = movie.layout.locate(block);
+            let ready_at = self.disks[addr.disk].schedule_read(
+                now,
+                stream.movie,
+                addr.offset,
+                u64::from(self.config.block_size),
+            );
+            stream.next_fetch += 1;
+            stream.outstanding += 1;
+            self.in_flight.insert(key, vec![stream_id]);
+            self.pending.push(Reverse(PendingRead {
+                ready_at,
+                movie: stream.movie,
+                block,
+            }));
+        }
+    }
+
+    /// Completes every disk read due at or before `now`, delivering
+    /// the block to every stream waiting on it.
+    fn complete_due(&mut self, now: SimTime) -> usize {
+        let mut completed = 0;
+        // Playback positions cannot change while completions drain, so
+        // one snapshot serves every block completed in this pass.
+        let consumers = self.consumers();
+        while let Some(Reverse(head)) = self.pending.peek() {
+            if head.ready_at > now {
+                break;
+            }
+            let PendingRead { movie, block, .. } = self.pending.pop().expect("peeked entry pops").0;
+            completed += 1;
+            let key = BlockKey {
+                movie,
+                index: block,
+            };
+            let waiters = self.in_flight.remove(&key).unwrap_or_default();
+            self.cache.insert(key, &consumers);
+            for stream_id in waiters {
+                if let Some(stream) = self.streams.get_mut(&stream_id) {
+                    stream.outstanding = stream.outstanding.saturating_sub(1);
+                    stream.deliver(block);
+                    self.blocks_delivered += 1;
+                }
+            }
+        }
+        completed
+    }
+}
+
+/// The continuous-media storage subsystem of one server machine.
+pub struct BlockStore {
+    inner: Mutex<StoreInner>,
+}
+
+impl fmt::Debug for BlockStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BlockStore")
+            .field("disks", &inner.disks.len())
+            .field("movies", &inner.movies.len())
+            .field("streams", &inner.streams.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BlockStore {
+    /// Creates a store from `config`.
+    pub fn new(config: StoreConfig) -> Arc<Self> {
+        let disks = (0..config.disks.max(1))
+            .map(|_| Disk::new(config.disk))
+            .collect();
+        Arc::new(BlockStore {
+            inner: Mutex::new(StoreInner {
+                disks,
+                cache: BufferCache::new(config.cache_blocks, config.policy),
+                admission: AdmissionController::new(config.capacity_bps()),
+                movies: HashMap::new(),
+                next_movie: 1,
+                streams: HashMap::new(),
+                pending: BinaryHeap::new(),
+                in_flight: HashMap::new(),
+                blocks_delivered: 0,
+                coalesced_reads: 0,
+                config,
+            }),
+        })
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.inner.lock().config
+    }
+
+    /// Registers `movie` on the stripe set and returns its id. A movie
+    /// with identical parameters is registered once — repeated selects
+    /// of one title share the layout and cache lines, while an edited
+    /// title (e.g. a modified frame rate) gets a fresh record so
+    /// admission sees its real bandwidth demand.
+    pub fn register_movie(&self, movie: &MovieSource) -> MovieId {
+        let mut inner = self.inner.lock();
+        if let Some((id, _)) = inner.movies.iter().find(|(_, rec)| {
+            rec.seed == movie.seed
+                && rec.frame_count == movie.frame_count
+                && rec.frame_rate == movie.frame_rate
+        }) {
+            return *id;
+        }
+        let id = MovieId(inner.next_movie);
+        inner.next_movie += 1;
+        let bitrate_bps = movie.mean_bitrate_bps().max(1);
+        let block_bits = u64::from(inner.config.block_size) * 8;
+        let frames_per_block =
+            (block_bits * u64::from(movie.frame_rate.max(1)) / bitrate_bps).max(1);
+        let block_count = movie.frame_count.div_ceil(frames_per_block).max(1);
+        let start_disk = id.0 as usize % inner.disks.len();
+        let layout = StripeLayout::new(inner.disks.len(), start_disk, block_count);
+        inner.movies.insert(
+            id,
+            MovieRec {
+                layout,
+                frames_per_block,
+                frame_count: movie.frame_count,
+                frame_rate: movie.frame_rate,
+                bitrate_bps,
+                seed: movie.seed,
+            },
+        );
+        id
+    }
+
+    /// The stripe layout of a registered movie.
+    pub fn layout_of(&self, movie: MovieId) -> Option<StripeLayout> {
+        self.inner.lock().movies.get(&movie).map(|m| m.layout)
+    }
+
+    /// Mean bitrate the store attributes to a registered movie.
+    pub fn bitrate_of(&self, movie: MovieId) -> Option<u64> {
+        self.inner.lock().movies.get(&movie).map(|m| m.bitrate_bps)
+    }
+
+    /// Opens stream `stream_id` over `movie` at `speed_pct`, passing
+    /// admission control and starting the prefetch pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AdmissionRejected`] when the bandwidth demand does
+    /// not fit; [`StoreError::UnknownMovie`] for unregistered movies.
+    pub fn open_stream(
+        &self,
+        stream_id: u32,
+        movie: MovieId,
+        speed_pct: u32,
+        now: SimTime,
+    ) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        let Some(rec) = inner.movies.get(&movie).copied() else {
+            return Err(StoreError::UnknownMovie(movie));
+        };
+        let demand = demand_bps(rec.bitrate_bps, speed_pct);
+        inner.admission.admit(stream_id, demand).map_err(reject)?;
+        inner.streams.insert(
+            stream_id,
+            StreamRec {
+                movie,
+                next_fetch: 0,
+                base_block: 0,
+                contiguous: 0,
+                early: BTreeSet::new(),
+                outstanding: 0,
+                position_block: 0,
+                speed_pct,
+            },
+        );
+        inner.issue(stream_id, now);
+        Ok(())
+    }
+
+    /// Re-negotiates a stream's playback speed (bandwidth demand).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AdmissionRejected`] when the increased demand does
+    /// not fit (the old speed stays committed);
+    /// [`StoreError::UnknownStream`] for unknown ids.
+    pub fn set_speed(&self, stream_id: u32, speed_pct: u32) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        let Some(stream) = inner.streams.get(&stream_id) else {
+            return Err(StoreError::UnknownStream(stream_id));
+        };
+        let movie = stream.movie;
+        let bitrate = inner.movies[&movie].bitrate_bps;
+        let demand = demand_bps(bitrate, speed_pct);
+        inner.admission.admit(stream_id, demand).map_err(reject)?;
+        inner
+            .streams
+            .get_mut(&stream_id)
+            .expect("checked above")
+            .speed_pct = speed_pct;
+        Ok(())
+    }
+
+    /// Repositions a stream's prefetcher to the block holding `frame`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownStream`] for unknown ids.
+    pub fn seek_stream(&self, stream_id: u32, frame: u64, now: SimTime) -> Result<(), StoreError> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let Some(stream) = inner.streams.get_mut(&stream_id) else {
+            return Err(StoreError::UnknownStream(stream_id));
+        };
+        let rec = inner.movies[&stream.movie];
+        let block = (frame / rec.frames_per_block).min(rec.layout.block_count());
+        stream.base_block = block;
+        stream.next_fetch = block;
+        stream.contiguous = 0;
+        stream.early.clear();
+        stream.position_block = block;
+        inner.issue(stream_id, now);
+        Ok(())
+    }
+
+    /// Closes a stream, releasing its bandwidth (idempotent).
+    pub fn close_stream(&self, stream_id: u32) {
+        let mut inner = self.inner.lock();
+        inner.admission.release(stream_id);
+        inner.streams.remove(&stream_id);
+    }
+
+    /// Reports a stream's playback position (frame index) so the
+    /// interval policy knows where each viewer is.
+    pub fn note_position(&self, stream_id: u32, frame: u64) {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let Some(stream) = inner.streams.get_mut(&stream_id) else {
+            return;
+        };
+        let fpb = inner.movies[&stream.movie].frames_per_block;
+        stream.position_block = frame / fpb;
+    }
+
+    /// Completes due disk reads and tops up every prefetch pipeline.
+    /// Returns the number of blocks that completed.
+    pub fn pump(&self, now: SimTime) -> usize {
+        let mut inner = self.inner.lock();
+        let completed = inner.complete_due(now);
+        let ids: Vec<u32> = inner.streams.keys().copied().collect();
+        for id in ids {
+            inner.issue(id, now);
+        }
+        completed
+    }
+
+    /// Earliest pending disk completion, if any.
+    pub fn next_event(&self) -> Option<SimTime> {
+        self.inner
+            .lock()
+            .pending
+            .peek()
+            .map(|Reverse(p)| p.ready_at)
+    }
+
+    /// Number of frames (from the stream's current playback run)
+    /// whose blocks have been delivered: the sender may emit frames
+    /// with index strictly below this.
+    pub fn frames_ready_through(&self, stream_id: u32) -> Option<u64> {
+        let inner = self.inner.lock();
+        let stream = inner.streams.get(&stream_id)?;
+        let rec = inner.movies.get(&stream.movie)?;
+        if stream.ready_through_block() >= rec.layout.block_count() {
+            return Some(rec.frame_count);
+        }
+        Some((stream.ready_through_block() * rec.frames_per_block).min(rec.frame_count))
+    }
+
+    /// Bandwidth still available for new streams, bits/second.
+    pub fn available_bps(&self) -> u64 {
+        self.inner.lock().admission.available_bps()
+    }
+
+    /// Snapshot of all counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            cache: inner.cache.stats,
+            admission: inner.admission.stats,
+            disks: inner.disks.iter().map(|d| d.stats).collect(),
+            blocks_delivered: inner.blocks_delivered,
+            coalesced_reads: inner.coalesced_reads,
+            open_streams: inner.streams.len(),
+            committed_bps: inner.admission.committed_bps(),
+            capacity_bps: inner.admission.capacity_bps(),
+        }
+    }
+}
+
+fn demand_bps(bitrate_bps: u64, speed_pct: u32) -> u64 {
+    bitrate_bps.saturating_mul(u64::from(speed_pct.max(1))) / 100
+}
+
+fn reject(r: Rejection) -> StoreError {
+    StoreError::AdmissionRejected {
+        demanded_bps: r.demanded_bps,
+        available_bps: r.available_bps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> StoreConfig {
+        StoreConfig {
+            disks: 2,
+            block_size: 64 * 1024,
+            cache_blocks: 8,
+            policy: CachePolicy::Lru,
+            prefetch_depth: 2,
+            ..StoreConfig::default()
+        }
+    }
+
+    /// Pumps the store, advancing the stream's playback position to
+    /// whatever is ready (an eager consumer), until the whole movie
+    /// has been delivered.
+    fn drain(store: &BlockStore, stream: u32, frame_count: u64) {
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        while store.frames_ready_through(stream) != Some(frame_count) {
+            if let Some(t) = store.next_event() {
+                now = now.max(t);
+            }
+            store.pump(now);
+            store.note_position(stream, store.frames_ready_through(stream).unwrap_or(0));
+            guard += 1;
+            assert!(guard < 100_000, "store did not deliver the movie");
+        }
+    }
+
+    #[test]
+    fn prefetch_delivers_blocks_over_time() {
+        let store = BlockStore::new(tiny_config());
+        let movie = MovieSource::test_movie(10, 3);
+        let id = store.register_movie(&movie);
+        store.open_stream(7, id, 100, SimTime::ZERO).unwrap();
+        assert_eq!(store.frames_ready_through(7), Some(0));
+        // Advance past the first completions.
+        let t = store.next_event().expect("reads outstanding");
+        store.pump(t);
+        assert!(store.frames_ready_through(7).unwrap() > 0);
+        drain(&store, 7, movie.frame_count);
+    }
+
+    #[test]
+    fn register_is_idempotent_per_movie() {
+        let store = BlockStore::new(tiny_config());
+        let movie = MovieSource::test_movie(5, 9);
+        let a = store.register_movie(&movie);
+        let b = store.register_movie(&movie);
+        assert_eq!(a, b);
+        let c = store.register_movie(&MovieSource::test_movie(5, 10));
+        assert_ne!(a, c);
+        // An edited frame rate is a different movie to the store:
+        // admission must see the doubled bandwidth demand.
+        let mut faster = MovieSource::test_movie(5, 9);
+        faster.frame_rate *= 2;
+        let d = store.register_movie(&faster);
+        assert_ne!(a, d);
+        assert!(store.bitrate_of(d).unwrap() > store.bitrate_of(a).unwrap());
+    }
+
+    #[test]
+    fn second_viewer_hits_cache() {
+        let store = BlockStore::new(StoreConfig {
+            cache_blocks: 64,
+            ..tiny_config()
+        });
+        let movie = MovieSource::test_movie(10, 3);
+        let id = store.register_movie(&movie);
+        store.open_stream(1, id, 100, SimTime::ZERO).unwrap();
+        drain(&store, 1, movie.frame_count);
+        let misses_before = store.stats().cache.misses;
+        // Same movie again: everything is resident.
+        store
+            .open_stream(2, id, 100, SimTime::from_secs(5))
+            .unwrap();
+        drain(&store, 2, movie.frame_count);
+        let stats = store.stats();
+        assert_eq!(
+            stats.cache.misses, misses_before,
+            "second viewer served from cache"
+        );
+        assert!(stats.cache.hits > 0);
+    }
+
+    #[test]
+    fn seek_repositions_pipeline() {
+        let store = BlockStore::new(tiny_config());
+        let movie = MovieSource::test_movie(60, 4);
+        let id = store.register_movie(&movie);
+        store.open_stream(3, id, 100, SimTime::ZERO).unwrap();
+        store
+            .seek_stream(3, movie.frame_count - 1, SimTime::ZERO)
+            .unwrap();
+        drain(&store, 3, movie.frame_count);
+    }
+
+    #[test]
+    fn admission_rejects_over_capacity() {
+        // One slow disk: a handful of streams exhausts it.
+        let config = StoreConfig {
+            disks: 1,
+            disk: DiskParams {
+                transfer_bytes_per_sec: 1_000_000,
+                ..DiskParams::default()
+            },
+            ..tiny_config()
+        };
+        let store = BlockStore::new(config);
+        let movie = MovieSource::test_movie(30, 5);
+        let id = store.register_movie(&movie);
+        let mut admitted = 0;
+        let mut rejected = None;
+        for stream in 0..64 {
+            match store.open_stream(stream, id, 100, SimTime::ZERO) {
+                Ok(()) => admitted += 1,
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(admitted >= 1, "at least one stream fits");
+        let Some(StoreError::AdmissionRejected {
+            demanded_bps,
+            available_bps,
+        }) = rejected
+        else {
+            panic!("expected a rejection, got {rejected:?}");
+        };
+        assert!(demanded_bps > available_bps);
+        // Closing a stream frees its bandwidth for a newcomer.
+        store.close_stream(0);
+        store.open_stream(99, id, 100, SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn speed_change_renegotiates_bandwidth() {
+        let config = StoreConfig {
+            disks: 1,
+            disk: DiskParams {
+                transfer_bytes_per_sec: 400_000,
+                ..DiskParams::default()
+            },
+            ..tiny_config()
+        };
+        let store = BlockStore::new(config);
+        let movie = MovieSource::test_movie(30, 6);
+        let id = store.register_movie(&movie);
+        store.open_stream(1, id, 100, SimTime::ZERO).unwrap();
+        // A large speed-up may not fit on the slow disk.
+        let err = store.set_speed(1, 400).unwrap_err();
+        assert!(matches!(err, StoreError::AdmissionRejected { .. }));
+        // The old commitment is intact: normal speed still accepted.
+        store.set_speed(1, 100).unwrap();
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests: the stripe layout's block → (disk, offset) map is
+//! a bijection over the movie's block range.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use store::{BlockAddr, StripeLayout};
+
+proptest! {
+    /// `locate` is injective and `invert` is its exact left inverse,
+    /// for every block of the movie.
+    #[test]
+    fn locate_is_a_bijection(
+        disks in 1usize..12,
+        start in 0usize..16,
+        block_count in 0u64..2_000,
+    ) {
+        let layout = StripeLayout::new(disks, start, block_count);
+        let mut seen = HashSet::new();
+        for block in layout.blocks() {
+            let addr = layout.locate(block);
+            prop_assert!(addr.disk < disks, "disk {} out of range", addr.disk);
+            prop_assert!(seen.insert(addr), "two blocks mapped to {addr:?}");
+            prop_assert_eq!(layout.invert(addr), Some(block));
+        }
+        // Surjectivity onto the used region: every (disk, offset) that
+        // inverts to a block is reachable by locate — counted exactly.
+        prop_assert_eq!(seen.len() as u64, block_count);
+    }
+
+    /// Addresses outside the movie's allocation never invert.
+    #[test]
+    fn out_of_range_addresses_do_not_invert(
+        disks in 1usize..12,
+        start in 0usize..16,
+        block_count in 0u64..2_000,
+        probe_disk in 0usize..16,
+        probe_offset in 0u64..4_000,
+    ) {
+        let layout = StripeLayout::new(disks, start, block_count);
+        let addr = BlockAddr { disk: probe_disk, offset: probe_offset };
+        match layout.invert(addr) {
+            Some(block) => {
+                prop_assert!(block < block_count);
+                prop_assert_eq!(layout.locate(block), addr);
+            }
+            None => {
+                // Either an invalid disk, or an offset past this
+                // disk's share of the movie.
+                if probe_disk < disks {
+                    let lane = (probe_disk + disks - layout.start_disk()) % disks;
+                    let index = probe_offset * disks as u64 + lane as u64;
+                    prop_assert!(index >= block_count);
+                }
+            }
+        }
+    }
+
+    /// Consecutive blocks land on consecutive disks (mod N): the
+    /// sequential read pattern of playback spreads over the stripe set.
+    #[test]
+    fn consecutive_blocks_rotate_disks(
+        disks in 2usize..12,
+        start in 0usize..16,
+        block_count in 2u64..500,
+    ) {
+        let layout = StripeLayout::new(disks, start, block_count);
+        for block in 0..block_count - 1 {
+            let here = layout.locate(block).disk;
+            let next = layout.locate(block + 1).disk;
+            prop_assert_eq!(next, (here + 1) % disks);
+        }
+    }
+}

@@ -161,7 +161,13 @@ impl TransportEntity {
             None => return Err(TransportError::UnknownConnection(conn)),
         };
         if let Some(pr) = peer_ref {
-            self.medium.send(Tpdu::Dr { dst_ref: pr, reason }.encode());
+            self.medium.send(
+                Tpdu::Dr {
+                    dst_ref: pr,
+                    reason,
+                }
+                .encode(),
+            );
             self.conns.insert(conn.0, ConnState::Closing);
         } else {
             self.conns.remove(&conn.0);
@@ -208,20 +214,30 @@ impl TransportEntity {
             Tpdu::Cr { src_ref } => {
                 // Class-0 responder: accept immediately.
                 let local = self.alloc_ref();
-                self.conns.insert(local, ConnState::Open { peer_ref: src_ref });
-                self.medium.send(Tpdu::Cc { dst_ref: src_ref, src_ref: local }.encode());
+                self.conns
+                    .insert(local, ConnState::Open { peer_ref: src_ref });
+                self.medium.send(
+                    Tpdu::Cc {
+                        dst_ref: src_ref,
+                        src_ref: local,
+                    }
+                    .encode(),
+                );
                 self.events.push_back(TEvent::ConnectInd(ConnId(local)));
             }
-            Tpdu::Cc { dst_ref, src_ref } => {
-                match self.conns.get_mut(&dst_ref) {
-                    Some(state @ ConnState::CrSent) => {
-                        *state = ConnState::Open { peer_ref: src_ref };
-                        self.events.push_back(TEvent::ConnectCnf(ConnId(dst_ref)));
-                    }
-                    _ => self.protocol_errors += 1,
+            Tpdu::Cc { dst_ref, src_ref } => match self.conns.get_mut(&dst_ref) {
+                Some(state @ ConnState::CrSent) => {
+                    *state = ConnState::Open { peer_ref: src_ref };
+                    self.events.push_back(TEvent::ConnectCnf(ConnId(dst_ref)));
                 }
-            }
-            Tpdu::Dt { dst_ref, seq, eot, payload } => {
+                _ => self.protocol_errors += 1,
+            },
+            Tpdu::Dt {
+                dst_ref,
+                seq,
+                eot,
+                payload,
+            } => {
                 if !matches!(self.conns.get(&dst_ref), Some(ConnState::Open { .. })) {
                     self.protocol_errors += 1;
                     return;
@@ -238,7 +254,8 @@ impl TransportEntity {
                 re.segments.extend_from_slice(&payload);
                 if eot {
                     let tsdu = std::mem::take(&mut re.segments);
-                    self.events.push_back(TEvent::DataInd(ConnId(dst_ref), tsdu));
+                    self.events
+                        .push_back(TEvent::DataInd(ConnId(dst_ref), tsdu));
                 }
             }
             Tpdu::Dr { dst_ref, reason } => {
@@ -247,7 +264,8 @@ impl TransportEntity {
                         self.medium.send(Tpdu::Dc { dst_ref: peer_ref }.encode());
                     }
                     self.reassembly.remove(&dst_ref);
-                    self.events.push_back(TEvent::DisconnectInd(ConnId(dst_ref), reason));
+                    self.events
+                        .push_back(TEvent::DisconnectInd(ConnId(dst_ref), reason));
                 }
             }
             Tpdu::Dc { dst_ref } => {
@@ -256,7 +274,8 @@ impl TransportEntity {
             }
             Tpdu::Er { dst_ref, cause } => {
                 self.conns.remove(&dst_ref);
-                self.events.push_back(TEvent::DisconnectInd(ConnId(dst_ref), cause));
+                self.events
+                    .push_back(TEvent::DisconnectInd(ConnId(dst_ref), cause));
             }
         }
     }
@@ -269,7 +288,10 @@ mod tests {
 
     fn pair() -> (TransportEntity, TransportEntity) {
         let (a, b) = LoopbackMedium::pair();
-        (TransportEntity::new(Box::new(a)), TransportEntity::new(Box::new(b)))
+        (
+            TransportEntity::new(Box::new(a)),
+            TransportEntity::new(Box::new(b)),
+        )
     }
 
     /// Pump both entities until neither has medium traffic.

@@ -84,12 +84,16 @@ fn put_u32(v: u32, out: &mut Vec<u8>) {
 fn get_u16(data: &[u8], at: usize) -> Result<u16, TpduDecodeError> {
     data.get(at..at + 2)
         .map(|s| u16::from_be_bytes([s[0], s[1]]))
-        .ok_or(TpduDecodeError { reason: "short u16" })
+        .ok_or(TpduDecodeError {
+            reason: "short u16",
+        })
 }
 fn get_u32(data: &[u8], at: usize) -> Result<u32, TpduDecodeError> {
     data.get(at..at + 4)
         .map(|s| u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
-        .ok_or(TpduDecodeError { reason: "short u32" })
+        .ok_or(TpduDecodeError {
+            reason: "short u32",
+        })
 }
 
 impl Tpdu {
@@ -115,7 +119,12 @@ impl Tpdu {
                 out.push(0xC0);
                 put_u16(*dst_ref, &mut out);
             }
-            Tpdu::Dt { dst_ref, seq, eot, payload } => {
+            Tpdu::Dt {
+                dst_ref,
+                seq,
+                eot,
+                payload,
+            } => {
                 out.push(0xF0);
                 put_u16(*dst_ref, &mut out);
                 put_u32(*seq, &mut out);
@@ -139,24 +148,38 @@ impl Tpdu {
     pub fn decode(data: &[u8]) -> Result<Tpdu, TpduDecodeError> {
         let code = *data.first().ok_or(TpduDecodeError { reason: "empty" })?;
         match code {
-            0xE0 => Ok(Tpdu::Cr { src_ref: get_u16(data, 1)? }),
-            0xD0 => Ok(Tpdu::Cc { dst_ref: get_u16(data, 1)?, src_ref: get_u16(data, 3)? }),
+            0xE0 => Ok(Tpdu::Cr {
+                src_ref: get_u16(data, 1)?,
+            }),
+            0xD0 => Ok(Tpdu::Cc {
+                dst_ref: get_u16(data, 1)?,
+                src_ref: get_u16(data, 3)?,
+            }),
             0x80 => Ok(Tpdu::Dr {
                 dst_ref: get_u16(data, 1)?,
                 reason: *data.get(3).ok_or(TpduDecodeError { reason: "short DR" })?,
             }),
-            0xC0 => Ok(Tpdu::Dc { dst_ref: get_u16(data, 1)? }),
+            0xC0 => Ok(Tpdu::Dc {
+                dst_ref: get_u16(data, 1)?,
+            }),
             0xF0 => {
                 let dst_ref = get_u16(data, 1)?;
                 let seq = get_u32(data, 3)?;
                 let eot = *data.get(7).ok_or(TpduDecodeError { reason: "short DT" })? != 0;
-                Ok(Tpdu::Dt { dst_ref, seq, eot, payload: data.get(8..).unwrap_or(&[]).to_vec() })
+                Ok(Tpdu::Dt {
+                    dst_ref,
+                    seq,
+                    eot,
+                    payload: data.get(8..).unwrap_or(&[]).to_vec(),
+                })
             }
             0x70 => Ok(Tpdu::Er {
                 dst_ref: get_u16(data, 1)?,
                 cause: *data.get(3).ok_or(TpduDecodeError { reason: "short ER" })?,
             }),
-            _ => Err(TpduDecodeError { reason: "unknown TPDU code" }),
+            _ => Err(TpduDecodeError {
+                reason: "unknown TPDU code",
+            }),
         }
     }
 }
@@ -169,12 +192,31 @@ mod tests {
     fn all_variants_roundtrip() {
         let samples = vec![
             Tpdu::Cr { src_ref: 5 },
-            Tpdu::Cc { dst_ref: 5, src_ref: 9 },
-            Tpdu::Dr { dst_ref: 9, reason: 2 },
+            Tpdu::Cc {
+                dst_ref: 5,
+                src_ref: 9,
+            },
+            Tpdu::Dr {
+                dst_ref: 9,
+                reason: 2,
+            },
             Tpdu::Dc { dst_ref: 9 },
-            Tpdu::Dt { dst_ref: 9, seq: 1234, eot: true, payload: vec![1, 2, 3] },
-            Tpdu::Dt { dst_ref: 9, seq: 0, eot: false, payload: vec![] },
-            Tpdu::Er { dst_ref: 9, cause: 7 },
+            Tpdu::Dt {
+                dst_ref: 9,
+                seq: 1234,
+                eot: true,
+                payload: vec![1, 2, 3],
+            },
+            Tpdu::Dt {
+                dst_ref: 9,
+                seq: 0,
+                eot: false,
+                payload: vec![],
+            },
+            Tpdu::Er {
+                dst_ref: 9,
+                cause: 7,
+            },
         ];
         for t in samples {
             assert_eq!(Tpdu::decode(&t.encode()).unwrap(), t);

@@ -7,7 +7,10 @@ use transport::{ConnId, TEvent, Tpdu, TransportEntity, TransportError};
 
 fn pair() -> (TransportEntity, TransportEntity) {
     let (a, b) = LoopbackMedium::pair();
-    (TransportEntity::new(Box::new(a)), TransportEntity::new(Box::new(b)))
+    (
+        TransportEntity::new(Box::new(a)),
+        TransportEntity::new(Box::new(b)),
+    )
 }
 
 fn settle(a: &mut TransportEntity, b: &mut TransportEntity) {
@@ -106,12 +109,31 @@ fn empty_and_boundary_tsdus_preserved() {
 fn tpdu_roundtrip_all_variants() {
     let variants = vec![
         Tpdu::Cr { src_ref: 17 },
-        Tpdu::Cc { dst_ref: 17, src_ref: 99 },
-        Tpdu::Dr { dst_ref: 99, reason: 2 },
+        Tpdu::Cc {
+            dst_ref: 17,
+            src_ref: 99,
+        },
+        Tpdu::Dr {
+            dst_ref: 99,
+            reason: 2,
+        },
         Tpdu::Dc { dst_ref: 17 },
-        Tpdu::Dt { dst_ref: 99, seq: 123456, eot: true, payload: vec![1, 2, 3] },
-        Tpdu::Dt { dst_ref: 99, seq: 0, eot: false, payload: vec![] },
-        Tpdu::Er { dst_ref: 99, cause: 7 },
+        Tpdu::Dt {
+            dst_ref: 99,
+            seq: 123456,
+            eot: true,
+            payload: vec![1, 2, 3],
+        },
+        Tpdu::Dt {
+            dst_ref: 99,
+            seq: 0,
+            eot: false,
+            payload: vec![],
+        },
+        Tpdu::Er {
+            dst_ref: 99,
+            cause: 7,
+        },
     ];
     for v in variants {
         let wire = v.encode();
@@ -127,14 +149,30 @@ fn malformed_tpdus_rejected() {
     // medium, so only cuts inside the fixed 8-byte header are
     // malformed; a shortened payload decodes as a (different) valid
     // DT.
-    let wire = Tpdu::Dt { dst_ref: 9, seq: 77, eot: true, payload: vec![1, 2, 3, 4] }.encode();
+    let wire = Tpdu::Dt {
+        dst_ref: 9,
+        seq: 77,
+        eot: true,
+        payload: vec![1, 2, 3, 4],
+    }
+    .encode();
     for cut in 0..8 {
-        assert!(Tpdu::decode(&wire[..cut]).is_err(), "truncation at {cut} accepted");
+        assert!(
+            Tpdu::decode(&wire[..cut]).is_err(),
+            "truncation at {cut} accepted"
+        );
     }
     // Headers of the fixed-size TPDUs reject truncation everywhere.
-    let cc = Tpdu::Cc { dst_ref: 17, src_ref: 99 }.encode();
+    let cc = Tpdu::Cc {
+        dst_ref: 17,
+        src_ref: 99,
+    }
+    .encode();
     for cut in 0..cc.len() {
-        assert!(Tpdu::decode(&cc[..cut]).is_err(), "CC truncation at {cut} accepted");
+        assert!(
+            Tpdu::decode(&cc[..cut]).is_err(),
+            "CC truncation at {cut} accepted"
+        );
     }
 }
 

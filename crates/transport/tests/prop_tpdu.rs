@@ -13,7 +13,12 @@ fn tpdu_strategy() -> impl Strategy<Value = Tpdu> {
         (any::<u16>(), any::<u8>()).prop_map(|(dst_ref, reason)| Tpdu::Dr { dst_ref, reason }),
         any::<u16>().prop_map(|dst_ref| Tpdu::Dc { dst_ref }),
         (any::<u16>(), any::<u32>(), any::<bool>(), payload).prop_map(
-            |(dst_ref, seq, eot, payload)| Tpdu::Dt { dst_ref, seq, eot, payload }
+            |(dst_ref, seq, eot, payload)| Tpdu::Dt {
+                dst_ref,
+                seq,
+                eot,
+                payload
+            }
         ),
         (any::<u16>(), any::<u8>()).prop_map(|(dst_ref, cause)| Tpdu::Er { dst_ref, cause }),
     ]

@@ -1,0 +1,168 @@
+//! Local stand-in for the `criterion` crate (offline build).
+//!
+//! Implements the subset of the criterion API the bench suite uses —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`] — with a
+//! simple wall-clock measurement loop: warm up, time `sample_size`
+//! batches, report the per-iteration mean and min.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Opaque value laundering to defeat constant folding.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled in by [`Bencher::iter`]: (mean, min) nanoseconds/iter.
+    result_ns: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording mean and min time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: aim for batches of >= ~1 ms.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_nanos().max(1);
+        let batch = (1_000_000 / once).clamp(1, 10_000) as usize;
+        let mut mean_sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / batch as f64;
+            mean_sum += per_iter;
+            if per_iter < min {
+                min = per_iter;
+            }
+        }
+        self.result_ns = Some((mean_sum / self.sample_size as f64, min));
+    }
+}
+
+fn report(id: &str, result: Option<(f64, f64)>) {
+    match result {
+        Some((mean, min)) => {
+            println!(
+                "{id:<40} time: [mean {:>12.1} ns  min {:>12.1} ns]",
+                mean, min
+            );
+        }
+        None => println!("{id:<40} (no measurement recorded)"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result_ns: None,
+        };
+        f(&mut b);
+        report(id, b.result_ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result_ns: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.result_ns);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_applies_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+}

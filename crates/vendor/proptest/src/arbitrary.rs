@@ -1,0 +1,83 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + 'static {
+    /// Generates one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, occasionally any scalar value.
+        if rng.below(8) == 0 {
+            char::from_u32(rng.next_u64() as u32 % 0xD800).unwrap_or('\u{FFFD}')
+        } else {
+            (0x20 + rng.below(0x5F) as u8) as char
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct ArbitraryStrategy<A>(PhantomData<fn() -> A>);
+
+impl<A> Clone for ArbitraryStrategy<A> {
+    fn clone(&self) -> Self {
+        ArbitraryStrategy(PhantomData)
+    }
+}
+
+impl<A> std::fmt::Debug for ArbitraryStrategy<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ArbitraryStrategy")
+    }
+}
+
+impl<A: Arbitrary> Strategy for ArbitraryStrategy<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> ArbitraryStrategy<A> {
+    ArbitraryStrategy(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_generate() {
+        let mut rng = TestRng::from_seed(5);
+        let _: u8 = any::<u8>().generate(&mut rng);
+        let _: i64 = any::<i64>().generate(&mut rng);
+        let b = (0..100)
+            .map(|_| any::<bool>().generate(&mut rng))
+            .collect::<Vec<_>>();
+        assert!(b.iter().any(|x| *x) && b.iter().any(|x| !*x));
+    }
+}

@@ -1,0 +1,41 @@
+//! `option::of` — optional-value strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy generating `None` about a fifth of the time, otherwise
+/// `Some` of the inner strategy's value.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(5) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_both_variants() {
+        let mut rng = TestRng::from_seed(8);
+        let s = of(0u8..10);
+        let vals: Vec<_> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().any(Option::is_some));
+    }
+}

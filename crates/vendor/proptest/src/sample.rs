@@ -1,0 +1,89 @@
+//! Sampling strategies: `subsequence` and `Index`.
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An abstract index resolved against a collection length at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Resolves the index against a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+/// Strategy for order-preserving subsequences of `source` whose length
+/// falls in `size` (clamped to the source length).
+pub fn subsequence<T: Clone + 'static>(
+    source: Vec<T>,
+    size: impl Into<crate::collection::SizeRange>,
+) -> SubsequenceStrategy<T> {
+    SubsequenceStrategy {
+        source,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`subsequence`].
+#[derive(Debug, Clone)]
+pub struct SubsequenceStrategy<T> {
+    source: Vec<T>,
+    size: crate::collection::SizeRange,
+}
+
+impl<T: Clone + 'static> Strategy for SubsequenceStrategy<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let max = self.size.hi.min(self.source.len() + 1).max(1);
+        let lo = self.size.lo.min(max - 1);
+        let want = rng.usize_in(lo, max);
+        // Reservoir-style pick of `want` positions, then emit in order.
+        let mut picked: Vec<usize> = (0..self.source.len()).collect();
+        for i in (1..picked.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            picked.swap(i, j);
+        }
+        picked.truncate(want);
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.source[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut rng = TestRng::from_seed(9);
+        let s = subsequence(vec![1, 2, 3, 4, 5, 6], 1..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 6);
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        let mut rng = TestRng::from_seed(10);
+        for _ in 0..100 {
+            let idx = Index::arbitrary_value(&mut rng);
+            assert!(idx.index(7) < 7);
+        }
+    }
+}

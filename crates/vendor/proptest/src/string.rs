@@ -1,0 +1,149 @@
+//! String-pattern strategies: the character-class subset of regex that
+//! `&str` strategies in this workspace use, e.g. `"[a-zA-Z0-9 _.-]{0,40}"`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(c) = it.next() else {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    };
+                    match c {
+                        ']' => break,
+                        '-' => {
+                            // Range if between two chars, literal at the edges.
+                            match (prev, it.peek().copied()) {
+                                (Some(lo), Some(hi)) if hi != ']' => {
+                                    it.next();
+                                    assert!(lo <= hi, "bad range {lo}-{hi} in {pattern:?}");
+                                    set.extend(
+                                        ((lo as u32 + 1)..=(hi as u32)).filter_map(char::from_u32),
+                                    );
+                                    prev = None;
+                                }
+                                _ => {
+                                    set.push('-');
+                                    prev = Some('-');
+                                }
+                            }
+                        }
+                        '\\' => {
+                            let esc = it.next().expect("dangling escape");
+                            set.push(esc);
+                            prev = Some(esc);
+                        }
+                        other => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                set
+            }
+            '\\' => vec![it.next().expect("dangling escape")],
+            '.' => (0x20u32..=0x7E).filter_map(char::from_u32).collect(),
+            other => vec![other],
+        };
+        // Optional quantifier.
+        let (min, max) = match it.peek() {
+            Some('{') => {
+                it.next();
+                let mut spec = String::new();
+                for c in it.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                it.next();
+                (0, 1)
+            }
+            Some('*') => {
+                it.next();
+                (0, 8)
+            }
+            Some('+') => {
+                it.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let n = rng.usize_in(atom.min, atom.max + 1);
+        for _ in 0..n {
+            out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..200 {
+            let s = generate_pattern("[a-z0-9-]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut rng = TestRng::from_seed(12);
+        for _ in 0..100 {
+            let s = generate_pattern("[ -~]{0,40}", &mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::from_seed(13);
+        let s = generate_pattern("ab[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,145 @@
+//! Local stand-in for the `rand` crate (offline build).
+//!
+//! Provides the small slice of the rand 0.8 API this workspace uses:
+//! [`Rng::gen_range`] / [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`]
+//! and [`rngs::StdRng`]. The generator is splitmix64 — deterministic,
+//! seedable, and plenty for simulation jitter models.
+
+#![warn(missing_docs)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `next` as entropy.
+    fn sample_one(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_one(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (u128::from(next()) ^ (u128::from(next()) << 64)) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_one(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (u128::from(next()) ^ (u128::from(next()) << 64)) % span;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_one(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        let unit = (next() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// User-facing random value generation.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        let mut next = || self.next_u64();
+        range.sample_one(&mut next)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a numeric seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (splitmix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let take = |r: &mut StdRng| (0..8).map(|_| r.gen_range(0u64..1000)).collect::<Vec<_>>();
+        assert_eq!(take(&mut a), take(&mut b));
+        assert_ne!(take(&mut a), take(&mut c));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let u = r.gen_range(10u64..20);
+            assert!((10..20).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

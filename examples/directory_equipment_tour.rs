@@ -5,7 +5,7 @@
 //! Run with `cargo run --example directory_equipment_tour`.
 
 use directory::{attr, Dn, Dsa, Dua, Filter, ModOp, MovieEntry, Scope};
-use equipment::{Eca, EquipmentClass, Eua, param};
+use equipment::{param, Eca, EquipmentClass, Eua};
 
 fn main() {
     // --- movie directory -------------------------------------------
@@ -32,7 +32,9 @@ fn main() {
             MovieEntry::new("Metropolis", "node-9").to_attrs(),
         )
         .unwrap();
-    let got = dua.read(&"o=archive/cn=Metropolis".parse().unwrap()).unwrap();
+    let got = dua
+        .read(&"o=archive/cn=Metropolis".parse().unwrap())
+        .unwrap();
     println!(
         "referral chase: found {:?} on karlsruhe",
         got.get(attr::TITLE).and_then(|v| v.as_str()).unwrap()
@@ -48,7 +50,12 @@ fn main() {
             ]),
         )
         .unwrap();
-    println!("25fps movies: {:?}", hits.iter().map(|(dn, _)| dn.to_string()).collect::<Vec<_>>());
+    println!(
+        "25fps movies: {:?}",
+        hits.iter()
+            .map(|(dn, _)| dn.to_string())
+            .collect::<Vec<_>>()
+    );
 
     dua.modify(
         &"o=movies/cn=Star Wars".parse().unwrap(),
@@ -68,14 +75,23 @@ fn main() {
     producer.add_site(&studio);
     producer.reserve("studio", cam).unwrap();
     producer.reserve("studio", mic).unwrap();
-    producer.set_param("studio", cam, param::FRAME_RATE, 25).unwrap();
-    producer.set_param("studio", cam, param::BRIGHTNESS, 70).unwrap();
+    producer
+        .set_param("studio", cam, param::FRAME_RATE, 25)
+        .unwrap();
+    producer
+        .set_param("studio", cam, param::BRIGHTNESS, 70)
+        .unwrap();
     producer.activate("studio", cam).unwrap();
     producer.activate("studio", mic).unwrap();
-    println!("producer recording with {:?}", studio.list(None).iter()
-        .filter(|d| !matches!(d.state, equipment::DeviceState::Free))
-        .map(|d| d.name.clone())
-        .collect::<Vec<_>>());
+    println!(
+        "producer recording with {:?}",
+        studio
+            .list(None)
+            .iter()
+            .filter(|d| !matches!(d.state, equipment::DeviceState::Free))
+            .map(|d| d.name.clone())
+            .collect::<Vec<_>>()
+    );
 
     // A competing user is locked out while the recording runs.
     let mut viewer = Eua::new(2);

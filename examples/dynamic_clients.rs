@@ -28,7 +28,12 @@ fn main() {
     entry.frame_count = 50;
     world.seed_movie(&server, &entry);
 
-    world.client_op(&first, McamOp::Associate { user: "static-0".into() });
+    world.client_op(
+        &first,
+        McamOp::Associate {
+            user: "static-0".into(),
+        },
+    );
     println!("static client associated (population at start: 1 client)");
 
     let mut receivers = Vec::new();
@@ -36,15 +41,24 @@ fn main() {
     for i in 1..=4 {
         // A new workstation appears while the system runs.
         let late = world.add_client(&server, StackKind::EstellePS, vec![]);
-        let rsp = world.client_op(&late, McamOp::Associate { user: format!("dynamic-{i}") });
+        let rsp = world.client_op(
+            &late,
+            McamOp::Associate {
+                user: format!("dynamic-{i}"),
+            },
+        );
         assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
         println!("dynamic client {i} joined the running system and associated");
 
-        let params =
-            match world.client_op(&late, McamOp::SelectMovie { title: "Metropolis".into() }) {
-                Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
-                other => panic!("select failed: {other:?}"),
-            };
+        let params = match world.client_op(
+            &late,
+            McamOp::SelectMovie {
+                title: "Metropolis".into(),
+            },
+        ) {
+            Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+            other => panic!("select failed: {other:?}"),
+        };
         let rx = world.receiver_for(&late, &params, SimDuration::from_millis(60));
         world.client_op(&late, McamOp::Play { speed_pct: 100 });
         receivers.push(rx);

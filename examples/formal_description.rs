@@ -19,8 +19,18 @@ fn main() {
     println!("--- specification before the connection request ---\n");
     println!("{}", export_spec(&world.rt, "mcam_system"));
 
-    world.client_op(&client_a, McamOp::Associate { user: "spec".into() });
-    world.client_op(&client_b, McamOp::Associate { user: "spec".into() });
+    world.client_op(
+        &client_a,
+        McamOp::Associate {
+            user: "spec".into(),
+        },
+    );
+    world.client_op(
+        &client_b,
+        McamOp::Associate {
+            user: "spec".into(),
+        },
+    );
 
     println!("--- specification after dynamic stack creation ---\n");
     println!("{}", export_spec(&world.rt, "mcam_system"));

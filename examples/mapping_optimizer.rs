@@ -27,15 +27,26 @@ fn main() {
     let env = build_ps_env_mixed(&requests, 42);
     let trace = run_ps_env_mixed(&env, &requests);
     let overheads = Overheads::ksr1_like();
-    let machine = Machine { processors, overheads };
+    let machine = Machine {
+        processors,
+        overheads,
+    };
 
     // The cost model the optimizer sees.
     let model = CostModel::from_trace(&trace);
-    println!("cost model: {} modules, total work {}", model.modules.len(), model.total_work());
+    println!(
+        "cost model: {} modules, total work {}",
+        model.modules.len(),
+        model.total_work()
+    );
     let clusters = model.clusters();
     println!("communication clusters (= connections): {}", clusters.len());
     for (i, cluster) in clusters.iter().enumerate() {
-        println!("  cluster {i}: {} modules, work {}", cluster.len(), model.group_work(cluster));
+        println!(
+            "  cluster {i}: {} modules, work {}",
+            cluster.len(),
+            model.group_work(cluster)
+        );
     }
     println!();
 
@@ -45,8 +56,18 @@ fn main() {
 
     let policies: [(&str, GroupingPolicy); 3] = [
         ("module-per-thread", GroupingPolicy::PerModule),
-        ("connection-per-processor", GroupingPolicy::ByConnection { units: processors as u32 }),
-        ("layer-per-processor", GroupingPolicy::ByLayer { units: processors as u32 }),
+        (
+            "connection-per-processor",
+            GroupingPolicy::ByConnection {
+                units: processors as u32,
+            },
+        ),
+        (
+            "layer-per-processor",
+            GroupingPolicy::ByLayer {
+                units: processors as u32,
+            },
+        ),
     ];
     for (name, policy) in policies {
         let r = ksim::simulate(&trace, policy, &machine);
@@ -61,7 +82,10 @@ fn main() {
     let optimized = ksim::optimize(
         &trace,
         &machine,
-        OptimizeOptions { units: processors, max_rounds: 6 },
+        OptimizeOptions {
+            units: processors,
+            max_rounds: 6,
+        },
     );
     println!(
         "{:26} makespan {:>12}  speedup {:>5.2}  imbalance {:.2}",

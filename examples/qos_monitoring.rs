@@ -97,9 +97,9 @@ fn stack_measurement() {
     let connections = 2;
     let data_requests = 50;
     let env = build_ps_env(connections, data_requests, 42);
-    let monitor = env.rt.attach_qos(
-        QosSpec::new().default_max_delay(SimDuration::from_millis(2)),
-    );
+    let monitor = env
+        .rt
+        .attach_qos(QosSpec::new().default_max_delay(SimDuration::from_millis(2)));
     let trace = run_ps_env(&env, data_requests);
     let report = monitor.report();
     let consumed: u64 = report.entries.iter().map(|e| e.consumed).sum();
@@ -125,7 +125,10 @@ fn batching_server_violations() {
             "user",
             ModuleKind::SystemProcess,
             ModuleLabels::default(),
-            InteractiveUser { issued: 0, budget: 20 },
+            InteractiveUser {
+                issued: 0,
+                budget: 20,
+            },
         )
         .expect("fresh runtime");
     let server = rt
@@ -137,15 +140,16 @@ fn batching_server_violations() {
             BatchingServer::default(),
         )
         .expect("fresh runtime");
-    rt.connect(ip(user, IO), ip(server, IO)).expect("both ends fresh");
+    rt.connect(ip(user, IO), ip(server, IO))
+        .expect("both ends fresh");
 
-    let monitor = rt.attach_qos(
-        QosSpec::new().max_delay(server, IO, SimDuration::from_millis(15)),
-    );
+    let monitor = rt.attach_qos(QosSpec::new().max_delay(server, IO, SimDuration::from_millis(15)));
     rt.start().expect("valid spec");
     run_sequential(&rt, &SeqOptions::default());
 
-    let served = rt.with_machine::<BatchingServer, _>(server, |s| s.served).unwrap();
+    let served = rt
+        .with_machine::<BatchingServer, _>(server, |s| s.served)
+        .unwrap();
     let report = monitor.report();
     let entry = &report.entries[0];
     println!("served {served} requests");
@@ -157,7 +161,10 @@ fn batching_server_violations() {
     );
     println!("violations: {} of {}", entry.violations, entry.consumed);
     for v in report.violations.iter().take(3) {
-        println!("  e.g. {} waited {} at t={:?}", v.interaction, v.delay, v.at);
+        println!(
+            "  e.g. {} waited {} at t={:?}",
+            v.interaction, v.delay, v.at
+        );
     }
     assert!(
         !report.all_within_budget(),

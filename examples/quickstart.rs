@@ -17,7 +17,12 @@ fn main() {
     // Associate: the client root creates the MCAM module and the
     // Estelle presentation+session stack on demand, then the
     // AssociateReq rides inside the P-CONNECT user data.
-    let rsp = world.client_op(&client, McamOp::Associate { user: "quickstart".into() });
+    let rsp = world.client_op(
+        &client,
+        McamOp::Associate {
+            user: "quickstart".into(),
+        },
+    );
     println!("associate      -> {rsp:?}");
 
     let rsp = world.client_op(
@@ -31,7 +36,12 @@ fn main() {
     );
     println!("create movie   -> {rsp:?}");
 
-    let params = match world.client_op(&client, McamOp::SelectMovie { title: "Big Buck KSR".into() }) {
+    let params = match world.client_op(
+        &client,
+        McamOp::SelectMovie {
+            title: "Big Buck KSR".into(),
+        },
+    ) {
         Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
         other => panic!("select failed: {other:?}"),
     };

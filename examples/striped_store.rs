@@ -1,0 +1,182 @@
+//! Striped continuous-media storage: streams pull their frames
+//! through a block store (striped disks + buffer cache + prefetch)
+//! and disk-bandwidth admission control rejects the viewer that would
+//! overload the server — a negative MCAM response, not a degraded
+//! stream.
+//!
+//! Run with `cargo run --example striped_store`.
+
+use directory::MovieEntry;
+use mcam::{McamOp, McamPdu, StackKind, World};
+use netsim::{LinkConfig, SimDuration};
+use store::{CachePolicy, DiskParams, StoreConfig};
+
+fn main() {
+    // A deliberately small storage array: one slow disk, an
+    // interval-caching buffer pool. Capacity fits two nominal-rate
+    // streams; the third viewer must be refused.
+    let store_config = StoreConfig {
+        disks: 1,
+        block_size: 128 * 1024,
+        cache_blocks: 64,
+        policy: CachePolicy::Interval,
+        disk: DiskParams {
+            transfer_bytes_per_sec: 300_000,
+            ..DiskParams::default()
+        },
+        ..StoreConfig::default()
+    };
+    println!(
+        "store: {} disk(s), {} KiB blocks, cache {} blocks, capacity {:.2} Mbit/s",
+        store_config.disks,
+        store_config.block_size / 1024,
+        store_config.cache_blocks,
+        store_config.capacity_bps() as f64 / 1e6,
+    );
+
+    let mut world = World::with_config(
+        94,
+        LinkConfig::lossy(
+            SimDuration::from_millis(2),
+            SimDuration::from_micros(500),
+            0.0,
+        ),
+        store_config,
+    );
+    let server = world.add_server("ksr1", StackKind::EstellePS);
+    let clients: Vec<_> = ["ann", "ben", "col"]
+        .iter()
+        .map(|user| {
+            (
+                *user,
+                world.add_client(&server, StackKind::EstellePS, vec![]),
+            )
+        })
+        .collect();
+    world.start();
+
+    let mut entry = MovieEntry::new("Metropolis", "vod-store");
+    entry.frame_count = 8 * 25;
+    world.seed_movie(&server, &entry);
+
+    for (user, client) in &clients {
+        let rsp = world.client_op(
+            client,
+            McamOp::Associate {
+                user: (*user).into(),
+            },
+        );
+        assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+    }
+
+    // Viewers arrive one after another, all for the same movie.
+    let mut receivers = Vec::new();
+    for (user, client) in &clients {
+        match world.client_op(
+            client,
+            McamOp::SelectMovie {
+                title: "Metropolis".into(),
+            },
+        ) {
+            Some(McamPdu::SelectMovieRsp { params: Some(p) }) => {
+                println!(
+                    "{user}: admitted as stream {} (committed {:.2} of {:.2} Mbit/s)",
+                    p.stream_id,
+                    server.services.store.stats().committed_bps as f64 / 1e6,
+                    server.services.store.stats().capacity_bps as f64 / 1e6,
+                );
+                let receiver = world.receiver_for(client, &p, SimDuration::from_millis(80));
+                let rsp = world.client_op(client, McamOp::Play { speed_pct: 100 });
+                assert_eq!(rsp, Some(McamPdu::PlayRsp { ok: true }));
+                receivers.push((*user, client.clone(), receiver, p));
+                // Stagger the viewers slightly: the interval cache
+                // serves the follower from the leader's blocks.
+                world.run_for(SimDuration::from_millis(400));
+            }
+            Some(McamPdu::ErrorRsp { code, message }) => {
+                println!("{user}: REJECTED ({code}) — {message}");
+                assert_eq!(code, mcam::server::ERR_ADMISSION);
+            }
+            other => panic!("{user}: unexpected select outcome {other:?}"),
+        }
+    }
+    assert_eq!(
+        receivers.len(),
+        2,
+        "the slow disk sustains exactly two viewers"
+    );
+
+    // Let both admitted streams run to the end of the movie.
+    world.run_for(SimDuration::from_secs(10));
+    for (user, _client, receiver, params) in &mut receivers {
+        let frames = receiver.poll(world.net.now());
+        println!(
+            "{user}: received {} of {} frames ({} late)",
+            frames.len(),
+            params.movie.frame_count,
+            receiver.stats.late,
+        );
+        assert!(!frames.is_empty(), "admitted stream must deliver");
+    }
+
+    let stats = server.services.store.stats();
+    println!(
+        "store after playback: {} blocks delivered, {:.0}% served without \
+         a dedicated disk read ({} cache hits, {} coalesced), disk reads {} \
+         ({} sequential)",
+        stats.blocks_delivered,
+        stats.service_hit_ratio() * 100.0,
+        stats.cache.hits,
+        stats.coalesced_reads,
+        stats.disks[0].reads,
+        stats.disks[0].sequential_reads,
+    );
+    assert!(
+        stats.cache.hits + stats.coalesced_reads > 0,
+        "the trailing viewer rides the leader's blocks"
+    );
+    assert!(stats.admission.rejected >= 1);
+
+    // The rejected viewer retries after a leader departs: re-admitted.
+    let (_, ann_client, _, _) = &receivers[0];
+    let rsp = world.client_op(ann_client, McamOp::Deselect);
+    assert_eq!(rsp, Some(McamPdu::DeselectMovieRsp));
+    let (user, cols_client) = &clients[2];
+    let params = match world.client_op(
+        cols_client,
+        McamOp::SelectMovie {
+            title: "Metropolis".into(),
+        },
+    ) {
+        Some(McamPdu::SelectMovieRsp { params: Some(p) }) => {
+            println!(
+                "{user}: re-admitted as stream {} after a slot freed up",
+                p.stream_id
+            );
+            p
+        }
+        other => panic!("{user}: retry after release failed: {other:?}"),
+    };
+
+    // The whole movie is resident from the earlier viewers, so col's
+    // replay is served from the buffer cache — zero new disk reads.
+    let mut receiver = world.receiver_for(cols_client, &params, SimDuration::from_millis(80));
+    let rsp = world.client_op(cols_client, McamOp::Play { speed_pct: 100 });
+    assert_eq!(rsp, Some(McamPdu::PlayRsp { ok: true }));
+    world.run_for(SimDuration::from_secs(10));
+    let frames = receiver.poll(world.net.now());
+    let replay = server.services.store.stats();
+    println!(
+        "{user}: replayed {} frames from the buffer cache ({} cache hits, \
+         disk reads still {})",
+        frames.len(),
+        replay.cache.hits,
+        replay.disks[0].reads,
+    );
+    assert!(replay.cache.hits > 0, "replay must hit the buffer cache");
+    assert_eq!(
+        replay.disks[0].reads, stats.disks[0].reads,
+        "no new disk work"
+    );
+    println!("done: admission control turned overload into a clean protocol error");
+}

@@ -11,14 +11,26 @@ use netsim::{LinkConfig, SimDuration};
 fn main() {
     let mut world = World::with_stream_link(
         1994,
-        LinkConfig::lossy(SimDuration::from_millis(4), SimDuration::from_millis(1), 0.03),
+        LinkConfig::lossy(
+            SimDuration::from_millis(4),
+            SimDuration::from_millis(1),
+            0.03,
+        ),
     );
     let server = world.add_server("vod", StackKind::EstellePS);
     // One client on the generated stack, one on the hand-coded ISODE
     // stack — the paper's conformance-comparison setup.
-    let clients = [("alice", world.add_client(&server, StackKind::EstellePS, vec![])),
+    let clients = [
+        (
+            "alice",
+            world.add_client(&server, StackKind::EstellePS, vec![]),
+        ),
         ("bob", world.add_client(&server, StackKind::Isode, vec![])),
-        ("carol", world.add_client(&server, StackKind::EstellePS, vec![]))];
+        (
+            "carol",
+            world.add_client(&server, StackKind::EstellePS, vec![]),
+        ),
+    ];
     world.start();
 
     // The catalogue.
@@ -30,13 +42,28 @@ fn main() {
 
     let mut sessions = Vec::new();
     for ((user, client), title) in clients.iter().zip(["Metropolis", "Nosferatu", "M"]) {
-        let rsp = world.client_op(client, McamOp::Associate { user: (*user).into() });
+        let rsp = world.client_op(
+            client,
+            McamOp::Associate {
+                user: (*user).into(),
+            },
+        );
         assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
-        let listing = world.client_op(client, McamOp::List { contains: String::new() });
+        let listing = world.client_op(
+            client,
+            McamOp::List {
+                contains: String::new(),
+            },
+        );
         if let Some(McamPdu::ListMoviesRsp { titles }) = &listing {
             println!("{user}: catalogue = {titles:?}");
         }
-        let params = match world.client_op(client, McamOp::SelectMovie { title: title.into() }) {
+        let params = match world.client_op(
+            client,
+            McamOp::SelectMovie {
+                title: title.into(),
+            },
+        ) {
             Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
             other => panic!("{user} could not select {title}: {other:?}"),
         };
@@ -66,5 +93,8 @@ fn main() {
         let rsp = world.client_op(client, McamOp::Deselect);
         assert_eq!(rsp, Some(McamPdu::DeselectMovieRsp));
     }
-    println!("all CM streams closed; server still serving {} connections", sessions.len());
+    println!(
+        "all CM streams closed; server still serving {} connections",
+        sessions.len()
+    );
 }

@@ -1,7 +1,15 @@
 //! Umbrella crate for the MCAM reproduction workspace.
 //!
 //! Re-exports the public crates so examples and integration tests can use
-//! a single dependency root.
+//! a single dependency root:
+//!
+//! - control plane: [`mcam`] (agents, PDUs, world), [`estelle`],
+//!   [`asn1`], [`presentation`], [`session`], [`transport`], [`isode`];
+//! - CM-stream plane: [`mtp`] (stream protocol) and [`store`] (striped
+//!   block store, buffer cache, prefetch, disk-bandwidth admission
+//!   control feeding the stream provider);
+//! - services: [`directory`], [`equipment`];
+//! - substrate and evaluation: [`netsim`], [`ksim`], [`harness`].
 pub use asn1;
 pub use directory;
 pub use equipment;
@@ -14,4 +22,5 @@ pub use mtp;
 pub use netsim;
 pub use presentation;
 pub use session;
+pub use store;
 pub use transport;

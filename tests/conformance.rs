@@ -15,7 +15,12 @@ fn full_session(client_stack: StackKind, server_stack: StackKind) {
     world.start();
 
     assert_eq!(
-        world.client_op(&client, McamOp::Associate { user: "conformance".into() }),
+        world.client_op(
+            &client,
+            McamOp::Associate {
+                user: "conformance".into()
+            }
+        ),
         Some(McamPdu::AssociateRsp { accepted: true }),
         "{client_stack:?} client vs {server_stack:?} server: associate"
     );
@@ -34,14 +39,24 @@ fn full_session(client_stack: StackKind, server_stack: StackKind) {
     let mut extra = MovieEntry::new("Seeded", "x");
     extra.frame_count = 25;
     world.seed_movie(&server, &extra);
-    match world.client_op(&client, McamOp::List { contains: String::new() }) {
+    match world.client_op(
+        &client,
+        McamOp::List {
+            contains: String::new(),
+        },
+    ) {
         Some(McamPdu::ListMoviesRsp { mut titles }) => {
             titles.sort();
             assert_eq!(titles, vec!["Conf".to_string(), "Seeded".to_string()]);
         }
         other => panic!("{other:?}"),
     }
-    let params = match world.client_op(&client, McamOp::SelectMovie { title: "Conf".into() }) {
+    let params = match world.client_op(
+        &client,
+        McamOp::SelectMovie {
+            title: "Conf".into(),
+        },
+    ) {
         Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
         other => panic!("{other:?}"),
     };
@@ -52,7 +67,10 @@ fn full_session(client_stack: StackKind, server_stack: StackKind) {
     );
     world.run_for(SimDuration::from_secs(3));
     assert_eq!(rx.poll(world.net.now()).len(), 50);
-    assert_eq!(world.client_op(&client, McamOp::Release), Some(McamPdu::ReleaseRsp));
+    assert_eq!(
+        world.client_op(&client, McamOp::Release),
+        Some(McamPdu::ReleaseRsp)
+    );
 }
 
 #[test]

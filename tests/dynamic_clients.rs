@@ -22,7 +22,12 @@ fn clients_join_a_running_system() {
 
     // The static client works as usual.
     assert_eq!(
-        world.client_op(&first, McamOp::Associate { user: "static".into() }),
+        world.client_op(
+            &first,
+            McamOp::Associate {
+                user: "static".into()
+            }
+        ),
         Some(McamPdu::AssociateRsp { accepted: true })
     );
 
@@ -30,7 +35,12 @@ fn clients_join_a_running_system() {
     // impossible in base Estelle.
     let late = world.add_client(&server, StackKind::EstellePS, vec![]);
     assert_eq!(
-        world.client_op(&late, McamOp::Associate { user: "late".into() }),
+        world.client_op(
+            &late,
+            McamOp::Associate {
+                user: "late".into()
+            }
+        ),
         Some(McamPdu::AssociateRsp { accepted: true })
     );
 
@@ -47,7 +57,12 @@ fn clients_join_a_running_system() {
     let mut entry = MovieEntry::new("LateShow", "store");
     entry.frame_count = 30;
     world.seed_movie(&server, &entry);
-    let params = match world.client_op(&late, McamOp::SelectMovie { title: "LateShow".into() }) {
+    let params = match world.client_op(
+        &late,
+        McamOp::SelectMovie {
+            title: "LateShow".into(),
+        },
+    ) {
         Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
         other => panic!("select failed: {other:?}"),
     };
@@ -69,7 +84,10 @@ fn without_extension_late_clients_panic() {
         // Base Estelle: the system population is frozen.
         world.add_client(&server, StackKind::EstellePS, vec![]);
     });
-    assert!(result.is_err(), "base Estelle must reject post-start clients");
+    assert!(
+        result.is_err(),
+        "base Estelle must reject post-start clients"
+    );
 }
 
 #[test]
@@ -82,7 +100,12 @@ fn many_dynamic_clients_scale() {
     for i in 0..5 {
         let c = world.add_client(&server, StackKind::EstellePS, vec![]);
         assert_eq!(
-            world.client_op(&c, McamOp::Associate { user: format!("dyn-{i}") }),
+            world.client_op(
+                &c,
+                McamOp::Associate {
+                    user: format!("dyn-{i}")
+                }
+            ),
             Some(McamPdu::AssociateRsp { accepted: true })
         );
         clients.push(c);
@@ -91,5 +114,9 @@ fn many_dynamic_clients_scale() {
         .rt
         .with_machine::<mcam::ServerRoot, _>(server.root, |r| r.entities.clone())
         .unwrap();
-    assert_eq!(entities.len(), 5, "one server entity per dynamic connection");
+    assert_eq!(
+        entities.len(),
+        5,
+        "one server entity per dynamic connection"
+    );
 }

@@ -17,7 +17,7 @@ fn module_names(world: &World, parent: estelle::ModuleId) -> Vec<(String, estell
         .collect()
 }
 
- // keep the import list honest
+// keep the import list honest
 
 #[test]
 fn estelle_ps_stack_mapping() {
@@ -37,7 +37,9 @@ fn estelle_ps_stack_mapping() {
     let after = module_names(&world, client.root);
     let names: Vec<&str> = after.iter().map(|(n, _)| n.as_str()).collect();
     assert_eq!(names, vec!["app-0", "mca-0", "pres-0", "sess-0", "wire-0"]);
-    assert!(after.iter().all(|(_, k)| *k == estelle::ModuleKind::Process));
+    assert!(after
+        .iter()
+        .all(|(_, k)| *k == estelle::ModuleKind::Process));
     let root_meta = world.rt.module_meta(client.root).unwrap();
     assert_eq!(root_meta.kind, estelle::ModuleKind::SystemProcess);
 
@@ -82,9 +84,17 @@ fn client_root_records_created_modules() {
     assert!(app.is_some() && mca.is_some());
     // A second Associate travels as an in-band request and the server
     // rejects it: the association already exists.
-    let rsp = world.client_op(&client, McamOp::Associate { user: "again".into() });
+    let rsp = world.client_op(
+        &client,
+        McamOp::Associate {
+            user: "again".into(),
+        },
+    );
     assert_eq!(
         rsp,
-        Some(McamPdu::ErrorRsp { code: 902, message: "already associated".into() })
+        Some(McamPdu::ErrorRsp {
+            code: 902,
+            message: "already associated".into()
+        })
     );
 }

@@ -18,7 +18,12 @@ fn two_clients_three_server_entities() {
     let c2 = world.add_client(&server, StackKind::Isode, vec![]);
     world.start();
     for c in [&c1a, &c1b, &c2] {
-        let rsp = world.client_op(c, McamOp::Associate { user: "fig2".into() });
+        let rsp = world.client_op(
+            c,
+            McamOp::Associate {
+                user: "fig2".into(),
+            },
+        );
         assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
     }
     // Three server entities now run side by side under the server root.
@@ -34,7 +39,12 @@ fn two_clients_three_server_entities() {
     world.seed_movie(&server, &entry);
     let mut receivers = Vec::new();
     for c in [&c1a, &c1b, &c2] {
-        let params = match world.client_op(c, McamOp::SelectMovie { title: "Fig2".into() }) {
+        let params = match world.client_op(
+            c,
+            McamOp::SelectMovie {
+                title: "Fig2".into(),
+            },
+        ) {
             Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
             other => panic!("{other:?}"),
         };

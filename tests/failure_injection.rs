@@ -25,11 +25,21 @@ fn bursty_gilbert_elliott_loss_on_the_stream() {
     let server = world.add_server("s", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
-    world.client_op(&client, McamOp::Associate { user: "burst".into() });
+    world.client_op(
+        &client,
+        McamOp::Associate {
+            user: "burst".into(),
+        },
+    );
     let mut entry = MovieEntry::new("Bursty", "x");
     entry.frame_count = 250;
     world.seed_movie(&server, &entry);
-    let params = match world.client_op(&client, McamOp::SelectMovie { title: "Bursty".into() }) {
+    let params = match world.client_op(
+        &client,
+        McamOp::SelectMovie {
+            title: "Bursty".into(),
+        },
+    ) {
         Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
         other => panic!("{other:?}"),
     };
@@ -38,9 +48,16 @@ fn bursty_gilbert_elliott_loss_on_the_stream() {
     world.run_for(SimDuration::from_secs(12));
     let played = receiver.poll(world.net.now());
     assert!(receiver.stats.lost > 0, "bursts must cost frames");
-    assert!(played.len() > 150, "stream survives bursts: {}", played.len());
+    assert!(
+        played.len() > 150,
+        "stream survives bursts: {}",
+        played.len()
+    );
     // Control protocol still works afterwards.
-    assert_eq!(world.client_op(&client, McamOp::Stop), Some(McamPdu::StopRsp));
+    assert_eq!(
+        world.client_op(&client, McamOp::Stop),
+        Some(McamPdu::StopRsp)
+    );
 }
 
 #[test]
@@ -49,15 +66,31 @@ fn directory_faults_surface_as_protocol_errors_not_hangs() {
     let server = world.add_server("s", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
-    world.client_op(&client, McamOp::Associate { user: "fault".into() });
+    world.client_op(
+        &client,
+        McamOp::Associate {
+            user: "fault".into(),
+        },
+    );
     // Delete a movie that does not exist.
     assert_eq!(
-        world.client_op(&client, McamOp::DeleteMovie { title: "Ghost".into() }),
+        world.client_op(
+            &client,
+            McamOp::DeleteMovie {
+                title: "Ghost".into()
+            }
+        ),
         Some(McamPdu::DeleteMovieRsp { ok: false })
     );
     // Modify a movie that does not exist.
     assert_eq!(
-        world.client_op(&client, McamOp::Modify { title: "Ghost".into(), puts: vec![] }),
+        world.client_op(
+            &client,
+            McamOp::Modify {
+                title: "Ghost".into(),
+                puts: vec![]
+            }
+        ),
         Some(McamPdu::ModifyAttrsRsp { ok: false })
     );
     // Select a movie whose directory entry is corrupt (schema error).
@@ -66,12 +99,22 @@ fn directory_faults_surface_as_protocol_errors_not_hangs() {
     attrs.remove(directory::attr::FRAME_RATE);
     server.services.dua.add(dn, attrs).unwrap();
     assert_eq!(
-        world.client_op(&client, McamOp::SelectMovie { title: "Broken".into() }),
+        world.client_op(
+            &client,
+            McamOp::SelectMovie {
+                title: "Broken".into()
+            }
+        ),
         Some(McamPdu::SelectMovieRsp { params: None })
     );
     // The association is still healthy.
     assert!(matches!(
-        world.client_op(&client, McamOp::List { contains: String::new() }),
+        world.client_op(
+            &client,
+            McamOp::List {
+                contains: String::new()
+            }
+        ),
         Some(McamPdu::ListMoviesRsp { .. })
     ));
 }
@@ -96,13 +139,25 @@ fn equipment_contention_fails_record_cleanly() {
     rival.reserve(&site, cams[0].id).expect("rival reservation");
     // Now the protocol-level record cannot acquire a camera.
     assert_eq!(
-        world.client_op(&client, McamOp::Record { title: "Blocked".into(), frames: 10 }),
+        world.client_op(
+            &client,
+            McamOp::Record {
+                title: "Blocked".into(),
+                frames: 10
+            }
+        ),
         Some(McamPdu::RecordRsp { ok: false })
     );
     // Release and retry succeeds.
     rival.release(&site, cams[0].id).unwrap();
     assert_eq!(
-        world.client_op(&client, McamOp::Record { title: "Unblocked".into(), frames: 10 }),
+        world.client_op(
+            &client,
+            McamOp::Record {
+                title: "Unblocked".into(),
+                frames: 10
+            }
+        ),
         Some(McamPdu::RecordRsp { ok: true })
     );
 }

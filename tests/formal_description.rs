@@ -15,19 +15,43 @@ fn exported_spec_shows_the_paper_architecture() {
     assert!(before.contains("module server-ksr1 systemprocess;"));
     assert!(before.contains("module client-0 systemprocess;"));
     assert!(before.contains("module app-0 process;"));
-    assert!(!before.contains("module mca-0"), "no MCA before the connect request");
+    assert!(
+        !before.contains("module mca-0"),
+        "no MCA before the connect request"
+    );
 
-    let rsp = world.client_op(&client, McamOp::Associate { user: "spec".into() });
+    let rsp = world.client_op(
+        &client,
+        McamOp::Associate {
+            user: "spec".into(),
+        },
+    );
     assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
 
     let after = export_spec(&world.rt, "mcam_system");
     // Client side: app + mca + generated stack.
-    for module in ["mca-0 process", "pres-0 process", "sess-0 process", "wire-0 process"] {
-        assert!(after.contains(&format!("module {module};")), "missing {module}\n{after}");
+    for module in [
+        "mca-0 process",
+        "pres-0 process",
+        "sess-0 process",
+        "wire-0 process",
+    ] {
+        assert!(
+            after.contains(&format!("module {module};")),
+            "missing {module}\n{after}"
+        );
     }
     // Server side: the spawned entity with the Fig. 3 agents.
-    for module in ["server-mca-0 process", "dua process", "sua process", "eua process"] {
-        assert!(after.contains(&format!("module {module};")), "missing {module}\n{after}");
+    for module in [
+        "server-mca-0 process",
+        "dua process",
+        "sua process",
+        "eua process",
+    ] {
+        assert!(
+            after.contains(&format!("module {module};")),
+            "missing {module}\n{after}"
+        );
     }
     // Channels are rendered.
     assert!(after.contains("channel to"));

@@ -34,7 +34,10 @@ fn server_entity_has_the_four_agents() {
         assert_eq!(meta.parent, Some(mca));
     }
     // The MCA itself runs the protocol (it processed the association).
-    let user = world.rt.with_machine::<ServerMca, _>(mca, |m| m.user.clone()).unwrap();
+    let user = world
+        .rt
+        .with_machine::<ServerMca, _>(mca, |m| m.user.clone())
+        .unwrap();
     assert_eq!(user, Some("f1".to_string()));
 }
 
@@ -70,12 +73,26 @@ fn directory_and_equipment_reachable_through_agents() {
     assert_eq!(hits.len(), 1);
 
     // Equipment level via EUA (record acquires the camera).
-    let rsp = world.client_op(&client, McamOp::Record { title: "Rec".into(), frames: 10 });
+    let rsp = world.client_op(
+        &client,
+        McamOp::Record {
+            title: "Rec".into(),
+            frames: 10,
+        },
+    );
     assert_eq!(rsp, Some(McamPdu::RecordRsp { ok: true }));
 
     // Stream level via SUA.
-    let rsp = world.client_op(&client, McamOp::SelectMovie { title: "ViaDua".into() });
-    assert!(matches!(rsp, Some(McamPdu::SelectMovieRsp { params: Some(_) })));
+    let rsp = world.client_op(
+        &client,
+        McamOp::SelectMovie {
+            title: "ViaDua".into(),
+        },
+    );
+    assert!(matches!(
+        rsp,
+        Some(McamPdu::SelectMovieRsp { params: Some(_) })
+    ));
     assert_eq!(server.services.sps.stream_count(), 1);
     world.run_until_quiet(SimTime::MAX);
 }

@@ -24,12 +24,21 @@ fn heavy_reorder_stream_plays_in_order() {
     let server = world.add_server("s", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
-    world.client_op(&client, McamOp::Associate { user: "reorder".into() });
+    world.client_op(
+        &client,
+        McamOp::Associate {
+            user: "reorder".into(),
+        },
+    );
     let mut entry = MovieEntry::new("Shuffled", "x");
     entry.frame_count = 120;
     world.seed_movie(&server, &entry);
-    let params = match world.client_op(&client, McamOp::SelectMovie { title: "Shuffled".into() })
-    {
+    let params = match world.client_op(
+        &client,
+        McamOp::SelectMovie {
+            title: "Shuffled".into(),
+        },
+    ) {
         Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
         other => panic!("{other:?}"),
     };
@@ -45,7 +54,10 @@ fn heavy_reorder_stream_plays_in_order() {
     sorted.sort_unstable();
     assert_eq!(seqs, sorted, "playout buffer must undo network reordering");
     assert_eq!(receiver.stats.late, 0, "playout delay absorbs the jitter");
-    assert!(receiver.stats.jitter_us > 0.0, "jitter was actually present");
+    assert!(
+        receiver.stats.jitter_us > 0.0,
+        "jitter was actually present"
+    );
 }
 
 /// Release the association and associate again on the same client:
@@ -58,13 +70,23 @@ fn association_churn_rebuilds_the_stack() {
     world.start();
     for round in 0..3 {
         assert_eq!(
-            world.client_op(&client, McamOp::Associate { user: format!("round-{round}") }),
+            world.client_op(
+                &client,
+                McamOp::Associate {
+                    user: format!("round-{round}")
+                }
+            ),
             Some(McamPdu::AssociateRsp { accepted: true }),
             "associate round {round}"
         );
         // Do some work on the fresh association.
         assert!(matches!(
-            world.client_op(&client, McamOp::List { contains: String::new() }),
+            world.client_op(
+                &client,
+                McamOp::List {
+                    contains: String::new()
+                }
+            ),
             Some(McamPdu::ListMoviesRsp { .. })
         ));
         assert_eq!(
@@ -82,13 +104,22 @@ fn ten_clients_mixed_stacks() {
     let server = world.add_server("ksr1", StackKind::EstellePS);
     let mut clients = Vec::new();
     for i in 0..10 {
-        let stack = if i % 2 == 0 { StackKind::EstellePS } else { StackKind::Isode };
+        let stack = if i % 2 == 0 {
+            StackKind::EstellePS
+        } else {
+            StackKind::Isode
+        };
         clients.push(world.add_client(&server, stack, vec![]));
     }
     world.start();
     for (i, c) in clients.iter().enumerate() {
         assert_eq!(
-            world.client_op(c, McamOp::Associate { user: format!("u{i}") }),
+            world.client_op(
+                c,
+                McamOp::Associate {
+                    user: format!("u{i}")
+                }
+            ),
             Some(McamPdu::AssociateRsp { accepted: true })
         );
     }
@@ -109,7 +140,12 @@ fn ten_clients_mixed_stacks() {
     }
     // ... and sees everyone else's through the shared directory.
     for c in &clients {
-        match world.client_op(c, McamOp::List { contains: "Movie-".into() }) {
+        match world.client_op(
+            c,
+            McamOp::List {
+                contains: "Movie-".into(),
+            },
+        ) {
             Some(McamPdu::ListMoviesRsp { titles }) => assert_eq!(titles.len(), 10),
             other => panic!("{other:?}"),
         }
@@ -118,13 +154,21 @@ fn ten_clients_mixed_stacks() {
         .rt
         .with_machine::<mcam::ServerRoot, _>(server.root, |r| r.entities.clone())
         .unwrap();
-    assert_eq!(entities.len(), 10, "one server entity per client connection");
+    assert_eq!(
+        entities.len(),
+        10,
+        "one server entity per client connection"
+    );
 }
 
 /// Pause stops frame flow, resume continues it, under mild loss.
 #[test]
 fn pause_resume_under_loss() {
-    let cfg = LinkConfig::lossy(SimDuration::from_millis(2), SimDuration::from_micros(300), 0.02);
+    let cfg = LinkConfig::lossy(
+        SimDuration::from_millis(2),
+        SimDuration::from_micros(300),
+        0.02,
+    );
     let mut world = World::with_stream_link(34, cfg);
     let server = world.add_server("s", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
@@ -133,15 +177,22 @@ fn pause_resume_under_loss() {
     let mut entry = MovieEntry::new("Pausable", "x");
     entry.frame_count = 500;
     world.seed_movie(&server, &entry);
-    let params = match world.client_op(&client, McamOp::SelectMovie { title: "Pausable".into() })
-    {
+    let params = match world.client_op(
+        &client,
+        McamOp::SelectMovie {
+            title: "Pausable".into(),
+        },
+    ) {
         Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
         other => panic!("{other:?}"),
     };
     let mut receiver = world.receiver_for(&client, &params, SimDuration::from_millis(60));
     world.client_op(&client, McamOp::Play { speed_pct: 100 });
     world.run_for(SimDuration::from_secs(2));
-    assert_eq!(world.client_op(&client, McamOp::Pause), Some(McamPdu::PauseRsp));
+    assert_eq!(
+        world.client_op(&client, McamOp::Pause),
+        Some(McamPdu::PauseRsp)
+    );
     let before_pause = receiver.poll(world.net.now()).len();
     assert!(before_pause > 0, "some frames played before the pause");
     // While paused, (almost) nothing new arrives — allow frames
@@ -160,7 +211,10 @@ fn pause_resume_under_loss() {
     world.run_for(SimDuration::from_secs(30));
     let after_resume = receiver.poll(world.net.now()).len();
     assert!(after_resume > 100, "stream resumed: {after_resume} frames");
-    assert_eq!(world.client_op(&client, McamOp::Stop), Some(McamPdu::StopRsp));
+    assert_eq!(
+        world.client_op(&client, McamOp::Stop),
+        Some(McamPdu::StopRsp)
+    );
 }
 
 /// X.500 referral chains: following works, a referral to an unknown
@@ -177,7 +231,11 @@ fn referral_chains_failures_and_loops() {
     let eu = Dsa::new("eu-dsa");
     eu.add(europe.clone(), Attrs::new()).unwrap();
     let entry_dn = europe.child(directory::Rdn::new("cn", "Metropolis"));
-    eu.add(entry_dn.clone(), MovieEntry::new("Metropolis", "eu-store").to_attrs()).unwrap();
+    eu.add(
+        entry_dn.clone(),
+        MovieEntry::new("Metropolis", "eu-store").to_attrs(),
+    )
+    .unwrap();
 
     // A DUA knowing only `home` hits the referral and fails with
     // UnknownDsa (the referenced DSA is unreachable).
@@ -196,7 +254,11 @@ fn referral_chains_failures_and_loops() {
     assert_eq!(entry.title, "Metropolis");
     // Search through the referral too.
     let hits = dua_full
-        .search(&europe, Scope::Subtree, &Filter::eq_str(directory::attr::TITLE, "Metropolis"))
+        .search(
+            &europe,
+            Scope::Subtree,
+            &Filter::eq_str(directory::attr::TITLE, "Metropolis"),
+        )
         .unwrap();
     assert_eq!(hits.len(), 1);
 

@@ -15,7 +15,12 @@ fn setup(seed: u64, title: &str, frames: u64) -> (World, mcam::ClientHandle, mca
     let mut entry = MovieEntry::new(title, "x");
     entry.frame_count = frames;
     world.seed_movie(&server, &entry);
-    let params = match world.client_op(&client, McamOp::SelectMovie { title: title.into() }) {
+    let params = match world.client_op(
+        &client,
+        McamOp::SelectMovie {
+            title: title.into(),
+        },
+    ) {
         Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
         other => panic!("{other:?}"),
     };
@@ -33,7 +38,11 @@ fn seek_skips_to_the_requested_frame() {
     world.client_op(&client, McamOp::Play { speed_pct: 100 });
     world.run_for(SimDuration::from_secs(5));
     let played = rx.poll(world.net.now());
-    assert_eq!(played.len(), 40, "only frames 60..100 remain after the seek");
+    assert_eq!(
+        played.len(),
+        40,
+        "only frames 60..100 remain after the seek"
+    );
     // Media timestamps start at the seek target, not zero.
     let first_ts = played.first().unwrap().timestamp_us;
     assert_eq!(first_ts, 60 * 40_000, "40ms frames: frame 60 is at 2.4s");
@@ -71,9 +80,15 @@ fn stop_rewinds_to_the_beginning() {
     let mut rx = world.receiver_for(&client, &params, SimDuration::from_millis(60));
     world.client_op(&client, McamOp::Play { speed_pct: 100 });
     world.run_for(SimDuration::from_secs(1));
-    assert_eq!(world.client_op(&client, McamOp::Stop), Some(McamPdu::StopRsp));
+    assert_eq!(
+        world.client_op(&client, McamOp::Stop),
+        Some(McamPdu::StopRsp)
+    );
     let first_run = rx.poll(world.net.now()).len();
-    assert!(first_run >= 20, "about a second of frames before the stop: {first_run}");
+    assert!(
+        first_run >= 20,
+        "about a second of frames before the stop: {first_run}"
+    );
     assert!(first_run < 50, "the stop interrupted playback");
     // Play again: the movie restarts from frame 0 and plays to the
     // end. A frame or two from the first run may still be in flight
