@@ -1,15 +1,17 @@
-//! Storage-subsystem benchmarks: streams sustained vs. disk count,
-//! and buffer-cache hit ratio vs. viewer spacing.
+//! Storage-subsystem benchmarks: streams sustained vs. disk count and
+//! disk-queue discipline, streams sustained vs. *server* count in a
+//! replicated cluster, and buffer-cache hit ratio vs. viewer spacing.
 
+use cluster::{Placement, ReplicaDirectory};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mtp::MovieSource;
 use netsim::SimTime;
 use std::sync::Once;
-use store::{BlockStore, CachePolicy, DiskParams, StoreConfig};
+use store::{BlockStore, CachePolicy, DiskParams, DiskSched, StoreConfig};
 
 static REPORT: Once = Once::new();
 
-fn slow_disk_config(disks: usize) -> StoreConfig {
+fn slow_disk_config(disks: usize, sched: DiskSched) -> StoreConfig {
     StoreConfig {
         disks,
         block_size: 64 * 1024,
@@ -17,6 +19,7 @@ fn slow_disk_config(disks: usize) -> StoreConfig {
         policy: CachePolicy::Lru,
         disk: DiskParams {
             transfer_bytes_per_sec: 2_000_000,
+            sched,
             ..DiskParams::default()
         },
         ..StoreConfig::default()
@@ -24,8 +27,8 @@ fn slow_disk_config(disks: usize) -> StoreConfig {
 }
 
 /// Opens streams of one movie until admission control refuses.
-fn streams_sustained(disks: usize) -> usize {
-    let store = BlockStore::new(slow_disk_config(disks));
+fn streams_sustained(disks: usize, sched: DiskSched) -> usize {
+    let store = BlockStore::new(slow_disk_config(disks, sched));
     let movie = MovieSource::test_movie(60, 1);
     let id = store.register_movie(&movie);
     let mut admitted = 0;
@@ -34,6 +37,54 @@ fn streams_sustained(disks: usize) -> usize {
             break;
         }
         admitted += 1;
+    }
+    admitted
+}
+
+/// Streams sustained by a cluster of `servers` stores with one movie
+/// per server placed on `k` replicas round-robin: every open routes
+/// to the hottest title's most-available replica and falls over like
+/// the `SelectMovie` path.
+fn cluster_streams_sustained(servers: usize, k: usize) -> usize {
+    let dir: ReplicaDirectory<std::sync::Arc<BlockStore>> = ReplicaDirectory::new();
+    for i in 0..servers {
+        dir.register(
+            format!("srv-{i}"),
+            BlockStore::new(slow_disk_config(2, DiskSched::Scan)),
+        );
+    }
+    let mut placement = Placement::round_robin(k);
+    // One title per server, spread K-wide.
+    let movies: Vec<(MovieSource, Vec<String>)> = (0..servers)
+        .map(|t| {
+            (
+                MovieSource::test_movie(60, t as u64),
+                placement.place(&dir.loads()),
+            )
+        })
+        .collect();
+    let mut admitted = 0;
+    let mut stream = 0u32;
+    'outer: loop {
+        let mut any = false;
+        for (movie, replicas) in &movies {
+            // Route: most-available replica first, fail over in order.
+            for (_, store) in dir.route(replicas) {
+                let id = store.register_movie(movie);
+                stream += 1;
+                if store.open_stream(stream, id, 100, SimTime::ZERO).is_ok() {
+                    admitted += 1;
+                    any = true;
+                    break;
+                }
+            }
+            if stream > 1_000_000 {
+                break 'outer;
+            }
+        }
+        if !any {
+            break;
+        }
     }
     admitted
 }
@@ -86,17 +137,45 @@ fn hit_ratio_at_spacing(policy: CachePolicy, cache_blocks: usize, spacing_frames
 
 fn bench(c: &mut Criterion) {
     REPORT.call_once(|| {
-        println!("store_throughput: streams sustained vs. disk count");
+        println!("store_throughput: streams sustained vs. disk count and queue discipline");
         let mut prev = 0;
         for disks in [1usize, 2, 4, 8] {
-            let sustained = streams_sustained(disks);
-            println!("  disks={disks:<2} streams_sustained={sustained}");
+            let fifo = streams_sustained(disks, DiskSched::Fifo);
+            let scan = streams_sustained(disks, DiskSched::Scan);
+            println!(
+                "  disks={disks:<2} streams_sustained fifo={fifo:<4} scan={scan:<4} \
+                 (+{:.0}%)",
+                (scan as f64 / fifo as f64 - 1.0) * 100.0
+            );
+            assert!(scan >= prev, "more disks must not sustain fewer streams");
+            assert!(
+                scan > fifo,
+                "the elevator sweep must outperform FIFO (scan={scan} fifo={fifo})"
+            );
+            prev = scan;
+        }
+        println!("store_throughput: cluster streams sustained vs. server count (K=2 replicas)");
+        let mut single = 0;
+        let mut prev = 0;
+        for servers in [1usize, 2, 3, 4] {
+            let sustained = cluster_streams_sustained(servers, 2);
+            if servers == 1 {
+                single = sustained;
+            }
+            println!(
+                "  servers={servers} streams_sustained={sustained} ({:.1}x one server)",
+                sustained as f64 / single as f64
+            );
             assert!(
                 sustained >= prev,
-                "more disks must not sustain fewer streams"
+                "more servers must not sustain fewer streams"
             );
             prev = sustained;
         }
+        assert!(
+            prev >= 3 * single,
+            "4 servers must sustain at least 3x one server (got {prev} vs {single})"
+        );
         println!("store_throughput: interval-cache hit ratio vs. viewer spacing");
         let close = hit_ratio_at_spacing(CachePolicy::Interval, 64, 4);
         let far = hit_ratio_at_spacing(CachePolicy::Interval, 64, 100_000);
@@ -110,7 +189,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_throughput");
     group.sample_size(10);
     group.bench_function("admission_sweep_4_disks", |b| {
-        b.iter(|| criterion::black_box(streams_sustained(4)));
+        b.iter(|| criterion::black_box(streams_sustained(4, DiskSched::Scan)));
+    });
+    group.bench_function("cluster_admission_3_servers", |b| {
+        b.iter(|| criterion::black_box(cluster_streams_sustained(3, 2)));
     });
     group.bench_function("two_viewers_interval_cache", |b| {
         b.iter(|| criterion::black_box(hit_ratio_at_spacing(CachePolicy::Interval, 64, 4)));

@@ -1,0 +1,403 @@
+//! `cluster` — replica placement and load-aware stream routing for a
+//! multi-server movie service.
+//!
+//! After the storage subsystem (`store`) made disk bandwidth a
+//! first-class, admission-controlled resource *within* one server,
+//! this crate scales the service *across* servers: a published movie
+//! is placed on K replica servers ([`Placement`]), the directory entry
+//! carries every replica's location, and each `SelectMovie` is routed
+//! to the replica whose admission controller reports the most
+//! uncommitted bandwidth ([`ReplicaDirectory::route`]) — falling over
+//! to the next replica when the first rejects, so a single popular
+//! title no longer saturates one machine while its peers idle.
+//!
+//! The crate is deliberately independent of the protocol layer: it
+//! reasons about *locations* (opaque strings such as `"node-3"`) and
+//! *load probes* ([`LoadProbe`], implemented here for
+//! `Arc<store::BlockStore>` and wired to the stream providers by the
+//! `mcam` crate), so the same policies drive the live world, the unit
+//! tests, and the `store_throughput` cluster benchmark.
+//!
+//! # Examples
+//!
+//! ```
+//! use cluster::{Placement, ReplicaDirectory};
+//! use store::{BlockStore, StoreConfig};
+//!
+//! let dir = ReplicaDirectory::new();
+//! for name in ["node-1", "node-2", "node-3"] {
+//!     dir.register(name, BlockStore::new(StoreConfig::default()));
+//! }
+//! let mut placement = Placement::round_robin(2);
+//! let replicas = placement.place(&dir.loads());
+//! assert_eq!(replicas, vec!["node-1".to_string(), "node-2".to_string()]);
+//! // Route a select: candidates ordered most-available-first.
+//! let order = dir.route(&replicas);
+//! assert_eq!(order.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// A point-in-time load snapshot of one server's storage subsystem,
+/// as reported by its admission controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadSnapshot {
+    /// Bandwidth still uncommitted, bits/second.
+    pub available_bps: u64,
+    /// Bandwidth committed to admitted streams, bits/second.
+    pub committed_bps: u64,
+    /// Total deliverable bandwidth, bits/second.
+    pub capacity_bps: u64,
+    /// Streams currently open.
+    pub open_streams: usize,
+}
+
+/// Anything that can report the storage load of one server machine.
+pub trait LoadProbe {
+    /// The server's current load.
+    fn load(&self) -> LoadSnapshot;
+}
+
+impl<T: LoadProbe + ?Sized> LoadProbe for Arc<T> {
+    fn load(&self) -> LoadSnapshot {
+        (**self).load()
+    }
+}
+
+impl LoadProbe for store::BlockStore {
+    fn load(&self) -> LoadSnapshot {
+        let stats = self.stats();
+        LoadSnapshot {
+            available_bps: stats.capacity_bps.saturating_sub(stats.committed_bps),
+            committed_bps: stats.committed_bps,
+            capacity_bps: stats.capacity_bps,
+            open_streams: stats.open_streams,
+        }
+    }
+}
+
+/// A named server's load, as returned by [`ReplicaDirectory::loads`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerLoad {
+    /// The server's location name (e.g. `"node-3"`).
+    pub location: String,
+    /// Its load snapshot.
+    pub load: LoadSnapshot,
+}
+
+/// How [`Placement`] picks the K replica servers of a new movie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementStrategy {
+    /// Successive movies start on successive servers, wrapping around:
+    /// even load for a uniform catalogue, no load feedback needed.
+    #[default]
+    RoundRobin,
+    /// Pick the servers with the least committed bandwidth right now
+    /// (ties broken by fewer open streams, then registration order).
+    LeastLoaded,
+}
+
+/// Replica-placement policy: assigns each published movie to K
+/// servers.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    strategy: PlacementStrategy,
+    k: usize,
+    cursor: usize,
+}
+
+impl Placement {
+    /// A placement policy with `k` replicas per movie.
+    pub fn new(strategy: PlacementStrategy, k: usize) -> Self {
+        Placement {
+            strategy,
+            k: k.max(1),
+            cursor: 0,
+        }
+    }
+
+    /// Round-robin placement with `k` replicas per movie.
+    pub fn round_robin(k: usize) -> Self {
+        Self::new(PlacementStrategy::RoundRobin, k)
+    }
+
+    /// Least-loaded placement with `k` replicas per movie.
+    pub fn least_loaded(k: usize) -> Self {
+        Self::new(PlacementStrategy::LeastLoaded, k)
+    }
+
+    /// Replicas per movie.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+
+    /// Chooses the replica locations for one new movie from the
+    /// cluster's current loads. Returns at most `k` distinct
+    /// locations (fewer when the cluster is smaller than `k`), in
+    /// the order the replicas should be listed in the directory.
+    pub fn place(&mut self, loads: &[ServerLoad]) -> Vec<String> {
+        if loads.is_empty() {
+            return Vec::new();
+        }
+        let k = self.k.min(loads.len());
+        match self.strategy {
+            PlacementStrategy::RoundRobin => {
+                let start = self.cursor % loads.len();
+                self.cursor = self.cursor.wrapping_add(1);
+                (0..k)
+                    .map(|i| loads[(start + i) % loads.len()].location.clone())
+                    .collect()
+            }
+            PlacementStrategy::LeastLoaded => {
+                let mut by_load: Vec<(usize, &ServerLoad)> = loads.iter().enumerate().collect();
+                by_load.sort_by_key(|(idx, s)| (s.load.committed_bps, s.load.open_streams, *idx));
+                by_load
+                    .into_iter()
+                    .take(k)
+                    .map(|(_, s)| s.location.clone())
+                    .collect()
+            }
+        }
+    }
+}
+
+/// The cluster-wide registry of server locations and their load
+/// probes: the layer between the movie directory (which stores
+/// replica *names*) and the per-server storage stacks (which answer
+/// load queries and host streams).
+pub struct ReplicaDirectory<P> {
+    servers: RwLock<Vec<(String, P)>>,
+}
+
+impl<P> fmt::Debug for ReplicaDirectory<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let servers = self.servers.read();
+        f.debug_struct("ReplicaDirectory")
+            .field(
+                "servers",
+                &servers.iter().map(|(l, _)| l).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl<P> Default for ReplicaDirectory<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> ReplicaDirectory<P> {
+    /// An empty directory.
+    pub fn new() -> Self {
+        ReplicaDirectory {
+            servers: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Number of registered servers.
+    pub fn len(&self) -> usize {
+        self.servers.read().len()
+    }
+
+    /// True when no server is registered.
+    pub fn is_empty(&self) -> bool {
+        self.servers.read().is_empty()
+    }
+
+    /// All registered locations, in registration order.
+    pub fn locations(&self) -> Vec<String> {
+        self.servers.read().iter().map(|(l, _)| l.clone()).collect()
+    }
+}
+
+impl<P: LoadProbe + Clone> ReplicaDirectory<P> {
+    /// Registers (or replaces) a server under `location`.
+    pub fn register(&self, location: impl Into<String>, probe: P) {
+        let location = location.into();
+        let mut servers = self.servers.write();
+        match servers.iter_mut().find(|(l, _)| *l == location) {
+            Some(slot) => slot.1 = probe,
+            None => servers.push((location, probe)),
+        }
+    }
+
+    /// The probe registered under `location`.
+    pub fn get(&self, location: &str) -> Option<P> {
+        self.servers
+            .read()
+            .iter()
+            .find(|(l, _)| l == location)
+            .map(|(_, p)| p.clone())
+    }
+
+    /// The first registered probe satisfying `pred`, in registration
+    /// order (e.g. the provider hosting a given stream).
+    pub fn find(&self, mut pred: impl FnMut(&P) -> bool) -> Option<P> {
+        self.servers
+            .read()
+            .iter()
+            .find(|(_, p)| pred(p))
+            .map(|(_, p)| p.clone())
+    }
+
+    /// Current load of every registered server, in registration order.
+    pub fn loads(&self) -> Vec<ServerLoad> {
+        self.servers
+            .read()
+            .iter()
+            .map(|(location, probe)| ServerLoad {
+                location: location.clone(),
+                load: probe.load(),
+            })
+            .collect()
+    }
+
+    /// Orders `replicas` for a stream-open attempt: registered
+    /// replicas sorted by most uncommitted `available_bps` first
+    /// (ties keep the replica-list order), each paired with its
+    /// probe. Locations not registered here are skipped — the caller
+    /// falls back to local service when nothing matches.
+    pub fn route(&self, replicas: &[String]) -> Vec<(String, P)> {
+        let servers = self.servers.read();
+        let mut candidates: Vec<(usize, u64, String, P)> = replicas
+            .iter()
+            .enumerate()
+            .filter_map(|(order, location)| {
+                servers
+                    .iter()
+                    .find(|(l, _)| l == location)
+                    .map(|(l, p)| (order, p.load().available_bps, l.clone(), p.clone()))
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        candidates.into_iter().map(|(_, _, l, p)| (l, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// A probe whose availability the test can dial.
+    #[derive(Clone)]
+    struct FakeProbe(Rc<Cell<u64>>);
+
+    impl FakeProbe {
+        fn new(available: u64) -> Self {
+            FakeProbe(Rc::new(Cell::new(available)))
+        }
+        fn set(&self, available: u64) {
+            self.0.set(available);
+        }
+    }
+
+    impl LoadProbe for FakeProbe {
+        fn load(&self) -> LoadSnapshot {
+            LoadSnapshot {
+                available_bps: self.0.get(),
+                committed_bps: 1_000_000 - self.0.get().min(1_000_000),
+                capacity_bps: 1_000_000,
+                open_streams: 0,
+            }
+        }
+    }
+
+    fn three_server_dir() -> (ReplicaDirectory<FakeProbe>, Vec<FakeProbe>) {
+        let dir = ReplicaDirectory::new();
+        let probes: Vec<FakeProbe> = (0..3).map(|_| FakeProbe::new(1_000_000)).collect();
+        for (i, p) in probes.iter().enumerate() {
+            dir.register(format!("node-{}", i + 1), p.clone());
+        }
+        (dir, probes)
+    }
+
+    #[test]
+    fn round_robin_rotates_start_server() {
+        let (dir, _) = three_server_dir();
+        let mut p = Placement::round_robin(2);
+        assert_eq!(p.place(&dir.loads()), ["node-1", "node-2"]);
+        assert_eq!(p.place(&dir.loads()), ["node-2", "node-3"]);
+        assert_eq!(p.place(&dir.loads()), ["node-3", "node-1"]);
+        assert_eq!(p.place(&dir.loads()), ["node-1", "node-2"]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_uncommitted_servers() {
+        let (dir, probes) = three_server_dir();
+        probes[0].set(100_000); // heavily committed
+        probes[1].set(500_000);
+        probes[2].set(900_000); // nearly idle
+        let mut p = Placement::least_loaded(2);
+        assert_eq!(p.place(&dir.loads()), ["node-3", "node-2"]);
+    }
+
+    #[test]
+    fn k_is_clamped_to_cluster_size() {
+        let (dir, _) = three_server_dir();
+        let mut p = Placement::round_robin(5);
+        assert_eq!(p.place(&dir.loads()).len(), 3);
+        assert!(Placement::round_robin(0).k() == 1, "k=0 is clamped to 1");
+        assert!(Placement::least_loaded(1).place(&[]).is_empty());
+    }
+
+    #[test]
+    fn route_orders_by_available_bandwidth() {
+        let (dir, probes) = three_server_dir();
+        probes[0].set(200_000);
+        probes[1].set(800_000);
+        probes[2].set(500_000);
+        let replicas: Vec<String> = vec!["node-1".into(), "node-2".into(), "node-3".into()];
+        let order: Vec<String> = dir.route(&replicas).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(order, ["node-2", "node-3", "node-1"]);
+    }
+
+    #[test]
+    fn route_skips_unknown_locations_and_keeps_tie_order() {
+        let (dir, _) = three_server_dir();
+        let replicas: Vec<String> = vec![
+            "node-9".into(),
+            "node-2".into(),
+            "node-1".into(),
+            "node-3".into(),
+        ];
+        let order: Vec<String> = dir.route(&replicas).into_iter().map(|(l, _)| l).collect();
+        // All ties at full availability: replica-list order survives,
+        // the unregistered node-9 is dropped.
+        assert_eq!(order, ["node-2", "node-1", "node-3"]);
+        assert!(dir.route(&["node-9".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn register_replaces_existing_location() {
+        let dir = ReplicaDirectory::new();
+        let a = FakeProbe::new(1);
+        let b = FakeProbe::new(2);
+        dir.register("node-1", a);
+        dir.register("node-1", b);
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.get("node-1").unwrap().load().available_bps, 2);
+        assert!(dir.get("node-7").is_none());
+        assert_eq!(dir.locations(), ["node-1"]);
+    }
+
+    #[test]
+    fn block_store_probe_tracks_admission() {
+        let store = store::BlockStore::new(store::StoreConfig::default());
+        let snap = store.load();
+        assert_eq!(snap.committed_bps, 0);
+        assert_eq!(snap.available_bps, snap.capacity_bps);
+        assert!(snap.capacity_bps > 0);
+    }
+}

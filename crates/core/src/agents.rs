@@ -127,18 +127,41 @@ impl StateMachine for DuaAgent {
 }
 
 /// Stream agent (SPA on the server): executes [`StreamOp`]s against
-/// the stream provider system.
+/// the stream provider system — the local one, or a replica peer's
+/// when the MCA's routing step named one.
 #[derive(Debug)]
 pub struct SuaAgent {
     sps: Arc<StreamProviderSystem>,
+    peers: Arc<SpsRegistry>,
     /// Operations served.
     pub ops: u64,
 }
 
+/// The cluster registry of stream providers, keyed by their
+/// `"node-<n>"` location names.
+pub type SpsRegistry = cluster::ReplicaDirectory<Arc<StreamProviderSystem>>;
+
 impl SuaAgent {
-    /// Creates an agent controlling `sps`.
-    pub fn new(sps: Arc<StreamProviderSystem>) -> Self {
-        SuaAgent { sps, ops: 0 }
+    /// Creates an agent controlling `sps`, with `peers` resolving the
+    /// replica locations named in routed open requests.
+    pub fn new(sps: Arc<StreamProviderSystem>, peers: Arc<SpsRegistry>) -> Self {
+        SuaAgent { sps, peers, ops: 0 }
+    }
+
+    /// The provider hosting `stream_id`: the local one when it holds
+    /// the stream (or when nobody does — unknown ids then fail with
+    /// the local provider's error), else the registered peer hosting
+    /// it. Asking the providers instead of caching an id → provider
+    /// map keeps the agent stateless across stream lifetimes — the
+    /// MCA may close a routed stream through any path (release,
+    /// abort) without the agent leaking or misrouting stale entries.
+    fn provider_of(&self, stream_id: u32) -> Arc<StreamProviderSystem> {
+        if self.sps.has_stream(stream_id) {
+            return Arc::clone(&self.sps);
+        }
+        self.peers
+            .find(|sps| sps.has_stream(stream_id))
+            .unwrap_or_else(|| Arc::clone(&self.sps))
     }
 
     fn execute(&mut self, op: StreamOp, now: netsim::SimTime) -> StreamOutcome {
@@ -155,11 +178,25 @@ impl SuaAgent {
             Err(e) => StreamOutcome::Failed(e.to_string()),
         };
         match op {
-            StreamOp::Open { movie, dest } => {
-                match self.sps.open(movie, netsim::NetAddr(dest), now) {
+            StreamOp::Open {
+                movie,
+                dest,
+                location,
+            } => {
+                let target = match &location {
+                    None => Arc::clone(&self.sps),
+                    Some(loc) => match self.peers.get(loc) {
+                        Some(sps) => sps,
+                        None => {
+                            return StreamOutcome::Failed(format!("unknown replica location {loc}"))
+                        }
+                    },
+                };
+                match target.open(movie, netsim::NetAddr(dest), now) {
                     Ok(id) => StreamOutcome::Opened {
                         stream_id: id,
-                        provider_addr: self.sps.addr().0,
+                        provider_addr: target.addr().0,
+                        location: target.location(),
                     },
                     Err(SpsError::AdmissionRejected {
                         demanded_bps,
@@ -171,14 +208,16 @@ impl SuaAgent {
                     Err(e) => StreamOutcome::Failed(e.to_string()),
                 }
             }
-            StreamOp::Close { stream_id } => done(self.sps.close(stream_id)),
+            StreamOp::Close { stream_id } => done(self.provider_of(stream_id).close(stream_id)),
             StreamOp::Play {
                 stream_id,
                 speed_pct,
-            } => done(self.sps.play(stream_id, speed_pct, now)),
-            StreamOp::Pause { stream_id } => done(self.sps.pause(stream_id)),
-            StreamOp::Stop { stream_id } => done(self.sps.stop(stream_id, now)),
-            StreamOp::Seek { stream_id, frame } => done(self.sps.seek(stream_id, frame, now)),
+            } => done(self.provider_of(stream_id).play(stream_id, speed_pct, now)),
+            StreamOp::Pause { stream_id } => done(self.provider_of(stream_id).pause(stream_id)),
+            StreamOp::Stop { stream_id } => done(self.provider_of(stream_id).stop(stream_id, now)),
+            StreamOp::Seek { stream_id, frame } => {
+                done(self.provider_of(stream_id).seek(stream_id, frame, now))
+            }
         }
     }
 }

@@ -23,7 +23,15 @@
 //! - [`World`] — the Fig. 2 experimental configuration: clients on
 //!   workstations, server entities on the (simulated) multiprocessor,
 //!   control pipes and the CM datagram network, with a co-simulation
-//!   driver.
+//!   driver;
+//! - cluster replication (the `cluster` crate wired through
+//!   [`World::add_cluster`] / [`World::publish_replicated`]): movies
+//!   are placed on K replica servers, directory entries carry every
+//!   replica location, and `SelectMovie` routes each stream to the
+//!   replica whose admission controller has the most uncommitted
+//!   disk bandwidth — falling over to the next replica on rejection
+//!   and returning `ErrorRsp 503` only when all replicas are
+//!   saturated.
 //!
 //! # Examples
 //!
@@ -61,6 +69,32 @@
 //! let played = receiver.poll(world.net.now());
 //! assert_eq!(played.len(), 50, "all frames played");
 //! ```
+//!
+//! Scaling a popular title past one machine: build an N-server
+//! cluster, publish with K replicas, and let `SelectMovie` route each
+//! viewer to the replica with the most uncommitted disk bandwidth:
+//!
+//! ```
+//! use directory::MovieEntry;
+//! use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+//!
+//! let mut world = World::new(9);
+//! let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(2));
+//! let client = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
+//! world.start();
+//!
+//! let replicas = world.publish_replicated(&cluster, &MovieEntry::new("Hit", "pending"));
+//! assert_eq!(replicas.len(), 2, "placed on 2 of the 3 servers");
+//!
+//! world.client_op(&client, McamOp::Associate { user: "demo".into() });
+//! let rsp = world.client_op(&client, McamOp::SelectMovie { title: "Hit".into() });
+//! let params = match rsp {
+//!     Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+//!     other => panic!("select failed: {other:?}"),
+//! };
+//! // The stream landed on one of the replicas chosen at publish time.
+//! assert!(replicas.contains(&format!("node-{}", params.provider_addr)));
+//! ```
 
 #![warn(missing_docs)]
 
@@ -74,7 +108,9 @@ mod sps;
 mod stacks;
 mod world;
 
+pub use agents::SpsRegistry;
 pub use app::{AppMachine, TO_MCA as APP_TO_MCA, TO_ROOT as APP_TO_ROOT};
+pub use cluster::{Placement, PlacementStrategy};
 pub use mca::{ClientMca, CONNECTING, CTRL, DOWN, P_RELEASING, READY, UNBOUND, UP, WAITING};
 pub use pdus::{McamPdu, MovieDesc, StreamParams};
 pub use server::{ServerMca, ServerRoot, ServerServices};
@@ -85,4 +121,4 @@ pub use service::{
 };
 pub use sps::{SpsError, StreamProviderSystem};
 pub use stacks::{wire_lower_stack, ClientRoot, StackKind, ROOT_TO_APP, ROOT_TO_MCA};
-pub use world::{ClientHandle, ServerHandle, World};
+pub use world::{ClientHandle, ClusterHandle, ServerHandle, World};

@@ -4,7 +4,7 @@
 //! a process can accept a new CONNECT request and then create a new
 //! child module to handle the new connection").
 
-use crate::agents::{source_for_entry, DuaAgent, EuaAgent, SuaAgent, AGENT_IP};
+use crate::agents::{source_for_entry, DuaAgent, EuaAgent, SpsRegistry, SuaAgent, AGENT_IP};
 use crate::pdus::{McamPdu, MovieDesc, StreamParams};
 use crate::service::{
     DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest, EquipResponse,
@@ -60,6 +60,11 @@ pub struct ServerServices {
     /// The machine's continuous-media block store (disk stripes,
     /// buffer cache, admission control) feeding the stream provider.
     pub store: Arc<store::BlockStore>,
+    /// The cluster's stream providers by location: `SelectMovie`
+    /// routing resolves a movie's replica locations here and probes
+    /// each replica's admission load. A standalone server registers
+    /// only itself.
+    pub peers: Arc<SpsRegistry>,
     /// Equipment client for the server site.
     pub eua: Eua,
     /// The site's equipment control agent (for direct inspection and
@@ -69,6 +74,25 @@ pub struct ServerServices {
     pub site: String,
 }
 
+impl ServerServices {
+    /// The stream provider at `location`, or the local one when the
+    /// location is not registered (single-server worlds, seeded
+    /// entries with symbolic locations).
+    pub fn sps_at(&self, location: &str) -> Arc<StreamProviderSystem> {
+        self.peers
+            .get(location)
+            .unwrap_or_else(|| Arc::clone(&self.sps))
+    }
+}
+
+/// The stream a server entity currently has selected, with the
+/// replica location hosting it.
+#[derive(Debug, Clone)]
+struct Selected {
+    params: StreamParams,
+    location: String,
+}
+
 #[derive(Debug, Clone)]
 enum Pending {
     Create,
@@ -76,16 +100,31 @@ enum Pending {
     List,
     Query,
     Modify,
-    SelectLookup { client_addr: u32 },
-    SelectOpen { entry: MovieEntry },
+    SelectLookup {
+        client_addr: u32,
+    },
+    SelectOpen {
+        entry: MovieEntry,
+        client_addr: u32,
+        /// Replica locations still untried, best-first; `SelectMovie`
+        /// falls over to the next one when a replica rejects.
+        remaining: Vec<String>,
+        /// Replicas attempted so far (for the final error report).
+        tried: usize,
+    },
     Deselect,
     Play,
     Pause,
     Stop,
     Seek,
-    RecordAcquire { title: String, frames: u64 },
+    RecordAcquire {
+        title: String,
+        frames: u64,
+    },
     RecordAdd,
-    RecordRelease { ok: bool },
+    RecordRelease {
+        ok: bool,
+    },
 }
 
 /// The server-side Movie Control Agent.
@@ -94,12 +133,18 @@ pub struct ServerMca {
     services: ServerServices,
     /// Associated user, when bound.
     pub user: Option<String>,
-    selected: Option<StreamParams>,
+    selected: Option<Selected>,
     pending: Option<Pending>,
     /// Requests processed.
     pub requests: u64,
     /// Protocol/decode errors observed.
     pub protocol_errors: u64,
+    /// `SelectMovie` routing decisions taken (one per successful
+    /// directory lookup of a replicated title).
+    pub route_decisions: u64,
+    /// `SelectMovie` opens that fell over to another replica after a
+    /// rejection.
+    pub failovers: u64,
     /// Labels inherited by the child agents.
     labels: ModuleLabels,
 }
@@ -114,7 +159,20 @@ impl ServerMca {
             pending: None,
             requests: 0,
             protocol_errors: 0,
+            route_decisions: 0,
+            failovers: 0,
             labels,
+        }
+    }
+
+    /// Closes the selected stream, if any, on whichever replica hosts
+    /// it.
+    fn close_selected(&mut self) {
+        if let Some(sel) = self.selected.take() {
+            let _ = self
+                .services
+                .sps_at(&sel.location)
+                .close(sel.params.stream_id);
         }
     }
 
@@ -150,9 +208,7 @@ impl ServerMca {
             }
             ReleaseReq => {
                 // Tear down any CM stream, then confirm.
-                if let Some(sel) = self.selected.take() {
-                    let _ = self.services.sps.close(sel.stream_id);
-                }
+                self.close_selected();
                 self.reply(ctx, ReleaseRsp);
             }
             CreateMovieReq {
@@ -186,7 +242,7 @@ impl ServerMca {
                     ctx.output(
                         TO_SUA,
                         StreamRequest(StreamOp::Close {
-                            stream_id: sel.stream_id,
+                            stream_id: sel.params.stream_id,
                         }),
                     );
                     ctx.goto(BUSY);
@@ -219,7 +275,7 @@ impl ServerMca {
                     ctx.output(
                         TO_SUA,
                         StreamRequest(StreamOp::Play {
-                            stream_id: sel.stream_id,
+                            stream_id: sel.params.stream_id,
                             speed_pct,
                         }),
                     );
@@ -233,7 +289,7 @@ impl ServerMca {
                     ctx.output(
                         TO_SUA,
                         StreamRequest(StreamOp::Pause {
-                            stream_id: sel.stream_id,
+                            stream_id: sel.params.stream_id,
                         }),
                     );
                     ctx.goto(BUSY);
@@ -246,7 +302,7 @@ impl ServerMca {
                     ctx.output(
                         TO_SUA,
                         StreamRequest(StreamOp::Stop {
-                            stream_id: sel.stream_id,
+                            stream_id: sel.params.stream_id,
                         }),
                     );
                     ctx.goto(BUSY);
@@ -259,7 +315,7 @@ impl ServerMca {
                     ctx.output(
                         TO_SUA,
                         StreamRequest(StreamOp::Seek {
-                            stream_id: sel.stream_id,
+                            stream_id: sel.params.stream_id,
                             frame,
                         }),
                     );
@@ -331,12 +387,36 @@ impl ServerMca {
             Some(Pending::SelectLookup { client_addr }) => match outcome {
                 DirOutcome::Movie(entry) => {
                     let movie = source_for_entry(&entry);
-                    self.pending = Some(Pending::SelectOpen { entry });
+                    // Routing step: order the movie's replicas by the
+                    // disk bandwidth their admission controllers still
+                    // have uncommitted, and try the best first. With
+                    // no registered replica (seeded entries with
+                    // symbolic locations), serve from the local store.
+                    let mut candidates: Vec<String> = self
+                        .services
+                        .peers
+                        .route(&entry.replicas)
+                        .into_iter()
+                        .map(|(location, _)| location)
+                        .collect();
+                    let location = if candidates.is_empty() {
+                        None
+                    } else {
+                        Some(candidates.remove(0))
+                    };
+                    self.route_decisions += 1;
+                    self.pending = Some(Pending::SelectOpen {
+                        entry,
+                        client_addr,
+                        remaining: candidates,
+                        tried: 1,
+                    });
                     ctx.output(
                         TO_SUA,
                         StreamRequest(StreamOp::Open {
                             movie,
                             dest: client_addr,
+                            location,
                         }),
                     );
                     ctx.goto(BUSY);
@@ -363,10 +443,16 @@ impl ServerMca {
     fn on_stream_response(&mut self, ctx: &mut Ctx<'_>, outcome: StreamOutcome) {
         let pending = self.pending.take();
         match pending {
-            Some(Pending::SelectOpen { entry }) => match outcome {
+            Some(Pending::SelectOpen {
+                entry,
+                client_addr,
+                mut remaining,
+                tried,
+            }) => match outcome {
                 StreamOutcome::Opened {
                     stream_id,
                     provider_addr,
+                    location,
                 } => {
                     let params = StreamParams {
                         provider_addr,
@@ -378,7 +464,10 @@ impl ServerMca {
                             frame_count: entry.frame_count,
                         },
                     };
-                    self.selected = Some(params.clone());
+                    self.selected = Some(Selected {
+                        params: params.clone(),
+                        location,
+                    });
                     self.reply(
                         ctx,
                         McamPdu::SelectMovieRsp {
@@ -391,15 +480,40 @@ impl ServerMca {
                     demanded_bps,
                     available_bps,
                 } => {
-                    self.error(
-                        ctx,
-                        ERR_ADMISSION,
-                        &format!(
-                            "admission rejected: stream needs {demanded_bps} bps, \
-                             {available_bps} bps of disk bandwidth available"
-                        ),
-                    );
-                    ctx.goto(READY);
+                    if remaining.is_empty() {
+                        self.error(
+                            ctx,
+                            ERR_ADMISSION,
+                            &format!(
+                                "admission rejected on all {tried} replica(s): stream \
+                                 needs {demanded_bps} bps, {available_bps} bps of disk \
+                                 bandwidth available on the last one tried"
+                            ),
+                        );
+                        ctx.goto(READY);
+                    } else {
+                        // Failover: the chosen replica filled up (or
+                        // was already fuller than its load snapshot
+                        // said); try the next-best one.
+                        self.failovers += 1;
+                        let movie = source_for_entry(&entry);
+                        let location = Some(remaining.remove(0));
+                        self.pending = Some(Pending::SelectOpen {
+                            entry,
+                            client_addr,
+                            remaining,
+                            tried: tried + 1,
+                        });
+                        ctx.output(
+                            TO_SUA,
+                            StreamRequest(StreamOp::Open {
+                                movie,
+                                dest: client_addr,
+                                location,
+                            }),
+                        );
+                        ctx.goto(BUSY);
+                    }
                 }
                 _ => {
                     self.reply(ctx, McamPdu::SelectMovieRsp { params: None });
@@ -510,7 +624,10 @@ impl StateMachine for ServerMca {
             "sua",
             ModuleKind::Process,
             self.labels,
-            SuaAgent::new(Arc::clone(&self.services.sps)),
+            SuaAgent::new(
+                Arc::clone(&self.services.sps),
+                Arc::clone(&self.services.peers),
+            ),
         );
         let eua = ctx.create_child(
             "eua",
@@ -583,9 +700,7 @@ impl StateMachine for ServerMca {
             .cost(COST_REQ),
             Transition::on("rel-ind", READY, DOWN, |m: &mut Self, ctx, msg| {
                 let _ = downcast::<PRelInd>(msg.unwrap()).unwrap();
-                if let Some(sel) = m.selected.take() {
-                    let _ = m.services.sps.close(sel.stream_id);
-                }
+                m.close_selected();
                 m.user = None;
                 ctx.output(DOWN, PRelRsp);
             })
@@ -594,9 +709,7 @@ impl StateMachine for ServerMca {
             .cost(COST_REQ),
             Transition::on("abort-ind", IDLE, DOWN, |m: &mut Self, ctx, msg| {
                 let _ = downcast::<PAbortInd>(msg.unwrap()).unwrap();
-                if let Some(sel) = m.selected.take() {
-                    let _ = m.services.sps.close(sel.stream_id);
-                }
+                m.close_selected();
                 m.user = None;
                 let _ = ctx;
             })

@@ -175,6 +175,10 @@ pub enum StreamOp {
         movie: MovieSource,
         /// Destination datagram address.
         dest: u32,
+        /// Replica server to host the stream (`"node-<n>"`), chosen
+        /// by the MCA's routing step; `None` opens on the local
+        /// provider.
+        location: Option<String>,
     },
     /// Close a stream.
     Close {
@@ -220,6 +224,8 @@ pub enum StreamOutcome {
         stream_id: u32,
         /// Provider address.
         provider_addr: u32,
+        /// Location name of the provider hosting the stream.
+        location: String,
     },
     /// Operation succeeded.
     Done,

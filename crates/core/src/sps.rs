@@ -115,19 +115,31 @@ impl StreamProviderSystem {
 
     fn build(dg: &Arc<DatagramNet>, addr: NetAddr, store: Option<Arc<BlockStore>>) -> Arc<Self> {
         let socket = dg.bind(addr).expect("SPS address available");
+        // Stream ids are distinct across providers (the address seeds
+        // the counter's high 16 bits), so clients and MCAs can tell
+        // replicas' streams apart. `open` asserts the 16-bit
+        // per-provider slice is never exhausted — wrapping into a
+        // neighbour's range would make id-based bookkeeping ambiguous
+        // (control-op routing itself resolves a stream's home by
+        // asking the providers, not by decoding the id).
         Arc::new(StreamProviderSystem {
             socket,
             addr,
             senders: Mutex::new(HashMap::new()),
             movie_ids: Mutex::new(HashMap::new()),
             store,
-            next_stream: AtomicU32::new(1),
+            next_stream: AtomicU32::new((addr.0 << 16) | 1),
         })
     }
 
     /// The provider's datagram address.
     pub fn addr(&self) -> NetAddr {
         self.addr
+    }
+
+    /// The provider's location name as stored in directory entries.
+    pub fn location(&self) -> String {
+        format!("node-{}", self.addr.0)
     }
 
     /// The storage subsystem feeding this provider, if any.
@@ -143,6 +155,12 @@ impl StreamProviderSystem {
     /// control cannot fit the stream's bandwidth demand.
     pub fn open(&self, movie: MovieSource, dest: NetAddr, now: SimTime) -> Result<u32, SpsError> {
         let id = self.next_stream.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(
+            id >> 16,
+            self.addr.0,
+            "stream-id slice exhausted: provider {} opened 2^16 streams",
+            self.addr.0
+        );
         if let Some(store) = &self.store {
             let movie_id = store.register_movie(&movie);
             store.open_stream(id, movie_id, 100, now)?;
@@ -301,6 +319,28 @@ impl StreamProviderSystem {
     /// Number of open streams.
     pub fn stream_count(&self) -> usize {
         self.senders.lock().len()
+    }
+
+    /// Whether this provider hosts the stream (cluster routing asks
+    /// every replica to find a stream's home for control operations).
+    pub fn has_stream(&self, id: u32) -> bool {
+        self.senders.lock().contains_key(&id)
+    }
+}
+
+/// Load routing asks the provider's admission controller; a provider
+/// without a storage model never saturates.
+impl cluster::LoadProbe for StreamProviderSystem {
+    fn load(&self) -> cluster::LoadSnapshot {
+        match &self.store {
+            Some(store) => cluster::LoadProbe::load(&**store),
+            None => cluster::LoadSnapshot {
+                available_bps: u64::MAX,
+                committed_bps: 0,
+                capacity_bps: u64::MAX,
+                open_streams: self.stream_count(),
+            },
+        }
     }
 }
 

@@ -1,12 +1,14 @@
 //! The experimental world: clients, servers, control pipes, the CM
 //! datagram network, and the co-simulation driver — Fig. 2 in code.
 
+use crate::agents::SpsRegistry;
 use crate::app::AppMachine;
 use crate::pdus::{McamPdu, StreamParams};
 use crate::server::{ServerRoot, ServerServices};
 use crate::service::McamOp;
 use crate::sps::StreamProviderSystem;
 use crate::stacks::{ClientRoot, StackKind};
+use cluster::Placement;
 use directory::{Dn, Dsa, Dua, MovieEntry};
 use equipment::{Eca, EquipmentClass, Eua};
 use estelle::sched::{run_sequential, SeqOptions};
@@ -16,8 +18,9 @@ use netsim::{
     DatagramNet, DatagramSocket, LinkConfig, Medium, NetAddr, Network, Pipe, PipeMedium,
     SimDuration, SimTime,
 };
+use parking_lot::Mutex;
 use std::sync::Arc;
-use store::{BlockStore, StoreConfig};
+use store::{BlockStore, StoreConfig, StoreStats};
 
 /// A server machine in the world.
 #[derive(Debug, Clone)]
@@ -26,6 +29,56 @@ pub struct ServerHandle {
     pub root: ModuleId,
     /// The shared services of this server machine.
     pub services: ServerServices,
+}
+
+/// A group of server machines sharing one movie directory and one
+/// replica registry: movies published through
+/// [`World::publish_replicated`] land on K of them, and any member
+/// routes `SelectMovie` to the least-loaded replica.
+pub struct ClusterHandle {
+    /// Cluster name (servers are `"<name>-<i>"`).
+    pub name: String,
+    /// The member servers.
+    pub servers: Vec<ServerHandle>,
+    /// The shared location → stream-provider registry.
+    pub peers: Arc<SpsRegistry>,
+    placement: Mutex<Placement>,
+}
+
+impl std::fmt::Debug for ClusterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterHandle")
+            .field("name", &self.name)
+            .field("servers", &self.servers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterHandle {
+    /// Per-server storage statistics, as `(location, stats)` pairs in
+    /// member order.
+    pub fn store_stats(&self) -> Vec<(String, StoreStats)> {
+        self.servers
+            .iter()
+            .map(|s| (s.services.sps.location(), s.services.store.stats()))
+            .collect()
+    }
+
+    /// Streams currently open across all members.
+    pub fn total_streams(&self) -> usize {
+        self.servers
+            .iter()
+            .map(|s| s.services.sps.stream_count())
+            .sum()
+    }
+
+    /// Cluster-wide committed and capacity bandwidth, bits/second.
+    pub fn bandwidth(&self) -> (u64, u64) {
+        self.servers.iter().fold((0, 0), |(c, t), s| {
+            let stats = s.services.store.stats();
+            (c + stats.committed_bps, t + stats.capacity_bps)
+        })
+    }
 }
 
 /// A client workstation in the world.
@@ -118,14 +171,68 @@ impl World {
     }
 
     /// Adds a server machine: movie directory DSA, equipment site,
-    /// stream provider, and the server root module.
+    /// stream provider, and the server root module. The server is its
+    /// own one-member "cluster" (its registry holds only itself).
     pub fn add_server(&mut self, name: &str, stack: StackKind) -> ServerHandle {
         let dsa = Dsa::new(format!("dsa-{name}"));
         let base: Dn = "o=movies".parse().expect("static DN");
         // The subtree root entry.
         dsa.add(base.clone(), directory::Attrs::new())
             .expect("fresh DSA");
-        let dua = Dua::new(&dsa);
+        let peers = Arc::new(SpsRegistry::new());
+        self.build_server(name, stack, &dsa, base, &peers)
+    }
+
+    /// Adds `count` server machines sharing one movie directory and
+    /// one replica registry. Movies published with
+    /// [`World::publish_replicated`] are placed on `placement.k()`
+    /// of them; `SelectMovie` through any member routes the stream to
+    /// the replica with the most uncommitted disk bandwidth.
+    pub fn add_cluster(
+        &mut self,
+        name: &str,
+        count: usize,
+        stack: StackKind,
+        placement: Placement,
+    ) -> ClusterHandle {
+        let dsa = Dsa::new(format!("dsa-{name}"));
+        let base: Dn = "o=movies".parse().expect("static DN");
+        dsa.add(base.clone(), directory::Attrs::new())
+            .expect("fresh DSA");
+        let peers = Arc::new(SpsRegistry::new());
+        let servers = (0..count.max(1))
+            .map(|i| self.build_server(&format!("{name}-{i}"), stack, &dsa, base.clone(), &peers))
+            .collect();
+        ClusterHandle {
+            name: name.to_string(),
+            servers,
+            peers,
+            placement: Mutex::new(placement),
+        }
+    }
+
+    /// Publishes `entry` into the cluster's shared directory, placed
+    /// on K replica servers per the cluster's placement policy (the
+    /// entry's own location/replica fields are overwritten with the
+    /// placement decision). Returns the chosen replica locations.
+    pub fn publish_replicated(&self, cluster: &ClusterHandle, entry: &MovieEntry) -> Vec<String> {
+        let replicas = cluster.placement.lock().place(&cluster.peers.loads());
+        let mut entry = entry.clone();
+        entry.set_replicas(replicas.clone());
+        let lead = &cluster.servers[0];
+        self.seed_movie(lead, &entry);
+        replicas
+    }
+
+    fn build_server(
+        &mut self,
+        name: &str,
+        stack: StackKind,
+        dsa: &Arc<Dsa>,
+        base: Dn,
+        peers: &Arc<SpsRegistry>,
+    ) -> ServerHandle {
+        let dua = Dua::new(dsa);
         let eca = Eca::new(format!("site-{name}"));
         eca.register(EquipmentClass::Camera, "cam-0");
         eca.register(EquipmentClass::Microphone, "mic-0");
@@ -137,11 +244,13 @@ impl World {
         let store = BlockStore::new(self.store_config);
         let sps = StreamProviderSystem::with_store(&self.dg, sps_addr, Arc::clone(&store));
         self.providers.push(Arc::clone(&sps));
+        peers.register(sps.location(), Arc::clone(&sps));
         let services = ServerServices {
             dua,
             base,
             sps,
             store,
+            peers: Arc::clone(peers),
             eua,
             eca: Arc::clone(&eca),
             site: format!("site-{name}"),

@@ -24,6 +24,10 @@ pub mod attr {
     /// Storage location: the network address of the stream provider
     /// holding the movie, as `"node-<n>"`.
     pub const LOCATION: &str = "storagelocation";
+    /// Replica locations: every stream provider holding a copy of the
+    /// movie, as a sequence of `"node-<n>"` strings. The primary
+    /// [`LOCATION`] is conventionally the first element.
+    pub const REPLICAS: &str = "replicalocations";
     /// Number of frames in the movie.
     pub const FRAME_COUNT: &str = "framecount";
     /// Object class marker (`"movie"` for movie entries).
@@ -45,6 +49,9 @@ pub struct MovieEntry {
     pub height: u32,
     /// Stream-provider node that stores the movie.
     pub location: String,
+    /// Every stream-provider node holding a replica of the movie
+    /// (includes `location`; a single-copy movie lists just it).
+    pub replicas: Vec<String>,
     /// Total frames.
     pub frame_count: u64,
 }
@@ -71,15 +78,26 @@ impl std::error::Error for SchemaError {}
 impl MovieEntry {
     /// Builds a movie entry with sensible XMovie-era defaults.
     pub fn new(title: impl Into<String>, location: impl Into<String>) -> Self {
+        let location = location.into();
         MovieEntry {
             title: title.into(),
             format: "XMovie-24".into(),
             frame_rate: 25,
             width: 384,
             height: 288,
-            location: location.into(),
+            replicas: vec![location.clone()],
+            location,
             frame_count: 25 * 60, // one minute
         }
+    }
+
+    /// Sets the replica list, making the first replica the primary
+    /// location (a placement decision applied to the entry).
+    pub fn set_replicas(&mut self, replicas: Vec<String>) {
+        if let Some(first) = replicas.first() {
+            self.location = first.clone();
+        }
+        self.replicas = replicas;
     }
 
     /// Converts to a directory attribute set.
@@ -95,6 +113,15 @@ impl MovieEntry {
         m.insert(attr::WIDTH.into(), Value::Int(i64::from(self.width)));
         m.insert(attr::HEIGHT.into(), Value::Int(i64::from(self.height)));
         m.insert(attr::LOCATION.into(), Value::Str(self.location.clone()));
+        m.insert(
+            attr::REPLICAS.into(),
+            Value::Seq(
+                self.replicas
+                    .iter()
+                    .map(|r| Value::Str(r.clone()))
+                    .collect(),
+            ),
+        );
         m.insert(
             attr::FRAME_COUNT.into(),
             Value::Int(self.frame_count as i64),
@@ -131,13 +158,36 @@ impl MovieEntry {
         if !(1..=120).contains(&frame_rate) {
             return Err(SchemaError::Invalid(attr::FRAME_RATE));
         }
+        let location = get_str(attrs, attr::LOCATION)?;
+        // Pre-replication entries carry no replica list: the single
+        // location is the one replica.
+        let replicas = match attrs.get(attr::REPLICAS) {
+            None => vec![location.clone()],
+            Some(Value::Seq(items)) => {
+                let mut replicas = Vec::with_capacity(items.len());
+                for item in items {
+                    replicas.push(
+                        item.as_str()
+                            .map(str::to_owned)
+                            .ok_or(SchemaError::Invalid(attr::REPLICAS))?,
+                    );
+                }
+                if replicas.is_empty() {
+                    vec![location.clone()]
+                } else {
+                    replicas
+                }
+            }
+            Some(_) => return Err(SchemaError::Invalid(attr::REPLICAS)),
+        };
         Ok(MovieEntry {
             title: get_str(attrs, attr::TITLE)?,
             format: get_str(attrs, attr::FORMAT)?,
             frame_rate: frame_rate as u32,
             width: get_int(attrs, attr::WIDTH)?.max(0) as u32,
             height: get_int(attrs, attr::HEIGHT)?.max(0) as u32,
-            location: get_str(attrs, attr::LOCATION)?,
+            location,
+            replicas,
             frame_count: get_int(attrs, attr::FRAME_COUNT)?.max(0) as u64,
         })
     }
@@ -161,10 +211,48 @@ mod tests {
             width: 640,
             height: 480,
             location: "node-3".into(),
+            replicas: vec!["node-3".into(), "node-7".into()],
             frame_count: 54_000,
         };
         let attrs = e.to_attrs();
         assert_eq!(MovieEntry::from_attrs(&attrs).unwrap(), e);
+    }
+
+    #[test]
+    fn legacy_entry_without_replicas_defaults_to_location() {
+        let e = MovieEntry::new("X", "node-5");
+        let mut attrs = e.to_attrs();
+        attrs.remove(attr::REPLICAS);
+        let got = MovieEntry::from_attrs(&attrs).unwrap();
+        assert_eq!(got.replicas, vec!["node-5".to_string()]);
+    }
+
+    #[test]
+    fn set_replicas_promotes_first_to_primary() {
+        let mut e = MovieEntry::new("X", "node-1");
+        e.set_replicas(vec!["node-4".into(), "node-2".into()]);
+        assert_eq!(e.location, "node-4");
+        assert_eq!(e.replicas, vec!["node-4".to_string(), "node-2".to_string()]);
+        // An empty placement leaves the primary untouched.
+        e.set_replicas(Vec::new());
+        assert_eq!(e.location, "node-4");
+        assert!(e.replicas.is_empty());
+    }
+
+    #[test]
+    fn ill_typed_replicas_detected() {
+        let e = MovieEntry::new("X", "node-1");
+        let mut attrs = e.to_attrs();
+        attrs.insert(attr::REPLICAS.into(), Value::Str("node-1".into()));
+        assert_eq!(
+            MovieEntry::from_attrs(&attrs),
+            Err(SchemaError::Invalid(attr::REPLICAS))
+        );
+        attrs.insert(attr::REPLICAS.into(), Value::Seq(vec![Value::Int(3)]));
+        assert_eq!(
+            MovieEntry::from_attrs(&attrs),
+            Err(SchemaError::Invalid(attr::REPLICAS))
+        );
     }
 
     #[test]

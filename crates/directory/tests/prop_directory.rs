@@ -107,8 +107,11 @@ proptest! {
         w in 16u32..4096,
         h in 16u32..4096,
         location in "[a-z0-9-]{1,12}",
+        extra_replicas in prop::collection::vec("[a-z0-9-]{1,12}", 0..3),
         frames in 1u64..1_000_000,
     ) {
+        let mut replicas = vec![location.clone()];
+        replicas.extend(extra_replicas);
         let entry = MovieEntry {
             title,
             format,
@@ -116,6 +119,7 @@ proptest! {
             width: w,
             height: h,
             location,
+            replicas,
             frame_count: frames,
         };
         let attrs = entry.to_attrs();

@@ -9,9 +9,17 @@
 //!   trailing stream needs next, so the victim is the cached block
 //!   with the *largest* distance to its nearest trailing consumer.
 //!   Blocks nobody is approaching are evicted first.
+//!
+//! Victim selection is index-backed rather than a full scan: a
+//! touch-tick `BTreeMap` orders residents by recency for LRU, and a
+//! per-movie ordered block index turns the interval policy into one
+//! range probe per consumer interval. An eviction costs
+//! O((streams + movies) · log n) instead of the former
+//! O(resident × streams) sweep, so block delivery stays cheap when
+//! `cache_blocks` and stream counts scale up.
 
 use crate::layout::MovieId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Replacement policy of the buffer cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,7 +70,13 @@ impl CacheStats {
 pub struct BufferCache {
     capacity: usize,
     policy: CachePolicy,
+    /// Block → last-touch tick.
     resident: HashMap<BlockKey, u64>,
+    /// Recency index: tick → block (ticks are unique).
+    by_touch: BTreeMap<u64, BlockKey>,
+    /// Interval index: the resident block set of each movie, ordered
+    /// by block index for range probes against consumer positions.
+    by_movie: HashMap<MovieId, BTreeSet<u64>>,
     tick: u64,
     /// Counters.
     pub stats: CacheStats,
@@ -75,6 +89,8 @@ impl BufferCache {
             capacity,
             policy,
             resident: HashMap::new(),
+            by_touch: BTreeMap::new(),
+            by_movie: HashMap::new(),
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -100,20 +116,26 @@ impl BufferCache {
         self.resident.is_empty()
     }
 
+    fn touch(&mut self, key: BlockKey) {
+        self.tick += 1;
+        if let Some(slot) = self.resident.get_mut(&key) {
+            self.by_touch.remove(slot);
+            *slot = self.tick;
+            self.by_touch.insert(self.tick, key);
+        }
+    }
+
     /// Looks up `key`, counting a hit or miss and refreshing recency
     /// on a hit.
     pub fn lookup(&mut self, key: BlockKey) -> bool {
-        self.tick += 1;
-        match self.resident.get_mut(&key) {
-            Some(touch) => {
-                *touch = self.tick;
-                self.stats.hits += 1;
-                true
-            }
-            None => {
-                self.stats.misses += 1;
-                false
-            }
+        if self.resident.contains_key(&key) {
+            self.touch(key);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.tick += 1;
+            self.stats.misses += 1;
+            false
         }
     }
 
@@ -124,53 +146,116 @@ impl BufferCache {
         if self.capacity == 0 {
             return;
         }
-        self.tick += 1;
         if self.resident.contains_key(&key) {
-            self.resident.insert(key, self.tick);
+            self.touch(key);
             return;
         }
+        self.tick += 1;
         while self.resident.len() >= self.capacity {
             let victim = self.pick_victim(consumers);
-            self.resident.remove(&victim);
+            self.remove(victim);
             self.stats.evictions += 1;
         }
         self.resident.insert(key, self.tick);
+        self.by_touch.insert(self.tick, key);
+        self.by_movie
+            .entry(key.movie)
+            .or_default()
+            .insert(key.index);
         self.stats.insertions += 1;
     }
 
-    /// Distance from `key` to its nearest trailing consumer, or
-    /// `None` when no viewer is approaching the block.
-    fn reuse_distance(key: &BlockKey, consumers: &[(MovieId, u64)]) -> Option<u64> {
-        consumers
-            .iter()
-            .filter(|(m, pos)| *m == key.movie && *pos <= key.index)
-            .map(|(_, pos)| key.index - pos)
-            .min()
+    fn remove(&mut self, key: BlockKey) {
+        if let Some(touch) = self.resident.remove(&key) {
+            self.by_touch.remove(&touch);
+            if let Some(set) = self.by_movie.get_mut(&key.movie) {
+                set.remove(&key.index);
+                if set.is_empty() {
+                    self.by_movie.remove(&key.movie);
+                }
+            }
+        }
+    }
+
+    /// Victim candidates of the interval policy: within each
+    /// consumer-to-consumer interval of a movie, the farthest-from-
+    /// reuse resident block is the interval's *largest* index, so one
+    /// `range(..)` probe per interval covers every resident block
+    /// without a scan. Unreachable regions (blocks behind the
+    /// trailing consumer, movies with no viewer) surface their
+    /// largest index too: all their blocks are equally reuse-free,
+    /// and a hypothetical future viewer restarts at block 0, so the
+    /// highest block is the least valuable of the class.
+    fn interval_candidates(&self, consumers: &[(MovieId, u64)]) -> Vec<(u64, u64, BlockKey)> {
+        let mut positions: HashMap<MovieId, Vec<u64>> = HashMap::new();
+        for (movie, pos) in consumers {
+            positions.entry(*movie).or_default().push(*pos);
+        }
+        for p in positions.values_mut() {
+            p.sort_unstable();
+            p.dedup();
+        }
+        let mut candidates = Vec::new();
+        let mut push = |movie: MovieId, index: u64, distance: u64, touch: u64| {
+            candidates.push((distance, touch, BlockKey { movie, index }));
+        };
+        for (movie, set) in &self.by_movie {
+            let Some(ps) = positions.get(movie) else {
+                // No viewer in this movie at all: every block is
+                // unreachable; its largest index stands for the class.
+                if let Some(&index) = set.last() {
+                    let touch = self.resident[&BlockKey {
+                        movie: *movie,
+                        index,
+                    }];
+                    push(*movie, index, u64::MAX, touch);
+                }
+                continue;
+            };
+            // Blocks strictly below the trailing consumer: unreachable.
+            if let Some(&index) = set.range(..ps[0]).next_back() {
+                let touch = self.resident[&BlockKey {
+                    movie: *movie,
+                    index,
+                }];
+                push(*movie, index, u64::MAX, touch);
+            }
+            // One candidate per consumer interval [p_i, p_{i+1}).
+            for (i, &p) in ps.iter().enumerate() {
+                let found = match ps.get(i + 1) {
+                    Some(&next) => set.range(p..next).next_back(),
+                    None => set.range(p..).next_back(),
+                };
+                if let Some(&index) = found {
+                    let touch = self.resident[&BlockKey {
+                        movie: *movie,
+                        index,
+                    }];
+                    push(*movie, index, index - p, touch);
+                }
+            }
+        }
+        candidates
     }
 
     fn pick_victim(&self, consumers: &[(MovieId, u64)]) -> BlockKey {
-        let lru = |&(key, touch): &(&BlockKey, &u64)| (*touch, key.index, key.movie);
         match self.policy {
             CachePolicy::Lru => {
                 *self
-                    .resident
-                    .iter()
-                    .min_by_key(lru)
+                    .by_touch
+                    .first_key_value()
                     .expect("evicting from non-empty cache")
-                    .0
+                    .1
             }
             CachePolicy::Interval => {
-                *self
-                    .resident
-                    .iter()
-                    .max_by_key(|&(key, touch)| {
-                        // Farthest-reuse first; unreachable blocks farthest
-                        // of all; LRU recency breaks ties (older = bigger).
-                        let distance = Self::reuse_distance(key, consumers).unwrap_or(u64::MAX);
-                        (distance, u64::MAX - touch)
-                    })
+                // Farthest-reuse candidate first; unreachable regions
+                // are farthest of all; across candidates, LRU recency
+                // breaks ties (older = evicted).
+                self.interval_candidates(consumers)
+                    .into_iter()
+                    .max_by_key(|&(distance, touch, _)| (distance, u64::MAX - touch))
                     .expect("evicting from non-empty cache")
-                    .0
+                    .2
             }
         }
     }
@@ -223,6 +308,53 @@ mod tests {
         assert!(!c.lookup(key(1, 3)));
         assert!(c.lookup(key(1, 11)));
         assert!(c.lookup(key(1, 12)));
+    }
+
+    #[test]
+    fn interval_evicts_movies_without_viewers_first() {
+        let mut c = BufferCache::new(2, CachePolicy::Interval);
+        let consumers = [(MovieId(1), 0u64)];
+        c.insert(key(2, 0), &consumers); // nobody watches movie 2
+        c.insert(key(1, 1), &consumers);
+        c.insert(key(1, 2), &consumers); // evicts movie 2's block
+        assert!(!c.lookup(key(2, 0)));
+        assert!(c.lookup(key(1, 1)));
+        assert!(c.lookup(key(1, 2)));
+    }
+
+    #[test]
+    fn interval_two_viewers_partition_the_movie() {
+        let mut c = BufferCache::new(3, CachePolicy::Interval);
+        // Viewers at 0 and 50; block 95 is 45 past the leading viewer
+        // while 20 is only 20 past the trailing one.
+        let consumers = [(MovieId(1), 0u64), (MovieId(1), 50u64)];
+        c.insert(key(1, 20), &consumers);
+        c.insert(key(1, 95), &consumers);
+        c.insert(key(1, 51), &consumers);
+        c.insert(key(1, 1), &consumers); // evicts 95 (farthest reuse)
+        assert!(!c.lookup(key(1, 95)));
+        assert!(c.lookup(key(1, 20)));
+        assert!(c.lookup(key(1, 51)));
+        assert!(c.lookup(key(1, 1)));
+    }
+
+    #[test]
+    fn indexes_stay_consistent_under_churn() {
+        let mut c = BufferCache::new(16, CachePolicy::Interval);
+        let consumers: Vec<(MovieId, u64)> =
+            (0..4).map(|m| (MovieId(m), u64::from(m) * 7)).collect();
+        for i in 0..500u64 {
+            c.insert(key((i % 5) as u32, i % 61), &consumers);
+            c.lookup(key((i % 3) as u32, i % 17));
+        }
+        assert!(c.len() <= 16);
+        assert_eq!(c.by_touch.len(), c.resident.len());
+        let indexed: usize = c.by_movie.values().map(BTreeSet::len).sum();
+        assert_eq!(indexed, c.resident.len());
+        assert_eq!(
+            c.stats.insertions,
+            c.stats.evictions + c.resident.len() as u64
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!   simulated disks, with a property-tested bijective
 //!   block → (disk, offset) map;
 //! - [`Disk`] / [`DiskParams`] — a per-disk seek + transfer cost
-//!   model on the `netsim` virtual clock;
+//!   model on the `netsim` virtual clock, serving its request queue
+//!   FIFO or in elevator/SCAN sweeps ([`DiskSched`]);
 //! - [`BufferCache`] — a bounded block cache with LRU and
 //!   interval-caching replacement ([`CachePolicy`]), the latter
 //!   exploiting closely-spaced viewers of the same movie;
@@ -47,6 +48,6 @@ mod store;
 
 pub use admission::{AdmissionController, AdmissionStats, Rejection};
 pub use cache::{BlockKey, BufferCache, CachePolicy, CacheStats};
-pub use disk::{Disk, DiskParams, DiskStats};
+pub use disk::{Disk, DiskParams, DiskSched, DiskStats};
 pub use layout::{BlockAddr, MovieId, StripeLayout};
 pub use store::{BlockStore, StoreConfig, StoreError, StoreStats};

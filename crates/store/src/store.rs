@@ -4,12 +4,11 @@
 use crate::admission::{AdmissionController, AdmissionStats, Rejection};
 use crate::cache::{BlockKey, BufferCache, CachePolicy, CacheStats};
 use crate::disk::{Disk, DiskParams, DiskStats};
-use crate::layout::{MovieId, StripeLayout};
+use crate::layout::{BlockAddr, MovieId, StripeLayout};
 use mtp::MovieSource;
 use netsim::SimTime;
 use parking_lot::Mutex;
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -188,13 +187,6 @@ impl StreamRec {
     }
 }
 
-#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct PendingRead {
-    ready_at: SimTime,
-    movie: MovieId,
-    block: u64,
-}
-
 struct StoreInner {
     config: StoreConfig,
     movies: HashMap<MovieId, MovieRec>,
@@ -203,7 +195,6 @@ struct StoreInner {
     cache: BufferCache,
     admission: AdmissionController,
     streams: HashMap<u32, StreamRec>,
-    pending: BinaryHeap<Reverse<PendingRead>>,
     /// Streams waiting on each in-flight disk read (read coalescing:
     /// a second viewer of the same block piggybacks instead of
     /// queueing a duplicate).
@@ -261,7 +252,7 @@ impl StoreInner {
                 continue;
             }
             let addr = movie.layout.locate(block);
-            let ready_at = self.disks[addr.disk].schedule_read(
+            self.disks[addr.disk].enqueue(
                 now,
                 stream.movie,
                 addr.offset,
@@ -270,11 +261,6 @@ impl StoreInner {
             stream.next_fetch += 1;
             stream.outstanding += 1;
             self.in_flight.insert(key, vec![stream_id]);
-            self.pending.push(Reverse(PendingRead {
-                ready_at,
-                movie: stream.movie,
-                block,
-            }));
         }
     }
 
@@ -285,23 +271,28 @@ impl StoreInner {
         // Playback positions cannot change while completions drain, so
         // one snapshot serves every block completed in this pass.
         let consumers = self.consumers();
-        while let Some(Reverse(head)) = self.pending.peek() {
-            if head.ready_at > now {
-                break;
-            }
-            let PendingRead { movie, block, .. } = self.pending.pop().expect("peeked entry pops").0;
-            completed += 1;
-            let key = BlockKey {
-                movie,
-                index: block,
-            };
-            let waiters = self.in_flight.remove(&key).unwrap_or_default();
-            self.cache.insert(key, &consumers);
-            for stream_id in waiters {
-                if let Some(stream) = self.streams.get_mut(&stream_id) {
-                    stream.outstanding = stream.outstanding.saturating_sub(1);
-                    stream.deliver(block);
-                    self.blocks_delivered += 1;
+        for disk_index in 0..self.disks.len() {
+            while let Some((movie, offset)) = self.disks[disk_index].pop_due(now) {
+                completed += 1;
+                let block = self.movies[&movie]
+                    .layout
+                    .invert(BlockAddr {
+                        disk: disk_index,
+                        offset,
+                    })
+                    .expect("disks only serve blocks the layout placed");
+                let key = BlockKey {
+                    movie,
+                    index: block,
+                };
+                let waiters = self.in_flight.remove(&key).unwrap_or_default();
+                self.cache.insert(key, &consumers);
+                for stream_id in waiters {
+                    if let Some(stream) = self.streams.get_mut(&stream_id) {
+                        stream.outstanding = stream.outstanding.saturating_sub(1);
+                        stream.deliver(block);
+                        self.blocks_delivered += 1;
+                    }
                 }
             }
         }
@@ -339,7 +330,6 @@ impl BlockStore {
                 movies: HashMap::new(),
                 next_movie: 1,
                 streams: HashMap::new(),
-                pending: BinaryHeap::new(),
                 in_flight: HashMap::new(),
                 blocks_delivered: 0,
                 coalesced_reads: 0,
@@ -518,9 +508,10 @@ impl BlockStore {
     pub fn next_event(&self) -> Option<SimTime> {
         self.inner
             .lock()
-            .pending
-            .peek()
-            .map(|Reverse(p)| p.ready_at)
+            .disks
+            .iter()
+            .filter_map(Disk::next_completion)
+            .min()
     }
 
     /// Number of frames (from the stream's current playback run)

@@ -1,0 +1,160 @@
+//! Cluster replication: a popular title is placed on K=2 of three
+//! server machines, `SelectMovie` routes each viewer to the replica
+//! whose admission controller has the most uncommitted disk
+//! bandwidth, and only when *every* replica is saturated does a
+//! viewer see a 503 — which clears as soon as someone releases.
+//!
+//! Run with `cargo run --example cluster_routing`.
+
+use directory::MovieEntry;
+use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use netsim::{LinkConfig, SimDuration};
+use store::{CachePolicy, DiskParams, StoreConfig};
+
+fn main() {
+    // Each server: one slow disk whose admission controller fits two
+    // ~0.67 Mbit/s streams.
+    let store_config = StoreConfig {
+        disks: 1,
+        block_size: 128 * 1024,
+        cache_blocks: 64,
+        policy: CachePolicy::Interval,
+        disk: DiskParams {
+            transfer_bytes_per_sec: 250_000,
+            ..DiskParams::default()
+        },
+        ..StoreConfig::default()
+    };
+    let per_server = store_config.capacity_bps();
+
+    let mut world = World::with_config(
+        42,
+        LinkConfig::lossy(
+            SimDuration::from_millis(2),
+            SimDuration::from_micros(500),
+            0.0,
+        ),
+        store_config,
+    );
+    let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(2));
+    println!(
+        "cluster: {} servers x {:.2} Mbit/s, K=2 replicas per movie",
+        cluster.servers.len(),
+        per_server as f64 / 1e6,
+    );
+
+    let viewers = ["ann", "ben", "col", "dee", "eva"];
+    let clients: Vec<_> = viewers
+        .iter()
+        .enumerate()
+        .map(|(i, user)| {
+            let server = cluster.servers[i % cluster.servers.len()].clone();
+            (
+                *user,
+                world.add_client(&server, StackKind::EstellePS, vec![]),
+            )
+        })
+        .collect();
+    world.start();
+
+    let mut entry = MovieEntry::new("Metropolis", "placeholder");
+    entry.frame_count = 8 * 25;
+    let replicas = world.publish_replicated(&cluster, &entry);
+    println!("published \"Metropolis\" on replicas {replicas:?}");
+
+    for (user, client) in &clients {
+        let rsp = world.client_op(
+            client,
+            McamOp::Associate {
+                user: (*user).into(),
+            },
+        );
+        assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+    }
+
+    // Five viewers want the same hot title; one server alone sustains
+    // only two of them.
+    let mut admitted = Vec::new();
+    for (user, client) in &clients {
+        match world.client_op(
+            client,
+            McamOp::SelectMovie {
+                title: "Metropolis".into(),
+            },
+        ) {
+            Some(McamPdu::SelectMovieRsp { params: Some(p) }) => {
+                println!(
+                    "{user}: admitted as stream {} on node-{}",
+                    p.stream_id, p.provider_addr
+                );
+                admitted.push((*user, client.clone(), p));
+            }
+            Some(McamPdu::ErrorRsp { code, message }) => {
+                println!("{user}: REJECTED ({code}) — {message}");
+                assert_eq!(code, mcam::server::ERR_ADMISSION);
+            }
+            other => panic!("{user}: unexpected select outcome {other:?}"),
+        }
+    }
+    assert_eq!(
+        admitted.len(),
+        4,
+        "K=2 replicas double the single-server capacity of 2"
+    );
+    let providers: std::collections::BTreeSet<u32> =
+        admitted.iter().map(|(_, _, p)| p.provider_addr).collect();
+    assert_eq!(providers.len(), 2, "streams spread over both replicas");
+
+    for (location, stats) in cluster.store_stats() {
+        println!(
+            "  {location}: {} streams, {:.2} of {:.2} Mbit/s committed",
+            stats.open_streams,
+            stats.committed_bps as f64 / 1e6,
+            stats.capacity_bps as f64 / 1e6,
+        );
+    }
+
+    // Play the first two viewers through the movie end to end.
+    for (user, client, params) in admitted.iter().take(2) {
+        let mut receiver = world.receiver_for(client, params, SimDuration::from_millis(80));
+        let rsp = world.client_op(client, McamOp::Play { speed_pct: 100 });
+        assert_eq!(rsp, Some(McamPdu::PlayRsp { ok: true }));
+        world.run_for(SimDuration::from_secs(12));
+        let frames = receiver.poll(world.net.now());
+        println!(
+            "{user}: received {} of {} frames from node-{}",
+            frames.len(),
+            params.movie.frame_count,
+            params.provider_addr,
+        );
+        assert_eq!(frames.len() as u64, params.movie.frame_count);
+    }
+
+    // The refused viewer retries once a slot frees up: the router
+    // sends them to whichever replica just gained bandwidth.
+    let (leaver, leaver_client, leaver_params) = admitted.first().cloned().unwrap();
+    let rsp = world.client_op(&leaver_client, McamOp::Deselect);
+    assert_eq!(rsp, Some(McamPdu::DeselectMovieRsp));
+    println!(
+        "{leaver}: deselected, freeing node-{}",
+        leaver_params.provider_addr
+    );
+
+    let (user, client) = &clients[4];
+    match world.client_op(
+        client,
+        McamOp::SelectMovie {
+            title: "Metropolis".into(),
+        },
+    ) {
+        Some(McamPdu::SelectMovieRsp { params: Some(p) }) => {
+            println!(
+                "{user}: re-admitted on node-{} after the release",
+                p.provider_addr
+            );
+            assert_eq!(p.provider_addr, leaver_params.provider_addr);
+        }
+        other => panic!("{user}: retry after release failed: {other:?}"),
+    }
+    println!("done: replication + load-aware routing scaled the hot title past one server");
+}

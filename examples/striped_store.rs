@@ -21,7 +21,9 @@ fn main() {
         cache_blocks: 64,
         policy: CachePolicy::Interval,
         disk: DiskParams {
-            transfer_bytes_per_sec: 300_000,
+            // Slow enough that even the SCAN-scheduled arm fits only
+            // two nominal-rate streams.
+            transfer_bytes_per_sec: 280_000,
             ..DiskParams::default()
         },
         ..StoreConfig::default()
