@@ -1,6 +1,8 @@
 //! Storage-subsystem benchmarks: streams sustained vs. disk count and
 //! disk-queue discipline, streams sustained vs. *server* count in a
-//! replicated cluster, and buffer-cache hit ratio vs. viewer spacing.
+//! replicated cluster, buffer-cache hit ratio vs. viewer spacing, and
+//! the mixed record+playback workload (each active recording
+//! displaces one playback stream of equal bitrate).
 
 use cluster::{Placement, ReplicaDirectory};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -85,6 +87,32 @@ fn cluster_streams_sustained(servers: usize, k: usize) -> usize {
         if !any {
             break;
         }
+    }
+    admitted
+}
+
+/// Playback streams sustained next to `recorders` concurrent
+/// recordings of an equal-bitrate source: the write path commits the
+/// same admission capacity reads draw on, so every recorder displaces
+/// exactly one viewer.
+fn streams_sustained_while_recording(recorders: u32) -> usize {
+    let store = BlockStore::new(slow_disk_config(4, DiskSched::Scan));
+    for r in 0..recorders {
+        let source = MovieSource::test_movie(60, 1);
+        store
+            .open_recording(90_000 + r, &source)
+            .expect("recorder admitted on an idle store");
+    }
+    let movie = store.register_movie(&MovieSource::test_movie(60, 1));
+    let mut admitted = 0;
+    for stream in 0..100_000u32 {
+        if store
+            .open_stream(stream, movie, 100, SimTime::ZERO)
+            .is_err()
+        {
+            break;
+        }
+        admitted += 1;
     }
     admitted
 }
@@ -176,6 +204,18 @@ fn bench(c: &mut Criterion) {
             prev >= 3 * single,
             "4 servers must sustain at least 3x one server (got {prev} vs {single})"
         );
+        println!("store_throughput: playback streams sustained vs. active recordings");
+        let base = streams_sustained_while_recording(0);
+        println!("  recorders=0 playback_streams={base}");
+        for recorders in [2u32, 4] {
+            let sustained = streams_sustained_while_recording(recorders);
+            println!("  recorders={recorders} playback_streams={sustained}");
+            assert_eq!(
+                sustained,
+                base - recorders as usize,
+                "each recording must displace exactly one equal-bitrate viewer"
+            );
+        }
         println!("store_throughput: interval-cache hit ratio vs. viewer spacing");
         let close = hit_ratio_at_spacing(CachePolicy::Interval, 64, 4);
         let far = hit_ratio_at_spacing(CachePolicy::Interval, 64, 100_000);
@@ -193,6 +233,9 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("cluster_admission_3_servers", |b| {
         b.iter(|| criterion::black_box(cluster_streams_sustained(3, 2)));
+    });
+    group.bench_function("mixed_record_playback", |b| {
+        b.iter(|| criterion::black_box(streams_sustained_while_recording(2)));
     });
     group.bench_function("two_viewers_interval_cache", |b| {
         b.iter(|| criterion::black_box(hit_ratio_at_spacing(CachePolicy::Interval, 64, 4)));

@@ -145,10 +145,18 @@ impl Placement {
     /// locations (fewer when the cluster is smaller than `k`), in
     /// the order the replicas should be listed in the directory.
     pub fn place(&mut self, loads: &[ServerLoad]) -> Vec<String> {
-        if loads.is_empty() {
+        self.place_with(loads, self.k)
+    }
+
+    /// Like [`Placement::place`] but with an explicit replica count,
+    /// overriding the policy's configured `k` for this one decision —
+    /// the record path uses it to pick `k - 1` peers for a recording
+    /// that already lives on the recording server.
+    pub fn place_with(&mut self, loads: &[ServerLoad], k: usize) -> Vec<String> {
+        if loads.is_empty() || k == 0 {
             return Vec::new();
         }
-        let k = self.k.min(loads.len());
+        let k = k.min(loads.len());
         match self.strategy {
             PlacementStrategy::RoundRobin => {
                 let start = self.cursor % loads.len();
@@ -350,6 +358,19 @@ mod tests {
         assert_eq!(p.place(&dir.loads()).len(), 3);
         assert!(Placement::round_robin(0).k() == 1, "k=0 is clamped to 1");
         assert!(Placement::least_loaded(1).place(&[]).is_empty());
+    }
+
+    #[test]
+    fn place_with_overrides_k_per_decision() {
+        let (dir, probes) = three_server_dir();
+        probes[2].set(900_000);
+        probes[1].set(500_000);
+        probes[0].set(100_000);
+        let mut p = Placement::least_loaded(3);
+        // A recording already on one server asks for k-1 = 1 peer.
+        assert_eq!(p.place_with(&dir.loads(), 1), ["node-3"]);
+        assert!(p.place_with(&dir.loads(), 0).is_empty());
+        assert_eq!(p.place(&dir.loads()).len(), 3, "configured k unchanged");
     }
 
     #[test]

@@ -7,10 +7,12 @@ use crate::service::{
     StreamOp, StreamOutcome, StreamRequest, StreamResponse,
 };
 use crate::sps::{SpsError, StreamProviderSystem};
+use cluster::Placement;
 use directory::{attr, Dn, Dua, Filter, ModOp, MovieEntry, Rdn, Scope};
 use equipment::{EquipmentId, Eua};
 use estelle::{downcast, Ctx, IpIndex, StateId, StateMachine, Transition};
 use netsim::SimDuration;
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Every agent exposes one interaction point to its MCA parent.
@@ -133,6 +135,9 @@ impl StateMachine for DuaAgent {
 pub struct SuaAgent {
     sps: Arc<StreamProviderSystem>,
     peers: Arc<SpsRegistry>,
+    /// Replica-placement policy shared with the publish path: closing
+    /// a recording replicates it to `k - 1` peers chosen here.
+    placement: Arc<Mutex<Placement>>,
     /// Operations served.
     pub ops: u64,
 }
@@ -143,9 +148,19 @@ pub type SpsRegistry = cluster::ReplicaDirectory<Arc<StreamProviderSystem>>;
 
 impl SuaAgent {
     /// Creates an agent controlling `sps`, with `peers` resolving the
-    /// replica locations named in routed open requests.
-    pub fn new(sps: Arc<StreamProviderSystem>, peers: Arc<SpsRegistry>) -> Self {
-        SuaAgent { sps, peers, ops: 0 }
+    /// replica locations named in routed open requests and `placement`
+    /// choosing where finished recordings are replicated.
+    pub fn new(
+        sps: Arc<StreamProviderSystem>,
+        peers: Arc<SpsRegistry>,
+        placement: Arc<Mutex<Placement>>,
+    ) -> Self {
+        SuaAgent {
+            sps,
+            peers,
+            placement,
+            ops: 0,
+        }
     }
 
     /// The provider hosting `stream_id`: the local one when it holds
@@ -209,6 +224,51 @@ impl SuaAgent {
                 }
             }
             StreamOp::Close { stream_id } => done(self.provider_of(stream_id).close(stream_id)),
+            StreamOp::OpenRecord { movie } => match self.sps.record_open(movie, now) {
+                Ok(id) => StreamOutcome::RecordStarted { stream_id: id },
+                Err(SpsError::AdmissionRejected {
+                    demanded_bps,
+                    available_bps,
+                }) => StreamOutcome::Rejected {
+                    demanded_bps,
+                    available_bps,
+                },
+                Err(e) => StreamOutcome::Failed(e.to_string()),
+            },
+            StreamOp::CloseRecord { stream_id } => match self.sps.record_close(stream_id) {
+                Ok(recorded) => {
+                    // Replicate like a published movie: the recorder
+                    // keeps the original; the placement policy picks
+                    // k - 1 peers (most suitable by its strategy) to
+                    // receive bulk copies through their write paths.
+                    let local = self.sps.location();
+                    let mut replicas = vec![local.clone()];
+                    let peer_loads: Vec<cluster::ServerLoad> = self
+                        .peers
+                        .loads()
+                        .into_iter()
+                        .filter(|s| s.location != local)
+                        .collect();
+                    let chosen = {
+                        let mut placement = self.placement.lock();
+                        let k = placement.k();
+                        placement.place_with(&peer_loads, k.saturating_sub(1))
+                    };
+                    for location in chosen {
+                        if let Some(peer) = self.peers.get(&location) {
+                            peer.import_movie(&recorded.source, now);
+                            replicas.push(location);
+                        }
+                    }
+                    StreamOutcome::Recorded {
+                        frame_count: recorded.source.frame_count,
+                        frame_rate: recorded.source.frame_rate,
+                        bitrate_bps: recorded.bitrate_bps,
+                        replicas,
+                    }
+                }
+                Err(e) => StreamOutcome::Failed(e.to_string()),
+            },
             StreamOp::Play {
                 stream_id,
                 speed_pct,
@@ -318,12 +378,21 @@ impl StateMachine for EuaAgent {
 /// Derives the synthetic stream source for a directory movie entry.
 /// The per-title seed keeps frame sizes stable across selects.
 pub fn source_for_entry(entry: &MovieEntry) -> mtp::MovieSource {
-    let seed = entry.title.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+    source_for_title(&entry.title, entry.frame_rate, entry.frame_count)
+}
+
+/// Derives the synthetic source for `title` directly — the record
+/// path uses it before any directory entry exists, and because the
+/// seed depends only on the title, a later `SelectMovie` of the
+/// finalized entry reproduces the same source and finds the recorded
+/// blocks in the store.
+pub fn source_for_title(title: &str, frame_rate: u32, frame_count: u64) -> mtp::MovieSource {
+    let seed = title.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
         (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
     });
     mtp::MovieSource {
-        frame_count: entry.frame_count,
-        frame_rate: entry.frame_rate,
+        frame_count,
+        frame_rate,
         i_size: 12_000,
         p_size: 5_000,
         b_size: 1_800,

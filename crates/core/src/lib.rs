@@ -95,6 +95,44 @@
 //! // The stream landed on one of the replicas chosen at publish time.
 //! assert!(replicas.contains(&format!("node-{}", params.provider_addr)));
 //! ```
+//!
+//! Recording is a first-class workload, not a directory stunt: a
+//! `Record` acquires the camera, passes **write-bandwidth admission
+//! control**, captures frames through the striped store's write path
+//! (free-block allocation, writes on the same elevator/SCAN disk
+//! queues playback reads use), finalizes the directory entry with
+//! the measured frame count and bitrate, and replicates the finished
+//! movie to K servers — after which any replica streams it back:
+//!
+//! ```
+//! use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+//! use netsim::SimDuration;
+//!
+//! let mut world = World::new(21);
+//! let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(2));
+//! let camera = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
+//! let viewer = world.add_client(&cluster.servers[1], StackKind::EstellePS, vec![]);
+//! world.start();
+//!
+//! world.client_op(&camera, McamOp::Associate { user: "camera".into() });
+//! world.client_op(&viewer, McamOp::Associate { user: "viewer".into() });
+//!
+//! // Capture 2 seconds of footage: the reply arrives only after the
+//! // capture ran on the virtual clock and every block is durable.
+//! let rsp = world.client_op(&camera, McamOp::Record { title: "Home".into(), frames: 50 });
+//! assert_eq!(rsp, Some(McamPdu::RecordRsp { ok: true }));
+//!
+//! // The finalized entry is replicated; the viewer streams it back.
+//! let params = match world.client_op(&viewer, McamOp::SelectMovie { title: "Home".into() }) {
+//!     Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+//!     other => panic!("select failed: {other:?}"),
+//! };
+//! assert_eq!(params.movie.frame_count, 50, "entry finalized with the captured count");
+//! let mut receiver = world.receiver_for(&viewer, &params, SimDuration::from_millis(50));
+//! world.client_op(&viewer, McamOp::Play { speed_pct: 100 });
+//! world.run_for(SimDuration::from_secs(3));
+//! assert_eq!(receiver.poll(world.net.now()).len(), 50, "the recording plays back");
+//! ```
 
 #![warn(missing_docs)]
 
@@ -119,6 +157,6 @@ pub use service::{
     McamCnf, McamOp, McamReq, StartAssociate, StreamOp, StreamOutcome, StreamRequest,
     StreamResponse,
 };
-pub use sps::{SpsError, StreamProviderSystem};
+pub use sps::{RecordedMovie, SpsError, StreamProviderSystem};
 pub use stacks::{wire_lower_stack, ClientRoot, StackKind, ROOT_TO_APP, ROOT_TO_MCA};
 pub use world::{ClientHandle, ClusterHandle, ServerHandle, World};

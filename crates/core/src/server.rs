@@ -4,7 +4,9 @@
 //! a process can accept a new CONNECT request and then create a new
 //! child module to handle the new connection").
 
-use crate::agents::{source_for_entry, DuaAgent, EuaAgent, SpsRegistry, SuaAgent, AGENT_IP};
+use crate::agents::{
+    source_for_entry, source_for_title, DuaAgent, EuaAgent, SpsRegistry, SuaAgent, AGENT_IP,
+};
 use crate::pdus::{McamPdu, MovieDesc, StreamParams};
 use crate::service::{
     DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest, EquipResponse,
@@ -12,6 +14,7 @@ use crate::service::{
 };
 use crate::sps::StreamProviderSystem;
 use crate::stacks::{wire_lower_stack, StackKind};
+use cluster::Placement;
 use directory::{Dn, Dua, MovieEntry};
 use equipment::Eua;
 use estelle::{
@@ -19,6 +22,7 @@ use estelle::{
     Transition,
 };
 use netsim::{Medium, SimDuration};
+use parking_lot::Mutex;
 use presentation::service::{PAbortInd, PConInd, PConRsp, PDataInd, PDataReq, PRelInd, PRelRsp};
 use std::sync::Arc;
 
@@ -65,6 +69,12 @@ pub struct ServerServices {
     /// each replica's admission load. A standalone server registers
     /// only itself.
     pub peers: Arc<SpsRegistry>,
+    /// Replica-placement policy shared across the cluster (and with
+    /// the world's publish path): finished recordings are replicated
+    /// to `k - 1` peers chosen here.
+    pub placement: Arc<Mutex<Placement>>,
+    /// Frame rate cameras capture at (the world's record knob).
+    pub record_frame_rate: u32,
     /// Equipment client for the server site.
     pub eua: Eua,
     /// The site's equipment control agent (for direct inspection and
@@ -121,9 +131,36 @@ enum Pending {
         title: String,
         frames: u64,
     },
+    /// Recording admission outstanding at the SUA.
+    RecordOpen {
+        title: String,
+    },
+    /// Capture in progress: the MCA waits (spontaneously polled) for
+    /// the SPS to finish capturing and persisting.
+    RecordCapture {
+        title: String,
+        stream_id: u32,
+    },
+    /// Finalize/replicate outstanding at the SUA.
+    RecordClose {
+        title: String,
+    },
     RecordAdd,
     RecordRelease {
-        ok: bool,
+        verdict: RecordVerdict,
+    },
+}
+
+/// How a record attempt ended, carried across the camera-release
+/// round-trip so the reply matches the failure.
+#[derive(Debug, Clone)]
+enum RecordVerdict {
+    Ok,
+    Failed,
+    /// Write-bandwidth admission refused the recording.
+    Saturated {
+        demanded_bps: u64,
+        available_bps: u64,
     },
 }
 
@@ -134,6 +171,8 @@ pub struct ServerMca {
     /// Associated user, when bound.
     pub user: Option<String>,
     selected: Option<Selected>,
+    /// Recording session in progress on the local provider, if any.
+    recording: Option<u32>,
     pending: Option<Pending>,
     /// Requests processed.
     pub requests: u64,
@@ -156,6 +195,7 @@ impl ServerMca {
             services,
             user: None,
             selected: None,
+            recording: None,
             pending: None,
             requests: 0,
             protocol_errors: 0,
@@ -166,13 +206,17 @@ impl ServerMca {
     }
 
     /// Closes the selected stream, if any, on whichever replica hosts
-    /// it.
+    /// it, and aborts an in-progress recording (the association died
+    /// under it; its bandwidth and blocks are reclaimed).
     fn close_selected(&mut self) {
         if let Some(sel) = self.selected.take() {
             let _ = self
                 .services
                 .sps_at(&sel.location)
                 .close(sel.params.stream_id);
+        }
+        if let Some(id) = self.recording.take() {
+            let _ = self.services.sps.close(id);
         }
     }
 
@@ -427,8 +471,12 @@ impl ServerMca {
                 }
             },
             Some(Pending::RecordAdd) => {
-                let ok = outcome == DirOutcome::Done;
-                self.pending = Some(Pending::RecordRelease { ok });
+                let verdict = if outcome == DirOutcome::Done {
+                    RecordVerdict::Ok
+                } else {
+                    RecordVerdict::Failed
+                };
+                self.pending = Some(Pending::RecordRelease { verdict });
                 ctx.output(TO_EUA, EquipRequest(EquipOp::ReleaseAll));
                 ctx.goto(BUSY);
             }
@@ -520,6 +568,75 @@ impl ServerMca {
                     ctx.goto(READY);
                 }
             },
+            Some(Pending::RecordOpen { title }) => match outcome {
+                StreamOutcome::RecordStarted { stream_id } => {
+                    // Capture runs on the virtual clock; the MCA holds
+                    // the association BUSY and a spontaneous
+                    // transition fires when the SPS reports the
+                    // recording captured and durable.
+                    self.recording = Some(stream_id);
+                    self.pending = Some(Pending::RecordCapture { title, stream_id });
+                    ctx.goto(BUSY);
+                }
+                StreamOutcome::Rejected {
+                    demanded_bps,
+                    available_bps,
+                } => {
+                    // The disks cannot absorb the recording next to
+                    // the admitted streams: give the camera back and
+                    // report saturation, not failure.
+                    self.pending = Some(Pending::RecordRelease {
+                        verdict: RecordVerdict::Saturated {
+                            demanded_bps,
+                            available_bps,
+                        },
+                    });
+                    ctx.output(TO_EUA, EquipRequest(EquipOp::ReleaseAll));
+                    ctx.goto(BUSY);
+                }
+                _ => {
+                    self.pending = Some(Pending::RecordRelease {
+                        verdict: RecordVerdict::Failed,
+                    });
+                    ctx.output(TO_EUA, EquipRequest(EquipOp::ReleaseAll));
+                    ctx.goto(BUSY);
+                }
+            },
+            Some(Pending::RecordClose { title }) => {
+                self.recording = None;
+                match outcome {
+                    StreamOutcome::Recorded {
+                        frame_count,
+                        frame_rate,
+                        bitrate_bps,
+                        replicas,
+                    } => {
+                        // Finalize the directory entry with what was
+                        // actually captured and where it now lives.
+                        let primary = replicas
+                            .first()
+                            .cloned()
+                            .unwrap_or_else(|| self.services.sps.location());
+                        let mut entry = MovieEntry::new(title, primary);
+                        entry.frame_count = frame_count;
+                        entry.frame_rate = frame_rate.clamp(1, 120);
+                        entry.bitrate_bps = bitrate_bps;
+                        if !replicas.is_empty() {
+                            entry.set_replicas(replicas);
+                        }
+                        self.pending = Some(Pending::RecordAdd);
+                        ctx.output(TO_DUA, DirRequest(DirOp::Add { entry }));
+                        ctx.goto(BUSY);
+                    }
+                    _ => {
+                        self.pending = Some(Pending::RecordRelease {
+                            verdict: RecordVerdict::Failed,
+                        });
+                        ctx.output(TO_EUA, EquipRequest(EquipOp::ReleaseAll));
+                        ctx.goto(BUSY);
+                    }
+                }
+            }
             Some(Pending::Deselect) => {
                 self.reply(ctx, McamPdu::DeselectMovieRsp);
                 ctx.goto(READY);
@@ -578,11 +695,15 @@ impl ServerMca {
         match pending {
             Some(Pending::RecordAcquire { title, frames }) => match outcome {
                 EquipOutcome::Acquired(_) => {
-                    let mut entry =
-                        MovieEntry::new(title, format!("node-{}", self.services.sps.addr().0));
-                    entry.frame_count = frames;
-                    self.pending = Some(Pending::RecordAdd);
-                    ctx.output(TO_DUA, DirRequest(DirOp::Add { entry }));
+                    // Camera in hand: ask the stream provider to open
+                    // the admission-controlled recording session.
+                    let movie = source_for_title(
+                        &title,
+                        self.services.record_frame_rate.clamp(1, 120),
+                        frames,
+                    );
+                    self.pending = Some(Pending::RecordOpen { title });
+                    ctx.output(TO_SUA, StreamRequest(StreamOp::OpenRecord { movie }));
                     ctx.goto(BUSY);
                 }
                 _ => {
@@ -590,8 +711,22 @@ impl ServerMca {
                     ctx.goto(READY);
                 }
             },
-            Some(Pending::RecordRelease { ok }) => {
-                self.reply(ctx, McamPdu::RecordRsp { ok });
+            Some(Pending::RecordRelease { verdict }) => {
+                match verdict {
+                    RecordVerdict::Ok => self.reply(ctx, McamPdu::RecordRsp { ok: true }),
+                    RecordVerdict::Failed => self.reply(ctx, McamPdu::RecordRsp { ok: false }),
+                    RecordVerdict::Saturated {
+                        demanded_bps,
+                        available_bps,
+                    } => self.error(
+                        ctx,
+                        ERR_ADMISSION,
+                        &format!(
+                            "admission rejected: recording needs {demanded_bps} bps, \
+                             {available_bps} bps of disk bandwidth available"
+                        ),
+                    ),
+                }
                 ctx.goto(READY);
             }
             other => {
@@ -627,6 +762,7 @@ impl StateMachine for ServerMca {
             SuaAgent::new(
                 Arc::clone(&self.services.sps),
                 Arc::clone(&self.services.peers),
+                Arc::clone(&self.services.placement),
             ),
         );
         let eua = ctx.create_child(
@@ -696,6 +832,25 @@ impl StateMachine for ServerMca {
             Transition::on("eua-rsp", BUSY, TO_EUA, |m: &mut Self, ctx, msg| {
                 let rsp = downcast::<EquipResponse>(msg.unwrap()).unwrap();
                 m.on_equip_response(ctx, rsp.0);
+            })
+            .cost(COST_REQ),
+            // Capture completion is a state of the stream provider,
+            // not a message: poll it spontaneously while a recording
+            // is pending and finalize once every frame is captured
+            // and every block durable.
+            Transition::spontaneous("record-done", BUSY, |m: &mut Self, ctx, _| {
+                let Some(Pending::RecordCapture { title, stream_id }) = m.pending.take() else {
+                    unreachable!("guarded by the provided clause");
+                };
+                m.pending = Some(Pending::RecordClose { title });
+                ctx.output(TO_SUA, StreamRequest(StreamOp::CloseRecord { stream_id }));
+            })
+            .provided(|m, _| {
+                matches!(
+                    &m.pending,
+                    Some(Pending::RecordCapture { stream_id, .. })
+                        if m.services.sps.recording_finished(*stream_id)
+                )
             })
             .cost(COST_REQ),
             Transition::on("rel-ind", READY, DOWN, |m: &mut Self, ctx, msg| {

@@ -209,6 +209,20 @@ pub enum StreamOp {
         /// Frame index.
         frame: u64,
     },
+    /// Open a recording session: capture `movie.frame_count` frames
+    /// through the store's write path (admission-controlled).
+    OpenRecord {
+        /// The content the camera will capture (frame rate, sizes,
+        /// seed — derived from the title like a published source).
+        movie: MovieSource,
+    },
+    /// Finalize a finished recording: register the captured blocks as
+    /// a playable movie and replicate it to peer servers per the
+    /// placement policy.
+    CloseRecord {
+        /// Recording session id.
+        stream_id: u32,
+    },
 }
 
 /// Request to the SUA agent.
@@ -229,6 +243,23 @@ pub enum StreamOutcome {
     },
     /// Operation succeeded.
     Done,
+    /// Recording session opened (admission passed); capture proceeds
+    /// on the virtual clock until the frame target is reached.
+    RecordStarted {
+        /// Allocated recording session id.
+        stream_id: u32,
+    },
+    /// Recording finalized and replicated.
+    Recorded {
+        /// Frames captured.
+        frame_count: u64,
+        /// Capture frame rate.
+        frame_rate: u32,
+        /// Mean bitrate measured over the captured frames.
+        bitrate_bps: u64,
+        /// Every server now holding a copy (recorder first).
+        replicas: Vec<String>,
+    },
     /// Disk-bandwidth admission control refused the stream: the
     /// server is storage-saturated, not broken.
     Rejected {

@@ -13,15 +13,43 @@
 //! block reads ahead of the sender's frame deadlines, and a frame
 //! whose block has not yet arrived stalls (and is sent late) instead
 //! of being synthesized out of thin air.
+//!
+//! The SPS also hosts *recording sessions* ([`StreamProviderSystem::
+//! record_open`]): captured frames arrive at the camera's frame rate
+//! on the virtual clock and are appended through the store's write
+//! path, so a recording reserves and consumes real disk bandwidth and
+//! can crowd out (or be refused like) a playback stream.
 
 use mtp::{MovieSource, MtpSender, StreamState};
-use netsim::{DatagramNet, DatagramSocket, NetAddr, SimTime};
+use netsim::{DatagramNet, DatagramSocket, NetAddr, SimDuration, SimTime};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use store::{BlockStore, MovieId, StoreError};
+
+/// A finished recording, as returned by
+/// [`StreamProviderSystem::record_close`]: enough to finalize the
+/// directory entry and to [`StreamProviderSystem::import_movie`] the
+/// copy onto replica servers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedMovie {
+    /// The captured content (replayable source parameters).
+    pub source: MovieSource,
+    /// Mean bitrate measured over the captured frames, bits/second.
+    pub bitrate_bps: u64,
+}
+
+/// A camera capture in progress: frames are appended to the store's
+/// write path at the source's frame rate on the virtual clock.
+#[derive(Debug)]
+struct RecordingSession {
+    source: MovieSource,
+    captured: u64,
+    next_frame_at: SimTime,
+    sealed: bool,
+}
 
 /// Stream-provider errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +106,7 @@ pub struct StreamProviderSystem {
     addr: NetAddr,
     senders: Mutex<HashMap<u32, MtpSender>>,
     movie_ids: Mutex<HashMap<u32, MovieId>>,
+    recordings: Mutex<HashMap<u32, RecordingSession>>,
     store: Option<Arc<BlockStore>>,
     next_stream: AtomicU32,
 }
@@ -127,6 +156,7 @@ impl StreamProviderSystem {
             addr,
             senders: Mutex::new(HashMap::new()),
             movie_ids: Mutex::new(HashMap::new()),
+            recordings: Mutex::new(HashMap::new()),
             store,
             next_stream: AtomicU32::new((addr.0 << 16) | 1),
         })
@@ -135,6 +165,19 @@ impl StreamProviderSystem {
     /// The provider's datagram address.
     pub fn addr(&self) -> NetAddr {
         self.addr
+    }
+
+    /// Allocates the next stream/recording id from this provider's
+    /// 16-bit slice.
+    fn alloc_stream_id(&self) -> u32 {
+        let id = self.next_stream.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(
+            id >> 16,
+            self.addr.0,
+            "stream-id slice exhausted: provider {} opened 2^16 streams",
+            self.addr.0
+        );
+        id
     }
 
     /// The provider's location name as stored in directory entries.
@@ -154,13 +197,7 @@ impl StreamProviderSystem {
     /// [`SpsError::AdmissionRejected`] when the store's admission
     /// control cannot fit the stream's bandwidth demand.
     pub fn open(&self, movie: MovieSource, dest: NetAddr, now: SimTime) -> Result<u32, SpsError> {
-        let id = self.next_stream.fetch_add(1, Ordering::SeqCst);
-        assert_eq!(
-            id >> 16,
-            self.addr.0,
-            "stream-id slice exhausted: provider {} opened 2^16 streams",
-            self.addr.0
-        );
+        let id = self.alloc_stream_id();
         if let Some(store) = &self.store {
             let movie_id = store.register_movie(&movie);
             store.open_stream(id, movie_id, 100, now)?;
@@ -171,12 +208,98 @@ impl StreamProviderSystem {
         Ok(id)
     }
 
-    /// Closes a stream, releasing its storage bandwidth.
+    /// Opens a recording session capturing `movie.frame_count` frames
+    /// of `movie` at its frame rate, starting at `now`, and returns
+    /// the session's stream id. With a store attached the session
+    /// passes write-bandwidth admission control and every captured
+    /// frame goes through the striped write path.
+    ///
+    /// # Errors
+    ///
+    /// [`SpsError::AdmissionRejected`] when the write bandwidth does
+    /// not fit next to the streams already admitted.
+    pub fn record_open(&self, movie: MovieSource, now: SimTime) -> Result<u32, SpsError> {
+        let id = self.alloc_stream_id();
+        if let Some(store) = &self.store {
+            store.open_recording(id, &movie)?;
+        }
+        self.recordings.lock().insert(
+            id,
+            RecordingSession {
+                source: movie,
+                captured: 0,
+                next_frame_at: now,
+                sealed: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Whether a recording has captured every frame and (with a store)
+    /// persisted every block.
+    pub fn recording_finished(&self, id: u32) -> bool {
+        let recordings = self.recordings.lock();
+        let Some(session) = recordings.get(&id) else {
+            return false;
+        };
+        session.captured >= session.source.frame_count
+            && self
+                .store
+                .as_ref()
+                .is_none_or(|s| s.recording_durable(id) == Some(true))
+    }
+
+    /// Finalizes a finished recording: the store registers the
+    /// captured blocks as a playable movie and the session closes.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ids, and with [`SpsError::StorageError`]
+    /// while the recording is still capturing or persisting.
+    pub fn record_close(&self, id: u32) -> Result<RecordedMovie, SpsError> {
+        let mut recordings = self.recordings.lock();
+        let Some(session) = recordings.get(&id) else {
+            return Err(SpsError::NoSuchStream(id));
+        };
+        let bitrate_bps = match &self.store {
+            Some(store) => store.finish_recording(id)?.bitrate_bps,
+            None => session.source.mean_bitrate_bps().max(1),
+        };
+        let session = recordings.remove(&id).expect("checked above");
+        Ok(RecordedMovie {
+            source: session.source,
+            bitrate_bps,
+        })
+    }
+
+    /// Number of recording sessions in progress.
+    pub fn recording_count(&self) -> usize {
+        self.recordings.lock().len()
+    }
+
+    /// Copies a finished recording onto this provider's store (the
+    /// replication path); a provider without a store has nothing to
+    /// copy onto and ignores the request.
+    pub fn import_movie(&self, source: &MovieSource, now: SimTime) {
+        if let Some(store) = &self.store {
+            store.import_movie(source, now);
+        }
+    }
+
+    /// Closes a stream, releasing its storage bandwidth. Closing an
+    /// in-progress recording aborts it (bandwidth released, blocks
+    /// freed).
     ///
     /// # Errors
     ///
     /// Fails for unknown ids.
     pub fn close(&self, id: u32) -> Result<(), SpsError> {
+        if self.recordings.lock().remove(&id).is_some() {
+            if let Some(store) = &self.store {
+                store.abort_recording(id);
+            }
+            return Ok(());
+        }
         if let Some(store) = &self.store {
             store.close_stream(id);
         }
@@ -262,10 +385,37 @@ impl StreamProviderSystem {
         self.senders.lock().get(&id).map(MtpSender::position)
     }
 
+    /// Captures all recording frames due at or before `now`, feeding
+    /// them through the store's write path; sessions that reach their
+    /// frame target are sealed (tail flushed, bandwidth released).
+    fn pump_recordings(&self, now: SimTime) {
+        let mut recordings = self.recordings.lock();
+        for (id, session) in recordings.iter_mut() {
+            let interval = SimDuration::from_micros(session.source.frame_interval_us());
+            while session.captured < session.source.frame_count && session.next_frame_at <= now {
+                let at = session.next_frame_at;
+                let size = session.source.frame(session.captured).map_or(0, |f| f.size);
+                if let Some(store) = &self.store {
+                    let _ = store.append_frame(*id, size, at);
+                }
+                session.captured += 1;
+                session.next_frame_at = at + interval;
+            }
+            if session.captured >= session.source.frame_count && !session.sealed {
+                session.sealed = true;
+                if let Some(store) = &self.store {
+                    let _ = store.seal_recording(*id, now);
+                }
+            }
+        }
+    }
+
     /// Emits all frames due at or before `now` across all streams
-    /// (gated on storage delivery when a store is attached) and routes
-    /// receiver feedback reports to their senders.
+    /// (gated on storage delivery when a store is attached), captures
+    /// due recording frames, and routes receiver feedback reports to
+    /// their senders.
     pub fn pump(&self, now: SimTime) -> usize {
+        self.pump_recordings(now);
         if let Some(store) = &self.store {
             store.pump(now);
         }
@@ -313,7 +463,19 @@ impl StreamProviderSystem {
                 Some(due)
             })
             .min();
-        [store_next, sender_due].into_iter().flatten().min()
+        // Recording sessions wake at their next frame-capture instant
+        // (persistence completions are covered by `store_next`).
+        let recording_due = self
+            .recordings
+            .lock()
+            .values()
+            .filter(|s| s.captured < s.source.frame_count)
+            .map(|s| s.next_frame_at)
+            .min();
+        [store_next, sender_due, recording_due]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Number of open streams.
@@ -433,6 +595,72 @@ mod tests {
         assert!(sent >= 25, "sent={sent}");
         net.run_until_idle();
         assert!(client.pending() >= 25);
+    }
+
+    #[test]
+    fn recording_captures_on_the_clock_and_closes() {
+        let (net, _dg, sps) = rig_with_store(StoreConfig::default());
+        let source = MovieSource::test_movie(2, 9);
+        let id = sps.record_open(source.clone(), net.now()).unwrap();
+        assert_eq!(sps.recording_count(), 1);
+        assert!(!sps.recording_finished(id), "nothing captured yet");
+        // Half the movie's duration: capture is mid-flight.
+        net.run_until(SimTime::from_secs(1));
+        sps.pump(net.now());
+        assert!(!sps.recording_finished(id));
+        assert!(sps.record_close(id).is_err(), "cannot close mid-capture");
+        // Past the end plus persistence: finished.
+        let mut now = SimTime::from_secs(3);
+        let mut guard = 0;
+        while !sps.recording_finished(id) {
+            sps.pump(now);
+            if let Some(t) = sps.next_due() {
+                now = now.max(t);
+            } else {
+                now += SimDuration::from_millis(100);
+            }
+            guard += 1;
+            assert!(guard < 10_000, "recording never finished");
+        }
+        let recorded = sps.record_close(id).unwrap();
+        assert_eq!(recorded.source, source);
+        assert!(recorded.bitrate_bps > 0);
+        assert_eq!(sps.recording_count(), 0);
+        // The recorded movie is now streamable from this provider.
+        let stream = sps.open(source, NetAddr(5), now).unwrap();
+        assert!(sps.has_stream(stream));
+    }
+
+    #[test]
+    fn close_aborts_an_open_recording() {
+        let (net, _dg, sps) = rig_with_store(StoreConfig::default());
+        let id = sps
+            .record_open(MovieSource::test_movie(10, 4), net.now())
+            .unwrap();
+        net.run_until(SimTime::from_secs(1));
+        sps.pump(net.now());
+        sps.close(id).unwrap();
+        assert_eq!(sps.recording_count(), 0);
+        assert_eq!(
+            sps.store().unwrap().stats().committed_bps,
+            0,
+            "aborted recording released its bandwidth"
+        );
+    }
+
+    #[test]
+    fn storeless_provider_records_on_timing_alone() {
+        let (net, _dg, sps) = rig();
+        let id = sps
+            .record_open(MovieSource::test_movie(1, 2), net.now())
+            .unwrap();
+        assert!(!sps.recording_finished(id));
+        sps.pump(SimTime::from_secs(2));
+        assert!(sps.recording_finished(id));
+        let recorded = sps.record_close(id).unwrap();
+        assert_eq!(recorded.source.frame_count, 25);
+        // Import on a storeless provider is a no-op, not a panic.
+        sps.import_movie(&recorded.source, net.now());
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub struct ClusterHandle {
     pub servers: Vec<ServerHandle>,
     /// The shared location → stream-provider registry.
     pub peers: Arc<SpsRegistry>,
-    placement: Mutex<Placement>,
+    placement: Arc<Mutex<Placement>>,
 }
 
 impl std::fmt::Debug for ClusterHandle {
@@ -79,6 +79,23 @@ impl ClusterHandle {
             (c + stats.committed_bps, t + stats.capacity_bps)
         })
     }
+
+    /// Recording sessions in progress across all members.
+    pub fn recordings(&self) -> usize {
+        self.servers
+            .iter()
+            .map(|s| s.services.sps.recording_count())
+            .sum()
+    }
+
+    /// Cluster-wide recorded-frame and recorded-block counters, as
+    /// `(frames_recorded, blocks_recorded)`.
+    pub fn recorded_totals(&self) -> (u64, u64) {
+        self.servers.iter().fold((0, 0), |(f, b), s| {
+            let stats = s.services.store.stats();
+            (f + stats.frames_recorded, b + stats.blocks_recorded)
+        })
+    }
 }
 
 /// A client workstation in the world.
@@ -111,6 +128,10 @@ pub struct World {
     /// point (disk count, block size, cache size/policy, admission
     /// headroom).
     pub store_config: StoreConfig,
+    /// Frame rate cameras capture at, applied to every server added
+    /// after this point (the `Record` write path paces captured
+    /// frames — and sizes its write-bandwidth demand — at this rate).
+    pub record_frame_rate: u32,
     providers: Vec<Arc<StreamProviderSystem>>,
     next_addr: u32,
     next_conn: u16,
@@ -145,6 +166,7 @@ impl World {
             rt,
             control_delay: SimDuration::from_millis(1),
             store_config,
+            record_frame_rate: 25,
             providers: Vec::new(),
             next_addr: 1,
             next_conn: 0,
@@ -180,7 +202,9 @@ impl World {
         dsa.add(base.clone(), directory::Attrs::new())
             .expect("fresh DSA");
         let peers = Arc::new(SpsRegistry::new());
-        self.build_server(name, stack, &dsa, base, &peers)
+        // A standalone server replicates recordings only to itself.
+        let placement = Arc::new(Mutex::new(Placement::round_robin(1)));
+        self.build_server(name, stack, &dsa, base, &peers, &placement)
     }
 
     /// Adds `count` server machines sharing one movie directory and
@@ -200,14 +224,24 @@ impl World {
         dsa.add(base.clone(), directory::Attrs::new())
             .expect("fresh DSA");
         let peers = Arc::new(SpsRegistry::new());
+        let placement = Arc::new(Mutex::new(placement));
         let servers = (0..count.max(1))
-            .map(|i| self.build_server(&format!("{name}-{i}"), stack, &dsa, base.clone(), &peers))
+            .map(|i| {
+                self.build_server(
+                    &format!("{name}-{i}"),
+                    stack,
+                    &dsa,
+                    base.clone(),
+                    &peers,
+                    &placement,
+                )
+            })
             .collect();
         ClusterHandle {
             name: name.to_string(),
             servers,
             peers,
-            placement: Mutex::new(placement),
+            placement,
         }
     }
 
@@ -231,6 +265,7 @@ impl World {
         dsa: &Arc<Dsa>,
         base: Dn,
         peers: &Arc<SpsRegistry>,
+        placement: &Arc<Mutex<Placement>>,
     ) -> ServerHandle {
         let dua = Dua::new(dsa);
         let eca = Eca::new(format!("site-{name}"));
@@ -251,6 +286,8 @@ impl World {
             sps,
             store,
             peers: Arc::clone(peers),
+            placement: Arc::clone(placement),
+            record_frame_rate: self.record_frame_rate,
             eua,
             eca: Arc::clone(&eca),
             site: format!("site-{name}"),

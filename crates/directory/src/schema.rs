@@ -30,6 +30,9 @@ pub mod attr {
     pub const REPLICAS: &str = "replicalocations";
     /// Number of frames in the movie.
     pub const FRAME_COUNT: &str = "framecount";
+    /// Mean bitrate in bits/second, measured at record time (0 =
+    /// unknown; synthetic published titles usually omit it).
+    pub const BITRATE: &str = "meanbitrate";
     /// Object class marker (`"movie"` for movie entries).
     pub const OBJECT_CLASS: &str = "objectclass";
 }
@@ -54,6 +57,9 @@ pub struct MovieEntry {
     pub replicas: Vec<String>,
     /// Total frames.
     pub frame_count: u64,
+    /// Mean bitrate in bits/second as measured when the movie was
+    /// recorded (0 when unknown — e.g. synthetic published titles).
+    pub bitrate_bps: u64,
 }
 
 /// Error converting attributes to a [`MovieEntry`].
@@ -88,6 +94,7 @@ impl MovieEntry {
             replicas: vec![location.clone()],
             location,
             frame_count: 25 * 60, // one minute
+            bitrate_bps: 0,
         }
     }
 
@@ -126,6 +133,9 @@ impl MovieEntry {
             attr::FRAME_COUNT.into(),
             Value::Int(self.frame_count as i64),
         );
+        if self.bitrate_bps > 0 {
+            m.insert(attr::BITRATE.into(), Value::Int(self.bitrate_bps as i64));
+        }
         m
     }
 
@@ -189,6 +199,15 @@ impl MovieEntry {
             location,
             replicas,
             frame_count: get_int(attrs, attr::FRAME_COUNT)?.max(0) as u64,
+            // Absent on entries published before the write path (and
+            // on synthetic titles): bitrate is advisory metadata.
+            bitrate_bps: match attrs.get(attr::BITRATE) {
+                None => 0,
+                Some(v) => v
+                    .as_int()
+                    .ok_or(SchemaError::Invalid(attr::BITRATE))?
+                    .max(0) as u64,
+            },
         })
     }
 
@@ -213,6 +232,7 @@ mod tests {
             location: "node-3".into(),
             replicas: vec!["node-3".into(), "node-7".into()],
             frame_count: 54_000,
+            bitrate_bps: 700_000,
         };
         let attrs = e.to_attrs();
         assert_eq!(MovieEntry::from_attrs(&attrs).unwrap(), e);
@@ -294,6 +314,23 @@ mod tests {
         let mut attrs = e.to_attrs();
         attrs.insert(attr::OBJECT_CLASS.into(), Value::Str("printer".into()));
         assert!(MovieEntry::from_attrs(&attrs).is_err());
+    }
+
+    #[test]
+    fn bitrate_is_optional_metadata() {
+        // Legacy entries without the attribute decode to 0.
+        let e = MovieEntry::new("X", "node-1");
+        assert_eq!(e.bitrate_bps, 0);
+        let attrs = e.to_attrs();
+        assert!(!attrs.contains_key(attr::BITRATE));
+        assert_eq!(MovieEntry::from_attrs(&attrs).unwrap().bitrate_bps, 0);
+        // Ill-typed bitrate is rejected.
+        let mut attrs = e.to_attrs();
+        attrs.insert(attr::BITRATE.into(), Value::Str("fast".into()));
+        assert_eq!(
+            MovieEntry::from_attrs(&attrs),
+            Err(SchemaError::Invalid(attr::BITRATE))
+        );
     }
 
     #[test]

@@ -109,6 +109,7 @@ proptest! {
         location in "[a-z0-9-]{1,12}",
         extra_replicas in prop::collection::vec("[a-z0-9-]{1,12}", 0..3),
         frames in 1u64..1_000_000,
+        bitrate in 0u64..10_000_000,
     ) {
         let mut replicas = vec![location.clone()];
         replicas.extend(extra_replicas);
@@ -121,6 +122,7 @@ proptest! {
             location,
             replicas,
             frame_count: frames,
+            bitrate_bps: bitrate,
         };
         let attrs = entry.to_attrs();
         let back = MovieEntry::from_attrs(&attrs).expect("generated attrs are valid");

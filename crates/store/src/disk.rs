@@ -1,7 +1,9 @@
 //! The simulated disk: a single head over a request queue, with a
 //! seek + rotational positioning cost per discontiguous request and a
 //! bandwidth-limited transfer phase, all on the `netsim` virtual
-//! clock.
+//! clock. Reads (playback prefetch) and writes (recorded frames,
+//! replication copies) share the one queue and the one arm, so a
+//! recording steals real head time from concurrent viewers.
 //!
 //! The queue is served in one of two orders ([`DiskSched`]): plain
 //! FIFO, or an elevator/SCAN sweep over the platter position (movies
@@ -12,6 +14,15 @@
 
 use crate::layout::MovieId;
 use netsim::{SimDuration, SimTime};
+
+/// Direction of a queued disk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    /// Fetch a block for a stream.
+    Read,
+    /// Persist a block of a recording or replication copy.
+    Write,
+}
 
 /// Queue discipline of the simulated disk arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,7 +72,10 @@ impl DiskParams {
     /// discipline: FIFO pays the worst-case random seek on every
     /// block; a SCAN sweep amortizes head movement across the queue,
     /// so most positioning steps are short (modelled as one random
-    /// seek per four blocks, the rest sequential).
+    /// seek per four blocks, the rest sequential — realized when the
+    /// prefetch pipelines keep a run of ~4 adjacent blocks per disk
+    /// queued, which the `StoreConfig` defaults are sized for;
+    /// `tests/scan_calibration.rs` measures the actual fraction).
     pub fn expected_seek(&self) -> SimDuration {
         match self.sched {
             DiskSched::Fifo => self.seek_random,
@@ -82,16 +96,24 @@ impl DiskParams {
 pub struct DiskStats {
     /// Read requests served.
     pub reads: u64,
-    /// Reads that continued sequentially (cheap seek).
+    /// Reads that continued on an adjacent track (cheap seek, either
+    /// sweep direction).
     pub sequential_reads: u64,
-    /// Bytes transferred.
+    /// Bytes transferred to streams.
     pub bytes_read: u64,
+    /// Write requests served.
+    pub writes: u64,
+    /// Writes that continued sequentially (cheap seek).
+    pub sequential_writes: u64,
+    /// Bytes persisted.
+    pub bytes_written: u64,
     /// Total time the disk arm was busy.
     pub busy: SimDuration,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct QueuedRead {
+struct QueuedIo {
+    kind: IoKind,
     movie: MovieId,
     offset: u64,
     bytes: u64,
@@ -101,6 +123,7 @@ struct QueuedRead {
 
 #[derive(Debug, Clone, Copy)]
 struct InService {
+    kind: IoKind,
     movie: MovieId,
     offset: u64,
     ready_at: SimTime,
@@ -110,7 +133,7 @@ struct InService {
 #[derive(Debug)]
 pub struct Disk {
     params: DiskParams,
-    queue: Vec<QueuedRead>,
+    queue: Vec<QueuedIo>,
     in_service: Option<InService>,
     busy_until: SimTime,
     head: Option<(MovieId, u64)>,
@@ -152,7 +175,19 @@ impl Disk {
     /// Queues a read of `bytes` at block `offset` of `movie`, arriving
     /// at `now`. Service order follows [`DiskParams::sched`].
     pub fn enqueue(&mut self, now: SimTime, movie: MovieId, offset: u64, bytes: u64) {
-        self.queue.push(QueuedRead {
+        self.enqueue_io(IoKind::Read, now, movie, offset, bytes);
+    }
+
+    /// Queues a write of `bytes` at block `offset` of `movie`,
+    /// arriving at `now`. Writes share the queue and the discipline
+    /// with reads — a recording contends for the same arm.
+    pub fn enqueue_write(&mut self, now: SimTime, movie: MovieId, offset: u64, bytes: u64) {
+        self.enqueue_io(IoKind::Write, now, movie, offset, bytes);
+    }
+
+    fn enqueue_io(&mut self, kind: IoKind, now: SimTime, movie: MovieId, offset: u64, bytes: u64) {
+        self.queue.push(QueuedIo {
+            kind,
             movie,
             offset,
             bytes,
@@ -170,8 +205,8 @@ impl Disk {
 
     /// Completes the in-service request if it is due at or before
     /// `now`, immediately starting the next queued request (per the
-    /// discipline), and returns the finished `(movie, offset)`.
-    pub fn pop_due(&mut self, now: SimTime) -> Option<(MovieId, u64)> {
+    /// discipline), and returns the finished `(movie, offset, kind)`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(MovieId, u64, IoKind)> {
         let s = self.in_service?;
         if s.ready_at > now {
             return None;
@@ -179,7 +214,7 @@ impl Disk {
         self.in_service = None;
         // The arm moves on the moment the previous transfer ends.
         self.start_next(s.ready_at);
-        Some((s.movie, s.offset))
+        Some((s.movie, s.offset, s.kind))
     }
 
     /// Linear platter position of a request: movies laid out
@@ -194,7 +229,7 @@ impl Disk {
             DiskSched::Fifo => 0,
             DiskSched::Scan => {
                 let head = self.head.map(|(m, o)| Self::position(m, o));
-                let pos = |q: &QueuedRead| Self::position(q.movie, q.offset);
+                let pos = |q: &QueuedIo| Self::position(q.movie, q.offset);
                 let best_up = || {
                     self.queue
                         .iter()
@@ -239,9 +274,13 @@ impl Disk {
         self.start(req, free_at);
     }
 
-    fn start(&mut self, req: QueuedRead, free_at: SimTime) {
+    fn start(&mut self, req: QueuedIo, free_at: SimTime) {
         let start = free_at.max(req.at);
-        let sequential = req.offset > 0 && self.head == Some((req.movie, req.offset - 1));
+        // Adjacent-track continuation in either direction is a short
+        // seek: the elevator's return pass over a contiguous run is
+        // as cheap per block as the outbound pass.
+        let sequential = (req.offset > 0 && self.head == Some((req.movie, req.offset - 1)))
+            || self.head == Some((req.movie, req.offset + 1));
         let seek = if sequential {
             self.params.seek_sequential
         } else {
@@ -251,13 +290,25 @@ impl Disk {
         let ready_at = start + service;
         self.busy_until = ready_at;
         self.head = Some((req.movie, req.offset));
-        self.stats.reads += 1;
-        if sequential {
-            self.stats.sequential_reads += 1;
+        match req.kind {
+            IoKind::Read => {
+                self.stats.reads += 1;
+                if sequential {
+                    self.stats.sequential_reads += 1;
+                }
+                self.stats.bytes_read += req.bytes;
+            }
+            IoKind::Write => {
+                self.stats.writes += 1;
+                if sequential {
+                    self.stats.sequential_writes += 1;
+                }
+                self.stats.bytes_written += req.bytes;
+            }
         }
-        self.stats.bytes_read += req.bytes;
         self.stats.busy += service;
         self.in_service = Some(InService {
+            kind: req.kind,
             movie: req.movie,
             offset: req.offset,
             ready_at,
@@ -281,7 +332,8 @@ mod tests {
     fn drain(d: &mut Disk) -> Vec<(MovieId, u64)> {
         let mut order = Vec::new();
         while let Some(t) = d.next_completion() {
-            order.push(d.pop_due(t).expect("due at its own completion"));
+            let (movie, offset, _) = d.pop_due(t).expect("due at its own completion");
+            order.push((movie, offset));
         }
         order
     }
@@ -316,10 +368,10 @@ mod tests {
         // Issued "at" time zero again, but starts only when the arm frees.
         d.enqueue(SimTime::ZERO, m, 50, 1 << 20);
         assert_eq!(d.pending(), 2);
-        assert_eq!(d.pop_due(t1), Some((m, 0)));
+        assert_eq!(d.pop_due(t1), Some((m, 0, IoKind::Read)));
         let t2 = d.next_completion().unwrap();
         assert!(t2 > t1);
-        assert_eq!(d.pop_due(t2), Some((m, 50)));
+        assert_eq!(d.pop_due(t2), Some((m, 50, IoKind::Read)));
         // Issued after the arm is long idle: starts at `now`.
         let late = t2 + SimDuration::from_secs(1);
         d.enqueue(late, m, 51, 1 << 10);
@@ -406,6 +458,39 @@ mod tests {
         assert!(scan.expected_seek() < fifo.expected_seek());
         assert!(scan.expected_seek() >= scan.seek_sequential);
         assert!(scan.service_time(1 << 16) < fifo.service_time(1 << 16));
+    }
+
+    #[test]
+    fn writes_share_queue_arm_and_discipline() {
+        let p = DiskParams {
+            sched: DiskSched::Scan,
+            ..DiskParams::default()
+        };
+        let mut d = Disk::new(p);
+        let m = MovieId(3);
+        // A write lands between two reads on the platter: the sweep
+        // interleaves them, and the sequential continuation is cheap
+        // for the write exactly as for a read.
+        d.enqueue(SimTime::ZERO, m, 0, 1 << 18);
+        d.enqueue(SimTime::ZERO, m, 2, 1 << 18);
+        d.enqueue_write(SimTime::ZERO, m, 1, 1 << 18);
+        let mut order = Vec::new();
+        while let Some(t) = d.next_completion() {
+            order.push(d.pop_due(t).unwrap());
+        }
+        assert_eq!(
+            order,
+            vec![
+                (m, 0, IoKind::Read),
+                (m, 1, IoKind::Write),
+                (m, 2, IoKind::Read)
+            ]
+        );
+        assert_eq!(d.stats.reads, 2);
+        assert_eq!(d.stats.writes, 1);
+        assert_eq!(d.stats.sequential_writes, 1, "offset 1 follows offset 0");
+        assert_eq!(d.stats.sequential_reads, 1, "offset 2 follows offset 1");
+        assert_eq!(d.stats.bytes_written, 1 << 18);
     }
 
     #[test]

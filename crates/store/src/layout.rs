@@ -6,7 +6,13 @@
 //! different movies do not all pile onto disk 0. The mapping and its
 //! inverse are exact — `tests/prop_layout.rs` property-tests the
 //! bijection over the movie's whole block range.
+//!
+//! Recorded movies cannot be laid out analytically — their blocks are
+//! allocated one at a time as frames arrive — so they carry a
+//! [`BlockMap`]: an append-built block → address table with the same
+//! bijective `locate`/`invert` contract as [`StripeLayout`].
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a movie registered with the block store.
@@ -106,6 +112,64 @@ impl StripeLayout {
     }
 }
 
+/// Append-built layout of a *recorded* movie: logical block `i` is
+/// the `i`-th physical address the write path allocated. Unlike
+/// [`StripeLayout`] the map is extensional — it holds whatever the
+/// allocator handed out — but it keeps the same bijective
+/// `locate`/`invert` contract the read path relies on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockMap {
+    addrs: Vec<BlockAddr>,
+    inverse: HashMap<BlockAddr, u64>,
+}
+
+impl BlockMap {
+    /// An empty map (a recording before its first full block).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the next block's physical address, returning its
+    /// logical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is already mapped — the allocator must never
+    /// hand out a live address twice.
+    pub fn push(&mut self, addr: BlockAddr) -> u64 {
+        let index = self.addrs.len() as u64;
+        let prev = self.inverse.insert(addr, index);
+        assert!(prev.is_none(), "block {addr:?} allocated twice");
+        self.addrs.push(addr);
+        index
+    }
+
+    /// Number of mapped blocks.
+    pub fn block_count(&self) -> u64 {
+        self.addrs.len() as u64
+    }
+
+    /// Maps a logical block index to its physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of the recorded range.
+    pub fn locate(&self, index: u64) -> BlockAddr {
+        self.addrs[index as usize]
+    }
+
+    /// Inverts [`BlockMap::locate`]: the logical block at `addr`, or
+    /// `None` if no block of this movie lives there.
+    pub fn invert(&self, addr: BlockAddr) -> Option<u64> {
+        self.inverse.get(&addr).copied()
+    }
+
+    /// All physical addresses in logical-block order.
+    pub fn addrs(&self) -> &[BlockAddr] {
+        &self.addrs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +212,28 @@ mod tests {
         for b in l.blocks() {
             assert_eq!(l.locate(b), BlockAddr { disk: 0, offset: b });
         }
+    }
+
+    #[test]
+    fn block_map_appends_and_inverts() {
+        let mut m = BlockMap::new();
+        let a = BlockAddr { disk: 1, offset: 4 };
+        let b = BlockAddr { disk: 0, offset: 9 };
+        assert_eq!(m.push(a), 0);
+        assert_eq!(m.push(b), 1);
+        assert_eq!(m.block_count(), 2);
+        assert_eq!(m.locate(0), a);
+        assert_eq!(m.locate(1), b);
+        assert_eq!(m.invert(b), Some(1));
+        assert_eq!(m.invert(BlockAddr { disk: 2, offset: 0 }), None);
+        assert_eq!(m.addrs(), &[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated twice")]
+    fn block_map_rejects_duplicate_addresses() {
+        let mut m = BlockMap::new();
+        m.push(BlockAddr { disk: 0, offset: 0 });
+        m.push(BlockAddr { disk: 0, offset: 0 });
     }
 }

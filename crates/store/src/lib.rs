@@ -18,7 +18,17 @@
 //!   reads ahead of the MTP sender's frame deadlines;
 //! - [`AdmissionController`] — disk-bandwidth admission control that
 //!   rejects streams whose demand would exceed capacity, surfaced to
-//!   clients as a negative MCAM response.
+//!   clients as a negative MCAM response;
+//! - a **write path** for recorded movies: recording sessions
+//!   ([`BlockStore::open_recording`] / `append_frame` /
+//!   `seal_recording` / `finish_recording`) accumulate captured
+//!   frames into blocks, allocate free blocks per disk
+//!   ([`BlockAllocator`]), stage dirty blocks through the buffer
+//!   cache, and queue writes on the same elevator/SCAN disk queues as
+//!   playback reads — recording commits real write bandwidth against
+//!   the same admission capacity, and
+//!   [`BlockStore::import_movie`] copies a finished recording onto a
+//!   replica's disks.
 //!
 //! # Examples
 //!
@@ -41,13 +51,15 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod alloc;
 mod cache;
 mod disk;
 mod layout;
 mod store;
 
 pub use admission::{AdmissionController, AdmissionStats, Rejection};
+pub use alloc::BlockAllocator;
 pub use cache::{BlockKey, BufferCache, CachePolicy, CacheStats};
-pub use disk::{Disk, DiskParams, DiskSched, DiskStats};
-pub use layout::{BlockAddr, MovieId, StripeLayout};
-pub use store::{BlockStore, StoreConfig, StoreError, StoreStats};
+pub use disk::{Disk, DiskParams, DiskSched, DiskStats, IoKind};
+pub use layout::{BlockAddr, BlockMap, MovieId, StripeLayout};
+pub use store::{BlockStore, RecordingSummary, StoreConfig, StoreError, StoreStats};

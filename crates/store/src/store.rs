@@ -1,10 +1,14 @@
 //! The block store: striped disks + buffer cache + per-stream
-//! prefetchers + admission control, composed behind one handle.
+//! prefetchers + admission control, composed behind one handle —
+//! and, since the write path landed, recording sessions that allocate
+//! free blocks, stage dirty blocks through the cache, and queue
+//! writes on the same elevator/SCAN disk queues as playback reads.
 
 use crate::admission::{AdmissionController, AdmissionStats, Rejection};
+use crate::alloc::BlockAllocator;
 use crate::cache::{BlockKey, BufferCache, CachePolicy, CacheStats};
-use crate::disk::{Disk, DiskParams, DiskStats};
-use crate::layout::{BlockAddr, MovieId, StripeLayout};
+use crate::disk::{Disk, DiskParams, DiskStats, IoKind};
+use crate::layout::{BlockAddr, BlockMap, MovieId, StripeLayout};
 use mtp::MovieSource;
 use netsim::SimTime;
 use parking_lot::Mutex;
@@ -25,7 +29,12 @@ pub struct StoreConfig {
     pub policy: CachePolicy,
     /// Per-disk cost model.
     pub disk: DiskParams,
-    /// Maximum outstanding block reads per stream.
+    /// Maximum outstanding block reads per stream. Sized so each disk
+    /// of the stripe set holds a run of ~4 adjacent blocks per
+    /// stream: the elevator sweep then serves mostly sequential
+    /// continuations, which is what the admission model's
+    /// 1-random-seek-per-4-blocks amortization assumes
+    /// (`tests/scan_calibration.rs` measures it).
     pub prefetch_depth: u32,
     /// How many blocks past the playback position the prefetcher may
     /// run ahead (bounds cache pollution and wasted disk work for
@@ -44,8 +53,8 @@ impl Default for StoreConfig {
             cache_blocks: 512,
             policy: CachePolicy::Interval,
             disk: DiskParams::default(),
-            prefetch_depth: 4,
-            readahead_blocks: 8,
+            prefetch_depth: 16,
+            readahead_blocks: 32,
             admission_headroom_pct: 85,
         }
     }
@@ -88,6 +97,9 @@ pub enum StoreError {
     UnknownMovie(MovieId),
     /// Unknown stream id.
     UnknownStream(u32),
+    /// The recording is still capturing frames or still has queued
+    /// writes; it cannot be finalized yet.
+    RecordingIncomplete(u32),
 }
 
 impl fmt::Display for StoreError {
@@ -102,6 +114,9 @@ impl fmt::Display for StoreError {
             ),
             StoreError::UnknownMovie(id) => write!(f, "unknown {id}"),
             StoreError::UnknownStream(id) => write!(f, "unknown stream {id}"),
+            StoreError::RecordingIncomplete(id) => {
+                write!(f, "recording {id} still capturing or persisting")
+            }
         }
     }
 }
@@ -124,6 +139,12 @@ pub struct StoreStats {
     pub coalesced_reads: u64,
     /// Streams currently open.
     pub open_streams: usize,
+    /// Recordings currently in progress.
+    pub recordings_active: usize,
+    /// Blocks allocated and queued for write by recordings.
+    pub blocks_recorded: u64,
+    /// Frames appended by recordings.
+    pub frames_recorded: u64,
     /// Bandwidth committed, bits/second.
     pub committed_bps: u64,
     /// Bandwidth capacity, bits/second.
@@ -143,14 +164,78 @@ impl StoreStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+/// Physical layout of one movie: analytic stripe for published
+/// titles, append-built block map for recorded ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Layout {
+    Striped(StripeLayout),
+    Mapped(BlockMap),
+}
+
+impl Layout {
+    fn locate(&self, index: u64) -> BlockAddr {
+        match self {
+            Layout::Striped(l) => l.locate(index),
+            Layout::Mapped(m) => m.locate(index),
+        }
+    }
+
+    fn invert(&self, addr: BlockAddr) -> Option<u64> {
+        match self {
+            Layout::Striped(l) => l.invert(addr),
+            Layout::Mapped(m) => m.invert(addr),
+        }
+    }
+
+    fn block_count(&self) -> u64 {
+        match self {
+            Layout::Striped(l) => l.block_count(),
+            Layout::Mapped(m) => m.block_count(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
 struct MovieRec {
-    layout: StripeLayout,
+    layout: Arc<Layout>,
     frames_per_block: u64,
     frame_count: u64,
     frame_rate: u32,
     bitrate_bps: u64,
     seed: u64,
+}
+
+/// A recording in progress: frames accumulate into blocks, blocks are
+/// allocated from the free pool and queued as writes; on completion
+/// the map becomes the recorded movie's layout.
+#[derive(Debug)]
+struct RecordingRec {
+    movie: MovieId,
+    frame_rate: u32,
+    seed: u64,
+    start_disk: usize,
+    map: BlockMap,
+    partial_bytes: u64,
+    total_bytes: u64,
+    frames: u64,
+    sealed: bool,
+    blocks_durable: u64,
+}
+
+/// What a finished recording produced, as reported by
+/// [`BlockStore::finish_recording`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordingSummary {
+    /// The recorded movie's id (now a registered, streamable movie).
+    pub movie: MovieId,
+    /// Frames captured.
+    pub frame_count: u64,
+    /// Capture frame rate.
+    pub frame_rate: u32,
+    /// Mean bitrate of the captured frames, bits/second.
+    pub bitrate_bps: u64,
+    /// Blocks the recording occupies on disk.
+    pub blocks: u64,
 }
 
 #[derive(Debug)]
@@ -192,15 +277,22 @@ struct StoreInner {
     movies: HashMap<MovieId, MovieRec>,
     next_movie: u32,
     disks: Vec<Disk>,
+    /// One free-offset allocator per disk, feeding the write path.
+    allocators: Vec<BlockAllocator>,
     cache: BufferCache,
     admission: AdmissionController,
     streams: HashMap<u32, StreamRec>,
+    recordings: HashMap<u32, RecordingRec>,
+    /// Movie → recording id, for attributing write completions.
+    recording_by_movie: HashMap<MovieId, u32>,
     /// Streams waiting on each in-flight disk read (read coalescing:
     /// a second viewer of the same block piggybacks instead of
     /// queueing a duplicate).
     in_flight: HashMap<BlockKey, Vec<u32>>,
     blocks_delivered: u64,
     coalesced_reads: u64,
+    blocks_recorded: u64,
+    frames_recorded: u64,
 }
 
 impl StoreInner {
@@ -214,15 +306,38 @@ impl StoreInner {
     /// Issues prefetch reads for `stream`, up to the configured depth
     /// and no further than the read-ahead horizon past the stream's
     /// playback position.
+    ///
+    /// Issue is *batched*: once the pipeline is primed, the
+    /// prefetcher waits until a full batch of the read-ahead window
+    /// has opened before issuing again, instead of trickling one
+    /// block per block consumed. A batch puts a run of adjacent
+    /// offsets on every disk at once, which is what lets the
+    /// elevator sweep serve sequential continuations — the
+    /// amortization `DiskParams::expected_seek` credits
+    /// (`tests/scan_calibration.rs` measures it). A consumer at the
+    /// delivery edge bypasses the gate so batching never adds a
+    /// stall.
     fn issue(&mut self, stream_id: u32, now: SimTime) {
         let Some(stream) = self.streams.get_mut(&stream_id) else {
             return;
         };
-        let movie = self.movies[&stream.movie];
+        let movie = self.movies[&stream.movie].clone();
         let horizon = stream
             .position_block
             .max(stream.base_block)
             .saturating_add(u64::from(self.config.readahead_blocks.max(1)));
+        let window_end = horizon.min(movie.layout.block_count());
+        let window = window_end.saturating_sub(stream.next_fetch);
+        let batch = u64::from(
+            self.config
+                .prefetch_depth
+                .clamp(1, self.config.readahead_blocks.max(2) / 2),
+        );
+        let starving = stream.position_block.max(stream.base_block) >= stream.ready_through_block();
+        let tail = window_end >= movie.layout.block_count();
+        if !starving && !tail && window < batch {
+            return;
+        }
         while stream.outstanding < self.config.prefetch_depth.max(1)
             && stream.next_fetch < movie.layout.block_count()
             && stream.next_fetch < horizon
@@ -272,8 +387,19 @@ impl StoreInner {
         // one snapshot serves every block completed in this pass.
         let consumers = self.consumers();
         for disk_index in 0..self.disks.len() {
-            while let Some((movie, offset)) = self.disks[disk_index].pop_due(now) {
+            while let Some((movie, offset, kind)) = self.disks[disk_index].pop_due(now) {
                 completed += 1;
+                if kind == IoKind::Write {
+                    // A recorded or imported block reached the
+                    // platter; recordings track durability so the
+                    // finalize step can wait for the tail writes.
+                    if let Some(rec_id) = self.recording_by_movie.get(&movie) {
+                        if let Some(rec) = self.recordings.get_mut(rec_id) {
+                            rec.blocks_durable += 1;
+                        }
+                    }
+                    continue;
+                }
                 let block = self.movies[&movie]
                     .layout
                     .invert(BlockAddr {
@@ -319,20 +445,26 @@ impl fmt::Debug for BlockStore {
 impl BlockStore {
     /// Creates a store from `config`.
     pub fn new(config: StoreConfig) -> Arc<Self> {
-        let disks = (0..config.disks.max(1))
+        let disks: Vec<Disk> = (0..config.disks.max(1))
             .map(|_| Disk::new(config.disk))
             .collect();
+        let allocators = disks.iter().map(|_| BlockAllocator::new()).collect();
         Arc::new(BlockStore {
             inner: Mutex::new(StoreInner {
                 disks,
+                allocators,
                 cache: BufferCache::new(config.cache_blocks, config.policy),
                 admission: AdmissionController::new(config.capacity_bps()),
                 movies: HashMap::new(),
                 next_movie: 1,
                 streams: HashMap::new(),
+                recordings: HashMap::new(),
+                recording_by_movie: HashMap::new(),
                 in_flight: HashMap::new(),
                 blocks_delivered: 0,
                 coalesced_reads: 0,
+                blocks_recorded: 0,
+                frames_recorded: 0,
                 config,
             }),
         })
@@ -360,16 +492,18 @@ impl BlockStore {
         let id = MovieId(inner.next_movie);
         inner.next_movie += 1;
         let bitrate_bps = movie.mean_bitrate_bps().max(1);
-        let block_bits = u64::from(inner.config.block_size) * 8;
-        let frames_per_block =
-            (block_bits * u64::from(movie.frame_rate.max(1)) / bitrate_bps).max(1);
-        let block_count = movie.frame_count.div_ceil(frames_per_block).max(1);
+        let (frames_per_block, block_count) = block_geometry(
+            inner.config.block_size,
+            bitrate_bps,
+            movie.frame_rate,
+            movie.frame_count,
+        );
         let start_disk = id.0 as usize % inner.disks.len();
         let layout = StripeLayout::new(inner.disks.len(), start_disk, block_count);
         inner.movies.insert(
             id,
             MovieRec {
-                layout,
+                layout: Arc::new(Layout::Striped(layout)),
                 frames_per_block,
                 frame_count: movie.frame_count,
                 frame_rate: movie.frame_rate,
@@ -380,9 +514,24 @@ impl BlockStore {
         id
     }
 
-    /// The stripe layout of a registered movie.
+    /// The stripe layout of a registered *published* movie (recorded
+    /// movies carry an allocated block map instead — see
+    /// [`BlockStore::allocation_of`]).
     pub fn layout_of(&self, movie: MovieId) -> Option<StripeLayout> {
-        self.inner.lock().movies.get(&movie).map(|m| m.layout)
+        match &*self.inner.lock().movies.get(&movie)?.layout {
+            Layout::Striped(l) => Some(*l),
+            Layout::Mapped(_) => None,
+        }
+    }
+
+    /// The allocated physical addresses of a *recorded or imported*
+    /// movie, in logical-block order (`None` for published movies
+    /// and in-progress recordings).
+    pub fn allocation_of(&self, movie: MovieId) -> Option<Vec<BlockAddr>> {
+        match &*self.inner.lock().movies.get(&movie)?.layout {
+            Layout::Striped(_) => None,
+            Layout::Mapped(m) => Some(m.addrs().to_vec()),
+        }
     }
 
     /// Mean bitrate the store attributes to a registered movie.
@@ -405,7 +554,7 @@ impl BlockStore {
         now: SimTime,
     ) -> Result<(), StoreError> {
         let mut inner = self.inner.lock();
-        let Some(rec) = inner.movies.get(&movie).copied() else {
+        let Some(rec) = inner.movies.get(&movie).cloned() else {
             return Err(StoreError::UnknownMovie(movie));
         };
         let demand = demand_bps(rec.bitrate_bps, speed_pct);
@@ -462,7 +611,7 @@ impl BlockStore {
         let Some(stream) = inner.streams.get_mut(&stream_id) else {
             return Err(StoreError::UnknownStream(stream_id));
         };
-        let rec = inner.movies[&stream.movie];
+        let rec = inner.movies[&stream.movie].clone();
         let block = (frame / rec.frames_per_block).min(rec.layout.block_count());
         stream.base_block = block;
         stream.next_fetch = block;
@@ -527,6 +676,255 @@ impl BlockStore {
         Some((stream.ready_through_block() * rec.frames_per_block).min(rec.frame_count))
     }
 
+    /// Opens a recording session `rec_id` whose frames will match
+    /// `source` (rate, seed), passing write-bandwidth admission
+    /// control: recording commits the source's mean bitrate against
+    /// the same disk capacity playback streams draw on, so a server
+    /// near saturation refuses the recorder — or, once recording,
+    /// refuses the next viewer.
+    ///
+    /// Returns the id the recorded movie will have once finished.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AdmissionRejected`] when the write bandwidth
+    /// does not fit.
+    pub fn open_recording(&self, rec_id: u32, source: &MovieSource) -> Result<MovieId, StoreError> {
+        let mut inner = self.inner.lock();
+        let demand = source.mean_bitrate_bps().max(1);
+        inner.admission.admit(rec_id, demand).map_err(reject)?;
+        let movie = MovieId(inner.next_movie);
+        inner.next_movie += 1;
+        let start_disk = movie.0 as usize % inner.disks.len();
+        inner.recordings.insert(
+            rec_id,
+            RecordingRec {
+                movie,
+                frame_rate: source.frame_rate.max(1),
+                seed: source.seed,
+                start_disk,
+                map: BlockMap::new(),
+                partial_bytes: 0,
+                total_bytes: 0,
+                frames: 0,
+                sealed: false,
+                blocks_durable: 0,
+            },
+        );
+        inner.recording_by_movie.insert(movie, rec_id);
+        Ok(movie)
+    }
+
+    /// Appends one captured frame of `bytes` to recording `rec_id` at
+    /// `now`. Every time a block's worth of frames has accumulated,
+    /// the dirty block is staged through the buffer cache (a trailing
+    /// viewer of the fresh recording will hit it), a free block is
+    /// allocated stripe-append style, and the write joins the disk
+    /// queue under the same elevator/SCAN discipline as reads.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownStream`] for unknown or sealed sessions.
+    pub fn append_frame(&self, rec_id: u32, bytes: u32, now: SimTime) -> Result<(), StoreError> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let consumers = inner.consumers();
+        let block_size = u64::from(inner.config.block_size);
+        let disks = inner.disks.len();
+        let Some(rec) = inner.recordings.get_mut(&rec_id) else {
+            return Err(StoreError::UnknownStream(rec_id));
+        };
+        if rec.sealed {
+            return Err(StoreError::UnknownStream(rec_id));
+        }
+        rec.partial_bytes += u64::from(bytes);
+        rec.total_bytes += u64::from(bytes);
+        rec.frames += 1;
+        inner.frames_recorded += 1;
+        while rec.partial_bytes >= block_size {
+            rec.partial_bytes -= block_size;
+            let disk = (rec.start_disk + rec.map.block_count() as usize) % disks;
+            let offset = inner.allocators[disk].alloc();
+            let index = rec.map.push(BlockAddr { disk, offset });
+            inner.cache.insert(
+                BlockKey {
+                    movie: rec.movie,
+                    index,
+                },
+                &consumers,
+            );
+            inner.disks[disk].enqueue_write(now, rec.movie, offset, block_size);
+            inner.blocks_recorded += 1;
+        }
+        Ok(())
+    }
+
+    /// Seals a recording: capture is over, the partial tail block (if
+    /// any) is flushed to disk, and the session's write bandwidth is
+    /// released back to admission control. Queued writes keep
+    /// draining; [`BlockStore::recording_durable`] reports when the
+    /// last one lands. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownStream`] for unknown sessions.
+    pub fn seal_recording(&self, rec_id: u32, now: SimTime) -> Result<(), StoreError> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let block_size = u64::from(inner.config.block_size);
+        let disks = inner.disks.len();
+        let Some(rec) = inner.recordings.get_mut(&rec_id) else {
+            return Err(StoreError::UnknownStream(rec_id));
+        };
+        if rec.sealed {
+            return Ok(());
+        }
+        if rec.partial_bytes > 0 {
+            let tail = rec.partial_bytes;
+            rec.partial_bytes = 0;
+            let disk = (rec.start_disk + rec.map.block_count() as usize) % disks;
+            let offset = inner.allocators[disk].alloc();
+            rec.map.push(BlockAddr { disk, offset });
+            // The tail transfer costs only the bytes it holds.
+            inner.disks[disk].enqueue_write(now, rec.movie, offset, tail.min(block_size));
+            inner.blocks_recorded += 1;
+        }
+        rec.sealed = true;
+        inner.admission.release(rec_id);
+        Ok(())
+    }
+
+    /// Whether a recording has been sealed *and* every queued write
+    /// has reached the platter (`None` for unknown sessions).
+    pub fn recording_durable(&self, rec_id: u32) -> Option<bool> {
+        let inner = self.inner.lock();
+        let rec = inner.recordings.get(&rec_id)?;
+        Some(rec.sealed && rec.blocks_durable >= rec.map.block_count())
+    }
+
+    /// Progress of a recording: `(frames captured, blocks allocated,
+    /// blocks durable)`.
+    pub fn recording_progress(&self, rec_id: u32) -> Option<(u64, u64, u64)> {
+        let inner = self.inner.lock();
+        let rec = inner.recordings.get(&rec_id)?;
+        Some((rec.frames, rec.map.block_count(), rec.blocks_durable))
+    }
+
+    /// Finalizes a durable recording into a registered movie: the
+    /// block map becomes the movie's layout and the actual captured
+    /// frame count and mean bitrate are recorded, so a subsequent
+    /// [`BlockStore::register_movie`] with the matching source finds
+    /// it and playback reads the recorded blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownStream`] for unknown sessions;
+    /// [`StoreError::RecordingIncomplete`] while frames are still
+    /// arriving or writes are still queued.
+    pub fn finish_recording(&self, rec_id: u32) -> Result<RecordingSummary, StoreError> {
+        let mut inner = self.inner.lock();
+        match inner.recordings.get(&rec_id) {
+            None => return Err(StoreError::UnknownStream(rec_id)),
+            Some(rec) if !rec.sealed || rec.blocks_durable < rec.map.block_count() => {
+                return Err(StoreError::RecordingIncomplete(rec_id));
+            }
+            Some(_) => {}
+        }
+        let rec = inner.recordings.remove(&rec_id).expect("checked above");
+        inner.recording_by_movie.remove(&rec.movie);
+        let blocks = rec.map.block_count();
+        let bitrate_bps = (rec.total_bytes * 8 * u64::from(rec.frame_rate))
+            .checked_div(rec.frames)
+            .unwrap_or(1)
+            .max(1);
+        let frames_per_block = if blocks == 0 {
+            1
+        } else {
+            rec.frames.div_ceil(blocks).max(1)
+        };
+        let summary = RecordingSummary {
+            movie: rec.movie,
+            frame_count: rec.frames,
+            frame_rate: rec.frame_rate,
+            bitrate_bps,
+            blocks,
+        };
+        inner.movies.insert(
+            rec.movie,
+            MovieRec {
+                layout: Arc::new(Layout::Mapped(rec.map)),
+                frames_per_block,
+                frame_count: rec.frames,
+                frame_rate: rec.frame_rate,
+                bitrate_bps,
+                seed: rec.seed,
+            },
+        );
+        Ok(summary)
+    }
+
+    /// Abandons a recording: releases its bandwidth and returns its
+    /// allocated blocks to the free pool (idempotent).
+    pub fn abort_recording(&self, rec_id: u32) {
+        let mut inner = self.inner.lock();
+        inner.admission.release(rec_id);
+        let Some(rec) = inner.recordings.remove(&rec_id) else {
+            return;
+        };
+        inner.recording_by_movie.remove(&rec.movie);
+        for addr in rec.map.addrs() {
+            inner.allocators[addr.disk].release(addr.offset);
+        }
+    }
+
+    /// Imports a copy of `source` onto this store's disks — the
+    /// replication path for recorded movies: blocks are allocated
+    /// from the free pool and written through the disk queues (a bulk
+    /// background copy; it costs disk time but is not
+    /// admission-charged), after which the movie is registered and
+    /// streamable from this replica.
+    pub fn import_movie(&self, source: &MovieSource, now: SimTime) -> MovieId {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        if let Some((id, _)) = inner.movies.iter().find(|(_, rec)| {
+            rec.seed == source.seed
+                && rec.frame_count == source.frame_count
+                && rec.frame_rate == source.frame_rate
+        }) {
+            return *id;
+        }
+        let id = MovieId(inner.next_movie);
+        inner.next_movie += 1;
+        let bitrate_bps = source.mean_bitrate_bps().max(1);
+        let (frames_per_block, block_count) = block_geometry(
+            inner.config.block_size,
+            bitrate_bps,
+            source.frame_rate,
+            source.frame_count,
+        );
+        let disks = inner.disks.len();
+        let start_disk = id.0 as usize % disks;
+        let mut map = BlockMap::new();
+        for i in 0..block_count {
+            let disk = (start_disk + i as usize) % disks;
+            let offset = inner.allocators[disk].alloc();
+            map.push(BlockAddr { disk, offset });
+            inner.disks[disk].enqueue_write(now, id, offset, u64::from(inner.config.block_size));
+        }
+        inner.movies.insert(
+            id,
+            MovieRec {
+                layout: Arc::new(Layout::Mapped(map)),
+                frames_per_block,
+                frame_count: source.frame_count,
+                frame_rate: source.frame_rate,
+                bitrate_bps,
+                seed: source.seed,
+            },
+        );
+        id
+    }
+
     /// Bandwidth still available for new streams, bits/second.
     pub fn available_bps(&self) -> u64 {
         self.inner.lock().admission.available_bps()
@@ -542,10 +940,27 @@ impl BlockStore {
             blocks_delivered: inner.blocks_delivered,
             coalesced_reads: inner.coalesced_reads,
             open_streams: inner.streams.len(),
+            recordings_active: inner.recordings.len(),
+            blocks_recorded: inner.blocks_recorded,
+            frames_recorded: inner.frames_recorded,
             committed_bps: inner.admission.committed_bps(),
             capacity_bps: inner.admission.capacity_bps(),
         }
     }
+}
+
+/// Frames per block and block count for a movie of `bitrate_bps` at
+/// `frame_rate` over `frame_count` frames.
+fn block_geometry(
+    block_size: u32,
+    bitrate_bps: u64,
+    frame_rate: u32,
+    frame_count: u64,
+) -> (u64, u64) {
+    let block_bits = u64::from(block_size) * 8;
+    let frames_per_block = (block_bits * u64::from(frame_rate.max(1)) / bitrate_bps.max(1)).max(1);
+    let block_count = frame_count.div_ceil(frames_per_block).max(1);
+    (frames_per_block, block_count)
 }
 
 fn demand_bps(bitrate_bps: u64, speed_pct: u32) -> u64 {
@@ -696,6 +1111,100 @@ mod tests {
         // Closing a stream frees its bandwidth for a newcomer.
         store.close_stream(0);
         store.open_stream(99, id, 100, SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn record_then_play_round_trips() {
+        let store = BlockStore::new(tiny_config());
+        let source = MovieSource::test_movie(10, 21);
+        let movie = store.open_recording(5, &source).unwrap();
+        let mut now = SimTime::ZERO;
+        for frame in source.frames() {
+            store.append_frame(5, frame.size, now).unwrap();
+            now += netsim::SimDuration::from_micros(source.frame_interval_us());
+        }
+        store.seal_recording(5, now).unwrap();
+        // Capture is over: the bandwidth is already released.
+        let stats = store.stats();
+        assert_eq!(stats.committed_bps, 0);
+        assert_eq!(stats.frames_recorded, source.frame_count);
+        assert!(stats.blocks_recorded > 0);
+        // Drain the queued writes, then finalize.
+        assert!(matches!(
+            store.finish_recording(5),
+            Err(StoreError::RecordingIncomplete(5))
+        ));
+        while store.recording_durable(5) != Some(true) {
+            let t = store.next_event().expect("writes queued");
+            now = now.max(t);
+            store.pump(now);
+        }
+        let summary = store.finish_recording(5).unwrap();
+        assert_eq!(summary.movie, movie);
+        assert_eq!(summary.frame_count, source.frame_count);
+        assert!(summary.bitrate_bps > 0);
+        let alloc = store.allocation_of(movie).expect("recorded movies map");
+        assert_eq!(alloc.len() as u64, summary.blocks);
+        // Re-registering the matching source finds the recording, and
+        // playback delivers every recorded frame back.
+        assert_eq!(store.register_movie(&source), movie);
+        store.open_stream(9, movie, 100, now).unwrap();
+        drain(&store, 9, source.frame_count);
+        let writes: u64 = store.stats().disks.iter().map(|d| d.writes).sum();
+        assert_eq!(writes, summary.blocks);
+    }
+
+    #[test]
+    fn import_places_a_streamable_copy() {
+        let store = BlockStore::new(tiny_config());
+        let source = MovieSource::test_movie(6, 33);
+        let movie = store.import_movie(&source, SimTime::ZERO);
+        assert_eq!(store.import_movie(&source, SimTime::ZERO), movie);
+        let alloc = store.allocation_of(movie).expect("imported movies map");
+        assert!(!alloc.is_empty());
+        assert_eq!(store.register_movie(&source), movie);
+        store.open_stream(4, movie, 100, SimTime::ZERO).unwrap();
+        drain(&store, 4, source.frame_count);
+    }
+
+    #[test]
+    fn abort_recording_frees_blocks_and_bandwidth() {
+        let store = BlockStore::new(tiny_config());
+        let source = MovieSource::test_movie(10, 8);
+        store.open_recording(3, &source).unwrap();
+        for frame in source.frames().take(100) {
+            store.append_frame(3, frame.size, SimTime::ZERO).unwrap();
+        }
+        assert!(store.stats().committed_bps > 0);
+        store.abort_recording(3);
+        let stats = store.stats();
+        assert_eq!(stats.committed_bps, 0);
+        assert_eq!(stats.recordings_active, 0);
+        assert!(store.recording_durable(3).is_none());
+    }
+
+    #[test]
+    fn recording_contends_with_playback_for_admission() {
+        // Capacity fits roughly one nominal stream.
+        let config = StoreConfig {
+            disks: 1,
+            disk: DiskParams {
+                transfer_bytes_per_sec: 150_000,
+                ..DiskParams::default()
+            },
+            ..tiny_config()
+        };
+        let store = BlockStore::new(config);
+        let published = MovieSource::test_movie(30, 5);
+        let id = store.register_movie(&published);
+        let rec_source = MovieSource::test_movie(30, 6);
+        store.open_recording(1, &rec_source).unwrap();
+        // The recorder holds the bandwidth: the viewer is refused.
+        let err = store.open_stream(2, id, 100, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, StoreError::AdmissionRejected { .. }));
+        // Sealing the recording releases it: the viewer fits again.
+        store.seal_recording(1, SimTime::ZERO).unwrap();
+        store.open_stream(2, id, 100, SimTime::ZERO).unwrap();
     }
 
     #[test]

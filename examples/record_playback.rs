@@ -1,0 +1,126 @@
+//! The record write path end to end: a client records a movie on one
+//! server of a cluster (camera capture → admission-controlled write
+//! bandwidth → striped block allocation → directory finalization),
+//! the finished recording is replicated to a peer server, and a
+//! second client then streams it back **from the peer's copy**.
+//!
+//! Run with `cargo run --example record_playback`.
+
+use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use netsim::{LinkConfig, SimDuration};
+use store::{CachePolicy, DiskParams, StoreConfig};
+
+fn main() {
+    let store_config = StoreConfig {
+        disks: 2,
+        block_size: 128 * 1024,
+        cache_blocks: 64,
+        policy: CachePolicy::Interval,
+        disk: DiskParams {
+            transfer_bytes_per_sec: 2_000_000,
+            ..DiskParams::default()
+        },
+        ..StoreConfig::default()
+    };
+    let mut world = World::with_config(
+        77,
+        LinkConfig::lossy(
+            SimDuration::from_millis(2),
+            SimDuration::from_micros(500),
+            0.0,
+        ),
+        store_config,
+    );
+    let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(2));
+    let camera_client = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
+    // The viewer connects to the *other* server: its stream will be
+    // served from the replica copy, not the original.
+    let viewer = world.add_client(&cluster.servers[1], StackKind::EstellePS, vec![]);
+    world.start();
+
+    for (client, user) in [(&camera_client, "camera"), (&viewer, "viewer")] {
+        let rsp = world.client_op(client, McamOp::Associate { user: user.into() });
+        assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+    }
+
+    // Record 8 seconds of camera footage. The reply arrives only
+    // after the capture ran for 8 simulated seconds and every block
+    // reached a platter.
+    let frames = 8 * 25;
+    println!("recording \"Garden Party\" ({frames} frames) on server 0 …");
+    let rsp = world.client_op(
+        &camera_client,
+        McamOp::Record {
+            title: "Garden Party".into(),
+            frames,
+        },
+    );
+    assert_eq!(rsp, Some(McamPdu::RecordRsp { ok: true }));
+    let (frames_recorded, blocks_recorded) = cluster.recorded_totals();
+    println!(
+        "recorded {frames_recorded} frames into {blocks_recorded} blocks \
+         at t={:.1}s",
+        world.net.now().as_secs_f64()
+    );
+
+    // The finalized entry names both replicas.
+    let attrs = match world.client_op(
+        &viewer,
+        McamOp::Query {
+            title: "Garden Party".into(),
+            attrs: vec![],
+        },
+    ) {
+        Some(McamPdu::QueryAttrsRsp { attrs: Some(a) }) => a.into_iter().collect(),
+        other => panic!("query failed: {other:?}"),
+    };
+    let entry = directory::MovieEntry::from_attrs(&attrs).expect("finalized entry");
+    println!(
+        "directory: {} frames, {:.2} Mbit/s, replicas {:?}",
+        entry.frame_count,
+        entry.bitrate_bps as f64 / 1e6,
+        entry.replicas
+    );
+    assert_eq!(entry.replicas.len(), 2, "recording replicated to K=2");
+
+    // The camera client rewatches its own footage, loading the
+    // original's server — so the load-aware `SelectMovie` routing
+    // steers the second viewer to the *peer's replica copy*.
+    match world.client_op(
+        &camera_client,
+        McamOp::SelectMovie {
+            title: "Garden Party".into(),
+        },
+    ) {
+        Some(McamPdu::SelectMovieRsp { params: Some(_) }) => {}
+        other => panic!("camera re-select failed: {other:?}"),
+    }
+    world.client_op(&camera_client, McamOp::Play { speed_pct: 100 });
+
+    let params = match world.client_op(
+        &viewer,
+        McamOp::SelectMovie {
+            title: "Garden Party".into(),
+        },
+    ) {
+        Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+        other => panic!("select failed: {other:?}"),
+    };
+    assert_eq!(
+        params.provider_addr,
+        cluster.servers[1].services.sps.addr().0,
+        "the viewer is served from the peer's replica copy"
+    );
+    let mut rx = world.receiver_for(&viewer, &params, SimDuration::from_millis(60));
+    let rsp = world.client_op(&viewer, McamOp::Play { speed_pct: 100 });
+    assert_eq!(rsp, Some(McamPdu::PlayRsp { ok: true }));
+    world.run_for(SimDuration::from_secs(10));
+    let played = rx.poll(world.net.now());
+    println!(
+        "viewer played {} frames of the recording from node-{}",
+        played.len(),
+        params.provider_addr
+    );
+    assert_eq!(played.len() as u64, frames, "the whole recording played");
+    println!("record → replicate → playback: OK");
+}

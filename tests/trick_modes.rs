@@ -1,6 +1,8 @@
 //! VCR trick modes through the full protocol: seek, fast playback,
 //! stop-rewind — the paper's "control (playback or record)" service
-//! beyond plain play.
+//! beyond plain play — exercised against both seeded synthetic movies
+//! and a movie that went through the `Record` write path (whose
+//! frames stream back off the striped store's recorded blocks).
 
 use directory::MovieEntry;
 use mcam::{McamOp, McamPdu, StackKind, World};
@@ -15,16 +17,50 @@ fn setup(seed: u64, title: &str, frames: u64) -> (World, mcam::ClientHandle, mca
     let mut entry = MovieEntry::new(title, "x");
     entry.frame_count = frames;
     world.seed_movie(&server, &entry);
-    let params = match world.client_op(
+    let params = select(&world, &client, title);
+    (world, client, params)
+}
+
+/// Like [`setup`], but the movie is *recorded* through the write path
+/// first (camera capture → striped store blocks → directory
+/// finalization) instead of seeded, so every trick-mode read below
+/// runs against store-backed recorded blocks.
+fn setup_recorded(
+    seed: u64,
+    title: &str,
+    frames: u64,
+) -> (World, mcam::ClientHandle, mcam::StreamParams) {
+    let mut world = World::new(seed);
+    let server = world.add_server("s", StackKind::EstellePS);
+    let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+    world.start();
+    world.client_op(&client, McamOp::Associate { user: "vcr".into() });
+    let rsp = world.client_op(
         &client,
+        McamOp::Record {
+            title: title.into(),
+            frames,
+        },
+    );
+    assert_eq!(rsp, Some(McamPdu::RecordRsp { ok: true }), "record failed");
+    // The selected stream must read the recorded block map, not a
+    // fresh synthetic stripe.
+    let store = &server.services.store;
+    assert!(store.stats().blocks_recorded > 0, "record used the store");
+    let params = select(&world, &client, title);
+    (world, client, params)
+}
+
+fn select(world: &World, client: &mcam::ClientHandle, title: &str) -> mcam::StreamParams {
+    match world.client_op(
+        client,
         McamOp::SelectMovie {
             title: title.into(),
         },
     ) {
         Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
         other => panic!("{other:?}"),
-    };
-    (world, client, params)
+    }
 }
 
 #[test]
@@ -107,5 +143,94 @@ fn stop_rewinds_to_the_beginning() {
         "restart must replay frame 0"
     );
     // And the end of the movie is reached.
+    assert!(second_run.iter().any(|f| f.timestamp_us == 49 * 40_000));
+}
+
+#[test]
+fn seek_works_on_a_recorded_movie() {
+    let (world, client, params) = setup_recorded(71, "HomeSeek", 100);
+    assert_eq!(
+        params.movie.frame_count, 100,
+        "entry finalized at 100 frames"
+    );
+    let mut rx = world.receiver_for(&client, &params, SimDuration::from_millis(60));
+    assert_eq!(
+        world.client_op(&client, McamOp::Seek { frame: 60 }),
+        Some(McamPdu::SeekRsp { ok: true })
+    );
+    world.client_op(&client, McamOp::Play { speed_pct: 100 });
+    world.run_for(SimDuration::from_secs(5));
+    let played = rx.poll(world.net.now());
+    assert_eq!(
+        played.len(),
+        40,
+        "only frames 60..100 of the recording remain after the seek"
+    );
+    assert_eq!(played.first().unwrap().timestamp_us, 60 * 40_000);
+}
+
+#[test]
+fn fast_forward_works_on_a_recorded_movie() {
+    let (world, client, params) = setup_recorded(72, "HomeFast", 100);
+    let mut rx = world.receiver_for(&client, &params, SimDuration::from_millis(60));
+    world.client_op(&client, McamOp::Play { speed_pct: 200 });
+    world.run_for(SimDuration::from_millis(2600));
+    let played = rx.poll(world.net.now());
+    assert_eq!(
+        played.len(),
+        100,
+        "double speed finishes the recorded movie in ~2s"
+    );
+}
+
+#[test]
+fn pause_and_resume_work_on_a_recorded_movie() {
+    let (world, client, params) = setup_recorded(73, "HomePause", 75);
+    let mut rx = world.receiver_for(&client, &params, SimDuration::from_millis(60));
+    world.client_op(&client, McamOp::Play { speed_pct: 100 });
+    world.run_for(SimDuration::from_secs(1));
+    assert_eq!(
+        world.client_op(&client, McamOp::Pause),
+        Some(McamPdu::PauseRsp)
+    );
+    let before_pause = rx.poll(world.net.now()).len();
+    assert!(
+        (20..50).contains(&before_pause),
+        "about a second of recorded frames before the pause: {before_pause}"
+    );
+    // Paused: nothing beyond the frames already in flight.
+    world.run_for(SimDuration::from_secs(1));
+    let during_pause = rx.poll(world.net.now()).len();
+    assert!(during_pause <= 2, "pause stops the stream ({during_pause})");
+    // Resume: the rest of the recording arrives.
+    world.client_op(&client, McamOp::Play { speed_pct: 100 });
+    world.run_for(SimDuration::from_secs(4));
+    let tail = rx.poll(world.net.now());
+    assert!(
+        before_pause + during_pause + tail.len() >= 75,
+        "the whole recording plays across the pause ({before_pause} + {during_pause} + {})",
+        tail.len()
+    );
+    assert!(tail.iter().any(|f| f.timestamp_us == 74 * 40_000));
+}
+
+#[test]
+fn stop_rewinds_a_recorded_movie() {
+    let (world, client, params) = setup_recorded(74, "HomeRewind", 50);
+    let mut rx = world.receiver_for(&client, &params, SimDuration::from_millis(60));
+    world.client_op(&client, McamOp::Play { speed_pct: 100 });
+    world.run_for(SimDuration::from_secs(1));
+    assert_eq!(
+        world.client_op(&client, McamOp::Stop),
+        Some(McamPdu::StopRsp)
+    );
+    rx.poll(world.net.now());
+    world.client_op(&client, McamOp::Play { speed_pct: 100 });
+    world.run_for(SimDuration::from_secs(4));
+    let second_run = rx.poll(world.net.now());
+    assert!(
+        second_run.iter().any(|f| f.timestamp_us == 0),
+        "restart must replay the recording's frame 0"
+    );
     assert!(second_run.iter().any(|f| f.timestamp_us == 49 * 40_000));
 }
