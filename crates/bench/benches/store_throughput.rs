@@ -4,11 +4,11 @@
 //! the mixed record+playback workload (each active recording
 //! displaces one playback stream of equal bitrate).
 
-use cluster::{Placement, ReplicaDirectory};
+use cluster::{Placement, RebalanceConfig, RebalanceController, ReplicaDirectory};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mtp::MovieSource;
-use netsim::SimTime;
-use std::sync::Once;
+use netsim::{SimDuration, SimTime};
+use std::sync::{Arc, Once};
 use store::{BlockStore, CachePolicy, DiskParams, DiskSched, StoreConfig};
 
 static REPORT: Once = Once::new();
@@ -85,6 +85,118 @@ fn cluster_streams_sustained(servers: usize, k: usize) -> usize {
             }
         }
         if !any {
+            break;
+        }
+    }
+    admitted
+}
+
+/// Hot-title skew: a 4-server cluster serving 4 titles where one
+/// title receives ~80% of the demand (4 hot opens per cold open).
+/// With static K=2 placement the hot title is pinned to its two
+/// replicas and saturates them while the other servers idle; with
+/// the rebalancing control plane the saturation is sampled, the
+/// title is copied (a paced, admission-charged store workload) onto
+/// the least-loaded non-holders, and the demand keeps being admitted.
+/// Returns total streams sustained until the hot title is refused
+/// everywhere and no further growth is possible.
+fn hot_title_streams_sustained(dynamic: bool) -> usize {
+    let dir: Arc<ReplicaDirectory<Arc<BlockStore>>> = Arc::new(ReplicaDirectory::new());
+    for i in 0..4 {
+        dir.register(
+            format!("srv-{i}"),
+            BlockStore::new(slow_disk_config(2, DiskSched::Scan)),
+        );
+    }
+    let ctl = RebalanceController::new(
+        Arc::clone(&dir),
+        Placement::round_robin(2),
+        RebalanceConfig {
+            sample_interval: SimDuration::from_millis(100),
+            max_concurrent: 2,
+            copy_speed_pct: 400,
+            ..RebalanceConfig::default()
+        },
+    );
+    let titles: Vec<(String, MovieSource)> = (0..4)
+        .map(|t| (format!("T{t}"), MovieSource::test_movie(60, t)))
+        .collect();
+    for (name, source) in &titles {
+        ctl.place_title(name, source);
+    }
+    let mut now = SimTime::ZERO;
+    let mut admitted = 0usize;
+    let mut stream = 0u32;
+    let mut cold = 1usize;
+    'demand: loop {
+        let mut any = false;
+        for slot in 0..5 {
+            // 80% of opens target T0; the cold 20% rotate T1..T3.
+            let t = if slot < 4 {
+                0
+            } else {
+                let c = cold;
+                cold = cold % 3 + 1;
+                c
+            };
+            let (name, source) = &titles[t];
+            let open = |now: SimTime, stream: &mut u32| {
+                for (_, store) in dir.route(&ctl.replicas_of(name).expect("tracked")) {
+                    let id = store.register_movie(source);
+                    *stream += 1;
+                    if store.open_stream(*stream, id, 100, now).is_ok() {
+                        return true;
+                    }
+                }
+                false
+            };
+            if open(now, &mut stream) {
+                admitted += 1;
+                any = true;
+                continue;
+            }
+            if t != 0 {
+                continue; // a refused cold open does not end the run
+            }
+            if !dynamic {
+                // Static placement has no answer to a hot title
+                // refused on its whole replica set: the run is over.
+                break 'demand;
+            }
+            // The hot title is refused on every replica: let the
+            // control plane sample the load and run its copy, then
+            // retry this viewer.
+            let before = ctl.stats().copies_completed;
+            let mut guard = 0u32;
+            loop {
+                ctl.tick(now);
+                for location in dir.locations() {
+                    if let Some(store) = dir.get(&location) {
+                        store.pump(now);
+                    }
+                }
+                if ctl.stats().copies_completed > before {
+                    if open(now, &mut stream) {
+                        admitted += 1;
+                        any = true;
+                    }
+                    break;
+                }
+                let next = dir
+                    .locations()
+                    .iter()
+                    .filter_map(|l| dir.get(l).and_then(|s| s.next_event()))
+                    .chain(ctl.next_tick_at())
+                    .min();
+                match next {
+                    Some(t) if t > now => now = t,
+                    _ => break 'demand, // no copy possible: cluster is done growing
+                }
+                guard += 1;
+                assert!(guard < 1_000_000, "rebalance never converged");
+            }
+        }
+        if !any || stream > 1_000_000 {
             break;
         }
     }
@@ -204,6 +316,19 @@ fn bench(c: &mut Criterion) {
             prev >= 3 * single,
             "4 servers must sustain at least 3x one server (got {prev} vs {single})"
         );
+        println!("store_throughput: hot-title skew (80% of demand on one title, 4 servers)");
+        let static_k2 = hot_title_streams_sustained(false);
+        let dynamic = hot_title_streams_sustained(true);
+        println!("  placement=static-K2  streams_sustained={static_k2}");
+        println!(
+            "  placement=rebalanced streams_sustained={dynamic} ({:.2}x static)",
+            dynamic as f64 / static_k2 as f64
+        );
+        assert!(
+            dynamic as f64 >= 1.5 * static_k2 as f64,
+            "dynamic rebalancing must sustain >= 1.5x the streams of static K=2 \
+             (dynamic={dynamic} static={static_k2})"
+        );
         println!("store_throughput: playback streams sustained vs. active recordings");
         let base = streams_sustained_while_recording(0);
         println!("  recorders=0 playback_streams={base}");
@@ -236,6 +361,9 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("mixed_record_playback", |b| {
         b.iter(|| criterion::black_box(streams_sustained_while_recording(2)));
+    });
+    group.bench_function("hot_title_rebalanced", |b| {
+        b.iter(|| criterion::black_box(hot_title_streams_sustained(true)));
     });
     group.bench_function("two_viewers_interval_cache", |b| {
         b.iter(|| criterion::black_box(hit_ratio_at_spacing(CachePolicy::Interval, 64, 4)));

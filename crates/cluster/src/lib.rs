@@ -18,6 +18,13 @@
 //! `mcam` crate), so the same policies drive the live world, the unit
 //! tests, and the `store_throughput` cluster benchmark.
 //!
+//! Placement is no longer decided only at publish time: the
+//! [`RebalanceController`] (module [`rebalance`]) owns the whole
+//! replica lifecycle — place, grow a hot title onto idle servers,
+//! shrink over-provisioned ones, migrate sole copies off a draining
+//! server, and decommission it — with every copy flowing through the
+//! target store's admission-charged, paced write path.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,6 +45,12 @@
 
 #![warn(missing_docs)]
 
+pub mod rebalance;
+
+pub use rebalance::{
+    CopyRejected, DrainError, MigrationHost, RebalanceConfig, RebalanceController, RebalanceStats,
+};
+
 use parking_lot::RwLock;
 use std::fmt;
 use std::sync::Arc;
@@ -54,6 +67,13 @@ pub struct LoadSnapshot {
     pub capacity_bps: u64,
     /// Streams currently open.
     pub open_streams: usize,
+    /// Fraction of block requests served without a dedicated disk
+    /// read (buffer-cache hits plus coalesced in-flight reads), in
+    /// per-mille. A deterministic placement tie-breaker: between two
+    /// servers with equal committed bandwidth and stream count, the
+    /// one whose cache works harder absorbs a new replica with less
+    /// disk stress.
+    pub cache_hit_permille: u32,
 }
 
 /// Anything that can report the storage load of one server machine.
@@ -76,6 +96,7 @@ impl LoadProbe for store::BlockStore {
             committed_bps: stats.committed_bps,
             capacity_bps: stats.capacity_bps,
             open_streams: stats.open_streams,
+            cache_hit_permille: (stats.service_hit_ratio() * 1000.0) as u32,
         }
     }
 }
@@ -87,6 +108,9 @@ pub struct ServerLoad {
     pub location: String,
     /// Its load snapshot.
     pub load: LoadSnapshot,
+    /// The server is being drained: it finishes its streams but must
+    /// receive no new placement, replica, or routed stream.
+    pub draining: bool,
 }
 
 /// How [`Placement`] picks the K replica servers of a new movie.
@@ -145,37 +169,68 @@ impl Placement {
     /// locations (fewer when the cluster is smaller than `k`), in
     /// the order the replicas should be listed in the directory.
     pub fn place(&mut self, loads: &[ServerLoad]) -> Vec<String> {
-        self.place_with(loads, self.k)
+        self.place_with(loads, self.k, &[])
     }
 
-    /// Like [`Placement::place`] but with an explicit replica count,
-    /// overriding the policy's configured `k` for this one decision —
-    /// the record path uses it to pick `k - 1` peers for a recording
-    /// that already lives on the recording server.
-    pub fn place_with(&mut self, loads: &[ServerLoad], k: usize) -> Vec<String> {
-        if loads.is_empty() || k == 0 {
+    /// Like [`Placement::place`] but with an explicit replica count
+    /// (overriding the policy's configured `k` for this one decision)
+    /// and a list of locations that must not be chosen — the record
+    /// path and the rebalancer's grow step use it to pick peers for a
+    /// title that already lives somewhere. Draining servers are never
+    /// selected, whatever the strategy.
+    pub fn place_with(
+        &mut self,
+        loads: &[ServerLoad],
+        k: usize,
+        exclude: &[String],
+    ) -> Vec<String> {
+        let candidates: Vec<&ServerLoad> = loads
+            .iter()
+            .filter(|s| !s.draining && !exclude.contains(&s.location))
+            .collect();
+        if candidates.is_empty() || k == 0 {
             return Vec::new();
         }
-        let k = k.min(loads.len());
+        let k = k.min(candidates.len());
         match self.strategy {
             PlacementStrategy::RoundRobin => {
-                let start = self.cursor % loads.len();
+                let start = self.cursor % candidates.len();
                 self.cursor = self.cursor.wrapping_add(1);
                 (0..k)
-                    .map(|i| loads[(start + i) % loads.len()].location.clone())
+                    .map(|i| candidates[(start + i) % candidates.len()].location.clone())
                     .collect()
             }
             PlacementStrategy::LeastLoaded => {
-                let mut by_load: Vec<(usize, &ServerLoad)> = loads.iter().enumerate().collect();
-                by_load.sort_by_key(|(idx, s)| (s.load.committed_bps, s.load.open_streams, *idx));
+                let mut by_load = candidates;
+                by_load.sort_by(|a, b| least_loaded_key(a).cmp(&least_loaded_key(b)));
                 by_load
                     .into_iter()
                     .take(k)
-                    .map(|(_, s)| s.location.clone())
+                    .map(|s| s.location.clone())
                     .collect()
             }
         }
     }
+}
+
+/// The least-loaded ordering: least committed bandwidth first, ties
+/// broken by fewer open streams, then by the higher cache hit ratio,
+/// and finally by location name — fully deterministic, independent of
+/// registration order.
+fn least_loaded_key(s: &ServerLoad) -> (u64, usize, u32, &str) {
+    (
+        s.load.committed_bps,
+        s.load.open_streams,
+        1000 - s.load.cache_hit_permille.min(1000),
+        s.location.as_str(),
+    )
+}
+
+/// One registered server: its location, probe, and drain flag.
+struct Slot<P> {
+    location: String,
+    probe: P,
+    draining: bool,
 }
 
 /// The cluster-wide registry of server locations and their load
@@ -183,7 +238,7 @@ impl Placement {
 /// replica *names*) and the per-server storage stacks (which answer
 /// load queries and host streams).
 pub struct ReplicaDirectory<P> {
-    servers: RwLock<Vec<(String, P)>>,
+    servers: RwLock<Vec<Slot<P>>>,
 }
 
 impl<P> fmt::Debug for ReplicaDirectory<P> {
@@ -192,7 +247,7 @@ impl<P> fmt::Debug for ReplicaDirectory<P> {
         f.debug_struct("ReplicaDirectory")
             .field(
                 "servers",
-                &servers.iter().map(|(l, _)| l).collect::<Vec<_>>(),
+                &servers.iter().map(|s| &s.location).collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -224,18 +279,62 @@ impl<P> ReplicaDirectory<P> {
 
     /// All registered locations, in registration order.
     pub fn locations(&self) -> Vec<String> {
-        self.servers.read().iter().map(|(l, _)| l.clone()).collect()
+        self.servers
+            .read()
+            .iter()
+            .map(|s| s.location.clone())
+            .collect()
+    }
+
+    /// Whether `location` is registered and currently draining.
+    pub fn is_draining(&self, location: &str) -> bool {
+        self.servers
+            .read()
+            .iter()
+            .any(|s| s.location == location && s.draining)
+    }
+
+    /// Marks `location` as draining (or un-marks it): a draining
+    /// server keeps serving its open streams but is skipped by
+    /// [`ReplicaDirectory::route`] and by [`Placement::place_with`].
+    /// Returns false when the location is not registered.
+    pub fn set_draining(&self, location: &str, draining: bool) -> bool {
+        let mut servers = self.servers.write();
+        match servers.iter_mut().find(|s| s.location == location) {
+            Some(slot) => {
+                slot.draining = draining;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `location` from the registry (decommission), returning
+    /// its probe so the caller can abort whatever was in flight.
+    pub fn deregister(&self, location: &str) -> Option<P> {
+        let mut servers = self.servers.write();
+        let idx = servers.iter().position(|s| s.location == location)?;
+        Some(servers.remove(idx).probe)
     }
 }
 
 impl<P: LoadProbe + Clone> ReplicaDirectory<P> {
-    /// Registers (or replaces) a server under `location`.
+    /// Registers (or replaces) a server under `location`. A replaced
+    /// registration clears any drain flag — the location is back in
+    /// service.
     pub fn register(&self, location: impl Into<String>, probe: P) {
         let location = location.into();
         let mut servers = self.servers.write();
-        match servers.iter_mut().find(|(l, _)| *l == location) {
-            Some(slot) => slot.1 = probe,
-            None => servers.push((location, probe)),
+        match servers.iter_mut().find(|s| s.location == location) {
+            Some(slot) => {
+                slot.probe = probe;
+                slot.draining = false;
+            }
+            None => servers.push(Slot {
+                location,
+                probe,
+                draining: false,
+            }),
         }
     }
 
@@ -244,8 +343,8 @@ impl<P: LoadProbe + Clone> ReplicaDirectory<P> {
         self.servers
             .read()
             .iter()
-            .find(|(l, _)| l == location)
-            .map(|(_, p)| p.clone())
+            .find(|s| s.location == location)
+            .map(|s| s.probe.clone())
     }
 
     /// The first registered probe satisfying `pred`, in registration
@@ -254,18 +353,20 @@ impl<P: LoadProbe + Clone> ReplicaDirectory<P> {
         self.servers
             .read()
             .iter()
-            .find(|(_, p)| pred(p))
-            .map(|(_, p)| p.clone())
+            .find(|s| pred(&s.probe))
+            .map(|s| s.probe.clone())
     }
 
-    /// Current load of every registered server, in registration order.
+    /// Current load of every registered server, in registration order
+    /// (draining servers included, flagged).
     pub fn loads(&self) -> Vec<ServerLoad> {
         self.servers
             .read()
             .iter()
-            .map(|(location, probe)| ServerLoad {
-                location: location.clone(),
-                load: probe.load(),
+            .map(|s| ServerLoad {
+                location: s.location.clone(),
+                load: s.probe.load(),
+                draining: s.draining,
             })
             .collect()
     }
@@ -273,8 +374,11 @@ impl<P: LoadProbe + Clone> ReplicaDirectory<P> {
     /// Orders `replicas` for a stream-open attempt: registered
     /// replicas sorted by most uncommitted `available_bps` first
     /// (ties keep the replica-list order), each paired with its
-    /// probe. Locations not registered here are skipped — the caller
-    /// falls back to local service when nothing matches.
+    /// probe. Locations not registered here — decommissioned servers
+    /// still named by a stale directory entry — and draining servers
+    /// are skipped, so routing degrades to failover instead of
+    /// erroring; the caller falls back to local service when nothing
+    /// matches.
     pub fn route(&self, replicas: &[String]) -> Vec<(String, P)> {
         let servers = self.servers.read();
         let mut candidates: Vec<(usize, u64, String, P)> = replicas
@@ -283,8 +387,15 @@ impl<P: LoadProbe + Clone> ReplicaDirectory<P> {
             .filter_map(|(order, location)| {
                 servers
                     .iter()
-                    .find(|(l, _)| l == location)
-                    .map(|(l, p)| (order, p.load().available_bps, l.clone(), p.clone()))
+                    .find(|s| s.location == *location && !s.draining)
+                    .map(|s| {
+                        (
+                            order,
+                            s.probe.load().available_bps,
+                            s.location.clone(),
+                            s.probe.clone(),
+                        )
+                    })
             })
             .collect();
         candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -298,16 +409,20 @@ mod tests {
     use std::cell::Cell;
     use std::rc::Rc;
 
-    /// A probe whose availability the test can dial.
+    /// A probe whose availability and cache hit ratio the test can
+    /// dial.
     #[derive(Clone)]
-    struct FakeProbe(Rc<Cell<u64>>);
+    struct FakeProbe(Rc<Cell<u64>>, Rc<Cell<u32>>);
 
     impl FakeProbe {
         fn new(available: u64) -> Self {
-            FakeProbe(Rc::new(Cell::new(available)))
+            FakeProbe(Rc::new(Cell::new(available)), Rc::new(Cell::new(0)))
         }
         fn set(&self, available: u64) {
             self.0.set(available);
+        }
+        fn set_hit(&self, permille: u32) {
+            self.1.set(permille);
         }
     }
 
@@ -318,6 +433,7 @@ mod tests {
                 committed_bps: 1_000_000 - self.0.get().min(1_000_000),
                 capacity_bps: 1_000_000,
                 open_streams: 0,
+                cache_hit_permille: self.1.get(),
             }
         }
     }
@@ -368,9 +484,63 @@ mod tests {
         probes[0].set(100_000);
         let mut p = Placement::least_loaded(3);
         // A recording already on one server asks for k-1 = 1 peer.
-        assert_eq!(p.place_with(&dir.loads(), 1), ["node-3"]);
-        assert!(p.place_with(&dir.loads(), 0).is_empty());
+        assert_eq!(p.place_with(&dir.loads(), 1, &[]), ["node-3"]);
+        assert!(p.place_with(&dir.loads(), 0, &[]).is_empty());
         assert_eq!(p.place(&dir.loads()).len(), 3, "configured k unchanged");
+    }
+
+    #[test]
+    fn place_with_skips_existing_holders_and_draining_servers() {
+        let (dir, probes) = three_server_dir();
+        probes[2].set(900_000); // the obvious least-loaded pick
+        let mut p = Placement::least_loaded(2);
+        // Growing a replica set never re-selects a holder…
+        let holders = vec!["node-3".to_string()];
+        assert_eq!(p.place_with(&dir.loads(), 1, &holders), ["node-1"]);
+        // …and never selects a draining server, under either strategy.
+        assert!(dir.set_draining("node-1", true));
+        assert_eq!(p.place_with(&dir.loads(), 1, &holders), ["node-2"]);
+        let mut rr = Placement::round_robin(3);
+        assert_eq!(rr.place(&dir.loads()), ["node-2", "node-3"]);
+        // Everything excluded: nothing to place on.
+        assert!(dir.set_draining("node-2", true));
+        assert!(p.place_with(&dir.loads(), 1, &holders).is_empty());
+    }
+
+    #[test]
+    fn capacity_ties_break_on_streams_then_cache_then_name() {
+        let (dir, probes) = three_server_dir();
+        // Equal availability everywhere; node-2's cache hits more.
+        probes[1].set_hit(800);
+        let mut p = Placement::least_loaded(1);
+        assert_eq!(p.place(&dir.loads()), ["node-2"]);
+        // Full tie: lexicographic location order, not registration
+        // order — re-registering in a different order changes nothing.
+        probes[1].set_hit(0);
+        let reversed = ReplicaDirectory::new();
+        for (i, probe) in probes.iter().enumerate().rev() {
+            reversed.register(format!("node-{}", i + 1), probe.clone());
+        }
+        assert_eq!(p.place(&reversed.loads()), ["node-1"]);
+    }
+
+    #[test]
+    fn draining_servers_drop_out_of_routing_until_reregistered() {
+        let (dir, _) = three_server_dir();
+        let replicas: Vec<String> = vec!["node-1".into(), "node-2".into()];
+        assert!(dir.set_draining("node-1", true));
+        assert!(dir.is_draining("node-1"));
+        let order: Vec<String> = dir.route(&replicas).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(order, ["node-2"], "draining replica receives no stream");
+        // Deregistration removes it entirely; stale names route past it.
+        let probe = dir.deregister("node-1").expect("was registered");
+        assert_eq!(dir.len(), 2);
+        assert!(!dir.is_draining("node-1"));
+        assert!(!dir.set_draining("node-1", true), "unknown location");
+        // Re-registering puts it back in service with a clean flag.
+        dir.register("node-1", probe);
+        assert!(!dir.is_draining("node-1"));
+        assert_eq!(dir.route(&replicas).len(), 2);
     }
 
     #[test]

@@ -7,12 +7,10 @@ use crate::service::{
     StreamOp, StreamOutcome, StreamRequest, StreamResponse,
 };
 use crate::sps::{SpsError, StreamProviderSystem};
-use cluster::Placement;
 use directory::{attr, Dn, Dua, Filter, ModOp, MovieEntry, Rdn, Scope};
 use equipment::{EquipmentId, Eua};
 use estelle::{downcast, Ctx, IpIndex, StateId, StateMachine, Transition};
 use netsim::SimDuration;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Every agent exposes one interaction point to its MCA parent.
@@ -135,9 +133,10 @@ impl StateMachine for DuaAgent {
 pub struct SuaAgent {
     sps: Arc<StreamProviderSystem>,
     peers: Arc<SpsRegistry>,
-    /// Replica-placement policy shared with the publish path: closing
-    /// a recording replicates it to `k - 1` peers chosen here.
-    placement: Arc<Mutex<Placement>>,
+    /// The cluster control plane shared with the publish path:
+    /// closing a recording hands the title to it for replication to
+    /// `k - 1` peers and for later grow/shrink/drain decisions.
+    rebalancer: Arc<ClusterController>,
     /// Operations served.
     pub ops: u64,
 }
@@ -146,19 +145,22 @@ pub struct SuaAgent {
 /// `"node-<n>"` location names.
 pub type SpsRegistry = cluster::ReplicaDirectory<Arc<StreamProviderSystem>>;
 
+/// The cluster control plane over the stream providers.
+pub type ClusterController = cluster::RebalanceController<Arc<StreamProviderSystem>>;
+
 impl SuaAgent {
     /// Creates an agent controlling `sps`, with `peers` resolving the
-    /// replica locations named in routed open requests and `placement`
-    /// choosing where finished recordings are replicated.
+    /// replica locations named in routed open requests and
+    /// `rebalancer` adopting finished recordings.
     pub fn new(
         sps: Arc<StreamProviderSystem>,
         peers: Arc<SpsRegistry>,
-        placement: Arc<Mutex<Placement>>,
+        rebalancer: Arc<ClusterController>,
     ) -> Self {
         SuaAgent {
             sps,
             peers,
-            placement,
+            rebalancer,
             ops: 0,
         }
     }
@@ -235,31 +237,19 @@ impl SuaAgent {
                 },
                 Err(e) => StreamOutcome::Failed(e.to_string()),
             },
-            StreamOp::CloseRecord { stream_id } => match self.sps.record_close(stream_id) {
+            StreamOp::CloseRecord { stream_id, title } => match self.sps.record_close(stream_id) {
                 Ok(recorded) => {
-                    // Replicate like a published movie: the recorder
-                    // keeps the original; the placement policy picks
-                    // k - 1 peers (most suitable by its strategy) to
-                    // receive bulk copies through their write paths.
-                    let local = self.sps.location();
-                    let mut replicas = vec![local.clone()];
-                    let peer_loads: Vec<cluster::ServerLoad> = self
-                        .peers
-                        .loads()
-                        .into_iter()
-                        .filter(|s| s.location != local)
-                        .collect();
-                    let chosen = {
-                        let mut placement = self.placement.lock();
-                        let k = placement.k();
-                        placement.place_with(&peer_loads, k.saturating_sub(1))
-                    };
-                    for location in chosen {
-                        if let Some(peer) = self.peers.get(&location) {
-                            peer.import_movie(&recorded.source, now);
-                            replicas.push(location);
-                        }
-                    }
+                    // Replicate like a published movie: the control
+                    // plane keeps the original on the recorder, picks
+                    // k - 1 peers (never a draining server), fans the
+                    // copy out through their write paths, and tracks
+                    // the title for later rebalancing.
+                    let replicas = self.rebalancer.adopt_recording(
+                        &title,
+                        &recorded.source,
+                        &self.sps.location(),
+                        now,
+                    );
                     StreamOutcome::Recorded {
                         frame_count: recorded.source.frame_count,
                         frame_rate: recorded.source.frame_rate,

@@ -31,7 +31,19 @@
 //!   replica whose admission controller has the most uncommitted
 //!   disk bandwidth — falling over to the next replica on rejection
 //!   and returning `ErrorRsp 503` only when all replicas are
-//!   saturated.
+//!   saturated;
+//! - the cluster **control plane** ([`ClusterController`], one per
+//!   cluster, ticked by the world's driver on the netsim clock):
+//!   replica sets are no longer fixed at publish time — the
+//!   controller samples per-server loads, *grows* a saturated title
+//!   onto the least-loaded idle server (the copy reserves bandwidth
+//!   in the target's admission controller and is written through its
+//!   elevator/SCAN disk queues at the reserved pace, so it visibly
+//!   competes with streams), *shrinks* it back when demand cools,
+//!   and *drains* servers out of service
+//!   ([`ClusterHandle::drain`]): sole-copy titles migrate
+//!   off, running streams play to completion, and the server
+//!   decommissions once its last stream closes.
 //!
 //! # Examples
 //!
@@ -96,6 +108,58 @@
 //! assert!(replicas.contains(&format!("node-{}", params.provider_addr)));
 //! ```
 //!
+//! A replica set follows its demand. Saturate a title's replicas
+//! while a cluster member idles, drive the world, and the control
+//! plane grows the title onto the idle server — a real, paced copy
+//! through the target's write path — then rewrites the directory
+//! entry so the very next `SelectMovie` routes to the new copy
+//! (tune the cadence with [`RebalanceConfig`] via
+//! [`World::add_cluster_with`]; drain a server with
+//! [`ClusterHandle::drain`] — see
+//! `examples/hot_title_rebalance.rs` for the full grow + drain
+//! walkthrough):
+//!
+//! ```
+//! use directory::MovieEntry;
+//! use mcam::agents::source_for_entry;
+//! use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+//! use netsim::{LinkConfig, NetAddr, SimDuration};
+//! use store::{DiskParams, StoreConfig};
+//!
+//! // Disks sized so each server sustains two ~0.69 Mbit/s viewers.
+//! let tight = StoreConfig {
+//!     disks: 1,
+//!     disk: DiskParams { transfer_bytes_per_sec: 250_000, ..DiskParams::default() },
+//!     ..StoreConfig::default()
+//! };
+//! let mut world = World::with_config(11, LinkConfig::perfect(SimDuration::from_millis(2)), tight);
+//! let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(2));
+//! let client = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
+//! world.start();
+//! world.client_op(&client, McamOp::Associate { user: "demo".into() });
+//!
+//! let mut entry = MovieEntry::new("Hot", "pending");
+//! entry.frame_count = 200;
+//! let replicas = world.publish_replicated(&cluster, &entry);
+//! assert_eq!(replicas.len(), 2, "placed on 2 of the 3 servers");
+//!
+//! // Four viewers saturate both replicas while the third server idles…
+//! let source = source_for_entry(&entry);
+//! for i in 0..4u32 {
+//!     let provider = cluster.peers.get(&replicas[i as usize % 2]).unwrap();
+//!     provider.open(source.clone(), NetAddr(900 + i), world.net.now()).unwrap();
+//! }
+//! // …so the control plane copies "Hot" onto it and updates the
+//! // directory; the next viewer is admitted there.
+//! world.run_for(SimDuration::from_secs(30));
+//! assert!(cluster.rebalance_stats().copies_completed >= 1);
+//! let params = match world.client_op(&client, McamOp::SelectMovie { title: "Hot".into() }) {
+//!     Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+//!     other => panic!("select failed: {other:?}"),
+//! };
+//! assert!(!replicas.contains(&format!("node-{}", params.provider_addr)));
+//! ```
+//!
 //! Recording is a first-class workload, not a directory stunt: a
 //! `Record` acquires the camera, passes **write-bandwidth admission
 //! control**, captures frames through the striped store's write path
@@ -146,9 +210,9 @@ mod sps;
 mod stacks;
 mod world;
 
-pub use agents::SpsRegistry;
+pub use agents::{ClusterController, SpsRegistry};
 pub use app::{AppMachine, TO_MCA as APP_TO_MCA, TO_ROOT as APP_TO_ROOT};
-pub use cluster::{Placement, PlacementStrategy};
+pub use cluster::{DrainError, Placement, PlacementStrategy, RebalanceConfig, RebalanceStats};
 pub use mca::{ClientMca, CONNECTING, CTRL, DOWN, P_RELEASING, READY, UNBOUND, UP, WAITING};
 pub use pdus::{McamPdu, MovieDesc, StreamParams};
 pub use server::{ServerMca, ServerRoot, ServerServices};

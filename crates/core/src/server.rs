@@ -5,7 +5,8 @@
 //! child module to handle the new connection").
 
 use crate::agents::{
-    source_for_entry, source_for_title, DuaAgent, EuaAgent, SpsRegistry, SuaAgent, AGENT_IP,
+    source_for_entry, source_for_title, ClusterController, DuaAgent, EuaAgent, SpsRegistry,
+    SuaAgent, AGENT_IP,
 };
 use crate::pdus::{McamPdu, MovieDesc, StreamParams};
 use crate::service::{
@@ -14,7 +15,6 @@ use crate::service::{
 };
 use crate::sps::StreamProviderSystem;
 use crate::stacks::{wire_lower_stack, StackKind};
-use cluster::Placement;
 use directory::{Dn, Dua, MovieEntry};
 use equipment::Eua;
 use estelle::{
@@ -22,7 +22,6 @@ use estelle::{
     Transition,
 };
 use netsim::{Medium, SimDuration};
-use parking_lot::Mutex;
 use presentation::service::{PAbortInd, PConInd, PConRsp, PDataInd, PDataReq, PRelInd, PRelRsp};
 use std::sync::Arc;
 
@@ -69,10 +68,12 @@ pub struct ServerServices {
     /// each replica's admission load. A standalone server registers
     /// only itself.
     pub peers: Arc<SpsRegistry>,
-    /// Replica-placement policy shared across the cluster (and with
-    /// the world's publish path): finished recordings are replicated
-    /// to `k - 1` peers chosen here.
-    pub placement: Arc<Mutex<Placement>>,
+    /// The cluster's control plane, shared across its servers and
+    /// with the world's publish path: it owns replica placement,
+    /// adopts finished recordings (replicating them to `k - 1`
+    /// peers), grows hot titles onto idle servers, and drains
+    /// servers out of service.
+    pub rebalancer: Arc<ClusterController>,
     /// Frame rate cameras capture at (the world's record knob).
     pub record_frame_rate: u32,
     /// Equipment client for the server site.
@@ -435,7 +436,11 @@ impl ServerMca {
                     // disk bandwidth their admission controllers still
                     // have uncommitted, and try the best first. With
                     // no registered replica (seeded entries with
-                    // symbolic locations), serve from the local store.
+                    // symbolic locations, or every replica dead or
+                    // draining), serve from the local store — unless
+                    // the local server is itself draining, in which
+                    // case a new stream must not land on it: pick the
+                    // most-available live peer instead.
                     let mut candidates: Vec<String> = self
                         .services
                         .peers
@@ -444,7 +449,20 @@ impl ServerMca {
                         .map(|(location, _)| location)
                         .collect();
                     let location = if candidates.is_empty() {
-                        None
+                        let local = self.services.sps.location();
+                        if self.services.peers.is_draining(&local) {
+                            self.services
+                                .peers
+                                .loads()
+                                .into_iter()
+                                .filter(|s| !s.draining)
+                                .max_by_key(|s| {
+                                    (s.load.available_bps, std::cmp::Reverse(s.location.clone()))
+                                })
+                                .map(|s| s.location)
+                        } else {
+                            None
+                        }
                     } else {
                         Some(candidates.remove(0))
                     };
@@ -762,7 +780,7 @@ impl StateMachine for ServerMca {
             SuaAgent::new(
                 Arc::clone(&self.services.sps),
                 Arc::clone(&self.services.peers),
-                Arc::clone(&self.services.placement),
+                Arc::clone(&self.services.rebalancer),
             ),
         );
         let eua = ctx.create_child(
@@ -842,8 +860,13 @@ impl StateMachine for ServerMca {
                 let Some(Pending::RecordCapture { title, stream_id }) = m.pending.take() else {
                     unreachable!("guarded by the provided clause");
                 };
-                m.pending = Some(Pending::RecordClose { title });
-                ctx.output(TO_SUA, StreamRequest(StreamOp::CloseRecord { stream_id }));
+                m.pending = Some(Pending::RecordClose {
+                    title: title.clone(),
+                });
+                ctx.output(
+                    TO_SUA,
+                    StreamRequest(StreamOp::CloseRecord { stream_id, title }),
+                );
             })
             .provided(|m, _| {
                 matches!(

@@ -217,11 +217,15 @@ pub enum StreamOp {
         movie: MovieSource,
     },
     /// Finalize a finished recording: register the captured blocks as
-    /// a playable movie and replicate it to peer servers per the
-    /// placement policy.
+    /// a playable movie and hand it to the cluster control plane,
+    /// which replicates it to peer servers and tracks the title for
+    /// later rebalancing.
     CloseRecord {
         /// Recording session id.
         stream_id: u32,
+        /// The title being recorded — the control plane's catalog key
+        /// (directory updates after later rebalances name it).
+        title: String,
     },
 }
 

@@ -501,8 +501,52 @@ impl cluster::LoadProbe for StreamProviderSystem {
                 committed_bps: 0,
                 capacity_bps: u64::MAX,
                 open_streams: self.stream_count(),
+                cache_hit_permille: 0,
             },
         }
+    }
+}
+
+/// The copy token a provider without a storage model hands out:
+/// there is nothing to write, so the copy is complete on arrival.
+const STORELESS_COPY: u64 = u64::MAX;
+
+/// Migration copies land in the provider's block store through the
+/// paced, admission-charged import path; a provider without a store
+/// has nothing to copy onto and completes instantly.
+impl cluster::MigrationHost for StreamProviderSystem {
+    fn begin_copy(
+        &self,
+        source: &MovieSource,
+        reserve_bps: u64,
+        now: SimTime,
+    ) -> Result<u64, cluster::CopyRejected> {
+        match &self.store {
+            Some(store) => cluster::MigrationHost::begin_copy(&**store, source, reserve_bps, now),
+            None => Ok(STORELESS_COPY),
+        }
+    }
+    fn copy_done(&self, token: u64) -> bool {
+        match &self.store {
+            Some(store) => {
+                token != STORELESS_COPY && cluster::MigrationHost::copy_done(&**store, token)
+            }
+            None => token == STORELESS_COPY,
+        }
+    }
+    fn finish_copy(&self, token: u64) -> bool {
+        match &self.store {
+            Some(store) => cluster::MigrationHost::finish_copy(&**store, token),
+            None => token == STORELESS_COPY,
+        }
+    }
+    fn abort_copy(&self, token: u64) {
+        if let Some(store) = &self.store {
+            cluster::MigrationHost::abort_copy(&**store, token);
+        }
+    }
+    fn import_bulk(&self, source: &MovieSource, now: SimTime) {
+        self.import_movie(source, now);
     }
 }
 

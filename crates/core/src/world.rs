@@ -1,15 +1,15 @@
 //! The experimental world: clients, servers, control pipes, the CM
 //! datagram network, and the co-simulation driver — Fig. 2 in code.
 
-use crate::agents::SpsRegistry;
+use crate::agents::{source_for_entry, ClusterController, SpsRegistry};
 use crate::app::AppMachine;
 use crate::pdus::{McamPdu, StreamParams};
 use crate::server::{ServerRoot, ServerServices};
 use crate::service::McamOp;
 use crate::sps::StreamProviderSystem;
 use crate::stacks::{ClientRoot, StackKind};
-use cluster::Placement;
-use directory::{Dn, Dsa, Dua, MovieEntry};
+use cluster::{DrainError, Placement, RebalanceConfig, RebalanceStats};
+use directory::{attr, Dn, Dsa, Dua, MovieEntry, Rdn};
 use equipment::{Eca, EquipmentClass, Eua};
 use estelle::sched::{run_sequential, SeqOptions};
 use estelle::{ModuleId, ModuleKind, ModuleLabels, Runtime};
@@ -18,7 +18,6 @@ use netsim::{
     DatagramNet, DatagramSocket, LinkConfig, Medium, NetAddr, Network, Pipe, PipeMedium,
     SimDuration, SimTime,
 };
-use parking_lot::Mutex;
 use std::sync::Arc;
 use store::{BlockStore, StoreConfig, StoreStats};
 
@@ -31,10 +30,12 @@ pub struct ServerHandle {
     pub services: ServerServices,
 }
 
-/// A group of server machines sharing one movie directory and one
-/// replica registry: movies published through
-/// [`World::publish_replicated`] land on K of them, and any member
-/// routes `SelectMovie` to the least-loaded replica.
+/// A group of server machines sharing one movie directory, one
+/// replica registry, and one control plane: movies published through
+/// [`World::publish_replicated`] land on K of them, any member routes
+/// `SelectMovie` to the least-loaded replica, and the
+/// [`cluster::RebalanceController`] grows hot titles onto idle members,
+/// shrinks them back, and drains members out of service.
 pub struct ClusterHandle {
     /// Cluster name (servers are `"<name>-<i>"`).
     pub name: String,
@@ -42,7 +43,9 @@ pub struct ClusterHandle {
     pub servers: Vec<ServerHandle>,
     /// The shared location → stream-provider registry.
     pub peers: Arc<SpsRegistry>,
-    placement: Arc<Mutex<Placement>>,
+    /// The cluster's control plane (ticked by the world's driver on
+    /// the netsim clock).
+    pub rebalancer: Arc<ClusterController>,
 }
 
 impl std::fmt::Debug for ClusterHandle {
@@ -96,6 +99,27 @@ impl ClusterHandle {
             (f + stats.frames_recorded, b + stats.blocks_recorded)
         })
     }
+
+    /// Control-plane counters: samples taken, copies started /
+    /// completed / aborted, shrinks, drains, directory rewrites.
+    pub fn rebalance_stats(&self) -> RebalanceStats {
+        self.rebalancer.stats()
+    }
+
+    /// Starts draining the member at `location`: sole-copy titles are
+    /// migrated off, new `SelectMovie`s route elsewhere, and the
+    /// server is decommissioned once its last stream closes (drive
+    /// the world — e.g. [`World::run_for`] — to let it progress;
+    /// completion is visible via
+    /// [`cluster::RebalanceController::drain_complete`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`cluster::RebalanceController::drain`] — notably, draining the
+    /// last holder of a title is refused.
+    pub fn drain(&self, location: &str) -> Result<(), DrainError> {
+        self.rebalancer.drain(location)
+    }
 }
 
 /// A client workstation in the world.
@@ -133,6 +157,8 @@ pub struct World {
     /// frames — and sizes its write-bandwidth demand — at this rate).
     pub record_frame_rate: u32,
     providers: Vec<Arc<StreamProviderSystem>>,
+    /// Every cluster's control plane, ticked by the driver loop.
+    rebalancers: Vec<Arc<ClusterController>>,
     next_addr: u32,
     next_conn: u16,
     /// Scheduler options used by the driver.
@@ -168,6 +194,7 @@ impl World {
             store_config,
             record_frame_rate: 25,
             providers: Vec::new(),
+            rebalancers: Vec::new(),
             next_addr: 1,
             next_conn: 0,
             seq_options: SeqOptions::default(),
@@ -194,7 +221,8 @@ impl World {
 
     /// Adds a server machine: movie directory DSA, equipment site,
     /// stream provider, and the server root module. The server is its
-    /// own one-member "cluster" (its registry holds only itself).
+    /// own one-member "cluster" (its registry holds only itself, its
+    /// control plane has nowhere to migrate to).
     pub fn add_server(&mut self, name: &str, stack: StackKind) -> ServerHandle {
         let dsa = Dsa::new(format!("dsa-{name}"));
         let base: Dn = "o=movies".parse().expect("static DN");
@@ -203,15 +231,22 @@ impl World {
             .expect("fresh DSA");
         let peers = Arc::new(SpsRegistry::new());
         // A standalone server replicates recordings only to itself.
-        let placement = Arc::new(Mutex::new(Placement::round_robin(1)));
-        self.build_server(name, stack, &dsa, base, &peers, &placement)
+        let rebalancer = Arc::new(ClusterController::new(
+            Arc::clone(&peers),
+            Placement::round_robin(1),
+            RebalanceConfig::default(),
+        ));
+        self.rebalancers.push(Arc::clone(&rebalancer));
+        self.build_server(name, stack, &dsa, base, &peers, &rebalancer)
     }
 
-    /// Adds `count` server machines sharing one movie directory and
-    /// one replica registry. Movies published with
+    /// Adds `count` server machines sharing one movie directory, one
+    /// replica registry, and one control plane (default
+    /// [`RebalanceConfig`]). Movies published with
     /// [`World::publish_replicated`] are placed on `placement.k()`
     /// of them; `SelectMovie` through any member routes the stream to
-    /// the replica with the most uncommitted disk bandwidth.
+    /// the replica with the most uncommitted disk bandwidth, and the
+    /// control plane rebalances replica sets as load shifts.
     pub fn add_cluster(
         &mut self,
         name: &str,
@@ -219,12 +254,49 @@ impl World {
         stack: StackKind,
         placement: Placement,
     ) -> ClusterHandle {
+        self.add_cluster_with(name, count, stack, placement, RebalanceConfig::default())
+    }
+
+    /// Like [`World::add_cluster`], with explicit control-plane
+    /// tuning (sampling interval, copy speed, concurrency).
+    pub fn add_cluster_with(
+        &mut self,
+        name: &str,
+        count: usize,
+        stack: StackKind,
+        placement: Placement,
+        rebalance: RebalanceConfig,
+    ) -> ClusterHandle {
         let dsa = Dsa::new(format!("dsa-{name}"));
         let base: Dn = "o=movies".parse().expect("static DN");
         dsa.add(base.clone(), directory::Attrs::new())
             .expect("fresh DSA");
         let peers = Arc::new(SpsRegistry::new());
-        let placement = Arc::new(Mutex::new(placement));
+        // Completed migrations rewrite the entry's replica list (and
+        // its primary location) through this sink, so the very next
+        // `SelectMovie` lookup routes to the new copy. A title whose
+        // entry does not exist yet (a recording that has not
+        // finalized) reports failure and is retried on a later tick.
+        let sink_dua = Dua::new(&dsa);
+        let sink_base = base.clone();
+        let sink = Box::new(move |title: &str, replicas: &[String]| -> bool {
+            let dn = sink_base.child(Rdn::new("cn", title));
+            let mut puts = vec![directory::ModOp::Put(
+                attr::REPLICAS.into(),
+                MovieEntry::replicas_value(replicas),
+            )];
+            if let Some(primary) = replicas.first() {
+                puts.push(directory::ModOp::Put(
+                    attr::LOCATION.into(),
+                    asn1::Value::Str(primary.clone()),
+                ));
+            }
+            sink_dua.modify(&dn, &puts).is_ok()
+        });
+        let rebalancer = Arc::new(
+            ClusterController::new(Arc::clone(&peers), placement, rebalance).with_sink(sink),
+        );
+        self.rebalancers.push(Arc::clone(&rebalancer));
         let servers = (0..count.max(1))
             .map(|i| {
                 self.build_server(
@@ -233,7 +305,7 @@ impl World {
                     &dsa,
                     base.clone(),
                     &peers,
-                    &placement,
+                    &rebalancer,
                 )
             })
             .collect();
@@ -241,16 +313,18 @@ impl World {
             name: name.to_string(),
             servers,
             peers,
-            placement,
+            rebalancer,
         }
     }
 
     /// Publishes `entry` into the cluster's shared directory, placed
-    /// on K replica servers per the cluster's placement policy (the
+    /// on K replica servers by the cluster's control plane (the
     /// entry's own location/replica fields are overwritten with the
-    /// placement decision). Returns the chosen replica locations.
+    /// placement decision, and the title is tracked for later
+    /// rebalancing). Returns the chosen replica locations.
     pub fn publish_replicated(&self, cluster: &ClusterHandle, entry: &MovieEntry) -> Vec<String> {
-        let replicas = cluster.placement.lock().place(&cluster.peers.loads());
+        let source = source_for_entry(entry);
+        let replicas = cluster.rebalancer.place_title(&entry.title, &source);
         let mut entry = entry.clone();
         entry.set_replicas(replicas.clone());
         let lead = &cluster.servers[0];
@@ -265,7 +339,7 @@ impl World {
         dsa: &Arc<Dsa>,
         base: Dn,
         peers: &Arc<SpsRegistry>,
-        placement: &Arc<Mutex<Placement>>,
+        rebalancer: &Arc<ClusterController>,
     ) -> ServerHandle {
         let dua = Dua::new(dsa);
         let eca = Eca::new(format!("site-{name}"));
@@ -286,7 +360,7 @@ impl World {
             sps,
             store,
             peers: Arc::clone(peers),
-            placement: Arc::clone(placement),
+            rebalancer: Arc::clone(rebalancer),
             record_frame_rate: self.record_frame_rate,
             eua,
             eca: Arc::clone(&eca),
@@ -412,6 +486,13 @@ impl World {
                 break;
             }
             let now = self.net.now();
+            // Control-plane pass: poll migrations, advance drains,
+            // sample loads at the configured interval. Ticking before
+            // the wake-up computation guarantees every controller
+            // deadline it reports lies strictly in the future.
+            for rebalancer in &self.rebalancers {
+                rebalancer.tick(now);
+            }
             let mut sent = 0;
             for sps in &self.providers {
                 sent += sps.pump(now);
@@ -425,7 +506,12 @@ impl World {
             let next_net = self.net.next_event_at();
             let next_delay = self.rt.next_deadline();
             let next_due = self.providers.iter().filter_map(|s| s.next_due()).min();
-            let candidates = [next_net, next_delay, next_due];
+            let next_tick = self
+                .rebalancers
+                .iter()
+                .filter_map(|r| r.next_tick_at())
+                .min();
+            let candidates = [next_net, next_delay, next_due, next_tick];
             let next = candidates.into_iter().flatten().min();
             match next {
                 Some(t) if t <= limit => {
@@ -440,11 +526,18 @@ impl World {
         }
     }
 
-    /// Lets simulated time progress by `d` (streams keep flowing).
+    /// Lets simulated time progress by `d` (streams keep flowing, the
+    /// control plane keeps sampling).
     pub fn run_for(&self, d: SimDuration) {
         let limit = self.net.now() + d;
         self.run_until_quiet(limit);
         self.rt.advance_clock_to(limit);
+        // A quiet world still reaches the boundary instant: give the
+        // control plane its sample there so saturation that built up
+        // during the interval is acted on.
+        for rebalancer in &self.rebalancers {
+            rebalancer.tick(limit);
+        }
     }
 
     fn app_of(&self, client: &ClientHandle) -> ModuleId {

@@ -107,6 +107,14 @@ impl MovieEntry {
         self.replicas = replicas;
     }
 
+    /// Encodes a replica list as the [`attr::REPLICAS`] attribute
+    /// value — what a rebalance writes back into an existing entry
+    /// (paired with an [`attr::LOCATION`] put of the first replica,
+    /// so replica-unaware readers keep seeing a valid primary).
+    pub fn replicas_value(replicas: &[String]) -> Value {
+        Value::Seq(replicas.iter().map(|r| Value::Str(r.clone())).collect())
+    }
+
     /// Converts to a directory attribute set.
     pub fn to_attrs(&self) -> Attrs {
         let mut m = Attrs::new();
@@ -257,6 +265,39 @@ mod tests {
         e.set_replicas(Vec::new());
         assert_eq!(e.location, "node-4");
         assert!(e.replicas.is_empty());
+    }
+
+    /// A rebalance rewrites `replicalocations` (and the primary) on a
+    /// live entry: the rewritten attribute set round-trips for new
+    /// readers, and a replica-unaware reader — one that drops the
+    /// attribute it does not know — still decodes a valid entry whose
+    /// location is the rewritten primary.
+    #[test]
+    fn rebalanced_replicas_roundtrip_and_degrade_for_old_readers() {
+        let published = MovieEntry::new("Hot", "node-1");
+        let mut attrs = published.to_attrs();
+        // The control plane grew the title and promoted a new primary.
+        let grown = vec!["node-2".to_string(), "node-1".into(), "node-3".into()];
+        attrs.insert(attr::REPLICAS.into(), MovieEntry::replicas_value(&grown));
+        attrs.insert(attr::LOCATION.into(), Value::Str(grown[0].clone()));
+        let rewritten = MovieEntry::from_attrs(&attrs).unwrap();
+        assert_eq!(rewritten.replicas, grown);
+        assert_eq!(rewritten.location, "node-2");
+        assert_eq!(
+            MovieEntry::from_attrs(&rewritten.to_attrs()).unwrap(),
+            rewritten
+        );
+        // Old reader: no replicalocations in its schema.
+        let mut legacy = attrs.clone();
+        legacy.remove(attr::REPLICAS);
+        let old_view = MovieEntry::from_attrs(&legacy).unwrap();
+        assert_eq!(old_view.location, "node-2");
+        assert_eq!(old_view.replicas, vec!["node-2".to_string()]);
+        // An empty rewritten list degrades to the primary, not to an
+        // invalid entry.
+        attrs.insert(attr::REPLICAS.into(), MovieEntry::replicas_value(&[]));
+        let emptied = MovieEntry::from_attrs(&attrs).unwrap();
+        assert_eq!(emptied.replicas, vec!["node-2".to_string()]);
     }
 
     #[test]

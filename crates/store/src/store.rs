@@ -10,7 +10,7 @@ use crate::cache::{BlockKey, BufferCache, CachePolicy, CacheStats};
 use crate::disk::{Disk, DiskParams, DiskStats, IoKind};
 use crate::layout::{BlockAddr, BlockMap, MovieId, StripeLayout};
 use mtp::MovieSource;
-use netsim::SimTime;
+use netsim::{SimDuration, SimTime};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -100,6 +100,9 @@ pub enum StoreError {
     /// The recording is still capturing frames or still has queued
     /// writes; it cannot be finalized yet.
     RecordingIncomplete(u32),
+    /// The migration copy still has blocks to issue or persist; it
+    /// cannot be finalized yet.
+    ImportIncomplete(u32),
 }
 
 impl fmt::Display for StoreError {
@@ -116,6 +119,9 @@ impl fmt::Display for StoreError {
             StoreError::UnknownStream(id) => write!(f, "unknown stream {id}"),
             StoreError::RecordingIncomplete(id) => {
                 write!(f, "recording {id} still capturing or persisting")
+            }
+            StoreError::ImportIncomplete(id) => {
+                write!(f, "import {id} still copying or persisting")
             }
         }
     }
@@ -141,8 +147,13 @@ pub struct StoreStats {
     pub open_streams: usize,
     /// Recordings currently in progress.
     pub recordings_active: usize,
+    /// Paced migration copies currently in progress.
+    pub imports_active: usize,
     /// Blocks allocated and queued for write by recordings.
     pub blocks_recorded: u64,
+    /// Blocks allocated and queued for write by paced migration
+    /// copies.
+    pub blocks_imported: u64,
     /// Frames appended by recordings.
     pub frames_recorded: u64,
     /// Bandwidth committed, bits/second.
@@ -222,6 +233,43 @@ struct RecordingRec {
     blocks_durable: u64,
 }
 
+/// A migration copy in progress: block writes are issued at the
+/// reserved bandwidth's pace (a window at a time, so the elevator
+/// still interleaves them with stream reads) and the copy is durable
+/// only when every write has reached a platter. Unlike the bulk
+/// [`BlockStore::import_movie`] path, the reservation is charged to
+/// the same admission capacity playback draws on, so a migration
+/// visibly displaces streams for its duration.
+#[derive(Debug)]
+struct ImportRec {
+    movie: MovieId,
+    reserve_bps: u64,
+    started: SimTime,
+    map: BlockMap,
+    total_blocks: u64,
+    issued: u64,
+    durable: u64,
+    start_disk: usize,
+    frames_per_block: u64,
+    frame_count: u64,
+    frame_rate: u32,
+    bitrate_bps: u64,
+    seed: u64,
+    /// The movie already lived on this store when the copy began:
+    /// nothing to write, instantly durable.
+    preexisting: bool,
+}
+
+/// Block-issue window of a paced migration: enough to keep a short
+/// sequential run on the disks without flooding the queues ahead of
+/// stream reads.
+const IMPORT_WINDOW: u64 = 8;
+
+/// Migration ids live in their own range of the 32-bit stream-id
+/// space so they never collide with provider-allocated stream ids
+/// (high 16 bits = provider address) in the shared admission table.
+const IMPORT_ID_BASE: u32 = 0x4000_0000;
+
 /// What a finished recording produced, as reported by
 /// [`BlockStore::finish_recording`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -285,6 +333,10 @@ struct StoreInner {
     recordings: HashMap<u32, RecordingRec>,
     /// Movie → recording id, for attributing write completions.
     recording_by_movie: HashMap<MovieId, u32>,
+    imports: HashMap<u32, ImportRec>,
+    /// Movie → import id, for attributing write completions.
+    import_by_movie: HashMap<MovieId, u32>,
+    next_import: u32,
     /// Streams waiting on each in-flight disk read (read coalescing:
     /// a second viewer of the same block piggybacks instead of
     /// queueing a duplicate).
@@ -292,6 +344,7 @@ struct StoreInner {
     blocks_delivered: u64,
     coalesced_reads: u64,
     blocks_recorded: u64,
+    blocks_imported: u64,
     frames_recorded: u64,
 }
 
@@ -391,11 +444,16 @@ impl StoreInner {
                 completed += 1;
                 if kind == IoKind::Write {
                     // A recorded or imported block reached the
-                    // platter; recordings track durability so the
-                    // finalize step can wait for the tail writes.
+                    // platter; recordings and migrations track
+                    // durability so the finalize step can wait for
+                    // the tail writes.
                     if let Some(rec_id) = self.recording_by_movie.get(&movie) {
                         if let Some(rec) = self.recordings.get_mut(rec_id) {
                             rec.blocks_durable += 1;
+                        }
+                    } else if let Some(imp_id) = self.import_by_movie.get(&movie) {
+                        if let Some(imp) = self.imports.get_mut(imp_id) {
+                            imp.durable += 1;
                         }
                     }
                     continue;
@@ -423,6 +481,61 @@ impl StoreInner {
             }
         }
         completed
+    }
+
+    /// Issues migration-copy writes due by `now`: each in-progress
+    /// import may have issued at most the blocks its reserved
+    /// bandwidth allows since it started (plus one so the first block
+    /// goes out immediately), a window at a time so the copy shares
+    /// the elevator queues with stream reads instead of flooding them.
+    fn issue_imports(&mut self, now: SimTime) {
+        let block_size = u64::from(self.config.block_size);
+        let block_bits = block_size * 8;
+        let disks = self.disks.len();
+        let mut ids: Vec<u32> = self.imports.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let imp = self.imports.get_mut(&id).expect("keyed above");
+            if imp.preexisting || imp.issued >= imp.total_blocks {
+                continue;
+            }
+            let elapsed_us = u128::from(now.saturating_since(imp.started).as_micros());
+            let allowed_bits = elapsed_us * u128::from(imp.reserve_bps) / 1_000_000;
+            let allowed =
+                ((allowed_bits / u128::from(block_bits)) as u64 + 1).min(imp.total_blocks);
+            while imp.issued < allowed && imp.issued - imp.durable < IMPORT_WINDOW {
+                let disk = (imp.start_disk + imp.map.block_count() as usize) % disks;
+                let offset = self.allocators[disk].alloc();
+                imp.map.push(BlockAddr { disk, offset });
+                self.disks[disk].enqueue_write(now, imp.movie, offset, block_size);
+                imp.issued += 1;
+                self.blocks_imported += 1;
+            }
+        }
+    }
+
+    /// Earliest instant a paced import may issue its next block (only
+    /// meaningful for imports whose window is open but whose pace gate
+    /// is closed — in-flight writes are already covered by the disks'
+    /// completion times).
+    fn next_import_issue(&self) -> Option<SimTime> {
+        let block_bits = u64::from(self.config.block_size) * 8;
+        self.imports
+            .values()
+            .filter(|imp| {
+                !imp.preexisting
+                    && imp.issued < imp.total_blocks
+                    && imp.issued - imp.durable < IMPORT_WINDOW
+            })
+            .map(|imp| {
+                // Inverse of the issue gate in integer microseconds
+                // (rounded up), so the wake-up instant is never
+                // fractionally before the gate actually opens.
+                let next_bits = u128::from(imp.issued) * u128::from(block_bits);
+                let us = (next_bits * 1_000_000).div_ceil(u128::from(imp.reserve_bps.max(1)));
+                imp.started + SimDuration::from_micros(us as u64)
+            })
+            .min()
     }
 }
 
@@ -460,10 +573,14 @@ impl BlockStore {
                 streams: HashMap::new(),
                 recordings: HashMap::new(),
                 recording_by_movie: HashMap::new(),
+                imports: HashMap::new(),
+                import_by_movie: HashMap::new(),
+                next_import: IMPORT_ID_BASE,
                 in_flight: HashMap::new(),
                 blocks_delivered: 0,
                 coalesced_reads: 0,
                 blocks_recorded: 0,
+                blocks_imported: 0,
                 frames_recorded: 0,
                 config,
             }),
@@ -650,17 +767,16 @@ impl BlockStore {
         for id in ids {
             inner.issue(id, now);
         }
+        inner.issue_imports(now);
         completed
     }
 
-    /// Earliest pending disk completion, if any.
+    /// Earliest pending disk completion or paced-import issue, if any.
     pub fn next_event(&self) -> Option<SimTime> {
-        self.inner
-            .lock()
-            .disks
-            .iter()
-            .filter_map(Disk::next_completion)
-            .min()
+        let inner = self.inner.lock();
+        let disk_next = inner.disks.iter().filter_map(Disk::next_completion).min();
+        let import_next = inner.next_import_issue();
+        [disk_next, import_next].into_iter().flatten().min()
     }
 
     /// Number of frames (from the stream's current playback run)
@@ -877,6 +993,165 @@ impl BlockStore {
         }
     }
 
+    /// Opens a paced migration copy of `source` onto this store,
+    /// reserving `reserve_bps` against the same admission capacity
+    /// playback streams draw on: the copy's block writes are issued
+    /// at that pace through the free-block allocator and the
+    /// elevator/SCAN disk queues, so a migration competes with
+    /// concurrent streams instead of teleporting data. Returns the
+    /// import id; poll [`BlockStore::import_durable`] and call
+    /// [`BlockStore::finish_import`] when every block has landed. A
+    /// source already registered here completes instantly (nothing to
+    /// copy) and reserves nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AdmissionRejected`] when the reservation does not
+    /// fit next to the admitted streams.
+    pub fn begin_import(
+        &self,
+        source: &MovieSource,
+        reserve_bps: u64,
+        now: SimTime,
+    ) -> Result<u32, StoreError> {
+        let mut inner = self.inner.lock();
+        let id = inner.next_import;
+        let existing = inner
+            .movies
+            .iter()
+            .find(|(_, rec)| {
+                rec.seed == source.seed
+                    && rec.frame_count == source.frame_count
+                    && rec.frame_rate == source.frame_rate
+            })
+            .map(|(mid, _)| *mid);
+        if let Some(movie) = existing {
+            inner.next_import += 1;
+            inner.imports.insert(
+                id,
+                ImportRec {
+                    movie,
+                    reserve_bps: 0,
+                    started: now,
+                    map: BlockMap::new(),
+                    total_blocks: 0,
+                    issued: 0,
+                    durable: 0,
+                    start_disk: 0,
+                    frames_per_block: 1,
+                    frame_count: source.frame_count,
+                    frame_rate: source.frame_rate,
+                    bitrate_bps: source.mean_bitrate_bps().max(1),
+                    seed: source.seed,
+                    preexisting: true,
+                },
+            );
+            return Ok(id);
+        }
+        inner
+            .admission
+            .admit(id, reserve_bps.max(1))
+            .map_err(reject)?;
+        inner.next_import += 1;
+        let bitrate_bps = source.mean_bitrate_bps().max(1);
+        let (frames_per_block, total_blocks) = block_geometry(
+            inner.config.block_size,
+            bitrate_bps,
+            source.frame_rate,
+            source.frame_count,
+        );
+        let movie = MovieId(inner.next_movie);
+        inner.next_movie += 1;
+        let start_disk = movie.0 as usize % inner.disks.len();
+        inner.imports.insert(
+            id,
+            ImportRec {
+                movie,
+                reserve_bps: reserve_bps.max(1),
+                started: now,
+                map: BlockMap::new(),
+                total_blocks,
+                issued: 0,
+                durable: 0,
+                start_disk,
+                frames_per_block,
+                frame_count: source.frame_count,
+                frame_rate: source.frame_rate.max(1),
+                bitrate_bps,
+                seed: source.seed,
+                preexisting: false,
+            },
+        );
+        inner.import_by_movie.insert(movie, id);
+        inner.issue_imports(now);
+        Ok(id)
+    }
+
+    /// Whether an import has issued and persisted every block (`None`
+    /// for unknown imports).
+    pub fn import_durable(&self, import_id: u32) -> Option<bool> {
+        let inner = self.inner.lock();
+        let imp = inner.imports.get(&import_id)?;
+        Some(imp.preexisting || (imp.issued >= imp.total_blocks && imp.durable >= imp.total_blocks))
+    }
+
+    /// Finalizes a durable import: the copied block map becomes the
+    /// movie's layout, the bandwidth reservation is released, and a
+    /// subsequent [`BlockStore::register_movie`] of the matching
+    /// source finds the copy, so the title streams from this replica.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownStream`] for unknown imports;
+    /// [`StoreError::ImportIncomplete`] while blocks are still being
+    /// issued or persisted.
+    pub fn finish_import(&self, import_id: u32) -> Result<MovieId, StoreError> {
+        let mut inner = self.inner.lock();
+        match inner.imports.get(&import_id) {
+            None => return Err(StoreError::UnknownStream(import_id)),
+            Some(imp)
+                if !imp.preexisting
+                    && (imp.issued < imp.total_blocks || imp.durable < imp.total_blocks) =>
+            {
+                return Err(StoreError::ImportIncomplete(import_id));
+            }
+            Some(_) => {}
+        }
+        let imp = inner.imports.remove(&import_id).expect("checked above");
+        inner.import_by_movie.remove(&imp.movie);
+        inner.admission.release(import_id);
+        if !imp.preexisting {
+            inner.movies.insert(
+                imp.movie,
+                MovieRec {
+                    layout: Arc::new(Layout::Mapped(imp.map)),
+                    frames_per_block: imp.frames_per_block,
+                    frame_count: imp.frame_count,
+                    frame_rate: imp.frame_rate,
+                    bitrate_bps: imp.bitrate_bps,
+                    seed: imp.seed,
+                },
+            );
+        }
+        Ok(imp.movie)
+    }
+
+    /// Abandons an in-flight import (the migration's target was
+    /// removed, or the copy is no longer wanted): the bandwidth
+    /// reservation is released and every allocated block returns to
+    /// the free pool (idempotent).
+    pub fn abort_import(&self, import_id: u32) {
+        let mut inner = self.inner.lock();
+        inner.admission.release(import_id);
+        let Some(imp) = inner.imports.remove(&import_id) else {
+            return;
+        };
+        inner.import_by_movie.remove(&imp.movie);
+        for addr in imp.map.addrs() {
+            inner.allocators[addr.disk].release(addr.offset);
+        }
+    }
+
     /// Imports a copy of `source` onto this store's disks — the
     /// replication path for recorded movies: blocks are allocated
     /// from the free pool and written through the disk queues (a bulk
@@ -941,7 +1216,9 @@ impl BlockStore {
             coalesced_reads: inner.coalesced_reads,
             open_streams: inner.streams.len(),
             recordings_active: inner.recordings.len(),
+            imports_active: inner.imports.len(),
             blocks_recorded: inner.blocks_recorded,
+            blocks_imported: inner.blocks_imported,
             frames_recorded: inner.frames_recorded,
             committed_bps: inner.admission.committed_bps(),
             capacity_bps: inner.admission.capacity_bps(),
@@ -1165,6 +1442,115 @@ mod tests {
         assert_eq!(store.register_movie(&source), movie);
         store.open_stream(4, movie, 100, SimTime::ZERO).unwrap();
         drain(&store, 4, source.frame_count);
+    }
+
+    /// Pumps the store along its own event clock until `done`.
+    fn pump_until(store: &BlockStore, mut now: SimTime, mut done: impl FnMut() -> bool) -> SimTime {
+        let mut guard = 0;
+        while !done() {
+            if let Some(t) = store.next_event() {
+                now = now.max(t);
+            }
+            store.pump(now);
+            guard += 1;
+            assert!(guard < 100_000, "store never reached the condition");
+        }
+        now
+    }
+
+    #[test]
+    fn paced_import_reserves_bandwidth_and_takes_real_time() {
+        let store = BlockStore::new(tiny_config());
+        let source = MovieSource::test_movie(10, 41);
+        let reserve = source.mean_bitrate_bps();
+        let id = store.begin_import(&source, reserve, SimTime::ZERO).unwrap();
+        assert_eq!(
+            store.stats().committed_bps,
+            reserve,
+            "the copy charges the same admission capacity streams draw on"
+        );
+        assert_eq!(store.import_durable(id), Some(false));
+        let done = pump_until(&store, SimTime::ZERO, || {
+            store.import_durable(id) == Some(true)
+        });
+        // Pacing: copying at the movie's own bitrate takes on the
+        // order of the movie's duration, not an instant.
+        let floor = source.frame_count as f64 / f64::from(source.frame_rate) * 0.5;
+        assert!(
+            done.saturating_since(SimTime::ZERO).as_secs_f64() >= floor,
+            "copy finished implausibly fast for its reservation"
+        );
+        let movie = store.finish_import(id).unwrap();
+        assert_eq!(store.stats().committed_bps, 0, "reservation released");
+        assert!(store.allocation_of(movie).is_some(), "block-mapped copy");
+        // The copy is streamable: the matching source resolves to it.
+        assert_eq!(store.register_movie(&source), movie);
+        store.open_stream(4, movie, 100, done).unwrap();
+        drain(&store, 4, source.frame_count);
+    }
+
+    #[test]
+    fn import_abort_releases_reservation_and_blocks() {
+        let store = BlockStore::new(tiny_config());
+        let source = MovieSource::test_movie(10, 42);
+        let id = store
+            .begin_import(&source, source.mean_bitrate_bps(), SimTime::ZERO)
+            .unwrap();
+        // Let a few blocks go out, then yank the copy (the migration's
+        // target server was removed mid-flight).
+        store.pump(SimTime::from_secs(2));
+        assert!(store.stats().blocks_imported > 0, "copy underway");
+        store.abort_import(id);
+        let stats = store.stats();
+        assert_eq!(stats.committed_bps, 0, "reservation released on abort");
+        assert_eq!(stats.imports_active, 0);
+        assert!(store.import_durable(id).is_none());
+        // The freed blocks are reusable: a fresh copy completes.
+        let id2 = store
+            .begin_import(&source, source.mean_bitrate_bps(), SimTime::from_secs(2))
+            .unwrap();
+        pump_until(&store, SimTime::from_secs(2), || {
+            store.import_durable(id2) == Some(true)
+        });
+        store.finish_import(id2).unwrap();
+    }
+
+    #[test]
+    fn import_of_a_resident_movie_completes_instantly() {
+        let store = BlockStore::new(tiny_config());
+        let source = MovieSource::test_movie(5, 43);
+        let movie = store.register_movie(&source);
+        let id = store
+            .begin_import(&source, 1_000_000, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(store.import_durable(id), Some(true));
+        assert_eq!(store.stats().committed_bps, 0, "nothing reserved");
+        assert_eq!(store.finish_import(id).unwrap(), movie);
+    }
+
+    #[test]
+    fn import_rejected_when_reservation_does_not_fit() {
+        let config = StoreConfig {
+            disks: 1,
+            disk: DiskParams {
+                transfer_bytes_per_sec: 150_000,
+                ..DiskParams::default()
+            },
+            ..tiny_config()
+        };
+        let store = BlockStore::new(config);
+        let published = MovieSource::test_movie(30, 5);
+        let id = store.register_movie(&published);
+        store.open_stream(1, id, 100, SimTime::ZERO).unwrap();
+        let err = store
+            .begin_import(&MovieSource::test_movie(30, 6), 1_000_000, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::AdmissionRejected { .. }), "{err}");
+        // Finishing early is refused, unknown ids are surfaced.
+        assert!(matches!(
+            store.finish_import(77),
+            Err(StoreError::UnknownStream(77))
+        ));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! Run with `cargo run --example cluster_routing`.
 
 use directory::MovieEntry;
-use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use mcam::{McamOp, McamPdu, Placement, RebalanceConfig, StackKind, World};
 use netsim::{LinkConfig, SimDuration};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
@@ -36,7 +36,21 @@ fn main() {
         ),
         store_config,
     );
-    let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(2));
+    // This walkthrough is about *routing over a fixed replica set*:
+    // park the control plane's load sampling beyond the demo's
+    // horizon so the hot title is not rebalanced mid-story (that
+    // behaviour has its own demo, `examples/hot_title_rebalance.rs`).
+    let routing_only = RebalanceConfig {
+        sample_interval: SimDuration::from_secs(3_600),
+        ..RebalanceConfig::default()
+    };
+    let cluster = world.add_cluster_with(
+        "vod",
+        3,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+        routing_only,
+    );
     println!(
         "cluster: {} servers x {:.2} Mbit/s, K=2 replicas per movie",
         cluster.servers.len(),

@@ -1,0 +1,150 @@
+//! Hot-title rebalancing and server drain, end to end.
+//!
+//! A 4-server cluster publishes a blockbuster on K=2 replicas sized
+//! so each replica sustains two viewers. Demand exceeds the replica
+//! set: the fifth viewer is refused with a clean 503. The cluster
+//! control plane ([`mcam::ClusterController`]) samples the
+//! saturation, copies the title onto the least-loaded idle server —
+//! a paced, admission-charged workload on that server's disks — and
+//! rewrites the directory entry, after which the refused viewer is
+//! admitted on the new replica. Finally one of the original holders
+//! is drained: its titles survive on other servers and it
+//! decommissions once its last stream closes.
+//!
+//! Run with: `cargo run --release --example hot_title_rebalance`
+
+use directory::MovieEntry;
+use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use netsim::{LinkConfig, SimDuration};
+use store::{CachePolicy, DiskParams, StoreConfig};
+
+fn main() {
+    // ~1.69 Mbit/s of admissible disk bandwidth per server: two
+    // ~0.69 Mbit/s streams fit, a third is refused.
+    let store_config = StoreConfig {
+        disks: 1,
+        block_size: 128 * 1024,
+        cache_blocks: 64,
+        policy: CachePolicy::Interval,
+        disk: DiskParams {
+            transfer_bytes_per_sec: 250_000,
+            ..DiskParams::default()
+        },
+        ..StoreConfig::default()
+    };
+    let link = LinkConfig::lossy(
+        SimDuration::from_millis(2),
+        SimDuration::from_micros(500),
+        0.0,
+    );
+    let mut world = World::with_config(7, link, store_config);
+    let cluster = world.add_cluster("vod", 4, StackKind::EstellePS, Placement::round_robin(2));
+    let clients: Vec<_> = (0..5)
+        .map(|i| {
+            let server = cluster.servers[i % 4].clone();
+            world.add_client(&server, StackKind::EstellePS, vec![])
+        })
+        .collect();
+    world.start();
+    for (i, client) in clients.iter().enumerate() {
+        let rsp = world.client_op(
+            client,
+            McamOp::Associate {
+                user: format!("viewer-{i}"),
+            },
+        );
+        assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+    }
+
+    let mut entry = MovieEntry::new("Blockbuster", "pending");
+    entry.frame_count = 1500; // one minute at 25 fps
+    let replicas = world.publish_replicated(&cluster, &entry);
+    println!("published \"Blockbuster\" on K=2 replicas: {replicas:?}");
+
+    let select = |world: &World, client| {
+        world.client_op(
+            client,
+            McamOp::SelectMovie {
+                title: "Blockbuster".into(),
+            },
+        )
+    };
+
+    // Four viewers fill both replicas…
+    for (i, client) in clients[..4].iter().enumerate() {
+        match select(&world, client) {
+            Some(McamPdu::SelectMovieRsp { params: Some(p) }) => {
+                println!("viewer-{i}: admitted on node-{}", p.provider_addr);
+            }
+            other => panic!("viewer-{i} must fit on the replica set: {other:?}"),
+        }
+    }
+    // …and the fifth is refused: the replica set is saturated while
+    // half the cluster idles.
+    match select(&world, &clients[4]) {
+        Some(McamPdu::ErrorRsp { code, message }) => {
+            println!("viewer-4: refused ({code}: {message})");
+            assert_eq!(code, mcam::server::ERR_ADMISSION);
+        }
+        other => panic!("expected a 503 before the rebalance: {other:?}"),
+    }
+
+    // The control plane samples the saturation, reserves copy
+    // bandwidth on the least-loaded idle server, and writes the title
+    // through its disk queues at the reserved pace.
+    println!("\ndriving the world while the control plane rebalances…");
+    world.run_for(SimDuration::from_secs(60));
+    let stats = cluster.rebalance_stats();
+    println!(
+        "rebalance stats: samples={} grows_started={} copies_completed={} directory_updates={}",
+        stats.samples, stats.grows_started, stats.copies_completed, stats.directory_updates
+    );
+    assert!(stats.copies_completed >= 1, "the grow copy must land");
+
+    // The refused viewer retries: the rewritten directory entry
+    // routes it to the fresh copy.
+    let grown = match select(&world, &clients[4]) {
+        Some(McamPdu::SelectMovieRsp { params: Some(p) }) => {
+            let location = format!("node-{}", p.provider_addr);
+            println!("viewer-4 retries: admitted on {location} (the grown replica)");
+            assert!(
+                !replicas.contains(&location),
+                "the fifth viewer lands on a server outside the original set"
+            );
+            location
+        }
+        other => panic!("viewer-4 must be admitted after the rebalance: {other:?}"),
+    };
+
+    // Drain walkthrough: take the grown server's predecessor out of
+    // service. Its streams keep playing; once the viewers deselect,
+    // it decommissions with zero under-replicated titles.
+    let victim = replicas[0].clone();
+    println!("\ndraining {victim}…");
+    cluster.drain(&victim).expect("drain accepted");
+    for (i, client) in clients.iter().enumerate() {
+        let _ = world.client_op(client, McamOp::Deselect);
+        let _ = i;
+    }
+    world.run_for(SimDuration::from_secs(60));
+    assert!(
+        cluster.rebalancer.drain_complete(&victim),
+        "drain completes once the last stream closes"
+    );
+    assert!(cluster.peers.get(&victim).is_none(), "deregistered");
+    for (title, replicas) in cluster.rebalancer.titles() {
+        assert!(
+            !replicas.is_empty() && !replicas.contains(&victim),
+            "{title} must survive the drain off {victim}"
+        );
+    }
+    let stats = cluster.rebalance_stats();
+    println!(
+        "drain complete: drains_completed={} copies_aborted={} shrinks={}",
+        stats.drains_completed, stats.copies_aborted, stats.shrinks
+    );
+    println!(
+        "\"Blockbuster\" now lives on {:?} — {grown} joined mid-run, {victim} left cleanly",
+        cluster.rebalancer.replicas_of("Blockbuster").unwrap()
+    );
+}
