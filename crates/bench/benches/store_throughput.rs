@@ -1,13 +1,20 @@
 //! Storage-subsystem benchmarks: streams sustained vs. disk count and
 //! disk-queue discipline, streams sustained vs. *server* count in a
-//! replicated cluster, buffer-cache hit ratio vs. viewer spacing, and
-//! the mixed record+playback workload (each active recording
-//! displaces one playback stream of equal bitrate).
+//! replicated cluster, buffer-cache hit ratio vs. viewer spacing, the
+//! mixed record+playback workload (each active recording displaces
+//! one playback stream of equal bitrate), and control-connection
+//! fan-out (client associations spread across the cluster through
+//! the referral protocol instead of piling onto one machine).
+//!
+//! Set `STORE_THROUGHPUT_SMOKE=1` to print the scenario report (with
+//! its assertions) and skip the timing loops — the mode CI runs on
+//! every PR to track the perf trajectory cheaply.
 
 use cluster::{Placement, RebalanceConfig, RebalanceController, ReplicaDirectory};
 use criterion::{criterion_group, criterion_main, Criterion};
+use mcam::{McamOp, McamPdu, StackKind, World};
 use mtp::MovieSource;
-use netsim::{SimDuration, SimTime};
+use netsim::{LinkConfig, SimDuration, SimTime};
 use std::sync::{Arc, Once};
 use store::{BlockStore, CachePolicy, DiskParams, DiskSched, StoreConfig};
 
@@ -229,6 +236,58 @@ fn streams_sustained_while_recording(recorders: u32) -> usize {
     admitted
 }
 
+/// Control-connection fan-out: `clients` workstations all dial the
+/// first server of a `servers`-wide cluster. Legacy clients stay
+/// where they dialed (`referrals = false`); cluster-aware clients
+/// are spread by connect-time referrals. Returns the per-server
+/// association counts, in location order.
+fn control_fanout(servers: usize, clients: usize, referrals: bool) -> Vec<usize> {
+    let link = LinkConfig::lossy(
+        SimDuration::from_millis(2),
+        SimDuration::from_micros(500),
+        0.0,
+    );
+    let mut world = World::with_stream_link(41, link);
+    let cluster = world.add_cluster(
+        "vod",
+        servers,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    );
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            if referrals {
+                world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![])
+            } else {
+                world.add_legacy_client(&cluster.servers[0], StackKind::EstellePS, vec![])
+            }
+        })
+        .collect();
+    world.start();
+    for (i, client) in handles.iter().enumerate() {
+        let rsp = world.client_op(
+            client,
+            McamOp::Associate {
+                user: format!("viewer-{i}"),
+            },
+        );
+        assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+    }
+    let counts = cluster.control_connections();
+    cluster
+        .servers
+        .iter()
+        .map(|s| {
+            let location = s.services.sps.location();
+            counts
+                .iter()
+                .find(|(l, _)| *l == location)
+                .map(|(_, n)| *n)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
 /// Streams one full movie, starting a second viewer once the leader is
 /// `spacing_frames` ahead; returns the cache hit ratio the pair
 /// achieved.
@@ -350,7 +409,34 @@ fn bench(c: &mut Criterion) {
             close > far,
             "closely-spaced viewers must hit the cache more (close={close:.3} far={far:.3})"
         );
+        println!(
+            "store_throughput: control-connection fan-out \
+             (16 clients all dial server 0 of 4)"
+        );
+        let legacy = control_fanout(4, 16, false);
+        let spread = control_fanout(4, 16, true);
+        println!("  clients=legacy        per_server={legacy:?}");
+        println!("  clients=cluster-aware per_server={spread:?}");
+        assert_eq!(
+            legacy[0], 16,
+            "legacy clients all pile onto the dialed server"
+        );
+        let fair = 16 / 4;
+        let max = *spread.iter().max().unwrap();
+        assert!(
+            max <= 2 * fair,
+            "referrals must hold every server at <= 2x its fair share \
+             (fair={fair}, got {spread:?})"
+        );
+        assert!(
+            spread.iter().all(|n| *n >= 1),
+            "no server may be left without control work: {spread:?}"
+        );
     });
+    if std::env::var_os("STORE_THROUGHPUT_SMOKE").is_some() {
+        println!("store_throughput: smoke mode — timing loops skipped");
+        return;
+    }
     let mut group = c.benchmark_group("store_throughput");
     group.sample_size(10);
     group.bench_function("admission_sweep_4_disks", |b| {
@@ -367,6 +453,9 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("two_viewers_interval_cache", |b| {
         b.iter(|| criterion::black_box(hit_ratio_at_spacing(CachePolicy::Interval, 64, 4)));
+    });
+    group.bench_function("control_fanout_8_clients", |b| {
+        b.iter(|| criterion::black_box(control_fanout(4, 8, true)));
     });
     group.finish();
 }

@@ -45,8 +45,10 @@
 
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod rebalance;
 
+pub use control::ControlBalancer;
 pub use rebalance::{
     CopyRejected, DrainError, MigrationHost, RebalanceConfig, RebalanceController, RebalanceStats,
 };

@@ -92,6 +92,21 @@ impl StateMachine for AppMachine {
                 m.awaiting = false;
             })
             .cost(SimDuration::from_micros(30)),
+            // The root, too, may confirm an operation — it reports
+            // referral-following failures itself because the MCA that
+            // carried the operation is gone by then.
+            Transition::on(
+                "root-confirmation",
+                RUN,
+                TO_ROOT,
+                |m: &mut Self, _ctx, msg| {
+                    let cnf = downcast::<McamCnf>(msg.unwrap()).unwrap();
+                    m.replies.push(cnf.0);
+                    m.awaiting = false;
+                },
+            )
+            .provided(|_, msg| msg.is_some_and(|m| m.is::<McamCnf>()))
+            .cost(SimDuration::from_micros(30)),
             Transition::spontaneous("next-op", RUN, |m: &mut Self, ctx, _| {
                 let op = m.next_op().expect("guard checked");
                 m.awaiting = true;

@@ -43,7 +43,19 @@
 //!   and *drains* servers out of service
 //!   ([`ClusterHandle::drain`]): sole-copy titles migrate
 //!   off, running streams play to completion, and the server
-//!   decommissions once its last stream closes.
+//!   decommissions once its last stream closes;
+//! - **cluster-aware clients** (the referral control plane): the
+//!   *control* association is no longer pinned to whichever server a
+//!   client dialed — a server that is over-connected, draining, or
+//!   already decommissioned answers an association open or a
+//!   `SelectMovie` with [`McamPdu::ReferralRsp`] naming a better
+//!   member (plus the live candidate list with a load hint), and the
+//!   client's root re-dials, re-associates, and replays the
+//!   interrupted request transparently (bounded hop count, loop
+//!   detection over visited servers, candidate fallback when the
+//!   target died). Old clients that never advertise the capability
+//!   in their `AssociateReq` keep the original wire format and are
+//!   always served locally.
 //!
 //! # Examples
 //!
@@ -160,6 +172,38 @@
 //! assert!(!replicas.contains(&format!("node-{}", params.provider_addr)));
 //! ```
 //!
+//! Control load spreads like stream load. Clients added with
+//! [`World::add_client`] are cluster-aware: dial every one of them at
+//! the same server and the referral protocol fans their control
+//! associations out across the cluster — a client referred away keeps
+//! working unchanged, caches its new home for the rest of the
+//! association, and is re-referred (select replayed and all) if that
+//! home later drains ([`World::add_legacy_client`] opts out; see
+//! `examples/client_redirect.rs` for the full fan-out + drain-away
+//! walkthrough and [`ControlBalancer`] for the policy and its
+//! operator pinning):
+//!
+//! ```
+//! use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+//!
+//! let mut world = World::new(31);
+//! let cluster = world.add_cluster("vod", 4, StackKind::EstellePS, Placement::round_robin(2));
+//! // Twelve workstations, all dialing the same server.
+//! let clients: Vec<_> = (0..12)
+//!     .map(|_| world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]))
+//!     .collect();
+//! world.start();
+//! for (i, c) in clients.iter().enumerate() {
+//!     let rsp = world.client_op(c, McamOp::Associate { user: format!("v{i}") });
+//!     assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+//! }
+//! // Referrals spread the control associations: nobody exceeds
+//! // twice the fair share of 3.
+//! let counts = cluster.control_connections();
+//! assert!(counts.iter().all(|(_, n)| *n <= 6), "{counts:?}");
+//! assert!(cluster.control.referrals_issued() > 0);
+//! ```
+//!
 //! Recording is a first-class workload, not a directory stunt: a
 //! `Record` acquires the camera, passes **write-bandwidth admission
 //! control**, captures frames through the striped store's write path
@@ -212,15 +256,20 @@ mod world;
 
 pub use agents::{ClusterController, SpsRegistry};
 pub use app::{AppMachine, TO_MCA as APP_TO_MCA, TO_ROOT as APP_TO_ROOT};
-pub use cluster::{DrainError, Placement, PlacementStrategy, RebalanceConfig, RebalanceStats};
+pub use cluster::{
+    ControlBalancer, DrainError, Placement, PlacementStrategy, RebalanceConfig, RebalanceStats,
+};
 pub use mca::{ClientMca, CONNECTING, CTRL, DOWN, P_RELEASING, READY, UNBOUND, UP, WAITING};
 pub use pdus::{McamPdu, MovieDesc, StreamParams};
 pub use server::{ServerMca, ServerRoot, ServerServices};
 pub use service::{
-    DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest, EquipResponse,
-    McamCnf, McamOp, McamReq, StartAssociate, StreamOp, StreamOutcome, StreamRequest,
-    StreamResponse,
+    AssocSettled, DirOp, DirOutcome, DirRequest, DirResponse, EquipOp, EquipOutcome, EquipRequest,
+    EquipResponse, McamCnf, McamOp, McamReq, ReferralSignal, ReferralStale, StartAssociate,
+    StreamOp, StreamOutcome, StreamRequest, StreamResponse,
 };
 pub use sps::{RecordedMovie, SpsError, StreamProviderSystem};
-pub use stacks::{wire_lower_stack, ClientRoot, StackKind, ROOT_TO_APP, ROOT_TO_MCA};
+pub use stacks::{
+    wire_lower_stack, wire_lower_stack_tagged, ClientRoot, ControlDial, ReferralEnd,
+    ReferralFollower, StackKind, ERR_REFERRAL, ROOT_TO_APP, ROOT_TO_MCA,
+};
 pub use world::{ClientHandle, ClusterHandle, ServerHandle, World};

@@ -5,7 +5,9 @@
 //! below and the MCAM service to the application above.
 
 use crate::pdus::McamPdu;
-use crate::service::{McamCnf, McamOp, McamReq, StartAssociate};
+use crate::service::{
+    AssocSettled, McamCnf, McamOp, McamReq, ReferralSignal, ReferralStale, StartAssociate,
+};
 use estelle::{downcast, Ctx, Interaction, IpIndex, StateId, StateMachine, Transition};
 use netsim::SimDuration;
 use presentation::mcam_contexts;
@@ -41,31 +43,81 @@ fn is<T: Interaction>(msg: Option<&dyn Interaction>) -> bool {
 pub struct ClientMca {
     /// Datagram address this client's stream receiver listens on.
     pub client_addr: u32,
+    /// Advertise referral support in the AssociateReq and act on
+    /// `ReferralRsp` (set by roots that can re-dial; a legacy client
+    /// never sees a referral because it never advertises).
+    referral_capable: bool,
     /// True when the outstanding request is a Release.
     release_pending: bool,
+    /// Deliver the association confirmation to the application
+    /// (from the current [`StartAssociate`]).
+    announce: bool,
+    /// Operation to replay once the association is up.
+    resume: Option<McamOp>,
+    /// The operation currently outstanding on the wire, kept so a
+    /// referral can carry it to the next server for replay.
+    last_op: Option<McamOp>,
     /// Requests sent.
     pub requests: u64,
     /// Responses delivered to the application.
     pub responses: u64,
+    /// Referral responses handed to the root for re-homing.
+    pub referrals_seen: u64,
     /// Decode or sequencing errors.
     pub protocol_errors: u64,
 }
 
 impl ClientMca {
-    /// Creates a client MCA whose streams arrive at `client_addr`.
+    /// Creates a client MCA whose streams arrive at `client_addr`,
+    /// speaking the pre-referral protocol (no capability advertised).
     pub fn new(client_addr: u32) -> Self {
         ClientMca {
             client_addr,
+            referral_capable: false,
             release_pending: false,
+            announce: true,
+            resume: None,
+            last_op: None,
             requests: 0,
             responses: 0,
+            referrals_seen: 0,
             protocol_errors: 0,
+        }
+    }
+
+    /// Advertises referral support: the server may answer the
+    /// association open or a SelectMovie with a redirect, which this
+    /// MCA hands to its root for re-homing.
+    pub fn referral_capable(mut self) -> Self {
+        self.referral_capable = true;
+        self
+    }
+
+    /// Reports a failed (re-)connection to the application: the
+    /// negative AssociateRsp it is waiting for, or — when the root
+    /// was transparently re-homing a request — an error confirmation
+    /// for that request, so the application is never left hanging.
+    fn fail_connect(&mut self, ctx: &mut Ctx<'_>) {
+        if self.announce {
+            ctx.output(UP, McamCnf(McamPdu::AssociateRsp { accepted: false }));
+        } else {
+            self.resume = None;
+            ctx.output(
+                UP,
+                McamCnf(McamPdu::ErrorRsp {
+                    code: 905,
+                    message: "re-association after referral failed".into(),
+                }),
+            );
         }
     }
 
     fn op_to_pdu(&self, op: McamOp) -> McamPdu {
         match op {
-            McamOp::Associate { user } => McamPdu::AssociateReq { user },
+            McamOp::Associate { user } => McamPdu::AssociateReq {
+                user,
+                referral_capable: self.referral_capable,
+            },
             McamOp::Release => McamPdu::ReleaseReq,
             McamOp::CreateMovie {
                 title,
@@ -113,9 +165,14 @@ impl StateMachine for ClientMca {
                 "start-associate",
                 UNBOUND,
                 CTRL,
-                |_m: &mut Self, ctx, msg| {
+                |m: &mut Self, ctx, msg| {
                     let start = downcast::<StartAssociate>(msg.unwrap()).unwrap();
-                    let aarq = McamPdu::AssociateReq { user: start.user };
+                    m.announce = start.announce;
+                    m.resume = start.resume;
+                    let aarq = McamPdu::AssociateReq {
+                        user: start.user,
+                        referral_capable: m.referral_capable,
+                    };
                     ctx.output(
                         DOWN,
                         PConReq {
@@ -131,18 +188,67 @@ impl StateMachine for ClientMca {
             Transition::on("assoc-cnf", CONNECTING, DOWN, |m: &mut Self, ctx, msg| {
                 let cnf = downcast::<PConCnf>(msg.unwrap()).unwrap();
                 if !cnf.accepted {
-                    ctx.output(UP, McamCnf(McamPdu::AssociateRsp { accepted: false }));
+                    // A refusal may be a referral: the server declined
+                    // to carry this control association and named a
+                    // better cluster member in the connect user data.
+                    if m.referral_capable {
+                        if let Ok(McamPdu::ReferralRsp { target, candidates }) =
+                            McamPdu::decode(&cnf.user_data)
+                        {
+                            m.referrals_seen += 1;
+                            ctx.output(
+                                CTRL,
+                                ReferralSignal {
+                                    target,
+                                    candidates,
+                                    resume: m.resume.take(),
+                                },
+                            );
+                            ctx.goto(UNBOUND);
+                            return;
+                        }
+                    }
+                    m.fail_connect(ctx);
                     ctx.goto(UNBOUND);
                     return;
                 }
                 match McamPdu::decode(&cnf.user_data) {
-                    Ok(rsp @ McamPdu::AssociateRsp { accepted }) => {
-                        ctx.output(UP, McamCnf(rsp));
-                        ctx.goto(if accepted { READY } else { UNBOUND });
+                    Ok(rsp @ McamPdu::AssociateRsp { accepted: true }) => {
+                        ctx.output(CTRL, AssocSettled);
+                        if m.announce {
+                            ctx.output(UP, McamCnf(rsp));
+                        }
+                        // A referral interrupted a request: replay it
+                        // on the new association — its confirmation
+                        // is the one the application is waiting for.
+                        if let Some(op) = m.resume.take() {
+                            m.release_pending = matches!(op, McamOp::Release);
+                            m.last_op = Some(op.clone());
+                            let pdu = m.op_to_pdu(op);
+                            m.requests += 1;
+                            ctx.output(
+                                DOWN,
+                                PDataReq {
+                                    context_id: 1,
+                                    user_data: pdu.encode(),
+                                },
+                            );
+                            ctx.goto(WAITING);
+                        } else {
+                            ctx.goto(READY);
+                        }
+                    }
+                    Ok(rsp @ McamPdu::AssociateRsp { accepted: false }) => {
+                        if m.announce {
+                            ctx.output(UP, McamCnf(rsp));
+                        } else {
+                            m.fail_connect(ctx);
+                        }
+                        ctx.goto(UNBOUND);
                     }
                     _ => {
                         m.protocol_errors += 1;
-                        ctx.output(UP, McamCnf(McamPdu::AssociateRsp { accepted: false }));
+                        m.fail_connect(ctx);
                         ctx.goto(UNBOUND);
                     }
                 }
@@ -152,6 +258,7 @@ impl StateMachine for ClientMca {
             Transition::on("request", READY, UP, |m: &mut Self, ctx, msg| {
                 let req = downcast::<McamReq>(msg.unwrap()).unwrap();
                 m.release_pending = matches!(req.0, McamOp::Release);
+                m.last_op = Some(req.0.clone());
                 let pdu = m.op_to_pdu(req.0);
                 m.requests += 1;
                 ctx.output(
@@ -168,8 +275,30 @@ impl StateMachine for ClientMca {
             Transition::on("response", WAITING, DOWN, |m: &mut Self, ctx, msg| {
                 let ind = downcast::<PDataInd>(msg.unwrap()).unwrap();
                 match McamPdu::decode(&ind.user_data) {
+                    // Mid-session referral: the server (overloaded or
+                    // draining) declined the outstanding request and
+                    // named a better home. Hand target + request to
+                    // the root, which re-dials and replays it there;
+                    // this association is dead to us.
+                    Ok(McamPdu::ReferralRsp { target, candidates }) if m.referral_capable => {
+                        m.referrals_seen += 1;
+                        ctx.output(
+                            CTRL,
+                            ReferralSignal {
+                                target,
+                                candidates,
+                                resume: m.last_op.take(),
+                            },
+                        );
+                        ctx.goto(UNBOUND);
+                    }
                     Ok(pdu) => {
                         m.responses += 1;
+                        // A saturation report voids whatever referral
+                        // the root cached: cluster load has moved.
+                        if matches!(pdu, McamPdu::ErrorRsp { code: 503, .. }) {
+                            ctx.output(CTRL, ReferralStale);
+                        }
                         if m.release_pending && pdu == McamPdu::ReleaseRsp {
                             // The MCAM association is gone; tear down
                             // the presentation association before
@@ -207,6 +336,7 @@ impl StateMachine for ClientMca {
             Transition::on("aborted", UNBOUND, DOWN, |m: &mut Self, ctx, msg| {
                 let _ = downcast::<PAbortInd>(msg.unwrap()).unwrap();
                 m.protocol_errors += 1;
+                ctx.output(CTRL, ReferralStale);
                 ctx.output(
                     UP,
                     McamCnf(McamPdu::ErrorRsp {
@@ -223,12 +353,17 @@ impl StateMachine for ClientMca {
             // Re-association: after a Release the MCA returns to
             // UNBOUND; a fresh Associate from the application re-runs
             // connection establishment on the same stack.
-            Transition::on("re-associate", UNBOUND, UP, |_m: &mut Self, ctx, msg| {
+            Transition::on("re-associate", UNBOUND, UP, |m: &mut Self, ctx, msg| {
                 let req = downcast::<McamReq>(msg.unwrap()).unwrap();
                 let McamOp::Associate { user } = req.0 else {
                     unreachable!("guard admits only Associate")
                 };
-                let aarq = McamPdu::AssociateReq { user };
+                m.announce = true;
+                m.resume = None;
+                let aarq = McamPdu::AssociateReq {
+                    user,
+                    referral_capable: m.referral_capable,
+                };
                 ctx.output(
                     DOWN,
                     PConReq {

@@ -40,6 +40,12 @@ pub enum McamPdu {
     AssociateReq {
         /// User name for accounting.
         user: String,
+        /// The client understands [`McamPdu::ReferralRsp`] and will
+        /// follow a redirect to another cluster server. Encoded only
+        /// when true, so pre-referral clients produce (and servers
+        /// accept) the original two-field form; a server never refers
+        /// a client that did not advertise the capability.
+        referral_capable: bool,
     },
     /// Association response.
     AssociateRsp {
@@ -174,6 +180,22 @@ pub enum McamPdu {
         /// Human-readable message.
         message: String,
     },
+    /// Referral: the server declines to carry this client's control
+    /// association (it is overloaded or draining) and names a better
+    /// cluster member. Sent only to clients that advertised
+    /// `referral_capable`, either as the connect-refusal user data of
+    /// an association open or in place of a `SelectMovieRsp`; the
+    /// client re-opens its control connection at `target` (falling
+    /// back across `candidates` when the target is gone) and replays
+    /// the interrupted operation there.
+    ReferralRsp {
+        /// Location name (`"node-<n>"`) of the server to reconnect to.
+        target: String,
+        /// The cluster's current live servers with a load hint —
+        /// `(location, available disk bandwidth in bits/second)`,
+        /// best candidate first.
+        candidates: Vec<(String, u64)>,
+    },
 }
 
 const T_ASSOC_REQ: u32 = 0;
@@ -205,6 +227,7 @@ const T_SEEK_RSP: u32 = 25;
 const T_RECORD_REQ: u32 = 26;
 const T_RECORD_RSP: u32 = 27;
 const T_ERROR_RSP: u32 = 28;
+const T_REFERRAL_RSP: u32 = 29;
 
 fn write_attr_list(attrs: &[(String, Value)], out: &mut Vec<u8>) {
     ber::write_constructed(Tag::SEQUENCE, out, |c| {
@@ -262,8 +285,16 @@ impl McamPdu {
             ber::write_constructed(Tag::application(n), out, |c| f(c));
         };
         match self {
-            McamPdu::AssociateReq { user } => write(T_ASSOC_REQ, &mut out, &|c| {
+            McamPdu::AssociateReq {
+                user,
+                referral_capable,
+            } => write(T_ASSOC_REQ, &mut out, &|c| {
                 ber::write_string(user, c);
+                // Omitted when false: the original two-field form,
+                // byte-identical to what pre-referral clients send.
+                if *referral_capable {
+                    ber::write_bool(true, c);
+                }
             }),
             McamPdu::AssociateRsp { accepted } => write(T_ASSOC_RSP, &mut out, &|c| {
                 ber::write_bool(*accepted, c);
@@ -373,6 +404,17 @@ impl McamPdu {
                 ber::write_integer(i64::from(*code), c);
                 ber::write_string(message, c);
             }),
+            McamPdu::ReferralRsp { target, candidates } => write(T_REFERRAL_RSP, &mut out, &|c| {
+                ber::write_string(target, c);
+                ber::write_constructed(Tag::SEQUENCE, c, |list| {
+                    for (location, available_bps) in candidates {
+                        ber::write_constructed(Tag::SEQUENCE, list, |item| {
+                            ber::write_string(location, item);
+                            ber::write_integer(*available_bps as i64, item);
+                        });
+                    }
+                });
+            }),
         }
         out
     }
@@ -393,9 +435,20 @@ impl McamPdu {
         }
         let mut c = r.descend(content)?;
         let pdu = match tag.number {
-            T_ASSOC_REQ => McamPdu::AssociateReq {
-                user: ber::read_string(&mut c)?,
-            },
+            T_ASSOC_REQ => {
+                let user = ber::read_string(&mut c)?;
+                // The capability flag is a trailing addition: absent
+                // in pre-referral encodings, which decode as false.
+                let referral_capable = if c.is_empty() {
+                    false
+                } else {
+                    ber::read_bool(&mut c)?
+                };
+                McamPdu::AssociateReq {
+                    user,
+                    referral_capable,
+                }
+            }
             T_ASSOC_RSP => McamPdu::AssociateRsp {
                 accepted: ber::read_bool(&mut c)?,
             },
@@ -506,6 +559,21 @@ impl McamPdu {
                 code: ber::read_integer(&mut c)?.clamp(0, i64::from(u32::MAX)) as u32,
                 message: ber::read_string(&mut c)?,
             },
+            T_REFERRAL_RSP => {
+                let target = ber::read_string(&mut c)?;
+                let list = c.read_expect(Tag::SEQUENCE)?;
+                let mut lr = c.descend(list)?;
+                let mut candidates = Vec::new();
+                while !lr.is_empty() {
+                    let item = lr.read_expect(Tag::SEQUENCE)?;
+                    let mut ir = lr.descend(item)?;
+                    let location = ber::read_string(&mut ir)?;
+                    let available_bps = ber::read_integer(&mut ir)?.max(0) as u64;
+                    ir.expect_end()?;
+                    candidates.push((location, available_bps));
+                }
+                McamPdu::ReferralRsp { target, candidates }
+            }
             other => {
                 return Err(Asn1Error::UnknownVariant {
                     what: "McamPdu",
@@ -527,6 +595,11 @@ mod tests {
         vec![
             McamPdu::AssociateReq {
                 user: "keller".into(),
+                referral_capable: false,
+            },
+            McamPdu::AssociateReq {
+                user: "effelsberg".into(),
+                referral_capable: true,
             },
             McamPdu::AssociateRsp { accepted: true },
             McamPdu::ReleaseReq,
@@ -597,6 +670,14 @@ mod tests {
                 code: 42,
                 message: "no such movie".into(),
             },
+            McamPdu::ReferralRsp {
+                target: "node-3".into(),
+                candidates: vec![("node-3".into(), 8_000_000), ("node-2".into(), 2_000_000)],
+            },
+            McamPdu::ReferralRsp {
+                target: "node-1".into(),
+                candidates: vec![],
+            },
         ]
     }
 
@@ -629,7 +710,57 @@ mod tests {
         enc[0] = 0x7f; // unknown application tag (high form)
         assert!(McamPdu::decode(&enc).is_err());
         // Truncated content.
-        let enc = McamPdu::AssociateReq { user: "u".into() }.encode();
+        let enc = McamPdu::AssociateReq {
+            user: "u".into(),
+            referral_capable: false,
+        }
+        .encode();
         assert!(McamPdu::decode(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn old_form_associate_req_decodes_without_capability() {
+        // A pre-referral client encodes only the user name; such
+        // PDUs must keep decoding (capability false), and the
+        // capable=false encoding must be byte-identical to it.
+        let mut old = Vec::new();
+        ber::write_constructed(Tag::application(T_ASSOC_REQ), &mut old, |c| {
+            ber::write_string("legacy", c);
+        });
+        assert_eq!(
+            McamPdu::decode(&old).unwrap(),
+            McamPdu::AssociateReq {
+                user: "legacy".into(),
+                referral_capable: false,
+            }
+        );
+        assert_eq!(
+            McamPdu::AssociateReq {
+                user: "legacy".into(),
+                referral_capable: false,
+            }
+            .encode(),
+            old
+        );
+    }
+
+    #[test]
+    fn referral_is_unknown_to_old_decoders() {
+        // Tag 29 did not exist before the referral extension: an old
+        // decoder's `other =>` arm reported it as an unknown variant,
+        // which is why servers only refer capable clients. Sanity:
+        // the tag is what we claim.
+        let enc = McamPdu::ReferralRsp {
+            target: "node-2".into(),
+            candidates: vec![],
+        }
+        .encode();
+        let (tag, _) = asn1::Tag::decode(&enc).unwrap();
+        assert_eq!(tag.number, T_REFERRAL_RSP);
+        assert!(!McamPdu::ReferralRsp {
+            target: String::new(),
+            candidates: vec![]
+        }
+        .is_request());
     }
 }

@@ -14,7 +14,7 @@ use crate::service::{
     StreamOp, StreamOutcome, StreamRequest, StreamResponse,
 };
 use crate::sps::StreamProviderSystem;
-use crate::stacks::{wire_lower_stack, StackKind};
+use crate::stacks::{wire_lower_stack_tagged, StackKind};
 use directory::{Dn, Dua, MovieEntry};
 use equipment::Eua;
 use estelle::{
@@ -22,7 +22,9 @@ use estelle::{
     Transition,
 };
 use netsim::{Medium, SimDuration};
+use parking_lot::Mutex;
 use presentation::service::{PAbortInd, PConInd, PConRsp, PDataInd, PDataReq, PRelInd, PRelRsp};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Interaction point to the presentation service.
@@ -42,6 +44,12 @@ pub const READY: StateId = StateId(1);
 pub const BUSY: StateId = StateId(2);
 
 const COST_REQ: SimDuration = SimDuration::from_micros(250);
+
+/// How long a referred-away entity survives before the root reaps it:
+/// long enough for the referral reply to drain through its stack
+/// modules (whose per-transition costs are microseconds) and onto the
+/// wire.
+const REAP_GRACE: SimDuration = SimDuration::from_millis(20);
 
 /// MCAM error code for disk-bandwidth admission rejection (server
 /// saturated; retry later or elsewhere).
@@ -74,6 +82,19 @@ pub struct ServerServices {
     /// peers), grows hot titles onto idle servers, and drains
     /// servers out of service.
     pub rebalancer: Arc<ClusterController>,
+    /// The cluster's control-association balancer: every accepted
+    /// association is accounted here, and an incoming association
+    /// (or a `SelectMovie` on a draining member) consults it to
+    /// decide whether the client should be *referred* to a
+    /// less-loaded member instead of served locally.
+    pub control: Arc<cluster::ControlBalancer>,
+    /// Server entities whose client was referred away: the client
+    /// abandons the connection without a release handshake, so the
+    /// entity reports itself here (with the instant it may be
+    /// collected) and the [`ServerRoot`] reaps it — MCA plus lower
+    /// stack — once the grace period has let the referral reply
+    /// drain through the stack.
+    pub reaper: Arc<Mutex<Vec<(estelle::ModuleId, netsim::SimTime)>>>,
     /// Frame rate cameras capture at (the world's record knob).
     pub record_frame_rate: u32,
     /// Equipment client for the server site.
@@ -171,6 +192,10 @@ pub struct ServerMca {
     services: ServerServices,
     /// Associated user, when bound.
     pub user: Option<String>,
+    /// The associated client advertised referral support.
+    client_referral_capable: bool,
+    /// This entity's association is counted in the control balancer.
+    counted: bool,
     selected: Option<Selected>,
     /// Recording session in progress on the local provider, if any.
     recording: Option<u32>,
@@ -185,6 +210,9 @@ pub struct ServerMca {
     /// `SelectMovie` opens that fell over to another replica after a
     /// rejection.
     pub failovers: u64,
+    /// Referrals issued to capable clients (connect-time or select-
+    /// time).
+    pub referrals_issued: u64,
     /// Labels inherited by the child agents.
     labels: ModuleLabels,
 }
@@ -195,6 +223,8 @@ impl ServerMca {
         ServerMca {
             services,
             user: None,
+            client_referral_capable: false,
+            counted: false,
             selected: None,
             recording: None,
             pending: None,
@@ -202,8 +232,21 @@ impl ServerMca {
             protocol_errors: 0,
             route_decisions: 0,
             failovers: 0,
+            referrals_issued: 0,
             labels,
         }
+    }
+
+    /// Stops counting this entity's association against the local
+    /// server (released, aborted, or referred away).
+    fn drop_association(&mut self) {
+        if self.counted {
+            self.services
+                .control
+                .disconnected(&self.services.sps.location());
+            self.counted = false;
+        }
+        self.user = None;
     }
 
     /// Closes the selected stream, if any, on whichever replica hosts
@@ -277,6 +320,38 @@ impl ServerMca {
                 ctx.goto(BUSY);
             }
             SelectMovieReq { title, client_addr } => {
+                // Drain-away: a draining (or operator-pinned) server
+                // hands its capable clients to a live member at their
+                // next select, so control associations leave well
+                // before decommission — and a server that already
+                // decommissioned (drained instantly, with clients
+                // still attached) refers them the same way instead of
+                // serving as a zombie. The client replays the select
+                // at the target; this entity's association is over.
+                if self.client_referral_capable {
+                    let local = self.services.sps.location();
+                    if self.services.peers.is_draining(&local)
+                        || self.services.peers.get(&local).is_none()
+                        || self.services.control.is_pinned(&local)
+                    {
+                        let loads = self.services.peers.loads();
+                        if let Some(target) = self.services.control.refer_target(&local, &loads) {
+                            self.referrals_issued += 1;
+                            let candidates = self.services.control.candidates(&loads);
+                            self.reply(ctx, McamPdu::ReferralRsp { target, candidates });
+                            self.close_selected();
+                            self.drop_association();
+                            // The client is gone for good: schedule
+                            // this whole entity for reaping.
+                            self.services
+                                .reaper
+                                .lock()
+                                .push((ctx.self_ip(DOWN).module, ctx.now() + REAP_GRACE));
+                            ctx.goto(IDLE);
+                            return;
+                        }
+                    }
+                }
                 self.pending = Some(Pending::SelectLookup { client_addr });
                 ctx.output(TO_DUA, DirRequest(DirOp::Lookup { title }));
                 ctx.goto(BUSY);
@@ -437,10 +512,12 @@ impl ServerMca {
                     // have uncommitted, and try the best first. With
                     // no registered replica (seeded entries with
                     // symbolic locations, or every replica dead or
-                    // draining), serve from the local store — unless
-                    // the local server is itself draining, in which
-                    // case a new stream must not land on it: pick the
-                    // most-available live peer instead.
+                    // draining), fall back to the cluster's live
+                    // servers: the local one first (unless it is
+                    // itself draining — a new stream must not land on
+                    // it), then the peers most-available-first, so a
+                    // momentarily busy local store fails over instead
+                    // of refusing while a peer idles.
                     let mut candidates: Vec<String> = self
                         .services
                         .peers
@@ -448,21 +525,31 @@ impl ServerMca {
                         .into_iter()
                         .map(|(location, _)| location)
                         .collect();
-                    let location = if candidates.is_empty() {
+                    if candidates.is_empty() {
                         let local = self.services.sps.location();
-                        if self.services.peers.is_draining(&local) {
-                            self.services
-                                .peers
-                                .loads()
-                                .into_iter()
-                                .filter(|s| !s.draining)
-                                .max_by_key(|s| {
-                                    (s.load.available_bps, std::cmp::Reverse(s.location.clone()))
-                                })
-                                .map(|s| s.location)
-                        } else {
-                            None
+                        let mut fallback: Vec<(u64, String)> = self
+                            .services
+                            .peers
+                            .loads()
+                            .into_iter()
+                            .filter(|s| !s.draining && s.location != local)
+                            .map(|s| (s.load.available_bps, s.location))
+                            .collect();
+                        fallback.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                        // Local service only while the server is in
+                        // the cluster: draining and decommissioned
+                        // machines must not host new streams.
+                        if self.services.peers.get(&local).is_some()
+                            && !self.services.peers.is_draining(&local)
+                        {
+                            candidates.push(local);
                         }
+                        candidates.extend(fallback.into_iter().map(|(_, l)| l));
+                    }
+                    let location = if candidates.is_empty() {
+                        // Nothing live anywhere: last-resort local
+                        // service keeps single-server worlds working.
+                        None
                     } else {
                         Some(candidates.remove(0))
                     };
@@ -799,8 +886,45 @@ impl StateMachine for ServerMca {
             Transition::on("assoc-ind", IDLE, DOWN, |m: &mut Self, ctx, msg| {
                 let ind = downcast::<PConInd>(msg.unwrap()).unwrap();
                 match McamPdu::decode(&ind.user_data) {
-                    Ok(McamPdu::AssociateReq { user }) => {
+                    Ok(McamPdu::AssociateReq {
+                        user,
+                        referral_capable,
+                    }) => {
+                        // Control-plane balancing: a capable client
+                        // is referred to a less-loaded (or simply
+                        // non-draining) cluster member instead of
+                        // piling onto this one. Legacy clients are
+                        // always served locally.
+                        if referral_capable {
+                            let local = m.services.sps.location();
+                            let loads = m.services.peers.loads();
+                            if let Some(target) = m.services.control.refer_target(&local, &loads) {
+                                m.referrals_issued += 1;
+                                let referral = McamPdu::ReferralRsp {
+                                    target,
+                                    candidates: m.services.control.candidates(&loads),
+                                };
+                                ctx.output(
+                                    DOWN,
+                                    PConRsp {
+                                        accept: false,
+                                        user_data: referral.encode(),
+                                    },
+                                );
+                                // The refused client re-dials another
+                                // server; this entity will never see
+                                // another PDU — reap it.
+                                m.services
+                                    .reaper
+                                    .lock()
+                                    .push((ctx.self_ip(DOWN).module, ctx.now() + REAP_GRACE));
+                                return;
+                            }
+                        }
                         m.user = Some(user);
+                        m.client_referral_capable = referral_capable;
+                        m.services.control.connected(&m.services.sps.location());
+                        m.counted = true;
                         let aare = McamPdu::AssociateRsp { accepted: true };
                         ctx.output(
                             DOWN,
@@ -879,7 +1003,7 @@ impl StateMachine for ServerMca {
             Transition::on("rel-ind", READY, DOWN, |m: &mut Self, ctx, msg| {
                 let _ = downcast::<PRelInd>(msg.unwrap()).unwrap();
                 m.close_selected();
-                m.user = None;
+                m.drop_association();
                 ctx.output(DOWN, PRelRsp);
             })
             .provided(|_, msg| is::<PRelInd>(msg))
@@ -888,7 +1012,7 @@ impl StateMachine for ServerMca {
             Transition::on("abort-ind", IDLE, DOWN, |m: &mut Self, ctx, msg| {
                 let _ = downcast::<PAbortInd>(msg.unwrap()).unwrap();
                 m.close_selected();
-                m.user = None;
+                m.drop_association();
                 let _ = ctx;
             })
             .any_state()
@@ -911,6 +1035,14 @@ pub struct ServerRoot {
     pub pending_media: Vec<(Box<dyn Medium>, u16)>,
     /// MCA module ids of spawned entities.
     pub entities: Vec<estelle::ModuleId>,
+    /// Lower-stack modules per entity, so reaping an abandoned
+    /// entity releases its whole connection subtree.
+    stacks: Vec<(estelle::ModuleId, Vec<estelle::ModuleId>)>,
+    /// Entities spawned per connection index (referral re-dials
+    /// reuse the index; later incarnations get a name suffix).
+    spawned: HashMap<u16, u32>,
+    /// Entities reaped after their client was referred away.
+    pub reaped: u64,
 }
 
 impl std::fmt::Debug for ServerRoot {
@@ -932,6 +1064,9 @@ impl ServerRoot {
             stack,
             pending_media: Vec::new(),
             entities: Vec::new(),
+            stacks: Vec::new(),
+            spawned: HashMap::new(),
+            reaped: 0,
         }
     }
 }
@@ -946,21 +1081,75 @@ impl StateMachine for ServerRoot {
     }
 
     fn transitions() -> Vec<Transition<Self>> {
+        // Two states: RUN (0) accepts connections; REAPING (1) is a
+        // bounce the root takes when referred-away entities await
+        // collection — the state *change* re-arms the delay clause
+        // (delays are measured from state entry), so the grace period
+        // is real and the referral reply drains through the doomed
+        // stack before it is released.
+        const RUN: StateId = StateId(0);
+        const REAPING: StateId = StateId(1);
         vec![
-            Transition::spontaneous("accept", StateId(0), |m: &mut Self, ctx, _| {
+            Transition::spontaneous("accept", RUN, |m: &mut Self, ctx, _| {
                 let (medium, conn) = m.pending_media.remove(0);
                 let labels = ModuleLabels::layer_conn(0, conn);
+                let incarnation = m.spawned.entry(conn).or_insert(0);
+                let tag = if *incarnation == 0 {
+                    conn.to_string()
+                } else {
+                    format!("{conn}r{incarnation}")
+                };
+                *incarnation += 1;
                 let mca = ctx.create_child(
-                    format!("server-mca-{conn}"),
+                    format!("server-mca-{tag}"),
                     ModuleKind::Process,
                     labels,
                     ServerMca::new(m.services.clone(), labels),
                 );
-                wire_lower_stack(ctx, mca, DOWN, m.stack, medium, conn);
+                let stack = wire_lower_stack_tagged(ctx, mca, DOWN, m.stack, medium, conn, &tag);
                 m.entities.push(mca);
+                m.stacks.push((mca, stack));
             })
+            .any_state()
             .provided(|m, _| !m.pending_media.is_empty())
             .cost(SimDuration::from_micros(400)),
+            Transition::spontaneous("reap-arm", RUN, |_m: &mut Self, _ctx, _| {})
+                .provided(|m, _| !m.services.reaper.lock().is_empty())
+                .to(REAPING)
+                .cost(SimDuration::from_micros(10)),
+            // Release entities whose client was referred to another
+            // server: the client never releases the association (it
+            // re-dialed), so the entity and its stack would otherwise
+            // accumulate forever. Only entries past their grace
+            // deadline are collected; the rest re-arm the bounce.
+            Transition::spontaneous("reap", REAPING, |m: &mut Self, ctx, _| {
+                let now = ctx.now();
+                let due: Vec<estelle::ModuleId> = {
+                    let mut reaper = m.services.reaper.lock();
+                    let ripe: Vec<estelle::ModuleId> = reaper
+                        .iter()
+                        .filter(|(_, at)| *at <= now)
+                        .map(|(mca, _)| *mca)
+                        .collect();
+                    reaper.retain(|(_, at)| *at > now);
+                    ripe
+                };
+                for mca in due {
+                    m.entities.retain(|e| *e != mca);
+                    let Some(idx) = m.stacks.iter().position(|(e, _)| *e == mca) else {
+                        continue; // already collected
+                    };
+                    let (_, stack) = m.stacks.swap_remove(idx);
+                    ctx.release_child(mca);
+                    for module in stack {
+                        ctx.release_child(module);
+                    }
+                    m.reaped += 1;
+                }
+            })
+            .delay(REAP_GRACE)
+            .to(RUN)
+            .cost(SimDuration::from_micros(100)),
         ]
     }
 }

@@ -93,12 +93,51 @@ pub struct McamReq(pub McamOp);
 pub struct McamCnf(pub McamPdu);
 
 /// Root-to-MCA instruction to start association establishment (sent
-/// after the client root has created the stack on demand, paper §4.1).
+/// after the client root has created the stack on demand, paper §4.1
+/// — and again, on a fresh stack, each time a referral re-homes the
+/// control connection).
 #[derive(Debug)]
 pub struct StartAssociate {
     /// User name for the AssociateReq.
     pub user: String,
+    /// Deliver the association confirmation to the application. True
+    /// on the application's own Associate (even across connect-time
+    /// referral hops); false when the root re-associates
+    /// transparently to follow a mid-session referral — the
+    /// application is then waiting for `resume`'s confirmation, not
+    /// another AssociateRsp.
+    pub announce: bool,
+    /// Operation to replay once the association is up: the request a
+    /// referral interrupted.
+    pub resume: Option<McamOp>,
 }
+
+/// MCA-to-root notification: the peer referred this association to
+/// another cluster server. The root decides whether and where to
+/// re-dial (hop budget, loop detection, candidate fallback) and
+/// rebuilds the MCA with a fresh stack there.
+#[derive(Debug)]
+pub struct ReferralSignal {
+    /// Target the peer named.
+    pub target: String,
+    /// Candidate servers with a load hint, best-first, carried in the
+    /// referral.
+    pub candidates: Vec<(String, u64)>,
+    /// The operation that was outstanding when the referral arrived.
+    pub resume: Option<McamOp>,
+}
+
+/// MCA-to-root notification: the association is up — the referral
+/// chain (if any) settled and the hop budget resets.
+#[derive(Debug)]
+pub struct AssocSettled;
+
+/// MCA-to-root notification: the server reported storage saturation
+/// (`ErrorRsp 503`) or the association aborted — the root's cached
+/// referral no longer reflects cluster load and is dropped, so the
+/// next referral re-resolves from fresh candidates.
+#[derive(Debug)]
+pub struct ReferralStale;
 
 // --- MCA <-> DUA ------------------------------------------------------
 
@@ -314,6 +353,9 @@ impl_interaction!(
     McamReq,
     McamCnf,
     StartAssociate,
+    ReferralSignal,
+    AssocSettled,
+    ReferralStale,
     DirRequest,
     DirResponse,
     StreamRequest,

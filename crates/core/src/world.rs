@@ -7,8 +7,8 @@ use crate::pdus::{McamPdu, StreamParams};
 use crate::server::{ServerRoot, ServerServices};
 use crate::service::McamOp;
 use crate::sps::StreamProviderSystem;
-use crate::stacks::{ClientRoot, StackKind};
-use cluster::{DrainError, Placement, RebalanceConfig, RebalanceStats};
+use crate::stacks::{ClientRoot, ControlDial, StackKind};
+use cluster::{ControlBalancer, DrainError, Placement, RebalanceConfig, RebalanceStats};
 use directory::{attr, Dn, Dsa, Dua, MovieEntry, Rdn};
 use equipment::{Eca, EquipmentClass, Eua};
 use estelle::sched::{run_sequential, SeqOptions};
@@ -18,8 +18,70 @@ use netsim::{
     DatagramNet, DatagramSocket, LinkConfig, Medium, NetAddr, Network, Pipe, PipeMedium,
     SimDuration, SimTime,
 };
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 use store::{BlockStore, StoreConfig, StoreStats};
+
+/// The world's [`ControlDial`] implementation: opens a fresh control
+/// pipe towards a server named by location. The pipe's client end is
+/// returned immediately; its server end is queued here and handed to
+/// the server's root module by the world's driver loop (a transition
+/// must not reach back into the runtime it is executing on).
+struct WorldDialer {
+    net: Arc<Network>,
+    delay: SimDuration,
+    /// location → (server root, the registry that knows whether the
+    /// location is still live).
+    targets: Mutex<HashMap<String, (ModuleId, Arc<SpsRegistry>)>>,
+    /// Server-side media awaiting hand-off.
+    pending: Mutex<Vec<PendingDial>>,
+}
+
+/// A dialed control pipe's server end, waiting for the world's driver
+/// to hand it to its server root: (root, medium, connection index).
+type PendingDial = (ModuleId, Box<dyn Medium>, u16);
+
+impl WorldDialer {
+    fn new(net: Arc<Network>, delay: SimDuration) -> Self {
+        WorldDialer {
+            net,
+            delay,
+            targets: Mutex::new(HashMap::new()),
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn register(&self, location: String, root: ModuleId, peers: Arc<SpsRegistry>) {
+        self.targets.lock().insert(location, (root, peers));
+    }
+
+    fn take_pending(&self) -> Vec<(ModuleId, Box<dyn Medium>, u16)> {
+        std::mem::take(&mut *self.pending.lock())
+    }
+}
+
+impl ControlDial for WorldDialer {
+    fn dial(&self, location: &str, conn: u16) -> Option<Box<dyn Medium>> {
+        let (root, peers) = {
+            let targets = self.targets.lock();
+            let (root, peers) = targets.get(location)?;
+            (*root, Arc::clone(peers))
+        };
+        // Decommissioned servers leave the registry; draining ones
+        // must not gain control associations either. Both look dead
+        // to the dialer, which makes the client fall back across the
+        // referral's candidate list.
+        if peers.get(location).is_none() || peers.is_draining(location) {
+            return None;
+        }
+        let (client_end, server_end) = Pipe::create(&self.net, self.delay);
+        self.pending
+            .lock()
+            .push((root, Box::new(PipeMedium::new(server_end)), conn));
+        Some(Box::new(PipeMedium::new(client_end)))
+    }
+}
 
 /// A server machine in the world.
 #[derive(Debug, Clone)]
@@ -46,6 +108,11 @@ pub struct ClusterHandle {
     /// The cluster's control plane (ticked by the world's driver on
     /// the netsim clock).
     pub rebalancer: Arc<ClusterController>,
+    /// The cluster's control-association balancer: accounts every
+    /// member's live control associations and decides referrals
+    /// (inspect it with [`ClusterHandle::control_connections`], steer
+    /// it with [`cluster::ControlBalancer::pin`]).
+    pub control: Arc<ControlBalancer>,
 }
 
 impl std::fmt::Debug for ClusterHandle {
@@ -81,6 +148,12 @@ impl ClusterHandle {
             let stats = s.services.store.stats();
             (c + stats.committed_bps, t + stats.capacity_bps)
         })
+    }
+
+    /// Live control associations per member, sorted by location — the
+    /// control-plane counterpart of [`ClusterHandle::store_stats`].
+    pub fn control_connections(&self) -> Vec<(String, usize)> {
+        self.control.snapshot()
     }
 
     /// Recording sessions in progress across all members.
@@ -156,9 +229,14 @@ pub struct World {
     /// after this point (the `Record` write path paces captured
     /// frames — and sizes its write-bandwidth demand — at this rate).
     pub record_frame_rate: u32,
+    /// Referral hop budget handed to cluster-aware clients (the
+    /// bounded hop count of the redirect protocol).
+    pub referral_max_hops: u32,
     providers: Vec<Arc<StreamProviderSystem>>,
     /// Every cluster's control plane, ticked by the driver loop.
     rebalancers: Vec<Arc<ClusterController>>,
+    /// Opens referral-target control pipes for cluster-aware clients.
+    dialer: Arc<WorldDialer>,
     next_addr: u32,
     next_conn: u16,
     /// Scheduler options used by the driver.
@@ -186,15 +264,19 @@ impl World {
         let net = Arc::new(Network::new(seed));
         let dg = DatagramNet::new(&net, stream_link, seed.wrapping_add(17));
         let rt = Arc::new(Runtime::with_virtual_clock(net.clock()));
+        let control_delay = SimDuration::from_millis(1);
+        let dialer = Arc::new(WorldDialer::new(Arc::clone(&net), control_delay));
         World {
             net,
             dg,
             rt,
-            control_delay: SimDuration::from_millis(1),
+            control_delay,
             store_config,
             record_frame_rate: 25,
+            referral_max_hops: 4,
             providers: Vec::new(),
             rebalancers: Vec::new(),
+            dialer,
             next_addr: 1,
             next_conn: 0,
             seq_options: SeqOptions::default(),
@@ -237,7 +319,8 @@ impl World {
             RebalanceConfig::default(),
         ));
         self.rebalancers.push(Arc::clone(&rebalancer));
-        self.build_server(name, stack, &dsa, base, &peers, &rebalancer)
+        let control = Arc::new(ControlBalancer::new());
+        self.build_server(name, stack, &dsa, base, &peers, &rebalancer, &control)
     }
 
     /// Adds `count` server machines sharing one movie directory, one
@@ -297,6 +380,7 @@ impl World {
             ClusterController::new(Arc::clone(&peers), placement, rebalance).with_sink(sink),
         );
         self.rebalancers.push(Arc::clone(&rebalancer));
+        let control = Arc::new(ControlBalancer::new());
         let servers = (0..count.max(1))
             .map(|i| {
                 self.build_server(
@@ -306,6 +390,7 @@ impl World {
                     base.clone(),
                     &peers,
                     &rebalancer,
+                    &control,
                 )
             })
             .collect();
@@ -314,6 +399,7 @@ impl World {
             servers,
             peers,
             rebalancer,
+            control,
         }
     }
 
@@ -332,6 +418,7 @@ impl World {
         replicas
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_server(
         &mut self,
         name: &str,
@@ -340,6 +427,7 @@ impl World {
         base: Dn,
         peers: &Arc<SpsRegistry>,
         rebalancer: &Arc<ClusterController>,
+        control: &Arc<ControlBalancer>,
     ) -> ServerHandle {
         let dua = Dua::new(dsa);
         let eca = Eca::new(format!("site-{name}"));
@@ -361,6 +449,8 @@ impl World {
             store,
             peers: Arc::clone(peers),
             rebalancer: Arc::clone(rebalancer),
+            control: Arc::clone(control),
+            reaper: Arc::new(Mutex::new(Vec::new())),
             record_frame_rate: self.record_frame_rate,
             eua,
             eca: Arc::clone(&eca),
@@ -376,6 +466,8 @@ impl World {
                 ServerRoot::new(services.clone(), stack),
             )
             .expect("world builds before start");
+        self.dialer
+            .register(services.sps.location(), root, Arc::clone(peers));
         ServerHandle { root, services }
     }
 
@@ -388,9 +480,14 @@ impl World {
         self.rt.enable_dynamic_systems();
     }
 
-    /// Adds a client workstation connected to `server` by a control
-    /// pipe, running `script` (first op must be `Associate` — or push
-    /// operations later with [`World::push_op`]).
+    /// Adds a cluster-aware client workstation connected to `server`
+    /// by a control pipe, running `script` (first op must be
+    /// `Associate` — or push operations later with [`World::push_op`]).
+    /// The client advertises referral support: an overloaded or
+    /// draining server may redirect its control association to
+    /// another cluster member, which the client follows transparently
+    /// (bounded by [`World::referral_max_hops`]). Use
+    /// [`World::add_legacy_client`] for a pre-referral client.
     ///
     /// # Panics
     ///
@@ -402,6 +499,33 @@ impl World {
         server: &ServerHandle,
         stack: StackKind,
         script: Vec<McamOp>,
+    ) -> ClientHandle {
+        self.build_client(server, stack, script, true)
+    }
+
+    /// Adds a client speaking the pre-referral protocol: it never
+    /// advertises referral support, so every server keeps serving it
+    /// locally — the back-compatibility contract of the referral
+    /// extension.
+    ///
+    /// # Panics
+    ///
+    /// See [`World::add_client`].
+    pub fn add_legacy_client(
+        &mut self,
+        server: &ServerHandle,
+        stack: StackKind,
+        script: Vec<McamOp>,
+    ) -> ClientHandle {
+        self.build_client(server, stack, script, false)
+    }
+
+    fn build_client(
+        &mut self,
+        server: &ServerHandle,
+        stack: StackKind,
+        script: Vec<McamOp>,
+        cluster_aware: bool,
     ) -> ClientHandle {
         let conn = self.next_conn;
         self.next_conn += 1;
@@ -418,6 +542,21 @@ impl World {
             })
             .expect("server root exists");
         let app = AppMachine::with_script(script);
+        let mut client_root = ClientRoot::new(
+            Box::new(PipeMedium::new(client_end)),
+            stack,
+            conn,
+            addr.0,
+            app,
+        );
+        client_root.control_location = server.services.sps.location();
+        if cluster_aware {
+            client_root = client_root.with_referrals(
+                Arc::clone(&self.dialer) as Arc<dyn crate::stacks::ControlDial>,
+                server.services.sps.location(),
+                self.referral_max_hops,
+            );
+        }
         let root = self
             .rt
             .add_module(
@@ -425,13 +564,7 @@ impl World {
                 format!("client-{conn}"),
                 ModuleKind::SystemProcess,
                 ModuleLabels::conn(conn),
-                ClientRoot::new(
-                    Box::new(PipeMedium::new(client_end)),
-                    stack,
-                    conn,
-                    addr.0,
-                    app,
-                ),
+                client_root,
             )
             .expect("before start, or with dynamic clients enabled (ref [2])");
         ClientHandle {
@@ -480,6 +613,14 @@ impl World {
             guard += 1;
             if guard > 2_000_000 {
                 panic!("driver did not quiesce before iteration limit");
+            }
+            // Referral re-dials: hand queued server-side media to
+            // their server roots (a client transition cannot reach
+            // back into the runtime, so the dialer parks them here).
+            for (server_root, medium, conn) in self.dialer.take_pending() {
+                let _ = self.rt.with_machine_mut::<ServerRoot, _>(server_root, |r| {
+                    r.pending_media.push((medium, conn));
+                });
             }
             run_sequential(&self.rt, &opts);
             if done(self) {
@@ -554,6 +695,32 @@ impl World {
         self.rt
             .with_machine_mut::<AppMachine, _>(app, |a| a.queued.push_back(op))
             .expect("app module exists");
+    }
+
+    /// The location currently carrying a client's control
+    /// association: the server it was attached to, or wherever the
+    /// last referral re-homed it.
+    pub fn client_control_location(&self, client: &ClientHandle) -> String {
+        self.rt
+            .with_machine::<ClientRoot, _>(client.root, |r| r.control_location.clone())
+            .expect("client root exists")
+    }
+
+    /// Referral statistics of one client, as `(followed, failed)`.
+    pub fn client_referrals(&self, client: &ClientHandle) -> (u64, u64) {
+        self.rt
+            .with_machine::<ClientRoot, _>(client.root, |r| {
+                (r.referrals_followed, r.referral_failures)
+            })
+            .expect("client root exists")
+    }
+
+    /// The referral target a client has cached, if any (`None` after
+    /// an `ErrorRsp 503` or an abort invalidated it).
+    pub fn client_referral_cache(&self, client: &ClientHandle) -> Option<String> {
+        self.rt
+            .with_machine::<ClientRoot, _>(client.root, |r| r.cached_referral())
+            .expect("client root exists")
     }
 
     /// All confirmations the client's application has received so far.

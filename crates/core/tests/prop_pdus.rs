@@ -18,7 +18,17 @@ fn attr_strategy() -> impl Strategy<Value = (String, Value)> {
 fn pdu_strategy() -> impl Strategy<Value = McamPdu> {
     let title = "[a-zA-Z0-9 _-]{1,24}";
     prop_oneof![
-        "[a-z]{1,12}".prop_map(|user| McamPdu::AssociateReq { user }),
+        ("[a-z]{1,12}", any::<bool>()).prop_map(|(user, referral_capable)| {
+            McamPdu::AssociateReq {
+                user,
+                referral_capable,
+            }
+        }),
+        (
+            "node-[0-9]{1,3}",
+            proptest::collection::vec(("node-[0-9]{1,3}", 0u64..(1 << 62)), 0..5)
+        )
+            .prop_map(|(target, candidates)| McamPdu::ReferralRsp { target, candidates }),
         any::<bool>().prop_map(|accepted| McamPdu::AssociateRsp { accepted }),
         Just(McamPdu::ReleaseReq),
         Just(McamPdu::ReleaseRsp),

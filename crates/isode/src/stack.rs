@@ -188,7 +188,20 @@ impl IsodeStack {
             self.medium.send(ac.encode());
             self.state = St::Connected;
         } else {
-            self.medium.send(Spdu::Rf { reason: 1 }.encode());
+            // Refuse like the generated stack does: an RF whose user
+            // data is a CPR carrying the responder's application PDU
+            // (empty for a plain rejection).
+            let cpr = Ppdu::Cpr {
+                reason: 1,
+                user_data,
+            };
+            self.medium.send(
+                Spdu::Rf {
+                    reason: 1,
+                    user_data: cpr.encode(),
+                }
+                .encode(),
+            );
             self.state = St::Idle;
         }
         Ok(())
@@ -303,7 +316,13 @@ impl IsodeStack {
                 }
                 _ => {
                     self.protocol_errors += 1;
-                    self.medium.send(Spdu::Rf { reason: 2 }.encode());
+                    self.medium.send(
+                        Spdu::Rf {
+                            reason: 2,
+                            user_data: Vec::new(),
+                        }
+                        .encode(),
+                    );
                 }
             },
             (St::Connecting, Spdu::Ac { user_data, .. }) => match Ppdu::decode(&user_data) {
@@ -325,12 +344,16 @@ impl IsodeStack {
                     self.state = St::Idle;
                 }
             },
-            (St::Connecting, Spdu::Rf { .. }) => {
+            (St::Connecting, Spdu::Rf { user_data, .. }) => {
+                let user_data = match Ppdu::decode(&user_data) {
+                    Ok(Ppdu::Cpr { user_data, .. }) => user_data,
+                    _ => Vec::new(),
+                };
                 self.state = St::Idle;
                 self.events.push_back(IsodeEvent::ConnectCnf {
                     accepted: false,
                     results: Vec::new(),
-                    user_data: Vec::new(),
+                    user_data,
                 });
             }
             (St::Connected, Spdu::Dt { user_data }) => match Ppdu::decode(&user_data) {

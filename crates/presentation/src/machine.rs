@@ -153,7 +153,10 @@ impl StateMachine for PresentationMachine {
                     );
                     ctx.goto(CONNECTED);
                 } else {
-                    let cpr = Ppdu::Cpr { reason: 1 };
+                    let cpr = Ppdu::Cpr {
+                        reason: 1,
+                        user_data: rsp.user_data,
+                    };
                     ctx.output(
                         DOWN,
                         SConRsp {
@@ -169,12 +172,19 @@ impl StateMachine for PresentationMachine {
             Transition::on("cpa-cnf", CONNECTING, DOWN, |m: &mut Self, ctx, msg| {
                 let cnf = downcast::<SConCnf>(msg.unwrap()).unwrap();
                 if !cnf.accepted {
+                    // A session refusal may carry a CPR whose user
+                    // data the responding presentation user supplied
+                    // (e.g. an MCAM referral): surface it.
+                    let user_data = match Ppdu::decode(&cnf.user_data) {
+                        Ok(Ppdu::Cpr { user_data, .. }) => user_data,
+                        _ => Vec::new(),
+                    };
                     ctx.output(
                         UP,
                         PConCnf {
                             accepted: false,
                             results: Vec::new(),
-                            user_data: Vec::new(),
+                            user_data,
                         },
                     );
                     ctx.goto(IDLE);
@@ -197,13 +207,13 @@ impl StateMachine for PresentationMachine {
                         );
                         ctx.goto(CONNECTED);
                     }
-                    Ok(Ppdu::Cpr { .. }) => {
+                    Ok(Ppdu::Cpr { user_data, .. }) => {
                         ctx.output(
                             UP,
                             PConCnf {
                                 accepted: false,
                                 results: Vec::new(),
-                                user_data: Vec::new(),
+                                user_data,
                             },
                         );
                         ctx.goto(IDLE);

@@ -51,10 +51,15 @@ pub enum Ppdu {
         /// Presentation-user data.
         user_data: Vec<u8>,
     },
-    /// Connect reject.
+    /// Connect reject: reason plus optional responder user data (a
+    /// refusing presentation user may hand back one application PDU —
+    /// e.g. an MCAM referral naming a better server). Pre-referral
+    /// encodings carry only the reason and decode with empty data.
     Cpr {
         /// Provider/user reason code.
         reason: i64,
+        /// Presentation-user data (may be empty).
+        user_data: Vec<u8>,
     },
     /// Transfer data on a negotiated context.
     Td {
@@ -111,9 +116,12 @@ impl Ppdu {
                     ber::write_octets(user_data, c);
                 });
             }
-            Ppdu::Cpr { reason } => {
+            Ppdu::Cpr { reason, user_data } => {
                 ber::write_constructed(TAG_CPR, &mut out, |c| {
                     ber::write_integer(*reason, c);
+                    if !user_data.is_empty() {
+                        ber::write_octets(user_data, c);
+                    }
                 });
             }
             Ppdu::Td {
@@ -178,9 +186,13 @@ impl Ppdu {
             let user_data = ber::read_octets(&mut inner)?;
             Ppdu::Cpa { results, user_data }
         } else if tag == TAG_CPR {
-            Ppdu::Cpr {
-                reason: ber::read_integer(&mut inner)?,
-            }
+            let reason = ber::read_integer(&mut inner)?;
+            let user_data = if inner.is_empty() {
+                Vec::new()
+            } else {
+                ber::read_octets(&mut inner)?
+            };
+            Ppdu::Cpr { reason, user_data }
         } else if tag == TAG_TD {
             let context_id = ber::read_integer(&mut inner)?;
             let user_data = ber::read_octets(&mut inner)?;
@@ -259,7 +271,14 @@ mod tests {
                 ],
                 user_data: vec![7],
             },
-            Ppdu::Cpr { reason: 2 },
+            Ppdu::Cpr {
+                reason: 2,
+                user_data: vec![],
+            },
+            Ppdu::Cpr {
+                reason: 1,
+                user_data: b"referral".to_vec(),
+            },
             Ppdu::Td {
                 context_id: 1,
                 user_data: b"P-DATA".to_vec(),
@@ -273,8 +292,34 @@ mod tests {
     }
 
     #[test]
+    fn bare_cpr_decodes_with_empty_user_data() {
+        // A pre-referral CPR carried only the reason integer; such
+        // encodings must keep decoding.
+        let mut old = Vec::new();
+        ber::write_constructed(TAG_CPR, &mut old, |c| {
+            ber::write_integer(7, c);
+        });
+        assert_eq!(
+            Ppdu::decode(&old).unwrap(),
+            Ppdu::Cpr {
+                reason: 7,
+                user_data: vec![]
+            }
+        );
+    }
+
+    #[test]
     fn peek_kind_identifies_without_decoding() {
-        assert_eq!(Ppdu::peek_kind(&Ppdu::Cpr { reason: 0 }.encode()), Some(2));
+        assert_eq!(
+            Ppdu::peek_kind(
+                &Ppdu::Cpr {
+                    reason: 0,
+                    user_data: vec![]
+                }
+                .encode()
+            ),
+            Some(2)
+        );
         assert_eq!(
             Ppdu::peek_kind(
                 &Ppdu::Td {

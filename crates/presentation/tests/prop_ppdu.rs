@@ -31,7 +31,8 @@ fn ppdu_strategy() -> impl Strategy<Value = Ppdu> {
             data.clone()
         )
             .prop_map(|(results, user_data)| Ppdu::Cpa { results, user_data }),
-        (-1000i64..1000).prop_map(|reason| Ppdu::Cpr { reason }),
+        ((-1000i64..1000), data.clone())
+            .prop_map(|(reason, user_data)| Ppdu::Cpr { reason, user_data }),
         ((-100i64..100), data).prop_map(|(context_id, user_data)| Ppdu::Td {
             context_id,
             user_data

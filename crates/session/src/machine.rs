@@ -117,7 +117,16 @@ impl StateMachine for SessionMachine {
                     ctx.output(DOWN, WireData(ac.encode()));
                     ctx.goto(CONNECTED);
                 } else {
-                    ctx.output(DOWN, WireData(Spdu::Rf { reason: 1 }.encode()));
+                    ctx.output(
+                        DOWN,
+                        WireData(
+                            Spdu::Rf {
+                                reason: 1,
+                                user_data: rsp.user_data,
+                            }
+                            .encode(),
+                        ),
+                    );
                     ctx.goto(IDLE);
                 }
             })
@@ -147,13 +156,19 @@ impl StateMachine for SessionMachine {
             .to(CONNECTED)
             .cost(COST_CONNECT),
             Transition::on("rf-cnf", CONNECTING, DOWN, |_m: &mut Self, ctx, msg| {
-                let _ = decode_spdu(msg.unwrap());
+                // A refusing peer may explain itself: RF user data
+                // (e.g. a CPR PPDU carrying an MCAM referral) rides up
+                // with the negative confirm.
+                let user_data = match decode_spdu(msg.unwrap()) {
+                    Some(Spdu::Rf { user_data, .. }) => user_data,
+                    _ => Vec::new(),
+                };
                 ctx.output(
                     UP,
                     SConCnf {
                         accepted: false,
                         version: 0,
-                        user_data: Vec::new(),
+                        user_data,
                     },
                 );
             })

@@ -4,7 +4,7 @@
 //! |------|----------------------|-----------------------------|
 //! | 13   | CN  CONNECT          | version mask, user data     |
 //! | 14   | AC  ACCEPT           | chosen version, user data   |
-//! | 12   | RF  REFUSE           | reason                      |
+//! | 12   | RF  REFUSE           | reason, user data           |
 //! | 1    | DT  DATA TRANSFER    | user data                   |
 //! | 9    | FN  FINISH           | user data                   |
 //! | 10   | DN  DISCONNECT       | user data                   |
@@ -35,10 +35,15 @@ pub enum Spdu {
         /// Session-user data.
         user_data: Vec<u8>,
     },
-    /// REFUSE with a reason code.
+    /// REFUSE with a reason code and optional user data (a refusing
+    /// session user may explain itself — e.g. a presentation CPR
+    /// carrying an MCAM referral). Absent in pre-referral encodings:
+    /// a bare `reason` octet decodes with empty user data.
     Rf {
         /// Refusal reason.
         reason: u8,
+        /// Session-user data (may be empty).
+        user_data: Vec<u8>,
     },
     /// Normal data transfer.
     Dt {
@@ -106,7 +111,11 @@ impl Spdu {
                 out.push(*version);
                 out.extend_from_slice(user_data);
             }
-            Spdu::Rf { reason } | Spdu::Ab { reason } => out.push(*reason),
+            Spdu::Rf { reason, user_data } => {
+                out.push(*reason);
+                out.extend_from_slice(user_data);
+            }
+            Spdu::Ab { reason } => out.push(*reason),
             Spdu::Dt { user_data } | Spdu::Fn { user_data } | Spdu::Dn { user_data } => {
                 out.extend_from_slice(user_data);
             }
@@ -139,6 +148,7 @@ impl Spdu {
             }
             12 => Ok(Spdu::Rf {
                 reason: *rest.first().ok_or(SpduDecodeError { reason: "short RF" })?,
+                user_data: rest[1..].to_vec(),
             }),
             1 => Ok(Spdu::Dt {
                 user_data: rest.to_vec(),
@@ -174,7 +184,14 @@ mod tests {
                 version: VERSION_2,
                 user_data: vec![],
             },
-            Spdu::Rf { reason: 2 },
+            Spdu::Rf {
+                reason: 2,
+                user_data: vec![],
+            },
+            Spdu::Rf {
+                reason: 1,
+                user_data: b"referral".to_vec(),
+            },
             Spdu::Dt {
                 user_data: b"payload".to_vec(),
             },
@@ -198,5 +215,18 @@ mod tests {
     #[test]
     fn dt_allows_empty_user_data() {
         assert_eq!(Spdu::decode(&[1]).unwrap(), Spdu::Dt { user_data: vec![] });
+    }
+
+    #[test]
+    fn bare_rf_decodes_with_empty_user_data() {
+        // The pre-referral REFUSE was a lone reason octet; old
+        // encodings must keep decoding.
+        assert_eq!(
+            Spdu::decode(&[12, 3]).unwrap(),
+            Spdu::Rf {
+                reason: 3,
+                user_data: vec![]
+            }
+        );
     }
 }

@@ -14,7 +14,10 @@ fn spdu_strategy() -> impl Strategy<Value = Spdu> {
             version: v,
             user_data: d
         }),
-        any::<u8>().prop_map(|r| Spdu::Rf { reason: r }),
+        (any::<u8>(), data.clone()).prop_map(|(r, d)| Spdu::Rf {
+            reason: r,
+            user_data: d
+        }),
         data.clone().prop_map(|d| Spdu::Dt { user_data: d }),
         data.clone().prop_map(|d| Spdu::Fn { user_data: d }),
         data.prop_map(|d| Spdu::Dn { user_data: d }),

@@ -1,0 +1,176 @@
+//! Cluster-aware clients: the referral/redirect control plane, end
+//! to end.
+//!
+//! Eight workstations all dial the *same* server of a 4-server
+//! cluster — the classic control-plane bottleneck: `SelectMovie`
+//! routing already spreads the streams, but every MCAM request would
+//! still be parsed, dispatched and answered by one machine. With the
+//! referral PDU the dialed server answers most association opens
+//! with "better served by X", the clients re-dial transparently, and
+//! the control associations spread across the cluster. A legacy
+//! client (pre-referral encoding) keeps being served where it
+//! dialed. Finally one member is drained: its control associations
+//! are referred away at their next select — before the server
+//! decommissions — and the re-homed select is replayed so the
+//! application never notices.
+//!
+//! Run with: `cargo run --release --example client_redirect`
+
+use directory::MovieEntry;
+use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use netsim::{LinkConfig, SimDuration};
+
+fn main() {
+    let link = LinkConfig::lossy(
+        SimDuration::from_millis(2),
+        SimDuration::from_micros(500),
+        0.0,
+    );
+    let mut world = World::with_stream_link(5, link);
+    let cluster = world.add_cluster("vod", 4, StackKind::EstellePS, Placement::round_robin(2));
+    let dialed = cluster.servers[0].services.sps.location();
+
+    // Everyone dials server 0.
+    let clients: Vec<_> = (0..8)
+        .map(|_| world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]))
+        .collect();
+    let legacy = world.add_legacy_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
+    world.start();
+
+    for (i, client) in clients.iter().enumerate() {
+        let rsp = world.client_op(
+            client,
+            McamOp::Associate {
+                user: format!("viewer-{i}"),
+            },
+        );
+        assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+        let at = world.client_control_location(client);
+        let (followed, _) = world.client_referrals(client);
+        println!(
+            "viewer-{i}: control association on {at}{}",
+            if followed > 0 { " (referred)" } else { "" }
+        );
+    }
+    let rsp = world.client_op(
+        &legacy,
+        McamOp::Associate {
+            user: "legacy".into(),
+        },
+    );
+    assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+    println!(
+        "legacy:   control association on {} (old encoding, never referred)",
+        world.client_control_location(&legacy)
+    );
+    assert_eq!(world.client_control_location(&legacy), dialed);
+
+    let counts = cluster.control_connections();
+    println!("control connections per server: {counts:?}");
+    let fair = (clients.len() + 1).div_ceil(cluster.servers.len());
+    for (location, n) in &counts {
+        assert!(
+            *n <= 2 * fair,
+            "{location} exceeds 2x its fair share: {counts:?}"
+        );
+    }
+
+    // A referred client is a full citizen: publish and stream.
+    let mut entry = MovieEntry::new("Blockbuster", "pending");
+    entry.frame_count = 100; // four seconds at 25 fps
+    let replicas = world.publish_replicated(&cluster, &entry);
+    println!("published \"Blockbuster\" on {replicas:?}");
+
+    let moved = clients
+        .iter()
+        .find(|c| world.client_control_location(c) != dialed)
+        .expect("referrals spread someone");
+    let params = match world.client_op(
+        moved,
+        McamOp::SelectMovie {
+            title: "Blockbuster".into(),
+        },
+    ) {
+        Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+        other => panic!("select failed: {other:?}"),
+    };
+    println!(
+        "re-homed viewer selects through {} and streams from node-{}",
+        world.client_control_location(moved),
+        params.provider_addr
+    );
+
+    // Drain-away: a draining member refers each of its control
+    // associations off at that client's next request, then
+    // decommissions. Pick a member that only holds referral-capable
+    // clients (the legacy one is pinned to the dialed server and can
+    // never be moved).
+    let victim = world.client_control_location(
+        clients
+            .iter()
+            .find(|c| world.client_control_location(c) != dialed)
+            .expect("referrals spread someone"),
+    );
+    // Put a running stream on the victim so the drain is genuinely
+    // held open while the referrals happen: node-1 already serves a
+    // stream, so the next select routes to the victim replica.
+    let holder = clients
+        .iter()
+        .find(|c| world.client_control_location(c) == victim)
+        .expect("someone lives on the victim");
+    match world.client_op(
+        holder,
+        McamOp::SelectMovie {
+            title: "Blockbuster".into(),
+        },
+    ) {
+        Some(McamPdu::SelectMovieRsp { params: Some(p) }) => {
+            assert_eq!(format!("node-{}", p.provider_addr), victim);
+        }
+        other => panic!("select failed: {other:?}"),
+    }
+    cluster.drain(&victim).expect("drain accepted");
+    assert!(
+        !cluster.rebalancer.drain_complete(&victim),
+        "the open stream holds the drain"
+    );
+    println!("draining {victim}…");
+    for (i, client) in clients.iter().enumerate() {
+        if world.client_control_location(client) != victim {
+            continue;
+        }
+        let rsp = world.client_op(
+            client,
+            McamOp::SelectMovie {
+                title: "Blockbuster".into(),
+            },
+        );
+        match rsp {
+            Some(McamPdu::SelectMovieRsp { params: Some(p) }) => {
+                let after = world.client_control_location(client);
+                assert_ne!(after, victim, "the control association left the drain");
+                println!(
+                    "viewer-{i}: referred {victim} -> {after}, stream now on node-{}",
+                    p.provider_addr
+                );
+                assert_ne!(format!("node-{}", p.provider_addr), victim);
+            }
+            other => panic!("drained-away select failed: {other:?}"),
+        }
+    }
+    assert_eq!(
+        cluster.control.connections(&victim),
+        0,
+        "every association was referred off the draining server"
+    );
+    world.run_for(SimDuration::from_secs(30));
+    assert!(
+        cluster.rebalancer.drain_complete(&victim),
+        "drain completes once referrals emptied the server"
+    );
+    println!(
+        "{victim} decommissioned; control connections now {:?}",
+        cluster.control_connections()
+    );
+    println!("client_redirect: OK");
+}
