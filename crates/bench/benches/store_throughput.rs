@@ -106,8 +106,9 @@ fn cluster_streams_sustained(servers: usize, k: usize) -> usize {
 /// title is copied (a paced, admission-charged store workload) onto
 /// the least-loaded non-holders, and the demand keeps being admitted.
 /// Returns total streams sustained until the hot title is refused
-/// everywhere and no further growth is possible.
-fn hot_title_streams_sustained(dynamic: bool) -> usize {
+/// everywhere and no further growth is possible, plus the rebalance
+/// controller's journal-derived counter view.
+fn hot_title_streams_sustained(dynamic: bool) -> (usize, cluster::RebalanceStats) {
     let dir: Arc<ReplicaDirectory<Arc<BlockStore>>> = Arc::new(ReplicaDirectory::new());
     for i in 0..4 {
         dir.register(
@@ -207,7 +208,7 @@ fn hot_title_streams_sustained(dynamic: bool) -> usize {
             break;
         }
     }
-    admitted
+    (admitted, ctl.stats())
 }
 
 /// Playback streams sustained next to `recorders` concurrent
@@ -240,8 +241,13 @@ fn streams_sustained_while_recording(recorders: u32) -> usize {
 /// first server of a `servers`-wide cluster. Legacy clients stay
 /// where they dialed (`referrals = false`); cluster-aware clients
 /// are spread by connect-time referrals. Returns the per-server
-/// association counts, in location order.
-fn control_fanout(servers: usize, clients: usize, referrals: bool) -> Vec<usize> {
+/// association counts (in location order) and the world's event
+/// journal, whose referral chain the smoke report summarises.
+fn control_fanout(
+    servers: usize,
+    clients: usize,
+    referrals: bool,
+) -> (Vec<usize>, Arc<journal::Journal>) {
     let link = LinkConfig::lossy(
         SimDuration::from_millis(2),
         SimDuration::from_micros(500),
@@ -274,7 +280,7 @@ fn control_fanout(servers: usize, clients: usize, referrals: bool) -> Vec<usize>
         assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
     }
     let counts = cluster.control_connections();
-    cluster
+    let per_server = cluster
         .servers
         .iter()
         .map(|s| {
@@ -285,7 +291,8 @@ fn control_fanout(servers: usize, clients: usize, referrals: bool) -> Vec<usize>
                 .map(|(_, n)| *n)
                 .unwrap_or(0)
         })
-        .collect()
+        .collect();
+    (per_server, Arc::clone(world.journal()))
 }
 
 /// Streams one full movie, starting a second viewer once the leader is
@@ -334,106 +341,180 @@ fn hit_ratio_at_spacing(policy: CachePolicy, cache_blocks: usize, spacing_frames
     store.stats().service_hit_ratio()
 }
 
-fn bench(c: &mut Criterion) {
-    REPORT.call_once(|| {
-        println!("store_throughput: streams sustained vs. disk count and queue discipline");
-        let mut prev = 0;
-        for disks in [1usize, 2, 4, 8] {
-            let fifo = streams_sustained(disks, DiskSched::Fifo);
-            let scan = streams_sustained(disks, DiskSched::Scan);
-            println!(
-                "  disks={disks:<2} streams_sustained fifo={fifo:<4} scan={scan:<4} \
-                 (+{:.0}%)",
-                (scan as f64 / fifo as f64 - 1.0) * 100.0
-            );
-            assert!(scan >= prev, "more disks must not sustain fewer streams");
-            assert!(
-                scan > fifo,
-                "the elevator sweep must outperform FIFO (scan={scan} fifo={fifo})"
-            );
-            prev = scan;
-        }
-        println!("store_throughput: cluster streams sustained vs. server count (K=2 replicas)");
-        let mut single = 0;
-        let mut prev = 0;
-        for servers in [1usize, 2, 3, 4] {
-            let sustained = cluster_streams_sustained(servers, 2);
-            if servers == 1 {
-                single = sustained;
-            }
-            println!(
-                "  servers={servers} streams_sustained={sustained} ({:.1}x one server)",
-                sustained as f64 / single as f64
-            );
-            assert!(
-                sustained >= prev,
-                "more servers must not sustain fewer streams"
-            );
-            prev = sustained;
-        }
-        assert!(
-            prev >= 3 * single,
-            "4 servers must sustain at least 3x one server (got {prev} vs {single})"
-        );
-        println!("store_throughput: hot-title skew (80% of demand on one title, 4 servers)");
-        let static_k2 = hot_title_streams_sustained(false);
-        let dynamic = hot_title_streams_sustained(true);
-        println!("  placement=static-K2  streams_sustained={static_k2}");
+/// Joins `{...}` rows into a deterministic JSON array literal.
+fn json_array(rows: &[String]) -> String {
+    rows.join(", ")
+}
+
+/// Runs every scenario with its assertions, prints the human report,
+/// and returns the machine-readable report (the exact bytes of
+/// `BENCH_store_throughput.json`) plus the control-fanout journal.
+fn scenario_report() -> (String, Arc<journal::Journal>) {
+    println!("store_throughput: streams sustained vs. disk count and queue discipline");
+    let mut disk_rows = Vec::new();
+    let mut prev = 0;
+    for disks in [1usize, 2, 4, 8] {
+        let fifo = streams_sustained(disks, DiskSched::Fifo);
+        let scan = streams_sustained(disks, DiskSched::Scan);
         println!(
-            "  placement=rebalanced streams_sustained={dynamic} ({:.2}x static)",
-            dynamic as f64 / static_k2 as f64
+            "  disks={disks:<2} streams_sustained fifo={fifo:<4} scan={scan:<4} \
+             (+{:.0}%)",
+            (scan as f64 / fifo as f64 - 1.0) * 100.0
         );
+        assert!(scan >= prev, "more disks must not sustain fewer streams");
         assert!(
-            dynamic as f64 >= 1.5 * static_k2 as f64,
-            "dynamic rebalancing must sustain >= 1.5x the streams of static K=2 \
-             (dynamic={dynamic} static={static_k2})"
+            scan > fifo,
+            "the elevator sweep must outperform FIFO (scan={scan} fifo={fifo})"
         );
-        println!("store_throughput: playback streams sustained vs. active recordings");
-        let base = streams_sustained_while_recording(0);
-        println!("  recorders=0 playback_streams={base}");
-        for recorders in [2u32, 4] {
-            let sustained = streams_sustained_while_recording(recorders);
-            println!("  recorders={recorders} playback_streams={sustained}");
-            assert_eq!(
-                sustained,
-                base - recorders as usize,
-                "each recording must displace exactly one equal-bitrate viewer"
-            );
+        prev = scan;
+        disk_rows.push(format!(
+            "{{\"disks\": {disks}, \"fifo\": {fifo}, \"scan\": {scan}}}"
+        ));
+    }
+    println!("store_throughput: cluster streams sustained vs. server count (K=2 replicas)");
+    let mut cluster_rows = Vec::new();
+    let mut single = 0;
+    let mut prev = 0;
+    for servers in [1usize, 2, 3, 4] {
+        let sustained = cluster_streams_sustained(servers, 2);
+        if servers == 1 {
+            single = sustained;
         }
-        println!("store_throughput: interval-cache hit ratio vs. viewer spacing");
-        let close = hit_ratio_at_spacing(CachePolicy::Interval, 64, 4);
-        let far = hit_ratio_at_spacing(CachePolicy::Interval, 64, 100_000);
-        println!("  spacing=close hit_ratio={close:.3}");
-        println!("  spacing=far   hit_ratio={far:.3}");
-        assert!(
-            close > far,
-            "closely-spaced viewers must hit the cache more (close={close:.3} far={far:.3})"
-        );
         println!(
-            "store_throughput: control-connection fan-out \
-             (16 clients all dial server 0 of 4)"
+            "  servers={servers} streams_sustained={sustained} ({:.1}x one server)",
+            sustained as f64 / single as f64
         );
-        let legacy = control_fanout(4, 16, false);
-        let spread = control_fanout(4, 16, true);
-        println!("  clients=legacy        per_server={legacy:?}");
-        println!("  clients=cluster-aware per_server={spread:?}");
+        assert!(
+            sustained >= prev,
+            "more servers must not sustain fewer streams"
+        );
+        prev = sustained;
+        cluster_rows.push(format!(
+            "{{\"servers\": {servers}, \"streams_sustained\": {sustained}}}"
+        ));
+    }
+    assert!(
+        prev >= 3 * single,
+        "4 servers must sustain at least 3x one server (got {prev} vs {single})"
+    );
+    println!("store_throughput: hot-title skew (80% of demand on one title, 4 servers)");
+    let (static_k2, _) = hot_title_streams_sustained(false);
+    let (dynamic, rebalance) = hot_title_streams_sustained(true);
+    println!("  placement=static-K2  streams_sustained={static_k2}");
+    println!(
+        "  placement=rebalanced streams_sustained={dynamic} ({:.2}x static)",
+        dynamic as f64 / static_k2 as f64
+    );
+    assert!(
+        dynamic as f64 >= 1.5 * static_k2 as f64,
+        "dynamic rebalancing must sustain >= 1.5x the streams of static K=2 \
+         (dynamic={dynamic} static={static_k2})"
+    );
+    println!("store_throughput: playback streams sustained vs. active recordings");
+    let base = streams_sustained_while_recording(0);
+    println!("  recorders=0 playback_streams={base}");
+    let mut record_rows = vec![format!(
+        "{{\"recorders\": 0, \"playback_streams\": {base}}}"
+    )];
+    for recorders in [2u32, 4] {
+        let sustained = streams_sustained_while_recording(recorders);
+        println!("  recorders={recorders} playback_streams={sustained}");
         assert_eq!(
-            legacy[0], 16,
-            "legacy clients all pile onto the dialed server"
+            sustained,
+            base - recorders as usize,
+            "each recording must displace exactly one equal-bitrate viewer"
         );
-        let fair = 16 / 4;
-        let max = *spread.iter().max().unwrap();
-        assert!(
-            max <= 2 * fair,
-            "referrals must hold every server at <= 2x its fair share \
-             (fair={fair}, got {spread:?})"
-        );
-        assert!(
-            spread.iter().all(|n| *n >= 1),
-            "no server may be left without control work: {spread:?}"
-        );
+        record_rows.push(format!(
+            "{{\"recorders\": {recorders}, \"playback_streams\": {sustained}}}"
+        ));
+    }
+    println!("store_throughput: interval-cache hit ratio vs. viewer spacing");
+    let close = hit_ratio_at_spacing(CachePolicy::Interval, 64, 4);
+    let far = hit_ratio_at_spacing(CachePolicy::Interval, 64, 100_000);
+    println!("  spacing=close hit_ratio={close:.3}");
+    println!("  spacing=far   hit_ratio={far:.3}");
+    assert!(
+        close > far,
+        "closely-spaced viewers must hit the cache more (close={close:.3} far={far:.3})"
+    );
+    println!(
+        "store_throughput: control-connection fan-out \
+         (16 clients all dial server 0 of 4)"
+    );
+    let (legacy, _) = control_fanout(4, 16, false);
+    let (spread, fanout_journal) = control_fanout(4, 16, true);
+    println!("  clients=legacy        per_server={legacy:?}");
+    println!("  clients=cluster-aware per_server={spread:?}");
+    assert_eq!(
+        legacy[0], 16,
+        "legacy clients all pile onto the dialed server"
+    );
+    let fair = 16 / 4;
+    let max = *spread.iter().max().unwrap();
+    assert!(
+        max <= 2 * fair,
+        "referrals must hold every server at <= 2x its fair share \
+         (fair={fair}, got {spread:?})"
+    );
+    assert!(
+        spread.iter().all(|n| *n >= 1),
+        "no server may be left without control work: {spread:?}"
+    );
+    journal::verify_events(&fanout_journal.events()).expect("fan-out journal chain intact");
+    let issued = fanout_journal.count(journal::kind::REFERRAL_ISSUED);
+    let followed = fanout_journal.count(journal::kind::REFERRAL_FOLLOWED);
+    let failed = fanout_journal.count(journal::kind::REFERRAL_FAILED);
+    println!(
+        "  journal: referrals issued={issued} followed={followed} failed={failed} \
+         ({} events, chain verified)",
+        fanout_journal.len()
+    );
+    assert!(followed > 0, "cluster-aware clients must follow referrals");
+    let fanout = |v: &[usize]| {
+        v.iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    // Ratios are reported in permille so the committed file carries
+    // only integers and regenerates byte-identically.
+    let json = format!(
+        "{{\n  \"bench\": \"store_throughput\",\n  \"mode\": \"smoke\",\n  \"scenarios\": {{\n    \"disk_sweep\": [{disk}],\n    \"cluster_sweep\": [{cluster}],\n    \"hot_title_skew\": {{\"static_k2\": {static_k2}, \"rebalanced\": {dynamic}, \"copies_completed\": {copies}, \"grows_started\": {grows}, \"directory_updates\": {dirs}}},\n    \"record_playback\": [{record}],\n    \"interval_cache\": {{\"close_hit_permille\": {close_pm}, \"far_hit_permille\": {far_pm}}},\n    \"control_fanout\": {{\"legacy_per_server\": [{legacy}], \"referred_per_server\": [{spread}], \"referrals_issued\": {issued}, \"referrals_followed\": {followed}, \"referrals_failed\": {failed}, \"journal_events\": {journal_len}}}\n  }}\n}}\n",
+        disk = json_array(&disk_rows),
+        cluster = json_array(&cluster_rows),
+        copies = rebalance.copies_completed,
+        grows = rebalance.grows_started,
+        dirs = rebalance.directory_updates,
+        record = json_array(&record_rows),
+        close_pm = (close * 1000.0).round() as u64,
+        far_pm = (far * 1000.0).round() as u64,
+        legacy = fanout(&legacy),
+        spread = fanout(&spread),
+        journal_len = fanout_journal.len(),
+    );
+    (json, fanout_journal)
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::var_os("STORE_THROUGHPUT_SMOKE").is_some();
+    REPORT.call_once(|| {
+        let (json, fanout_journal) = scenario_report();
+        if smoke {
+            // Persist the perf trajectory (committed, CI diffs it) and
+            // the journal of the fan-out run (uploaded as an artifact).
+            let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+            let bench_path = format!("{root}/BENCH_store_throughput.json");
+            std::fs::write(&bench_path, &json).expect("write BENCH_store_throughput.json");
+            println!("store_throughput: wrote {bench_path}");
+            let journal_dir = format!("{root}/target");
+            std::fs::create_dir_all(&journal_dir).expect("create target dir");
+            let journal_path = format!("{journal_dir}/store_throughput_journal.jsonl");
+            std::fs::write(&journal_path, fanout_journal.to_jsonl())
+                .expect("write journal artifact");
+            println!("store_throughput: wrote {journal_path}");
+        }
     });
-    if std::env::var_os("STORE_THROUGHPUT_SMOKE").is_some() {
+    if smoke {
         println!("store_throughput: smoke mode — timing loops skipped");
         return;
     }
@@ -449,13 +530,13 @@ fn bench(c: &mut Criterion) {
         b.iter(|| criterion::black_box(streams_sustained_while_recording(2)));
     });
     group.bench_function("hot_title_rebalanced", |b| {
-        b.iter(|| criterion::black_box(hot_title_streams_sustained(true)));
+        b.iter(|| criterion::black_box(hot_title_streams_sustained(true).0));
     });
     group.bench_function("two_viewers_interval_cache", |b| {
         b.iter(|| criterion::black_box(hit_ratio_at_spacing(CachePolicy::Interval, 64, 4)));
     });
     group.bench_function("control_fanout_8_clients", |b| {
-        b.iter(|| criterion::black_box(control_fanout(4, 8, true)));
+        b.iter(|| criterion::black_box(control_fanout(4, 8, true).0));
     });
     group.finish();
 }

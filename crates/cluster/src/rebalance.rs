@@ -42,6 +42,7 @@
 //! world's driver does this between scheduler passes.
 
 use crate::{least_loaded_key, LoadProbe, Placement, ReplicaDirectory, ServerLoad};
+use journal::{kind, EventKind, Journal};
 use mtp::MovieSource;
 use netsim::{SimDuration, SimTime};
 use parking_lot::Mutex;
@@ -220,8 +221,10 @@ impl Default for RebalanceConfig {
     }
 }
 
-/// Counters kept by the controller, surfaced through
-/// `ClusterHandle::rebalance_stats` in the live world.
+/// Counter view over the controller's journal chain, surfaced through
+/// `ClusterHandle::rebalance_stats` in the live world. Derived from
+/// the event journal — the journal is the source of truth, this is a
+/// convenience summary.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RebalanceStats {
     /// Load-sampling passes taken.
@@ -287,7 +290,6 @@ struct Inner<P> {
     draining: Vec<String>,
     decommissioned: Vec<String>,
     next_sample: Option<SimTime>,
-    stats: RebalanceStats,
 }
 
 /// The cluster control plane: owns replica placement and its
@@ -298,6 +300,12 @@ pub struct RebalanceController<P> {
     placement: Mutex<Placement>,
     config: RebalanceConfig,
     sink: Option<ReplicaSink>,
+    /// Every control-plane step is recorded here under `actor`'s hash
+    /// chain; [`RebalanceController::stats`] is derived from it. A
+    /// standalone journal (stamped via tick times) is used unless
+    /// [`RebalanceController::with_journal`] wires in the shared one.
+    journal: Arc<Journal>,
+    actor: String,
     inner: Mutex<Inner<P>>,
 }
 
@@ -308,8 +316,27 @@ impl<P> fmt::Debug for RebalanceController<P> {
             .field("titles", &inner.titles.len())
             .field("active_copies", &inner.active.len())
             .field("draining", &inner.draining)
-            .field("stats", &inner.stats)
+            .field("stats", &self.stats())
             .finish_non_exhaustive()
+    }
+}
+
+impl<P> RebalanceController<P> {
+    /// Counter view derived from the event journal (O(1) per field).
+    pub fn stats(&self) -> RebalanceStats {
+        let count = |tag| self.journal.count_for(&self.actor, tag);
+        RebalanceStats {
+            samples: count(kind::REBALANCE_SAMPLE),
+            grows_started: count(kind::GROW_STARTED),
+            drain_copies_started: count(kind::DRAIN_COPY_STARTED),
+            copies_completed: count(kind::COPY_COMPLETED),
+            copies_aborted: count(kind::COPY_ABORTED),
+            copy_rejections: count(kind::COPY_REJECTED),
+            shrinks: count(kind::SHRINK),
+            drains_started: count(kind::DRAIN_STARTED),
+            drains_completed: count(kind::DRAIN_COMPLETED),
+            directory_updates: count(kind::DIRECTORY_UPDATE),
+        }
     }
 }
 
@@ -326,13 +353,14 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
             placement: Mutex::new(placement),
             config,
             sink: None,
+            journal: Arc::new(Journal::standalone()),
+            actor: "rebalance".to_string(),
             inner: Mutex::new(Inner {
                 titles: BTreeMap::new(),
                 active: Vec::new(),
                 draining: Vec::new(),
                 decommissioned: Vec::new(),
                 next_sample: None,
-                stats: RebalanceStats::default(),
             }),
         }
     }
@@ -344,6 +372,25 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
         self
     }
 
+    /// Records control-plane events into `journal` under `actor`'s
+    /// hash chain instead of the controller's private journal, so one
+    /// simulation-wide journal tells the whole story.
+    pub fn with_journal(mut self, journal: Arc<Journal>, actor: impl Into<String>) -> Self {
+        self.journal = journal;
+        self.actor = actor.into();
+        self
+    }
+
+    /// The journal the controller records into.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
+    }
+
+    /// The actor name the controller's events are chained under.
+    pub fn actor(&self) -> &str {
+        &self.actor
+    }
+
     /// The controller's configuration.
     pub fn config(&self) -> RebalanceConfig {
         self.config
@@ -352,11 +399,6 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
     /// The cluster registry the controller watches.
     pub fn directory(&self) -> &Arc<ReplicaDirectory<P>> {
         &self.dir
-    }
-
-    /// Counter snapshot.
-    pub fn stats(&self) -> RebalanceStats {
-        self.inner.lock().stats
     }
 
     /// Copies currently in flight.
@@ -479,7 +521,12 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
         }
         self.dir.set_draining(location, true);
         inner.draining.push(location.to_string());
-        inner.stats.drains_started += 1;
+        self.journal.record(
+            &self.actor,
+            EventKind::DrainStarted {
+                location: location.to_string(),
+            },
+        );
         Ok(())
     }
 
@@ -518,6 +565,7 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
     /// snapshot of the cluster and makes grow/shrink decisions from
     /// it.
     pub fn tick(&self, now: SimTime) {
+        self.journal.observe_time(now);
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
 
@@ -532,7 +580,7 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
             let loads = self.dir.loads();
             self.advance_drains(inner, &loads, now);
             if sample_due {
-                inner.stats.samples += 1;
+                self.journal.record(&self.actor, EventKind::RebalanceSample);
                 self.grow(inner, &loads, now);
                 self.shrink(inner, &loads);
             }
@@ -553,7 +601,13 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
             if !target_alive {
                 let copy = inner.active.swap_remove(i);
                 copy.host.abort_copy(copy.token);
-                inner.stats.copies_aborted += 1;
+                self.journal.record(
+                    &self.actor,
+                    EventKind::CopyAborted {
+                        title: copy.title,
+                        to: copy.target,
+                    },
+                );
                 continue;
             }
             if copy.host.copy_done(copy.token) {
@@ -561,14 +615,26 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
                 if copy.host.finish_copy(copy.token) {
                     if let Some(rec) = inner.titles.get_mut(&copy.title) {
                         if !rec.replicas.contains(&copy.target) {
-                            rec.replicas.push(copy.target);
+                            rec.replicas.push(copy.target.clone());
                         }
                         rec.retries = 0;
                         rec.dirty = true;
                     }
-                    inner.stats.copies_completed += 1;
+                    self.journal.record(
+                        &self.actor,
+                        EventKind::CopyCompleted {
+                            title: copy.title,
+                            to: copy.target,
+                        },
+                    );
                 } else {
-                    inner.stats.copies_aborted += 1;
+                    self.journal.record(
+                        &self.actor,
+                        EventKind::CopyAborted {
+                            title: copy.title,
+                            to: copy.target,
+                        },
+                    );
                 }
                 continue;
             }
@@ -618,8 +684,13 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
                 }
                 self.dir.deregister(&location);
                 inner.draining.retain(|l| *l != location);
+                self.journal.record(
+                    &self.actor,
+                    EventKind::DrainCompleted {
+                        location: location.clone(),
+                    },
+                );
                 inner.decommissioned.push(location);
-                inner.stats.drains_completed += 1;
             }
         }
     }
@@ -658,9 +729,7 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
             if rec.retries > self.config.max_copy_retries {
                 continue;
             }
-            if self.start_copy(inner, &title, loads, now, CopyReason::Grow) {
-                inner.stats.grows_started += 1;
-            }
+            self.start_copy(inner, &title, loads, now, CopyReason::Grow);
         }
     }
 
@@ -669,7 +738,7 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
     /// surplus replica back to the routing pool.
     fn shrink(&self, inner: &mut Inner<P>, loads: &[ServerLoad]) {
         let k = self.placement.lock().k();
-        for rec in inner.titles.values_mut() {
+        for (title, rec) in inner.titles.iter_mut() {
             let alive = alive_replicas(rec, loads);
             if alive.len() <= k {
                 continue;
@@ -689,7 +758,13 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
             let youngest = alive.last().expect("len > k >= 1").clone();
             rec.replicas.retain(|l| *l != youngest);
             rec.dirty = true;
-            inner.stats.shrinks += 1;
+            self.journal.record(
+                &self.actor,
+                EventKind::Shrink {
+                    title: title.clone(),
+                    from: youngest,
+                },
+            );
         }
     }
 
@@ -717,6 +792,7 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
             })
             .min_by(|a, b| least_loaded_key(a).cmp(&least_loaded_key(b)))
             .map(|s| s.location.clone());
+        let candidate = target.clone().unwrap_or_default();
         let started = target.and_then(|target| {
             let host = self.dir.get(&target)?;
             let token = host.begin_copy(&rec.source, reserve, now).ok()?;
@@ -730,15 +806,29 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
         });
         match started {
             Some(copy) => {
-                if copy.reason == CopyReason::Drain {
-                    inner.stats.drain_copies_started += 1;
-                }
+                let kind = match copy.reason {
+                    CopyReason::Grow => EventKind::GrowStarted {
+                        title: copy.title.clone(),
+                        to: copy.target.clone(),
+                    },
+                    CopyReason::Drain => EventKind::DrainCopyStarted {
+                        title: copy.title.clone(),
+                        to: copy.target.clone(),
+                    },
+                };
+                self.journal.record(&self.actor, kind);
                 inner.active.push(copy);
                 true
             }
             None => {
                 rec.retries += 1;
-                inner.stats.copy_rejections += 1;
+                self.journal.record(
+                    &self.actor,
+                    EventKind::CopyRejected {
+                        title: title.to_string(),
+                        to: candidate,
+                    },
+                );
                 false
             }
         }
@@ -758,7 +848,12 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
         for (title, rec) in inner.titles.iter_mut() {
             if rec.dirty && sink(title, &rec.replicas) {
                 rec.dirty = false;
-                inner.stats.directory_updates += 1;
+                self.journal.record(
+                    &self.actor,
+                    EventKind::DirectoryUpdate {
+                        title: title.clone(),
+                    },
+                );
             }
         }
     }

@@ -241,6 +241,52 @@
 //! world.run_for(SimDuration::from_secs(3));
 //! assert_eq!(receiver.poll(world.net.now()).len(), 50, "the recording plays back");
 //! ```
+//!
+//! # Observability
+//!
+//! Every run keeps a structured, append-only **event journal** on the
+//! simulation clock ([`World::journal`], the `journal` crate): stream
+//! admissions and rejections with the admission controller's
+//! available bandwidth at decision time, `SelectMovie` routing and
+//! failover, referrals issued/followed/failed, every rebalance step,
+//! and periodic per-server health snapshots (open streams, control
+//! associations, available bandwidth, cache hit ratio, disk-queue
+//! depths) sampled by the world's driver every
+//! [`World::health_interval`]. Events are hash-chained per actor, so
+//! the JSONL dump is tamper-evident and a deterministic re-run
+//! reproduces it bit for bit (`journal::replay_check`); counters such
+//! as [`ClusterHandle::route_decisions`], [`ClusterHandle::failovers`]
+//! and [`ClusterHandle::rebalance_stats`] are views over this journal,
+//! not separate state. See `examples/journal_tour.rs` for the full
+//! walkthrough.
+//!
+//! ```
+//! use mcam::{McamOp, McamPdu, StackKind, World};
+//! use netsim::SimDuration;
+//!
+//! let mut world = World::new(17);
+//! let server = world.add_server("ksr1", StackKind::EstellePS);
+//! let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+//! world.start();
+//! world.client_op(&client, McamOp::Associate { user: "demo".into() });
+//! world.client_op(&client, McamOp::CreateMovie {
+//!     title: "Traced".into(),
+//!     format: "XMovie-24".into(),
+//!     frame_rate: 25,
+//!     frame_count: 25,
+//! });
+//! world.client_op(&client, McamOp::SelectMovie { title: "Traced".into() });
+//! world.client_op(&client, McamOp::Play { speed_pct: 100 });
+//! world.run_for(SimDuration::from_secs(1));
+//!
+//! let journal = world.journal();
+//! journal.verify().expect("hash chain intact");
+//! assert!(journal.count(journal::kind::STREAM_ADMIT) >= 1);
+//! assert!(journal.count(journal::kind::HEALTH_SNAPSHOT) >= 1);
+//! // The recorded JSONL round-trips and re-verifies offline.
+//! let events = journal::events_from_jsonl(&journal.to_jsonl()).unwrap();
+//! journal::verify_events(&events).unwrap();
+//! ```
 
 #![warn(missing_docs)]
 

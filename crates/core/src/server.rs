@@ -104,6 +104,10 @@ pub struct ServerServices {
     pub eca: Arc<equipment::Eca>,
     /// Equipment site name.
     pub site: String,
+    /// The world's event journal: route decisions, failovers,
+    /// referrals, and admission outcomes are chained here under this
+    /// server's location.
+    pub journal: Arc<journal::Journal>,
 }
 
 impl ServerServices {
@@ -138,6 +142,9 @@ enum Pending {
     SelectOpen {
         entry: MovieEntry,
         client_addr: u32,
+        /// Replica location currently being tried (for the journal's
+        /// failover trail).
+        current: String,
         /// Replica locations still untried, best-first; `SelectMovie`
         /// falls over to the next one when a replica rejects.
         remaining: Vec<String>,
@@ -204,15 +211,6 @@ pub struct ServerMca {
     pub requests: u64,
     /// Protocol/decode errors observed.
     pub protocol_errors: u64,
-    /// `SelectMovie` routing decisions taken (one per successful
-    /// directory lookup of a replicated title).
-    pub route_decisions: u64,
-    /// `SelectMovie` opens that fell over to another replica after a
-    /// rejection.
-    pub failovers: u64,
-    /// Referrals issued to capable clients (connect-time or select-
-    /// time).
-    pub referrals_issued: u64,
     /// Labels inherited by the child agents.
     labels: ModuleLabels,
 }
@@ -230,11 +228,15 @@ impl ServerMca {
             pending: None,
             requests: 0,
             protocol_errors: 0,
-            route_decisions: 0,
-            failovers: 0,
-            referrals_issued: 0,
             labels,
         }
+    }
+
+    /// Records an event under this server's hash chain.
+    fn journal(&self, kind: journal::EventKind) {
+        self.services
+            .journal
+            .record(&self.services.sps.location(), kind);
     }
 
     /// Stops counting this entity's association against the local
@@ -336,7 +338,9 @@ impl ServerMca {
                     {
                         let loads = self.services.peers.loads();
                         if let Some(target) = self.services.control.refer_target(&local, &loads) {
-                            self.referrals_issued += 1;
+                            self.journal(journal::EventKind::ReferralIssued {
+                                target: target.clone(),
+                            });
                             let candidates = self.services.control.candidates(&loads);
                             self.reply(ctx, McamPdu::ReferralRsp { target, candidates });
                             self.close_selected();
@@ -546,6 +550,7 @@ impl ServerMca {
                         }
                         candidates.extend(fallback.into_iter().map(|(_, l)| l));
                     }
+                    let considered = candidates.len().max(1) as u32;
                     let location = if candidates.is_empty() {
                         // Nothing live anywhere: last-resort local
                         // service keeps single-server worlds working.
@@ -553,10 +558,18 @@ impl ServerMca {
                     } else {
                         Some(candidates.remove(0))
                     };
-                    self.route_decisions += 1;
+                    let current = location
+                        .clone()
+                        .unwrap_or_else(|| self.services.sps.location());
+                    self.journal(journal::EventKind::RouteDecision {
+                        title: entry.title.clone(),
+                        target: current.clone(),
+                        candidates: considered,
+                    });
                     self.pending = Some(Pending::SelectOpen {
                         entry,
                         client_addr,
+                        current,
                         remaining: candidates,
                         tried: 1,
                     });
@@ -599,6 +612,7 @@ impl ServerMca {
             Some(Pending::SelectOpen {
                 entry,
                 client_addr,
+                current,
                 mut remaining,
                 tried,
             }) => match outcome {
@@ -648,12 +662,18 @@ impl ServerMca {
                         // Failover: the chosen replica filled up (or
                         // was already fuller than its load snapshot
                         // said); try the next-best one.
-                        self.failovers += 1;
+                        let next = remaining.remove(0);
+                        self.journal(journal::EventKind::Failover {
+                            title: entry.title.clone(),
+                            from: current,
+                            to: next.clone(),
+                        });
                         let movie = source_for_entry(&entry);
-                        let location = Some(remaining.remove(0));
+                        let location = Some(next.clone());
                         self.pending = Some(Pending::SelectOpen {
                             entry,
                             client_addr,
+                            current: next,
                             remaining,
                             tried: tried + 1,
                         });
@@ -899,7 +919,9 @@ impl StateMachine for ServerMca {
                             let local = m.services.sps.location();
                             let loads = m.services.peers.loads();
                             if let Some(target) = m.services.control.refer_target(&local, &loads) {
-                                m.referrals_issued += 1;
+                                m.journal(journal::EventKind::ReferralIssued {
+                                    target: target.clone(),
+                                });
                                 let referral = McamPdu::ReferralRsp {
                                     target,
                                     candidates: m.services.control.candidates(&loads),

@@ -255,6 +255,9 @@ pub struct ClientRoot {
     pub referral_failures: u64,
     /// Bootstrap errors (e.g. duplicate Associate).
     pub errors: u64,
+    /// The world's event journal; referral follows/failures are
+    /// chained under `client-<conn>`.
+    journal: Option<std::sync::Arc<journal::Journal>>,
 }
 
 impl std::fmt::Debug for ClientRoot {
@@ -300,6 +303,21 @@ impl ClientRoot {
             referrals_followed: 0,
             referral_failures: 0,
             errors: 0,
+            journal: None,
+        }
+    }
+
+    /// Attaches the world's event journal: this client's referral
+    /// follows and failures are recorded under `client-<conn>`.
+    pub fn with_journal(mut self, journal: std::sync::Arc<journal::Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Records an event under this client's hash chain.
+    fn journal_event(&self, kind: journal::EventKind) {
+        if let Some(journal) = &self.journal {
+            journal.record(&format!("client-{}", self.conn), kind);
         }
     }
 
@@ -337,6 +355,9 @@ impl ClientRoot {
                 // A referral reached a client that cannot re-dial
                 // (should not happen: it never advertises support).
                 self.referral_failures += 1;
+                self.journal_event(journal::EventKind::ReferralFailed {
+                    target: sig.target.clone(),
+                });
                 self.fail_referral(ctx, "client cannot follow referrals", sig.resume);
                 return;
             }
@@ -359,6 +380,9 @@ impl ClientRoot {
         {
             Ok((location, medium)) => {
                 self.referrals_followed += 1;
+                self.journal_event(journal::EventKind::ReferralFollowed {
+                    target: location.clone(),
+                });
                 self.cache = Some((location.clone(), sig.candidates));
                 self.control_location.clone_from(&location);
                 self.rebuild_stack(ctx, medium);
@@ -373,6 +397,9 @@ impl ClientRoot {
             }
             Err(end) => {
                 self.referral_failures += 1;
+                self.journal_event(journal::EventKind::ReferralFailed {
+                    target: sig.target.clone(),
+                });
                 self.cache = None;
                 let why = match end {
                     ReferralEnd::HopLimit => "referral hop limit exhausted",

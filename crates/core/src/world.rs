@@ -13,6 +13,7 @@ use directory::{attr, Dn, Dsa, Dua, MovieEntry, Rdn};
 use equipment::{Eca, EquipmentClass, Eua};
 use estelle::sched::{run_sequential, SeqOptions};
 use estelle::{ModuleId, ModuleKind, ModuleLabels, Runtime};
+use journal::{EventKind, Journal};
 use mtp::MtpReceiver;
 use netsim::{
     DatagramNet, DatagramSocket, LinkConfig, Medium, NetAddr, Network, Pipe, PipeMedium,
@@ -113,6 +114,10 @@ pub struct ClusterHandle {
     /// (inspect it with [`ClusterHandle::control_connections`], steer
     /// it with [`cluster::ControlBalancer::pin`]).
     pub control: Arc<ControlBalancer>,
+    /// The world's event journal (shared across clusters): every
+    /// admission, routing, referral, and rebalance decision involving
+    /// this cluster is chained here.
+    pub journal: Arc<Journal>,
 }
 
 impl std::fmt::Debug for ClusterHandle {
@@ -175,8 +180,35 @@ impl ClusterHandle {
 
     /// Control-plane counters: samples taken, copies started /
     /// completed / aborted, shrinks, drains, directory rewrites.
+    /// Derived from the world's event journal — the full step-by-step
+    /// trail is in [`ClusterHandle::journal`] under the
+    /// `rebalance-<name>` chain.
     pub fn rebalance_stats(&self) -> RebalanceStats {
         self.rebalancer.stats()
+    }
+
+    /// `SelectMovie` routing decisions taken across all members
+    /// (journal-derived; one per successful directory lookup).
+    pub fn route_decisions(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|s| {
+                self.journal
+                    .count_for(&s.services.sps.location(), journal::kind::ROUTE_DECISION)
+            })
+            .sum()
+    }
+
+    /// `SelectMovie` opens that fell over to another replica after an
+    /// admission rejection, across all members (journal-derived).
+    pub fn failovers(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|s| {
+                self.journal
+                    .count_for(&s.services.sps.location(), journal::kind::FAILOVER)
+            })
+            .sum()
     }
 
     /// Starts draining the member at `location`: sole-copy titles are
@@ -241,6 +273,23 @@ pub struct World {
     next_conn: u16,
     /// Scheduler options used by the driver.
     pub seq_options: SeqOptions,
+    /// The world's event journal, stamped from the network clock.
+    journal: Arc<Journal>,
+    /// How often the driver snapshots every server's health into the
+    /// journal while the world is active.
+    pub health_interval: SimDuration,
+    /// Per-server handles the health sampler reads.
+    health_probes: Vec<HealthProbe>,
+    /// Next health-snapshot deadline (armed on first driver activity).
+    next_health: Mutex<Option<SimTime>>,
+}
+
+/// What the driver's health sampler reads for one server.
+struct HealthProbe {
+    location: String,
+    sps: Arc<StreamProviderSystem>,
+    store: Arc<BlockStore>,
+    control: Arc<ControlBalancer>,
 }
 
 impl std::fmt::Debug for World {
@@ -266,7 +315,9 @@ impl World {
         let rt = Arc::new(Runtime::with_virtual_clock(net.clock()));
         let control_delay = SimDuration::from_millis(1);
         let dialer = Arc::new(WorldDialer::new(Arc::clone(&net), control_delay));
+        let journal = Arc::new(Journal::new(net.clock()));
         World {
+            journal,
             net,
             dg,
             rt,
@@ -280,7 +331,18 @@ impl World {
             next_addr: 1,
             next_conn: 0,
             seq_options: SeqOptions::default(),
+            health_interval: SimDuration::from_millis(250),
+            health_probes: Vec::new(),
+            next_health: Mutex::new(None),
         }
+    }
+
+    /// The world's event journal: every admission decision, route,
+    /// failover, referral, rebalance step, and health snapshot, hash-
+    /// chained per server. Serialize it with [`Journal::to_jsonl`],
+    /// check it with [`Journal::verify`].
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
     }
 
     /// Creates a world with a mildly jittery, lossless CM network.
@@ -313,11 +375,14 @@ impl World {
             .expect("fresh DSA");
         let peers = Arc::new(SpsRegistry::new());
         // A standalone server replicates recordings only to itself.
-        let rebalancer = Arc::new(ClusterController::new(
-            Arc::clone(&peers),
-            Placement::round_robin(1),
-            RebalanceConfig::default(),
-        ));
+        let rebalancer = Arc::new(
+            ClusterController::new(
+                Arc::clone(&peers),
+                Placement::round_robin(1),
+                RebalanceConfig::default(),
+            )
+            .with_journal(Arc::clone(&self.journal), format!("rebalance-{name}")),
+        );
         self.rebalancers.push(Arc::clone(&rebalancer));
         let control = Arc::new(ControlBalancer::new());
         self.build_server(name, stack, &dsa, base, &peers, &rebalancer, &control)
@@ -377,7 +442,9 @@ impl World {
             sink_dua.modify(&dn, &puts).is_ok()
         });
         let rebalancer = Arc::new(
-            ClusterController::new(Arc::clone(&peers), placement, rebalance).with_sink(sink),
+            ClusterController::new(Arc::clone(&peers), placement, rebalance)
+                .with_sink(sink)
+                .with_journal(Arc::clone(&self.journal), format!("rebalance-{name}")),
         );
         self.rebalancers.push(Arc::clone(&rebalancer));
         let control = Arc::new(ControlBalancer::new());
@@ -400,6 +467,7 @@ impl World {
             peers,
             rebalancer,
             control,
+            journal: Arc::clone(&self.journal),
         }
     }
 
@@ -442,6 +510,13 @@ impl World {
         let sps = StreamProviderSystem::with_store(&self.dg, sps_addr, Arc::clone(&store));
         self.providers.push(Arc::clone(&sps));
         peers.register(sps.location(), Arc::clone(&sps));
+        store.attach_journal(Arc::clone(&self.journal), sps.location());
+        self.health_probes.push(HealthProbe {
+            location: sps.location(),
+            sps: Arc::clone(&sps),
+            store: Arc::clone(&store),
+            control: Arc::clone(control),
+        });
         let services = ServerServices {
             dua,
             base,
@@ -455,6 +530,7 @@ impl World {
             eua,
             eca: Arc::clone(&eca),
             site: format!("site-{name}"),
+            journal: Arc::clone(&self.journal),
         };
         let root = self
             .rt
@@ -550,6 +626,7 @@ impl World {
             app,
         );
         client_root.control_location = server.services.sps.location();
+        client_root = client_root.with_journal(Arc::clone(&self.journal));
         if cluster_aware {
             client_root = client_root.with_referrals(
                 Arc::clone(&self.dialer) as Arc<dyn crate::stacks::ControlDial>,
@@ -634,6 +711,7 @@ impl World {
             for rebalancer in &self.rebalancers {
                 rebalancer.tick(now);
             }
+            self.sample_health(now);
             let mut sent = 0;
             for sps in &self.providers {
                 sent += sps.pump(now);
@@ -653,7 +731,16 @@ impl World {
                 .filter_map(|r| r.next_tick_at())
                 .min();
             let candidates = [next_net, next_delay, next_due, next_tick];
-            let next = candidates.into_iter().flatten().min();
+            let mut next = candidates.into_iter().flatten().min();
+            // Health sampling piggybacks on real activity: the
+            // snapshot deadline may pull an already-scheduled wake-up
+            // earlier, but never keeps an otherwise idle world alive
+            // (a quiet cluster's snapshots would carry no news).
+            if let (Some(base), Some(health)) = (next, *self.next_health.lock()) {
+                if health < base {
+                    next = Some(health);
+                }
+            }
             match next {
                 Some(t) if t <= limit => {
                     if next_net.is_some_and(|n| n <= t) {
@@ -664,6 +751,56 @@ impl World {
                 }
                 _ => break,
             }
+        }
+    }
+
+    /// Emits one round of per-server health events when the snapshot
+    /// deadline has passed: per-disk queue depths, a cache hit/miss
+    /// summary, and the [`EventKind::HealthSnapshot`] roll-up. The
+    /// first driver pass arms the deadline without emitting (a world
+    /// that has not run yet has no health to report).
+    fn sample_health(&self, now: SimTime) {
+        let mut next = self.next_health.lock();
+        match *next {
+            None => {
+                *next = Some(now + self.health_interval);
+                return;
+            }
+            Some(due) if now >= due => {
+                *next = Some(now + self.health_interval);
+            }
+            Some(_) => return,
+        }
+        drop(next);
+        for probe in &self.health_probes {
+            let stats = probe.store.stats();
+            let depths = probe.store.disk_queue_depths();
+            for (disk, depth) in depths.iter().enumerate() {
+                self.journal.record(
+                    &probe.location,
+                    EventKind::DiskQueueSample {
+                        disk: disk as u32,
+                        depth: *depth,
+                    },
+                );
+            }
+            self.journal.record(
+                &probe.location,
+                EventKind::CacheSummary {
+                    hits: stats.cache.hits,
+                    misses: stats.cache.misses,
+                },
+            );
+            self.journal.record(
+                &probe.location,
+                EventKind::HealthSnapshot {
+                    streams: probe.sps.stream_count() as u32,
+                    control_assocs: probe.control.connections(&probe.location) as u32,
+                    available_bps: probe.store.available_bps(),
+                    cache_hit_permille: (stats.service_hit_ratio() * 1000.0) as u32,
+                    queue_depth_max: depths.iter().copied().max().unwrap_or(0),
+                },
+            );
         }
     }
 

@@ -117,24 +117,6 @@ fn select_spreads_across_replicas_and_scales_past_one_server() {
     assert_eq!(cluster.total_streams(), 4);
 }
 
-/// Sum of a `ServerMca` counter across all server entities.
-fn mca_sum(world: &World, cluster: &ClusterHandle, f: fn(&mcam::ServerMca) -> u64) -> u64 {
-    cluster
-        .servers
-        .iter()
-        .map(|s| {
-            let entities = world
-                .rt
-                .with_machine::<mcam::ServerRoot, _>(s.root, |r| r.entities.clone())
-                .unwrap_or_default();
-            entities
-                .into_iter()
-                .filter_map(|id| world.rt.with_machine::<mcam::ServerMca, _>(id, f))
-                .sum::<u64>()
-        })
-        .sum()
-}
-
 /// Fires one scheduler transition (or advances the network/clock when
 /// none is enabled); returns false when the world is fully quiescent.
 /// Single-stepping opens the window between a routing decision and
@@ -196,7 +178,7 @@ fn failover_readmits_on_next_replica_when_routed_one_rejects() {
         },
     );
     let mut guard = 0;
-    while mca_sum(&world, &cluster, |m| m.route_decisions) == 0 {
+    while cluster.route_decisions() == 0 {
         assert!(step_once(&world), "world stalled before routing");
         guard += 1;
         assert!(guard < 100_000, "select never reached the routing step");
@@ -225,7 +207,7 @@ fn failover_readmits_on_next_replica_when_routed_one_rejects() {
         }
         other => panic!("failover should still admit the viewer: {other:?}"),
     }
-    assert_eq!(mca_sum(&world, &cluster, |m| m.failovers), 1);
+    assert_eq!(cluster.failovers(), 1);
     assert_eq!(a.stream_count(), 2, "light stream + failed-over stream");
     assert_eq!(b.stream_count(), 2, "the two competing streams");
 }
@@ -276,7 +258,7 @@ fn saturated_cluster_refuses_then_release_reroutes() {
         }
         other => panic!("saturated cluster must refuse: {other:?}"),
     }
-    assert!(mca_sum(&world, &cluster, |m| m.failovers) >= 1);
+    assert!(cluster.failovers() >= 1);
 
     // Release-then-re-route: viewer 0 deselects, freeing its replica;
     // the refused viewer is re-admitted there.

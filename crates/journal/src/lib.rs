@@ -1,0 +1,1364 @@
+//! Structured, append-only event journal on the simulated clock.
+//!
+//! Every consequential decision in the cluster — a stream admitted or
+//! rejected, a SelectMovie routed or failed over, a referral issued,
+//! a rebalance step, a health snapshot — is recorded as a typed
+//! [`Event`] carrying the virtual time at which it happened and a
+//! tamper-evident hash chain per server: each event's `hash` covers
+//! its own canonical encoding *and* the previous hash of the same
+//! server's chain, so reordering, dropping, or editing any event
+//! breaks verification from that point on.
+//!
+//! The journal is the single source of truth for operational counters:
+//! components emit events instead of bumping ad-hoc fields, and views
+//! such as route-decision counts or rebalance statistics are derived
+//! with [`Journal::count`] / [`Journal::query`]. Because the journal
+//! is stamped from the deterministic [`netsim`] clock, two runs with
+//! the same seed produce byte-identical serializations
+//! ([`Journal::to_jsonl`]), which is what the replay tests assert.
+//!
+//! # Examples
+//!
+//! ```
+//! use journal::{EventKind, Journal};
+//! let j = Journal::standalone();
+//! j.record("node-1", EventKind::ReferralIssued { target: "node-2".into() });
+//! assert_eq!(j.count(journal::kind::REFERRAL_ISSUED), 1);
+//! j.verify().expect("chain intact");
+//! let copy = journal::events_from_jsonl(&j.to_jsonl()).unwrap();
+//! journal::verify_events(&copy).expect("round-trip intact");
+//! ```
+
+use netsim::{Clock, SimTime, VirtualClock};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Canonical kind tags, usable as [`Journal::count`] keys.
+pub mod kind {
+    /// A stream/recording/import admitted by the admission controller.
+    pub const STREAM_ADMIT: &str = "stream_admit";
+    /// A stream/recording/import rejected by the admission controller.
+    pub const STREAM_REJECT: &str = "stream_reject";
+    /// A SelectMovie request routed to a replica.
+    pub const ROUTE_DECISION: &str = "route_decision";
+    /// A rejected open retried on the next replica.
+    pub const FAILOVER: &str = "failover";
+    /// A control-association referral handed to a client.
+    pub const REFERRAL_ISSUED: &str = "referral_issued";
+    /// A client followed a referral to another server.
+    pub const REFERRAL_FOLLOWED: &str = "referral_followed";
+    /// A referral the client could not use.
+    pub const REFERRAL_FAILED: &str = "referral_failed";
+    /// One load-sampling pass of the rebalance controller.
+    pub const REBALANCE_SAMPLE: &str = "rebalance_sample";
+    /// A replica-grow copy started.
+    pub const GROW_STARTED: &str = "grow_started";
+    /// A drain-motivated copy started.
+    pub const DRAIN_COPY_STARTED: &str = "drain_copy_started";
+    /// A replica copy finished and was published.
+    pub const COPY_COMPLETED: &str = "copy_completed";
+    /// A replica copy aborted mid-flight.
+    pub const COPY_ABORTED: &str = "copy_aborted";
+    /// A copy attempt refused by admission on the target.
+    pub const COPY_REJECTED: &str = "copy_rejected";
+    /// A cold replica dropped.
+    pub const SHRINK: &str = "shrink";
+    /// A server drain began.
+    pub const DRAIN_STARTED: &str = "drain_started";
+    /// A server drain finished.
+    pub const DRAIN_COMPLETED: &str = "drain_completed";
+    /// The replica directory was rewritten for a title.
+    pub const DIRECTORY_UPDATE: &str = "directory_update";
+    /// A periodic disk-queue depth sample.
+    pub const DISK_QUEUE_SAMPLE: &str = "disk_queue_sample";
+    /// A periodic buffer-cache hit/miss summary.
+    pub const CACHE_SUMMARY: &str = "cache_summary";
+    /// A periodic per-server health snapshot.
+    pub const HEALTH_SNAPSHOT: &str = "health_snapshot";
+}
+
+/// Which admission-controlled session class an admit/reject concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionClass {
+    /// A playback stream.
+    Stream,
+    /// A live recording session.
+    Recording,
+    /// A bulk import reservation.
+    Import,
+}
+
+impl AdmissionClass {
+    /// Canonical lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AdmissionClass::Stream => "stream",
+            AdmissionClass::Recording => "recording",
+            AdmissionClass::Import => "import",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "stream" => Some(AdmissionClass::Stream),
+            "recording" => Some(AdmissionClass::Recording),
+            "import" => Some(AdmissionClass::Import),
+            _ => None,
+        }
+    }
+}
+
+/// The typed payload of one journal event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Admission granted; `available_bps` is the controller's headroom
+    /// immediately after the decision.
+    StreamAdmit {
+        /// Session class admitted.
+        class: AdmissionClass,
+        /// Session id within its class.
+        stream: u32,
+        /// Bandwidth the session asked for.
+        demanded_bps: u64,
+        /// Headroom left after admitting.
+        available_bps: u64,
+    },
+    /// Admission refused; `available_bps` is the headroom at decision
+    /// time (what the demand did not fit into).
+    StreamReject {
+        /// Session class refused.
+        class: AdmissionClass,
+        /// Session id within its class.
+        stream: u32,
+        /// Bandwidth the session asked for.
+        demanded_bps: u64,
+        /// Headroom that was available.
+        available_bps: u64,
+    },
+    /// SelectMovie chose a replica to open the stream on.
+    RouteDecision {
+        /// Movie title being routed.
+        title: String,
+        /// Replica location chosen first.
+        target: String,
+        /// Number of candidate replicas considered.
+        candidates: u32,
+    },
+    /// A rejected open fell back to the next candidate replica.
+    Failover {
+        /// Movie title being routed.
+        title: String,
+        /// Replica that rejected the open.
+        from: String,
+        /// Replica tried next.
+        to: String,
+    },
+    /// The control balancer referred a client elsewhere.
+    ReferralIssued {
+        /// Server the client was pointed at.
+        target: String,
+    },
+    /// A client connected through a referral.
+    ReferralFollowed {
+        /// Server the referral named.
+        target: String,
+    },
+    /// A referral could not be followed (bad target, hop limit...).
+    ReferralFailed {
+        /// Server the referral named.
+        target: String,
+    },
+    /// The rebalance controller completed one sampling pass.
+    RebalanceSample,
+    /// A grow copy (hot title, extra replica) started.
+    GrowStarted {
+        /// Title being replicated.
+        title: String,
+        /// Target server of the new replica.
+        to: String,
+    },
+    /// A drain-motivated relocation copy started.
+    DrainCopyStarted {
+        /// Title being relocated.
+        title: String,
+        /// Target server of the relocated replica.
+        to: String,
+    },
+    /// A replica copy completed and entered the directory.
+    CopyCompleted {
+        /// Title copied.
+        title: String,
+        /// Server now holding the replica.
+        to: String,
+    },
+    /// A replica copy was aborted.
+    CopyAborted {
+        /// Title whose copy died.
+        title: String,
+        /// Server the copy targeted.
+        to: String,
+    },
+    /// Admission on the target refused the copy's reservation.
+    CopyRejected {
+        /// Title whose copy was refused.
+        title: String,
+        /// Server that refused it.
+        to: String,
+    },
+    /// A cold surplus replica was dropped.
+    Shrink {
+        /// Title shrunk.
+        title: String,
+        /// Server that lost the replica.
+        from: String,
+    },
+    /// A server began draining.
+    DrainStarted {
+        /// Location being drained.
+        location: String,
+    },
+    /// A server finished draining.
+    DrainCompleted {
+        /// Location fully drained.
+        location: String,
+    },
+    /// The replica directory entry for a title was republished.
+    DirectoryUpdate {
+        /// Title whose entry changed.
+        title: String,
+    },
+    /// Queue depth of one disk at sampling time.
+    DiskQueueSample {
+        /// Disk index within the server's stripe set.
+        disk: u32,
+        /// Requests waiting plus in service.
+        depth: u32,
+    },
+    /// Cumulative buffer-cache counters at sampling time.
+    CacheSummary {
+        /// Block reads served from the cache.
+        hits: u64,
+        /// Block reads that went to disk.
+        misses: u64,
+    },
+    /// Periodic per-server health snapshot.
+    HealthSnapshot {
+        /// Open playback streams.
+        streams: u32,
+        /// Control associations currently connected.
+        control_assocs: u32,
+        /// Uncommitted disk bandwidth.
+        available_bps: u64,
+        /// Cache service hit ratio, in permille.
+        cache_hit_permille: u32,
+        /// Deepest disk queue at snapshot time.
+        queue_depth_max: u32,
+    },
+}
+
+impl EventKind {
+    /// The canonical tag of this kind (a constant from [`kind`]).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::StreamAdmit { .. } => kind::STREAM_ADMIT,
+            EventKind::StreamReject { .. } => kind::STREAM_REJECT,
+            EventKind::RouteDecision { .. } => kind::ROUTE_DECISION,
+            EventKind::Failover { .. } => kind::FAILOVER,
+            EventKind::ReferralIssued { .. } => kind::REFERRAL_ISSUED,
+            EventKind::ReferralFollowed { .. } => kind::REFERRAL_FOLLOWED,
+            EventKind::ReferralFailed { .. } => kind::REFERRAL_FAILED,
+            EventKind::RebalanceSample => kind::REBALANCE_SAMPLE,
+            EventKind::GrowStarted { .. } => kind::GROW_STARTED,
+            EventKind::DrainCopyStarted { .. } => kind::DRAIN_COPY_STARTED,
+            EventKind::CopyCompleted { .. } => kind::COPY_COMPLETED,
+            EventKind::CopyAborted { .. } => kind::COPY_ABORTED,
+            EventKind::CopyRejected { .. } => kind::COPY_REJECTED,
+            EventKind::Shrink { .. } => kind::SHRINK,
+            EventKind::DrainStarted { .. } => kind::DRAIN_STARTED,
+            EventKind::DrainCompleted { .. } => kind::DRAIN_COMPLETED,
+            EventKind::DirectoryUpdate { .. } => kind::DIRECTORY_UPDATE,
+            EventKind::DiskQueueSample { .. } => kind::DISK_QUEUE_SAMPLE,
+            EventKind::CacheSummary { .. } => kind::CACHE_SUMMARY,
+            EventKind::HealthSnapshot { .. } => kind::HEALTH_SNAPSHOT,
+        }
+    }
+
+    /// Canonical JSON encoding of the payload; this exact byte string
+    /// is what the hash chain covers.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"t\":\"");
+        s.push_str(self.tag());
+        s.push('"');
+        match self {
+            EventKind::StreamAdmit {
+                class,
+                stream,
+                demanded_bps,
+                available_bps,
+            }
+            | EventKind::StreamReject {
+                class,
+                stream,
+                demanded_bps,
+                available_bps,
+            } => {
+                push_str_field(&mut s, "class", class.as_str());
+                push_u64_field(&mut s, "stream", u64::from(*stream));
+                push_u64_field(&mut s, "demanded_bps", *demanded_bps);
+                push_u64_field(&mut s, "available_bps", *available_bps);
+            }
+            EventKind::RouteDecision {
+                title,
+                target,
+                candidates,
+            } => {
+                push_str_field(&mut s, "title", title);
+                push_str_field(&mut s, "target", target);
+                push_u64_field(&mut s, "candidates", u64::from(*candidates));
+            }
+            EventKind::Failover { title, from, to } => {
+                push_str_field(&mut s, "title", title);
+                push_str_field(&mut s, "from", from);
+                push_str_field(&mut s, "to", to);
+            }
+            EventKind::ReferralIssued { target }
+            | EventKind::ReferralFollowed { target }
+            | EventKind::ReferralFailed { target } => {
+                push_str_field(&mut s, "target", target);
+            }
+            EventKind::RebalanceSample => {}
+            EventKind::GrowStarted { title, to }
+            | EventKind::DrainCopyStarted { title, to }
+            | EventKind::CopyCompleted { title, to }
+            | EventKind::CopyAborted { title, to }
+            | EventKind::CopyRejected { title, to } => {
+                push_str_field(&mut s, "title", title);
+                push_str_field(&mut s, "to", to);
+            }
+            EventKind::Shrink { title, from } => {
+                push_str_field(&mut s, "title", title);
+                push_str_field(&mut s, "from", from);
+            }
+            EventKind::DrainStarted { location } | EventKind::DrainCompleted { location } => {
+                push_str_field(&mut s, "location", location);
+            }
+            EventKind::DirectoryUpdate { title } => {
+                push_str_field(&mut s, "title", title);
+            }
+            EventKind::DiskQueueSample { disk, depth } => {
+                push_u64_field(&mut s, "disk", u64::from(*disk));
+                push_u64_field(&mut s, "depth", u64::from(*depth));
+            }
+            EventKind::CacheSummary { hits, misses } => {
+                push_u64_field(&mut s, "hits", *hits);
+                push_u64_field(&mut s, "misses", *misses);
+            }
+            EventKind::HealthSnapshot {
+                streams,
+                control_assocs,
+                available_bps,
+                cache_hit_permille,
+                queue_depth_max,
+            } => {
+                push_u64_field(&mut s, "streams", u64::from(*streams));
+                push_u64_field(&mut s, "control_assocs", u64::from(*control_assocs));
+                push_u64_field(&mut s, "available_bps", *available_bps);
+                push_u64_field(&mut s, "cache_hit_permille", u64::from(*cache_hit_permille));
+                push_u64_field(&mut s, "queue_depth_max", u64::from(*queue_depth_max));
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    fn from_fields(tag: &str, obj: &JsonObj) -> Result<EventKind, ParseError> {
+        let kind = match tag {
+            kind::STREAM_ADMIT | kind::STREAM_REJECT => {
+                let class = AdmissionClass::from_str(obj.str("class")?)
+                    .ok_or_else(|| ParseError::new("unknown admission class"))?;
+                let stream = obj.u32("stream")?;
+                let demanded_bps = obj.u64("demanded_bps")?;
+                let available_bps = obj.u64("available_bps")?;
+                if tag == kind::STREAM_ADMIT {
+                    EventKind::StreamAdmit {
+                        class,
+                        stream,
+                        demanded_bps,
+                        available_bps,
+                    }
+                } else {
+                    EventKind::StreamReject {
+                        class,
+                        stream,
+                        demanded_bps,
+                        available_bps,
+                    }
+                }
+            }
+            kind::ROUTE_DECISION => EventKind::RouteDecision {
+                title: obj.str("title")?.to_string(),
+                target: obj.str("target")?.to_string(),
+                candidates: obj.u32("candidates")?,
+            },
+            kind::FAILOVER => EventKind::Failover {
+                title: obj.str("title")?.to_string(),
+                from: obj.str("from")?.to_string(),
+                to: obj.str("to")?.to_string(),
+            },
+            kind::REFERRAL_ISSUED => EventKind::ReferralIssued {
+                target: obj.str("target")?.to_string(),
+            },
+            kind::REFERRAL_FOLLOWED => EventKind::ReferralFollowed {
+                target: obj.str("target")?.to_string(),
+            },
+            kind::REFERRAL_FAILED => EventKind::ReferralFailed {
+                target: obj.str("target")?.to_string(),
+            },
+            kind::REBALANCE_SAMPLE => EventKind::RebalanceSample,
+            kind::GROW_STARTED => EventKind::GrowStarted {
+                title: obj.str("title")?.to_string(),
+                to: obj.str("to")?.to_string(),
+            },
+            kind::DRAIN_COPY_STARTED => EventKind::DrainCopyStarted {
+                title: obj.str("title")?.to_string(),
+                to: obj.str("to")?.to_string(),
+            },
+            kind::COPY_COMPLETED => EventKind::CopyCompleted {
+                title: obj.str("title")?.to_string(),
+                to: obj.str("to")?.to_string(),
+            },
+            kind::COPY_ABORTED => EventKind::CopyAborted {
+                title: obj.str("title")?.to_string(),
+                to: obj.str("to")?.to_string(),
+            },
+            kind::COPY_REJECTED => EventKind::CopyRejected {
+                title: obj.str("title")?.to_string(),
+                to: obj.str("to")?.to_string(),
+            },
+            kind::SHRINK => EventKind::Shrink {
+                title: obj.str("title")?.to_string(),
+                from: obj.str("from")?.to_string(),
+            },
+            kind::DRAIN_STARTED => EventKind::DrainStarted {
+                location: obj.str("location")?.to_string(),
+            },
+            kind::DRAIN_COMPLETED => EventKind::DrainCompleted {
+                location: obj.str("location")?.to_string(),
+            },
+            kind::DIRECTORY_UPDATE => EventKind::DirectoryUpdate {
+                title: obj.str("title")?.to_string(),
+            },
+            kind::DISK_QUEUE_SAMPLE => EventKind::DiskQueueSample {
+                disk: obj.u32("disk")?,
+                depth: obj.u32("depth")?,
+            },
+            kind::CACHE_SUMMARY => EventKind::CacheSummary {
+                hits: obj.u64("hits")?,
+                misses: obj.u64("misses")?,
+            },
+            kind::HEALTH_SNAPSHOT => EventKind::HealthSnapshot {
+                streams: obj.u32("streams")?,
+                control_assocs: obj.u32("control_assocs")?,
+                available_bps: obj.u64("available_bps")?,
+                cache_hit_permille: obj.u32("cache_hit_permille")?,
+                queue_depth_max: obj.u32("queue_depth_max")?,
+            },
+            other => return Err(ParseError::new(&format!("unknown event tag `{other}`"))),
+        };
+        Ok(kind)
+    }
+}
+
+/// One journal entry: a decision, its actor, its virtual time, and its
+/// position in that actor's hash chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global append order (dense from 0).
+    pub seq: u64,
+    /// Virtual time the event was recorded at.
+    pub sim_time: SimTime,
+    /// Acting server (or `client-*` / controller name).
+    pub server: String,
+    /// Typed payload.
+    pub kind: EventKind,
+    /// Hash of the previous event on this server's chain (0 for the
+    /// first).
+    pub prev_hash: u64,
+    /// FNV-1a 64 over `prev_hash ∥ seq ∥ sim_time ∥ server ∥ payload`.
+    pub hash: u64,
+}
+
+impl Event {
+    /// Recomputes what this event's `hash` field must be.
+    pub fn compute_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.prev_hash);
+        h.write_u64(self.seq);
+        h.write_u64(self.sim_time.as_micros());
+        h.write(self.server.as_bytes());
+        h.write(&[0]);
+        h.write(self.kind.to_json().as_bytes());
+        h.finish()
+    }
+
+    /// Serializes the event as one deterministic JSON line (no
+    /// trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::from("{");
+        push_u64_raw(&mut s, "seq", self.seq);
+        push_u64_field(&mut s, "us", self.sim_time.as_micros());
+        push_str_field(&mut s, "server", &self.server);
+        s.push_str(",\"prev\":\"");
+        push_hex16(&mut s, self.prev_hash);
+        s.push_str("\",\"hash\":\"");
+        push_hex16(&mut s, self.hash);
+        s.push_str("\",\"kind\":");
+        s.push_str(&self.kind.to_json());
+        s.push('}');
+        s
+    }
+
+    /// Parses one line produced by [`Event::to_json_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed JSON or unknown fields.
+    pub fn from_json_line(line: &str) -> Result<Event, ParseError> {
+        let obj = parse_object(line)?;
+        let kind_obj = obj.obj("kind")?;
+        let tag = kind_obj.str("t")?;
+        Ok(Event {
+            seq: obj.u64("seq")?,
+            sim_time: SimTime::from_micros(obj.u64("us")?),
+            server: obj.str("server")?.to_string(),
+            kind: EventKind::from_fields(tag, kind_obj)?,
+            prev_hash: parse_hex16(obj.str("prev")?)?,
+            hash: parse_hex16(obj.str("hash")?)?,
+        })
+    }
+}
+
+/// Where a chain verification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainError {
+    /// Sequence number of the offending event.
+    pub seq: u64,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "journal chain broken at seq {}: {}",
+            self.seq, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A malformed serialized journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl ParseError {
+    fn new(reason: &str) -> Self {
+        ParseError {
+            reason: reason.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal parse error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// First divergence between a recorded journal and a replayed one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayMismatch {
+    /// Zero-based line where the serializations diverge.
+    pub line: usize,
+    /// The recorded line (empty when the recording is shorter).
+    pub recorded: String,
+    /// The replayed line (empty when the replay is shorter).
+    pub replayed: String,
+}
+
+impl fmt::Display for ReplayMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replay diverged at line {}: recorded `{}` vs replayed `{}`",
+            self.line, self.recorded, self.replayed
+        )
+    }
+}
+
+impl std::error::Error for ReplayMismatch {}
+
+enum ClockSource {
+    /// The simulation's shared clock; `record` stamps from it.
+    Shared(Arc<dyn Clock>),
+    /// A private clock advanced via [`Journal::observe_time`], for
+    /// components used outside a full simulation.
+    Owned(Arc<VirtualClock>),
+}
+
+impl ClockSource {
+    fn now(&self) -> SimTime {
+        match self {
+            ClockSource::Shared(c) => c.now(),
+            ClockSource::Owned(c) => c.now(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct JournalInner {
+    events: Vec<Event>,
+    tails: HashMap<String, u64>,
+    counts: HashMap<(String, &'static str), u64>,
+    kind_counts: HashMap<&'static str, u64>,
+}
+
+/// The append-only event journal.
+///
+/// Shared (`Arc`) between every emitting component of a simulation;
+/// appends are serialized under an internal lock and assigned a dense
+/// global sequence. All count queries are O(1): counters are
+/// maintained incrementally on append.
+pub struct Journal {
+    clock: ClockSource,
+    inner: Mutex<JournalInner>,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Journal")
+            .field("events", &inner.events.len())
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Creates a journal stamping events from `clock` (normally the
+    /// simulation's `Network::clock()`).
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Journal {
+            clock: ClockSource::Shared(clock),
+            inner: Mutex::new(JournalInner::default()),
+        }
+    }
+
+    /// Creates a journal with a private clock, advanced through
+    /// [`Journal::observe_time`]. Useful for components driven with
+    /// explicit `now` arguments outside a full simulation.
+    pub fn standalone() -> Self {
+        Journal {
+            clock: ClockSource::Owned(Arc::new(VirtualClock::new())),
+            inner: Mutex::new(JournalInner::default()),
+        }
+    }
+
+    /// Advances a standalone journal's private clock to `now`; no-op
+    /// for journals sharing the simulation clock.
+    pub fn observe_time(&self, now: SimTime) {
+        if let ClockSource::Owned(c) = &self.clock {
+            c.advance_to(now);
+        }
+    }
+
+    /// Appends an event for `server`, stamped at the clock's current
+    /// instant, and returns its sequence number.
+    pub fn record(&self, server: &str, kind: EventKind) -> u64 {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        let seq = inner.events.len() as u64;
+        let prev_hash = inner.tails.get(server).copied().unwrap_or(0);
+        let mut ev = Event {
+            seq,
+            sim_time: now,
+            server: server.to_string(),
+            kind,
+            prev_hash,
+            hash: 0,
+        };
+        ev.hash = ev.compute_hash();
+        inner.tails.insert(ev.server.clone(), ev.hash);
+        let tag = ev.kind.tag();
+        *inner.counts.entry((ev.server.clone(), tag)).or_insert(0) += 1;
+        *inner.kind_counts.entry(tag).or_insert(0) += 1;
+        inner.events.push(ev);
+        seq
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events of kind `tag` (a [`kind`] constant), across all
+    /// servers. O(1).
+    pub fn count(&self, tag: &str) -> u64 {
+        self.inner.lock().kind_counts.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Events of kind `tag` recorded by `server`. O(1).
+    pub fn count_for(&self, server: &str, tag: &str) -> u64 {
+        self.inner
+            .lock()
+            .counts
+            .get(&(server.to_string(), tag))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A snapshot of all events in append order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Serializes the whole journal as JSON Lines (one event per
+    /// line, trailing newline after each). Deterministic: equal
+    /// journals serialize to equal bytes.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for ev in &inner.events {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Verifies every per-server hash chain and the global sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ChainError`] found.
+    pub fn verify(&self) -> Result<(), ChainError> {
+        verify_events(&self.inner.lock().events)
+    }
+
+    /// Takes a consistent snapshot for richer, derived views.
+    pub fn query(&self) -> JournalQuery {
+        JournalQuery {
+            events: self.events(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a journal with derived views; built by
+/// [`Journal::query`]. The benches use this to explain their numbers.
+#[derive(Debug, Clone)]
+pub struct JournalQuery {
+    events: Vec<Event>,
+}
+
+impl JournalQuery {
+    /// Builds a query over an externally obtained event list (e.g.
+    /// parsed back from JSONL).
+    pub fn from_events(events: Vec<Event>) -> Self {
+        JournalQuery { events }
+    }
+
+    /// All events in append order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events in the snapshot.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events of kind `tag`.
+    pub fn count(&self, tag: &str) -> u64 {
+        self.events.iter().filter(|e| e.kind.tag() == tag).count() as u64
+    }
+
+    /// Events of kind `tag` recorded by `server`.
+    pub fn count_for(&self, server: &str, tag: &str) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.server == server && e.kind.tag() == tag)
+            .count() as u64
+    }
+
+    /// Distinct actors, sorted.
+    pub fn servers(&self) -> Vec<String> {
+        let mut set: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| e.server.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        set.dedup();
+        set
+    }
+
+    /// Events recorded by one actor, in order.
+    pub fn events_for(&self, server: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.server == server).collect()
+    }
+
+    /// Count of every kind present, keyed by tag, sorted by tag.
+    pub fn kind_totals(&self) -> BTreeMap<&'static str, u64> {
+        let mut totals = BTreeMap::new();
+        for e in &self.events {
+            *totals.entry(e.kind.tag()).or_insert(0) += 1;
+        }
+        totals
+    }
+
+    /// The latest [`EventKind::HealthSnapshot`] per actor, sorted by
+    /// actor.
+    pub fn latest_health(&self) -> Vec<(&str, &EventKind)> {
+        let mut latest: BTreeMap<&str, &EventKind> = BTreeMap::new();
+        for e in &self.events {
+            if matches!(e.kind, EventKind::HealthSnapshot { .. }) {
+                latest.insert(&e.server, &e.kind);
+            }
+        }
+        latest.into_iter().collect()
+    }
+}
+
+/// Verifies the per-server hash chains and dense global sequence of an
+/// event slice (as produced by [`Journal::events`] or
+/// [`events_from_jsonl`]).
+///
+/// # Errors
+///
+/// Returns the first [`ChainError`] found: a gap in `seq`, a
+/// `prev_hash` that does not match the actor's chain tail, or a `hash`
+/// that does not recompute.
+pub fn verify_events(events: &[Event]) -> Result<(), ChainError> {
+    let mut tails: HashMap<&str, u64> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        if ev.seq != i as u64 {
+            return Err(ChainError {
+                seq: ev.seq,
+                reason: format!("sequence gap: expected {i}"),
+            });
+        }
+        let expected_prev = tails.get(ev.server.as_str()).copied().unwrap_or(0);
+        if ev.prev_hash != expected_prev {
+            return Err(ChainError {
+                seq: ev.seq,
+                reason: format!(
+                    "prev_hash {:016x} does not match chain tail {:016x} of `{}`",
+                    ev.prev_hash, expected_prev, ev.server
+                ),
+            });
+        }
+        let recomputed = ev.compute_hash();
+        if ev.hash != recomputed {
+            return Err(ChainError {
+                seq: ev.seq,
+                reason: format!(
+                    "hash {:016x} does not recompute ({recomputed:016x})",
+                    ev.hash
+                ),
+            });
+        }
+        tails.insert(ev.server.as_str(), ev.hash);
+    }
+    Ok(())
+}
+
+/// Parses a JSON Lines journal back into events (blank lines are
+/// skipped).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the first malformed line.
+pub fn events_from_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = Event::from_json_line(line)
+            .map_err(|e| ParseError::new(&format!("line {}: {}", i + 1, e.reason)))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+/// Compares a recorded JSONL journal against a freshly replayed
+/// journal, byte for byte.
+///
+/// # Errors
+///
+/// Returns the first diverging line as a [`ReplayMismatch`].
+pub fn replay_check(recorded: &str, replayed: &Journal) -> Result<(), ReplayMismatch> {
+    let fresh = replayed.to_jsonl();
+    let mut rec_lines = recorded.lines();
+    let mut rep_lines = fresh.lines();
+    let mut i = 0;
+    loop {
+        match (rec_lines.next(), rep_lines.next()) {
+            (None, None) => return Ok(()),
+            (a, b) => {
+                let a = a.unwrap_or("");
+                let b = b.unwrap_or("");
+                if a != b {
+                    return Err(ReplayMismatch {
+                        line: i,
+                        recorded: a.to_string(),
+                        replayed: b.to_string(),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+// --- FNV-1a 64-bit -------------------------------------------------
+
+/// Incremental FNV-1a 64-bit hasher (the chain hash; chosen because
+/// the workspace is offline and vendors no cryptographic digest —
+/// tamper-evident within the simulation, not cryptographically so).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+// --- minimal deterministic JSON ------------------------------------
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, val: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    push_escaped(out, val);
+    out.push('"');
+}
+
+fn push_u64_field(out: &mut String, key: &str, val: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&val.to_string());
+}
+
+fn push_u64_raw(out: &mut String, key: &str, val: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&val.to_string());
+}
+
+fn push_hex16(out: &mut String, v: u64) {
+    out.push_str(&format!("{v:016x}"));
+}
+
+fn parse_hex16(s: &str) -> Result<u64, ParseError> {
+    u64::from_str_radix(s, 16).map_err(|_| ParseError::new("bad hex hash"))
+}
+
+#[derive(Debug)]
+enum JsonVal {
+    Num(u64),
+    Str(String),
+    Obj(JsonObj),
+}
+
+#[derive(Debug)]
+struct JsonObj {
+    fields: Vec<(String, JsonVal)>,
+}
+
+impl JsonObj {
+    fn get(&self, key: &str) -> Result<&JsonVal, ParseError> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| ParseError::new(&format!("missing field `{key}`")))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, ParseError> {
+        match self.get(key)? {
+            JsonVal::Num(n) => Ok(*n),
+            _ => Err(ParseError::new(&format!("field `{key}` is not a number"))),
+        }
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, ParseError> {
+        u32::try_from(self.u64(key)?)
+            .map_err(|_| ParseError::new(&format!("field `{key}` out of u32 range")))
+    }
+
+    fn str(&self, key: &str) -> Result<&str, ParseError> {
+        match self.get(key)? {
+            JsonVal::Str(s) => Ok(s),
+            _ => Err(ParseError::new(&format!("field `{key}` is not a string"))),
+        }
+    }
+
+    fn obj(&self, key: &str) -> Result<&JsonObj, ParseError> {
+        match self.get(key)? {
+            JsonVal::Obj(o) => Ok(o),
+            _ => Err(ParseError::new(&format!("field `{key}` is not an object"))),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError::new(&format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(ParseError::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(ParseError::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| ParseError::new("short \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| ParseError::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| ParseError::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| ParseError::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(ParseError::new("unknown escape")),
+                    }
+                }
+                b => {
+                    // Re-sync to char boundaries for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| ParseError::new("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| ParseError::new("bad UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(ParseError::new("expected number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ParseError::new("bad number"))
+    }
+
+    fn parse_value(&mut self) -> Result<JsonVal, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonVal::Str(self.parse_string()?)),
+            Some(b'{') => Ok(JsonVal::Obj(self.parse_obj()?)),
+            Some(b) if b.is_ascii_digit() => Ok(JsonVal::Num(self.parse_number()?)),
+            _ => Err(ParseError::new("unexpected value")),
+        }
+    }
+
+    fn parse_obj(&mut self) -> Result<JsonObj, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonObj { fields });
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonObj { fields });
+                }
+                _ => return Err(ParseError::new("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn utf8_width(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_object(line: &str) -> Result<JsonObj, ParseError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let obj = p.parse_obj()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(ParseError::new("trailing garbage after object"));
+    }
+    Ok(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+
+    fn sample_journal() -> Journal {
+        let j = Journal::standalone();
+        j.observe_time(SimTime::from_millis(1));
+        j.record(
+            "node-1",
+            EventKind::StreamAdmit {
+                class: AdmissionClass::Stream,
+                stream: 7,
+                demanded_bps: 1_500_000,
+                available_bps: 98_500_000,
+            },
+        );
+        j.observe_time(SimTime::from_millis(2));
+        j.record(
+            "node-1",
+            EventKind::RouteDecision {
+                title: "movie-1".into(),
+                target: "node-2".into(),
+                candidates: 2,
+            },
+        );
+        j.record(
+            "node-2",
+            EventKind::StreamReject {
+                class: AdmissionClass::Recording,
+                stream: 8,
+                demanded_bps: 9_000_000,
+                available_bps: 100,
+            },
+        );
+        j.observe_time(SimTime::from_millis(2) + SimDuration::from_micros(500));
+        j.record(
+            "rebalance",
+            EventKind::GrowStarted {
+                title: "movie-1".into(),
+                to: "node-3".into(),
+            },
+        );
+        j.record(
+            "node-1",
+            EventKind::HealthSnapshot {
+                streams: 3,
+                control_assocs: 2,
+                available_bps: 97_000_000,
+                cache_hit_permille: 512,
+                queue_depth_max: 4,
+            },
+        );
+        j
+    }
+
+    #[test]
+    fn chains_and_counts() {
+        let j = sample_journal();
+        assert_eq!(j.len(), 5);
+        j.verify().unwrap();
+        assert_eq!(j.count(kind::STREAM_ADMIT), 1);
+        assert_eq!(j.count(kind::STREAM_REJECT), 1);
+        assert_eq!(j.count_for("node-1", kind::ROUTE_DECISION), 1);
+        assert_eq!(j.count_for("node-2", kind::ROUTE_DECISION), 0);
+        let q = j.query();
+        assert_eq!(q.servers(), vec!["node-1", "node-2", "rebalance"]);
+        assert_eq!(q.kind_totals()[kind::GROW_STARTED], 1);
+        assert_eq!(q.latest_health().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips_byte_identically() {
+        let j = sample_journal();
+        let text = j.to_jsonl();
+        let events = events_from_jsonl(&text).unwrap();
+        assert_eq!(events, j.events());
+        verify_events(&events).unwrap();
+        let again: String = events.iter().map(|e| e.to_json_line() + "\n").collect();
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn tampering_breaks_the_chain() {
+        let j = sample_journal();
+        let mut events = j.events();
+        // Flip a payload field without touching the stored hash.
+        if let EventKind::StreamAdmit { demanded_bps, .. } = &mut events[0].kind {
+            *demanded_bps += 1;
+        } else {
+            panic!("expected admit first");
+        }
+        let err = verify_events(&events).unwrap_err();
+        assert_eq!(err.seq, 0);
+
+        // Drop an event: the dense sequence catches it.
+        let mut dropped = j.events();
+        dropped.remove(1);
+        assert!(verify_events(&dropped).is_err());
+
+        // Reorder two events of the same server: prev_hash catches it.
+        let mut swapped = j.events();
+        swapped.swap(0, 1);
+        assert!(verify_events(&swapped).is_err());
+    }
+
+    #[test]
+    fn replay_check_reports_divergence() {
+        let j = sample_journal();
+        let recorded = j.to_jsonl();
+        replay_check(&recorded, &j).unwrap();
+        let other = Journal::standalone();
+        other.record("node-1", EventKind::RebalanceSample);
+        let err = replay_check(&recorded, &other).unwrap_err();
+        assert_eq!(err.line, 0);
+    }
+
+    #[test]
+    fn shared_clock_stamps_records() {
+        let clock = Arc::new(VirtualClock::new());
+        let j = Journal::new(clock.clone());
+        clock.advance_to(SimTime::from_secs(3));
+        let seq = j.record("node-1", EventKind::RebalanceSample);
+        assert_eq!(seq, 0);
+        assert_eq!(j.events()[0].sim_time, SimTime::from_secs(3));
+        // observe_time must not rewind or affect a shared clock.
+        j.observe_time(SimTime::from_secs(1));
+        assert_eq!(clock.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn escaped_strings_round_trip() {
+        let j = Journal::standalone();
+        j.record(
+            "node \"q\"\\",
+            EventKind::DirectoryUpdate {
+                title: "movie\nwith\tctrl".into(),
+            },
+        );
+        let events = events_from_jsonl(&j.to_jsonl()).unwrap();
+        assert_eq!(events, j.events());
+        verify_events(&events).unwrap();
+    }
+}

@@ -9,6 +9,7 @@ use crate::alloc::BlockAllocator;
 use crate::cache::{BlockKey, BufferCache, CachePolicy, CacheStats};
 use crate::disk::{Disk, DiskParams, DiskStats, IoKind};
 use crate::layout::{BlockAddr, BlockMap, MovieId, StripeLayout};
+use journal::{AdmissionClass, EventKind, Journal};
 use mtp::MovieSource;
 use netsim::{SimDuration, SimTime};
 use parking_lot::Mutex;
@@ -346,9 +347,52 @@ struct StoreInner {
     blocks_recorded: u64,
     blocks_imported: u64,
     frames_recorded: u64,
+    /// Event journal and the server name to record under, when the
+    /// store runs inside an observed simulation.
+    journal: Option<(Arc<Journal>, String)>,
 }
 
 impl StoreInner {
+    /// Runs an admission decision and journals its outcome: admits
+    /// carry the headroom left *after* committing, rejects the
+    /// headroom the demand did not fit into.
+    fn admit_journaled(
+        &mut self,
+        class: AdmissionClass,
+        id: u32,
+        demanded_bps: u64,
+    ) -> Result<(), StoreError> {
+        match self.admission.admit(id, demanded_bps) {
+            Ok(()) => {
+                if let Some((journal, server)) = &self.journal {
+                    journal.record(
+                        server,
+                        EventKind::StreamAdmit {
+                            class,
+                            stream: id,
+                            demanded_bps,
+                            available_bps: self.admission.available_bps(),
+                        },
+                    );
+                }
+                Ok(())
+            }
+            Err(r) => {
+                if let Some((journal, server)) = &self.journal {
+                    journal.record(
+                        server,
+                        EventKind::StreamReject {
+                            class,
+                            stream: id,
+                            demanded_bps: r.demanded_bps,
+                            available_bps: r.available_bps,
+                        },
+                    );
+                }
+                Err(reject(r))
+            }
+        }
+    }
     fn consumers(&self) -> Vec<(MovieId, u64)> {
         self.streams
             .values()
@@ -582,6 +626,7 @@ impl BlockStore {
                 blocks_recorded: 0,
                 blocks_imported: 0,
                 frames_recorded: 0,
+                journal: None,
                 config,
             }),
         })
@@ -590,6 +635,23 @@ impl BlockStore {
     /// The store's configuration.
     pub fn config(&self) -> StoreConfig {
         self.inner.lock().config
+    }
+
+    /// Attaches an event journal: every admission decision from here
+    /// on is recorded under `server`'s hash chain.
+    pub fn attach_journal(&self, journal: Arc<Journal>, server: impl Into<String>) {
+        self.inner.lock().journal = Some((journal, server.into()));
+    }
+
+    /// Per-disk queue depths (requests waiting plus in service), in
+    /// stripe order. Sampled by health snapshots.
+    pub fn disk_queue_depths(&self) -> Vec<u32> {
+        self.inner
+            .lock()
+            .disks
+            .iter()
+            .map(|d| d.pending() as u32)
+            .collect()
     }
 
     /// Registers `movie` on the stripe set and returns its id. A movie
@@ -675,7 +737,7 @@ impl BlockStore {
             return Err(StoreError::UnknownMovie(movie));
         };
         let demand = demand_bps(rec.bitrate_bps, speed_pct);
-        inner.admission.admit(stream_id, demand).map_err(reject)?;
+        inner.admit_journaled(AdmissionClass::Stream, stream_id, demand)?;
         inner.streams.insert(
             stream_id,
             StreamRec {
@@ -708,7 +770,7 @@ impl BlockStore {
         let movie = stream.movie;
         let bitrate = inner.movies[&movie].bitrate_bps;
         let demand = demand_bps(bitrate, speed_pct);
-        inner.admission.admit(stream_id, demand).map_err(reject)?;
+        inner.admit_journaled(AdmissionClass::Stream, stream_id, demand)?;
         inner
             .streams
             .get_mut(&stream_id)
@@ -808,7 +870,7 @@ impl BlockStore {
     pub fn open_recording(&self, rec_id: u32, source: &MovieSource) -> Result<MovieId, StoreError> {
         let mut inner = self.inner.lock();
         let demand = source.mean_bitrate_bps().max(1);
-        inner.admission.admit(rec_id, demand).map_err(reject)?;
+        inner.admit_journaled(AdmissionClass::Recording, rec_id, demand)?;
         let movie = MovieId(inner.next_movie);
         inner.next_movie += 1;
         let start_disk = movie.0 as usize % inner.disks.len();
@@ -1048,10 +1110,7 @@ impl BlockStore {
             );
             return Ok(id);
         }
-        inner
-            .admission
-            .admit(id, reserve_bps.max(1))
-            .map_err(reject)?;
+        inner.admit_journaled(AdmissionClass::Import, id, reserve_bps.max(1))?;
         inner.next_import += 1;
         let bitrate_bps = source.mean_bitrate_bps().max(1);
         let (frames_per_block, total_blocks) = block_geometry(

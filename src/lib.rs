@@ -9,6 +9,7 @@
 //!   block store, buffer cache, prefetch, disk-bandwidth admission
 //!   control feeding the stream provider);
 //! - services: [`directory`], [`equipment`];
+//! - observability: [`journal`] (hash-chained event journal);
 //! - substrate and evaluation: [`netsim`], [`ksim`], [`harness`].
 pub use asn1;
 pub use directory;
@@ -16,6 +17,7 @@ pub use equipment;
 pub use estelle;
 pub use harness;
 pub use isode;
+pub use journal;
 pub use ksim;
 pub use mcam;
 pub use mtp;
