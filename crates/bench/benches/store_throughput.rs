@@ -15,6 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mcam::{McamOp, McamPdu, StackKind, World};
 use mtp::MovieSource;
 use netsim::{LinkConfig, SimDuration, SimTime};
+use share::{JoinPlan, ShareConfig, ShareManager};
 use std::sync::{Arc, Once};
 use store::{BlockStore, CachePolicy, DiskParams, DiskSched, StoreConfig};
 
@@ -341,6 +342,128 @@ fn hit_ratio_at_spacing(policy: CachePolicy, cache_blocks: usize, spacing_frames
     store.stats().service_hit_ratio()
 }
 
+/// Outcome of one flash-crowd run.
+struct FlashCrowd {
+    /// Viewers admitted (any share class).
+    admitted: usize,
+    /// Viewers the admission controller honestly refused.
+    refused: usize,
+    /// Merge-engine counters at the end of the run.
+    stats: share::ShareStats,
+    /// The run's share-lifecycle journal.
+    journal: Arc<journal::Journal>,
+}
+
+/// Flash crowd: `viewers` arrivals spaced `spacing_us` apart, all on
+/// ONE title served by a 2-disk store. With sharing off every viewer
+/// charges a full disk stream and the spindles cap admissions; with
+/// the merge engine one leader per position band is charged, joiners
+/// inside the merge window ride the pinned cache span free, and
+/// catch-up joiners charge only the fast-feed delta until they
+/// converge. The run continues for as long again after the last
+/// arrival so in-flight fast-feeds can converge and release.
+fn flash_crowd(
+    sharing: bool,
+    viewers: u32,
+    spacing_us: u64,
+    cache_blocks: usize,
+    merge_window_blocks: u64,
+) -> FlashCrowd {
+    let store = BlockStore::new(StoreConfig {
+        disks: 2,
+        block_size: 64 * 1024,
+        cache_blocks,
+        policy: CachePolicy::Interval,
+        disk: DiskParams {
+            transfer_bytes_per_sec: 2_000_000,
+            sched: DiskSched::Scan,
+            ..DiskParams::default()
+        },
+        ..StoreConfig::default()
+    });
+    // Long enough that no viewer finishes inside the simulated run.
+    let seconds = 2 * u64::from(viewers) * spacing_us / 1_000_000 + 60;
+    let source = MovieSource::test_movie(seconds, 11);
+    let movie = store.register_movie(&source);
+    let share = ShareManager::new(ShareConfig {
+        enabled: sharing,
+        merge_window_blocks,
+        catch_up_horizon_blocks: 4 * merge_window_blocks,
+        catch_up_rate_pct: 125,
+    });
+    let journal = Arc::new(journal::Journal::new(Arc::new(netsim::VirtualClock::new())));
+    share.attach_journal(Arc::clone(&journal), "bench-sps");
+    let full = store.demand_for(movie, 100).expect("movie registered");
+    let step = SimDuration::from_micros(spacing_us);
+    // (stream, playback position in centi-frames, playback rate %).
+    let mut playing: Vec<(u32, u64, u32)> = Vec::new();
+    let mut now = SimTime::ZERO;
+    let (mut admitted, mut refused) = (0usize, 0usize);
+    for i in 0..2 * viewers {
+        for (id, pos, rate) in playing.iter_mut() {
+            *pos += spacing_us * u64::from(source.frame_rate) * u64::from(*rate) / 1_000_000;
+            let frame = (*pos / 100).min(source.frame_count - 1);
+            store.note_position(*id, frame);
+            if let Some(block) = store.block_of_frame(movie, frame) {
+                share.note_position(*id, block);
+            }
+        }
+        store.pump(now);
+        for id in share.converged_fast_feeds() {
+            store
+                .recharge_stream(id, 0)
+                .expect("releasing a fast-feed delta always fits");
+            if let Some(viewer) = playing.iter_mut().find(|v| v.0 == id) {
+                viewer.2 = 100;
+            }
+            share.mark_converged(id);
+        }
+        store.set_pinned_ranges(&share.pinned_ranges());
+        if i < viewers {
+            let id = i + 1;
+            match share.plan_join(movie) {
+                JoinPlan::Lead => {
+                    if store.open_stream(id, movie, 100, now).is_ok() {
+                        share.open_leader(id, movie);
+                        playing.push((id, 0, 100));
+                        admitted += 1;
+                    } else {
+                        refused += 1;
+                    }
+                }
+                JoinPlan::Merge { leader, .. } => {
+                    store
+                        .open_stream_with_demand(id, movie, 100, 0, now)
+                        .expect("zero-demand follower always admitted");
+                    share.open_merged(id, movie, leader);
+                    playing.push((id, 0, 100));
+                    admitted += 1;
+                }
+                JoinPlan::FastFeed { leader, .. } => {
+                    let delta = share.fast_feed_delta_bps(full);
+                    if store
+                        .open_stream_with_demand(id, movie, 125, delta, now)
+                        .is_ok()
+                    {
+                        share.open_fast_feed(id, movie, leader, delta);
+                        playing.push((id, 0, 125));
+                        admitted += 1;
+                    } else {
+                        refused += 1;
+                    }
+                }
+            }
+        }
+        now += step;
+    }
+    FlashCrowd {
+        admitted,
+        refused,
+        stats: share.stats(),
+        journal,
+    }
+}
+
 /// Joins `{...}` rows into a deterministic JSON array literal.
 fn json_array(rows: &[String]) -> String {
     rows.join(", ")
@@ -437,6 +560,89 @@ fn scenario_report() -> (String, Arc<journal::Journal>) {
         close > far,
         "closely-spaced viewers must hit the cache more (close={close:.3} far={far:.3})"
     );
+    println!("store_throughput: flash crowd (1000 viewers over 60 s, one title, 2 disks)");
+    let off = flash_crowd(false, 1000, 60_000, 96, 16);
+    let on = flash_crowd(true, 1000, 60_000, 96, 16);
+    println!(
+        "  sharing=off admitted={:<4} refused={:<4} (per-spindle {})",
+        off.admitted,
+        off.refused,
+        off.admitted / 2
+    );
+    println!(
+        "  sharing=on  admitted={:<4} refused={:<4} (per-spindle {}, {:.1}x, \
+         merges={} fast_feeds={} conversions={})",
+        on.admitted,
+        on.refused,
+        on.admitted / 2,
+        on.admitted as f64 / off.admitted as f64,
+        on.stats.merges,
+        on.stats.fast_feeds,
+        on.stats.conversions
+    );
+    assert!(
+        on.admitted >= 10 * off.admitted,
+        "the merge engine must sustain >= 10x the sharing-off per-spindle \
+         streams (on={} off={})",
+        on.admitted,
+        off.admitted
+    );
+    assert!(
+        on.stats.merges > 0 && on.stats.fast_feeds > 0 && on.stats.conversions > 0,
+        "a 60 s flash crowd must exercise merge, fast-feed and convergence \
+         (stats={:?})",
+        on.stats
+    );
+    journal::verify_events(&on.journal.events()).expect("share journal chain intact");
+    let merges_logged = on.journal.count(journal::kind::MERGE_JOINED);
+    let feeds_logged = on.journal.count(journal::kind::FAST_FEED_STARTED);
+    let conversions_logged = on.journal.count(journal::kind::FAST_FEED_CONVERGED);
+    println!(
+        "  journal: merge_joined={merges_logged} fast_feed_started={feeds_logged} \
+         fast_feed_converged={conversions_logged} ({} events, chain verified)",
+        on.journal.len()
+    );
+    assert!(
+        merges_logged > 0 && feeds_logged > 0 && conversions_logged > 0,
+        "every share lifecycle step must reach the journal"
+    );
+    println!("store_throughput: flash-crowd calibration (40 viewers, spacing x cache x window)");
+    let mut calibration_rows = Vec::new();
+    for spacing_ms in [250u64, 1000, 4000] {
+        for cache_blocks in [16usize, 96] {
+            for window in [4u64, 16] {
+                let run = flash_crowd(true, 40, spacing_ms * 1000, cache_blocks, window);
+                println!(
+                    "  spacing={spacing_ms:<4}ms cache={cache_blocks:<2} window={window:<2} \
+                     admitted={:<2} merges={:<2} fast_feeds={:<2}",
+                    run.admitted, run.stats.merges, run.stats.fast_feeds
+                );
+                calibration_rows.push((spacing_ms, cache_blocks, window, run));
+            }
+        }
+    }
+    for chunk in calibration_rows.chunks(2) {
+        let (narrow, wide) = (&chunk[0].3, &chunk[1].3);
+        assert!(
+            wide.admitted >= narrow.admitted,
+            "a wider merge window must never admit fewer viewers"
+        );
+        assert!(
+            wide.stats.merges >= narrow.stats.merges,
+            "a wider merge window must never merge fewer viewers"
+        );
+    }
+    let calibration_json: Vec<String> = calibration_rows
+        .iter()
+        .map(|(spacing_ms, cache_blocks, window, run)| {
+            format!(
+                "{{\"spacing_ms\": {spacing_ms}, \"cache_blocks\": {cache_blocks}, \
+                 \"merge_window\": {window}, \"admitted\": {}, \"merges\": {}, \
+                 \"fast_feeds\": {}}}",
+                run.admitted, run.stats.merges, run.stats.fast_feeds
+            )
+        })
+        .collect();
     println!(
         "store_throughput: control-connection fan-out \
          (16 clients all dial server 0 of 4)"
@@ -479,7 +685,7 @@ fn scenario_report() -> (String, Arc<journal::Journal>) {
     // Ratios are reported in permille so the committed file carries
     // only integers and regenerates byte-identically.
     let json = format!(
-        "{{\n  \"bench\": \"store_throughput\",\n  \"mode\": \"smoke\",\n  \"scenarios\": {{\n    \"disk_sweep\": [{disk}],\n    \"cluster_sweep\": [{cluster}],\n    \"hot_title_skew\": {{\"static_k2\": {static_k2}, \"rebalanced\": {dynamic}, \"copies_completed\": {copies}, \"grows_started\": {grows}, \"directory_updates\": {dirs}}},\n    \"record_playback\": [{record}],\n    \"interval_cache\": {{\"close_hit_permille\": {close_pm}, \"far_hit_permille\": {far_pm}}},\n    \"control_fanout\": {{\"legacy_per_server\": [{legacy}], \"referred_per_server\": [{spread}], \"referrals_issued\": {issued}, \"referrals_followed\": {followed}, \"referrals_failed\": {failed}, \"journal_events\": {journal_len}}}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"store_throughput\",\n  \"mode\": \"smoke\",\n  \"scenarios\": {{\n    \"disk_sweep\": [{disk}],\n    \"cluster_sweep\": [{cluster}],\n    \"hot_title_skew\": {{\"static_k2\": {static_k2}, \"rebalanced\": {dynamic}, \"copies_completed\": {copies}, \"grows_started\": {grows}, \"directory_updates\": {dirs}}},\n    \"record_playback\": [{record}],\n    \"interval_cache\": {{\"close_hit_permille\": {close_pm}, \"far_hit_permille\": {far_pm}}},\n    \"flash_crowd\": {{\"viewers\": 1000, \"sharing_off\": {fc_off}, \"sharing_on\": {fc_on}, \"refused_on\": {fc_refused}, \"merges\": {fc_merges}, \"fast_feeds\": {fc_feeds}, \"conversions\": {fc_conversions}, \"journal_events\": {fc_journal}}},\n    \"flash_crowd_calibration\": [{calibration}],\n    \"control_fanout\": {{\"legacy_per_server\": [{legacy}], \"referred_per_server\": [{spread}], \"referrals_issued\": {issued}, \"referrals_followed\": {followed}, \"referrals_failed\": {failed}, \"journal_events\": {journal_len}}}\n  }}\n}}\n",
         disk = json_array(&disk_rows),
         cluster = json_array(&cluster_rows),
         copies = rebalance.copies_completed,
@@ -488,6 +694,14 @@ fn scenario_report() -> (String, Arc<journal::Journal>) {
         record = json_array(&record_rows),
         close_pm = (close * 1000.0).round() as u64,
         far_pm = (far * 1000.0).round() as u64,
+        fc_off = off.admitted,
+        fc_on = on.admitted,
+        fc_refused = on.refused,
+        fc_merges = on.stats.merges,
+        fc_feeds = on.stats.fast_feeds,
+        fc_conversions = on.stats.conversions,
+        fc_journal = on.journal.len(),
+        calibration = json_array(&calibration_json),
         legacy = fanout(&legacy),
         spread = fanout(&spread),
         journal_len = fanout_journal.len(),
@@ -534,6 +748,9 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("two_viewers_interval_cache", |b| {
         b.iter(|| criterion::black_box(hit_ratio_at_spacing(CachePolicy::Interval, 64, 4)));
+    });
+    group.bench_function("flash_crowd_200_viewers", |b| {
+        b.iter(|| criterion::black_box(flash_crowd(true, 200, 60_000, 96, 16).admitted));
     });
     group.bench_function("control_fanout_8_clients", |b| {
         b.iter(|| criterion::black_box(control_fanout(4, 8, true).0));

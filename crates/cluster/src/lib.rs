@@ -382,8 +382,23 @@ impl<P: LoadProbe + Clone> ReplicaDirectory<P> {
     /// erroring; the caller falls back to local service when nothing
     /// matches.
     pub fn route(&self, replicas: &[String]) -> Vec<(String, P)> {
+        self.route_by(replicas, |_| false)
+    }
+
+    /// [`ReplicaDirectory::route`] with an affinity tie-break: among
+    /// replicas with equal uncommitted bandwidth, those for which
+    /// `prefer` holds come first (before the replica-list order).
+    /// Stream sharing routes the next viewer of a title to a replica
+    /// already streaming it in a merge group — the joiner is likely
+    /// free there, while an equally-loaded cold replica would charge
+    /// a full disk stream.
+    pub fn route_by(
+        &self,
+        replicas: &[String],
+        mut prefer: impl FnMut(&P) -> bool,
+    ) -> Vec<(String, P)> {
         let servers = self.servers.read();
-        let mut candidates: Vec<(usize, u64, String, P)> = replicas
+        let mut candidates: Vec<(usize, u64, bool, String, P)> = replicas
             .iter()
             .enumerate()
             .filter_map(|(order, location)| {
@@ -394,14 +409,18 @@ impl<P: LoadProbe + Clone> ReplicaDirectory<P> {
                         (
                             order,
                             s.probe.load().available_bps,
+                            prefer(&s.probe),
                             s.location.clone(),
                             s.probe.clone(),
                         )
                     })
             })
             .collect();
-        candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        candidates.into_iter().map(|(_, _, l, p)| (l, p)).collect()
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then(b.2.cmp(&a.2)).then(a.0.cmp(&b.0)));
+        candidates
+            .into_iter()
+            .map(|(_, _, _, l, p)| (l, p))
+            .collect()
     }
 }
 
@@ -554,6 +573,30 @@ mod tests {
         let replicas: Vec<String> = vec!["node-1".into(), "node-2".into(), "node-3".into()];
         let order: Vec<String> = dir.route(&replicas).into_iter().map(|(l, _)| l).collect();
         assert_eq!(order, ["node-2", "node-3", "node-1"]);
+    }
+
+    #[test]
+    fn route_by_breaks_bandwidth_ties_by_affinity() {
+        let (dir, probes) = three_server_dir();
+        let replicas: Vec<String> = vec!["node-1".into(), "node-2".into(), "node-3".into()];
+        // All tied on availability: the preferred replica jumps the
+        // replica-list order…
+        let order: Vec<String> = dir
+            .route_by(&replicas, |p| Rc::ptr_eq(&p.0, &probes[2].0))
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(order, ["node-3", "node-1", "node-2"]);
+        // …but never outranks strictly more uncommitted bandwidth.
+        probes[0].set(900_000);
+        probes[1].set(100_000);
+        probes[2].set(100_000);
+        let order: Vec<String> = dir
+            .route_by(&replicas, |p| Rc::ptr_eq(&p.0, &probes[2].0))
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(order, ["node-1", "node-3", "node-2"]);
     }
 
     #[test]

@@ -204,6 +204,63 @@
 //! assert!(cluster.control.referrals_issued() > 0);
 //! ```
 //!
+//! # Stream sharing
+//!
+//! The interval cache exploits close-spaced viewers of one title;
+//! **stream sharing** makes them nearly free. Enable it with
+//! [`ShareConfig`] on [`World::share_config`] and each server's
+//! merge engine batches viewers into multicast groups: one *leader*
+//! per position band is the only stream charged against disk
+//! admission, followers joining inside the merge window ride the
+//! leader's stream from a pinned cache span at zero admission cost,
+//! and stragglers inside the catch-up horizon are briefly *fast-fed*
+//! at `catch_up_rate_pct` of nominal (charged only the delta) until
+//! they converge onto the group. The lifecycle stays honest on both
+//! ends: a leader that closes or seeks away hands its disk stream to
+//! the nearest follower (re-charged in full before the leader may
+//! go), and a follower seeking out of its group either passes full
+//! admission for a stream of its own or keeps its seat and gets a
+//! 503. `SelectMovie` routing breaks `available_bps` ties toward
+//! replicas already streaming the title, so a flash crowd piles onto
+//! the shared group instead of burning a disk stream per replica
+//! (see `examples/flash_crowd.rs` for the full lifecycle):
+//!
+//! ```
+//! use directory::MovieEntry;
+//! use mcam::{McamOp, McamPdu, Placement, ShareConfig, StackKind, World};
+//! use netsim::{LinkConfig, SimDuration};
+//! use store::{DiskParams, StoreConfig};
+//!
+//! // A disk that fits two full ~0.69 Mbit/s streams…
+//! let tight = StoreConfig {
+//!     disks: 1,
+//!     disk: DiskParams { transfer_bytes_per_sec: 250_000, ..DiskParams::default() },
+//!     ..StoreConfig::default()
+//! };
+//! let mut world = World::with_config(13, LinkConfig::perfect(SimDuration::from_millis(2)), tight);
+//! world.share_config = ShareConfig::default();
+//! let cluster = world.add_cluster("vod", 1, StackKind::EstellePS, Placement::round_robin(1));
+//! let clients: Vec<_> = (0..4)
+//!     .map(|_| world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]))
+//!     .collect();
+//! world.start();
+//!
+//! let mut entry = MovieEntry::new("Premiere", "pending");
+//! entry.frame_count = 250;
+//! world.publish_replicated(&cluster, &entry);
+//!
+//! // …serves four simultaneous viewers of one premiere: the first
+//! // leads (and is charged one stream), the rest merge in free.
+//! for (i, c) in clients.iter().enumerate() {
+//!     world.client_op(c, McamOp::Associate { user: format!("v{i}") });
+//!     let rsp = world.client_op(c, McamOp::SelectMovie { title: "Premiere".into() });
+//!     assert!(matches!(rsp, Some(McamPdu::SelectMovieRsp { params: Some(_) })));
+//! }
+//! let server = &cluster.servers[0].services;
+//! assert_eq!(server.share.stats().merges, 3, "three followers merged free");
+//! assert!(server.store.available_bps() > 0, "headroom for the next premiere remains");
+//! ```
+//!
 //! Recording is a first-class workload, not a directory stunt: a
 //! `Record` acquires the camera, passes **write-bandwidth admission
 //! control**, captures frames through the striped store's write path
@@ -313,6 +370,7 @@ pub use service::{
     EquipResponse, McamCnf, McamOp, McamReq, ReferralSignal, ReferralStale, StartAssociate,
     StreamOp, StreamOutcome, StreamRequest, StreamResponse,
 };
+pub use share::{ShareConfig, ShareStats};
 pub use sps::{RecordedMovie, SpsError, StreamProviderSystem};
 pub use stacks::{
     wire_lower_stack, wire_lower_stack_tagged, ClientRoot, ControlDial, ReferralEnd,

@@ -71,6 +71,10 @@ pub struct ServerServices {
     /// The machine's continuous-media block store (disk stripes,
     /// buffer cache, admission control) feeding the stream provider.
     pub store: Arc<store::BlockStore>,
+    /// The machine's stream-sharing merge engine (leader/follower
+    /// flash-crowd batching). Inspect its groups and counters here;
+    /// whether it merges at all is the world's `share_config` knob.
+    pub share: Arc<share::ShareManager>,
     /// The cluster's stream providers by location: `SelectMovie`
     /// routing resolves a movie's replica locations here and probes
     /// each replica's admission load. A standalone server registers
@@ -513,8 +517,11 @@ impl ServerMca {
                     let movie = source_for_entry(&entry);
                     // Routing step: order the movie's replicas by the
                     // disk bandwidth their admission controllers still
-                    // have uncommitted, and try the best first. With
-                    // no registered replica (seeded entries with
+                    // have uncommitted — breaking ties towards a
+                    // replica already streaming the title in a merge
+                    // group, where this viewer is likely admitted for
+                    // free — and try the best first. With no
+                    // registered replica (seeded entries with
                     // symbolic locations, or every replica dead or
                     // draining), fall back to the cluster's live
                     // servers: the local one first (unless it is
@@ -525,7 +532,7 @@ impl ServerMca {
                     let mut candidates: Vec<String> = self
                         .services
                         .peers
-                        .route(&entry.replicas)
+                        .route_by(&entry.replicas, |sps| sps.shares_source(&movie))
                         .into_iter()
                         .map(|(location, _)| location)
                         .collect();
@@ -791,7 +798,27 @@ impl ServerMca {
                 ctx.goto(READY);
             }
             Some(Pending::Pause) => {
-                self.reply(ctx, McamPdu::PauseRsp);
+                // A shared follower pausing out of its merge group
+                // needs a full disk stream of its own; when admission
+                // cannot take it the pause is refused honestly and the
+                // viewer keeps riding the group.
+                if let StreamOutcome::Rejected {
+                    demanded_bps,
+                    available_bps,
+                } = outcome
+                {
+                    self.error(
+                        ctx,
+                        ERR_ADMISSION,
+                        &format!(
+                            "admission rejected: leaving the merge group needs \
+                             {demanded_bps} bps, {available_bps} bps of disk \
+                             bandwidth available"
+                        ),
+                    );
+                } else {
+                    self.reply(ctx, McamPdu::PauseRsp);
+                }
                 ctx.goto(READY);
             }
             Some(Pending::Stop) => {
@@ -799,12 +826,31 @@ impl ServerMca {
                 ctx.goto(READY);
             }
             Some(Pending::Seek) => {
-                self.reply(
-                    ctx,
-                    McamPdu::SeekRsp {
-                        ok: outcome == StreamOutcome::Done,
-                    },
-                );
+                // Same honesty for seeks: a group member that cannot
+                // re-admit its own stream stays merged at its old
+                // position and the client is told why.
+                if let StreamOutcome::Rejected {
+                    demanded_bps,
+                    available_bps,
+                } = outcome
+                {
+                    self.error(
+                        ctx,
+                        ERR_ADMISSION,
+                        &format!(
+                            "admission rejected: leaving the merge group needs \
+                             {demanded_bps} bps, {available_bps} bps of disk \
+                             bandwidth available"
+                        ),
+                    );
+                } else {
+                    self.reply(
+                        ctx,
+                        McamPdu::SeekRsp {
+                            ok: outcome == StreamOutcome::Done,
+                        },
+                    );
+                }
                 ctx.goto(READY);
             }
             other => {

@@ -23,6 +23,7 @@
 use mtp::{MovieSource, MtpSender, StreamState};
 use netsim::{DatagramNet, DatagramSocket, NetAddr, SimDuration, SimTime};
 use parking_lot::Mutex;
+use share::{Departure, JoinPlan, ShareManager};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -108,6 +109,10 @@ pub struct StreamProviderSystem {
     movie_ids: Mutex<HashMap<u32, MovieId>>,
     recordings: Mutex<HashMap<u32, RecordingSession>>,
     store: Option<Arc<BlockStore>>,
+    /// The stream-sharing merge engine, when the server runs with
+    /// flash-crowd batching enabled (requires a store: followers are
+    /// served from its interval cache).
+    share: Option<Arc<ShareManager>>,
     next_stream: AtomicU32,
 }
 
@@ -129,7 +134,7 @@ impl StreamProviderSystem {
     ///
     /// Panics if the address is already bound (deployment error).
     pub fn new(dg: &Arc<DatagramNet>, addr: NetAddr) -> Arc<Self> {
-        Self::build(dg, addr, None)
+        Self::build(dg, addr, None, None)
     }
 
     /// Binds the provider to `addr`, pulling every stream through
@@ -139,10 +144,33 @@ impl StreamProviderSystem {
     ///
     /// Panics if the address is already bound (deployment error).
     pub fn with_store(dg: &Arc<DatagramNet>, addr: NetAddr, store: Arc<BlockStore>) -> Arc<Self> {
-        Self::build(dg, addr, Some(store))
+        Self::build(dg, addr, Some(store), None)
     }
 
-    fn build(dg: &Arc<DatagramNet>, addr: NetAddr, store: Option<Arc<BlockStore>>) -> Arc<Self> {
+    /// Binds the provider to `addr` over `store`, with `share` merging
+    /// close-spaced viewers of one title into leader/follower groups:
+    /// merged followers charge no disk bandwidth (they ride the pinned
+    /// cache span behind their leader), fast-feeding followers charge
+    /// only the catch-up delta until they converge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already bound (deployment error).
+    pub fn with_shared_store(
+        dg: &Arc<DatagramNet>,
+        addr: NetAddr,
+        store: Arc<BlockStore>,
+        share: Arc<ShareManager>,
+    ) -> Arc<Self> {
+        Self::build(dg, addr, Some(store), Some(share))
+    }
+
+    fn build(
+        dg: &Arc<DatagramNet>,
+        addr: NetAddr,
+        store: Option<Arc<BlockStore>>,
+        share: Option<Arc<ShareManager>>,
+    ) -> Arc<Self> {
         let socket = dg.bind(addr).expect("SPS address available");
         // Stream ids are distinct across providers (the address seeds
         // the counter's high 16 bits), so clients and MCAs can tell
@@ -158,6 +186,7 @@ impl StreamProviderSystem {
             movie_ids: Mutex::new(HashMap::new()),
             recordings: Mutex::new(HashMap::new()),
             store,
+            share,
             next_stream: AtomicU32::new((addr.0 << 16) | 1),
         })
     }
@@ -190,7 +219,31 @@ impl StreamProviderSystem {
         self.store.as_ref()
     }
 
+    /// The stream-sharing merge engine, if one is attached.
+    pub fn share(&self) -> Option<&Arc<ShareManager>> {
+        self.share.as_ref()
+    }
+
+    /// Whether a merge group on this provider is currently streaming
+    /// `movie` — the `SelectMovie` routing tie-break: among equally
+    /// loaded replicas, the one already sharing the title serves the
+    /// next viewer (nearly) for free.
+    pub fn shares_source(&self, movie: &MovieSource) -> bool {
+        match (&self.share, &self.store) {
+            (Some(share), Some(store)) => store
+                .find_movie(movie)
+                .is_some_and(|id| share.shares_movie(id)),
+            _ => false,
+        }
+    }
+
     /// Opens a stream of `movie` towards `dest`, returning its id.
+    ///
+    /// With a merge engine attached the viewer is batched into an
+    /// existing group when one streams the title close by: a merged
+    /// follower charges **zero** disk bandwidth, a fast-feeding
+    /// follower only the catch-up delta; only a fresh leader pays a
+    /// full stream.
     ///
     /// # Errors
     ///
@@ -200,12 +253,93 @@ impl StreamProviderSystem {
         let id = self.alloc_stream_id();
         if let Some(store) = &self.store {
             let movie_id = store.register_movie(&movie);
-            store.open_stream(id, movie_id, 100, now)?;
+            match self.share.as_ref().filter(|s| s.config().enabled) {
+                None => store.open_stream(id, movie_id, 100, now)?,
+                Some(share) => match share.plan_join(movie_id) {
+                    JoinPlan::Lead => {
+                        store.open_stream(id, movie_id, 100, now)?;
+                        share.open_leader(id, movie_id);
+                    }
+                    JoinPlan::Merge { leader, .. } => {
+                        store.open_stream_with_demand(id, movie_id, 100, 0, now)?;
+                        share.open_merged(id, movie_id, leader);
+                        store.set_pinned_ranges(&share.pinned_ranges());
+                    }
+                    JoinPlan::FastFeed { leader, .. } => {
+                        let bitrate = store.demand_for(movie_id, 100).unwrap_or(0);
+                        let delta = share.fast_feed_delta_bps(bitrate);
+                        store.open_stream_with_demand(id, movie_id, 100, delta, now)?;
+                        share.open_fast_feed(id, movie_id, leader, delta);
+                        store.set_pinned_ranges(&share.pinned_ranges());
+                    }
+                },
+            }
             self.movie_ids.lock().insert(id, movie_id);
         }
         let sender = MtpSender::new(self.socket.clone(), dest, id, movie);
         self.senders.lock().insert(id, sender);
         Ok(id)
+    }
+
+    /// Before a leader with followers departs its band (trick op), the
+    /// replacement disk stream for the group must fit: the promotion
+    /// candidate is re-charged one full stream here, and the trick op
+    /// is refused when admission cannot take it — the leader may not
+    /// strand its followers without bandwidth.
+    fn charge_replacement_leader(
+        &self,
+        store: &Arc<BlockStore>,
+        share: &Arc<ShareManager>,
+        leader: u32,
+    ) -> Result<(), SpsError> {
+        let Some(candidate) = share.promotion_candidate(leader) else {
+            return Ok(());
+        };
+        let movie = self.movie_ids.lock().get(&candidate).copied();
+        let demand = movie.and_then(|m| store.demand_for(m, 100)).unwrap_or(0);
+        store.recharge_stream(candidate, demand)?;
+        Ok(())
+    }
+
+    /// Applies the sharing consequences of a trick operation on
+    /// `stream` before the operation itself runs, with the stream
+    /// landing at `target_block` afterwards.
+    ///
+    /// - A follower leaving its group must re-admit a full disk stream
+    ///   of its own; rejection fails the operation (the follower stays
+    ///   merged, untouched).
+    /// - A leader with followers must first see its replacement leader
+    ///   charged; then it departs into a standalone band (keeping its
+    ///   own charge) and the nearest follower is promoted.
+    fn share_departure(&self, stream: u32, target_block: u64) -> Result<(), SpsError> {
+        let (Some(store), Some(share)) = (&self.store, &self.share) else {
+            return Ok(());
+        };
+        if share.is_follower(stream) {
+            let movie = self.movie_ids.lock().get(&stream).copied();
+            let demand = movie.and_then(|m| store.demand_for(m, 100)).unwrap_or(0);
+            store.recharge_stream(stream, demand)?;
+            share.split_out(stream, target_block);
+            self.reset_catch_up(stream);
+            store.set_pinned_ranges(&share.pinned_ranges());
+        } else if share.is_leader_with_followers(stream) {
+            self.charge_replacement_leader(store, share, stream)?;
+            if let Departure::Promoted { new_leader } =
+                share.on_leader_departure(stream, target_block)
+            {
+                self.reset_catch_up(new_leader);
+            }
+            store.set_pinned_ranges(&share.pinned_ranges());
+        }
+        Ok(())
+    }
+
+    /// A fast-feeding follower that became a leader (or split out)
+    /// returns to nominal playback rate.
+    fn reset_catch_up(&self, stream: u32) {
+        if let Some(sender) = self.senders.lock().get_mut(&stream) {
+            sender.set_speed_pct(100);
+        }
     }
 
     /// Opens a recording session capturing `movie.frame_count` frames
@@ -302,6 +436,17 @@ impl StreamProviderSystem {
         }
         if let Some(store) = &self.store {
             store.close_stream(id);
+            if let Some(share) = &self.share {
+                if let Departure::Promoted { new_leader } = share.on_close(id) {
+                    // The closing leader just released a full stream,
+                    // so the promoted follower's re-charge always fits.
+                    let movie = self.movie_ids.lock().get(&new_leader).copied();
+                    let demand = movie.and_then(|m| store.demand_for(m, 100)).unwrap_or(0);
+                    let _ = store.recharge_stream(new_leader, demand);
+                    self.reset_catch_up(new_leader);
+                }
+                store.set_pinned_ranges(&share.pinned_ranges());
+            }
         }
         self.movie_ids.lock().remove(&id);
         self.senders
@@ -330,6 +475,33 @@ impl StreamProviderSystem {
         if !self.senders.lock().contains_key(&id) {
             return Err(SpsError::NoSuchStream(id));
         }
+        if let Some(share) = &self.share {
+            if speed_pct == 100 && share.is_follower(id) {
+                // Nominal-rate playback inside a group: no admission
+                // change. A still-converging follower keeps (or
+                // resumes) the fast-feed rate, a merged one rides the
+                // leader's pace exactly.
+                let rate = if share.is_fast_feeding(id) {
+                    share.config().catch_up_rate_pct
+                } else {
+                    100
+                };
+                return self.with_sender(id, |s| {
+                    s.set_speed_pct(rate);
+                    s.play(now);
+                });
+            }
+            if speed_pct != 100 {
+                // A trick-speed viewer leaves its band: a follower
+                // re-admits, a leader hands the group over first.
+                let block = self
+                    .store
+                    .as_ref()
+                    .and_then(|s| s.stream_position_block(id))
+                    .unwrap_or(0);
+                self.share_departure(id, block)?;
+            }
+        }
         if let Some(store) = &self.store {
             store.set_speed(id, speed_pct)?;
         }
@@ -339,22 +511,41 @@ impl StreamProviderSystem {
         })
     }
 
-    /// Pauses playback.
+    /// Pauses playback. A shared follower pausing drifts out of its
+    /// group: it must re-admit a full disk stream of its own, and a
+    /// leader with followers hands the group to the nearest one.
     ///
     /// # Errors
     ///
-    /// Fails for unknown ids.
+    /// Fails for unknown ids, and with [`SpsError::AdmissionRejected`]
+    /// when a group member's split-out stream does not fit (the member
+    /// then stays in its group, still playing).
     pub fn pause(&self, id: u32) -> Result<(), SpsError> {
+        if !self.senders.lock().contains_key(&id) {
+            return Err(SpsError::NoSuchStream(id));
+        }
+        let block = self
+            .store
+            .as_ref()
+            .and_then(|s| s.stream_position_block(id))
+            .unwrap_or(0);
+        self.share_departure(id, block)?;
         self.with_sender(id, MtpSender::pause)
     }
 
     /// Stops playback (rewinds; the prefetcher repositions to the
-    /// movie's first block).
+    /// movie's first block). Stopping is a seek to frame 0 for the
+    /// sharing engine: group members split out or hand over first.
     ///
     /// # Errors
     ///
-    /// Fails for unknown ids.
+    /// Fails for unknown ids, and with [`SpsError::AdmissionRejected`]
+    /// when a group member's split-out stream does not fit.
     pub fn stop(&self, id: u32, now: SimTime) -> Result<(), SpsError> {
+        if !self.senders.lock().contains_key(&id) {
+            return Err(SpsError::NoSuchStream(id));
+        }
+        self.share_departure(id, 0)?;
         self.with_sender(id, MtpSender::stop)?;
         if let Some(store) = &self.store {
             store.seek_stream(id, 0, now)?;
@@ -362,12 +553,28 @@ impl StreamProviderSystem {
         Ok(())
     }
 
-    /// Seeks to a frame (the prefetcher follows).
+    /// Seeks to a frame (the prefetcher follows). A group member
+    /// seeking out of its band splits out (follower) or hands the
+    /// group over (leader) — both honestly re-admitted.
     ///
     /// # Errors
     ///
-    /// Fails for unknown ids.
+    /// Fails for unknown ids, and with [`SpsError::AdmissionRejected`]
+    /// when a group member's split-out stream does not fit (the member
+    /// then stays in its group at its old position).
     pub fn seek(&self, id: u32, frame: u64, now: SimTime) -> Result<(), SpsError> {
+        if !self.senders.lock().contains_key(&id) {
+            return Err(SpsError::NoSuchStream(id));
+        }
+        let block = self
+            .store
+            .as_ref()
+            .and_then(|store| {
+                let movie = self.movie_ids.lock().get(&id).copied()?;
+                store.block_of_frame(movie, frame)
+            })
+            .unwrap_or(0);
+        self.share_departure(id, block)?;
         self.with_sender(id, |s| s.seek(frame))?;
         if let Some(store) = &self.store {
             store.seek_stream(id, frame, now)?;
@@ -436,7 +643,26 @@ impl StreamProviderSystem {
             sent += sender.poll_gated(now, ready);
             if let Some(store) = &self.store {
                 store.note_position(*id, sender.position());
+                if let Some(share) = &self.share {
+                    if let Some(block) = store.stream_position_block(*id) {
+                        share.note_position(*id, block);
+                    }
+                }
             }
+        }
+        // Sharing maintenance: fast-feeds whose gap has closed to the
+        // merge window release their delta reservation and drop back
+        // to nominal rate; the pinned cache spans track every group's
+        // current [trailing follower, leader] window.
+        if let (Some(store), Some(share)) = (&self.store, &self.share) {
+            for id in share.converged_fast_feeds() {
+                let _ = store.recharge_stream(id, 0);
+                if let Some(sender) = senders.get_mut(&id) {
+                    sender.set_speed_pct(100);
+                }
+                share.mark_converged(id);
+            }
+            store.set_pinned_ranges(&share.pinned_ranges());
         }
         sent
     }
@@ -705,6 +931,75 @@ mod tests {
         assert_eq!(recorded.source.frame_count, 25);
         // Import on a storeless provider is a no-op, not a panic.
         sps.import_movie(&recorded.source, net.now());
+    }
+
+    #[test]
+    fn shared_followers_ride_the_leader_free_and_split_honestly() {
+        let net = Arc::new(Network::new(0));
+        let dg = DatagramNet::new(&net, LinkConfig::perfect(SimDuration::from_millis(1)), 0);
+        let store = BlockStore::new(StoreConfig::default());
+        let share = Arc::new(share::ShareManager::new(share::ShareConfig::default()));
+        let sps = StreamProviderSystem::with_shared_store(
+            &dg,
+            NetAddr(100),
+            Arc::clone(&store),
+            Arc::clone(&share),
+        );
+        let movie = MovieSource::test_movie(30, 1);
+        let leader = sps.open(movie.clone(), NetAddr(5), net.now()).unwrap();
+        let full = store.stats().committed_bps;
+        assert!(full > 0, "the leader charges a full stream");
+        // Both at block 0: the second viewer merges for free.
+        let follower = sps.open(movie.clone(), NetAddr(6), net.now()).unwrap();
+        assert_eq!(
+            store.stats().committed_bps,
+            full,
+            "a merged follower charges nothing"
+        );
+        assert!(share.is_follower(follower));
+        assert!(sps.shares_source(&movie));
+        sps.play(leader, 100, net.now()).unwrap();
+        sps.play(follower, 100, net.now()).unwrap();
+        // The follower seeks far out of the band: it must re-admit a
+        // full stream of its own.
+        sps.seek(follower, movie.frame_count / 2, net.now())
+            .unwrap();
+        assert_eq!(store.stats().committed_bps, 2 * full);
+        assert!(!share.is_follower(follower));
+        assert_eq!(share.stats().splits, 1);
+        // Closing the leader of a sole-member group just dissolves it.
+        sps.close(leader).unwrap();
+        assert_eq!(store.stats().committed_bps, full);
+        sps.close(follower).unwrap();
+        assert_eq!(store.stats().committed_bps, 0);
+        assert_eq!(share.group_count(), 0);
+    }
+
+    #[test]
+    fn leader_close_promotes_and_recharges_a_follower() {
+        let net = Arc::new(Network::new(0));
+        let dg = DatagramNet::new(&net, LinkConfig::perfect(SimDuration::from_millis(1)), 0);
+        let store = BlockStore::new(StoreConfig::default());
+        let share = Arc::new(share::ShareManager::new(share::ShareConfig::default()));
+        let sps = StreamProviderSystem::with_shared_store(
+            &dg,
+            NetAddr(100),
+            Arc::clone(&store),
+            Arc::clone(&share),
+        );
+        let movie = MovieSource::test_movie(30, 1);
+        let leader = sps.open(movie.clone(), NetAddr(5), net.now()).unwrap();
+        let follower = sps.open(movie, NetAddr(6), net.now()).unwrap();
+        let full = store.stats().committed_bps;
+        sps.close(leader).unwrap();
+        assert_eq!(
+            store.stats().committed_bps,
+            full,
+            "the promoted follower inherits exactly the released charge"
+        );
+        assert!(share.is_leader_with_followers(follower) || share.group_count() == 1);
+        assert_eq!(share.stats().promotions, 1);
+        assert_eq!(store.stream_demand(follower), Some(full));
     }
 
     #[test]

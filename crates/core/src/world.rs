@@ -257,6 +257,13 @@ pub struct World {
     /// point (disk count, block size, cache size/policy, admission
     /// headroom).
     pub store_config: StoreConfig,
+    /// Stream-sharing configuration applied to every server added
+    /// after this point. Off by default: every viewer charges a full
+    /// disk stream, exactly the pre-sharing behaviour. Set it to
+    /// [`share::ShareConfig::default`] (or tuned knobs) before adding
+    /// servers to batch flash crowds into leader/follower merge
+    /// groups.
+    pub share_config: share::ShareConfig,
     /// Frame rate cameras capture at, applied to every server added
     /// after this point (the `Record` write path paces captured
     /// frames — and sizes its write-bandwidth demand — at this rate).
@@ -323,6 +330,7 @@ impl World {
             rt,
             control_delay,
             store_config,
+            share_config: share::ShareConfig::off(),
             record_frame_rate: 25,
             referral_max_hops: 4,
             providers: Vec::new(),
@@ -507,10 +515,17 @@ impl World {
         eua.add_site(&eca);
         let sps_addr = self.alloc_addr();
         let store = BlockStore::new(self.store_config);
-        let sps = StreamProviderSystem::with_store(&self.dg, sps_addr, Arc::clone(&store));
+        let share = Arc::new(share::ShareManager::new(self.share_config));
+        let sps = StreamProviderSystem::with_shared_store(
+            &self.dg,
+            sps_addr,
+            Arc::clone(&store),
+            Arc::clone(&share),
+        );
         self.providers.push(Arc::clone(&sps));
         peers.register(sps.location(), Arc::clone(&sps));
         store.attach_journal(Arc::clone(&self.journal), sps.location());
+        share.attach_journal(Arc::clone(&self.journal), sps.location());
         self.health_probes.push(HealthProbe {
             location: sps.location(),
             sps: Arc::clone(&sps),
@@ -522,6 +537,7 @@ impl World {
             base,
             sps,
             store,
+            share,
             peers: Arc::clone(peers),
             rebalancer: Arc::clone(rebalancer),
             control: Arc::clone(control),

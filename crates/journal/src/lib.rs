@@ -77,6 +77,17 @@ pub mod kind {
     pub const CACHE_SUMMARY: &str = "cache_summary";
     /// A periodic per-server health snapshot.
     pub const HEALTH_SNAPSHOT: &str = "health_snapshot";
+    /// A viewer merged into a sharing group as a cache-fed follower.
+    pub const MERGE_JOINED: &str = "merge_joined";
+    /// A follower began fast-feeding to catch up with its leader.
+    pub const FAST_FEED_STARTED: &str = "fast_feed_started";
+    /// A fast-fed follower converged onto its leader and merged.
+    pub const FAST_FEED_CONVERGED: &str = "fast_feed_converged";
+    /// A sharing group's leader left and a follower took over its
+    /// disk stream.
+    pub const LEADER_PROMOTED: &str = "leader_promoted";
+    /// A follower split out of its sharing group (seek/pause/speed).
+    pub const GROUP_SPLIT: &str = "group_split";
 }
 
 /// Which admission-controlled session class an admit/reject concerns.
@@ -256,6 +267,60 @@ pub enum EventKind {
         /// Deepest disk queue at snapshot time.
         queue_depth_max: u32,
     },
+    /// A viewer joined a sharing group as a merged follower: it rides
+    /// the leader's disk stream from cache and charges no admission.
+    MergeJoined {
+        /// Movie id of the shared title on this server.
+        movie: u32,
+        /// The group's leader stream.
+        leader: u32,
+        /// The follower stream that joined.
+        follower: u32,
+        /// Follower-to-leader gap at join time, in blocks.
+        gap_blocks: u64,
+    },
+    /// A follower outside the merge window began fast-feeding at the
+    /// catch-up rate, charging only the delta bandwidth.
+    FastFeedStarted {
+        /// Movie id of the shared title on this server.
+        movie: u32,
+        /// The group's leader stream.
+        leader: u32,
+        /// The fast-feeding follower stream.
+        follower: u32,
+        /// Follower-to-leader gap at start, in blocks.
+        gap_blocks: u64,
+        /// Extra bandwidth reserved for the catch-up, bits/second.
+        delta_bps: u64,
+    },
+    /// A fast-fed follower closed its gap, released the delta
+    /// reservation, and merged into the group.
+    FastFeedConverged {
+        /// Movie id of the shared title on this server.
+        movie: u32,
+        /// The follower stream that converged.
+        follower: u32,
+    },
+    /// A group's leader left; the nearest follower was promoted and
+    /// re-charged one full disk stream.
+    LeaderPromoted {
+        /// Movie id of the shared title on this server.
+        movie: u32,
+        /// The departing leader stream.
+        from: u32,
+        /// The follower promoted to leader.
+        to: u32,
+        /// Followers remaining in the group after promotion.
+        followers: u32,
+    },
+    /// A follower split out of its group (seek, pause, or speed
+    /// change) and was re-admitted on its own.
+    GroupSplit {
+        /// Movie id of the shared title on this server.
+        movie: u32,
+        /// The stream that left the group.
+        follower: u32,
+    },
 }
 
 impl EventKind {
@@ -282,6 +347,11 @@ impl EventKind {
             EventKind::DiskQueueSample { .. } => kind::DISK_QUEUE_SAMPLE,
             EventKind::CacheSummary { .. } => kind::CACHE_SUMMARY,
             EventKind::HealthSnapshot { .. } => kind::HEALTH_SNAPSHOT,
+            EventKind::MergeJoined { .. } => kind::MERGE_JOINED,
+            EventKind::FastFeedStarted { .. } => kind::FAST_FEED_STARTED,
+            EventKind::FastFeedConverged { .. } => kind::FAST_FEED_CONVERGED,
+            EventKind::LeaderPromoted { .. } => kind::LEADER_PROMOTED,
+            EventKind::GroupSplit { .. } => kind::GROUP_SPLIT,
         }
     }
 
@@ -367,6 +437,49 @@ impl EventKind {
                 push_u64_field(&mut s, "available_bps", *available_bps);
                 push_u64_field(&mut s, "cache_hit_permille", u64::from(*cache_hit_permille));
                 push_u64_field(&mut s, "queue_depth_max", u64::from(*queue_depth_max));
+            }
+            EventKind::MergeJoined {
+                movie,
+                leader,
+                follower,
+                gap_blocks,
+            } => {
+                push_u64_field(&mut s, "movie", u64::from(*movie));
+                push_u64_field(&mut s, "leader", u64::from(*leader));
+                push_u64_field(&mut s, "follower", u64::from(*follower));
+                push_u64_field(&mut s, "gap_blocks", *gap_blocks);
+            }
+            EventKind::FastFeedStarted {
+                movie,
+                leader,
+                follower,
+                gap_blocks,
+                delta_bps,
+            } => {
+                push_u64_field(&mut s, "movie", u64::from(*movie));
+                push_u64_field(&mut s, "leader", u64::from(*leader));
+                push_u64_field(&mut s, "follower", u64::from(*follower));
+                push_u64_field(&mut s, "gap_blocks", *gap_blocks);
+                push_u64_field(&mut s, "delta_bps", *delta_bps);
+            }
+            EventKind::FastFeedConverged { movie, follower } => {
+                push_u64_field(&mut s, "movie", u64::from(*movie));
+                push_u64_field(&mut s, "follower", u64::from(*follower));
+            }
+            EventKind::LeaderPromoted {
+                movie,
+                from,
+                to,
+                followers,
+            } => {
+                push_u64_field(&mut s, "movie", u64::from(*movie));
+                push_u64_field(&mut s, "from", u64::from(*from));
+                push_u64_field(&mut s, "to", u64::from(*to));
+                push_u64_field(&mut s, "followers", u64::from(*followers));
+            }
+            EventKind::GroupSplit { movie, follower } => {
+                push_u64_field(&mut s, "movie", u64::from(*movie));
+                push_u64_field(&mut s, "follower", u64::from(*follower));
             }
         }
         s.push('}');
@@ -464,6 +577,33 @@ impl EventKind {
                 available_bps: obj.u64("available_bps")?,
                 cache_hit_permille: obj.u32("cache_hit_permille")?,
                 queue_depth_max: obj.u32("queue_depth_max")?,
+            },
+            kind::MERGE_JOINED => EventKind::MergeJoined {
+                movie: obj.u32("movie")?,
+                leader: obj.u32("leader")?,
+                follower: obj.u32("follower")?,
+                gap_blocks: obj.u64("gap_blocks")?,
+            },
+            kind::FAST_FEED_STARTED => EventKind::FastFeedStarted {
+                movie: obj.u32("movie")?,
+                leader: obj.u32("leader")?,
+                follower: obj.u32("follower")?,
+                gap_blocks: obj.u64("gap_blocks")?,
+                delta_bps: obj.u64("delta_bps")?,
+            },
+            kind::FAST_FEED_CONVERGED => EventKind::FastFeedConverged {
+                movie: obj.u32("movie")?,
+                follower: obj.u32("follower")?,
+            },
+            kind::LEADER_PROMOTED => EventKind::LeaderPromoted {
+                movie: obj.u32("movie")?,
+                from: obj.u32("from")?,
+                to: obj.u32("to")?,
+                followers: obj.u32("followers")?,
+            },
+            kind::GROUP_SPLIT => EventKind::GroupSplit {
+                movie: obj.u32("movie")?,
+                follower: obj.u32("follower")?,
             },
             other => return Err(ParseError::new(&format!("unknown event tag `{other}`"))),
         };

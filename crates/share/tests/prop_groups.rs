@@ -1,0 +1,54 @@
+//! Property test: whatever shape the merge groups take, the cache
+//! spans the manager asks the store to pin are exactly
+//! `[trailing member, leader]` per multi-member group — never a
+//! span for a solo leader, never a bound any member sits outside.
+
+use proptest::prelude::*;
+use share::{ShareConfig, ShareManager};
+use store::MovieId;
+
+proptest! {
+    /// Build random groups (a leader plus 0..5 merged followers at
+    /// random positions behind it, over several titles) and check
+    /// `pinned_ranges` against the definition computed by hand.
+    #[test]
+    fn pinned_ranges_are_exactly_trailing_to_leader(
+        groups in proptest::collection::vec(
+            (0u32..4, 0u64..200, proptest::collection::vec(0u64..200, 0..5)),
+            1..6,
+        ),
+    ) {
+        let share = ShareManager::new(ShareConfig {
+            // A wide-open window so every generated follower merges.
+            merge_window_blocks: 1_000,
+            ..ShareConfig::default()
+        });
+        let mut next_stream = 0u32;
+        let mut expected = Vec::new();
+        for (movie_no, leader_pos, follower_gaps) in groups {
+            let movie = MovieId(movie_no);
+            next_stream += 1;
+            let leader = next_stream;
+            share.open_leader(leader, movie);
+            share.note_position(leader, leader_pos);
+            let mut trailing = leader_pos;
+            for gap in &follower_gaps {
+                next_stream += 1;
+                share.open_merged(next_stream, movie, leader);
+                let pos = leader_pos.saturating_sub(*gap);
+                share.note_position(next_stream, pos);
+                trailing = trailing.min(pos);
+            }
+            if !follower_gaps.is_empty() {
+                expected.push((movie, trailing, leader_pos));
+            }
+        }
+        expected.sort();
+        let got = share.pinned_ranges();
+        prop_assert_eq!(got.clone(), expected, "stats={:?}", share.stats());
+        // Span sanity: lower bound never above the leader's position.
+        for (_, lo, hi) in got {
+            prop_assert!(lo <= hi);
+        }
+    }
+}

@@ -51,6 +51,8 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Blocks evicted to make room.
     pub evictions: u64,
+    /// Inserts refused because every eviction candidate was pinned.
+    pub pin_refusals: u64,
 }
 
 impl CacheStats {
@@ -77,6 +79,10 @@ pub struct BufferCache {
     /// Interval index: the resident block set of each movie, ordered
     /// by block index for range probes against consumer positions.
     by_movie: HashMap<MovieId, BTreeSet<u64>>,
+    /// Pinned ranges `(movie, lo, hi)` — blocks inside `[lo, hi]` are
+    /// never evicted (the stream-sharing engine pins the span between
+    /// a merge group's trailing follower and its leader).
+    pinned: Vec<(MovieId, u64, u64)>,
     tick: u64,
     /// Counters.
     pub stats: CacheStats,
@@ -91,9 +97,43 @@ impl BufferCache {
             resident: HashMap::new(),
             by_touch: BTreeMap::new(),
             by_movie: HashMap::new(),
+            pinned: Vec::new(),
             tick: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Replaces the set of pinned ranges wholesale. Each `(movie, lo,
+    /// hi)` protects resident blocks with `lo <= index <= hi` from
+    /// eviction. Pinning does not prefetch: only blocks that pass
+    /// through [`BufferCache::insert`] become resident.
+    pub fn set_pinned(&mut self, ranges: &[(MovieId, u64, u64)]) {
+        self.pinned = ranges.to_vec();
+    }
+
+    /// The current pinned ranges.
+    pub fn pinned_ranges(&self) -> &[(MovieId, u64, u64)] {
+        &self.pinned
+    }
+
+    /// True when `key` lies inside a pinned range.
+    pub fn is_pinned(&self, key: BlockKey) -> bool {
+        self.pinned
+            .iter()
+            .any(|&(movie, lo, hi)| movie == key.movie && key.index >= lo && key.index <= hi)
+    }
+
+    /// Resident blocks currently protected by a pinned range.
+    pub fn pinned_block_count(&self) -> usize {
+        let mut counted: std::collections::HashSet<BlockKey> = std::collections::HashSet::new();
+        for &(movie, lo, hi) in &self.pinned {
+            if let Some(set) = self.by_movie.get(&movie) {
+                for &index in set.range(lo..=hi) {
+                    counted.insert(BlockKey { movie, index });
+                }
+            }
+        }
+        counted.len()
     }
 
     /// The configured capacity in blocks.
@@ -152,7 +192,13 @@ impl BufferCache {
         }
         self.tick += 1;
         while self.resident.len() >= self.capacity {
-            let victim = self.pick_victim(consumers);
+            let Some(victim) = self.pick_victim(consumers) else {
+                // Every candidate is pinned: refuse the insert rather
+                // than break a merge group's cache span. The block is
+                // still delivered, just not retained.
+                self.stats.pin_refusals += 1;
+                return;
+            };
             self.remove(victim);
             self.stats.evictions += 1;
         }
@@ -238,26 +284,33 @@ impl BufferCache {
         candidates
     }
 
-    fn pick_victim(&self, consumers: &[(MovieId, u64)]) -> BlockKey {
-        match self.policy {
-            CachePolicy::Lru => {
-                *self
-                    .by_touch
-                    .first_key_value()
-                    .expect("evicting from non-empty cache")
-                    .1
-            }
+    fn pick_victim(&self, consumers: &[(MovieId, u64)]) -> Option<BlockKey> {
+        let victim = match self.policy {
+            CachePolicy::Lru => self
+                .by_touch
+                .values()
+                .find(|k| !self.is_pinned(**k))
+                .copied(),
             CachePolicy::Interval => {
                 // Farthest-reuse candidate first; unreachable regions
                 // are farthest of all; across candidates, LRU recency
                 // breaks ties (older = evicted).
                 self.interval_candidates(consumers)
                     .into_iter()
+                    .filter(|&(_, _, key)| !self.is_pinned(key))
                     .max_by_key(|&(distance, touch, _)| (distance, u64::MAX - touch))
-                    .expect("evicting from non-empty cache")
-                    .2
+                    .map(|(_, _, key)| key)
             }
-        }
+        };
+        // Interval candidates are one per consumer interval; if each
+        // interval's representative happens to be pinned there may
+        // still be an unpinned resident — fall back to recency order.
+        victim.or_else(|| {
+            self.by_touch
+                .values()
+                .find(|k| !self.is_pinned(**k))
+                .copied()
+        })
     }
 }
 
@@ -364,6 +417,37 @@ mod tests {
         assert!(c.lookup(key(1, 0)));
         assert!(!c.lookup(key(1, 1)));
         assert!((c.stats.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pinned_blocks_survive_eviction_pressure() {
+        let mut c = BufferCache::new(2, CachePolicy::Lru);
+        c.insert(key(1, 0), &[]);
+        c.insert(key(1, 1), &[]);
+        c.set_pinned(&[(MovieId(1), 0, 0)]);
+        c.insert(key(1, 2), &[]); // must evict block 1, not pinned block 0
+        assert!(c.lookup(key(1, 0)));
+        assert!(!c.lookup(key(1, 1)));
+        assert!(c.lookup(key(1, 2)));
+        assert_eq!(c.pinned_block_count(), 1);
+    }
+
+    #[test]
+    fn insert_refused_when_everything_pinned() {
+        let mut c = BufferCache::new(2, CachePolicy::Interval);
+        c.insert(key(1, 0), &[]);
+        c.insert(key(1, 1), &[]);
+        c.set_pinned(&[(MovieId(1), 0, 1)]);
+        c.insert(key(1, 50), &[]); // nowhere to evict: refused
+        assert!(!c.lookup(key(1, 50)));
+        assert!(c.lookup(key(1, 0)));
+        assert!(c.lookup(key(1, 1)));
+        assert_eq!(c.stats.pin_refusals, 1);
+        assert!(c.len() <= 2);
+        // Unpinning restores normal replacement.
+        c.set_pinned(&[]);
+        c.insert(key(1, 50), &[]);
+        assert!(c.lookup(key(1, 50)));
     }
 
     #[test]

@@ -693,6 +693,23 @@ impl BlockStore {
         id
     }
 
+    /// Looks up the registered movie matching `source` without
+    /// registering it. The stream-sharing routing tie-break asks
+    /// "does this replica already hold the title?" and must not mint
+    /// movie ids as a side effect.
+    pub fn find_movie(&self, source: &MovieSource) -> Option<MovieId> {
+        let inner = self.inner.lock();
+        inner
+            .movies
+            .iter()
+            .find(|(_, rec)| {
+                rec.seed == source.seed
+                    && rec.frame_count == source.frame_count
+                    && rec.frame_rate == source.frame_rate
+            })
+            .map(|(id, _)| *id)
+    }
+
     /// The stripe layout of a registered *published* movie (recorded
     /// movies carry an allocated block map instead — see
     /// [`BlockStore::allocation_of`]).
@@ -753,6 +770,115 @@ impl BlockStore {
         );
         inner.issue(stream_id, now);
         Ok(())
+    }
+
+    /// Opens stream `stream_id` over `movie` charging an explicit
+    /// `demand_bps` instead of the movie's nominal demand — the
+    /// stream-sharing entry point: a *merged* follower rides its
+    /// leader's disk stream and charges 0 (no admission entry at
+    /// all), a *fast-feed* follower charges only the catch-up delta.
+    /// The prefetch pipeline starts regardless, so the follower is
+    /// served from cache (or coalesced onto the leader's in-flight
+    /// reads) behind the leader.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AdmissionRejected`] when a non-zero demand does
+    /// not fit; [`StoreError::UnknownMovie`] for unregistered movies.
+    pub fn open_stream_with_demand(
+        &self,
+        stream_id: u32,
+        movie: MovieId,
+        speed_pct: u32,
+        demand_bps: u64,
+        now: SimTime,
+    ) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        if !inner.movies.contains_key(&movie) {
+            return Err(StoreError::UnknownMovie(movie));
+        }
+        if demand_bps > 0 {
+            inner.admit_journaled(AdmissionClass::Stream, stream_id, demand_bps)?;
+        }
+        inner.streams.insert(
+            stream_id,
+            StreamRec {
+                movie,
+                next_fetch: 0,
+                base_block: 0,
+                contiguous: 0,
+                early: BTreeSet::new(),
+                outstanding: 0,
+                position_block: 0,
+                speed_pct,
+            },
+        );
+        inner.issue(stream_id, now);
+        Ok(())
+    }
+
+    /// Re-charges admission for an already-open stream without
+    /// touching its pipeline — the sharing lifecycle transitions:
+    /// leader promotion and group split-out admit the stream's full
+    /// demand, fast-feed convergence passes 0 to release the delta
+    /// reservation while the (now merged) stream stays open.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AdmissionRejected`] when a non-zero demand does
+    /// not fit (any previous commitment is untouched);
+    /// [`StoreError::UnknownStream`] for unknown ids.
+    pub fn recharge_stream(&self, stream_id: u32, demand_bps: u64) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        if !inner.streams.contains_key(&stream_id) {
+            return Err(StoreError::UnknownStream(stream_id));
+        }
+        if demand_bps == 0 {
+            inner.admission.release(stream_id);
+            Ok(())
+        } else {
+            inner.admit_journaled(AdmissionClass::Stream, stream_id, demand_bps)
+        }
+    }
+
+    /// The nominal admission demand of `movie` at `speed_pct`, in
+    /// bits/second.
+    pub fn demand_for(&self, movie: MovieId, speed_pct: u32) -> Option<u64> {
+        let inner = self.inner.lock();
+        let bitrate = inner.movies.get(&movie)?.bitrate_bps;
+        Some(demand_bps(bitrate, speed_pct))
+    }
+
+    /// The block index holding `frame` of `movie`.
+    pub fn block_of_frame(&self, movie: MovieId, frame: u64) -> Option<u64> {
+        let inner = self.inner.lock();
+        let rec = inner.movies.get(&movie)?;
+        Some(frame / rec.frames_per_block)
+    }
+
+    /// A stream's current playback position in blocks.
+    pub fn stream_position_block(&self, stream_id: u32) -> Option<u64> {
+        let inner = self.inner.lock();
+        inner.streams.get(&stream_id).map(|s| s.position_block)
+    }
+
+    /// Bandwidth currently committed for one stream (`None` when the
+    /// stream holds no admission entry — e.g. a merged follower).
+    pub fn stream_demand(&self, stream_id: u32) -> Option<u64> {
+        self.inner.lock().admission.demand_of(stream_id)
+    }
+
+    /// Replaces the buffer cache's pinned ranges wholesale: blocks of
+    /// `movie` with `lo <= index <= hi` are protected from eviction.
+    /// The stream-sharing engine pins the span between each merge
+    /// group's trailing follower and its leader.
+    pub fn set_pinned_ranges(&self, ranges: &[(MovieId, u64, u64)]) {
+        self.inner.lock().cache.set_pinned(ranges);
+    }
+
+    /// Resident cache blocks currently protected by a pinned range.
+    pub fn pinned_block_count(&self) -> usize {
+        self.inner.lock().cache.pinned_block_count()
     }
 
     /// Re-negotiates a stream's playback speed (bandwidth demand).
@@ -1650,6 +1776,52 @@ mod tests {
         // Sealing the recording releases it: the viewer fits again.
         store.seal_recording(1, SimTime::ZERO).unwrap();
         store.open_stream(2, id, 100, SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn shared_follower_opens_free_and_recharges_on_split() {
+        // Capacity fits roughly one nominal stream.
+        let config = StoreConfig {
+            disks: 1,
+            disk: DiskParams {
+                transfer_bytes_per_sec: 150_000,
+                ..DiskParams::default()
+            },
+            ..tiny_config()
+        };
+        let store = BlockStore::new(config);
+        let movie = MovieSource::test_movie(30, 5);
+        let id = store.register_movie(&movie);
+        assert_eq!(store.find_movie(&movie), Some(id));
+        assert_eq!(store.find_movie(&MovieSource::test_movie(30, 99)), None);
+        store.open_stream(1, id, 100, SimTime::ZERO).unwrap();
+        // The disk is full: a second plain open is refused…
+        assert!(matches!(
+            store.open_stream(2, id, 100, SimTime::ZERO),
+            Err(StoreError::AdmissionRejected { .. })
+        ));
+        // …but a merged follower charges nothing and still opens.
+        store
+            .open_stream_with_demand(2, id, 100, 0, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(store.stream_demand(2), None);
+        assert_eq!(store.stats().open_streams, 2);
+        // Splitting out needs real bandwidth — refused here, and the
+        // stream stays open and uncharged.
+        let full = store.demand_for(id, 100).unwrap();
+        assert!(matches!(
+            store.recharge_stream(2, full),
+            Err(StoreError::AdmissionRejected { .. })
+        ));
+        assert_eq!(store.stream_demand(2), None);
+        // Once the leader closes, the split fits.
+        store.close_stream(1);
+        store.recharge_stream(2, full).unwrap();
+        assert_eq!(store.stream_demand(2), Some(full));
+        // Convergence-style release keeps the stream but frees demand.
+        store.recharge_stream(2, 0).unwrap();
+        assert_eq!(store.stream_demand(2), None);
+        assert_eq!(store.stats().open_streams, 1);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Property tests for cache pinning: the share engine's pinned spans
+//! are eviction-proof without ever growing the cache past its
+//! capacity, and the pin bookkeeping reports exactly the ranges that
+//! were set.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use store::{BlockKey, BufferCache, CachePolicy, MovieId};
+
+fn key(block: u64) -> BlockKey {
+    BlockKey {
+        movie: MovieId(1),
+        index: block,
+    }
+}
+
+proptest! {
+    /// Under any insert/lookup sequence with a pinned span in place:
+    /// the cache never exceeds its capacity, a pinned block that made
+    /// it into the cache is never evicted, and the pin bookkeeping
+    /// (ranges, membership, resident count) stays exact.
+    #[test]
+    fn pinned_blocks_survive_any_insert_sequence(
+        capacity in 1usize..48,
+        interval in any::<bool>(),
+        pin_lo in 0u64..100,
+        pin_span in 0u64..24,
+        ops in proptest::collection::vec((0u64..128, 0u64..128), 1..200),
+    ) {
+        let policy = if interval { CachePolicy::Interval } else { CachePolicy::Lru };
+        let mut cache = BufferCache::new(capacity, policy);
+        let pin_hi = pin_lo + pin_span;
+        cache.set_pinned(&[(MovieId(1), pin_lo, pin_hi)]);
+        prop_assert_eq!(cache.pinned_ranges(), &[(MovieId(1), pin_lo, pin_hi)]);
+
+        let mut resident_pinned = HashSet::new();
+        for (block, consumer_pos) in ops {
+            cache.insert(key(block), &[(MovieId(1), consumer_pos)]);
+            if cache.is_pinned(key(block)) && cache.lookup(key(block)) {
+                resident_pinned.insert(block);
+            }
+            prop_assert!(cache.len() <= capacity, "cache overflowed its capacity");
+            prop_assert!(
+                cache.pinned_block_count() <= capacity,
+                "pinned residents cannot exceed the cache"
+            );
+            // Every pinned block that ever became resident is still
+            // resident: eviction pressure only claims unpinned blocks.
+            for b in &resident_pinned {
+                prop_assert!(cache.lookup(key(*b)), "pinned block {b} was evicted");
+            }
+            prop_assert_eq!(cache.pinned_block_count(), resident_pinned.len());
+        }
+        // Membership matches the range arithmetic exactly.
+        for block in 0u64..128 {
+            prop_assert_eq!(
+                cache.is_pinned(key(block)),
+                (pin_lo..=pin_hi).contains(&block)
+            );
+        }
+        // Unpinning frees every block for eviction again: filling the
+        // cache with fresh far-away blocks succeeds without refusals.
+        cache.set_pinned(&[]);
+        prop_assert_eq!(cache.pinned_block_count(), 0);
+        let refusals_before = cache.stats.pin_refusals;
+        for block in 1_000..1_000 + capacity as u64 {
+            cache.insert(key(block), &[(MovieId(1), block)]);
+        }
+        prop_assert_eq!(cache.stats.pin_refusals, refusals_before);
+    }
+}

@@ -1,0 +1,159 @@
+//! Flash crowd: a popular premiere hits one server, and the stream
+//! sharing engine turns what admission control would refuse into one
+//! disk stream plus a crowd of free riders.
+//!
+//! The walkthrough shows each share class in turn — a leader charged
+//! one full stream, followers merging free inside the merge window, a
+//! late viewer fast-fed at twice the nominal rate until it converges
+//! onto the group, the leader closing mid-movie and handing its disk
+//! stream to the nearest follower — then prints the merge engine's
+//! counters and the journal's view of the same lifecycle.
+//!
+//! Run with `cargo run --example flash_crowd`.
+
+use directory::MovieEntry;
+use mcam::{McamOp, McamPdu, Placement, ShareConfig, StackKind, World};
+use netsim::{LinkConfig, SimDuration};
+use store::{CachePolicy, DiskParams, StoreConfig};
+
+fn main() {
+    // One slow disk: two full ~0.69 Mbit/s streams fit, a third does
+    // not — without sharing this premiere would top out at two
+    // viewers.
+    let tight = StoreConfig {
+        disks: 1,
+        block_size: 128 * 1024,
+        cache_blocks: 64,
+        policy: CachePolicy::Interval,
+        disk: DiskParams {
+            transfer_bytes_per_sec: 250_000,
+            ..DiskParams::default()
+        },
+        ..StoreConfig::default()
+    };
+    let mut world = World::with_config(
+        1994,
+        LinkConfig::lossy(
+            SimDuration::from_millis(2),
+            SimDuration::from_micros(500),
+            0.0,
+        ),
+        tight,
+    );
+    // A tight merge window plus a fast catch-up rate keeps every
+    // phase of the lifecycle visible inside a short premiere.
+    world.share_config = ShareConfig {
+        enabled: true,
+        merge_window_blocks: 1,
+        catch_up_horizon_blocks: 8,
+        catch_up_rate_pct: 200,
+    };
+    let cluster = world.add_cluster("vod", 1, StackKind::EstellePS, Placement::round_robin(1));
+    let viewers: Vec<_> = (0..5)
+        .map(|_| world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]))
+        .collect();
+    world.start();
+
+    let mut entry = MovieEntry::new("Premiere", "pending");
+    entry.frame_count = 500; // 20 seconds at 25 fps
+    world.publish_replicated(&cluster, &entry);
+
+    for (i, viewer) in viewers.iter().enumerate() {
+        let rsp = world.client_op(
+            viewer,
+            McamOp::Associate {
+                user: format!("viewer-{i}"),
+            },
+        );
+        assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+    }
+
+    let store = &cluster.servers[0].services.store;
+    let share = &cluster.servers[0].services.share;
+    let select = |world: &World, viewer, who: &str| {
+        match world.client_op(
+            viewer,
+            McamOp::SelectMovie {
+                title: "Premiere".into(),
+            },
+        ) {
+            Some(McamPdu::SelectMovieRsp { params: Some(_) }) => {}
+            other => panic!("{who} was refused: {other:?}"),
+        }
+        println!(
+            "{who}: admitted ({} bps of disk bandwidth still uncommitted)",
+            store.available_bps()
+        );
+    };
+    let play = |world: &World, viewer| {
+        assert_eq!(
+            world.client_op(viewer, McamOp::Play { speed_pct: 100 }),
+            Some(McamPdu::PlayRsp { ok: true })
+        );
+    };
+
+    // Act 1 — the leader: one full disk stream is charged.
+    select(&world, &viewers[0], "leader");
+    play(&world, &viewers[0]);
+
+    // Act 2 — the crowd arrives seconds behind: both viewers are
+    // inside the merge window and ride the leader's stream from the
+    // pinned cache span, charging nothing.
+    select(&world, &viewers[1], "follower-1 (merged)");
+    select(&world, &viewers[2], "follower-2 (merged)");
+    play(&world, &viewers[1]);
+    play(&world, &viewers[2]);
+
+    // Act 3 — a latecomer outside the window but inside the catch-up
+    // horizon: fast-fed at 200% of nominal, charged only the delta.
+    world.run_for(SimDuration::from_secs(4));
+    select(&world, &viewers[3], "latecomer (fast-feed)");
+    play(&world, &viewers[3]);
+    println!(
+        "latecomer: chasing at {}% of nominal rate",
+        world.share_config.catch_up_rate_pct
+    );
+
+    // Act 4 — convergence: the latecomer's gap closes to the merge
+    // window, it joins the group, and the delta goes back to
+    // admission control.
+    world.run_for(SimDuration::from_secs(8));
+    println!(
+        "latecomer: converged and merged ({} bps uncommitted again)",
+        store.available_bps()
+    );
+
+    // Act 5 — the leader leaves mid-movie: the nearest follower is
+    // promoted and re-charged the one disk stream the leader freed;
+    // everyone else keeps watching undisturbed.
+    assert_eq!(
+        world.client_op(&viewers[0], McamOp::Deselect),
+        Some(McamPdu::DeselectMovieRsp)
+    );
+    println!(
+        "leader: closed mid-movie — a follower now owns the disk stream \
+         ({} bps uncommitted)",
+        store.available_bps()
+    );
+    world.run_for(SimDuration::from_secs(4));
+
+    let stats = share.stats();
+    println!("\nshare engine: {stats:?}");
+    assert!(stats.merges >= 2, "{stats:?}");
+    assert_eq!(stats.fast_feeds, 1, "{stats:?}");
+    assert_eq!(stats.conversions, 1, "{stats:?}");
+    assert_eq!(stats.promotions, 1, "{stats:?}");
+
+    let journal = world.journal();
+    journal.verify().expect("hash chain intact");
+    println!(
+        "journal: merge_joined={} fast_feed_started={} fast_feed_converged={} \
+         leader_promoted={} ({} events, chain verified)",
+        journal.count(journal::kind::MERGE_JOINED),
+        journal.count(journal::kind::FAST_FEED_STARTED),
+        journal.count(journal::kind::FAST_FEED_CONVERGED),
+        journal.count(journal::kind::LEADER_PROMOTED),
+        journal.len()
+    );
+    println!("\nflash crowd served: 5 viewers on a 2-stream disk budget");
+}
