@@ -12,9 +12,11 @@
 
 use cluster::{Placement, RebalanceConfig, RebalanceController, ReplicaDirectory};
 use criterion::{criterion_group, criterion_main, Criterion};
+use directory::MovieEntry;
+use mcam::agents::source_for_entry;
 use mcam::{McamOp, McamPdu, StackKind, World};
 use mtp::MovieSource;
-use netsim::{LinkConfig, SimDuration, SimTime};
+use netsim::{LinkConfig, NetAddr, SimDuration, SimTime};
 use share::{JoinPlan, ShareConfig, ShareManager};
 use std::sync::{Arc, Once};
 use store::{BlockStore, CachePolicy, DiskParams, DiskSched, StoreConfig};
@@ -464,6 +466,167 @@ fn flash_crowd(
     }
 }
 
+/// Outcome of one crash-survival run.
+struct CrashSurvival {
+    /// Streams in flight on the machine that crashed.
+    in_flight: usize,
+    /// Streams re-established on a survivor via the referral follower.
+    failed_over: usize,
+    /// The run's event journal (crashes, failovers, repair copies).
+    journal: Arc<journal::Journal>,
+}
+
+/// Crash survival: `viewers` clients of a `servers`-wide K=2 cluster,
+/// every control association homed (via a referral, so each client
+/// caches the live candidate list) on the same replica that serves
+/// all the streams — then that machine crashes mid-stream. Capable
+/// clients must fail over through the referral follower and replay
+/// their sessions on a survivor; the fraction that does is the
+/// survival fraction CI tracks.
+fn crash_survival(servers: usize, viewers: usize) -> CrashSurvival {
+    let link = LinkConfig::lossy(
+        SimDuration::from_millis(2),
+        SimDuration::from_micros(500),
+        0.0,
+    );
+    let mut world = World::with_stream_link(43, link);
+    let cluster = world.add_cluster(
+        "vod",
+        servers,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    );
+    let a = cluster.servers[0].services.sps.location();
+    let b = cluster.servers[1].services.sps.location();
+    let handles: Vec<_> = (0..viewers)
+        .map(|_| world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]))
+        .collect();
+    world.start();
+
+    // Home every client on B through one pinned referral hop (the hop
+    // caches the candidate list the failover later falls back on);
+    // inflated counts elsewhere keep B from referring them onward.
+    for server in &cluster.servers {
+        let location = server.services.sps.location();
+        if location != b {
+            for _ in 0..4 * viewers {
+                cluster.control.connected(&location);
+            }
+        }
+    }
+    cluster.control.pin(&a, &b);
+    for (i, client) in handles.iter().enumerate() {
+        let rsp = world.client_op(
+            client,
+            McamOp::Associate {
+                user: format!("viewer-{i}"),
+            },
+        );
+        assert_eq!(rsp, Some(McamPdu::AssociateRsp { accepted: true }));
+        assert_eq!(world.client_control_location(client), b);
+    }
+    cluster.control.unpin(&a);
+    for server in &cluster.servers {
+        let location = server.services.sps.location();
+        if location != b {
+            for _ in 0..4 * viewers {
+                cluster.control.disconnected(&location);
+            }
+        }
+    }
+
+    let mut entry = MovieEntry::new("Blockbuster", "pending");
+    entry.frame_count = 2_000;
+    let replicas = world.publish_replicated(&cluster, &entry);
+    assert!(replicas.contains(&b), "B holds a replica: {replicas:?}");
+    // Filler load on the other replicas steers every stream onto B.
+    let mut filler_addr = 3_000u32;
+    for location in replicas.iter().filter(|l| **l != b) {
+        let provider = cluster.peers.get(location).expect("replica registered");
+        for i in 0..2 * viewers as u32 {
+            let mut filler = MovieEntry::new(format!("Busy-{location}-{i}"), "pending");
+            filler.frame_count = 5_000;
+            filler_addr += 1;
+            provider
+                .open(
+                    source_for_entry(&filler),
+                    NetAddr(filler_addr),
+                    world.net.now(),
+                )
+                .expect("filler admitted");
+        }
+    }
+    for client in &handles {
+        let rsp = world.client_op(
+            client,
+            McamOp::SelectMovie {
+                title: "Blockbuster".into(),
+            },
+        );
+        match rsp {
+            Some(McamPdu::SelectMovieRsp { params: Some(p) }) => {
+                assert_eq!(format!("node-{}", p.provider_addr), b);
+            }
+            other => panic!("select failed: {other:?}"),
+        }
+        assert_eq!(
+            world.client_op(client, McamOp::Play { speed_pct: 100 }),
+            Some(McamPdu::PlayRsp { ok: true })
+        );
+    }
+    world.run_for(SimDuration::from_secs(2));
+
+    let in_flight = world.crash_server(&cluster.servers[1]);
+    world.run_for(SimDuration::from_secs(5));
+    let failed_over = world.journal().count(journal::kind::STREAM_FAILED_OVER) as usize;
+    CrashSurvival {
+        in_flight,
+        failed_over,
+        journal: Arc::clone(world.journal()),
+    }
+}
+
+/// Paced spindle rebuild under foreground load: a 4-disk store with
+/// `foreground` open streams loses one arm; reconstruction reserves
+/// `reserve_pct` of the remaining uncommitted bandwidth and streams
+/// the lost blocks back. Returns `(lost_blocks, rebuild_millis)` on
+/// the simulated clock.
+fn rebuild_time(foreground: u32, reserve_pct: u64) -> (u64, u64) {
+    let store = BlockStore::new(slow_disk_config(4, DiskSched::Scan));
+    let movie = MovieSource::test_movie(120, 5);
+    let id = store.register_movie(&movie);
+    for stream in 0..foreground {
+        store
+            .open_stream(stream, id, 100, SimTime::ZERO)
+            .expect("foreground viewer admitted");
+    }
+    let mut now = SimTime::ZERO;
+    // Let the viewers pull a little so the layout is materialized hot.
+    for _ in 0..20 {
+        if let Some(t) = store.next_event() {
+            now = now.max(t);
+        }
+        store.pump(now);
+    }
+    let lost = store.fail_disk(0, now);
+    assert!(lost > 0, "the dead arm held blocks");
+    let reserve = (store.available_bps() * reserve_pct / 100).max(1);
+    store
+        .begin_rebuild(reserve, now)
+        .expect("rebuild reservation admitted");
+    let started = now;
+    let mut guard = 0u32;
+    while store.rebuild_active() {
+        guard += 1;
+        assert!(guard < 1_000_000, "rebuild did not converge");
+        if let Some(t) = store.next_event() {
+            now = now.max(t);
+        }
+        store.pump(now);
+    }
+    (lost, now.saturating_since(started).as_micros() / 1_000)
+}
+
 /// Joins `{...}` rows into a deterministic JSON array literal.
 fn json_array(rows: &[String]) -> String {
     rows.join(", ")
@@ -471,8 +634,9 @@ fn json_array(rows: &[String]) -> String {
 
 /// Runs every scenario with its assertions, prints the human report,
 /// and returns the machine-readable report (the exact bytes of
-/// `BENCH_store_throughput.json`) plus the control-fanout journal.
-fn scenario_report() -> (String, Arc<journal::Journal>) {
+/// `BENCH_store_throughput.json`) plus the control-fanout journal and
+/// the crash-survival fault journal.
+fn scenario_report() -> (String, Arc<journal::Journal>, Arc<journal::Journal>) {
     println!("store_throughput: streams sustained vs. disk count and queue discipline");
     let mut disk_rows = Vec::new();
     let mut prev = 0;
@@ -676,6 +840,56 @@ fn scenario_report() -> (String, Arc<journal::Journal>) {
         fanout_journal.len()
     );
     assert!(followed > 0, "cluster-aware clients must follow referrals");
+    println!("store_throughput: paced spindle rebuild under 4 foreground viewers");
+    let mut rebuild_rows = Vec::new();
+    let mut prev_ms = u64::MAX;
+    let mut prev_lost = None;
+    for reserve_pct in [25u64, 75] {
+        let (lost, ms) = rebuild_time(4, reserve_pct);
+        println!("  reserve={reserve_pct:<2}% lost_blocks={lost} rebuild_ms={ms}");
+        if let Some(prev) = prev_lost {
+            assert_eq!(lost, prev, "the same arm dies in every run");
+        }
+        prev_lost = Some(lost);
+        assert!(
+            ms <= prev_ms,
+            "a larger reservation must not slow the rebuild ({ms} ms after {prev_ms} ms)"
+        );
+        prev_ms = ms;
+        rebuild_rows.push(format!(
+            "{{\"reserve_pct\": {reserve_pct}, \"lost_blocks\": {lost}, \"rebuild_ms\": {ms}}}"
+        ));
+    }
+    println!("store_throughput: crash survival (10 streams on one machine of 4, K=2)");
+    let crash = crash_survival(4, 10);
+    let survival_permille = 1000 * crash.failed_over / crash.in_flight.max(1);
+    println!(
+        "  in_flight={} failed_over={} survival={}.{}%",
+        crash.in_flight,
+        crash.failed_over,
+        survival_permille / 10,
+        survival_permille % 10
+    );
+    assert!(
+        crash.in_flight >= 10,
+        "every viewer was streaming at the crash"
+    );
+    assert!(
+        10 * crash.failed_over >= 9 * crash.in_flight,
+        "at least 90% of in-flight streams must survive the crash \
+         (failed_over={} in_flight={})",
+        crash.failed_over,
+        crash.in_flight
+    );
+    journal::verify_events(&crash.journal.events()).expect("fault journal chain intact");
+    let crashes = crash.journal.count(journal::kind::SERVER_CRASHED);
+    let failovers = crash.journal.count(journal::kind::STREAM_FAILED_OVER);
+    println!(
+        "  journal: server_crashed={crashes} stream_failed_over={failovers} \
+         ({} events, chain verified)",
+        crash.journal.len()
+    );
+    assert_eq!(crashes, 1, "exactly one machine died");
     let fanout = |v: &[usize]| {
         v.iter()
             .map(|n| n.to_string())
@@ -685,7 +899,7 @@ fn scenario_report() -> (String, Arc<journal::Journal>) {
     // Ratios are reported in permille so the committed file carries
     // only integers and regenerates byte-identically.
     let json = format!(
-        "{{\n  \"bench\": \"store_throughput\",\n  \"mode\": \"smoke\",\n  \"scenarios\": {{\n    \"disk_sweep\": [{disk}],\n    \"cluster_sweep\": [{cluster}],\n    \"hot_title_skew\": {{\"static_k2\": {static_k2}, \"rebalanced\": {dynamic}, \"copies_completed\": {copies}, \"grows_started\": {grows}, \"directory_updates\": {dirs}}},\n    \"record_playback\": [{record}],\n    \"interval_cache\": {{\"close_hit_permille\": {close_pm}, \"far_hit_permille\": {far_pm}}},\n    \"flash_crowd\": {{\"viewers\": 1000, \"sharing_off\": {fc_off}, \"sharing_on\": {fc_on}, \"refused_on\": {fc_refused}, \"merges\": {fc_merges}, \"fast_feeds\": {fc_feeds}, \"conversions\": {fc_conversions}, \"journal_events\": {fc_journal}}},\n    \"flash_crowd_calibration\": [{calibration}],\n    \"control_fanout\": {{\"legacy_per_server\": [{legacy}], \"referred_per_server\": [{spread}], \"referrals_issued\": {issued}, \"referrals_followed\": {followed}, \"referrals_failed\": {failed}, \"journal_events\": {journal_len}}}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"store_throughput\",\n  \"mode\": \"smoke\",\n  \"scenarios\": {{\n    \"disk_sweep\": [{disk}],\n    \"cluster_sweep\": [{cluster}],\n    \"hot_title_skew\": {{\"static_k2\": {static_k2}, \"rebalanced\": {dynamic}, \"copies_completed\": {copies}, \"grows_started\": {grows}, \"directory_updates\": {dirs}}},\n    \"record_playback\": [{record}],\n    \"interval_cache\": {{\"close_hit_permille\": {close_pm}, \"far_hit_permille\": {far_pm}}},\n    \"flash_crowd\": {{\"viewers\": 1000, \"sharing_off\": {fc_off}, \"sharing_on\": {fc_on}, \"refused_on\": {fc_refused}, \"merges\": {fc_merges}, \"fast_feeds\": {fc_feeds}, \"conversions\": {fc_conversions}, \"journal_events\": {fc_journal}}},\n    \"flash_crowd_calibration\": [{calibration}],\n    \"control_fanout\": {{\"legacy_per_server\": [{legacy}], \"referred_per_server\": [{spread}], \"referrals_issued\": {issued}, \"referrals_followed\": {followed}, \"referrals_failed\": {failed}, \"journal_events\": {journal_len}}},\n    \"spindle_rebuild\": [{rebuild}],\n    \"crash_survival\": {{\"servers\": 4, \"k\": 2, \"in_flight\": {cs_in_flight}, \"failed_over\": {cs_failed_over}, \"survival_permille\": {cs_permille}, \"server_crashes\": {cs_crashes}, \"journal_events\": {cs_journal}}}\n  }}\n}}\n",
         disk = json_array(&disk_rows),
         cluster = json_array(&cluster_rows),
         copies = rebalance.copies_completed,
@@ -705,17 +919,24 @@ fn scenario_report() -> (String, Arc<journal::Journal>) {
         legacy = fanout(&legacy),
         spread = fanout(&spread),
         journal_len = fanout_journal.len(),
+        rebuild = json_array(&rebuild_rows),
+        cs_in_flight = crash.in_flight,
+        cs_failed_over = crash.failed_over,
+        cs_permille = survival_permille,
+        cs_crashes = crashes,
+        cs_journal = crash.journal.len(),
     );
-    (json, fanout_journal)
+    (json, fanout_journal, crash.journal)
 }
 
 fn bench(c: &mut Criterion) {
     let smoke = std::env::var_os("STORE_THROUGHPUT_SMOKE").is_some();
     REPORT.call_once(|| {
-        let (json, fanout_journal) = scenario_report();
+        let (json, fanout_journal, crash_journal) = scenario_report();
         if smoke {
             // Persist the perf trajectory (committed, CI diffs it) and
-            // the journal of the fan-out run (uploaded as an artifact).
+            // the journals of the fan-out and fault runs (uploaded as
+            // artifacts).
             let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
             let bench_path = format!("{root}/BENCH_store_throughput.json");
             std::fs::write(&bench_path, &json).expect("write BENCH_store_throughput.json");
@@ -726,6 +947,10 @@ fn bench(c: &mut Criterion) {
             std::fs::write(&journal_path, fanout_journal.to_jsonl())
                 .expect("write journal artifact");
             println!("store_throughput: wrote {journal_path}");
+            let fault_path = format!("{journal_dir}/crash_survival_journal.jsonl");
+            std::fs::write(&fault_path, crash_journal.to_jsonl())
+                .expect("write fault journal artifact");
+            println!("store_throughput: wrote {fault_path}");
         }
     });
     if smoke {
@@ -754,6 +979,12 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("control_fanout_8_clients", |b| {
         b.iter(|| criterion::black_box(control_fanout(4, 8, true).0));
+    });
+    group.bench_function("spindle_rebuild_4_viewers", |b| {
+        b.iter(|| criterion::black_box(rebuild_time(4, 50)));
+    });
+    group.bench_function("crash_survival_10_viewers", |b| {
+        b.iter(|| criterion::black_box(crash_survival(4, 10).failed_over));
     });
     group.finish();
 }

@@ -122,7 +122,7 @@ impl ControlBalancer {
         let count = |loc: &str| counts.get(loc).copied().unwrap_or(0);
         let best = loads
             .iter()
-            .filter(|s| !s.draining && s.location != local)
+            .filter(|s| !s.draining && !s.crashed && s.location != local)
             .min_by_key(|s| {
                 (
                     count(&s.location),
@@ -133,7 +133,7 @@ impl ControlBalancer {
         let local_out_of_service = loads
             .iter()
             .find(|s| s.location == local)
-            .is_none_or(|s| s.draining);
+            .is_none_or(|s| s.draining || s.crashed);
         if local_out_of_service || count(local) > count(&best.location) {
             self.referrals.fetch_add(1, Ordering::Relaxed);
             Some(best.location.clone())
@@ -149,7 +149,8 @@ impl ControlBalancer {
     pub fn candidates(&self, loads: &[ServerLoad]) -> Vec<(String, u64)> {
         let counts = self.counts.read();
         let count = |loc: &str| counts.get(loc).copied().unwrap_or(0);
-        let mut live: Vec<&ServerLoad> = loads.iter().filter(|s| !s.draining).collect();
+        let mut live: Vec<&ServerLoad> =
+            loads.iter().filter(|s| !s.draining && !s.crashed).collect();
         live.sort_by_key(|s| {
             (
                 count(&s.location),
@@ -181,8 +182,28 @@ mod tests {
                     cache_hit_permille: 0,
                 },
                 draining: *draining,
+                crashed: false,
             })
             .collect()
+    }
+
+    #[test]
+    fn crashed_servers_are_never_referral_targets() {
+        let b = ControlBalancer::new();
+        let mut l = loads(&[
+            ("node-1", 10, false),
+            ("node-2", 99, false),
+            ("node-3", 10, false),
+        ]);
+        l[1].crashed = true;
+        b.connected("node-1");
+        // node-2 would win on bandwidth, but it is dead: the referral
+        // goes to the live node-3 and the candidate list omits node-2.
+        assert_eq!(b.refer_target("node-1", &l), Some("node-3".into()));
+        assert!(!b.candidates(&l).iter().any(|(loc, _)| loc == "node-2"));
+        // A crashed local always refers away, like a draining one.
+        l[0].crashed = true;
+        assert_eq!(b.refer_target("node-1", &l), Some("node-3".into()));
     }
 
     #[test]

@@ -113,6 +113,10 @@ pub struct ServerLoad {
     /// The server is being drained: it finishes its streams but must
     /// receive no new placement, replica, or routed stream.
     pub draining: bool,
+    /// The server has crashed: its streams are gone and it must be
+    /// skipped by routing, placement, and failover until it
+    /// re-registers.
+    pub crashed: bool,
 }
 
 /// How [`Placement`] picks the K replica servers of a new movie.
@@ -188,7 +192,7 @@ impl Placement {
     ) -> Vec<String> {
         let candidates: Vec<&ServerLoad> = loads
             .iter()
-            .filter(|s| !s.draining && !exclude.contains(&s.location))
+            .filter(|s| !s.draining && !s.crashed && !exclude.contains(&s.location))
             .collect();
         if candidates.is_empty() || k == 0 {
             return Vec::new();
@@ -228,11 +232,12 @@ fn least_loaded_key(s: &ServerLoad) -> (u64, usize, u32, &str) {
     )
 }
 
-/// One registered server: its location, probe, and drain flag.
+/// One registered server: its location, probe, and drain/crash flags.
 struct Slot<P> {
     location: String,
     probe: P,
     draining: bool,
+    crashed: bool,
 }
 
 /// The cluster-wide registry of server locations and their load
@@ -311,6 +316,30 @@ impl<P> ReplicaDirectory<P> {
         }
     }
 
+    /// Whether `location` is registered and currently marked crashed.
+    pub fn is_crashed(&self, location: &str) -> bool {
+        self.servers
+            .read()
+            .iter()
+            .any(|s| s.location == location && s.crashed)
+    }
+
+    /// Marks `location` as crashed (or un-marks it): unlike a drain,
+    /// a crash is immediate — the server's streams are gone, and the
+    /// location is skipped by routing, placement, referral, and
+    /// failover until it re-registers. Returns false when the
+    /// location is not registered.
+    pub fn set_crashed(&self, location: &str, crashed: bool) -> bool {
+        let mut servers = self.servers.write();
+        match servers.iter_mut().find(|s| s.location == location) {
+            Some(slot) => {
+                slot.crashed = crashed;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Removes `location` from the registry (decommission), returning
     /// its probe so the caller can abort whatever was in flight.
     pub fn deregister(&self, location: &str) -> Option<P> {
@@ -331,11 +360,13 @@ impl<P: LoadProbe + Clone> ReplicaDirectory<P> {
             Some(slot) => {
                 slot.probe = probe;
                 slot.draining = false;
+                slot.crashed = false;
             }
             None => servers.push(Slot {
                 location,
                 probe,
                 draining: false,
+                crashed: false,
             }),
         }
     }
@@ -369,6 +400,7 @@ impl<P: LoadProbe + Clone> ReplicaDirectory<P> {
                 location: s.location.clone(),
                 load: s.probe.load(),
                 draining: s.draining,
+                crashed: s.crashed,
             })
             .collect()
     }
@@ -377,10 +409,10 @@ impl<P: LoadProbe + Clone> ReplicaDirectory<P> {
     /// replicas sorted by most uncommitted `available_bps` first
     /// (ties keep the replica-list order), each paired with its
     /// probe. Locations not registered here — decommissioned servers
-    /// still named by a stale directory entry — and draining servers
-    /// are skipped, so routing degrades to failover instead of
-    /// erroring; the caller falls back to local service when nothing
-    /// matches.
+    /// still named by a stale directory entry — and draining or
+    /// crashed servers are skipped, so routing degrades to failover
+    /// instead of erroring; the caller falls back to local service
+    /// when nothing matches.
     pub fn route(&self, replicas: &[String]) -> Vec<(String, P)> {
         self.route_by(replicas, |_| false)
     }
@@ -404,7 +436,7 @@ impl<P: LoadProbe + Clone> ReplicaDirectory<P> {
             .filter_map(|(order, location)| {
                 servers
                     .iter()
-                    .find(|s| s.location == *location && !s.draining)
+                    .find(|s| s.location == *location && !s.draining && !s.crashed)
                     .map(|s| {
                         (
                             order,
@@ -562,6 +594,30 @@ mod tests {
         dir.register("node-1", probe);
         assert!(!dir.is_draining("node-1"));
         assert_eq!(dir.route(&replicas).len(), 2);
+    }
+
+    #[test]
+    fn crashed_servers_are_skipped_by_routing_and_placement() {
+        // Regression: `route_by` used to filter only draining servers,
+        // so a crashed replica was retried (and timed out) before the
+        // caller's 503 fallback. A crashed location must drop out of
+        // route order, placement, and candidate lists immediately.
+        let (dir, probes) = three_server_dir();
+        probes[0].set(900_000); // crashed node would otherwise win
+        let replicas: Vec<String> = vec!["node-1".into(), "node-2".into(), "node-3".into()];
+        assert!(dir.set_crashed("node-1", true));
+        assert!(dir.is_crashed("node-1"));
+        let order: Vec<String> = dir.route(&replicas).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(order, ["node-2", "node-3"], "crashed replica never routed");
+        // Placement never selects a crashed server either.
+        let mut p = Placement::least_loaded(3);
+        assert_eq!(p.place(&dir.loads()), ["node-2", "node-3"]);
+        // Re-registration (recovery) puts it back in service.
+        let probe = dir.get("node-1").unwrap();
+        dir.register("node-1", probe);
+        assert!(!dir.is_crashed("node-1"));
+        assert_eq!(dir.route(&replicas).len(), 3);
+        assert!(!dir.set_crashed("node-9", true), "unknown location");
     }
 
     #[test]

@@ -29,7 +29,13 @@
 //!   sole-copy title off a server, stops new streams from routing to
 //!   it (the registry skips draining servers), and decommissions it
 //!   once its last stream closes, leaving zero under-replicated
-//!   titles behind.
+//!   titles behind;
+//! * **repair** — when a server *crashes* (marked via
+//!   [`ReplicaDirectory::set_crashed`]) every title it held is
+//!   suddenly under-replicated; the repair pass schedules copies back
+//!   up to K from a surviving holder, bypassing the grow pass's
+//!   saturation gate and retry budget — re-replication is
+//!   load-bearing, not an optimisation.
 //!
 //! On every completed copy the controller pushes the title's new
 //! replica list through its *directory sink*, so a `SelectMovie`
@@ -507,7 +513,7 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
             .dir
             .loads()
             .into_iter()
-            .filter(|s| !s.draining && s.location != location)
+            .filter(|s| !s.draining && !s.crashed && s.location != location)
             .map(|s| s.location)
             .collect();
         if alive.is_empty() {
@@ -549,9 +555,22 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
             .titles
             .values()
             .any(|rec| rec.retries > 0 && rec.retries <= self.config.max_copy_retries);
+        // An under-replicated title (a holder crashed) keeps the
+        // controller awake until repair copies restore K — capped at
+        // the number of live servers, so a cluster that cannot reach
+        // K does not spin forever.
+        let under_replicated = {
+            let loads = self.dir.loads();
+            let target_k = self.replication_target(&loads);
+            inner.titles.values().any(|rec| {
+                let alive = alive_replicas(rec, &loads);
+                !alive.is_empty() && alive.len() < target_k
+            })
+        };
         let busy = !inner.active.is_empty()
             || !inner.draining.is_empty()
             || retrying
+            || under_replicated
             || inner.titles.values().any(|rec| rec.dirty);
         match (busy, inner.next_sample) {
             (true, Some(t)) => Some(t),
@@ -581,6 +600,7 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
             self.advance_drains(inner, &loads, now);
             if sample_due {
                 self.journal.record(&self.actor, EventKind::RebalanceSample);
+                self.repair(inner, &loads, now);
                 self.grow(inner, &loads, now);
                 self.shrink(inner, &loads);
             }
@@ -596,8 +616,9 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
         let mut i = 0;
         while i < inner.active.len() {
             let copy = &inner.active[i];
-            let target_alive =
-                self.dir.get(&copy.target).is_some() && !self.dir.is_draining(&copy.target);
+            let target_alive = self.dir.get(&copy.target).is_some()
+                && !self.dir.is_draining(&copy.target)
+                && !self.dir.is_crashed(&copy.target);
             if !target_alive {
                 let copy = inner.active.swap_remove(i);
                 copy.host.abort_copy(copy.token);
@@ -695,6 +716,38 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
         }
     }
 
+    /// Replication floor this cluster can actually sustain: the
+    /// configured K, capped at the number of live servers.
+    fn replication_target(&self, loads: &[ServerLoad]) -> usize {
+        let live = loads.iter().filter(|s| !s.draining && !s.crashed).count();
+        self.placement.lock().k().min(live)
+    }
+
+    /// Repair pass: a title whose alive replica set fell below K — a
+    /// holder crashed — gets a copy scheduled from a surviving holder
+    /// regardless of load. Unlike grow, repair ignores the saturation
+    /// gate and the retry budget: re-replication is load-bearing, and
+    /// the copy is journalled as a drain-style (mandatory) copy.
+    fn repair(&self, inner: &mut Inner<P>, loads: &[ServerLoad], now: SimTime) {
+        let target_k = self.replication_target(loads);
+        let titles: Vec<String> = inner.titles.keys().cloned().collect();
+        for title in titles {
+            if inner.active.len() >= self.config.max_concurrent {
+                break;
+            }
+            if inner.active.iter().any(|c| c.title == title) {
+                continue;
+            }
+            let alive = alive_replicas(&inner.titles[&title], loads);
+            if alive.is_empty() || alive.len() >= target_k {
+                // A title with zero live copies is lost until its
+                // crashed holder returns; nothing to copy from.
+                continue;
+            }
+            self.start_copy(inner, &title, loads, now, CopyReason::Drain);
+        }
+    }
+
     /// Grow pass: a title whose alive holders are all too saturated
     /// to admit one more viewer, while some non-holder could, gets a
     /// copy scheduled onto the least-loaded non-holder.
@@ -787,6 +840,7 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
             .iter()
             .filter(|s| {
                 !s.draining
+                    && !s.crashed
                     && !rec.replicas.contains(&s.location)
                     && s.load.available_bps >= reserve
             })
@@ -859,15 +913,15 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
     }
 }
 
-/// The replicas of `rec` that are registered and not draining, in
-/// replica-list order.
+/// The replicas of `rec` that are registered, not draining, and not
+/// crashed, in replica-list order.
 fn alive_replicas(rec: &TitleRec, loads: &[ServerLoad]) -> Vec<String> {
     rec.replicas
         .iter()
         .filter(|location| {
             loads
                 .iter()
-                .any(|s| s.location == **location && !s.draining)
+                .any(|s| s.location == **location && !s.draining && !s.crashed)
         })
         .cloned()
         .collect()
@@ -1080,6 +1134,37 @@ mod tests {
         assert_eq!(replicas.len(), 1, "zero under-replicated titles");
         assert_ne!(replicas[0], "node-1");
         assert_eq!(ctl.stats().drains_completed, 1);
+    }
+
+    #[test]
+    fn crash_repair_restores_k_without_waiting_for_saturation() {
+        let (dir, ctl) = cluster(3, RebalanceConfig::default());
+        let source = MovieSource::test_movie(20, 6);
+        let replicas = ctl.place_title("Survivor", &source);
+        assert_eq!(replicas, ["node-1", "node-2"]);
+        // node-1 crashes: the title is under-replicated, but nobody
+        // is saturated — the grow pass would never act.
+        assert!(dir.set_crashed("node-1", true));
+        assert!(
+            ctl.next_tick_at().is_none(),
+            "no sample scheduled yet: first tick sets the cadence"
+        );
+        ctl.tick(SimTime::ZERO);
+        assert_eq!(ctl.active_copies(), 1, "repair copy scheduled at once");
+        assert!(
+            ctl.next_tick_at().is_some(),
+            "under-replication keeps the controller awake"
+        );
+        run_until(&dir, &ctl, SimTime::ZERO, || {
+            ctl.stats().copies_completed == 1
+        });
+        let replicas = ctl.replicas_of("Survivor").unwrap();
+        assert!(replicas.contains(&"node-3".to_string()), "copied to node-3");
+        // K live copies again: the controller can go idle.
+        let loads = dir.loads();
+        let alive: Vec<&ServerLoad> = loads.iter().filter(|s| !s.crashed).collect();
+        assert_eq!(alive.len(), 2);
+        assert_eq!(ctl.stats().drain_copies_started, 1, "repair is mandatory");
     }
 
     #[test]

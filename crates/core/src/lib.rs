@@ -344,6 +344,85 @@
 //! let events = journal::events_from_jsonl(&journal.to_jsonl()).unwrap();
 //! journal::verify_events(&events).unwrap();
 //! ```
+//!
+//! # Degraded mode
+//!
+//! Hardware dies; the server degrades instead of failing. Two fault
+//! injectors exercise this end to end. [`World::fail_disk`] kills one
+//! spindle of a striped store mid-flight: capacity shrinks to the
+//! survivors' share, streams stall at the lost blocks, and a paced
+//! reconstruction — charged through the *same* admission controller
+//! playback draws on, so it can never over-commit the survivors —
+//! streams every lost block back onto the remaining arms, unblocking
+//! stalled viewers as it sweeps:
+//!
+//! ```
+//! use mcam::{McamOp, McamPdu, StackKind, World};
+//! use netsim::SimDuration;
+//!
+//! let mut world = World::new(41);
+//! let server = world.add_server("ksr1", StackKind::EstellePS);
+//! let client = world.add_client(&server, StackKind::EstellePS, vec![]);
+//! world.start();
+//! world.client_op(&client, McamOp::Associate { user: "demo".into() });
+//! world.client_op(&client, McamOp::CreateMovie {
+//!     title: "Fragile".into(),
+//!     format: "XMovie-24".into(),
+//!     frame_rate: 25,
+//!     frame_count: 400,
+//! });
+//! let params = match world.client_op(&client, McamOp::SelectMovie { title: "Fragile".into() }) {
+//!     Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+//!     other => panic!("select failed: {other:?}"),
+//! };
+//! let mut receiver = world.receiver_for(&client, &params, SimDuration::from_millis(50));
+//! world.client_op(&client, McamOp::Play { speed_pct: 100 });
+//! world.run_for(SimDuration::from_secs(1));
+//!
+//! // One spindle dies under the running stream.
+//! let (lost, reserve_bps) = world.fail_disk(&server, 0);
+//! assert!(lost > 0, "the dead arm held blocks");
+//! assert!(reserve_bps > 0, "reconstruction admitted");
+//! world.run_for(SimDuration::from_secs(20));
+//! assert!(!server.services.store.rebuild_active(), "rebuild completed");
+//! assert_eq!(receiver.poll(world.net.now()).len(), 400, "the viewer survived the spindle");
+//! let journal = world.journal();
+//! journal.verify().expect("hash chain intact across the fault");
+//! assert_eq!(journal.count(journal::kind::DISK_FAILED), 1);
+//! assert_eq!(journal.count(journal::kind::REBUILD_COMPLETED), 1);
+//! ```
+//!
+//! [`World::crash_server`] kills a whole machine: its streams die,
+//! the cluster registry marks the location crashed (routing,
+//! placement, referral, and re-dials all skip it), clients homed
+//! there get a provider abort — referral-capable ones fail over to a
+//! cached candidate and replay their session up to the last played
+//! frame (journaled as `StreamFailedOver`) — and the rebalance
+//! controller re-replicates the titles the crash left
+//! under-replicated:
+//!
+//! ```
+//! use directory::MovieEntry;
+//! use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+//!
+//! let mut world = World::new(43);
+//! let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(2));
+//! let client = world.add_client(&cluster.servers[1], StackKind::EstellePS, vec![]);
+//! world.start();
+//! world.publish_replicated(&cluster, &MovieEntry::new("Durable", "pending"));
+//! world.client_op(&client, McamOp::Associate { user: "demo".into() });
+//!
+//! world.crash_server(&cluster.servers[0]);
+//! // The survivor still serves the title; the dead replica is skipped.
+//! let params = match world.client_op(&client, McamOp::SelectMovie { title: "Durable".into() }) {
+//!     Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+//!     other => panic!("select failed: {other:?}"),
+//! };
+//! let survivor = cluster.servers[1].services.sps.location();
+//! assert_eq!(format!("node-{}", params.provider_addr), survivor);
+//! assert_eq!(world.journal().count(journal::kind::SERVER_CRASHED), 1);
+//! world.journal().verify().expect("chain intact across the crash");
+//! ```
 
 #![warn(missing_docs)]
 

@@ -9,7 +9,7 @@ use crate::service::{
     AssocSettled, McamCnf, McamOp, McamReq, ReferralSignal, ReferralStale, StartAssociate,
 };
 use estelle::{downcast, Ctx, Interaction, IpIndex, StateId, StateMachine, Transition};
-use netsim::SimDuration;
+use netsim::{SimDuration, SimTime};
 use presentation::mcam_contexts;
 use presentation::service::{PAbortInd, PConCnf, PConReq, PDataInd, PDataReq, PRelCnf, PRelReq};
 
@@ -38,6 +38,39 @@ fn is<T: Interaction>(msg: Option<&dyn Interaction>) -> bool {
     msg.is_some_and(|m| m.is::<T>())
 }
 
+/// The client's view of its stream session, maintained from confirmed
+/// request/response pairs so that a server crash can be survived: the
+/// failover replays `SelectMovie` / `Seek` / `Play` on a replica,
+/// resuming within a bounded distance of the last played frame.
+#[derive(Debug, Clone)]
+struct Session {
+    title: String,
+    frame_rate: u32,
+    frame_count: u64,
+    speed_pct: u32,
+    /// Frame position as of the last confirmed play/pause/stop/seek.
+    base_frame: u64,
+    /// When playback last started, if currently playing.
+    playing_since: Option<SimTime>,
+}
+
+impl Session {
+    /// The frame the viewer has reached by `now`, extrapolated from
+    /// the last confirmed position at the confirmed speed.
+    fn frame_at(&self, now: SimTime) -> u64 {
+        let played = match self.playing_since {
+            Some(since) => {
+                let elapsed_us = now.saturating_since(since).as_micros();
+                elapsed_us * u64::from(self.frame_rate) * u64::from(self.speed_pct)
+                    / 100
+                    / 1_000_000
+            }
+            None => 0,
+        };
+        (self.base_frame + played).min(self.frame_count)
+    }
+}
+
 /// The client MCA.
 #[derive(Debug)]
 pub struct ClientMca {
@@ -52,11 +85,13 @@ pub struct ClientMca {
     /// Deliver the association confirmation to the application
     /// (from the current [`StartAssociate`]).
     announce: bool,
-    /// Operation to replay once the association is up.
-    resume: Option<McamOp>,
+    /// Operations to replay, in order, once the association is up.
+    resume: Vec<McamOp>,
     /// The operation currently outstanding on the wire, kept so a
     /// referral can carry it to the next server for replay.
     last_op: Option<McamOp>,
+    /// The confirmed stream session, if a movie is selected.
+    session: Option<Session>,
     /// Requests sent.
     pub requests: u64,
     /// Responses delivered to the application.
@@ -76,8 +111,9 @@ impl ClientMca {
             referral_capable: false,
             release_pending: false,
             announce: true,
-            resume: None,
+            resume: Vec::new(),
             last_op: None,
+            session: None,
             requests: 0,
             responses: 0,
             referrals_seen: 0,
@@ -101,7 +137,7 @@ impl ClientMca {
         if self.announce {
             ctx.output(UP, McamCnf(McamPdu::AssociateRsp { accepted: false }));
         } else {
-            self.resume = None;
+            self.resume.clear();
             ctx.output(
                 UP,
                 McamCnf(McamPdu::ErrorRsp {
@@ -109,6 +145,72 @@ impl ClientMca {
                     message: "re-association after referral failed".into(),
                 }),
             );
+        }
+    }
+
+    /// Sends `op` on the wire, tracking it as outstanding.
+    fn send_op(&mut self, ctx: &mut Ctx<'_>, op: McamOp) {
+        self.release_pending = matches!(op, McamOp::Release);
+        self.last_op = Some(op.clone());
+        let pdu = self.op_to_pdu(op);
+        self.requests += 1;
+        ctx.output(
+            DOWN,
+            PDataReq {
+                context_id: 1,
+                user_data: pdu.encode(),
+            },
+        );
+    }
+
+    /// Folds a confirmed (non-error) request/response pair into the
+    /// session view the crash failover resumes from.
+    fn note_response(&mut self, op: Option<McamOp>, pdu: &McamPdu, now: SimTime) {
+        match pdu {
+            McamPdu::SelectMovieRsp { params: Some(p) } => {
+                self.session = Some(Session {
+                    title: p.movie.title.clone(),
+                    frame_rate: p.movie.frame_rate,
+                    frame_count: p.movie.frame_count,
+                    speed_pct: 100,
+                    base_frame: 0,
+                    playing_since: None,
+                });
+                return;
+            }
+            McamPdu::SelectMovieRsp { params: None }
+            | McamPdu::DeselectMovieRsp
+            | McamPdu::ReleaseRsp => {
+                self.session = None;
+                return;
+            }
+            _ => {}
+        }
+        let Some(frame) = self.session.as_ref().map(|s| s.frame_at(now)) else {
+            return;
+        };
+        let sess = self.session.as_mut().expect("frame computed above");
+        match op {
+            Some(McamOp::Play { speed_pct }) => {
+                sess.base_frame = frame;
+                sess.speed_pct = speed_pct;
+                sess.playing_since = Some(now);
+            }
+            Some(McamOp::Pause) => {
+                sess.base_frame = frame;
+                sess.playing_since = None;
+            }
+            Some(McamOp::Stop) => {
+                sess.base_frame = 0;
+                sess.playing_since = None;
+            }
+            Some(McamOp::Seek { frame }) => {
+                sess.base_frame = frame.min(sess.frame_count);
+                if sess.playing_since.is_some() {
+                    sess.playing_since = Some(now);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -201,7 +303,7 @@ impl StateMachine for ClientMca {
                                 ReferralSignal {
                                     target,
                                     candidates,
-                                    resume: m.resume.take(),
+                                    resume: std::mem::take(&mut m.resume),
                                 },
                             );
                             ctx.goto(UNBOUND);
@@ -218,24 +320,17 @@ impl StateMachine for ClientMca {
                         if m.announce {
                             ctx.output(UP, McamCnf(rsp));
                         }
-                        // A referral interrupted a request: replay it
-                        // on the new association — its confirmation
-                        // is the one the application is waiting for.
-                        if let Some(op) = m.resume.take() {
-                            m.release_pending = matches!(op, McamOp::Release);
-                            m.last_op = Some(op.clone());
-                            let pdu = m.op_to_pdu(op);
-                            m.requests += 1;
-                            ctx.output(
-                                DOWN,
-                                PDataReq {
-                                    context_id: 1,
-                                    user_data: pdu.encode(),
-                                },
-                            );
-                            ctx.goto(WAITING);
-                        } else {
+                        // A referral (or crash failover) interrupted
+                        // the session: replay the queued operations on
+                        // the new association, one at a time — the
+                        // final one's confirmation is the one the
+                        // application is waiting for.
+                        if m.resume.is_empty() {
                             ctx.goto(READY);
+                        } else {
+                            let op = m.resume.remove(0);
+                            m.send_op(ctx, op);
+                            ctx.goto(WAITING);
                         }
                     }
                     Ok(rsp @ McamPdu::AssociateRsp { accepted: false }) => {
@@ -257,17 +352,7 @@ impl StateMachine for ClientMca {
             .cost(COST_REQ),
             Transition::on("request", READY, UP, |m: &mut Self, ctx, msg| {
                 let req = downcast::<McamReq>(msg.unwrap()).unwrap();
-                m.release_pending = matches!(req.0, McamOp::Release);
-                m.last_op = Some(req.0.clone());
-                let pdu = m.op_to_pdu(req.0);
-                m.requests += 1;
-                ctx.output(
-                    DOWN,
-                    PDataReq {
-                        context_id: 1,
-                        user_data: pdu.encode(),
-                    },
-                );
+                m.send_op(ctx, req.0);
             })
             .provided(|_, msg| is::<McamReq>(msg))
             .to(WAITING)
@@ -282,12 +367,14 @@ impl StateMachine for ClientMca {
                     // this association is dead to us.
                     Ok(McamPdu::ReferralRsp { target, candidates }) if m.referral_capable => {
                         m.referrals_seen += 1;
+                        let mut resume: Vec<McamOp> = m.last_op.take().into_iter().collect();
+                        resume.extend(std::mem::take(&mut m.resume));
                         ctx.output(
                             CTRL,
                             ReferralSignal {
                                 target,
                                 candidates,
-                                resume: m.last_op.take(),
+                                resume,
                             },
                         );
                         ctx.goto(UNBOUND);
@@ -299,13 +386,27 @@ impl StateMachine for ClientMca {
                         if matches!(pdu, McamPdu::ErrorRsp { code: 503, .. }) {
                             ctx.output(CTRL, ReferralStale);
                         }
+                        let op = m.last_op.take();
+                        let is_err = matches!(pdu, McamPdu::ErrorRsp { .. });
+                        if !is_err {
+                            m.note_response(op, &pdu, ctx.now());
+                        }
                         if m.release_pending && pdu == McamPdu::ReleaseRsp {
                             // The MCAM association is gone; tear down
                             // the presentation association before
                             // confirming to the user.
                             ctx.output(DOWN, PRelReq);
                             ctx.goto(P_RELEASING);
+                        } else if !is_err && !m.resume.is_empty() {
+                            // Mid-replay: this confirmation belongs to
+                            // a replayed step, not to an application
+                            // request — swallow it and send the next.
+                            let op = m.resume.remove(0);
+                            m.send_op(ctx, op);
                         } else {
+                            // An error aborts the rest of a replay;
+                            // its report is the final confirmation.
+                            m.resume.clear();
                             ctx.output(UP, McamCnf(pdu));
                             ctx.goto(READY);
                         }
@@ -336,6 +437,45 @@ impl StateMachine for ClientMca {
             Transition::on("aborted", UNBOUND, DOWN, |m: &mut Self, ctx, msg| {
                 let _ = downcast::<PAbortInd>(msg.unwrap()).unwrap();
                 m.protocol_errors += 1;
+                m.last_op = None;
+                m.resume.clear();
+                // Crash failover: a capable client with a confirmed
+                // session asks its root to re-home it on a surviving
+                // replica (empty target: the root picks from cached
+                // candidates — so no ReferralStale here, the cache is
+                // exactly what failover needs), replaying select /
+                // seek / play to resume near the last played frame.
+                // An interrupted request is superseded by the
+                // re-established state; the final replayed
+                // confirmation answers it.
+                if m.referral_capable {
+                    if let Some(sess) = m.session.take() {
+                        m.referrals_seen += 1;
+                        let frame = sess.frame_at(ctx.now());
+                        let mut resume = vec![McamOp::SelectMovie {
+                            title: sess.title.clone(),
+                        }];
+                        if frame > 0 {
+                            resume.push(McamOp::Seek { frame });
+                        }
+                        if sess.playing_since.is_some() {
+                            resume.push(McamOp::Play {
+                                speed_pct: sess.speed_pct,
+                            });
+                        }
+                        ctx.output(
+                            CTRL,
+                            ReferralSignal {
+                                target: String::new(),
+                                candidates: Vec::new(),
+                                resume,
+                            },
+                        );
+                        ctx.goto(UNBOUND);
+                        return;
+                    }
+                }
+                m.session = None;
                 ctx.output(CTRL, ReferralStale);
                 ctx.output(
                     UP,
@@ -359,7 +499,7 @@ impl StateMachine for ClientMca {
                     unreachable!("guard admits only Associate")
                 };
                 m.announce = true;
-                m.resume = None;
+                m.resume.clear();
                 let aarq = McamPdu::AssociateReq {
                     user,
                     referral_capable: m.referral_capable,

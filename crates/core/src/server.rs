@@ -543,7 +543,7 @@ impl ServerMca {
                             .peers
                             .loads()
                             .into_iter()
-                            .filter(|s| !s.draining && s.location != local)
+                            .filter(|s| !s.draining && !s.crashed && s.location != local)
                             .map(|s| (s.load.available_bps, s.location))
                             .collect();
                         fallback.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));

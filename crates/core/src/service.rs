@@ -107,9 +107,11 @@ pub struct StartAssociate {
     /// application is then waiting for `resume`'s confirmation, not
     /// another AssociateRsp.
     pub announce: bool,
-    /// Operation to replay once the association is up: the request a
-    /// referral interrupted.
-    pub resume: Option<McamOp>,
+    /// Operations to replay, in order, once the association is up:
+    /// the single request a referral interrupted, or — after a server
+    /// crash — the whole session re-establishment sequence (select,
+    /// seek to the resume point, play).
+    pub resume: Vec<McamOp>,
 }
 
 /// MCA-to-root notification: the peer referred this association to
@@ -118,13 +120,18 @@ pub struct StartAssociate {
 /// rebuilds the MCA with a fresh stack there.
 #[derive(Debug)]
 pub struct ReferralSignal {
-    /// Target the peer named.
+    /// Target the peer named. Empty when the association *aborted*
+    /// (server crash) rather than being referred: the root then picks
+    /// a survivor from its cached candidate list.
     pub target: String,
     /// Candidate servers with a load hint, best-first, carried in the
-    /// referral.
+    /// referral (empty on a crash-induced failover — the root falls
+    /// back to the candidates it cached from earlier referrals).
     pub candidates: Vec<(String, u64)>,
-    /// The operation that was outstanding when the referral arrived.
-    pub resume: Option<McamOp>,
+    /// The operations to replay on the new server, in order: the one
+    /// request a referral interrupted, or the full session
+    /// re-establishment sequence after a crash.
+    pub resume: Vec<McamOp>,
 }
 
 /// MCA-to-root notification: the association is up — the referral

@@ -420,6 +420,28 @@ impl StreamProviderSystem {
         }
     }
 
+    /// Tears the provider down as a machine crash: every live stream
+    /// and in-progress recording is dropped without a release
+    /// handshake, their admission bandwidth and partial blocks
+    /// released. Returns the number of sessions killed. The datagram
+    /// socket stays bound, so a later re-registration ("repair and
+    /// reboot") reuses the provider.
+    pub fn crash(&self) -> usize {
+        let recordings: Vec<u32> = self.recordings.lock().keys().copied().collect();
+        let streams: Vec<u32> = self.senders.lock().keys().copied().collect();
+        let killed = recordings.len() + streams.len();
+        for id in recordings {
+            self.recordings.lock().remove(&id);
+            if let Some(store) = &self.store {
+                store.abort_recording(id);
+            }
+        }
+        for id in streams {
+            let _ = self.close(id);
+        }
+        killed
+    }
+
     /// Closes a stream, releasing its storage bandwidth. Closing an
     /// in-progress recording aborts it (bandwidth released, blocks
     /// freed).

@@ -348,6 +348,11 @@ impl ClientRoot {
     /// releases the current MCA + stack, and rebuilds both over a
     /// fresh medium to the new server. Reports an [`ERR_REFERRAL`]
     /// error to the application when the chain cannot continue.
+    ///
+    /// A signal with an empty `target` is a *crash failover*: the
+    /// association aborted mid-session, and the MCA asks to be
+    /// re-homed on any survivor from the root's cached candidate
+    /// list, replaying the session re-establishment ops it carried.
     fn follow_referral(&mut self, ctx: &mut Ctx<'_>, sig: ReferralSignal) {
         let dialer = match &self.dialer {
             Some(d) => Arc::clone(d),
@@ -380,17 +385,48 @@ impl ClientRoot {
         {
             Ok((location, medium)) => {
                 self.referrals_followed += 1;
-                self.journal_event(journal::EventKind::ReferralFollowed {
-                    target: location.clone(),
-                });
-                self.cache = Some((location.clone(), sig.candidates));
+                if sig.target.is_empty() {
+                    // Crash failover, not a server-issued referral:
+                    // record where the stream session moved and the
+                    // frame it resumes at.
+                    let title = sig
+                        .resume
+                        .iter()
+                        .find_map(|op| match op {
+                            McamOp::SelectMovie { title } => Some(title.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or_default();
+                    let resume_frame = sig
+                        .resume
+                        .iter()
+                        .find_map(|op| match op {
+                            McamOp::Seek { frame } => Some(*frame),
+                            _ => None,
+                        })
+                        .unwrap_or(0);
+                    self.journal_event(journal::EventKind::StreamFailedOver {
+                        title,
+                        from: self.control_location.clone(),
+                        to: location.clone(),
+                        resume_frame,
+                    });
+                } else {
+                    self.journal_event(journal::EventKind::ReferralFollowed {
+                        target: location.clone(),
+                    });
+                }
+                // Cache the merged candidate list: after a crash the
+                // incoming signal carries none, and the survivors we
+                // already knew about remain the fallback set.
+                self.cache = Some((location.clone(), candidates));
                 self.control_location.clone_from(&location);
                 self.rebuild_stack(ctx, medium);
                 ctx.output(
                     ROOT_TO_MCA,
                     StartAssociate {
                         user: self.user.clone(),
-                        announce: sig.resume.is_none(),
+                        announce: sig.resume.is_empty(),
                         resume: sig.resume,
                     },
                 );
@@ -426,8 +462,8 @@ impl ClientRoot {
     /// Delivers a referral failure to the application as the
     /// confirmation it is waiting for (the old MCA and stack stay up,
     /// so the application may simply try again later).
-    fn fail_referral(&mut self, ctx: &mut Ctx<'_>, why: &str, resume: Option<McamOp>) {
-        let what = match resume {
+    fn fail_referral(&mut self, ctx: &mut Ctx<'_>, why: &str, resume: Vec<McamOp>) {
+        let what = match resume.first() {
             Some(op) => format!("{why} while re-homing {op:?}"),
             None => why.to_string(),
         };
@@ -516,7 +552,7 @@ impl StateMachine for ClientRoot {
                         StartAssociate {
                             user,
                             announce: true,
-                            resume: None,
+                            resume: Vec::new(),
                         },
                     );
                 },

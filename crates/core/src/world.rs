@@ -3,6 +3,7 @@
 
 use crate::agents::{source_for_entry, ClusterController, SpsRegistry};
 use crate::app::AppMachine;
+use crate::mca::DOWN as MCA_DOWN;
 use crate::pdus::{McamPdu, StreamParams};
 use crate::server::{ServerRoot, ServerServices};
 use crate::service::McamOp;
@@ -12,7 +13,7 @@ use cluster::{ControlBalancer, DrainError, Placement, RebalanceConfig, Rebalance
 use directory::{attr, Dn, Dsa, Dua, MovieEntry, Rdn};
 use equipment::{Eca, EquipmentClass, Eua};
 use estelle::sched::{run_sequential, SeqOptions};
-use estelle::{ModuleId, ModuleKind, ModuleLabels, Runtime};
+use estelle::{ip, ModuleId, ModuleKind, ModuleLabels, Runtime};
 use journal::{EventKind, Journal};
 use mtp::MtpReceiver;
 use netsim::{
@@ -20,6 +21,7 @@ use netsim::{
     SimDuration, SimTime,
 };
 use parking_lot::Mutex;
+use presentation::service::PAbortInd;
 use std::collections::HashMap;
 use std::sync::Arc;
 use store::{BlockStore, StoreConfig, StoreStats};
@@ -69,11 +71,14 @@ impl ControlDial for WorldDialer {
             let (root, peers) = targets.get(location)?;
             (*root, Arc::clone(peers))
         };
-        // Decommissioned servers leave the registry; draining ones
-        // must not gain control associations either. Both look dead
-        // to the dialer, which makes the client fall back across the
-        // referral's candidate list.
-        if peers.get(location).is_none() || peers.is_draining(location) {
+        // Decommissioned servers leave the registry; draining and
+        // crashed ones must not gain control associations either. All
+        // look dead to the dialer, which makes the client fall back
+        // across the referral's candidate list.
+        if peers.get(location).is_none()
+            || peers.is_draining(location)
+            || peers.is_crashed(location)
+        {
             return None;
         }
         let (client_end, server_end) = Pipe::create(&self.net, self.delay);
@@ -272,6 +277,9 @@ pub struct World {
     /// bounded hop count of the redirect protocol).
     pub referral_max_hops: u32,
     providers: Vec<Arc<StreamProviderSystem>>,
+    /// Every client root added so far ([`World::crash_server`] aborts
+    /// the control association of clients homed on the dead machine).
+    clients: Vec<ModuleId>,
     /// Every cluster's control plane, ticked by the driver loop.
     rebalancers: Vec<Arc<ClusterController>>,
     /// Opens referral-target control pipes for cluster-aware clients.
@@ -334,6 +342,7 @@ impl World {
             record_frame_rate: 25,
             referral_max_hops: 4,
             providers: Vec::new(),
+            clients: Vec::new(),
             rebalancers: Vec::new(),
             dialer,
             next_addr: 1,
@@ -660,6 +669,7 @@ impl World {
                 client_root,
             )
             .expect("before start, or with dynamic clients enabled (ref [2])");
+        self.clients.push(root);
         ClientHandle {
             root,
             addr,
@@ -832,6 +842,81 @@ impl World {
         for rebalancer in &self.rebalancers {
             rebalancer.tick(limit);
         }
+    }
+
+    /// Fails one spindle of `server`'s striped store mid-flight and
+    /// starts the paced reconstruction of every block lost with it:
+    /// capacity shrinks to the survivors' share, in-flight reads on
+    /// the dead arm are unwound (their streams stall at the lost
+    /// block and resume as the rebuild sweeps past it), and the
+    /// rebuild reserves half the remaining uncommitted bandwidth —
+    /// charged through the same admission controller playback draws
+    /// on, so reconstruction never over-commits the survivors.
+    ///
+    /// Returns `(lost_blocks, rebuild_reserve_bps)`. A reserve of 0
+    /// means the store was fully committed and no rebuild could be
+    /// admitted (retry [`store::BlockStore::begin_rebuild`] after
+    /// viewers release bandwidth). Drive the world (e.g.
+    /// [`World::run_for`]) to let the rebuild progress; completion is
+    /// visible via [`store::BlockStore::rebuild_active`] and the
+    /// journal's `RebuildCompleted` event.
+    pub fn fail_disk(&self, server: &ServerHandle, disk: usize) -> (u64, u64) {
+        let now = self.net.now();
+        let store = &server.services.store;
+        let lost = store.fail_disk(disk, now);
+        if lost == 0 {
+            return (0, 0);
+        }
+        let reserve = (store.available_bps() / 2).max(1);
+        match store.begin_rebuild(reserve, now) {
+            Ok(_) => (lost, reserve),
+            Err(_) => (lost, 0),
+        }
+    }
+
+    /// Crashes `server` mid-stream: every open stream and recording
+    /// dies with the machine, the cluster registry marks the location
+    /// crashed (routing, placement, referral, and the world's dialer
+    /// all skip it until it re-registers), and every client whose
+    /// control association was homed there receives a provider abort.
+    /// Referral-capable clients fail over to a cached candidate and
+    /// replay their session (select, seek to the last played frame,
+    /// play) — journaled as `StreamFailedOver`; legacy clients see
+    /// `ErrorRsp 999`. The cluster's rebalance controller notices the
+    /// under-replicated titles on its next sample tick and
+    /// re-replicates them onto survivors.
+    ///
+    /// Returns the number of streams and recordings killed.
+    pub fn crash_server(&self, server: &ServerHandle) -> usize {
+        let location = server.services.sps.location();
+        server.services.peers.set_crashed(&location, true);
+        let killed = server.services.sps.crash();
+        self.journal.record(
+            &location,
+            EventKind::ServerCrashed {
+                location: location.clone(),
+            },
+        );
+        // Clients homed on the dead machine learn of it the way a real
+        // stack would: a P-ABORT indication surfacing from below.
+        for &client_root in &self.clients {
+            let mca = self
+                .rt
+                .with_machine::<ClientRoot, _>(client_root, |r| {
+                    if r.control_location == location {
+                        r.mca
+                    } else {
+                        None
+                    }
+                })
+                .flatten();
+            if let Some(mca) = mca {
+                let _ = self
+                    .rt
+                    .inject(ip(mca, MCA_DOWN), Box::new(PAbortInd { reason: 0 }));
+            }
+        }
+        killed
     }
 
     fn app_of(&self, client: &ClientHandle) -> ModuleId {

@@ -88,6 +88,16 @@ pub mod kind {
     pub const LEADER_PROMOTED: &str = "leader_promoted";
     /// A follower split out of its sharing group (seek/pause/speed).
     pub const GROUP_SPLIT: &str = "group_split";
+    /// A spindle died; its blocks became unreadable.
+    pub const DISK_FAILED: &str = "disk_failed";
+    /// A paced, admission-charged rebuild of a dead spindle began.
+    pub const REBUILD_STARTED: &str = "rebuild_started";
+    /// A spindle rebuild finished; all lost blocks are durable again.
+    pub const REBUILD_COMPLETED: &str = "rebuild_completed";
+    /// A whole server crashed, killing its streams and associations.
+    pub const SERVER_CRASHED: &str = "server_crashed";
+    /// A client's stream failed over to a replica after a crash.
+    pub const STREAM_FAILED_OVER: &str = "stream_failed_over";
 }
 
 /// Which admission-controlled session class an admit/reject concerns.
@@ -321,6 +331,48 @@ pub enum EventKind {
         /// The stream that left the group.
         follower: u32,
     },
+    /// A spindle died; reads against it now fail until rebuilt.
+    DiskFailed {
+        /// Index of the dead disk within the server's stripe set.
+        disk: u32,
+        /// Blocks that were resident on the dead spindle.
+        lost_blocks: u64,
+    },
+    /// Reconstruction of a dead spindle's blocks began, paced at an
+    /// admission-charged bandwidth so it competes with viewers.
+    RebuildStarted {
+        /// Index of the dead disk being rebuilt around.
+        disk: u32,
+        /// Blocks queued for reconstruction.
+        blocks: u64,
+        /// Bandwidth reserved from admission for the rebuild.
+        reserve_bps: u64,
+    },
+    /// A spindle rebuild finished; the reservation was released.
+    RebuildCompleted {
+        /// Index of the dead disk that was rebuilt around.
+        disk: u32,
+        /// Blocks reconstructed onto surviving disks.
+        blocks: u64,
+    },
+    /// A server crashed: every stream, recording, and control
+    /// association it held died with it.
+    ServerCrashed {
+        /// Location that went down.
+        location: String,
+    },
+    /// A client rebuilt its session on a replica after its serving
+    /// server crashed mid-stream.
+    StreamFailedOver {
+        /// Title the client was watching.
+        title: String,
+        /// Crashed location the stream left.
+        from: String,
+        /// Live replica the stream resumed on.
+        to: String,
+        /// Frame the client asked to resume from.
+        resume_frame: u64,
+    },
 }
 
 impl EventKind {
@@ -352,6 +404,11 @@ impl EventKind {
             EventKind::FastFeedConverged { .. } => kind::FAST_FEED_CONVERGED,
             EventKind::LeaderPromoted { .. } => kind::LEADER_PROMOTED,
             EventKind::GroupSplit { .. } => kind::GROUP_SPLIT,
+            EventKind::DiskFailed { .. } => kind::DISK_FAILED,
+            EventKind::RebuildStarted { .. } => kind::REBUILD_STARTED,
+            EventKind::RebuildCompleted { .. } => kind::REBUILD_COMPLETED,
+            EventKind::ServerCrashed { .. } => kind::SERVER_CRASHED,
+            EventKind::StreamFailedOver { .. } => kind::STREAM_FAILED_OVER,
         }
     }
 
@@ -481,6 +538,37 @@ impl EventKind {
                 push_u64_field(&mut s, "movie", u64::from(*movie));
                 push_u64_field(&mut s, "follower", u64::from(*follower));
             }
+            EventKind::DiskFailed { disk, lost_blocks } => {
+                push_u64_field(&mut s, "disk", u64::from(*disk));
+                push_u64_field(&mut s, "lost_blocks", *lost_blocks);
+            }
+            EventKind::RebuildStarted {
+                disk,
+                blocks,
+                reserve_bps,
+            } => {
+                push_u64_field(&mut s, "disk", u64::from(*disk));
+                push_u64_field(&mut s, "blocks", *blocks);
+                push_u64_field(&mut s, "reserve_bps", *reserve_bps);
+            }
+            EventKind::RebuildCompleted { disk, blocks } => {
+                push_u64_field(&mut s, "disk", u64::from(*disk));
+                push_u64_field(&mut s, "blocks", *blocks);
+            }
+            EventKind::ServerCrashed { location } => {
+                push_str_field(&mut s, "location", location);
+            }
+            EventKind::StreamFailedOver {
+                title,
+                from,
+                to,
+                resume_frame,
+            } => {
+                push_str_field(&mut s, "title", title);
+                push_str_field(&mut s, "from", from);
+                push_str_field(&mut s, "to", to);
+                push_u64_field(&mut s, "resume_frame", *resume_frame);
+            }
         }
         s.push('}');
         s
@@ -604,6 +692,28 @@ impl EventKind {
             kind::GROUP_SPLIT => EventKind::GroupSplit {
                 movie: obj.u32("movie")?,
                 follower: obj.u32("follower")?,
+            },
+            kind::DISK_FAILED => EventKind::DiskFailed {
+                disk: obj.u32("disk")?,
+                lost_blocks: obj.u64("lost_blocks")?,
+            },
+            kind::REBUILD_STARTED => EventKind::RebuildStarted {
+                disk: obj.u32("disk")?,
+                blocks: obj.u64("blocks")?,
+                reserve_bps: obj.u64("reserve_bps")?,
+            },
+            kind::REBUILD_COMPLETED => EventKind::RebuildCompleted {
+                disk: obj.u32("disk")?,
+                blocks: obj.u64("blocks")?,
+            },
+            kind::SERVER_CRASHED => EventKind::ServerCrashed {
+                location: obj.str("location")?.to_string(),
+            },
+            kind::STREAM_FAILED_OVER => EventKind::StreamFailedOver {
+                title: obj.str("title")?.to_string(),
+                from: obj.str("from")?.to_string(),
+                to: obj.str("to")?.to_string(),
+                resume_frame: obj.u64("resume_frame")?,
             },
             other => return Err(ParseError::new(&format!("unknown event tag `{other}`"))),
         };
@@ -1486,6 +1596,54 @@ mod tests {
         // observe_time must not rewind or affect a shared clock.
         j.observe_time(SimTime::from_secs(1));
         assert_eq!(clock.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn fault_kinds_round_trip() {
+        let j = Journal::standalone();
+        j.record(
+            "node-1",
+            EventKind::DiskFailed {
+                disk: 2,
+                lost_blocks: 120,
+            },
+        );
+        j.record(
+            "node-1",
+            EventKind::RebuildStarted {
+                disk: 2,
+                blocks: 120,
+                reserve_bps: 12_000_000,
+            },
+        );
+        j.record(
+            "node-1",
+            EventKind::RebuildCompleted {
+                disk: 2,
+                blocks: 120,
+            },
+        );
+        j.record(
+            "cluster",
+            EventKind::ServerCrashed {
+                location: "node-3".into(),
+            },
+        );
+        j.record(
+            "client-1",
+            EventKind::StreamFailedOver {
+                title: "movie-1".into(),
+                from: "node-3".into(),
+                to: "node-2".into(),
+                resume_frame: 431,
+            },
+        );
+        j.verify().unwrap();
+        let events = events_from_jsonl(&j.to_jsonl()).unwrap();
+        assert_eq!(events, j.events());
+        verify_events(&events).unwrap();
+        assert_eq!(j.count(kind::DISK_FAILED), 1);
+        assert_eq!(j.count_for("client-1", kind::STREAM_FAILED_OVER), 1);
     }
 
     #[test]

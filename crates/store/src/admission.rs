@@ -56,6 +56,15 @@ impl AdmissionController {
         self.capacity_bps
     }
 
+    /// Resizes the deliverable bandwidth (a spindle died or came
+    /// back). Existing commitments are untouched: the controller may
+    /// be over-committed afterwards, in which case `available_bps`
+    /// reads zero and every new admit is refused until enough streams
+    /// release.
+    pub fn set_capacity_bps(&mut self, capacity_bps: u64) {
+        self.capacity_bps = capacity_bps;
+    }
+
     /// Bandwidth currently committed to admitted streams.
     pub fn committed_bps(&self) -> u64 {
         self.committed_bps
@@ -140,6 +149,20 @@ mod tests {
         assert_eq!(a.admitted_count(), 1);
         a.release(99); // unknown: no-op
         assert_eq!(a.committed_bps(), 60);
+    }
+
+    #[test]
+    fn capacity_shrink_blocks_new_admits_only() {
+        let mut a = AdmissionController::new(100);
+        a.admit(1, 60).unwrap();
+        a.set_capacity_bps(50);
+        // Over-committed: nothing new fits, the old stream keeps
+        // playing, and available reads zero (not underflow).
+        assert_eq!(a.available_bps(), 0);
+        assert!(a.admit(2, 1).is_err());
+        a.release(1);
+        a.admit(2, 50).unwrap();
+        assert_eq!(a.committed_bps(), 50);
     }
 
     #[test]

@@ -51,6 +51,15 @@ impl BlockAllocator {
     pub fn allocated(&self) -> u64 {
         self.next - self.free.len() as u64
     }
+
+    /// Raises the high-water mark so every offset below `end` is
+    /// considered taken (unless already on the free list). Used when a
+    /// spindle dies: analytically-laid-out stripe offsets become
+    /// explicit allocations, so rebuild writes can never be handed an
+    /// offset a surviving block already occupies.
+    pub fn reserve_through(&mut self, end: u64) {
+        self.next = self.next.max(end);
+    }
 }
 
 #[cfg(test)]
@@ -80,6 +89,18 @@ mod tests {
         assert_eq!(a.alloc(), 2);
         assert_eq!(a.alloc(), 5);
         assert_eq!(a.alloc(), 8, "free list drained: high-water mark grows");
+    }
+
+    #[test]
+    fn reserve_through_protects_analytic_offsets() {
+        let mut a = BlockAllocator::new();
+        a.reserve_through(4);
+        assert_eq!(a.alloc(), 4, "offsets 0..4 are spoken for");
+        // Reserving below the mark is a no-op; releases still win.
+        a.reserve_through(2);
+        a.release(1);
+        assert_eq!(a.alloc(), 1);
+        assert_eq!(a.alloc(), 5);
     }
 
     #[test]

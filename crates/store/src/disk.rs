@@ -315,6 +315,23 @@ impl Disk {
         });
     }
 
+    /// Kills the disk: the queue and the request under the arm are
+    /// discarded without completing (the heads crashed mid-transfer).
+    /// Returns the `(movie, offset, kind)` of every request dropped so
+    /// the store can unwind its in-flight bookkeeping.
+    pub fn fail(&mut self) -> Vec<(MovieId, u64, IoKind)> {
+        let mut dropped: Vec<(MovieId, u64, IoKind)> = self
+            .in_service
+            .take()
+            .map(|s| (s.movie, s.offset, s.kind))
+            .into_iter()
+            .collect();
+        dropped.extend(self.queue.drain(..).map(|q| (q.movie, q.offset, q.kind)));
+        self.busy_until = SimTime::ZERO;
+        self.head = None;
+        dropped
+    }
+
     /// Utilization of the disk over `elapsed` simulated time.
     pub fn utilization(&self, elapsed: SimDuration) -> f64 {
         if elapsed.is_zero() {
@@ -491,6 +508,23 @@ mod tests {
         assert_eq!(d.stats.sequential_writes, 1, "offset 1 follows offset 0");
         assert_eq!(d.stats.sequential_reads, 1, "offset 2 follows offset 1");
         assert_eq!(d.stats.bytes_written, 1 << 18);
+    }
+
+    #[test]
+    fn fail_drops_queue_and_in_service() {
+        let mut d = Disk::new(DiskParams::default());
+        let m = MovieId(4);
+        d.enqueue(SimTime::ZERO, m, 0, 1 << 18);
+        d.enqueue(SimTime::ZERO, m, 1, 1 << 18);
+        d.enqueue_write(SimTime::ZERO, m, 2, 1 << 18);
+        assert_eq!(d.pending(), 3);
+        let dropped = d.fail();
+        assert_eq!(dropped.len(), 3);
+        assert!(dropped.contains(&(m, 0, IoKind::Read)));
+        assert!(dropped.contains(&(m, 2, IoKind::Write)));
+        assert_eq!(d.pending(), 0);
+        assert_eq!(d.next_completion(), None);
+        assert_eq!(d.pop_due(SimTime::from_secs(10)), None);
     }
 
     #[test]

@@ -164,6 +164,39 @@ impl BlockMap {
         self.inverse.get(&addr).copied()
     }
 
+    /// Materializes a [`StripeLayout`] into an equivalent extensional
+    /// map, so individual addresses can then be rewritten with
+    /// [`BlockMap::replace`] (spindle-death rebuild relocates blocks
+    /// one at a time).
+    pub fn from_stripe(stripe: &StripeLayout) -> Self {
+        let mut m = BlockMap::new();
+        for b in stripe.blocks() {
+            m.push(stripe.locate(b));
+        }
+        m
+    }
+
+    /// Rewrites the physical address of logical block `index`
+    /// (rebuild moving a lost block to a surviving disk), keeping the
+    /// inverse exact. Returns the address the block previously lived
+    /// at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `addr` is already mapped
+    /// to a different block.
+    pub fn replace(&mut self, index: u64, addr: BlockAddr) -> BlockAddr {
+        let old = self.addrs[index as usize];
+        if old == addr {
+            return old;
+        }
+        let prev = self.inverse.insert(addr, index);
+        assert!(prev.is_none(), "block {addr:?} allocated twice");
+        self.inverse.remove(&old);
+        self.addrs[index as usize] = addr;
+        old
+    }
+
     /// All physical addresses in logical-block order.
     pub fn addrs(&self) -> &[BlockAddr] {
         &self.addrs
@@ -227,6 +260,30 @@ mod tests {
         assert_eq!(m.invert(b), Some(1));
         assert_eq!(m.invert(BlockAddr { disk: 2, offset: 0 }), None);
         assert_eq!(m.addrs(), &[a, b]);
+    }
+
+    #[test]
+    fn block_map_from_stripe_matches_locate() {
+        let l = StripeLayout::new(3, 1, 10);
+        let m = BlockMap::from_stripe(&l);
+        assert_eq!(m.block_count(), 10);
+        for b in l.blocks() {
+            assert_eq!(m.locate(b), l.locate(b));
+            assert_eq!(m.invert(l.locate(b)), Some(b));
+        }
+    }
+
+    #[test]
+    fn block_map_replace_keeps_inverse_exact() {
+        let mut m = BlockMap::from_stripe(&StripeLayout::new(2, 0, 4));
+        let old = m.locate(2);
+        let fresh = BlockAddr { disk: 1, offset: 7 };
+        assert_eq!(m.replace(2, fresh), old);
+        assert_eq!(m.locate(2), fresh);
+        assert_eq!(m.invert(fresh), Some(2));
+        assert_eq!(m.invert(old), None, "old address is unmapped");
+        // Replacing with the same address is a no-op.
+        assert_eq!(m.replace(2, fresh), fresh);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use journal::{AdmissionClass, EventKind, Journal};
 use mtp::MovieSource;
 use netsim::{SimDuration, SimTime};
 use parking_lot::Mutex;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -261,6 +261,30 @@ struct ImportRec {
     preexisting: bool,
 }
 
+/// A spindle rebuild in progress: the blocks lost with a dead disk
+/// are reconstructed onto the surviving disks at the pace of an
+/// admission-charged bandwidth reservation (the reconstruction data
+/// conceptually streams in from replica servers), reusing the paced
+/// write machinery of migrations so the rebuild competes honestly
+/// with foreground viewers.
+#[derive(Debug)]
+struct RebuildRec {
+    /// Admission id of the reservation (import id space).
+    id: u32,
+    /// The dead disk being rebuilt around.
+    disk: usize,
+    reserve_bps: u64,
+    started: SimTime,
+    issued: u64,
+    durable: u64,
+    total: u64,
+    /// Round-robin cursor over the surviving disks.
+    next_disk: usize,
+    /// Reconstruction writes on the platters, keyed by their physical
+    /// identity so completions attribute exactly.
+    in_flight: HashSet<(usize, MovieId, u64)>,
+}
+
 /// Block-issue window of a paced migration: enough to keep a short
 /// sequential run on the disks without flooding the queues ahead of
 /// stream reads.
@@ -270,6 +294,17 @@ const IMPORT_WINDOW: u64 = 8;
 /// space so they never collide with provider-allocated stream ids
 /// (high 16 bits = provider address) in the shared admission table.
 const IMPORT_ID_BASE: u32 = 0x4000_0000;
+
+/// First non-failed disk at or after `preferred` (wrapping). Falls
+/// back to `preferred` if every disk is dead — callers keep the store
+/// usable until then.
+fn live_disk(failed: &BTreeSet<usize>, disks: usize, preferred: usize) -> usize {
+    let preferred = preferred % disks.max(1);
+    (0..disks)
+        .map(|k| (preferred + k) % disks)
+        .find(|d| !failed.contains(d))
+        .unwrap_or(preferred)
+}
 
 /// What a finished recording produced, as reported by
 /// [`BlockStore::finish_recording`].
@@ -338,6 +373,13 @@ struct StoreInner {
     /// Movie → import id, for attributing write completions.
     import_by_movie: HashMap<MovieId, u32>,
     next_import: u32,
+    /// Disks that have died; their blocks are unreadable and the
+    /// write-path allocators never choose them again.
+    failed_disks: BTreeSet<usize>,
+    /// Blocks lost with the dead spindles, awaiting reconstruction.
+    lost_blocks: VecDeque<(MovieId, u64)>,
+    /// The in-progress rebuild, if one was started.
+    rebuild: Option<RebuildRec>,
     /// Streams waiting on each in-flight disk read (read coalescing:
     /// a second viewer of the same block piggybacks instead of
     /// queueing a duplicate).
@@ -464,6 +506,12 @@ impl StoreInner {
                 continue;
             }
             let addr = movie.layout.locate(block);
+            if self.failed_disks.contains(&addr.disk) {
+                // The block died with its spindle: the stream stalls
+                // here until the rebuild relocates it (the relocated
+                // copy lands in the cache, unblocking this loop).
+                break;
+            }
             self.disks[addr.disk].enqueue(
                 now,
                 stream.movie,
@@ -488,9 +536,15 @@ impl StoreInner {
                 completed += 1;
                 if kind == IoKind::Write {
                     // A recorded or imported block reached the
-                    // platter; recordings and migrations track
-                    // durability so the finalize step can wait for
-                    // the tail writes.
+                    // platter; recordings, migrations, and rebuilds
+                    // track durability so the finalize step can wait
+                    // for the tail writes.
+                    if let Some(rb) = self.rebuild.as_mut() {
+                        if rb.in_flight.remove(&(disk_index, movie, offset)) {
+                            rb.durable += 1;
+                            continue;
+                        }
+                    }
                     if let Some(rec_id) = self.recording_by_movie.get(&movie) {
                         if let Some(rec) = self.recordings.get_mut(rec_id) {
                             rec.blocks_durable += 1;
@@ -548,7 +602,11 @@ impl StoreInner {
             let allowed =
                 ((allowed_bits / u128::from(block_bits)) as u64 + 1).min(imp.total_blocks);
             while imp.issued < allowed && imp.issued - imp.durable < IMPORT_WINDOW {
-                let disk = (imp.start_disk + imp.map.block_count() as usize) % disks;
+                let disk = live_disk(
+                    &self.failed_disks,
+                    disks,
+                    imp.start_disk + imp.map.block_count() as usize,
+                );
                 let offset = self.allocators[disk].alloc();
                 imp.map.push(BlockAddr { disk, offset });
                 self.disks[disk].enqueue_write(now, imp.movie, offset, block_size);
@@ -580,6 +638,88 @@ impl StoreInner {
                 imp.started + SimDuration::from_micros(us as u64)
             })
             .min()
+    }
+
+    /// Issues reconstruction writes due by `now`: the rebuild may have
+    /// issued at most the blocks its reservation allows since it
+    /// started, a window at a time, exactly like a paced migration.
+    /// Each issued block is relocated in its movie's map to a fresh
+    /// offset on a surviving disk and staged through the cache, so
+    /// streams stalled on the lost block resume immediately while the
+    /// write drains to the platter behind them.
+    fn issue_rebuilds(&mut self, now: SimTime) {
+        let Some(rb) = self.rebuild.as_ref() else {
+            return;
+        };
+        let block_size = u64::from(self.config.block_size);
+        let block_bits = block_size * 8;
+        let elapsed_us = u128::from(now.saturating_since(rb.started).as_micros());
+        let allowed_bits = elapsed_us * u128::from(rb.reserve_bps) / 1_000_000;
+        let allowed = ((allowed_bits / u128::from(block_bits)) as u64 + 1).min(rb.total);
+        let disks = self.disks.len();
+        let consumers = self.consumers();
+        loop {
+            let rb = self.rebuild.as_ref().expect("checked above");
+            if rb.issued >= allowed || rb.issued - rb.durable >= IMPORT_WINDOW {
+                break;
+            }
+            let Some((movie, index)) = self.lost_blocks.pop_front() else {
+                break;
+            };
+            let disk = live_disk(&self.failed_disks, disks, rb.next_disk);
+            let offset = self.allocators[disk].alloc();
+            let rec = self
+                .movies
+                .get_mut(&movie)
+                .expect("lost blocks name registered movies");
+            let Layout::Mapped(map) = Arc::make_mut(&mut rec.layout) else {
+                unreachable!("layouts are materialized when a disk fails");
+            };
+            map.replace(index, BlockAddr { disk, offset });
+            self.cache.insert(BlockKey { movie, index }, &consumers);
+            self.disks[disk].enqueue_write(now, movie, offset, block_size);
+            let rb = self.rebuild.as_mut().expect("checked above");
+            rb.issued += 1;
+            rb.in_flight.insert((disk, movie, offset));
+            rb.next_disk = (disk + 1) % disks.max(1);
+        }
+    }
+
+    /// Earliest instant the rebuild may issue its next block (`None`
+    /// when idle, drained, or window-bound — in-flight writes are
+    /// covered by the disks' completion times).
+    fn next_rebuild_issue(&self) -> Option<SimTime> {
+        let rb = self.rebuild.as_ref()?;
+        if self.lost_blocks.is_empty() || rb.issued - rb.durable >= IMPORT_WINDOW {
+            return None;
+        }
+        let block_bits = u64::from(self.config.block_size) * 8;
+        let next_bits = u128::from(rb.issued) * u128::from(block_bits);
+        let us = (next_bits * 1_000_000).div_ceil(u128::from(rb.reserve_bps.max(1)));
+        Some(rb.started + SimDuration::from_micros(us as u64))
+    }
+
+    /// Releases the rebuild's reservation and journals completion once
+    /// every lost block is durable again.
+    fn finish_rebuild_if_done(&mut self) {
+        let done = self
+            .rebuild
+            .as_ref()
+            .is_some_and(|rb| rb.durable >= rb.total && self.lost_blocks.is_empty());
+        if !done {
+            return;
+        }
+        let rb = self.rebuild.take().expect("checked above");
+        self.admission.release(rb.id);
+        if let Some((journal, server)) = &self.journal {
+            journal.record(
+                server,
+                EventKind::RebuildCompleted {
+                    disk: rb.disk as u32,
+                    blocks: rb.total,
+                },
+            );
+        }
     }
 }
 
@@ -620,6 +760,9 @@ impl BlockStore {
                 imports: HashMap::new(),
                 import_by_movie: HashMap::new(),
                 next_import: IMPORT_ID_BASE,
+                failed_disks: BTreeSet::new(),
+                lost_blocks: VecDeque::new(),
+                rebuild: None,
                 in_flight: HashMap::new(),
                 blocks_delivered: 0,
                 coalesced_reads: 0,
@@ -677,12 +820,29 @@ impl BlockStore {
             movie.frame_rate,
             movie.frame_count,
         );
-        let start_disk = id.0 as usize % inner.disks.len();
-        let layout = StripeLayout::new(inner.disks.len(), start_disk, block_count);
+        let disks_len = inner.disks.len();
+        let start_disk = id.0 as usize % disks_len;
+        let layout = if inner.failed_disks.is_empty() {
+            Layout::Striped(StripeLayout::new(disks_len, start_disk, block_count))
+        } else {
+            // With a spindle down the analytic stripe would place
+            // blocks on the dead disk: lay the movie out through the
+            // allocators over the survivors instead.
+            let inner = &mut *inner;
+            let mut map = BlockMap::new();
+            for i in 0..block_count {
+                let disk = live_disk(&inner.failed_disks, disks_len, start_disk + i as usize);
+                map.push(BlockAddr {
+                    disk,
+                    offset: inner.allocators[disk].alloc(),
+                });
+            }
+            Layout::Mapped(map)
+        };
         inner.movies.insert(
             id,
             MovieRec {
-                layout: Arc::new(Layout::Striped(layout)),
+                layout: Arc::new(layout),
                 frames_per_block,
                 frame_count: movie.frame_count,
                 frame_rate: movie.frame_rate,
@@ -956,15 +1116,22 @@ impl BlockStore {
             inner.issue(id, now);
         }
         inner.issue_imports(now);
+        inner.issue_rebuilds(now);
+        inner.finish_rebuild_if_done();
         completed
     }
 
-    /// Earliest pending disk completion or paced-import issue, if any.
+    /// Earliest pending disk completion, paced-import issue, or
+    /// rebuild issue, if any.
     pub fn next_event(&self) -> Option<SimTime> {
         let inner = self.inner.lock();
         let disk_next = inner.disks.iter().filter_map(Disk::next_completion).min();
         let import_next = inner.next_import_issue();
-        [disk_next, import_next].into_iter().flatten().min()
+        let rebuild_next = inner.next_rebuild_issue();
+        [disk_next, import_next, rebuild_next]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Number of frames (from the stream's current playback run)
@@ -1047,7 +1214,11 @@ impl BlockStore {
         inner.frames_recorded += 1;
         while rec.partial_bytes >= block_size {
             rec.partial_bytes -= block_size;
-            let disk = (rec.start_disk + rec.map.block_count() as usize) % disks;
+            let disk = live_disk(
+                &inner.failed_disks,
+                disks,
+                rec.start_disk + rec.map.block_count() as usize,
+            );
             let offset = inner.allocators[disk].alloc();
             let index = rec.map.push(BlockAddr { disk, offset });
             inner.cache.insert(
@@ -1086,7 +1257,11 @@ impl BlockStore {
         if rec.partial_bytes > 0 {
             let tail = rec.partial_bytes;
             rec.partial_bytes = 0;
-            let disk = (rec.start_disk + rec.map.block_count() as usize) % disks;
+            let disk = live_disk(
+                &inner.failed_disks,
+                disks,
+                rec.start_disk + rec.map.block_count() as usize,
+            );
             let offset = inner.allocators[disk].alloc();
             rec.map.push(BlockAddr { disk, offset });
             // The tail transfer costs only the bytes it holds.
@@ -1366,7 +1541,7 @@ impl BlockStore {
         let start_disk = id.0 as usize % disks;
         let mut map = BlockMap::new();
         for i in 0..block_count {
-            let disk = (start_disk + i as usize) % disks;
+            let disk = live_disk(&inner.failed_disks, disks, start_disk + i as usize);
             let offset = inner.allocators[disk].alloc();
             map.push(BlockAddr { disk, offset });
             inner.disks[disk].enqueue_write(now, id, offset, u64::from(inner.config.block_size));
@@ -1383,6 +1558,179 @@ impl BlockStore {
             },
         );
         id
+    }
+
+    /// Kills disk `disk` of the stripe set. Queued and in-service
+    /// requests on the dead arm are dropped: streams waiting on them
+    /// rewind their prefetchers and stall at the first lost block
+    /// (until a rebuild relocates it), sessions waiting on dropped
+    /// writes are not wedged. Every layout is materialized into an
+    /// explicit block map, the blocks resident on the dead spindle are
+    /// queued for reconstruction, the write-path allocators stop
+    /// choosing the disk, and admission capacity shrinks to the
+    /// surviving disks' share — existing commitments are untouched, so
+    /// the controller may read over-committed until streams drain.
+    ///
+    /// Returns the number of blocks lost with the spindle (0 for an
+    /// out-of-range or already-dead disk). Idempotent per disk.
+    pub fn fail_disk(&self, disk: usize, _now: SimTime) -> u64 {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        if disk >= inner.disks.len() || inner.failed_disks.contains(&disk) {
+            return 0;
+        }
+        inner.failed_disks.insert(disk);
+        // Unwind the requests that died with the arm.
+        for (movie, offset, kind) in inner.disks[disk].fail() {
+            match kind {
+                IoKind::Read => {
+                    let Some(block) = inner
+                        .movies
+                        .get(&movie)
+                        .and_then(|rec| rec.layout.invert(BlockAddr { disk, offset }))
+                    else {
+                        continue;
+                    };
+                    let key = BlockKey {
+                        movie,
+                        index: block,
+                    };
+                    for sid in inner.in_flight.remove(&key).unwrap_or_default() {
+                        if let Some(s) = inner.streams.get_mut(&sid) {
+                            s.outstanding = s.outstanding.saturating_sub(1);
+                            s.next_fetch = s.next_fetch.min(block);
+                        }
+                    }
+                }
+                IoKind::Write => {
+                    // The write's content is lost with the platter,
+                    // but the owning session must not wedge waiting
+                    // for a completion that will never come: count it
+                    // durable so sealing/finalizing still works.
+                    if let Some(rec_id) = inner.recording_by_movie.get(&movie) {
+                        if let Some(rec) = inner.recordings.get_mut(rec_id) {
+                            rec.blocks_durable += 1;
+                        }
+                    } else if let Some(imp_id) = inner.import_by_movie.get(&movie) {
+                        if let Some(imp) = inner.imports.get_mut(imp_id) {
+                            imp.durable += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Materialize every layout, collect the lost blocks, and
+        // reserve the surviving analytic offsets so rebuild
+        // allocations can never collide with live blocks.
+        let disks_len = inner.disks.len();
+        let mut lost = 0u64;
+        let mut high_water = vec![0u64; disks_len];
+        let ids: Vec<MovieId> = inner.movies.keys().copied().collect();
+        for mid in ids {
+            let rec = inner.movies.get_mut(&mid).expect("keyed above");
+            let layout = Arc::make_mut(&mut rec.layout);
+            if let Layout::Striped(stripe) = layout {
+                *layout = Layout::Mapped(BlockMap::from_stripe(stripe));
+            }
+            let Layout::Mapped(map) = layout else {
+                unreachable!("materialized above");
+            };
+            for (i, addr) in map.addrs().iter().enumerate() {
+                if addr.disk == disk {
+                    inner.lost_blocks.push_back((mid, i as u64));
+                    lost += 1;
+                } else {
+                    high_water[addr.disk] = high_water[addr.disk].max(addr.offset + 1);
+                }
+            }
+        }
+        for (d, hi) in high_water.into_iter().enumerate() {
+            inner.allocators[d].reserve_through(hi);
+        }
+        // The dead arm delivers nothing: admission capacity shrinks to
+        // the survivors' share.
+        let live = (disks_len - inner.failed_disks.len()) as u64;
+        let capacity = inner.config.capacity_bps() / disks_len as u64 * live;
+        inner.admission.set_capacity_bps(capacity);
+        if let Some((journal, server)) = &inner.journal {
+            journal.record(
+                server,
+                EventKind::DiskFailed {
+                    disk: disk as u32,
+                    lost_blocks: lost,
+                },
+            );
+        }
+        lost
+    }
+
+    /// Begins the paced reconstruction of every block lost to failed
+    /// disks, reserving `reserve_bps` against the same admission
+    /// capacity playback draws on (so rebuild competes honestly with
+    /// foreground viewers). Relocated blocks land on surviving disks
+    /// and stage through the cache, unblocking stalled streams as the
+    /// rebuild sweeps forward; the reservation is released and a
+    /// `RebuildCompleted` event journaled when the last block is
+    /// durable. Returns the rebuild's admission id.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AdmissionRejected`] when the reservation does not
+    /// fit next to the admitted streams.
+    pub fn begin_rebuild(&self, reserve_bps: u64, now: SimTime) -> Result<u32, StoreError> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let id = inner.next_import;
+        inner.admit_journaled(AdmissionClass::Import, id, reserve_bps.max(1))?;
+        inner.next_import += 1;
+        let disk = inner.failed_disks.iter().next_back().copied().unwrap_or(0);
+        let total = inner.lost_blocks.len() as u64;
+        inner.rebuild = Some(RebuildRec {
+            id,
+            disk,
+            reserve_bps: reserve_bps.max(1),
+            started: now,
+            issued: 0,
+            durable: 0,
+            total,
+            next_disk: 0,
+            in_flight: HashSet::new(),
+        });
+        if let Some((journal, server)) = &inner.journal {
+            journal.record(
+                server,
+                EventKind::RebuildStarted {
+                    disk: disk as u32,
+                    blocks: total,
+                    reserve_bps: reserve_bps.max(1),
+                },
+            );
+        }
+        inner.issue_rebuilds(now);
+        inner.finish_rebuild_if_done();
+        Ok(id)
+    }
+
+    /// Whether a rebuild is currently reconstructing lost blocks.
+    pub fn rebuild_active(&self) -> bool {
+        self.inner.lock().rebuild.is_some()
+    }
+
+    /// Rebuild progress as `(durable, total)` blocks (`None` when no
+    /// rebuild is running).
+    pub fn rebuild_progress(&self) -> Option<(u64, u64)> {
+        let inner = self.inner.lock();
+        inner.rebuild.as_ref().map(|rb| (rb.durable, rb.total))
+    }
+
+    /// Indices of the disks that have died, in order.
+    pub fn failed_disks(&self) -> Vec<usize> {
+        self.inner.lock().failed_disks.iter().copied().collect()
+    }
+
+    /// Blocks lost to dead spindles still awaiting reconstruction.
+    pub fn lost_blocks_pending(&self) -> u64 {
+        self.inner.lock().lost_blocks.len() as u64
     }
 
     /// Bandwidth still available for new streams, bits/second.
@@ -1822,6 +2170,89 @@ mod tests {
         store.recharge_stream(2, 0).unwrap();
         assert_eq!(store.stream_demand(2), None);
         assert_eq!(store.stats().open_streams, 1);
+    }
+
+    #[test]
+    fn disk_death_rebuild_relocates_lost_blocks() {
+        let store = BlockStore::new(tiny_config());
+        let journal = Arc::new(Journal::standalone());
+        store.attach_journal(journal.clone(), "node-1");
+        let movie = MovieSource::test_movie(600, 3);
+        let id = store.register_movie(&movie);
+        let before: Vec<BlockAddr> = {
+            let l = store.layout_of(id).unwrap();
+            l.blocks().map(|b| l.locate(b)).collect()
+        };
+        store.open_stream(1, id, 100, SimTime::ZERO).unwrap();
+        let t = store.next_event().unwrap();
+        store.pump(t);
+        let lost = store.fail_disk(1, t);
+        assert!(lost > 0, "a striped movie loses blocks with its spindle");
+        assert_eq!(store.fail_disk(1, t), 0, "idempotent per disk");
+        assert_eq!(store.failed_disks(), vec![1]);
+        assert!(store.layout_of(id).is_none(), "layout materialized");
+        assert_eq!(store.lost_blocks_pending(), lost);
+        assert_eq!(
+            store.stats().capacity_bps,
+            tiny_config().capacity_bps() / 2,
+            "capacity shrinks to the surviving disk's share"
+        );
+        let reserve = (store.available_bps() / 2).max(1);
+        store.begin_rebuild(reserve, t).unwrap();
+        assert!(store.rebuild_active());
+        pump_until(&store, t, || !store.rebuild_active());
+        assert_eq!(store.lost_blocks_pending(), 0);
+        // Lost blocks relocated off the dead disk, survivors
+        // untouched, and no address handed out twice.
+        let after = store.allocation_of(id).unwrap();
+        assert_eq!(after.len(), before.len());
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if b.disk == 1 {
+                assert_ne!(a.disk, 1, "block {i} relocated off the dead disk");
+            } else {
+                assert_eq!(a, b, "surviving block {i} untouched");
+            }
+        }
+        let distinct: HashSet<&BlockAddr> = after.iter().collect();
+        assert_eq!(distinct.len(), after.len());
+        // The reservation was released and the fault lifecycle is on
+        // the (intact) hash chain.
+        assert_eq!(store.stats().committed_bps, store.stream_demand(1).unwrap());
+        journal.verify().unwrap();
+        assert_eq!(journal.count(journal::kind::DISK_FAILED), 1);
+        assert_eq!(journal.count(journal::kind::REBUILD_STARTED), 1);
+        assert_eq!(journal.count(journal::kind::REBUILD_COMPLETED), 1);
+        // The stalled viewer drains the whole movie from the rebuilt
+        // layout.
+        drain(&store, 1, movie.frame_count);
+    }
+
+    #[test]
+    fn write_paths_avoid_dead_spindles() {
+        let store = BlockStore::new(tiny_config());
+        store.fail_disk(0, SimTime::ZERO);
+        let source = MovieSource::test_movie(10, 21);
+        let movie = store.open_recording(5, &source).unwrap();
+        let mut now = SimTime::ZERO;
+        for frame in source.frames() {
+            store.append_frame(5, frame.size, now).unwrap();
+            now += netsim::SimDuration::from_micros(source.frame_interval_us());
+        }
+        store.seal_recording(5, now).unwrap();
+        pump_until(&store, now, || store.recording_durable(5) == Some(true));
+        store.finish_recording(5).unwrap();
+        let rec_alloc = store.allocation_of(movie).unwrap();
+        assert!(rec_alloc.iter().all(|a| a.disk != 0), "recording shuns it");
+        let m2 = store.import_movie(&MovieSource::test_movie(6, 33), now);
+        assert!(
+            store.allocation_of(m2).unwrap().iter().all(|a| a.disk != 0),
+            "bulk import shuns it"
+        );
+        let m3 = store.register_movie(&MovieSource::test_movie(8, 44));
+        assert!(
+            store.allocation_of(m3).unwrap().iter().all(|a| a.disk != 0),
+            "post-fault registration shuns it"
+        );
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Stress and fault-injection scenarios beyond `failure_injection.rs`:
 //! heavy packet reordering on the CM stream, association churn,
-//! many-client load, pause/resume under loss, and X.500 referral
-//! failures.
+//! many-client load, pause/resume under loss, X.500 referral
+//! failures, and a combined bursty-loss + server-crash gauntlet.
 
 use directory::{Attrs, DirError, Dn, Dsa, Dua, Filter, MovieEntry, Scope};
-use mcam::{McamOp, McamPdu, StackKind, World};
-use netsim::{DelayModel, LinkConfig, LossModel, SimDuration};
+use mcam::agents::source_for_entry;
+use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use netsim::{DelayModel, LinkConfig, LossModel, NetAddr, SimDuration};
 
 /// A violently reordering (non-FIFO, high-jitter) but lossless link:
 /// the playout buffer must restore frame order.
@@ -215,6 +216,152 @@ fn pause_resume_under_loss() {
         world.client_op(&client, McamOp::Stop),
         Some(McamPdu::StopRsp)
     );
+}
+
+/// The combined gauntlet: Gilbert–Elliott bursty loss on the CM
+/// network, a referral fan-out that re-homes every client's control
+/// association, and then one server crash mid-stream. Every in-flight
+/// stream on the dead machine fails over through the referral
+/// follower (the surviving-stream fraction is 100%), and no receiver
+/// ever sees a frame twice — bursty loss plus failover may drop
+/// frames, but must never duplicate them.
+#[test]
+fn bursty_loss_crash_and_referral_fanout() {
+    let cfg = LinkConfig {
+        delay: DelayModel::Uniform {
+            min: SimDuration::from_millis(1),
+            max: SimDuration::from_millis(8),
+        },
+        loss: LossModel::GilbertElliott {
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.3,
+            loss_good: 0.0,
+            loss_bad: 0.8,
+        },
+        bandwidth_bps: None,
+        fifo: true,
+    };
+    let mut world = World::with_stream_link(37, cfg);
+    let cluster = world.add_cluster("vod", 4, StackKind::EstellePS, Placement::round_robin(2));
+    let a = cluster.servers[0].services.sps.location();
+    let b = cluster.servers[1].services.sps.location();
+    let clients: Vec<_> = (0..8)
+        .map(|_| world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]))
+        .collect();
+    world.start();
+
+    // Referral fan-out: every client dials A and is referred to B, so
+    // each one caches a live candidate list — the failover's fallback.
+    // Inflating the other members' connection counts keeps B looking
+    // under-connected, so it serves all eight instead of referring
+    // them onward.
+    for server in &cluster.servers {
+        let location = server.services.sps.location();
+        if location != b {
+            for _ in 0..10 {
+                cluster.control.connected(&location);
+            }
+        }
+    }
+    cluster.control.pin(&a, &b);
+    for (i, client) in clients.iter().enumerate() {
+        assert_eq!(
+            world.client_op(
+                client,
+                McamOp::Associate {
+                    user: format!("viewer-{i}")
+                }
+            ),
+            Some(McamPdu::AssociateRsp { accepted: true })
+        );
+        assert_eq!(world.client_control_location(client), b);
+    }
+    cluster.control.unpin(&a);
+    // Deflate the synthetic counts: failover re-dials should see real
+    // load.
+    for server in &cluster.servers {
+        let location = server.services.sps.location();
+        if location != b {
+            for _ in 0..10 {
+                cluster.control.disconnected(&location);
+            }
+        }
+    }
+
+    let mut entry = MovieEntry::new("Stress", "pending");
+    entry.frame_count = 2_000;
+    let replicas = world.publish_replicated(&cluster, &entry);
+    assert!(replicas.contains(&b), "B holds a replica: {replicas:?}");
+
+    // Filler load on every replica except B steers all eight streams
+    // onto B — the machine that is about to die.
+    for location in replicas.iter().filter(|l| **l != b) {
+        let provider = cluster.peers.get(location).expect("replica registered");
+        for i in 0..9u32 {
+            let mut filler = MovieEntry::new(format!("Busy-{location}-{i}"), "pending");
+            filler.frame_count = 5_000;
+            provider
+                .open(source_for_entry(&filler), NetAddr(800 + i), world.net.now())
+                .expect("filler admitted");
+        }
+    }
+    let mut receivers = Vec::new();
+    for client in &clients {
+        let params = match world.client_op(
+            client,
+            McamOp::SelectMovie {
+                title: "Stress".into(),
+            },
+        ) {
+            Some(McamPdu::SelectMovieRsp { params: Some(p) }) => p,
+            other => panic!("select failed: {other:?}"),
+        };
+        assert_eq!(
+            format!("node-{}", params.provider_addr),
+            b,
+            "the stream landed on the doomed replica"
+        );
+        receivers.push(world.receiver_for(client, &params, SimDuration::from_millis(80)));
+        assert_eq!(
+            world.client_op(client, McamOp::Play { speed_pct: 100 }),
+            Some(McamPdu::PlayRsp { ok: true })
+        );
+    }
+    world.run_for(SimDuration::from_secs(2));
+
+    // One server crash under eight live streams and bursty loss.
+    let in_flight = cluster.servers[1].services.sps.stream_count();
+    assert_eq!(in_flight, 8, "every stream was on the doomed machine");
+    let killed = world.crash_server(&cluster.servers[1]);
+    assert_eq!(killed, 8);
+    world.run_for(SimDuration::from_secs(5));
+
+    // Surviving-stream fraction: every in-flight stream failed over.
+    let survived = world.journal().count(journal::kind::STREAM_FAILED_OVER) as usize;
+    assert_eq!(
+        survived, in_flight,
+        "all {in_flight} in-flight streams survived the crash"
+    );
+    for client in &clients {
+        assert_ne!(
+            world.client_control_location(client),
+            b,
+            "no client is still homed on the dead machine"
+        );
+    }
+
+    // No duplicate frame delivery: bursty loss and the failover may
+    // cost frames, but a receiver must never play one seq twice.
+    for (i, receiver) in receivers.iter_mut().enumerate() {
+        let played = receiver.poll(world.net.now());
+        assert!(!played.is_empty(), "viewer {i} played nothing");
+        let mut seqs: Vec<u32> = played.iter().map(|f| f.seq).collect();
+        let before = seqs.len();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), before, "viewer {i} saw a duplicate frame");
+    }
+    world.journal().verify().expect("chain intact");
 }
 
 /// X.500 referral chains: following works, a referral to an unknown
