@@ -171,8 +171,9 @@ impl<'a> Reader<'a> {
 
 // --- primitive content codecs -----------------------------------------
 
-/// Encodes an INTEGER's content octets (two's complement, minimal).
-pub fn encode_integer_content(v: i64, out: &mut Vec<u8>) {
+/// Minimal two's-complement content octets of `v`: the big-endian
+/// bytes and the index the significant suffix starts at.
+fn integer_content(v: i64) -> ([u8; 8], usize) {
     let bytes = v.to_be_bytes();
     // Strip redundant leading bytes while preserving the sign bit.
     let mut start = 0;
@@ -186,6 +187,12 @@ pub fn encode_integer_content(v: i64, out: &mut Vec<u8>) {
             break;
         }
     }
+    (bytes, start)
+}
+
+/// Encodes an INTEGER's content octets (two's complement, minimal).
+pub fn encode_integer_content(v: i64, out: &mut Vec<u8>) {
+    let (bytes, start) = integer_content(v);
     out.extend_from_slice(&bytes[start..]);
 }
 
@@ -211,9 +218,8 @@ pub fn decode_integer_content(content: &[u8], offset: usize) -> Result<i64> {
 
 /// Writes a complete INTEGER TLV.
 pub fn write_integer(v: i64, out: &mut Vec<u8>) {
-    let mut content = Vec::with_capacity(8);
-    encode_integer_content(v, &mut content);
-    encode_tlv(Tag::INTEGER, &content, out);
+    let (bytes, start) = integer_content(v);
+    encode_tlv(Tag::INTEGER, &bytes[start..], out);
 }
 
 /// Writes a complete BOOLEAN TLV.
@@ -238,9 +244,8 @@ pub fn write_null(out: &mut Vec<u8>) {
 
 /// Writes a complete ENUMERATED TLV.
 pub fn write_enumerated(v: i64, out: &mut Vec<u8>) {
-    let mut content = Vec::with_capacity(8);
-    encode_integer_content(v, &mut content);
-    encode_tlv(Tag::ENUMERATED, &content, out);
+    let (bytes, start) = integer_content(v);
+    encode_tlv(Tag::ENUMERATED, &bytes[start..], out);
 }
 
 /// Reads an INTEGER TLV.
@@ -324,10 +329,28 @@ pub fn read_enumerated(r: &mut Reader<'_>) -> Result<i64> {
 
 /// Builds a SEQUENCE (or other constructed) TLV from a closure that
 /// writes the content.
+///
+/// The content is written in place directly after a one-byte length
+/// placeholder that is patched afterwards (contents ≥ 128 bytes shift
+/// right to make room for the long-form length) — no per-node scratch
+/// `Vec`, and the emitted bytes are identical to a two-pass encode.
 pub fn write_constructed(tag: Tag, out: &mut Vec<u8>, f: impl FnOnce(&mut Vec<u8>)) {
-    let mut content = Vec::new();
-    f(&mut content);
-    encode_tlv(tag, &content, out);
+    tag.encode_into(out);
+    out.push(0); // short-form length placeholder
+    let start = out.len();
+    f(out);
+    let len = out.len() - start;
+    if len < 128 {
+        out[start - 1] = len as u8;
+    } else {
+        let bytes = len.to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        let extra = bytes.len() - skip;
+        out.resize(start + len + extra, 0);
+        out.copy_within(start..start + len, start + extra);
+        out[start - 1] = 0x80 | extra as u8;
+        out[start..start + extra].copy_from_slice(&bytes[skip..]);
+    }
 }
 
 #[cfg(test)]
@@ -420,6 +443,26 @@ mod tests {
         let c2 = inner.read_expect(Tag::SEQUENCE).unwrap();
         let mut r2 = inner.descend(c2).unwrap();
         assert_eq!(read_string(&mut r2).unwrap(), "inner");
+    }
+
+    #[test]
+    fn constructed_backpatch_matches_two_pass() {
+        // Short-form, long-form (1 length byte) and long-form (2
+        // length bytes) contents must all match a two-pass encode.
+        for size in [0usize, 10, 126, 130, 300, 70_000] {
+            let payload = vec![0xab; size];
+            let mut fast = Vec::new();
+            write_constructed(Tag::SEQUENCE, &mut fast, |c| {
+                write_octets(&payload, c);
+                write_integer(size as i64, c);
+            });
+            let mut content = Vec::new();
+            write_octets(&payload, &mut content);
+            write_integer(size as i64, &mut content);
+            let mut slow = Vec::new();
+            encode_tlv(Tag::SEQUENCE, &content, &mut slow);
+            assert_eq!(fast, slow, "content size {size}");
+        }
     }
 
     #[test]

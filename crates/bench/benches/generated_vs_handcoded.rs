@@ -1,9 +1,14 @@
 //! E5 — generated (Estelle P+S) vs hand-written (ISODE) lower layers
-//! under the same MCAM workload.
+//! under the same MCAM workload, plus the PDU hot-path encode arena:
+//! `encode()` (fresh `Vec` per PDU) against `encode_into()` (one warm
+//! scratch buffer reused across frames), measured at every layer of
+//! the per-frame path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mcam::{McamOp, McamPdu, StackKind, World};
+use mtp::{encode_frame_into, FrameKind, MtpPacket};
 use std::sync::Once;
+use transport::{encode_dt_into, Tpdu};
 
 static REPORT: Once = Once::new();
 
@@ -51,6 +56,71 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("isode_transaction", |b| {
         b.iter(|| one_transaction(StackKind::Isode));
+    });
+    group.finish();
+
+    // The per-frame encode arena: fresh-Vec encode() vs warm-scratch
+    // encode_into() for an MTP media frame wrapped in a transport DT.
+    // The pair of functions is the criterion evidence that retiring
+    // the per-PDU allocations pays on the hot path.
+    let mut group = c.benchmark_group("pdu_encode_arena");
+    let frame = MtpPacket {
+        stream_id: 7,
+        seq: 42,
+        timestamp_us: 40_000 * 42,
+        kind: FrameKind::P,
+        end_of_stream: false,
+        payload: vec![0xA5; 16 * 1024],
+    };
+    group.bench_function("frame_encode_alloc", |b| {
+        b.iter(|| {
+            let mtp_bytes = black_box(&frame).encode();
+            let dt = Tpdu::Dt {
+                dst_ref: 42,
+                seq: frame.seq,
+                eot: true,
+                payload: mtp_bytes,
+            };
+            black_box(dt.encode())
+        });
+    });
+    group.bench_function("frame_encode_arena", |b| {
+        let mut mtp_buf = Vec::new();
+        let mut dt_buf = Vec::new();
+        b.iter(|| {
+            black_box(&frame).encode_into(&mut mtp_buf);
+            encode_dt_into(42, frame.seq, true, &mtp_buf, &mut dt_buf);
+            black_box(dt_buf.len())
+        });
+    });
+    group.bench_function("frame_decode_owned", |b| {
+        let mut wire = Vec::new();
+        encode_frame_into(
+            7,
+            42,
+            40_000 * 42,
+            FrameKind::P,
+            false,
+            16 * 1024,
+            &mut wire,
+        );
+        b.iter(|| black_box(MtpPacket::decode(black_box(&wire)).expect("well-formed")));
+    });
+    group.bench_function("frame_decode_view", |b| {
+        let mut wire = Vec::new();
+        encode_frame_into(
+            7,
+            42,
+            40_000 * 42,
+            FrameKind::P,
+            false,
+            16 * 1024,
+            &mut wire,
+        );
+        b.iter(|| {
+            let view = MtpPacket::decode_view(black_box(&wire)).expect("well-formed");
+            black_box(view.payload.len())
+        });
     });
     group.finish();
 }

@@ -1,0 +1,101 @@
+//! Zero-allocation proof for the per-frame hot path.
+//!
+//! Installs [`bench::CountingAllocator`] as the global allocator and
+//! asserts that, once the scratch buffers are warm, a steady-state
+//! iteration of every per-frame codec — MTP frame encode/decode,
+//! transport DT encode/decode, session DT, presentation TD, and the
+//! MCAM application PDU — performs **zero** heap allocations.
+//!
+//! Everything runs inside one `#[test]` so no sibling test thread can
+//! allocate concurrently and pollute the global counter.
+
+use bench::CountingAllocator;
+use mcam::McamPdu;
+use mtp::{encode_frame_into, FrameKind, MtpPacket};
+use presentation::Ppdu;
+use session::Spdu;
+use std::hint::black_box;
+use transport::{encode_dt_into, Tpdu};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+const ITERS: usize = 256;
+
+/// Warms `f` once (letting scratch buffers size themselves), then
+/// asserts `ITERS` further runs never touch the heap.
+fn assert_steady_state_zero_alloc(label: &str, mut f: impl FnMut()) {
+    f();
+    let ((), allocs) = CountingAllocator::count(|| {
+        for _ in 0..ITERS {
+            f();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "{label}: steady-state iteration must not allocate ({allocs} allocs over {ITERS} iters)"
+    );
+}
+
+#[test]
+fn steady_state_frame_path_does_not_allocate() {
+    // MTP: media frame into a warm scratch buffer, decoded by view.
+    let mut mtp_buf = Vec::new();
+    let mut seq = 0u32;
+    assert_steady_state_zero_alloc("mtp::encode_frame_into + decode_view", || {
+        encode_frame_into(
+            7,
+            seq,
+            u64::from(seq) * 40_000,
+            FrameKind::P,
+            false,
+            1024,
+            &mut mtp_buf,
+        );
+        let view = MtpPacket::decode_view(black_box(&mtp_buf)).expect("well-formed frame");
+        assert_eq!(view.payload.len(), 1024);
+        seq = seq.wrapping_add(1);
+    });
+
+    // Transport: DT TPDU into a warm scratch buffer, decoded by view.
+    let payload = vec![0xA5u8; 1024];
+    let mut dt_buf = Vec::new();
+    let mut dt_seq = 0u32;
+    assert_steady_state_zero_alloc("transport::encode_dt_into + decode_dt_view", || {
+        encode_dt_into(42, dt_seq, true, &payload, &mut dt_buf);
+        let view = Tpdu::decode_dt_view(black_box(&dt_buf))
+            .expect("well-formed DT")
+            .expect("is a DT");
+        assert_eq!(view.payload.len(), 1024);
+        dt_seq = dt_seq.wrapping_add(1);
+    });
+
+    // Session: DT SPDU re-encoded into a warm scratch buffer.
+    let spdu = Spdu::Dt {
+        user_data: vec![0x5Au8; 512],
+    };
+    let mut spdu_buf = Vec::new();
+    assert_steady_state_zero_alloc("session Spdu::encode_into", || {
+        spdu.encode_into(&mut spdu_buf);
+        black_box(&spdu_buf);
+    });
+
+    // Presentation: TD PPDU re-encoded into a warm scratch buffer.
+    let ppdu = Ppdu::Td {
+        context_id: 3,
+        user_data: vec![0xC3u8; 512],
+    };
+    let mut ppdu_buf = Vec::new();
+    assert_steady_state_zero_alloc("presentation Ppdu::encode_into", || {
+        ppdu.encode_into(&mut ppdu_buf);
+        black_box(&ppdu_buf);
+    });
+
+    // Application: a steady-state MCAM control PDU.
+    let pdu = McamPdu::PlayReq { speed_pct: 100 };
+    let mut pdu_buf = Vec::new();
+    assert_steady_state_zero_alloc("mcam McamPdu::encode_into", || {
+        pdu.encode_into(&mut pdu_buf);
+        black_box(&pdu_buf);
+    });
+}

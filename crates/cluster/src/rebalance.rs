@@ -889,13 +889,24 @@ impl<P: LoadProbe + MigrationHost + Clone> RebalanceController<P> {
     }
 
     /// Pushes changed replica lists through the directory sink. A
-    /// sink that is absent, or that reports the entry as not yet
-    /// updatable (the record path adds the entry only after the
-    /// capture finalizes), leaves the title dirty for the next tick.
+    /// sink that reports the entry as not yet updatable (the record
+    /// path adds the entry only after the capture finalizes) leaves
+    /// the title dirty for the next tick. Without a sink the internal
+    /// replicas map *is* the directory of record, so the update is
+    /// journaled immediately — a completed copy must always be
+    /// observable as a directory update.
     fn flush_dirty(&self, inner: &mut Inner<P>) {
         let Some(sink) = &self.sink else {
-            for rec in inner.titles.values_mut() {
-                rec.dirty = false;
+            for (title, rec) in inner.titles.iter_mut() {
+                if rec.dirty {
+                    rec.dirty = false;
+                    self.journal.record(
+                        &self.actor,
+                        EventKind::DirectoryUpdate {
+                            title: title.clone(),
+                        },
+                    );
+                }
             }
             return;
         };

@@ -345,6 +345,46 @@
 //! journal::verify_events(&events).unwrap();
 //! ```
 //!
+//! # Choosing a backend
+//!
+//! Everything above runs on `netsim`'s virtual clock: the [`World`]
+//! driver mints every control connection from a
+//! [`netsim::SimBackend`], so runs are single-threaded,
+//! deterministic, and replayable bit for bit — the journal proof
+//! depends on it. The other [`netsim::TransportBackend`] is
+//! [`netsim::ThreadedBackend`]: the same [`netsim::Medium`]-based
+//! entities run unchanged over cross-thread channel conduits, so N
+//! server workers really occupy N cores and throughput is measured
+//! on the wall clock. The [`wall_clock`] rig drives it with the
+//! exact per-frame codec the simulated world uses
+//! (`mtp::encode_frame_into`), recycling each connection's frame
+//! buffers on the reverse direction so steady state never touches
+//! the heap. Use simulated for every correctness question and for
+//! committed benchmark numbers; use threaded when the question is
+//! real multi-core throughput:
+//!
+//! ```
+//! use mcam::wall_clock::{self, WallClockConfig};
+//! use netsim::TransportBackend;
+//!
+//! // Deterministic virtual time — the default, and what every
+//! // example above used under the hood.
+//! let world = mcam::World::new(5);
+//! assert!(world.backend().is_simulated());
+//!
+//! // Real threads, real time: 2 workers x 4 streams x 100 frames.
+//! let report = wall_clock::run(WallClockConfig {
+//!     threads: 2,
+//!     streams_per_thread: 4,
+//!     frames_per_stream: 100,
+//!     frame_size: 8 * 1024,
+//! });
+//! assert_eq!(report.frames_delivered, 2 * 4 * 100);
+//! assert_eq!(report.sequence_errors, 0);
+//! assert_eq!(report.steady_state_allocs, 0, "steady state stays off the heap");
+//! assert!(report.frames_per_sec() > 0);
+//! ```
+//!
 //! # Degraded mode
 //!
 //! Hardware dies; the server degrades instead of failing. Two fault
@@ -434,6 +474,7 @@ pub mod server;
 mod service;
 mod sps;
 mod stacks;
+pub mod wall_clock;
 mod world;
 
 pub use agents::{ClusterController, SpsRegistry};

@@ -281,6 +281,14 @@ impl McamPdu {
     /// Serializes the PDU as BER.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes the PDU as BER into `out` (cleared first),
+    /// preserving the buffer's capacity for reuse across PDUs.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         let write = |n: u32, out: &mut Vec<u8>, f: &dyn Fn(&mut Vec<u8>)| {
             ber::write_constructed(Tag::application(n), out, |c| f(c));
         };
@@ -288,7 +296,7 @@ impl McamPdu {
             McamPdu::AssociateReq {
                 user,
                 referral_capable,
-            } => write(T_ASSOC_REQ, &mut out, &|c| {
+            } => write(T_ASSOC_REQ, out, &|c| {
                 ber::write_string(user, c);
                 // Omitted when false: the original two-field form,
                 // byte-identical to what pre-referral clients send.
@@ -296,66 +304,64 @@ impl McamPdu {
                     ber::write_bool(true, c);
                 }
             }),
-            McamPdu::AssociateRsp { accepted } => write(T_ASSOC_RSP, &mut out, &|c| {
+            McamPdu::AssociateRsp { accepted } => write(T_ASSOC_RSP, out, &|c| {
                 ber::write_bool(*accepted, c);
             }),
-            McamPdu::ReleaseReq => write(T_RELEASE_REQ, &mut out, &|_| {}),
-            McamPdu::ReleaseRsp => write(T_RELEASE_RSP, &mut out, &|_| {}),
+            McamPdu::ReleaseReq => write(T_RELEASE_REQ, out, &|_| {}),
+            McamPdu::ReleaseRsp => write(T_RELEASE_RSP, out, &|_| {}),
             McamPdu::CreateMovieReq {
                 title,
                 format,
                 frame_rate,
                 frame_count,
             } => {
-                write(T_CREATE_REQ, &mut out, &|c| {
+                write(T_CREATE_REQ, out, &|c| {
                     ber::write_string(title, c);
                     ber::write_string(format, c);
                     ber::write_integer(i64::from(*frame_rate), c);
                     ber::write_integer(*frame_count as i64, c);
                 });
             }
-            McamPdu::CreateMovieRsp { ok } => write(T_CREATE_RSP, &mut out, &|c| {
+            McamPdu::CreateMovieRsp { ok } => write(T_CREATE_RSP, out, &|c| {
                 ber::write_bool(*ok, c);
             }),
-            McamPdu::DeleteMovieReq { title } => write(T_DELETE_REQ, &mut out, &|c| {
+            McamPdu::DeleteMovieReq { title } => write(T_DELETE_REQ, out, &|c| {
                 ber::write_string(title, c);
             }),
-            McamPdu::DeleteMovieRsp { ok } => write(T_DELETE_RSP, &mut out, &|c| {
+            McamPdu::DeleteMovieRsp { ok } => write(T_DELETE_RSP, out, &|c| {
                 ber::write_bool(*ok, c);
             }),
             McamPdu::SelectMovieReq { title, client_addr } => {
-                write(T_SELECT_REQ, &mut out, &|c| {
+                write(T_SELECT_REQ, out, &|c| {
                     ber::write_string(title, c);
                     ber::write_integer(i64::from(*client_addr), c);
                 });
             }
-            McamPdu::SelectMovieRsp { params } => {
-                write(T_SELECT_RSP, &mut out, &|c| match params {
-                    None => ber::write_bool(false, c),
-                    Some(p) => {
-                        ber::write_bool(true, c);
-                        ber::write_integer(i64::from(p.provider_addr), c);
-                        ber::write_integer(i64::from(p.stream_id), c);
-                        ber::write_string(&p.movie.title, c);
-                        ber::write_string(&p.movie.format, c);
-                        ber::write_integer(i64::from(p.movie.frame_rate), c);
-                        ber::write_integer(p.movie.frame_count as i64, c);
-                    }
-                })
-            }
-            McamPdu::DeselectMovieReq => write(T_DESELECT_REQ, &mut out, &|_| {}),
-            McamPdu::DeselectMovieRsp => write(T_DESELECT_RSP, &mut out, &|_| {}),
-            McamPdu::ListMoviesReq { title_contains } => write(T_LIST_REQ, &mut out, &|c| {
+            McamPdu::SelectMovieRsp { params } => write(T_SELECT_RSP, out, &|c| match params {
+                None => ber::write_bool(false, c),
+                Some(p) => {
+                    ber::write_bool(true, c);
+                    ber::write_integer(i64::from(p.provider_addr), c);
+                    ber::write_integer(i64::from(p.stream_id), c);
+                    ber::write_string(&p.movie.title, c);
+                    ber::write_string(&p.movie.format, c);
+                    ber::write_integer(i64::from(p.movie.frame_rate), c);
+                    ber::write_integer(p.movie.frame_count as i64, c);
+                }
+            }),
+            McamPdu::DeselectMovieReq => write(T_DESELECT_REQ, out, &|_| {}),
+            McamPdu::DeselectMovieRsp => write(T_DESELECT_RSP, out, &|_| {}),
+            McamPdu::ListMoviesReq { title_contains } => write(T_LIST_REQ, out, &|c| {
                 ber::write_string(title_contains, c);
             }),
-            McamPdu::ListMoviesRsp { titles } => write(T_LIST_RSP, &mut out, &|c| {
+            McamPdu::ListMoviesRsp { titles } => write(T_LIST_RSP, out, &|c| {
                 ber::write_constructed(Tag::SEQUENCE, c, |list| {
                     for t in titles {
                         ber::write_string(t, list);
                     }
                 });
             }),
-            McamPdu::QueryAttrsReq { title, attrs } => write(T_QUERY_REQ, &mut out, &|c| {
+            McamPdu::QueryAttrsReq { title, attrs } => write(T_QUERY_REQ, out, &|c| {
                 ber::write_string(title, c);
                 ber::write_constructed(Tag::SEQUENCE, c, |list| {
                     for a in attrs {
@@ -363,48 +369,48 @@ impl McamPdu {
                     }
                 });
             }),
-            McamPdu::QueryAttrsRsp { attrs } => write(T_QUERY_RSP, &mut out, &|c| match attrs {
+            McamPdu::QueryAttrsRsp { attrs } => write(T_QUERY_RSP, out, &|c| match attrs {
                 None => ber::write_bool(false, c),
                 Some(list) => {
                     ber::write_bool(true, c);
                     write_attr_list(list, c);
                 }
             }),
-            McamPdu::ModifyAttrsReq { title, puts } => write(T_MODIFY_REQ, &mut out, &|c| {
+            McamPdu::ModifyAttrsReq { title, puts } => write(T_MODIFY_REQ, out, &|c| {
                 ber::write_string(title, c);
                 write_attr_list(puts, c);
             }),
-            McamPdu::ModifyAttrsRsp { ok } => write(T_MODIFY_RSP, &mut out, &|c| {
+            McamPdu::ModifyAttrsRsp { ok } => write(T_MODIFY_RSP, out, &|c| {
                 ber::write_bool(*ok, c);
             }),
-            McamPdu::PlayReq { speed_pct } => write(T_PLAY_REQ, &mut out, &|c| {
+            McamPdu::PlayReq { speed_pct } => write(T_PLAY_REQ, out, &|c| {
                 ber::write_integer(i64::from(*speed_pct), c);
             }),
-            McamPdu::PlayRsp { ok } => write(T_PLAY_RSP, &mut out, &|c| {
+            McamPdu::PlayRsp { ok } => write(T_PLAY_RSP, out, &|c| {
                 ber::write_bool(*ok, c);
             }),
-            McamPdu::PauseReq => write(T_PAUSE_REQ, &mut out, &|_| {}),
-            McamPdu::PauseRsp => write(T_PAUSE_RSP, &mut out, &|_| {}),
-            McamPdu::StopReq => write(T_STOP_REQ, &mut out, &|_| {}),
-            McamPdu::StopRsp => write(T_STOP_RSP, &mut out, &|_| {}),
-            McamPdu::SeekReq { frame } => write(T_SEEK_REQ, &mut out, &|c| {
+            McamPdu::PauseReq => write(T_PAUSE_REQ, out, &|_| {}),
+            McamPdu::PauseRsp => write(T_PAUSE_RSP, out, &|_| {}),
+            McamPdu::StopReq => write(T_STOP_REQ, out, &|_| {}),
+            McamPdu::StopRsp => write(T_STOP_RSP, out, &|_| {}),
+            McamPdu::SeekReq { frame } => write(T_SEEK_REQ, out, &|c| {
                 ber::write_integer(*frame as i64, c);
             }),
-            McamPdu::SeekRsp { ok } => write(T_SEEK_RSP, &mut out, &|c| {
+            McamPdu::SeekRsp { ok } => write(T_SEEK_RSP, out, &|c| {
                 ber::write_bool(*ok, c);
             }),
-            McamPdu::RecordReq { title, frames } => write(T_RECORD_REQ, &mut out, &|c| {
+            McamPdu::RecordReq { title, frames } => write(T_RECORD_REQ, out, &|c| {
                 ber::write_string(title, c);
                 ber::write_integer(*frames as i64, c);
             }),
-            McamPdu::RecordRsp { ok } => write(T_RECORD_RSP, &mut out, &|c| {
+            McamPdu::RecordRsp { ok } => write(T_RECORD_RSP, out, &|c| {
                 ber::write_bool(*ok, c);
             }),
-            McamPdu::ErrorRsp { code, message } => write(T_ERROR_RSP, &mut out, &|c| {
+            McamPdu::ErrorRsp { code, message } => write(T_ERROR_RSP, out, &|c| {
                 ber::write_integer(i64::from(*code), c);
                 ber::write_string(message, c);
             }),
-            McamPdu::ReferralRsp { target, candidates } => write(T_REFERRAL_RSP, &mut out, &|c| {
+            McamPdu::ReferralRsp { target, candidates } => write(T_REFERRAL_RSP, out, &|c| {
                 ber::write_string(target, c);
                 ber::write_constructed(Tag::SEQUENCE, c, |list| {
                     for (location, available_bps) in candidates {
@@ -416,7 +422,6 @@ impl McamPdu {
                 });
             }),
         }
-        out
     }
 
     /// Parses a PDU.

@@ -17,8 +17,8 @@ use estelle::{ip, ModuleId, ModuleKind, ModuleLabels, Runtime};
 use journal::{EventKind, Journal};
 use mtp::MtpReceiver;
 use netsim::{
-    DatagramNet, DatagramSocket, LinkConfig, Medium, NetAddr, Network, Pipe, PipeMedium,
-    SimDuration, SimTime,
+    DatagramNet, DatagramSocket, LinkConfig, Medium, NetAddr, Network, PipeMedium, SimBackend,
+    SimDuration, SimTime, TransportBackend,
 };
 use parking_lot::Mutex;
 use presentation::service::PAbortInd;
@@ -32,8 +32,7 @@ use store::{BlockStore, StoreConfig, StoreStats};
 /// the server's root module by the world's driver loop (a transition
 /// must not reach back into the runtime it is executing on).
 struct WorldDialer {
-    net: Arc<Network>,
-    delay: SimDuration,
+    backend: SimBackend,
     /// location → (server root, the registry that knows whether the
     /// location is still live).
     targets: Mutex<HashMap<String, (ModuleId, Arc<SpsRegistry>)>>,
@@ -46,10 +45,9 @@ struct WorldDialer {
 type PendingDial = (ModuleId, Box<dyn Medium>, u16);
 
 impl WorldDialer {
-    fn new(net: Arc<Network>, delay: SimDuration) -> Self {
+    fn new(backend: SimBackend) -> Self {
         WorldDialer {
-            net,
-            delay,
+            backend,
             targets: Mutex::new(HashMap::new()),
             pending: Mutex::new(Vec::new()),
         }
@@ -81,11 +79,9 @@ impl ControlDial for WorldDialer {
         {
             return None;
         }
-        let (client_end, server_end) = Pipe::create(&self.net, self.delay);
-        self.pending
-            .lock()
-            .push((root, Box::new(PipeMedium::new(server_end)), conn));
-        Some(Box::new(PipeMedium::new(client_end)))
+        let (client_medium, server_medium) = self.backend.connect();
+        self.pending.lock().push((root, server_medium, conn));
+        Some(client_medium)
     }
 }
 
@@ -258,6 +254,10 @@ pub struct World {
     pub rt: Arc<Runtime>,
     /// One-way delay of control pipes.
     pub control_delay: SimDuration,
+    /// The transport backend minting control-pipe conduits (the
+    /// simulated, deterministic one — the world's Estelle driver runs
+    /// on the virtual clock; see `wall_clock` for the threaded rig).
+    backend: SimBackend,
     /// Storage configuration applied to every server added after this
     /// point (disk count, block size, cache size/policy, admission
     /// headroom).
@@ -329,7 +329,8 @@ impl World {
         let dg = DatagramNet::new(&net, stream_link, seed.wrapping_add(17));
         let rt = Arc::new(Runtime::with_virtual_clock(net.clock()));
         let control_delay = SimDuration::from_millis(1);
-        let dialer = Arc::new(WorldDialer::new(Arc::clone(&net), control_delay));
+        let backend = SimBackend::new(&net, control_delay);
+        let dialer = Arc::new(WorldDialer::new(backend.clone()));
         let journal = Arc::new(Journal::new(net.clock()));
         World {
             journal,
@@ -337,6 +338,7 @@ impl World {
             dg,
             rt,
             control_delay,
+            backend,
             store_config,
             share_config: share::ShareConfig::off(),
             record_frame_rate: 25,
@@ -360,6 +362,14 @@ impl World {
     /// check it with [`Journal::verify`].
     pub fn journal(&self) -> &Arc<Journal> {
         &self.journal
+    }
+
+    /// The transport backend every control connection in this world is
+    /// minted from. Always the simulated, deterministic backend: the
+    /// world's Estelle driver advances the virtual clock. For
+    /// wall-clock multi-core measurements see [`crate::wall_clock`].
+    pub fn backend(&self) -> &SimBackend {
+        &self.backend
     }
 
     /// Creates a world with a mildly jittery, lossless CM network.
@@ -632,7 +642,7 @@ impl World {
         self.next_conn += 1;
         let addr = self.alloc_addr();
         let socket = self.dg.bind(addr).expect("fresh client address");
-        let (client_end, server_end) = Pipe::create(&self.net, self.control_delay);
+        let (client_end, server_end) = self.backend.connect_pipe();
         let ctrl_endpoints = (client_end.endpoint(), server_end.endpoint());
         let server_medium: Box<dyn Medium> = Box::new(PipeMedium::new(server_end));
         // Hand the server side of the connection to the server root;

@@ -22,6 +22,6 @@ mod sender;
 
 pub use feedback::{FeedbackDecodeError, MtpFeedback, TYPE_DATA, TYPE_FEEDBACK};
 pub use movie::{Frame, FrameKind, MovieSource};
-pub use packet::{MtpDecodeError, MtpPacket, MTP_HEADER_LEN};
+pub use packet::{encode_frame_into, MtpDecodeError, MtpPacket, MtpPacketView, MTP_HEADER_LEN};
 pub use receiver::{MtpReceiver, PlayedFrame, ReceiverStats};
 pub use sender::{MtpSender, SenderStats, StreamState};

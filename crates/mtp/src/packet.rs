@@ -59,26 +59,105 @@ fn code_kind(c: u8) -> Option<FrameKind> {
     }
 }
 
+/// Writes just the fixed MTP data header into `out`.
+fn encode_header_into(
+    stream_id: u32,
+    seq: u32,
+    timestamp_us: u64,
+    kind: FrameKind,
+    end_of_stream: bool,
+    out: &mut Vec<u8>,
+) {
+    out.push(crate::feedback::TYPE_DATA);
+    out.extend_from_slice(&stream_id.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(&timestamp_us.to_be_bytes());
+    out.push(kind_code(kind));
+    out.push(u8::from(end_of_stream));
+}
+
+/// Encodes a data packet carrying `payload_len` zero bytes (a movie
+/// frame of that nominal size) directly into `out` without building an
+/// intermediate [`MtpPacket`] or payload `Vec`. `out` is cleared
+/// first, so a recycled scratch buffer keeps its capacity across
+/// frames and the steady-state send path performs no heap allocation.
+pub fn encode_frame_into(
+    stream_id: u32,
+    seq: u32,
+    timestamp_us: u64,
+    kind: FrameKind,
+    end_of_stream: bool,
+    payload_len: usize,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    out.reserve(MTP_HEADER_LEN + payload_len);
+    encode_header_into(stream_id, seq, timestamp_us, kind, end_of_stream, out);
+    out.resize(MTP_HEADER_LEN + payload_len, 0);
+}
+
+/// A decoded MTP data packet whose payload borrows from the receive
+/// buffer — the allocation-free counterpart of [`MtpPacket::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MtpPacketView<'a> {
+    /// Stream identifier.
+    pub stream_id: u32,
+    /// Packet sequence number.
+    pub seq: u32,
+    /// Media timestamp in microseconds.
+    pub timestamp_us: u64,
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// True for the final packet of the stream.
+    pub end_of_stream: bool,
+    /// Frame payload, borrowed from the input buffer.
+    pub payload: &'a [u8],
+}
+
+impl<'a> MtpPacketView<'a> {
+    /// Copies the view into an owned [`MtpPacket`].
+    pub fn to_owned(&self) -> MtpPacket {
+        MtpPacket {
+            stream_id: self.stream_id,
+            seq: self.seq,
+            timestamp_us: self.timestamp_us,
+            kind: self.kind,
+            end_of_stream: self.end_of_stream,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
 impl MtpPacket {
     /// Serializes the packet.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(MTP_HEADER_LEN + self.payload.len());
-        out.push(crate::feedback::TYPE_DATA);
-        out.extend_from_slice(&self.stream_id.to_be_bytes());
-        out.extend_from_slice(&self.seq.to_be_bytes());
-        out.extend_from_slice(&self.timestamp_us.to_be_bytes());
-        out.push(kind_code(self.kind));
-        out.push(u8::from(self.end_of_stream));
-        out.extend_from_slice(&self.payload);
+        self.encode_into(&mut out);
         out
     }
 
-    /// Parses a packet.
+    /// Serializes the packet into `out` (cleared first), preserving
+    /// the buffer's capacity for reuse.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(MTP_HEADER_LEN + self.payload.len());
+        encode_header_into(
+            self.stream_id,
+            self.seq,
+            self.timestamp_us,
+            self.kind,
+            self.end_of_stream,
+            out,
+        );
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// Parses a packet without copying the payload out of `data`.
     ///
     /// # Errors
     ///
     /// Returns [`MtpDecodeError`] on truncated or invalid input.
-    pub fn decode(data: &[u8]) -> Result<MtpPacket, MtpDecodeError> {
+    pub fn decode_view(data: &[u8]) -> Result<MtpPacketView<'_>, MtpDecodeError> {
         if data.len() < MTP_HEADER_LEN {
             return Err(MtpDecodeError {
                 reason: "short header",
@@ -98,14 +177,23 @@ impl MtpPacket {
             reason: "bad frame kind",
         })?;
         let end_of_stream = data[18] != 0;
-        Ok(MtpPacket {
+        Ok(MtpPacketView {
             stream_id,
             seq,
             timestamp_us,
             kind,
             end_of_stream,
-            payload: data[MTP_HEADER_LEN..].to_vec(),
+            payload: &data[MTP_HEADER_LEN..],
         })
+    }
+
+    /// Parses a packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtpDecodeError`] on truncated or invalid input.
+    pub fn decode(data: &[u8]) -> Result<MtpPacket, MtpDecodeError> {
+        Self::decode_view(data).map(|v| v.to_owned())
     }
 }
 
@@ -138,6 +226,24 @@ mod tests {
         };
         let d = MtpPacket::decode(&p.encode()).unwrap();
         assert!(d.end_of_stream);
+    }
+
+    #[test]
+    fn frame_into_matches_owned_encode() {
+        let owned = MtpPacket {
+            stream_id: 7,
+            seq: 42,
+            timestamp_us: 1_000_000,
+            kind: FrameKind::B,
+            end_of_stream: true,
+            payload: vec![0; 100],
+        };
+        let mut scratch = vec![0xff; 3]; // stale contents must be cleared
+        encode_frame_into(7, 42, 1_000_000, FrameKind::B, true, 100, &mut scratch);
+        assert_eq!(scratch, owned.encode());
+        let view = MtpPacket::decode_view(&scratch).unwrap();
+        assert_eq!(view.to_owned(), owned);
+        assert_eq!(view.payload.len(), 100);
     }
 
     #[test]

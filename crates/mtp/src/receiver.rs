@@ -112,7 +112,9 @@ impl MtpReceiver {
     /// been reached by `now`, in sequence order.
     pub fn poll(&mut self, now: SimTime) -> Vec<PlayedFrame> {
         while let Some(dg) = self.socket.recv() {
-            let Ok(pkt) = MtpPacket::decode(&dg.payload) else {
+            // Borrowing decode: the payload stays in the datagram
+            // buffer; only its length feeds the QoS accounting.
+            let Ok(pkt) = MtpPacket::decode_view(&dg.payload) else {
                 continue;
             };
             if pkt.stream_id != self.stream_id {

@@ -2,7 +2,7 @@
 
 use crate::feedback::MtpFeedback;
 use crate::movie::{FrameKind, MovieSource};
-use crate::packet::MtpPacket;
+use crate::packet;
 use netsim::{DatagramSocket, NetAddr, SimTime};
 use std::fmt;
 
@@ -186,16 +186,18 @@ impl MtpSender {
             match self.movie.frame(self.next_frame) {
                 None => {
                     // End of movie: emit an empty end-of-stream marker.
-                    let pkt = MtpPacket {
-                        stream_id: self.stream_id,
-                        seq: self.seq,
-                        timestamp_us: self.next_frame * self.movie.frame_interval_us(),
-                        kind: FrameKind::I,
-                        end_of_stream: true,
-                        payload: Vec::new(),
-                    };
+                    let mut bytes = Vec::new();
+                    packet::encode_frame_into(
+                        self.stream_id,
+                        self.seq,
+                        self.next_frame * self.movie.frame_interval_us(),
+                        FrameKind::I,
+                        true,
+                        0,
+                        &mut bytes,
+                    );
                     self.seq += 1;
-                    self.socket.send_to(self.dest, pkt.encode());
+                    self.socket.send_to(self.dest, bytes);
                     self.state = StreamState::Stopped;
                     sent += 1;
                     break;
@@ -204,18 +206,24 @@ impl MtpSender {
                     if self.drop_b_frames && frame.kind == FrameKind::B {
                         self.stats.frames_skipped += 1;
                     } else {
-                        let pkt = MtpPacket {
-                            stream_id: self.stream_id,
-                            seq: self.seq,
-                            timestamp_us: frame.index * self.movie.frame_interval_us(),
-                            kind: frame.kind,
-                            end_of_stream: false,
-                            payload: vec![0u8; frame.size as usize],
-                        };
+                        // One allocation per frame: header and
+                        // zero-fill payload are written straight into
+                        // the buffer the socket takes ownership of —
+                        // no intermediate MtpPacket or payload Vec.
+                        let mut bytes = Vec::new();
+                        packet::encode_frame_into(
+                            self.stream_id,
+                            self.seq,
+                            frame.index * self.movie.frame_interval_us(),
+                            frame.kind,
+                            false,
+                            frame.size as usize,
+                            &mut bytes,
+                        );
                         self.seq += 1;
                         self.stats.frames_sent += 1;
                         self.stats.bytes_sent += u64::from(frame.size);
-                        self.socket.send_to(self.dest, pkt.encode());
+                        self.socket.send_to(self.dest, bytes);
                         sent += 1;
                     }
                     self.next_frame += 1;

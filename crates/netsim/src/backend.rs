@@ -1,0 +1,183 @@
+//! Transport backends — where connection conduits come from.
+//!
+//! Every protocol entity in the workspace is written against
+//! [`Medium`]; a [`TransportBackend`] decides what a freshly opened
+//! connection's media actually are:
+//!
+//! - [`SimBackend`] mints simulated-[`Pipe`] ends on a shared
+//!   discrete-event [`Network`]. Everything runs on the virtual clock,
+//!   single-threaded and bit-for-bit deterministic — journals replay,
+//!   benches commit stable numbers.
+//! - [`ThreadedBackend`] mints cross-thread channel pairs
+//!   ([`ThreadMedium`]). Delivery is immediate and the two ends may
+//!   live on different OS threads, so an N-server world runs on N
+//!   cores and throughput is measured on the wall clock.
+//!
+//! The trait is deliberately tiny: `connect` mints one full-duplex
+//! conduit, `settle` lets simulated time advance far enough for
+//! in-flight messages to arrive (a no-op for real threads).
+
+use crate::medium::{Medium, PipeMedium, ThreadMedium};
+use crate::net::Network;
+use crate::pipe::Pipe;
+use crate::time::SimDuration;
+use std::fmt;
+use std::sync::Arc;
+
+/// A source of connected [`Medium`] pairs plus the knowledge of how to
+/// make their traffic arrive.
+pub trait TransportBackend: Send + Sync + fmt::Debug {
+    /// Short identifier (`"simulated"` / `"threaded"`), for reports.
+    fn name(&self) -> &'static str;
+
+    /// Opens one full-duplex connection and returns its two ends.
+    fn connect(&self) -> (Box<dyn Medium>, Box<dyn Medium>);
+
+    /// Makes everything sent so far available at the peer: steps the
+    /// simulated network to idle, or merely yields for real threads
+    /// (channel delivery is immediate).
+    fn settle(&self);
+
+    /// True when the backend runs on the deterministic virtual clock.
+    fn is_simulated(&self) -> bool;
+}
+
+/// The deterministic simulated-clock backend: each connection is a
+/// lossless FIFO [`Pipe`] with a fixed propagation delay on a shared
+/// [`Network`].
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    net: Arc<Network>,
+    delay: SimDuration,
+}
+
+impl SimBackend {
+    /// Creates a backend minting pipes with `delay` on `net`.
+    pub fn new(net: &Arc<Network>, delay: SimDuration) -> Self {
+        SimBackend {
+            net: Arc::clone(net),
+            delay,
+        }
+    }
+
+    /// The network the pipes live on.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// The per-connection propagation delay.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// Like [`TransportBackend::connect`], but returns the raw pipe
+    /// ends for callers that need endpoint identities (traffic
+    /// accounting) alongside the media.
+    pub fn connect_pipe(&self) -> (crate::pipe::PipeEnd, crate::pipe::PipeEnd) {
+        Pipe::create(&self.net, self.delay)
+    }
+}
+
+impl TransportBackend for SimBackend {
+    fn name(&self) -> &'static str {
+        "simulated"
+    }
+
+    fn connect(&self) -> (Box<dyn Medium>, Box<dyn Medium>) {
+        let (a, b) = Pipe::create(&self.net, self.delay);
+        (Box::new(PipeMedium::new(a)), Box::new(PipeMedium::new(b)))
+    }
+
+    fn settle(&self) {
+        self.net.run_until_idle();
+    }
+
+    fn is_simulated(&self) -> bool {
+        true
+    }
+}
+
+/// The real-thread backend: each connection is a pair of unbounded
+/// cross-thread channels, delivery is immediate, and the two ends can
+/// be driven from different OS threads.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadedBackend;
+
+impl ThreadedBackend {
+    /// Creates the threaded backend (stateless).
+    pub fn new() -> Self {
+        ThreadedBackend
+    }
+}
+
+impl TransportBackend for ThreadedBackend {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn connect(&self) -> (Box<dyn Medium>, Box<dyn Medium>) {
+        let (a, b) = ThreadMedium::pair();
+        (Box::new(a), Box::new(b))
+    }
+
+    fn settle(&self) {
+        // Channel delivery is immediate; give concurrently running
+        // peers a scheduling opportunity.
+        std::thread::yield_now();
+    }
+
+    fn is_simulated(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &dyn TransportBackend) {
+        let (a, b) = backend.connect();
+        a.send(vec![1, 2]);
+        b.send(vec![3]);
+        backend.settle();
+        assert_eq!(b.poll().unwrap(), vec![1, 2]);
+        assert_eq!(a.poll().unwrap(), vec![3]);
+        assert!(a.poll().is_none());
+    }
+
+    #[test]
+    fn sim_backend_delivers_after_settle() {
+        let net = Arc::new(Network::new(1));
+        let backend = SimBackend::new(&net, SimDuration::from_millis(1));
+        assert!(backend.is_simulated());
+        assert_eq!(backend.name(), "simulated");
+        let (a, b) = backend.connect();
+        a.send(vec![9]);
+        assert!(b.poll().is_none(), "pipe traffic waits for the clock");
+        exercise(&backend);
+    }
+
+    #[test]
+    fn threaded_backend_delivers_immediately() {
+        let backend = ThreadedBackend::new();
+        assert!(!backend.is_simulated());
+        assert_eq!(backend.name(), "threaded");
+        exercise(&backend);
+    }
+
+    #[test]
+    fn threaded_ends_work_across_threads() {
+        let backend = ThreadedBackend::new();
+        let (a, b) = backend.connect();
+        let h = std::thread::spawn(move || loop {
+            if let Some(msg) = b.poll() {
+                b.send(msg);
+                break;
+            }
+            std::thread::yield_now();
+        });
+        a.send(vec![42]);
+        h.join().unwrap();
+        assert_eq!(a.poll().unwrap(), vec![42]);
+    }
+}

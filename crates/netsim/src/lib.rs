@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod clock;
 mod datagram;
 mod medium;
@@ -40,6 +41,7 @@ mod net;
 mod pipe;
 mod time;
 
+pub use backend::{SimBackend, ThreadedBackend, TransportBackend};
 pub use clock::{Clock, RealClock, VirtualClock};
 pub use datagram::{AddrInUse, Datagram, DatagramNet, DatagramSocket, NetAddr};
 pub use medium::{LoopbackMedium, Medium, PipeMedium, ThreadMedium};

@@ -85,12 +85,22 @@ impl Ppdu {
     /// Serializes the PPDU as BER.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes the PPDU as BER into `out` (cleared first),
+    /// preserving the buffer's capacity for reuse across PDUs. With
+    /// the in-place constructed encoder this path performs no heap
+    /// allocation once the buffer is warm.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         match self {
             Ppdu::Cp {
                 contexts,
                 user_data,
             } => {
-                ber::write_constructed(TAG_CP, &mut out, |c| {
+                ber::write_constructed(TAG_CP, out, |c| {
                     ber::write_constructed(Tag::SEQUENCE, c, |list| {
                         for pc in contexts {
                             ber::write_constructed(Tag::SEQUENCE, list, |item| {
@@ -104,7 +114,7 @@ impl Ppdu {
                 });
             }
             Ppdu::Cpa { results, user_data } => {
-                ber::write_constructed(TAG_CPA, &mut out, |c| {
+                ber::write_constructed(TAG_CPA, out, |c| {
                     ber::write_constructed(Tag::SEQUENCE, c, |list| {
                         for r in results {
                             ber::write_constructed(Tag::SEQUENCE, list, |item| {
@@ -117,7 +127,7 @@ impl Ppdu {
                 });
             }
             Ppdu::Cpr { reason, user_data } => {
-                ber::write_constructed(TAG_CPR, &mut out, |c| {
+                ber::write_constructed(TAG_CPR, out, |c| {
                     ber::write_integer(*reason, c);
                     if !user_data.is_empty() {
                         ber::write_octets(user_data, c);
@@ -128,18 +138,17 @@ impl Ppdu {
                 context_id,
                 user_data,
             } => {
-                ber::write_constructed(TAG_TD, &mut out, |c| {
+                ber::write_constructed(TAG_TD, out, |c| {
                     ber::write_integer(*context_id, c);
                     ber::write_octets(user_data, c);
                 });
             }
             Ppdu::Aru { reason } => {
-                ber::write_constructed(TAG_ARU, &mut out, |c| {
+                ber::write_constructed(TAG_ARU, out, |c| {
                     ber::write_integer(*reason, c);
                 });
             }
         }
-        out
     }
 
     /// Parses a PPDU.

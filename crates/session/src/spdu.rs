@@ -98,6 +98,14 @@ impl Spdu {
     /// Serializes the SPDU.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(8);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes the SPDU into `out` (cleared first), preserving the
+    /// buffer's capacity for reuse across PDUs.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         out.push(self.si());
         match self {
             Spdu::Cn {
@@ -120,7 +128,6 @@ impl Spdu {
                 out.extend_from_slice(user_data);
             }
         }
-        out
     }
 
     /// Parses an SPDU.

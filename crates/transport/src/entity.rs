@@ -1,7 +1,7 @@
 //! The transport entity: connection management, segmentation,
 //! reassembly over a [`Medium`].
 
-use crate::tpdu::{Tpdu, MAX_TPDU_PAYLOAD};
+use crate::tpdu::{encode_dt_into, Tpdu, MAX_TPDU_PAYLOAD};
 use netsim::Medium;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -128,23 +128,22 @@ impl TransportEntity {
             None => return Err(TransportError::UnknownConnection(conn)),
         };
         let seq = self.tx_seq.entry(conn.0).or_insert(0);
-        let chunks: Vec<&[u8]> = if tsdu.is_empty() {
-            vec![&[]]
-        } else {
-            tsdu.chunks(MAX_TPDU_PAYLOAD).collect()
-        };
-        let last = chunks.len() - 1;
-        for (i, chunk) in chunks.iter().enumerate() {
-            self.medium.send(
-                Tpdu::Dt {
-                    dst_ref: peer_ref,
-                    seq: *seq,
-                    eot: i == last,
-                    payload: chunk.to_vec(),
-                }
-                .encode(),
-            );
+        // Each segment is encoded straight into the buffer the medium
+        // takes ownership of: no intermediate Tpdu, no payload clone,
+        // no collected chunk list.
+        if tsdu.is_empty() {
+            let mut bytes = Vec::new();
+            encode_dt_into(peer_ref, *seq, true, &[], &mut bytes);
+            self.medium.send(bytes);
             *seq += 1;
+        } else {
+            let last = tsdu.len().div_ceil(MAX_TPDU_PAYLOAD) - 1;
+            for (i, chunk) in tsdu.chunks(MAX_TPDU_PAYLOAD).enumerate() {
+                let mut bytes = Vec::new();
+                encode_dt_into(peer_ref, *seq, i == last, chunk, &mut bytes);
+                self.medium.send(bytes);
+                *seq += 1;
+            }
         }
         Ok(())
     }
@@ -201,12 +200,41 @@ impl TransportEntity {
         let mut n = 0;
         while let Some(raw) = self.medium.poll() {
             n += 1;
-            match Tpdu::decode(&raw) {
-                Ok(t) => self.handle(t),
+            // DT fast path: the payload is appended to the reassembly
+            // buffer straight from the receive buffer, never through
+            // an owned Tpdu.
+            match Tpdu::decode_dt_view(&raw) {
+                Ok(Some(dt)) => self.handle_dt(dt.dst_ref, dt.seq, dt.eot, dt.payload),
+                Ok(None) => match Tpdu::decode(&raw) {
+                    Ok(t) => self.handle(t),
+                    Err(_) => self.protocol_errors += 1,
+                },
                 Err(_) => self.protocol_errors += 1,
             }
         }
         n
+    }
+
+    fn handle_dt(&mut self, dst_ref: u16, seq: u32, eot: bool, payload: &[u8]) {
+        if !matches!(self.conns.get(&dst_ref), Some(ConnState::Open { .. })) {
+            self.protocol_errors += 1;
+            return;
+        }
+        let re = self.reassembly.entry(dst_ref).or_default();
+        if seq != re.next_seq {
+            // The pipe is reliable and ordered; a gap is a protocol
+            // error.
+            self.protocol_errors += 1;
+            self.medium.send(Tpdu::Er { dst_ref, cause: 1 }.encode());
+            return;
+        }
+        re.next_seq += 1;
+        re.segments.extend_from_slice(payload);
+        if eot {
+            let tsdu = std::mem::take(&mut re.segments);
+            self.events
+                .push_back(TEvent::DataInd(ConnId(dst_ref), tsdu));
+        }
     }
 
     fn handle(&mut self, tpdu: Tpdu) {
@@ -237,27 +265,7 @@ impl TransportEntity {
                 seq,
                 eot,
                 payload,
-            } => {
-                if !matches!(self.conns.get(&dst_ref), Some(ConnState::Open { .. })) {
-                    self.protocol_errors += 1;
-                    return;
-                }
-                let re = self.reassembly.entry(dst_ref).or_default();
-                if seq != re.next_seq {
-                    // The pipe is reliable and ordered; a gap is a
-                    // protocol error.
-                    self.protocol_errors += 1;
-                    self.medium.send(Tpdu::Er { dst_ref, cause: 1 }.encode());
-                    return;
-                }
-                re.next_seq += 1;
-                re.segments.extend_from_slice(&payload);
-                if eot {
-                    let tsdu = std::mem::take(&mut re.segments);
-                    self.events
-                        .push_back(TEvent::DataInd(ConnId(dst_ref), tsdu));
-                }
-            }
+            } => self.handle_dt(dst_ref, seq, eot, &payload),
             Tpdu::Dr { dst_ref, reason } => {
                 if let Some(state) = self.conns.remove(&dst_ref) {
                     if let ConnState::Open { peer_ref } = state {

@@ -40,4 +40,4 @@ mod entity;
 mod tpdu;
 
 pub use entity::{ConnId, TEvent, TransportEntity, TransportError};
-pub use tpdu::{Tpdu, TpduDecodeError, MAX_TPDU_PAYLOAD};
+pub use tpdu::{encode_dt_into, DtView, Tpdu, TpduDecodeError, MAX_TPDU_PAYLOAD};

@@ -96,28 +96,62 @@ fn get_u32(data: &[u8], at: usize) -> Result<u32, TpduDecodeError> {
         })
 }
 
+/// Encodes a DT segment straight into `out` (cleared first) from a
+/// borrowed payload — the zero-allocation fast path for the data hot
+/// loop. Byte-identical to `Tpdu::Dt { .. }.encode()`.
+pub fn encode_dt_into(dst_ref: u16, seq: u32, eot: bool, payload: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(8 + payload.len());
+    out.push(0xF0);
+    put_u16(dst_ref, out);
+    put_u32(seq, out);
+    out.push(u8::from(eot));
+    out.extend_from_slice(payload);
+}
+
+/// A decoded DT segment whose payload borrows from the receive buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DtView<'a> {
+    /// Peer's reference.
+    pub dst_ref: u16,
+    /// Segment sequence number within the connection.
+    pub seq: u32,
+    /// End-of-TSDU marker.
+    pub eot: bool,
+    /// Segment payload, borrowed from the input buffer.
+    pub payload: &'a [u8],
+}
+
 impl Tpdu {
     /// Serializes the TPDU.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes the TPDU into `out` (cleared first), preserving the
+    /// buffer's capacity for reuse across PDUs.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         match self {
             Tpdu::Cr { src_ref } => {
                 out.push(0xE0);
-                put_u16(*src_ref, &mut out);
+                put_u16(*src_ref, out);
             }
             Tpdu::Cc { dst_ref, src_ref } => {
                 out.push(0xD0);
-                put_u16(*dst_ref, &mut out);
-                put_u16(*src_ref, &mut out);
+                put_u16(*dst_ref, out);
+                put_u16(*src_ref, out);
             }
             Tpdu::Dr { dst_ref, reason } => {
                 out.push(0x80);
-                put_u16(*dst_ref, &mut out);
+                put_u16(*dst_ref, out);
                 out.push(*reason);
             }
             Tpdu::Dc { dst_ref } => {
                 out.push(0xC0);
-                put_u16(*dst_ref, &mut out);
+                put_u16(*dst_ref, out);
             }
             Tpdu::Dt {
                 dst_ref,
@@ -125,19 +159,36 @@ impl Tpdu {
                 eot,
                 payload,
             } => {
-                out.push(0xF0);
-                put_u16(*dst_ref, &mut out);
-                put_u32(*seq, &mut out);
-                out.push(u8::from(*eot));
-                out.extend_from_slice(payload);
+                encode_dt_into(*dst_ref, *seq, *eot, payload, out);
             }
             Tpdu::Er { dst_ref, cause } => {
                 out.push(0x70);
-                put_u16(*dst_ref, &mut out);
+                put_u16(*dst_ref, out);
                 out.push(*cause);
             }
         }
-        out
+    }
+
+    /// Parses a DT segment without copying its payload; returns `None`
+    /// for every other (control) TPDU so callers can fall back to the
+    /// owned [`Tpdu::decode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpduDecodeError`] on short input.
+    pub fn decode_dt_view(data: &[u8]) -> Result<Option<DtView<'_>>, TpduDecodeError> {
+        if data.first() != Some(&0xF0) {
+            return Ok(None);
+        }
+        let dst_ref = get_u16(data, 1)?;
+        let seq = get_u32(data, 3)?;
+        let eot = *data.get(7).ok_or(TpduDecodeError { reason: "short DT" })? != 0;
+        Ok(Some(DtView {
+            dst_ref,
+            seq,
+            eot,
+            payload: data.get(8..).unwrap_or(&[]),
+        }))
     }
 
     /// Parses a TPDU.
@@ -229,5 +280,26 @@ mod tests {
         assert!(Tpdu::decode(&[0x42]).is_err());
         assert!(Tpdu::decode(&[0xE0, 0x01]).is_err());
         assert!(Tpdu::decode(&[0xF0, 0, 1, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn dt_fast_path_matches_owned() {
+        let owned = Tpdu::Dt {
+            dst_ref: 9,
+            seq: 77,
+            eot: true,
+            payload: vec![4, 5, 6],
+        };
+        let mut scratch = vec![0xee; 2]; // stale contents must be cleared
+        encode_dt_into(9, 77, true, &[4, 5, 6], &mut scratch);
+        assert_eq!(scratch, owned.encode());
+        let view = Tpdu::decode_dt_view(&scratch).unwrap().unwrap();
+        assert_eq!(
+            (view.dst_ref, view.seq, view.eot, view.payload),
+            (9, 77, true, &[4u8, 5, 6][..])
+        );
+        // Control PDUs are not DT views.
+        let cr = Tpdu::Cr { src_ref: 1 }.encode();
+        assert!(Tpdu::decode_dt_view(&cr).unwrap().is_none());
     }
 }

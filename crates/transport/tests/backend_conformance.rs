@@ -1,0 +1,229 @@
+//! Backend conformance: the same transport scenarios must hold over
+//! every [`TransportBackend`] — the deterministic simulated pipe and
+//! the real-thread channel backend are interchangeable below the
+//! entity.
+
+use netsim::{Network, SimBackend, SimDuration, ThreadedBackend, TransportBackend};
+use std::sync::Arc;
+use transport::{ConnId, TEvent, TransportEntity};
+
+fn backends() -> Vec<Box<dyn TransportBackend>> {
+    let net = Arc::new(Network::new(7));
+    vec![
+        Box::new(SimBackend::new(&net, SimDuration::from_millis(1))),
+        Box::new(ThreadedBackend::new()),
+    ]
+}
+
+/// Builds an entity pair over one fresh connection of `backend`.
+fn entity_pair(backend: &dyn TransportBackend) -> (TransportEntity, TransportEntity) {
+    let (ma, mb) = backend.connect();
+    (TransportEntity::new(ma), TransportEntity::new(mb))
+}
+
+/// Pumps both entities until the backend has nothing left to deliver.
+fn settle(backend: &dyn TransportBackend, a: &mut TransportEntity, b: &mut TransportEntity) {
+    loop {
+        backend.settle();
+        if a.pump() + b.pump() == 0 {
+            break;
+        }
+    }
+}
+
+/// Opens a connection and returns it as seen from both sides.
+fn open(
+    backend: &dyn TransportBackend,
+    a: &mut TransportEntity,
+    b: &mut TransportEntity,
+) -> (ConnId, ConnId) {
+    let ca = a.connect();
+    settle(backend, a, b);
+    assert_eq!(
+        a.poll_event(),
+        Some(TEvent::ConnectCnf(ca)),
+        "{}",
+        backend.name()
+    );
+    let cb = match b.poll_event() {
+        Some(TEvent::ConnectInd(cb)) => cb,
+        other => panic!("{}: expected ConnectInd, got {other:?}", backend.name()),
+    };
+    assert!(a.is_open(ca) && b.is_open(cb));
+    (ca, cb)
+}
+
+#[test]
+fn open_transfer_release_on_every_backend() {
+    for backend in backends() {
+        let backend = backend.as_ref();
+        let (mut a, mut b) = entity_pair(backend);
+        let (ca, cb) = open(backend, &mut a, &mut b);
+
+        // Transfer both directions, including a segmented TSDU.
+        a.data(ca, b"request").unwrap();
+        settle(backend, &mut a, &mut b);
+        assert_eq!(
+            b.poll_event(),
+            Some(TEvent::DataInd(cb, b"request".to_vec())),
+            "{}",
+            backend.name()
+        );
+        let big: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        b.data(cb, &big).unwrap();
+        settle(backend, &mut a, &mut b);
+        assert_eq!(
+            a.poll_event(),
+            Some(TEvent::DataInd(ca, big)),
+            "{}",
+            backend.name()
+        );
+
+        // Orderly release.
+        a.disconnect(ca, 0).unwrap();
+        settle(backend, &mut a, &mut b);
+        assert_eq!(
+            b.poll_event(),
+            Some(TEvent::DisconnectInd(cb, 0)),
+            "{}",
+            backend.name()
+        );
+        assert_eq!(a.connection_count(), 0, "{}", backend.name());
+        assert_eq!(b.connection_count(), 0, "{}", backend.name());
+    }
+}
+
+#[test]
+fn abort_via_protocol_error_on_every_backend() {
+    use transport::Tpdu;
+    for backend in backends() {
+        let backend = backend.as_ref();
+        // Keep the initiator side raw so a corrupt segment can be
+        // injected below the entity.
+        let (raw, server_side) = backend.connect();
+        let mut b = TransportEntity::new(server_side);
+
+        // Hand-rolled handshake: CR → auto-accept → CC.
+        raw.send(Tpdu::Cr { src_ref: 5 }.encode());
+        backend.settle();
+        b.pump();
+        assert!(matches!(b.poll_event(), Some(TEvent::ConnectInd(_))));
+        backend.settle();
+        let cc = Tpdu::decode(&raw.poll().expect("CC arrives")).unwrap();
+        let peer_ref = match cc {
+            Tpdu::Cc { src_ref, .. } => src_ref,
+            other => panic!("{}: expected CC, got {other:?}", backend.name()),
+        };
+
+        // In-order segment 0 is fine; a gapped sequence number aborts
+        // the connection with an ER (class-0 pipes may not reorder).
+        let mut seg = Vec::new();
+        transport::encode_dt_into(peer_ref, 0, true, b"ok", &mut seg);
+        raw.send(seg);
+        let mut rogue = Vec::new();
+        transport::encode_dt_into(peer_ref, 99, true, b"gap", &mut rogue);
+        raw.send(rogue);
+        backend.settle();
+        b.pump();
+        assert!(
+            matches!(b.poll_event(), Some(TEvent::DataInd(_, ref d)) if d == b"ok"),
+            "{}",
+            backend.name()
+        );
+        assert_eq!(b.protocol_errors, 1, "{}", backend.name());
+        backend.settle();
+        let er = Tpdu::decode(&raw.poll().expect("ER arrives")).unwrap();
+        assert!(
+            matches!(er, Tpdu::Er { cause: 1, .. }),
+            "{}",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn in_order_delivery_on_every_backend() {
+    for backend in backends() {
+        let backend = backend.as_ref();
+        let (mut a, mut b) = entity_pair(backend);
+        let (ca, cb) = open(backend, &mut a, &mut b);
+        for i in 0..200u32 {
+            a.data(ca, &i.to_be_bytes()).unwrap();
+        }
+        settle(backend, &mut a, &mut b);
+        let mut next = 0u32;
+        while let Some(ev) = b.poll_event() {
+            if let TEvent::DataInd(c, tsdu) = ev {
+                assert_eq!(c, cb);
+                assert_eq!(tsdu, next.to_be_bytes(), "{}", backend.name());
+                next += 1;
+            }
+        }
+        assert_eq!(
+            next,
+            200,
+            "{}: every TSDU arrived, in order",
+            backend.name()
+        );
+        assert_eq!(b.protocol_errors, 0, "{}", backend.name());
+    }
+}
+
+#[test]
+fn threaded_backend_transfers_across_real_threads() {
+    let backend = ThreadedBackend::new();
+    let (ma, mb) = backend.connect();
+    let mut a = TransportEntity::new(ma);
+
+    // The responder lives on its own OS thread and echoes every TSDU.
+    let echo = std::thread::spawn(move || {
+        let mut b = TransportEntity::new(mb);
+        let mut conn = None;
+        let mut echoed = 0u32;
+        while echoed < 50 {
+            b.pump();
+            while let Some(ev) = b.poll_event() {
+                match ev {
+                    TEvent::ConnectInd(c) => conn = Some(c),
+                    TEvent::DataInd(c, tsdu) => {
+                        b.data(c, &tsdu).unwrap();
+                        echoed += 1;
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            std::thread::yield_now();
+        }
+        (b.protocol_errors, conn.is_some())
+    });
+
+    let ca = a.connect();
+    // Drive the initiator until the handshake completes and all 50
+    // echoes return.
+    let mut sent = 0u32;
+    let mut got: Vec<u32> = Vec::new();
+    while got.len() < 50 {
+        a.pump();
+        while let Some(ev) = a.poll_event() {
+            match ev {
+                TEvent::ConnectCnf(c) => {
+                    assert_eq!(c, ca);
+                    for i in 0..50u32 {
+                        a.data(ca, &i.to_be_bytes()).unwrap();
+                        sent += 1;
+                    }
+                }
+                TEvent::DataInd(_, tsdu) => {
+                    got.push(u32::from_be_bytes(tsdu.try_into().unwrap()));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        std::thread::yield_now();
+    }
+    assert_eq!(sent, 50);
+    assert_eq!(got, (0..50).collect::<Vec<u32>>(), "echoes return in order");
+    let (errors, connected) = echo.join().unwrap();
+    assert_eq!(errors, 0);
+    assert!(connected);
+}
