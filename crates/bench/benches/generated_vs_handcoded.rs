@@ -13,7 +13,7 @@ use transport::{encode_dt_into, Tpdu};
 static REPORT: Once = Once::new();
 
 fn one_transaction(stack: StackKind) {
-    let mut world = World::new(3);
+    let mut world = World::builder(3).build();
     let server = world.add_server("b", stack);
     let client = world.add_client(&server, stack, vec![]);
     world.start();

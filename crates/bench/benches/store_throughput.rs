@@ -14,12 +14,13 @@ use cluster::{Placement, RebalanceConfig, RebalanceController, ReplicaDirectory}
 use criterion::{criterion_group, criterion_main, Criterion};
 use directory::MovieEntry;
 use mcam::agents::source_for_entry;
-use mcam::{McamOp, McamPdu, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, StackKind, World};
 use mtp::MovieSource;
 use netsim::{LinkConfig, NetAddr, SimDuration, SimTime};
 use share::{JoinPlan, ShareConfig, ShareManager};
 use std::sync::{Arc, Once};
 use store::{BlockStore, CachePolicy, DiskParams, DiskSched, StoreConfig};
+use workload::{Arrival, Behaviour, Phase, Popularity, TitleSpec, VcrMix, WorkloadSpec};
 
 static REPORT: Once = Once::new();
 
@@ -101,6 +102,36 @@ fn cluster_streams_sustained(servers: usize, k: usize) -> usize {
     admitted
 }
 
+/// The hot-title demand, declared: four titles, one explicit
+/// 15-slot popularity cycle in which T0 takes 4 of every 5 opens and
+/// the cold fifth rotates T1..T3 — exactly the slot pattern the
+/// hand-wired loop used. `Saturate` marks the closed-loop intent;
+/// the executor below replays the cycle until admission refuses
+/// everywhere.
+fn hot_title_spec() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::new("hot_title_skew", 0);
+    for t in 0..4u64 {
+        spec = spec.title(TitleSpec::new(format!("T{t}"), 60, t));
+    }
+    spec.phase(Phase::new(
+        "skewed-demand",
+        SimDuration::ZERO,
+        Arrival::Saturate {
+            max: 15,
+            spacing: SimDuration::from_millis(1),
+        },
+        Popularity::Cycle(
+            [
+                "T0", "T0", "T0", "T0", "T1", "T0", "T0", "T0", "T0", "T2", "T0", "T0", "T0", "T0",
+                "T3",
+            ]
+            .map(String::from)
+            .to_vec(),
+        ),
+        Behaviour::Watch,
+    ))
+}
+
 /// Hot-title skew: a 4-server cluster serving 4 titles where one
 /// title receives ~80% of the demand (4 hot opens per cold open).
 /// With static K=2 placement the hot title is pinned to its two
@@ -129,89 +160,127 @@ fn hot_title_streams_sustained(dynamic: bool) -> (usize, cluster::RebalanceStats
             ..RebalanceConfig::default()
         },
     );
-    let titles: Vec<(String, MovieSource)> = (0..4)
-        .map(|t| (format!("T{t}"), MovieSource::test_movie(60, t)))
+    let compiled = hot_title_spec().compile().expect("hot-title spec compiles");
+    let titles: Vec<(String, MovieSource)> = compiled
+        .titles
+        .iter()
+        .map(|t| (t.name.clone(), MovieSource::test_movie(t.seconds, t.seed)))
         .collect();
     for (name, source) in &titles {
         ctl.place_title(name, source);
     }
+    // The compiled agents carry the demand pattern; the closed loop
+    // replays it cyclically, five slots per admission round.
+    let pattern: Vec<usize> = compiled
+        .agents
+        .iter()
+        .map(|a| {
+            titles
+                .iter()
+                .position(|(n, _)| *n == a.title)
+                .expect("compiled titles are validated")
+        })
+        .collect();
     let mut now = SimTime::ZERO;
     let mut admitted = 0usize;
     let mut stream = 0u32;
-    let mut cold = 1usize;
     'demand: loop {
-        let mut any = false;
-        for slot in 0..5 {
-            // 80% of opens target T0; the cold 20% rotate T1..T3.
-            let t = if slot < 4 {
-                0
-            } else {
-                let c = cold;
-                cold = cold % 3 + 1;
-                c
-            };
-            let (name, source) = &titles[t];
-            let open = |now: SimTime, stream: &mut u32| {
-                for (_, store) in dir.route(&ctl.replicas_of(name).expect("tracked")) {
-                    let id = store.register_movie(source);
-                    *stream += 1;
-                    if store.open_stream(*stream, id, 100, now).is_ok() {
-                        return true;
+        for round in pattern.chunks(5) {
+            let mut any = false;
+            for &t in round {
+                let (name, source) = &titles[t];
+                let open = |now: SimTime, stream: &mut u32| {
+                    for (_, store) in dir.route(&ctl.replicas_of(name).expect("tracked")) {
+                        let id = store.register_movie(source);
+                        *stream += 1;
+                        if store.open_stream(*stream, id, 100, now).is_ok() {
+                            return true;
+                        }
                     }
+                    false
+                };
+                if open(now, &mut stream) {
+                    admitted += 1;
+                    any = true;
+                    continue;
                 }
-                false
-            };
-            if open(now, &mut stream) {
-                admitted += 1;
-                any = true;
-                continue;
+                if t != 0 {
+                    continue; // a refused cold open does not end the run
+                }
+                if !dynamic {
+                    // Static placement has no answer to a hot title
+                    // refused on its whole replica set: the run is over.
+                    break 'demand;
+                }
+                // The hot title is refused on every replica: let the
+                // control plane sample the load and run its copy, then
+                // retry this viewer.
+                let before = ctl.stats().copies_completed;
+                let mut guard = 0u32;
+                loop {
+                    ctl.tick(now);
+                    for location in dir.locations() {
+                        if let Some(store) = dir.get(&location) {
+                            store.pump(now);
+                        }
+                    }
+                    if ctl.stats().copies_completed > before {
+                        if open(now, &mut stream) {
+                            admitted += 1;
+                            any = true;
+                        }
+                        break;
+                    }
+                    let next = dir
+                        .locations()
+                        .iter()
+                        .filter_map(|l| dir.get(l).and_then(|s| s.next_event()))
+                        .chain(ctl.next_tick_at())
+                        .min();
+                    match next {
+                        Some(t) if t > now => now = t,
+                        _ => break 'demand, // no copy possible: cluster is done growing
+                    }
+                    guard += 1;
+                    assert!(guard < 1_000_000, "rebalance never converged");
+                }
             }
-            if t != 0 {
-                continue; // a refused cold open does not end the run
-            }
-            if !dynamic {
-                // Static placement has no answer to a hot title
-                // refused on its whole replica set: the run is over.
+            if !any || stream > 1_000_000 {
                 break 'demand;
             }
-            // The hot title is refused on every replica: let the
-            // control plane sample the load and run its copy, then
-            // retry this viewer.
-            let before = ctl.stats().copies_completed;
-            let mut guard = 0u32;
-            loop {
-                ctl.tick(now);
-                for location in dir.locations() {
-                    if let Some(store) = dir.get(&location) {
-                        store.pump(now);
-                    }
-                }
-                if ctl.stats().copies_completed > before {
-                    if open(now, &mut stream) {
-                        admitted += 1;
-                        any = true;
-                    }
-                    break;
-                }
-                let next = dir
-                    .locations()
-                    .iter()
-                    .filter_map(|l| dir.get(l).and_then(|s| s.next_event()))
-                    .chain(ctl.next_tick_at())
-                    .min();
-                match next {
-                    Some(t) if t > now => now = t,
-                    _ => break 'demand, // no copy possible: cluster is done growing
-                }
-                guard += 1;
-                assert!(guard < 1_000_000, "rebalance never converged");
-            }
-        }
-        if !any || stream > 1_000_000 {
-            break;
         }
     }
     (admitted, ctl.stats())
+}
+
+/// The mixed record+playback fleet, declared: a record phase (each
+/// agent writes a fresh title) followed by a closed-loop saturation
+/// probe of viewers on one evergreen title.
+fn record_playback_spec(recorders: u32) -> WorkloadSpec {
+    let mut spec =
+        WorkloadSpec::new("record_playback", 1).title(TitleSpec::new("Evergreen", 60, 1));
+    if recorders > 0 {
+        spec = spec.phase(Phase::new(
+            "recorders",
+            SimDuration::ZERO,
+            Arrival::Flash {
+                viewers: recorders as usize,
+                spacing: SimDuration::from_millis(1),
+            },
+            Popularity::Single("Evergreen".into()),
+            Behaviour::Record { frames: 1_500 },
+        ));
+    }
+    spec.phase(Phase::new(
+        "viewers",
+        SimDuration::from_millis(u64::from(recorders) + 1),
+        Arrival::Saturate {
+            max: 1_000,
+            spacing: SimDuration::from_millis(1),
+        },
+        Popularity::Single("Evergreen".into()),
+        Behaviour::Watch,
+    ))
 }
 
 /// Playback streams sustained next to `recorders` concurrent
@@ -219,24 +288,37 @@ fn hot_title_streams_sustained(dynamic: bool) -> (usize, cluster::RebalanceStats
 /// same admission capacity reads draw on, so every recorder displaces
 /// exactly one viewer.
 fn streams_sustained_while_recording(recorders: u32) -> usize {
+    let compiled = record_playback_spec(recorders)
+        .compile()
+        .expect("record+playback spec compiles");
     let store = BlockStore::new(slow_disk_config(4, DiskSched::Scan));
-    for r in 0..recorders {
-        let source = MovieSource::test_movie(60, 1);
+    let title = &compiled.titles[0];
+    let source = MovieSource::test_movie(title.seconds, title.seed);
+    let fleet = compiled.agents.iter().filter(|a| a.phase == "recorders");
+    for (r, _) in fleet.enumerate() {
         store
-            .open_recording(90_000 + r, &source)
+            .open_recording(90_000 + r as u32, &source)
             .expect("recorder admitted on an idle store");
     }
-    let movie = store.register_movie(&MovieSource::test_movie(60, 1));
+    let movie = store.register_movie(&source);
     let mut admitted = 0;
-    for stream in 0..100_000u32 {
+    let viewers = compiled.agents.iter().filter(|a| a.phase == "viewers");
+    let mut exhausted = true;
+    for (stream, _) in viewers.enumerate() {
         if store
-            .open_stream(stream, movie, 100, SimTime::ZERO)
+            .open_stream(stream as u32, movie, 100, SimTime::ZERO)
             .is_err()
         {
+            exhausted = false;
             break;
         }
         admitted += 1;
     }
+    assert!(
+        !exhausted,
+        "the saturation probe must end at an admission refusal, \
+         not by running out of compiled viewers"
+    );
     admitted
 }
 
@@ -256,13 +338,13 @@ fn control_fanout(
         SimDuration::from_micros(500),
         0.0,
     );
-    let mut world = World::with_stream_link(41, link);
-    let cluster = world.add_cluster(
+    let mut world = World::builder(41).stream_link(link).build();
+    let cluster = world.add_cluster(ClusterSpec::new(
         "vod",
         servers,
         StackKind::EstellePS,
         Placement::round_robin(2),
-    );
+    ));
     let handles: Vec<_> = (0..clients)
         .map(|_| {
             if referrals {
@@ -356,6 +438,26 @@ struct FlashCrowd {
     journal: Arc<journal::Journal>,
 }
 
+/// The flash-crowd demand, declared: one title long enough that no
+/// viewer finishes inside the run, one flash arrival curve. The
+/// compiled agent schedule is the arrival timetable the executor
+/// below replays against the store and merge engine.
+fn flash_crowd_spec(viewers: u32, spacing_us: u64) -> WorkloadSpec {
+    let seconds = 2 * u64::from(viewers) * spacing_us / 1_000_000 + 60;
+    WorkloadSpec::new("flash_crowd", 11)
+        .title(TitleSpec::new("Premiere", seconds, 11))
+        .phase(Phase::new(
+            "crowd",
+            SimDuration::ZERO,
+            Arrival::Flash {
+                viewers: viewers as usize,
+                spacing: SimDuration::from_micros(spacing_us),
+            },
+            Popularity::Single("Premiere".into()),
+            Behaviour::Watch,
+        ))
+}
+
 /// Flash crowd: `viewers` arrivals spaced `spacing_us` apart, all on
 /// ONE title served by a 2-disk store. With sharing off every viewer
 /// charges a full disk stream and the spindles cap admissions; with
@@ -383,9 +485,11 @@ fn flash_crowd(
         },
         ..StoreConfig::default()
     });
-    // Long enough that no viewer finishes inside the simulated run.
-    let seconds = 2 * u64::from(viewers) * spacing_us / 1_000_000 + 60;
-    let source = MovieSource::test_movie(seconds, 11);
+    let compiled = flash_crowd_spec(viewers, spacing_us)
+        .compile()
+        .expect("flash-crowd spec compiles");
+    let title = &compiled.titles[0];
+    let source = MovieSource::test_movie(title.seconds, title.seed);
     let movie = store.register_movie(&source);
     let share = ShareManager::new(ShareConfig {
         enabled: sharing,
@@ -401,7 +505,11 @@ fn flash_crowd(
     let mut playing: Vec<(u32, u64, u32)> = Vec::new();
     let mut now = SimTime::ZERO;
     let (mut admitted, mut refused) = (0usize, 0usize);
-    for i in 0..2 * viewers {
+    // The compiled schedule drives arrivals; the run continues for as
+    // long again after the last one so fast-feeds can converge.
+    let mut arrivals = compiled.agents.iter().peekable();
+    let mut next_id = 0u32;
+    for _ in 0..2 * viewers {
         for (id, pos, rate) in playing.iter_mut() {
             *pos += spacing_us * u64::from(source.frame_rate) * u64::from(*rate) / 1_000_000;
             let frame = (*pos / 100).min(source.frame_count - 1);
@@ -421,8 +529,13 @@ fn flash_crowd(
             share.mark_converged(id);
         }
         store.set_pinned_ranges(&share.pinned_ranges());
-        if i < viewers {
-            let id = i + 1;
+        while arrivals
+            .peek()
+            .is_some_and(|a| a.start <= now.saturating_since(SimTime::ZERO))
+        {
+            arrivals.next();
+            next_id += 1;
+            let id = next_id;
             match share.plan_join(movie) {
                 JoinPlan::Lead => {
                     if store.open_stream(id, movie, 100, now).is_ok() {
@@ -466,6 +579,87 @@ fn flash_crowd(
     }
 }
 
+/// The channel-surfing storm, declared end to end: viewers of one
+/// title fire a rewind-heavy VCR op mix on a fixed cadence. The
+/// compiled schedule runs on the full World driver twice — once with
+/// the store's direction/stride prefetch hints enabled, once
+/// disabled — and the buffer cache tells the difference.
+fn vcr_storm_spec() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::new("vcr_storm", 77);
+    for t in 0..6u64 {
+        spec = spec.title(TitleSpec::new(format!("S{t}"), 600, 40 + t));
+    }
+    spec.phase(Phase::new(
+        "storm",
+        SimDuration::from_millis(10),
+        Arrival::Flash {
+            viewers: 6,
+            spacing: SimDuration::from_millis(50),
+        },
+        Popularity::Cycle((0..6).map(|t| format!("S{t}")).collect()),
+        Behaviour::VcrStorm {
+            ops: 30,
+            mix: VcrMix {
+                seek_back_pct: 70,
+                seek_fwd_pct: 10,
+                ff_pct: 10,
+                pause_pct: 5,
+            },
+            op_interval: SimDuration::from_millis(250),
+            jump_frames: 900,
+        },
+    ))
+}
+
+/// Outcome of one VCR-storm run.
+struct VcrStorm {
+    /// The workload runner's journal-derived verdict.
+    report: workload::RunReport,
+    /// The store's end-to-end service cache hit ratio, in permille.
+    hit_permille: u64,
+    /// The compiled agent-script dump (CI uploads it as an artifact).
+    agents_jsonl: String,
+}
+
+/// Runs the compiled VCR storm on the World driver with the store's
+/// trick-mode prefetch hints on or off.
+fn vcr_storm(hints: bool) -> VcrStorm {
+    let compiled = vcr_storm_spec().compile().expect("vcr-storm spec compiles");
+    let link = LinkConfig::lossy(
+        SimDuration::from_millis(2),
+        SimDuration::from_micros(500),
+        0.0,
+    );
+    // Six viewers storm six private 600 s titles (≈800 blocks each
+    // at 64 KiB) through a cache that holds a small fraction of any
+    // one of them, so a 900-frame jump (≈48 blocks) lands outside
+    // plain forward-window residency: only the hinted backward sweep
+    // / widened skim horizon can have the target warm.
+    let mut world = World::builder(47)
+        .stream_link(link)
+        .store(StoreConfig {
+            disks: 2,
+            block_size: 64 * 1024,
+            cache_blocks: 128,
+            readahead_blocks: 4,
+            // LRU, not Interval: swept rewind targets have no
+            // trailing sequential consumer, so interval caching would
+            // evict them before the next backward jump lands.
+            policy: CachePolicy::Lru,
+            prefetch_hints: hints,
+            ..StoreConfig::default()
+        })
+        .build();
+    let server = world.add_server("ksr1", StackKind::EstellePS);
+    let report = workload::run(&mut world, &server, &compiled);
+    let stats = server.services.store.stats();
+    VcrStorm {
+        report,
+        hit_permille: (stats.service_hit_ratio() * 1000.0).round() as u64,
+        agents_jsonl: compiled.to_jsonl(),
+    }
+}
+
 /// Outcome of one crash-survival run.
 struct CrashSurvival {
     /// Streams in flight on the machine that crashed.
@@ -489,13 +683,13 @@ fn crash_survival(servers: usize, viewers: usize) -> CrashSurvival {
         SimDuration::from_micros(500),
         0.0,
     );
-    let mut world = World::with_stream_link(43, link);
-    let cluster = world.add_cluster(
+    let mut world = World::builder(43).stream_link(link).build();
+    let cluster = world.add_cluster(ClusterSpec::new(
         "vod",
         servers,
         StackKind::EstellePS,
         Placement::round_robin(2),
-    );
+    ));
     let a = cluster.servers[0].services.sps.location();
     let b = cluster.servers[1].services.sps.location();
     let handles: Vec<_> = (0..viewers)
@@ -750,7 +944,7 @@ fn wall_clock_scaling_report() -> String {
 /// and returns the machine-readable report (the exact bytes of
 /// `BENCH_store_throughput.json`) plus the control-fanout journal and
 /// the crash-survival fault journal.
-fn scenario_report() -> (String, Arc<journal::Journal>, Arc<journal::Journal>) {
+fn scenario_report() -> (String, Arc<journal::Journal>, Arc<journal::Journal>, String) {
     println!("store_throughput: streams sustained vs. disk count and queue discipline");
     let mut disk_rows = Vec::new();
     let mut prev = 0;
@@ -1015,6 +1209,35 @@ fn scenario_report() -> (String, Arc<journal::Journal>, Arc<journal::Journal>) {
         crash.journal.len()
     );
     assert_eq!(crashes, 1, "exactly one machine died");
+    println!("store_throughput: VCR storm (rewind-heavy trick modes, prefetch hints A/B)");
+    let storm_off = vcr_storm(false);
+    let storm_on = vcr_storm(true);
+    println!(
+        "  hints=off admitted={:<2} hit_permille={}",
+        storm_off.report.admitted, storm_off.hit_permille
+    );
+    println!(
+        "  hints=on  admitted={:<2} hit_permille={}",
+        storm_on.report.admitted, storm_on.hit_permille
+    );
+    assert_eq!(
+        storm_on.report.agents, storm_off.report.agents,
+        "both runs drive the same compiled schedule"
+    );
+    assert!(
+        storm_on.report.admitted >= storm_off.report.admitted,
+        "trick-mode hints must never cost admitted streams \
+         (on={} off={})",
+        storm_on.report.admitted,
+        storm_off.report.admitted
+    );
+    assert!(
+        storm_on.hit_permille > storm_off.hit_permille,
+        "direction/stride prefetch hints must raise the cache-hit permille \
+         under a rewind-heavy storm (on={} off={})",
+        storm_on.hit_permille,
+        storm_off.hit_permille
+    );
     let wall = wall_clock_block();
     let fanout = |v: &[usize]| {
         v.iter()
@@ -1025,7 +1248,7 @@ fn scenario_report() -> (String, Arc<journal::Journal>, Arc<journal::Journal>) {
     // Ratios are reported in permille so the committed file carries
     // only integers and regenerates byte-identically.
     let json = format!(
-        "{{\n  \"bench\": \"store_throughput\",\n  \"mode\": \"smoke\",\n  \"scenarios\": {{\n    \"disk_sweep\": [{disk}],\n    \"cluster_sweep\": [{cluster}],\n    \"hot_title_skew\": {{\"static_k2\": {static_k2}, \"rebalanced\": {dynamic}, \"copies_completed\": {copies}, \"grows_started\": {grows}, \"directory_updates\": {dirs}}},\n    \"record_playback\": [{record}],\n    \"interval_cache\": {{\"close_hit_permille\": {close_pm}, \"far_hit_permille\": {far_pm}}},\n    \"flash_crowd\": {{\"viewers\": 1000, \"sharing_off\": {fc_off}, \"sharing_on\": {fc_on}, \"refused_on\": {fc_refused}, \"merges\": {fc_merges}, \"fast_feeds\": {fc_feeds}, \"conversions\": {fc_conversions}, \"journal_events\": {fc_journal}}},\n    \"flash_crowd_calibration\": [{calibration}],\n    \"control_fanout\": {{\"legacy_per_server\": [{legacy}], \"referred_per_server\": [{spread}], \"referrals_issued\": {issued}, \"referrals_followed\": {followed}, \"referrals_failed\": {failed}, \"journal_events\": {journal_len}}},\n    \"spindle_rebuild\": [{rebuild}],\n    \"crash_survival\": {{\"servers\": 4, \"k\": 2, \"in_flight\": {cs_in_flight}, \"failed_over\": {cs_failed_over}, \"survival_permille\": {cs_permille}, \"server_crashes\": {cs_crashes}, \"journal_events\": {cs_journal}}},\n    \"wall_clock\": {wall}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"store_throughput\",\n  \"mode\": \"smoke\",\n  \"scenarios\": {{\n    \"disk_sweep\": [{disk}],\n    \"cluster_sweep\": [{cluster}],\n    \"hot_title_skew\": {{\"static_k2\": {static_k2}, \"rebalanced\": {dynamic}, \"copies_completed\": {copies}, \"grows_started\": {grows}, \"directory_updates\": {dirs}}},\n    \"record_playback\": [{record}],\n    \"interval_cache\": {{\"close_hit_permille\": {close_pm}, \"far_hit_permille\": {far_pm}}},\n    \"flash_crowd\": {{\"viewers\": 1000, \"sharing_off\": {fc_off}, \"sharing_on\": {fc_on}, \"refused_on\": {fc_refused}, \"merges\": {fc_merges}, \"fast_feeds\": {fc_feeds}, \"conversions\": {fc_conversions}, \"journal_events\": {fc_journal}}},\n    \"flash_crowd_calibration\": [{calibration}],\n    \"control_fanout\": {{\"legacy_per_server\": [{legacy}], \"referred_per_server\": [{spread}], \"referrals_issued\": {issued}, \"referrals_followed\": {followed}, \"referrals_failed\": {failed}, \"journal_events\": {journal_len}}},\n    \"spindle_rebuild\": [{rebuild}],\n    \"crash_survival\": {{\"servers\": 4, \"k\": 2, \"in_flight\": {cs_in_flight}, \"failed_over\": {cs_failed_over}, \"survival_permille\": {cs_permille}, \"server_crashes\": {cs_crashes}, \"journal_events\": {cs_journal}}},\n    \"vcr_storm\": {{\"viewers\": {vs_agents}, \"ops\": {vs_ops}, \"hints_off_hit_permille\": {vs_off_pm}, \"hints_on_hit_permille\": {vs_on_pm}, \"hints_off_admitted\": {vs_off_adm}, \"hints_on_admitted\": {vs_on_adm}}},\n    \"wall_clock\": {wall}\n  }}\n}}\n",
         disk = json_array(&disk_rows),
         cluster = json_array(&cluster_rows),
         copies = rebalance.copies_completed,
@@ -1051,14 +1274,20 @@ fn scenario_report() -> (String, Arc<journal::Journal>, Arc<journal::Journal>) {
         cs_permille = survival_permille,
         cs_crashes = crashes,
         cs_journal = crash.journal.len(),
+        vs_agents = storm_on.report.agents,
+        vs_ops = storm_on.report.ops,
+        vs_off_pm = storm_off.hit_permille,
+        vs_on_pm = storm_on.hit_permille,
+        vs_off_adm = storm_off.report.admitted,
+        vs_on_adm = storm_on.report.admitted,
     );
-    (json, fanout_journal, crash.journal)
+    (json, fanout_journal, crash.journal, storm_on.agents_jsonl)
 }
 
 fn bench(c: &mut Criterion) {
     let smoke = std::env::var_os("STORE_THROUGHPUT_SMOKE").is_some();
     REPORT.call_once(|| {
-        let (json, fanout_journal, crash_journal) = scenario_report();
+        let (json, fanout_journal, crash_journal, storm_agents) = scenario_report();
         if smoke {
             // Persist the perf trajectory (committed, CI diffs it) and
             // the journals of the fan-out and fault runs (uploaded as
@@ -1077,6 +1306,11 @@ fn bench(c: &mut Criterion) {
             std::fs::write(&fault_path, crash_journal.to_jsonl())
                 .expect("write fault journal artifact");
             println!("store_throughput: wrote {fault_path}");
+            // The compiled VCR-storm agent scripts: the exact per-client
+            // schedule the A/B runs replayed (uploaded as an artifact).
+            let agents_path = format!("{journal_dir}/vcr_storm_agents.jsonl");
+            std::fs::write(&agents_path, &storm_agents).expect("write agent-script artifact");
+            println!("store_throughput: wrote {agents_path}");
             // The threaded-backend CI job measures real multi-core
             // scaling and uploads the wall-clock report next to the
             // simulated one.

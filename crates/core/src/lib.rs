@@ -65,7 +65,7 @@
 //! use mcam::{McamOp, McamPdu, StackKind, World};
 //! use netsim::{SimDuration, SimTime};
 //!
-//! let mut world = World::new(7);
+//! let mut world = World::builder(7).build();
 //! let server = world.add_server("ksr1", StackKind::EstellePS);
 //! let client = world.add_client(&server, StackKind::EstellePS, vec![]);
 //! world.start();
@@ -100,10 +100,10 @@
 //!
 //! ```
 //! use directory::MovieEntry;
-//! use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+//! use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 //!
-//! let mut world = World::new(9);
-//! let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(2));
+//! let mut world = World::builder(9).build();
+//! let cluster = world.add_cluster(ClusterSpec::new("vod", 3, StackKind::EstellePS, Placement::round_robin(2)));
 //! let client = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
 //! world.start();
 //!
@@ -126,7 +126,7 @@
 //! through the target's write path — then rewrites the directory
 //! entry so the very next `SelectMovie` routes to the new copy
 //! (tune the cadence with [`RebalanceConfig`] via
-//! [`World::add_cluster_with`]; drain a server with
+//! [`ClusterSpec::rebalance`]; drain a server with
 //! [`ClusterHandle::drain`] — see
 //! `examples/hot_title_rebalance.rs` for the full grow + drain
 //! walkthrough):
@@ -134,7 +134,7 @@
 //! ```
 //! use directory::MovieEntry;
 //! use mcam::agents::source_for_entry;
-//! use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+//! use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 //! use netsim::{LinkConfig, NetAddr, SimDuration};
 //! use store::{DiskParams, StoreConfig};
 //!
@@ -144,8 +144,8 @@
 //!     disk: DiskParams { transfer_bytes_per_sec: 250_000, ..DiskParams::default() },
 //!     ..StoreConfig::default()
 //! };
-//! let mut world = World::with_config(11, LinkConfig::perfect(SimDuration::from_millis(2)), tight);
-//! let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(2));
+//! let mut world = World::builder(11).stream_link(LinkConfig::perfect(SimDuration::from_millis(2))).store(tight).build();
+//! let cluster = world.add_cluster(ClusterSpec::new("vod", 3, StackKind::EstellePS, Placement::round_robin(2)));
 //! let client = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
 //! world.start();
 //! world.client_op(&client, McamOp::Associate { user: "demo".into() });
@@ -184,10 +184,10 @@
 //! operator pinning):
 //!
 //! ```
-//! use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+//! use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 //!
-//! let mut world = World::new(31);
-//! let cluster = world.add_cluster("vod", 4, StackKind::EstellePS, Placement::round_robin(2));
+//! let mut world = World::builder(31).build();
+//! let cluster = world.add_cluster(ClusterSpec::new("vod", 4, StackKind::EstellePS, Placement::round_robin(2)));
 //! // Twelve workstations, all dialing the same server.
 //! let clients: Vec<_> = (0..12)
 //!     .map(|_| world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]))
@@ -227,7 +227,7 @@
 //!
 //! ```
 //! use directory::MovieEntry;
-//! use mcam::{McamOp, McamPdu, Placement, ShareConfig, StackKind, World};
+//! use mcam::{ClusterSpec, McamOp, McamPdu, Placement, ShareConfig, StackKind, World};
 //! use netsim::{LinkConfig, SimDuration};
 //! use store::{DiskParams, StoreConfig};
 //!
@@ -237,9 +237,12 @@
 //!     disk: DiskParams { transfer_bytes_per_sec: 250_000, ..DiskParams::default() },
 //!     ..StoreConfig::default()
 //! };
-//! let mut world = World::with_config(13, LinkConfig::perfect(SimDuration::from_millis(2)), tight);
-//! world.share_config = ShareConfig::default();
-//! let cluster = world.add_cluster("vod", 1, StackKind::EstellePS, Placement::round_robin(1));
+//! let mut world = World::builder(13)
+//!     .stream_link(LinkConfig::perfect(SimDuration::from_millis(2)))
+//!     .store(tight)
+//!     .share(ShareConfig::default())
+//!     .build();
+//! let cluster = world.add_cluster(ClusterSpec::new("vod", 1, StackKind::EstellePS, Placement::round_robin(1)));
 //! let clients: Vec<_> = (0..4)
 //!     .map(|_| world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]))
 //!     .collect();
@@ -270,11 +273,11 @@
 //! movie to K servers — after which any replica streams it back:
 //!
 //! ```
-//! use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+//! use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 //! use netsim::SimDuration;
 //!
-//! let mut world = World::new(21);
-//! let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(2));
+//! let mut world = World::builder(21).build();
+//! let cluster = world.add_cluster(ClusterSpec::new("vod", 2, StackKind::EstellePS, Placement::round_robin(2)));
 //! let camera = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
 //! let viewer = world.add_client(&cluster.servers[1], StackKind::EstellePS, vec![]);
 //! world.start();
@@ -321,7 +324,7 @@
 //! use mcam::{McamOp, McamPdu, StackKind, World};
 //! use netsim::SimDuration;
 //!
-//! let mut world = World::new(17);
+//! let mut world = World::builder(17).build();
 //! let server = world.add_server("ksr1", StackKind::EstellePS);
 //! let client = world.add_client(&server, StackKind::EstellePS, vec![]);
 //! world.start();
@@ -369,7 +372,7 @@
 //!
 //! // Deterministic virtual time — the default, and what every
 //! // example above used under the hood.
-//! let world = mcam::World::new(5);
+//! let world = mcam::World::builder(5).build();
 //! assert!(world.backend().is_simulated());
 //!
 //! // Real threads, real time: 2 workers x 4 streams x 100 frames.
@@ -400,7 +403,7 @@
 //! use mcam::{McamOp, McamPdu, StackKind, World};
 //! use netsim::SimDuration;
 //!
-//! let mut world = World::new(41);
+//! let mut world = World::builder(41).build();
 //! let server = world.add_server("ksr1", StackKind::EstellePS);
 //! let client = world.add_client(&server, StackKind::EstellePS, vec![]);
 //! world.start();
@@ -443,10 +446,10 @@
 //!
 //! ```
 //! use directory::MovieEntry;
-//! use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+//! use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 //!
-//! let mut world = World::new(43);
-//! let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(2));
+//! let mut world = World::builder(43).build();
+//! let cluster = world.add_cluster(ClusterSpec::new("vod", 2, StackKind::EstellePS, Placement::round_robin(2)));
 //! let client = world.add_client(&cluster.servers[1], StackKind::EstellePS, vec![]);
 //! world.start();
 //! world.publish_replicated(&cluster, &MovieEntry::new("Durable", "pending"));
@@ -496,4 +499,4 @@ pub use stacks::{
     wire_lower_stack, wire_lower_stack_tagged, ClientRoot, ControlDial, ReferralEnd,
     ReferralFollower, StackKind, ERR_REFERRAL, ROOT_TO_APP, ROOT_TO_MCA,
 };
-pub use world::{ClientHandle, ClusterHandle, ServerHandle, World};
+pub use world::{ClientHandle, ClusterHandle, ClusterSpec, ServerHandle, World, WorldBuilder};

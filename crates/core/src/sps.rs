@@ -28,7 +28,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
-use store::{BlockStore, MovieId, StoreError};
+use store::{BlockStore, MovieId, PrefetchHint, StoreError};
 
 /// A finished recording, as returned by
 /// [`StreamProviderSystem::record_close`]: enough to finalize the
@@ -108,6 +108,10 @@ pub struct StreamProviderSystem {
     senders: Mutex<HashMap<u32, MtpSender>>,
     movie_ids: Mutex<HashMap<u32, MovieId>>,
     recordings: Mutex<HashMap<u32, RecordingSession>>,
+    /// Last *forward* seek delta (in blocks) per stream: two
+    /// consecutive forward jumps of the same width are treated as a
+    /// skimming pattern and turned into a strided prefetch hint.
+    seek_deltas: Mutex<HashMap<u32, u64>>,
     store: Option<Arc<BlockStore>>,
     /// The stream-sharing merge engine, when the server runs with
     /// flash-crowd batching enabled (requires a store: followers are
@@ -185,6 +189,7 @@ impl StreamProviderSystem {
             senders: Mutex::new(HashMap::new()),
             movie_ids: Mutex::new(HashMap::new()),
             recordings: Mutex::new(HashMap::new()),
+            seek_deltas: Mutex::new(HashMap::new()),
             store,
             share,
             next_stream: AtomicU32::new((addr.0 << 16) | 1),
@@ -471,6 +476,7 @@ impl StreamProviderSystem {
             }
         }
         self.movie_ids.lock().remove(&id);
+        self.seek_deltas.lock().remove(&id);
         self.senders
             .lock()
             .remove(&id)
@@ -526,6 +532,13 @@ impl StreamProviderSystem {
         }
         if let Some(store) = &self.store {
             store.set_speed(id, speed_pct)?;
+            if speed_pct != 100 {
+                // Trick-speed playback consumes forward, only faster:
+                // widen the read-ahead horizon to the speed multiple
+                // (and drop any stale rewind hint).
+                let stride = (speed_pct / 100).clamp(1, 4);
+                let _ = store.set_prefetch_hint(id, PrefetchHint::forward(stride));
+            }
         }
         self.with_sender(id, |s| {
             s.set_speed_pct(speed_pct);
@@ -575,9 +588,36 @@ impl StreamProviderSystem {
         Ok(())
     }
 
+    /// The prefetch prediction for a seek from block `cur` to block
+    /// `target`: a backward jump hints a rewind storm (stride = jump
+    /// width), and two consecutive forward jumps of the same width
+    /// hint a skimming pattern (horizon widened to cover the next
+    /// jump). A plain one-off forward seek carries no prediction.
+    fn seek_hint(&self, id: u32, cur: u64, target: u64, readahead: u64) -> PrefetchHint {
+        if target < cur {
+            self.seek_deltas.lock().remove(&id);
+            let stride = (cur - target).clamp(1, 64) as u32;
+            PrefetchHint::backward(stride)
+        } else if target > cur {
+            let delta = target - cur;
+            let repeated = self.seek_deltas.lock().insert(id, delta) == Some(delta);
+            if repeated {
+                let stride = delta.div_ceil(readahead.max(1)).clamp(1, 8) as u32;
+                PrefetchHint::forward(stride)
+            } else {
+                PrefetchHint::default()
+            }
+        } else {
+            PrefetchHint::default()
+        }
+    }
+
     /// Seeks to a frame (the prefetcher follows). A group member
     /// seeking out of its band splits out (follower) or hands the
-    /// group over (leader) — both honestly re-admitted.
+    /// group over (leader) — both honestly re-admitted. The jump's
+    /// direction and width are threaded into the store as a
+    /// [`PrefetchHint`] so rewind storms and fixed-stride skimming
+    /// land on prefetched ground.
     ///
     /// # Errors
     ///
@@ -599,7 +639,10 @@ impl StreamProviderSystem {
         self.share_departure(id, block)?;
         self.with_sender(id, |s| s.seek(frame))?;
         if let Some(store) = &self.store {
-            store.seek_stream(id, frame, now)?;
+            let cur = store.stream_position_block(id).unwrap_or(0);
+            let readahead = u64::from(store.config().readahead_blocks);
+            let hint = self.seek_hint(id, cur, block, readahead);
+            store.seek_stream_with_hint(id, frame, hint, now)?;
         }
         Ok(())
     }

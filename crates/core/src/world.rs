@@ -264,11 +264,10 @@ pub struct World {
     pub store_config: StoreConfig,
     /// Stream-sharing configuration applied to every server added
     /// after this point. Off by default: every viewer charges a full
-    /// disk stream, exactly the pre-sharing behaviour. Set it to
-    /// [`share::ShareConfig::default`] (or tuned knobs) before adding
-    /// servers to batch flash crowds into leader/follower merge
-    /// groups.
-    pub share_config: share::ShareConfig,
+    /// disk stream, exactly the pre-sharing behaviour. Set it through
+    /// [`WorldBuilder::share`] to batch flash crowds into
+    /// leader/follower merge groups.
+    share_config: share::ShareConfig,
     /// Frame rate cameras capture at, applied to every server added
     /// after this point (the `Record` write path paces captured
     /// frames — and sizes its write-bandwidth demand — at this rate).
@@ -316,17 +315,94 @@ impl std::fmt::Debug for World {
     }
 }
 
-impl World {
-    /// Creates a world whose CM network uses `stream_link`.
-    pub fn with_stream_link(seed: u64, stream_link: LinkConfig) -> Self {
-        Self::with_config(seed, stream_link, StoreConfig::default())
+/// Fluent constructor for [`World`]: every construction knob —
+/// network link, storage, stream sharing, record rate, referral hop
+/// budget, health-snapshot cadence — set in one chain, then
+/// [`WorldBuilder::build`].
+///
+/// ```
+/// use mcam::World;
+/// use store::StoreConfig;
+///
+/// let world = World::builder(7)
+///     .store(StoreConfig { disks: 8, ..StoreConfig::default() })
+///     .share(share::ShareConfig::default())
+///     .build();
+/// # drop(world);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorldBuilder {
+    seed: u64,
+    stream_link: LinkConfig,
+    store: StoreConfig,
+    share: share::ShareConfig,
+    record_frame_rate: u32,
+    referral_max_hops: u32,
+    health_interval: SimDuration,
+}
+
+impl WorldBuilder {
+    fn new(seed: u64) -> Self {
+        WorldBuilder {
+            seed,
+            // A mildly jittery, lossless CM network.
+            stream_link: LinkConfig::lossy(
+                SimDuration::from_millis(2),
+                SimDuration::from_micros(500),
+                0.0,
+            ),
+            store: StoreConfig::default(),
+            share: share::ShareConfig::off(),
+            record_frame_rate: 25,
+            referral_max_hops: 4,
+            health_interval: SimDuration::from_millis(250),
+        }
     }
 
-    /// Creates a world with explicit storage knobs: every server added
-    /// gets a block store built from `store_config`.
-    pub fn with_config(seed: u64, stream_link: LinkConfig, store_config: StoreConfig) -> Self {
-        let net = Arc::new(Network::new(seed));
-        let dg = DatagramNet::new(&net, stream_link, seed.wrapping_add(17));
+    /// Replaces the CM network's link model (delay, jitter, loss).
+    pub fn stream_link(mut self, link: LinkConfig) -> Self {
+        self.stream_link = link;
+        self
+    }
+
+    /// Storage knobs applied to every server's block store.
+    pub fn store(mut self, config: StoreConfig) -> Self {
+        self.store = config;
+        self
+    }
+
+    /// Stream-sharing knobs applied to every server's merge engine
+    /// (off by default: every viewer charges a full disk stream).
+    pub fn share(mut self, config: share::ShareConfig) -> Self {
+        self.share = config;
+        self
+    }
+
+    /// Frame rate cameras capture at (paces the `Record` write path).
+    pub fn record_frame_rate(mut self, fps: u32) -> Self {
+        self.record_frame_rate = fps;
+        self
+    }
+
+    /// Referral hop budget handed to cluster-aware clients.
+    pub fn referral_max_hops(mut self, hops: u32) -> Self {
+        self.referral_max_hops = hops;
+        self
+    }
+
+    /// How often the driver snapshots every server's health into the
+    /// journal while the world is active.
+    pub fn health_interval(mut self, every: SimDuration) -> Self {
+        self.health_interval = every;
+        self
+    }
+
+    /// Builds the world. Servers and clients are added afterwards
+    /// ([`World::add_server`], [`World::add_cluster`],
+    /// [`World::add_client`]).
+    pub fn build(self) -> World {
+        let net = Arc::new(Network::new(self.seed));
+        let dg = DatagramNet::new(&net, self.stream_link, self.seed.wrapping_add(17));
         let rt = Arc::new(Runtime::with_virtual_clock(net.clock()));
         let control_delay = SimDuration::from_millis(1);
         let backend = SimBackend::new(&net, control_delay);
@@ -339,10 +415,10 @@ impl World {
             rt,
             control_delay,
             backend,
-            store_config,
-            share_config: share::ShareConfig::off(),
-            record_frame_rate: 25,
-            referral_max_hops: 4,
+            store_config: self.store,
+            share_config: self.share,
+            record_frame_rate: self.record_frame_rate,
+            referral_max_hops: self.referral_max_hops,
             providers: Vec::new(),
             clients: Vec::new(),
             rebalancers: Vec::new(),
@@ -350,10 +426,79 @@ impl World {
             next_addr: 1,
             next_conn: 0,
             seq_options: SeqOptions::default(),
-            health_interval: SimDuration::from_millis(250),
+            health_interval: self.health_interval,
             health_probes: Vec::new(),
             next_health: Mutex::new(None),
         }
+    }
+}
+
+/// One cluster's shape, passed to [`World::add_cluster`]: member
+/// count, protocol stack, replica placement, and (optionally)
+/// control-plane tuning.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    name: String,
+    servers: usize,
+    stack: StackKind,
+    placement: Placement,
+    rebalance: RebalanceConfig,
+}
+
+impl ClusterSpec {
+    /// A cluster of `servers` members named `name-0..`, speaking
+    /// `stack`, placing replicas per `placement`, with the default
+    /// control plane.
+    pub fn new(
+        name: impl Into<String>,
+        servers: usize,
+        stack: StackKind,
+        placement: Placement,
+    ) -> Self {
+        ClusterSpec {
+            name: name.into(),
+            servers,
+            stack,
+            placement,
+            rebalance: RebalanceConfig::default(),
+        }
+    }
+
+    /// Explicit control-plane tuning (sampling interval, copy speed,
+    /// concurrency).
+    pub fn rebalance(mut self, config: RebalanceConfig) -> Self {
+        self.rebalance = config;
+        self
+    }
+}
+
+impl World {
+    /// Starts a fluent [`WorldBuilder`] — the one construction entry
+    /// point; seed fixed up front so every build is deterministic.
+    pub fn builder(seed: u64) -> WorldBuilder {
+        WorldBuilder::new(seed)
+    }
+
+    /// Creates a world whose CM network uses `stream_link`.
+    #[deprecated(note = "use `World::builder(seed).stream_link(..).build()`")]
+    pub fn with_stream_link(seed: u64, stream_link: LinkConfig) -> Self {
+        Self::builder(seed).stream_link(stream_link).build()
+    }
+
+    /// Creates a world with explicit storage knobs: every server added
+    /// gets a block store built from `store_config`.
+    #[deprecated(note = "use `World::builder(seed).stream_link(..).store(..).build()`")]
+    pub fn with_config(seed: u64, stream_link: LinkConfig, store_config: StoreConfig) -> Self {
+        Self::builder(seed)
+            .stream_link(stream_link)
+            .store(store_config)
+            .build()
+    }
+
+    /// The stream-sharing configuration servers are built with (set
+    /// through [`WorldBuilder::share`]).
+    pub fn share_config(&self) -> &share::ShareConfig {
+        &self.share_config
     }
 
     /// The world's event journal: every admission decision, route,
@@ -373,15 +518,9 @@ impl World {
     }
 
     /// Creates a world with a mildly jittery, lossless CM network.
+    #[deprecated(note = "use `World::builder(seed).build()`")]
     pub fn new(seed: u64) -> Self {
-        Self::with_stream_link(
-            seed,
-            LinkConfig::lossy(
-                SimDuration::from_millis(2),
-                SimDuration::from_micros(500),
-                0.0,
-            ),
-        )
+        Self::builder(seed).build()
     }
 
     fn alloc_addr(&mut self) -> NetAddr {
@@ -415,25 +554,9 @@ impl World {
         self.build_server(name, stack, &dsa, base, &peers, &rebalancer, &control)
     }
 
-    /// Adds `count` server machines sharing one movie directory, one
-    /// replica registry, and one control plane (default
-    /// [`RebalanceConfig`]). Movies published with
-    /// [`World::publish_replicated`] are placed on `placement.k()`
-    /// of them; `SelectMovie` through any member routes the stream to
-    /// the replica with the most uncommitted disk bandwidth, and the
-    /// control plane rebalances replica sets as load shifts.
-    pub fn add_cluster(
-        &mut self,
-        name: &str,
-        count: usize,
-        stack: StackKind,
-        placement: Placement,
-    ) -> ClusterHandle {
-        self.add_cluster_with(name, count, stack, placement, RebalanceConfig::default())
-    }
-
-    /// Like [`World::add_cluster`], with explicit control-plane
-    /// tuning (sampling interval, copy speed, concurrency).
+    /// Like [`World::add_cluster`], with the shape spelled out as
+    /// positional arguments.
+    #[deprecated(note = "use `World::add_cluster(ClusterSpec::new(..).rebalance(..))`")]
     pub fn add_cluster_with(
         &mut self,
         name: &str,
@@ -442,6 +565,25 @@ impl World {
         placement: Placement,
         rebalance: RebalanceConfig,
     ) -> ClusterHandle {
+        self.add_cluster(ClusterSpec::new(name, count, stack, placement).rebalance(rebalance))
+    }
+
+    /// Adds the server machines of one [`ClusterSpec`]: the members
+    /// share one movie directory, one replica registry, and one
+    /// control plane. Movies published with
+    /// [`World::publish_replicated`] are placed on `placement.k()`
+    /// of them; `SelectMovie` through any member routes the stream to
+    /// the replica with the most uncommitted disk bandwidth, and the
+    /// control plane rebalances replica sets as load shifts.
+    pub fn add_cluster(&mut self, spec: ClusterSpec) -> ClusterHandle {
+        let ClusterSpec {
+            name,
+            servers: count,
+            stack,
+            placement,
+            rebalance,
+        } = spec;
+        let name = name.as_str();
         let dsa = Dsa::new(format!("dsa-{name}"));
         let base: Dn = "o=movies".parse().expect("static DN");
         dsa.add(base.clone(), directory::Attrs::new())

@@ -3,7 +3,7 @@
 //! and re-routing after a release frees bandwidth.
 
 use directory::MovieEntry;
-use mcam::{ClusterHandle, McamOp, McamPdu, Placement, StackKind, World};
+use mcam::{ClusterHandle, ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 use netsim::{LinkConfig, SimDuration, SimTime};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
@@ -31,16 +31,20 @@ fn cluster_world(
     transfer_bytes_per_sec: u64,
     placement: Placement,
 ) -> (World, ClusterHandle, Vec<mcam::ClientHandle>) {
-    let mut world = World::with_config(
-        seed,
-        LinkConfig::lossy(
+    let mut world = World::builder(seed)
+        .stream_link(LinkConfig::lossy(
             SimDuration::from_millis(2),
             SimDuration::from_micros(500),
             0.0,
-        ),
-        store_config(transfer_bytes_per_sec),
-    );
-    let cluster = world.add_cluster("vod", servers, StackKind::EstellePS, placement);
+        ))
+        .store(store_config(transfer_bytes_per_sec))
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        servers,
+        StackKind::EstellePS,
+        placement,
+    ));
     let handles: Vec<_> = (0..clients)
         .map(|i| {
             let server = &cluster.servers[i % servers].clone();

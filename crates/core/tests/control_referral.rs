@@ -7,7 +7,7 @@
 //! decommissions.
 
 use directory::MovieEntry;
-use mcam::{McamOp, McamPdu, Placement, StackKind, World, ERR_REFERRAL};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World, ERR_REFERRAL};
 use netsim::{LinkConfig, SimDuration};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
@@ -43,8 +43,13 @@ fn select(world: &World, client: &mcam::ClientHandle, title: &str) -> Option<Mca
 /// client's requests (select, play) work exactly as before.
 #[test]
 fn control_connections_spread_across_the_cluster() {
-    let mut world = World::with_stream_link(7, quiet_link());
-    let cluster = world.add_cluster("vod", 4, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(7).stream_link(quiet_link()).build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        4,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let clients: Vec<_> = (0..12)
         .map(|_| world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]))
         .collect();
@@ -119,8 +124,13 @@ fn control_connections_spread_across_the_cluster() {
 /// AssociateReq rides in the original two-field encoding.
 #[test]
 fn legacy_client_is_served_locally() {
-    let mut world = World::with_stream_link(11, quiet_link());
-    let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(11).stream_link(quiet_link()).build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        3,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let home = cluster.servers[0].services.sps.location();
     let legacy = world.add_legacy_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     world.start();
@@ -158,8 +168,13 @@ fn legacy_client_is_served_locally() {
 /// list and settles on a live member.
 #[test]
 fn referral_to_dead_or_draining_target_falls_back() {
-    let mut world = World::with_stream_link(13, quiet_link());
-    let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(13).stream_link(quiet_link()).build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        3,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let home = cluster.servers[0].services.sps.location();
     let second = cluster.servers[1].services.sps.location();
     let third = cluster.servers[2].services.sps.location();
@@ -196,8 +211,13 @@ fn referral_to_dead_or_draining_target_falls_back() {
 /// and never spins.
 #[test]
 fn referral_loops_are_detected() {
-    let mut world = World::with_stream_link(17, quiet_link());
-    let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(1));
+    let mut world = World::builder(17).stream_link(quiet_link()).build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        2,
+        StackKind::EstellePS,
+        Placement::round_robin(1),
+    ));
     let a = cluster.servers[0].services.sps.location();
     let b = cluster.servers[1].services.sps.location();
     let client = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
@@ -236,9 +256,14 @@ fn referral_loops_are_detected() {
 /// A → B → C chain is refused.
 #[test]
 fn referral_hop_limit_terminates_chains() {
-    let mut world = World::with_stream_link(19, quiet_link());
+    let mut world = World::builder(19).stream_link(quiet_link()).build();
     world.referral_max_hops = 1;
-    let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(1));
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        3,
+        StackKind::EstellePS,
+        Placement::round_robin(1),
+    ));
     let a = cluster.servers[0].services.sps.location();
     let b = cluster.servers[1].services.sps.location();
     let c = cluster.servers[2].services.sps.location();
@@ -286,8 +311,16 @@ fn drain_refers_control_connections_away() {
         },
         ..StoreConfig::default()
     };
-    let mut world = World::with_config(23, quiet_link(), store);
-    let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(23)
+        .stream_link(quiet_link())
+        .store(store)
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        3,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let home = cluster.servers[0].services.sps.location();
     let client = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     world.start();
@@ -373,8 +406,16 @@ fn saturation_invalidates_the_cached_referral() {
         },
         ..StoreConfig::default()
     };
-    let mut world = World::with_config(29, quiet_link(), store);
-    let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(29)
+        .stream_link(quiet_link())
+        .store(store)
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        2,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let home = cluster.servers[0].services.sps.location();
     let other = cluster.servers[1].services.sps.location();
     let client = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);

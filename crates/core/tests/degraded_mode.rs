@@ -8,7 +8,7 @@
 
 use directory::MovieEntry;
 use mcam::agents::source_for_entry;
-use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 use netsim::{LinkConfig, NetAddr, SimDuration};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
@@ -69,7 +69,7 @@ fn run_rebuild_to_completion(world: &World, server: &mcam::ServerHandle, max_sec
 /// journaled under an intact hash chain.
 #[test]
 fn spindle_death_rebuilds_under_foreground_load() {
-    let mut world = World::with_stream_link(101, quiet_link());
+    let mut world = World::builder(101).stream_link(quiet_link()).build();
     let server = world.add_server("ksr1", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
@@ -144,8 +144,13 @@ fn spindle_death_rebuilds_under_foreground_load() {
 /// played frame — journaled as `StreamFailedOver`.
 #[test]
 fn server_crash_fails_the_stream_over_to_a_replica() {
-    let mut world = World::with_stream_link(103, quiet_link());
-    let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(103).stream_link(quiet_link()).build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        2,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let a = cluster.servers[0].services.sps.location();
     let b = cluster.servers[1].services.sps.location();
     let client = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
@@ -256,8 +261,16 @@ fn sole_holder_crash_yields_503_not_a_panic() {
         },
         ..StoreConfig::default()
     };
-    let mut world = World::with_config(107, quiet_link(), store);
-    let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(1));
+    let mut world = World::builder(107)
+        .stream_link(quiet_link())
+        .store(store)
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        2,
+        StackKind::EstellePS,
+        Placement::round_robin(1),
+    ));
     let clients: Vec<_> = (0..2)
         .map(|i| world.add_client(&cluster.servers[i], StackKind::EstellePS, vec![]))
         .collect();
@@ -314,8 +327,13 @@ fn sole_holder_crash_yields_503_not_a_panic() {
 /// crash left under-replicated.
 #[test]
 fn journal_chain_verifies_across_every_fault_lifecycle() {
-    let mut world = World::with_stream_link(109, quiet_link());
-    let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(109).stream_link(quiet_link()).build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        3,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let a = cluster.servers[0].services.sps.location();
     let b = cluster.servers[1].services.sps.location();
     let client = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);

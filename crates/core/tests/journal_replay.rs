@@ -3,7 +3,7 @@
 //! tampering with a recorded event breaks chain verification.
 
 use directory::MovieEntry;
-use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 use netsim::{LinkConfig, SimDuration};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
@@ -25,16 +25,20 @@ fn store_config() -> StoreConfig {
 /// health sampling: 2 servers, 2 viewers, one replicated title, one
 /// viewer plays for a second of sim time. Returns the journal JSONL.
 fn run_scenario(seed: u64) -> String {
-    let mut world = World::with_config(
-        seed,
-        LinkConfig::lossy(
+    let mut world = World::builder(seed)
+        .stream_link(LinkConfig::lossy(
             SimDuration::from_millis(2),
             SimDuration::from_micros(500),
             0.0,
-        ),
-        store_config(),
-    );
-    let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(2));
+        ))
+        .store(store_config())
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        2,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let clients: Vec<_> = (0..2)
         .map(|i| world.add_client(&cluster.servers[i % 2], StackKind::EstellePS, vec![]))
         .collect();

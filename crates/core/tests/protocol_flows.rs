@@ -6,7 +6,7 @@ use mcam::{McamOp, McamPdu, StackKind, World};
 use netsim::{LinkConfig, SimDuration, SimTime};
 
 fn world_with_client(stack: StackKind) -> (World, mcam::ServerHandle, mcam::ClientHandle) {
-    let mut world = World::new(11);
+    let mut world = World::builder(11).build();
     let server = world.add_server("s1", stack);
     let client = world.add_client(&server, stack, vec![]);
     world.start();
@@ -151,7 +151,7 @@ fn full_access_management_cycle() {
 #[test]
 fn playback_control_cycle_with_stream() {
     let (mut world, server, client) = {
-        let mut world = World::new(23);
+        let mut world = World::builder(23).build();
         let server = world.add_server("s1", StackKind::EstellePS);
         let client = world.add_client(&server, StackKind::EstellePS, vec![]);
         world.start();
@@ -304,7 +304,7 @@ fn release_cycle_allows_no_further_requests() {
 
 #[test]
 fn two_clients_share_one_server_machine() {
-    let mut world = World::new(31);
+    let mut world = World::builder(31).build();
     let server = world.add_server("s1", StackKind::EstellePS);
     let c1 = world.add_client(&server, StackKind::EstellePS, vec![]);
     let c2 = world.add_client(&server, StackKind::EstellePS, vec![]);
@@ -369,7 +369,7 @@ fn mixed_stacks_one_server() {
     // machine (each connection gets its own server entity of the
     // matching stack kind, so use two roots sharing services is not
     // needed — two servers stand in for the two stack columns).
-    let mut world = World::new(41);
+    let mut world = World::builder(41).build();
     let s_est = world.add_server("est", StackKind::EstellePS);
     let c_est = world.add_client(&s_est, StackKind::EstellePS, vec![]);
     let s_iso = world.add_server("iso", StackKind::Isode);
@@ -393,7 +393,7 @@ fn mixed_stacks_one_server() {
 
 #[test]
 fn scripted_application_plays_through() {
-    let mut world = World::new(55);
+    let mut world = World::builder(55).build();
     let server = world.add_server("s1", StackKind::EstellePS);
     let script = vec![
         McamOp::Associate {
@@ -429,14 +429,13 @@ fn lossy_stream_network_does_not_disturb_control() {
     // Table 1: the control protocol runs over the reliable stack, the
     // stream over the lossy one; heavy stream loss must not affect
     // control correctness.
-    let mut world = World::with_stream_link(
-        77,
-        LinkConfig::lossy(
+    let mut world = World::builder(77)
+        .stream_link(LinkConfig::lossy(
             SimDuration::from_millis(3),
             SimDuration::from_millis(1),
             0.3,
-        ),
-    );
+        ))
+        .build();
     let server = world.add_server("s1", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();

@@ -6,7 +6,7 @@
 //! readers and tolerant of stale replica lists throughout.
 
 use directory::{attr, MovieEntry};
-use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 use netsim::{LinkConfig, SimDuration};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
@@ -69,8 +69,16 @@ fn query_entry(world: &World, client: &mcam::ClientHandle, title: &str) -> direc
 /// rewritten entry still decodes for replica-unaware readers.
 #[test]
 fn hot_title_grows_onto_the_idle_server_and_routing_sees_it() {
-    let mut world = World::with_config(31, quiet_link(), tight_store());
-    let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(31)
+        .stream_link(quiet_link())
+        .store(tight_store())
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        3,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let clients: Vec<_> = (0..5)
         .map(|i| {
             let server = cluster.servers[i % 3].clone();
@@ -153,9 +161,17 @@ fn hot_title_grows_onto_the_idle_server_and_routing_sees_it() {
 /// decommission, and after completion no title is under-replicated.
 #[test]
 fn drain_under_load_migrates_sole_copies_and_decommissions_cleanly() {
-    let mut world = World::with_config(32, quiet_link(), tight_store());
+    let mut world = World::builder(32)
+        .stream_link(quiet_link())
+        .store(tight_store())
+        .build();
     // K=1 placements make every title a sole copy — the hard case.
-    let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::round_robin(1));
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        3,
+        StackKind::EstellePS,
+        Placement::round_robin(1),
+    ));
     let viewer = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     // The late viewer connects to the third server: the drain's own
     // migration reserves bandwidth on the least-loaded peer (node-2),
@@ -269,9 +285,22 @@ fn drain_under_load_migrates_sole_copies_and_decommissions_cleanly() {
 /// double drain is reported as such.
 #[test]
 fn drain_refusals() {
-    let mut world = World::with_config(33, quiet_link(), tight_store());
-    let solo = world.add_cluster("solo", 1, StackKind::EstellePS, Placement::round_robin(1));
-    let pair = world.add_cluster("pair", 2, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(33)
+        .stream_link(quiet_link())
+        .store(tight_store())
+        .build();
+    let solo = world.add_cluster(ClusterSpec::new(
+        "solo",
+        1,
+        StackKind::EstellePS,
+        Placement::round_robin(1),
+    ));
+    let pair = world.add_cluster(ClusterSpec::new(
+        "pair",
+        2,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     world.start();
 
     let entry = MovieEntry::new("Only", "pending");
@@ -297,8 +326,16 @@ fn drain_refusals() {
 /// to local service — never a panic, never a routing error.
 #[test]
 fn stale_replica_lists_fail_over_instead_of_panicking() {
-    let mut world = World::with_config(34, quiet_link(), tight_store());
-    let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(34)
+        .stream_link(quiet_link())
+        .store(tight_store())
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        2,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let client = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     world.start();
     associate(&world, &client, "viewer");

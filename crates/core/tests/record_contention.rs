@@ -6,7 +6,7 @@
 
 use directory::MovieEntry;
 use mcam::agents::source_for_entry;
-use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 use netsim::{LinkConfig, SimDuration};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
@@ -58,8 +58,16 @@ fn await_record_reply(world: &World, client: &mcam::ClientHandle, limit_secs: u6
 
 #[test]
 fn record_steals_bandwidth_and_releases_it() {
-    let mut world = World::with_config(11, quiet_link(), tight_store());
-    let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(11)
+        .stream_link(quiet_link())
+        .store(tight_store())
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        2,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let recorder = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     let viewer1 = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     let viewer2 = world.add_client(&cluster.servers[1], StackKind::EstellePS, vec![]);
@@ -141,7 +149,10 @@ fn record_steals_bandwidth_and_releases_it() {
 #[test]
 fn recording_is_refused_on_a_saturated_server() {
     // Standalone server, capacity for one stream only.
-    let mut world = World::with_config(12, quiet_link(), tight_store());
+    let mut world = World::builder(12)
+        .stream_link(quiet_link())
+        .store(tight_store())
+        .build();
     let server = world.add_server("solo", StackKind::EstellePS);
     let viewer = world.add_client(&server, StackKind::EstellePS, vec![]);
     let recorder = world.add_client(&server, StackKind::EstellePS, vec![]);
@@ -202,8 +213,16 @@ fn recording_is_refused_on_a_saturated_server() {
 #[test]
 fn recorded_movie_is_replicated_and_playable_from_every_replica() {
     // Generous storage: contention is not the point here.
-    let mut world = World::with_config(13, quiet_link(), StoreConfig::default());
-    let cluster = world.add_cluster("vod", 3, StackKind::EstellePS, Placement::least_loaded(2));
+    let mut world = World::builder(13)
+        .stream_link(quiet_link())
+        .store(StoreConfig::default())
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        3,
+        StackKind::EstellePS,
+        Placement::least_loaded(2),
+    ));
     let recorder = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     world.start();
     associate(&world, &recorder, "rec");

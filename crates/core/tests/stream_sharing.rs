@@ -6,7 +6,7 @@
 //! stays merged), and the whole lifecycle lands in the verifiable
 //! event journal.
 
-use mcam::{McamOp, McamPdu, Placement, ShareConfig, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, ShareConfig, StackKind, World};
 use netsim::{LinkConfig, SimDuration};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
@@ -59,9 +59,17 @@ fn publish(world: &World, cluster: &mcam::ClusterHandle, title: &str, frames: u6
 /// free, and the admission controller's headroom does not move.
 #[test]
 fn followers_admit_free_under_saturation() {
-    let mut world = World::with_config(71, quiet_link(), tight_store());
-    world.share_config = ShareConfig::default();
-    let cluster = world.add_cluster("vod", 1, StackKind::EstellePS, Placement::round_robin(1));
+    let mut world = World::builder(71)
+        .stream_link(quiet_link())
+        .store(tight_store())
+        .share(ShareConfig::default())
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        1,
+        StackKind::EstellePS,
+        Placement::round_robin(1),
+    ));
     let clients: Vec<_> = (0..4)
         .map(|_| world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]))
         .collect();
@@ -104,14 +112,22 @@ fn followers_admit_free_under_saturation() {
 /// the delta back to admission.
 #[test]
 fn fast_feed_converges_and_releases_its_delta() {
-    let mut world = World::with_config(72, quiet_link(), tight_store());
-    world.share_config = ShareConfig {
-        enabled: true,
-        merge_window_blocks: 1,
-        catch_up_horizon_blocks: 8,
-        catch_up_rate_pct: 200,
-    };
-    let cluster = world.add_cluster("vod", 1, StackKind::EstellePS, Placement::round_robin(1));
+    let mut world = World::builder(72)
+        .stream_link(quiet_link())
+        .store(tight_store())
+        .share(ShareConfig {
+            enabled: true,
+            merge_window_blocks: 1,
+            catch_up_horizon_blocks: 8,
+            catch_up_rate_pct: 200,
+        })
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        1,
+        StackKind::EstellePS,
+        Placement::round_robin(1),
+    ));
     let leader = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     let chaser = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     world.start();
@@ -168,9 +184,17 @@ fn fast_feed_converges_and_releases_its_delta() {
 /// once.
 #[test]
 fn leader_close_promotes_a_follower_without_a_playback_gap() {
-    let mut world = World::with_config(73, quiet_link(), tight_store());
-    world.share_config = ShareConfig::default();
-    let cluster = world.add_cluster("vod", 1, StackKind::EstellePS, Placement::round_robin(1));
+    let mut world = World::builder(73)
+        .stream_link(quiet_link())
+        .store(tight_store())
+        .share(ShareConfig::default())
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        1,
+        StackKind::EstellePS,
+        Placement::round_robin(1),
+    ));
     let leader = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     let follower = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     world.start();
@@ -231,9 +255,17 @@ fn leader_close_promotes_a_follower_without_a_playback_gap() {
 /// (staying merged), admitted — and split out — once capacity frees.
 #[test]
 fn seek_out_of_group_readmits_or_503s_honestly() {
-    let mut world = World::with_config(74, quiet_link(), tight_store());
-    world.share_config = ShareConfig::default();
-    let cluster = world.add_cluster("vod", 1, StackKind::EstellePS, Placement::round_robin(1));
+    let mut world = World::builder(74)
+        .stream_link(quiet_link())
+        .store(tight_store())
+        .share(ShareConfig::default())
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        1,
+        StackKind::EstellePS,
+        Placement::round_robin(1),
+    ));
     let leader = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     let follower = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     let rival = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
@@ -278,14 +310,22 @@ fn seek_out_of_group_readmits_or_503s_honestly() {
 /// verifies, and a JSONL round-trip re-verifies offline.
 #[test]
 fn journal_chain_verifies_across_the_merge_lifecycle() {
-    let mut world = World::with_config(75, quiet_link(), tight_store());
-    world.share_config = ShareConfig {
-        enabled: true,
-        merge_window_blocks: 1,
-        catch_up_horizon_blocks: 8,
-        catch_up_rate_pct: 200,
-    };
-    let cluster = world.add_cluster("vod", 1, StackKind::EstellePS, Placement::round_robin(1));
+    let mut world = World::builder(75)
+        .stream_link(quiet_link())
+        .store(tight_store())
+        .share(ShareConfig {
+            enabled: true,
+            merge_window_blocks: 1,
+            catch_up_horizon_blocks: 8,
+            catch_up_rate_pct: 200,
+        })
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        1,
+        StackKind::EstellePS,
+        Placement::round_robin(1),
+    ));
     let clients: Vec<_> = (0..3)
         .map(|_| world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]))
         .collect();

@@ -317,7 +317,7 @@ pub fn scheduler_experiment(connections: usize, data_requests: u32) -> (Table, f
 /// table plus (wall, firings) per stack.
 pub fn generated_vs_handcoded(ops_per_client: usize) -> (Table, (Duration, u64), (Duration, u64)) {
     let run = |stack: StackKind| {
-        let mut world = World::new(99);
+        let mut world = World::builder(99).build();
         let server = world.add_server("cmp", stack);
         let client = world.add_client(&server, stack, vec![]);
         world.start();
@@ -476,14 +476,13 @@ pub fn table1_experiment(
     stream_loss: f64,
     seconds: u64,
 ) -> (Table, ProtocolProfile, ProtocolProfile) {
-    let mut world = World::with_stream_link(
-        2026,
-        LinkConfig::lossy(
+    let mut world = World::builder(2026)
+        .stream_link(LinkConfig::lossy(
             SimDuration::from_millis(3),
             SimDuration::from_millis(1),
             stream_loss,
-        ),
-    );
+        ))
+        .build();
     let server = world.add_server("t1", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();

@@ -62,4 +62,7 @@ pub use alloc::BlockAllocator;
 pub use cache::{BlockKey, BufferCache, CachePolicy, CacheStats};
 pub use disk::{Disk, DiskParams, DiskSched, DiskStats, IoKind};
 pub use layout::{BlockAddr, BlockMap, MovieId, StripeLayout};
-pub use store::{BlockStore, RecordingSummary, StoreConfig, StoreError, StoreStats};
+pub use store::{
+    BlockStore, PrefetchDirection, PrefetchHint, RecordingSummary, StoreConfig, StoreError,
+    StoreStats,
+};

@@ -44,6 +44,11 @@ pub struct StoreConfig {
     /// Percentage of the raw disk bandwidth the admission controller
     /// may commit (guards against seek-heavy worst cases).
     pub admission_headroom_pct: u32,
+    /// Whether the prefetcher honors [`PrefetchHint`]s from the
+    /// session layer. Off, every hinted call degrades to the plain
+    /// forward window — the knob the VCR-storm bench flips to measure
+    /// what the hints buy.
+    pub prefetch_hints: bool,
 }
 
 impl Default for StoreConfig {
@@ -57,7 +62,67 @@ impl Default for StoreConfig {
             prefetch_depth: 16,
             readahead_blocks: 32,
             admission_headroom_pct: 85,
+            prefetch_hints: true,
         }
+    }
+}
+
+/// Predicted consumption direction of a [`PrefetchHint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchDirection {
+    /// Playback advances; the prefetcher runs its usual dense window.
+    #[default]
+    Forward,
+    /// The viewer is rewinding (backward-seek storm): blocks *behind*
+    /// the playback base are worth caching.
+    Backward,
+}
+
+/// A trick-mode prediction the session layer threads into the
+/// prefetcher: which way the viewer's next repositioning will go and
+/// how far (in blocks) each jump lands.
+///
+/// The default (`Forward`, stride 1) reproduces the unhinted
+/// prefetcher exactly. A forward hint with stride *s* widens the
+/// read-ahead horizon *s*-fold so repeated forward jumps land inside
+/// prefetched ground; a backward hint arms a bounded strided sweep
+/// behind the playback base that fills the cache for the next rewind
+/// without ever touching the forward pipeline's delivery accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchHint {
+    /// Predicted direction of the next repositioning.
+    pub direction: PrefetchDirection,
+    /// Predicted jump width in blocks (clamped to at least 1).
+    pub stride: u32,
+}
+
+impl Default for PrefetchHint {
+    fn default() -> Self {
+        PrefetchHint::forward(1)
+    }
+}
+
+impl PrefetchHint {
+    /// A forward hint: stride 1 is the plain dense window, larger
+    /// strides widen the horizon for repeated forward jumps.
+    pub fn forward(stride: u32) -> Self {
+        PrefetchHint {
+            direction: PrefetchDirection::Forward,
+            stride: stride.max(1),
+        }
+    }
+
+    /// A backward hint for rewind storms jumping `stride` blocks back.
+    pub fn backward(stride: u32) -> Self {
+        PrefetchHint {
+            direction: PrefetchDirection::Backward,
+            stride: stride.max(1),
+        }
+    }
+
+    /// True for the hint that reproduces unhinted behavior.
+    pub fn is_default(&self) -> bool {
+        *self == PrefetchHint::default()
     }
 }
 
@@ -338,9 +403,44 @@ struct StreamRec {
     /// Current playback block position (for interval caching).
     position_block: u64,
     speed_pct: u32,
+    /// Trick-mode prediction from the session layer (default hint =
+    /// plain dense forward window).
+    hint: PrefetchHint,
+    /// Next descending target of the armed backward sweep, if any.
+    back_fetch: Option<u64>,
+    /// Backward fetches the active sweep may still issue.
+    back_budget: u32,
 }
 
 impl StreamRec {
+    fn new(movie: MovieId, speed_pct: u32) -> Self {
+        StreamRec {
+            movie,
+            next_fetch: 0,
+            base_block: 0,
+            contiguous: 0,
+            early: BTreeSet::new(),
+            outstanding: 0,
+            position_block: 0,
+            speed_pct,
+            hint: PrefetchHint::default(),
+            back_fetch: None,
+            back_budget: 0,
+        }
+    }
+
+    /// Arms (or disarms) the backward sweep for the current hint,
+    /// starting behind `base`.
+    fn arm_sweep(&mut self, base: u64, budget: u32) {
+        if self.hint.direction == PrefetchDirection::Backward {
+            self.back_fetch = base.checked_sub(u64::from(self.hint.stride.max(1)));
+            self.back_budget = budget;
+        } else {
+            self.back_fetch = None;
+            self.back_budget = 0;
+        }
+    }
+
     fn deliver(&mut self, block: u64) {
         if block < self.base_block + self.contiguous {
             return; // stale or already-counted (pre-seek) completion
@@ -461,10 +561,17 @@ impl StoreInner {
             return;
         };
         let movie = self.movies[&stream.movie].clone();
+        // A forward hint's stride widens the horizon so a viewer
+        // jumping ahead in fixed steps keeps landing on prefetched
+        // ground; the default stride of 1 is the unhinted window.
+        let fwd_stride = match stream.hint.direction {
+            PrefetchDirection::Forward => u64::from(stream.hint.stride.max(1)),
+            PrefetchDirection::Backward => 1,
+        };
         let horizon = stream
             .position_block
             .max(stream.base_block)
-            .saturating_add(u64::from(self.config.readahead_blocks.max(1)));
+            .saturating_add(u64::from(self.config.readahead_blocks.max(1)) * fwd_stride);
         let window_end = horizon.min(movie.layout.block_count());
         let window = window_end.saturating_sub(stream.next_fetch);
         let batch = u64::from(
@@ -474,10 +581,9 @@ impl StoreInner {
         );
         let starving = stream.position_block.max(stream.base_block) >= stream.ready_through_block();
         let tail = window_end >= movie.layout.block_count();
-        if !starving && !tail && window < batch {
-            return;
-        }
-        while stream.outstanding < self.config.prefetch_depth.max(1)
+        let gated = !starving && !tail && window < batch;
+        while !gated
+            && stream.outstanding < self.config.prefetch_depth.max(1)
             && stream.next_fetch < movie.layout.block_count()
             && stream.next_fetch < horizon
         {
@@ -521,6 +627,50 @@ impl StoreInner {
             stream.next_fetch += 1;
             stream.outstanding += 1;
             self.in_flight.insert(key, vec![stream_id]);
+        }
+        // Backward sweep: a rewind-storm hint pre-reads a strided,
+        // budget-bounded window *behind* the playback base so the
+        // next backward seek lands on cache-resident blocks. The
+        // sweep never touches `next_fetch`/`contiguous` — delivery
+        // ignores blocks behind the base — so the forward pipeline's
+        // semantics are untouched; it runs after the forward loop, so
+        // forward playback always claims the depth slots first.
+        if stream.hint.direction == PrefetchDirection::Backward {
+            let stride = u64::from(stream.hint.stride.max(1));
+            while stream.outstanding < self.config.prefetch_depth.max(1) && stream.back_budget > 0 {
+                let Some(block) = stream.back_fetch else {
+                    break;
+                };
+                stream.back_fetch = block.checked_sub(stride);
+                stream.back_budget -= 1;
+                let key = BlockKey {
+                    movie: stream.movie,
+                    index: block,
+                };
+                if self.cache.lookup(key) {
+                    continue;
+                }
+                if let Some(waiters) = self.in_flight.get_mut(&key) {
+                    if !waiters.contains(&stream_id) {
+                        waiters.push(stream_id);
+                        stream.outstanding += 1;
+                        self.coalesced_reads += 1;
+                    }
+                    continue;
+                }
+                let addr = movie.layout.locate(block);
+                if self.failed_disks.contains(&addr.disk) {
+                    continue;
+                }
+                self.disks[addr.disk].enqueue(
+                    now,
+                    stream.movie,
+                    addr.offset,
+                    u64::from(self.config.block_size),
+                );
+                stream.outstanding += 1;
+                self.in_flight.insert(key, vec![stream_id]);
+            }
         }
     }
 
@@ -915,19 +1065,9 @@ impl BlockStore {
         };
         let demand = demand_bps(rec.bitrate_bps, speed_pct);
         inner.admit_journaled(AdmissionClass::Stream, stream_id, demand)?;
-        inner.streams.insert(
-            stream_id,
-            StreamRec {
-                movie,
-                next_fetch: 0,
-                base_block: 0,
-                contiguous: 0,
-                early: BTreeSet::new(),
-                outstanding: 0,
-                position_block: 0,
-                speed_pct,
-            },
-        );
+        inner
+            .streams
+            .insert(stream_id, StreamRec::new(movie, speed_pct));
         inner.issue(stream_id, now);
         Ok(())
     }
@@ -960,19 +1100,9 @@ impl BlockStore {
         if demand_bps > 0 {
             inner.admit_journaled(AdmissionClass::Stream, stream_id, demand_bps)?;
         }
-        inner.streams.insert(
-            stream_id,
-            StreamRec {
-                movie,
-                next_fetch: 0,
-                base_block: 0,
-                contiguous: 0,
-                early: BTreeSet::new(),
-                outstanding: 0,
-                position_block: 0,
-                speed_pct,
-            },
-        );
+        inner
+            .streams
+            .insert(stream_id, StreamRec::new(movie, speed_pct));
         inner.issue(stream_id, now);
         Ok(())
     }
@@ -1066,13 +1196,37 @@ impl BlockStore {
     }
 
     /// Repositions a stream's prefetcher to the block holding `frame`.
+    /// Any trick-mode prefetch hint is reset: an unhinted seek means
+    /// the session layer has no prediction.
     ///
     /// # Errors
     ///
     /// [`StoreError::UnknownStream`] for unknown ids.
     pub fn seek_stream(&self, stream_id: u32, frame: u64, now: SimTime) -> Result<(), StoreError> {
+        self.seek_stream_with_hint(stream_id, frame, PrefetchHint::default(), now)
+    }
+
+    /// Repositions a stream's prefetcher to the block holding `frame`
+    /// carrying the session layer's trick-mode prediction: a backward
+    /// hint arms a strided cache-filling sweep behind the new base, a
+    /// forward hint with stride > 1 widens the read-ahead horizon.
+    /// With [`StoreConfig::prefetch_hints`] off the hint is dropped
+    /// and this is exactly [`BlockStore::seek_stream`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownStream`] for unknown ids.
+    pub fn seek_stream_with_hint(
+        &self,
+        stream_id: u32,
+        frame: u64,
+        hint: PrefetchHint,
+        now: SimTime,
+    ) -> Result<(), StoreError> {
         let mut guard = self.inner.lock();
         let inner = &mut *guard;
+        let honor = inner.config.prefetch_hints;
+        let budget = inner.config.readahead_blocks.max(1);
         let Some(stream) = inner.streams.get_mut(&stream_id) else {
             return Err(StoreError::UnknownStream(stream_id));
         };
@@ -1083,8 +1237,39 @@ impl BlockStore {
         stream.contiguous = 0;
         stream.early.clear();
         stream.position_block = block;
+        stream.hint = if honor { hint } else { PrefetchHint::default() };
+        stream.arm_sweep(block, budget);
         inner.issue(stream_id, now);
         Ok(())
+    }
+
+    /// Replaces a stream's trick-mode prefetch hint without
+    /// repositioning it (the Play-at-speed path). A backward hint
+    /// arms its sweep from the current playback base. No-op (beyond
+    /// the error check) when [`StoreConfig::prefetch_hints`] is off.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownStream`] for unknown ids.
+    pub fn set_prefetch_hint(&self, stream_id: u32, hint: PrefetchHint) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        let honor = inner.config.prefetch_hints;
+        let budget = inner.config.readahead_blocks.max(1);
+        let Some(stream) = inner.streams.get_mut(&stream_id) else {
+            return Err(StoreError::UnknownStream(stream_id));
+        };
+        if !honor {
+            return Ok(());
+        }
+        stream.hint = hint;
+        let base = stream.base_block.max(stream.position_block);
+        stream.arm_sweep(base, budget);
+        Ok(())
+    }
+
+    /// A stream's current trick-mode prefetch hint.
+    pub fn prefetch_hint(&self, stream_id: u32) -> Option<PrefetchHint> {
+        self.inner.lock().streams.get(&stream_id).map(|s| s.hint)
     }
 
     /// Closes a stream, releasing its bandwidth (idempotent).
@@ -1882,6 +2067,129 @@ mod tests {
             .seek_stream(3, movie.frame_count - 1, SimTime::ZERO)
             .unwrap();
         drain(&store, 3, movie.frame_count);
+    }
+
+    /// Pumps every due event, bounded, without advancing playback.
+    fn pump_quiet(store: &BlockStore, now: &mut SimTime) {
+        for _ in 0..10_000 {
+            let Some(t) = store.next_event() else { break };
+            *now = (*now).max(t);
+            store.pump(*now);
+        }
+    }
+
+    /// Frames per block of `movie` on `store` (first frame whose
+    /// block index is 1).
+    fn frames_per_block(store: &BlockStore, movie: MovieId) -> u64 {
+        (1..1_000_000)
+            .find(|f| store.block_of_frame(movie, *f) == Some(1))
+            .expect("movie spans more than one block")
+    }
+
+    #[test]
+    fn backward_hint_preloads_rewind_target() {
+        for hints in [true, false] {
+            let store = BlockStore::new(StoreConfig {
+                cache_blocks: 256,
+                prefetch_hints: hints,
+                ..tiny_config()
+            });
+            let movie = MovieSource::test_movie(120, 6);
+            let id = store.register_movie(&movie);
+            store.open_stream(9, id, 100, SimTime::ZERO).unwrap();
+            let fpb = frames_per_block(&store, id);
+            let last_block = store.block_of_frame(id, movie.frame_count - 1).unwrap();
+            let stride = (last_block / 4).max(1) as u32;
+            let mid_block = last_block / 2;
+            let mut now = SimTime::ZERO;
+            // Seek to the middle with a backward hint: the sweep
+            // pre-reads strided blocks behind the base.
+            store
+                .seek_stream_with_hint(9, mid_block * fpb, PrefetchHint::backward(stride), now)
+                .unwrap();
+            pump_quiet(&store, &mut now);
+            // Rewind by one stride: with hints the target block is
+            // cache-resident and delivery is immediate.
+            let back_block = mid_block - u64::from(stride);
+            store
+                .seek_stream_with_hint(9, back_block * fpb, PrefetchHint::backward(stride), now)
+                .unwrap();
+            let ready = store.frames_ready_through(9).unwrap();
+            if hints {
+                assert!(
+                    ready > back_block * fpb,
+                    "swept block should deliver from cache instantly (ready {ready})"
+                );
+            } else {
+                assert_eq!(
+                    ready,
+                    back_block * fpb,
+                    "without hints the rewind target still waits on disk"
+                );
+                assert!(store.prefetch_hint(9).unwrap().is_default());
+            }
+        }
+    }
+
+    #[test]
+    fn rewind_storm_hit_ratio_improves_with_hints() {
+        let run = |hints: bool| -> (u64, f64) {
+            let store = BlockStore::new(StoreConfig {
+                cache_blocks: 512,
+                prefetch_hints: hints,
+                ..tiny_config()
+            });
+            let movie = MovieSource::test_movie(180, 6);
+            let id = store.register_movie(&movie);
+            store.open_stream(4, id, 100, SimTime::ZERO).unwrap();
+            let fpb = frames_per_block(&store, id);
+            let last_block = store.block_of_frame(id, movie.frame_count - 1).unwrap();
+            let stride = (last_block / 12).max(2);
+            let mut block = last_block - 1;
+            let mut now = SimTime::ZERO;
+            while block >= stride {
+                store
+                    .seek_stream_with_hint(
+                        4,
+                        block * fpb,
+                        PrefetchHint::backward(stride as u32),
+                        now,
+                    )
+                    .unwrap();
+                pump_quiet(&store, &mut now);
+                block -= stride;
+            }
+            let stats = store.stats();
+            (stats.cache.hits, stats.service_hit_ratio())
+        };
+        let (hits_on, ratio_on) = run(true);
+        let (hits_off, ratio_off) = run(false);
+        assert!(
+            hits_on > hits_off && ratio_on > ratio_off,
+            "rewind storm must hit more with hints: {hits_on}/{ratio_on:.3} vs {hits_off}/{ratio_off:.3}"
+        );
+    }
+
+    #[test]
+    fn forward_hint_widens_readahead_horizon() {
+        let run = |stride: u32| -> u64 {
+            let store = BlockStore::new(StoreConfig {
+                cache_blocks: 512,
+                ..tiny_config()
+            });
+            let movie = MovieSource::test_movie(240, 8);
+            let id = store.register_movie(&movie);
+            store.open_stream(2, id, 100, SimTime::ZERO).unwrap();
+            store
+                .set_prefetch_hint(2, PrefetchHint::forward(stride))
+                .unwrap();
+            let mut now = SimTime::ZERO;
+            pump_quiet(&store, &mut now);
+            store.stats().blocks_delivered
+        };
+        // Without advancing playback, fetches are bounded by the
+        // horizon: a strided forward hint must widen it.
+        assert!(run(4) > run(1));
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn config(disks: usize, block_kib: u32) -> StoreConfig {
         prefetch_depth: 4,
         readahead_blocks: 16,
         admission_headroom_pct: 85,
+        ..StoreConfig::default()
     }
 }
 

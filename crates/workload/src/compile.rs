@@ -1,0 +1,569 @@
+//! Lowering: [`WorkloadSpec`] → validated [`CompiledWorkload`].
+//!
+//! Validation happens entirely before anything runs, forester-style:
+//! unknown titles, impossible rates, contradictory op mixes, and
+//! phases contending for the same titles at the same time are
+//! [`CompileError`]s, not runtime surprises. Lowering is a pure
+//! function of (spec, seed): compiling the same spec twice yields the
+//! same agent scripts, op for op, timestamp for timestamp.
+
+use crate::spec::{Arrival, Behaviour, Phase, Popularity, WorkloadSpec};
+use crate::zipf::Zipf;
+use mcam::McamOp;
+use netsim::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Why a spec does not compile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The spec has no titles.
+    NoTitles,
+    /// Two titles share a name.
+    DuplicateTitle(String),
+    /// A phase references a title the catalogue does not hold.
+    UnknownTitle {
+        /// Offending phase.
+        phase: String,
+        /// The missing title.
+        title: String,
+    },
+    /// A phase produces no arrivals.
+    NoArrivals(String),
+    /// An arrival curve demands an impossible rate (zero spacing or
+    /// zero duration for more than one viewer, zero-length storm
+    /// intervals).
+    ImpossibleRate {
+        /// Offending phase.
+        phase: String,
+        /// What exactly is impossible.
+        what: &'static str,
+    },
+    /// A VCR mix assigns more than 100 percentage points.
+    BadMix {
+        /// Offending phase.
+        phase: String,
+        /// The mix's explicit percentage sum.
+        sum: u32,
+    },
+    /// A Zipf popularity with a non-positive or non-finite exponent.
+    BadZipf(String),
+    /// Two phases contend for the same titles at the same time.
+    OverlappingPhases {
+        /// Earlier phase.
+        first: String,
+        /// Overlapping phase.
+        second: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NoTitles => write!(f, "spec has no titles"),
+            CompileError::DuplicateTitle(t) => write!(f, "duplicate title {t:?}"),
+            CompileError::UnknownTitle { phase, title } => {
+                write!(f, "phase {phase:?} references unknown title {title:?}")
+            }
+            CompileError::NoArrivals(p) => write!(f, "phase {p:?} produces no arrivals"),
+            CompileError::ImpossibleRate { phase, what } => {
+                write!(f, "phase {phase:?} demands an impossible rate: {what}")
+            }
+            CompileError::BadMix { phase, sum } => {
+                write!(f, "phase {phase:?} VCR mix sums to {sum}% (> 100%)")
+            }
+            CompileError::BadZipf(p) => {
+                write!(f, "phase {p:?} Zipf exponent must be positive and finite")
+            }
+            CompileError::OverlappingPhases { first, second } => write!(
+                f,
+                "phases {first:?} and {second:?} contend for the same titles at the same time"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// One lowered title: everything a runner needs to register it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledTitle {
+    /// Directory title.
+    pub name: String,
+    /// Length in seconds.
+    pub seconds: u64,
+    /// Synthetic-source seed (store-level runners feed it to
+    /// `MovieSource::test_movie`).
+    pub seed: u64,
+    /// Frame count at the 25 fps test-movie rate.
+    pub frames: u64,
+}
+
+/// One op at one time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedOp {
+    /// When the op fires.
+    pub at: SimDuration,
+    /// The op.
+    pub op: McamOp,
+}
+
+/// One lowered agent: a client the driver creates, with its op
+/// schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentScript {
+    /// Stable agent index (spec order).
+    pub id: usize,
+    /// Phase the agent belongs to.
+    pub phase: String,
+    /// The title the agent watches (or records onto).
+    pub title: String,
+    /// Arrival time.
+    pub start: SimDuration,
+    /// From a [`Arrival::Saturate`] probe: drive until refused.
+    pub saturating: bool,
+    /// The schedule, time-ordered.
+    pub ops: Vec<TimedOp>,
+}
+
+/// A validated, fully lowered workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledWorkload {
+    /// Scenario name.
+    pub name: String,
+    /// The seed everything was drawn from.
+    pub seed: u64,
+    /// Titles to register before running.
+    pub titles: Vec<CompiledTitle>,
+    /// Per-client agent scripts, ordered by (start, id).
+    pub agents: Vec<AgentScript>,
+}
+
+impl CompiledWorkload {
+    /// Time of the last scheduled op.
+    pub fn horizon(&self) -> SimDuration {
+        self.agents
+            .iter()
+            .flat_map(|a| a.ops.iter().map(|o| o.at))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Total scheduled ops.
+    pub fn op_count(&self) -> usize {
+        self.agents.iter().map(|a| a.ops.len()).sum()
+    }
+
+    /// The agent dump CI uploads: one JSON line per agent with its
+    /// full schedule (ops rendered debug-style).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for agent in &self.agents {
+            out.push_str(&format!(
+                "{{\"workload\":{},\"seed\":{},\"agent\":{},\"phase\":{},\"title\":{},\"start_us\":{},\"saturating\":{},\"ops\":[",
+                json_str(&self.name),
+                self.seed,
+                agent.id,
+                json_str(&agent.phase),
+                json_str(&agent.title),
+                agent.start.as_micros(),
+                agent.saturating,
+            ));
+            for (i, op) in agent.ops.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"at_us\":{},\"op\":{}}}",
+                    op.at.as_micros(),
+                    json_str(&format!("{:?}", op.op))
+                ));
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// FNV-1a over a phase name: folds phase identity into the master
+/// seed so each phase draws an independent, reproducible stream.
+fn fnv(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+impl WorkloadSpec {
+    /// Validates and lowers the spec. Pure: same spec ⇒ same output.
+    ///
+    /// # Errors
+    ///
+    /// Every malformed-spec condition is a [`CompileError`] —
+    /// unknown or duplicate titles, arrival curves with impossible
+    /// rates, over-100% VCR mixes, bad Zipf exponents, and phases
+    /// whose time windows overlap while touching the same titles.
+    pub fn compile(&self) -> Result<CompiledWorkload, CompileError> {
+        if self.titles.is_empty() {
+            return Err(CompileError::NoTitles);
+        }
+        let mut seen = HashSet::new();
+        for t in &self.titles {
+            if !seen.insert(t.name.as_str()) {
+                return Err(CompileError::DuplicateTitle(t.name.clone()));
+            }
+        }
+        for phase in &self.phases {
+            self.validate_phase(phase)?;
+        }
+        self.validate_overlaps()?;
+
+        let titles: Vec<CompiledTitle> = self
+            .titles
+            .iter()
+            .map(|t| CompiledTitle {
+                name: t.name.clone(),
+                seconds: t.seconds,
+                seed: t.seed,
+                frames: t.seconds * 25,
+            })
+            .collect();
+
+        let mut agents = Vec::new();
+        let mut next_id = 0usize;
+        for phase in &self.phases {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ fnv(&phase.name));
+            let arrivals = arrival_times(phase);
+            let saturating = matches!(phase.arrival, Arrival::Saturate { .. });
+            let zipf = match &phase.popularity {
+                Popularity::Zipf { exponent } => {
+                    Some(Zipf::new(self.titles.len(), *exponent).expect("validated"))
+                }
+                _ => None,
+            };
+            for (i, start) in arrivals.into_iter().enumerate() {
+                let title = match &phase.popularity {
+                    Popularity::Single(t) => t.clone(),
+                    Popularity::Cycle(c) => c[i % c.len()].clone(),
+                    Popularity::Zipf { .. } => {
+                        let rank = zipf.as_ref().expect("built above").sample(&mut rng);
+                        self.titles[rank].name.clone()
+                    }
+                };
+                let frames = self
+                    .titles
+                    .iter()
+                    .find(|t| t.name == title)
+                    .map(|t| t.seconds * 25)
+                    .unwrap_or(0);
+                let ops = lower_behaviour(phase, &title, next_id, start, frames, &mut rng);
+                agents.push(AgentScript {
+                    id: next_id,
+                    phase: phase.name.clone(),
+                    title,
+                    start,
+                    saturating,
+                    ops,
+                });
+                next_id += 1;
+            }
+        }
+        agents.sort_by_key(|a| (a.start, a.id));
+        Ok(CompiledWorkload {
+            name: self.name.clone(),
+            seed: self.seed,
+            titles,
+            agents,
+        })
+    }
+
+    fn validate_phase(&self, phase: &Phase) -> Result<(), CompileError> {
+        let known = |title: &str| self.titles.iter().any(|t| t.name == title);
+        match &phase.popularity {
+            Popularity::Single(t) => {
+                if !known(t) {
+                    return Err(CompileError::UnknownTitle {
+                        phase: phase.name.clone(),
+                        title: t.clone(),
+                    });
+                }
+            }
+            Popularity::Cycle(c) => {
+                if c.is_empty() {
+                    return Err(CompileError::NoArrivals(phase.name.clone()));
+                }
+                for t in c {
+                    if !known(t) {
+                        return Err(CompileError::UnknownTitle {
+                            phase: phase.name.clone(),
+                            title: t.clone(),
+                        });
+                    }
+                }
+            }
+            Popularity::Zipf { exponent } => {
+                if Zipf::new(self.titles.len(), *exponent).is_none() {
+                    return Err(CompileError::BadZipf(phase.name.clone()));
+                }
+            }
+        }
+        if phase.arrival.count() == 0 {
+            return Err(CompileError::NoArrivals(phase.name.clone()));
+        }
+        let impossible = |what| CompileError::ImpossibleRate {
+            phase: phase.name.clone(),
+            what,
+        };
+        match phase.arrival {
+            Arrival::Flash { viewers, spacing }
+            | Arrival::Saturate {
+                max: viewers,
+                spacing,
+            } => {
+                if viewers > 1 && spacing.is_zero() {
+                    return Err(impossible("zero inter-arrival spacing"));
+                }
+            }
+            Arrival::Ramp { viewers, duration }
+            | Arrival::Diurnal {
+                viewers, duration, ..
+            } => {
+                if viewers > 1 && duration.is_zero() {
+                    return Err(impossible("zero arrival-window duration"));
+                }
+            }
+        }
+        if let Arrival::Diurnal { trough_pct, .. } = phase.arrival {
+            if trough_pct > 100 {
+                return Err(impossible("diurnal trough above 100% of peak"));
+            }
+        }
+        if let Behaviour::VcrStorm {
+            ops,
+            mix,
+            op_interval,
+            ..
+        } = phase.behaviour
+        {
+            if ops > 0 && op_interval.is_zero() {
+                return Err(impossible("zero VCR op interval"));
+            }
+            if mix.sum() > 100 {
+                return Err(CompileError::BadMix {
+                    phase: phase.name.clone(),
+                    sum: mix.sum(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Two phases may run concurrently only when they touch disjoint
+    /// title sets (a record fleet next to a playback wave); the same
+    /// titles under two overlapping arrival curves would interleave
+    /// ambiguously and is rejected.
+    fn validate_overlaps(&self) -> Result<(), CompileError> {
+        let titles_of = |phase: &Phase| -> HashSet<String> {
+            match (&phase.behaviour, &phase.popularity) {
+                // Record fleets write fresh per-agent titles.
+                (Behaviour::Record { .. }, _) => HashSet::new(),
+                (_, Popularity::Single(t)) => HashSet::from([t.clone()]),
+                (_, Popularity::Cycle(c)) => c.iter().cloned().collect(),
+                (_, Popularity::Zipf { .. }) => {
+                    self.titles.iter().map(|t| t.name.clone()).collect()
+                }
+            }
+        };
+        for (i, a) in self.phases.iter().enumerate() {
+            for b in &self.phases[i + 1..] {
+                let a_end = a.start + a.arrival.window();
+                let b_end = b.start + b.arrival.window();
+                let disjoint_time = a_end <= b.start || b_end <= a.start;
+                if disjoint_time {
+                    continue;
+                }
+                if titles_of(a).is_disjoint(&titles_of(b)) {
+                    continue;
+                }
+                return Err(CompileError::OverlappingPhases {
+                    first: a.name.clone(),
+                    second: b.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Arrival instants of one phase, in order.
+fn arrival_times(phase: &Phase) -> Vec<SimDuration> {
+    let start = phase.start.as_micros();
+    match phase.arrival {
+        Arrival::Flash { viewers, spacing }
+        | Arrival::Saturate {
+            max: viewers,
+            spacing,
+        } => (0..viewers)
+            .map(|i| SimDuration::from_micros(start + i as u64 * spacing.as_micros()))
+            .collect(),
+        Arrival::Ramp { viewers, duration } => {
+            // Density grows linearly ⇒ the i-th arrival lands at
+            // T·sqrt(q): the inverse CDF of f(t) ∝ t.
+            let t = duration.as_micros() as f64;
+            (0..viewers)
+                .map(|i| {
+                    let q = (i as f64 + 0.5) / viewers as f64;
+                    SimDuration::from_micros(start + (t * q.sqrt()) as u64)
+                })
+                .collect()
+        }
+        Arrival::Diurnal {
+            viewers,
+            duration,
+            trough_pct,
+        } => {
+            // Rate λ(t) = trough + (1−trough)·(1−cos 2πt/T)/2; place
+            // arrival i at the λ-quantile (i+0.5)/N by numerically
+            // inverting the cumulative rate.
+            let t_total = duration.as_micros() as f64;
+            let trough = f64::from(trough_pct) / 100.0;
+            const STEPS: usize = 2048;
+            let mut cum = Vec::with_capacity(STEPS + 1);
+            let mut acc = 0.0;
+            cum.push(0.0);
+            for s in 0..STEPS {
+                let t = (s as f64 + 0.5) / STEPS as f64;
+                let rate =
+                    trough + (1.0 - trough) * (1.0 - (2.0 * std::f64::consts::PI * t).cos()) / 2.0;
+                acc += rate;
+                cum.push(acc);
+            }
+            let total = acc;
+            (0..viewers)
+                .map(|i| {
+                    let target = (i as f64 + 0.5) / viewers as f64 * total;
+                    let step = cum.partition_point(|c| *c < target).max(1);
+                    let frac = step as f64 / STEPS as f64;
+                    SimDuration::from_micros(start + (t_total * frac) as u64)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Lowers one agent's behaviour to its op schedule.
+fn lower_behaviour(
+    phase: &Phase,
+    title: &str,
+    agent_id: usize,
+    start: SimDuration,
+    frames: u64,
+    rng: &mut StdRng,
+) -> Vec<TimedOp> {
+    let mut ops = Vec::new();
+    match phase.behaviour {
+        Behaviour::Watch => {
+            ops.push(TimedOp {
+                at: start,
+                op: McamOp::SelectMovie {
+                    title: title.to_string(),
+                },
+            });
+            ops.push(TimedOp {
+                at: start,
+                op: McamOp::Play { speed_pct: 100 },
+            });
+        }
+        Behaviour::Record { frames } => {
+            ops.push(TimedOp {
+                at: start,
+                op: McamOp::Record {
+                    title: format!("{}-rec-{agent_id}", phase.name),
+                    frames,
+                },
+            });
+        }
+        Behaviour::VcrStorm {
+            ops: storm_ops,
+            mix,
+            op_interval,
+            jump_frames,
+        } => {
+            ops.push(TimedOp {
+                at: start,
+                op: McamOp::SelectMovie {
+                    title: title.to_string(),
+                },
+            });
+            ops.push(TimedOp {
+                at: start,
+                op: McamOp::Play { speed_pct: 100 },
+            });
+            // The compiler tracks a virtual cursor so seek targets
+            // stay in range; while "playing", the cursor advances at
+            // the sender's nominal 25 fps (× the trick speed). The
+            // storm opens by skipping to the final scene — the
+            // channel-surfer's entry point — so backward jumps have
+            // the whole title to rewind through instead of clamping
+            // against frame zero.
+            let last_frame = frames.saturating_sub(1);
+            let mut cursor = last_frame;
+            ops.push(TimedOp {
+                at: start,
+                op: McamOp::Seek { frame: cursor },
+            });
+            let mut speed_pct = 100u32;
+            let interval_frames =
+                |speed: u32| op_interval.as_micros() * 25 * u64::from(speed) / 100 / 1_000_000;
+            for k in 0..storm_ops {
+                cursor = (cursor + interval_frames(speed_pct)).min(last_frame);
+                let at = SimDuration::from_micros(
+                    start.as_micros() + (k as u64 + 1) * op_interval.as_micros(),
+                );
+                let draw = rng.gen_range(0u32..100);
+                let op = if draw < mix.seek_back_pct {
+                    cursor = cursor.saturating_sub(jump_frames);
+                    McamOp::Seek { frame: cursor }
+                } else if draw < mix.seek_back_pct + mix.seek_fwd_pct {
+                    cursor = (cursor + jump_frames).min(last_frame);
+                    McamOp::Seek { frame: cursor }
+                } else if draw < mix.seek_back_pct + mix.seek_fwd_pct + mix.ff_pct {
+                    speed_pct = 200;
+                    McamOp::Play { speed_pct: 200 }
+                } else if draw < mix.sum() {
+                    speed_pct = 0;
+                    McamOp::Pause
+                } else {
+                    speed_pct = 100;
+                    McamOp::Play { speed_pct: 100 }
+                };
+                ops.push(TimedOp { at, op });
+            }
+            let end = SimDuration::from_micros(
+                start.as_micros() + (storm_ops as u64 + 1) * op_interval.as_micros(),
+            );
+            ops.push(TimedOp {
+                at: end,
+                op: McamOp::Stop,
+            });
+        }
+    }
+    ops
+}

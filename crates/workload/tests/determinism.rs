@@ -1,0 +1,326 @@
+//! The compiler's determinism contract: same spec + same seed ⇒
+//! identical schedules, and running the same compiled workload twice
+//! produces bit-identical hash-chained journals. Plus the validation
+//! surface: malformed specs fail to compile with the right error.
+
+use mcam::{McamOp, StackKind, World};
+use netsim::SimDuration;
+use proptest::prelude::*;
+use workload::{
+    Arrival, Behaviour, CompileError, Phase, Popularity, TitleSpec, VcrMix, WorkloadSpec,
+};
+
+fn catalogue(spec: WorkloadSpec) -> WorkloadSpec {
+    spec.title(TitleSpec::new("T0", 60, 1))
+        .title(TitleSpec::new("T1", 90, 2))
+        .title(TitleSpec::new("T2", 120, 3))
+}
+
+fn storm_phase(viewers: usize, ops: usize) -> Phase {
+    Phase::new(
+        "storm",
+        SimDuration::from_millis(5),
+        Arrival::Flash {
+            viewers,
+            spacing: SimDuration::from_millis(20),
+        },
+        Popularity::Zipf { exponent: 1.0 },
+        Behaviour::VcrStorm {
+            ops,
+            mix: VcrMix::rewind_heavy(),
+            op_interval: SimDuration::from_millis(200),
+            jump_frames: 240,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Compiling is a pure function of (spec, seed): two compiles of
+    /// the same spec agree on every agent, op, and timestamp — and a
+    /// different seed shuffles Zipf draws without changing shape.
+    #[test]
+    fn same_spec_same_seed_compiles_identically(
+        seed in 0u64..1_000_000,
+        viewers in 1usize..20,
+        ops in 0usize..12,
+        exponent in 1u32..30,
+    ) {
+        let build = |seed| {
+            catalogue(WorkloadSpec::new("prop", seed)).phase(Phase::new(
+                "wave",
+                SimDuration::from_millis(1),
+                Arrival::Ramp { viewers, duration: SimDuration::from_secs(2) },
+                Popularity::Zipf { exponent: f64::from(exponent) / 10.0 },
+                Behaviour::VcrStorm {
+                    ops,
+                    mix: VcrMix::rewind_heavy(),
+                    op_interval: SimDuration::from_millis(150),
+                    jump_frames: 125,
+                },
+            ))
+        };
+        let a = build(seed).compile().unwrap();
+        let b = build(seed).compile().unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_jsonl(), b.to_jsonl());
+
+        let c = build(seed ^ 0xdead_beef).compile().unwrap();
+        prop_assert_eq!(a.agents.len(), c.agents.len());
+        for (x, y) in a.agents.iter().zip(&c.agents) {
+            prop_assert_eq!(x.start, y.start);
+            prop_assert_eq!(x.ops.len(), y.ops.len());
+        }
+    }
+
+    /// Arrival curves land every agent inside the declared window, in
+    /// non-decreasing order.
+    #[test]
+    fn arrivals_stay_ordered_and_in_window(
+        viewers in 1usize..40,
+        duration_ms in 1u64..5_000,
+        trough in 0u32..100,
+    ) {
+        for arrival in [
+            Arrival::Ramp { viewers, duration: SimDuration::from_millis(duration_ms) },
+            Arrival::Diurnal {
+                viewers,
+                duration: SimDuration::from_millis(duration_ms),
+                trough_pct: trough,
+            },
+        ] {
+            let spec = catalogue(WorkloadSpec::new("window", 9)).phase(Phase::new(
+                "wave",
+                SimDuration::from_millis(7),
+                arrival,
+                Popularity::Single("T0".into()),
+                Behaviour::Watch,
+            ));
+            let compiled = spec.compile().unwrap();
+            prop_assert_eq!(compiled.agents.len(), viewers);
+            let mut last = SimDuration::ZERO;
+            for agent in &compiled.agents {
+                prop_assert!(agent.start >= SimDuration::from_millis(7));
+                prop_assert!(
+                    agent.start <= SimDuration::from_millis(7 + duration_ms),
+                    "arrival {} outside window", agent.start
+                );
+                prop_assert!(agent.start >= last);
+                last = agent.start;
+            }
+        }
+    }
+}
+
+#[test]
+fn zipf_popularity_skews_toward_the_head_title() {
+    let spec = catalogue(WorkloadSpec::new("skew", 11)).phase(Phase::new(
+        "wave",
+        SimDuration::ZERO,
+        Arrival::Flash {
+            viewers: 120,
+            spacing: SimDuration::from_millis(1),
+        },
+        Popularity::Zipf { exponent: 1.2 },
+        Behaviour::Watch,
+    ));
+    let compiled = spec.compile().unwrap();
+    let picks = |t: &str| compiled.agents.iter().filter(|a| a.title == t).count();
+    assert!(
+        picks("T0") > picks("T1") && picks("T0") > picks("T2"),
+        "head title must dominate: T0={} T1={} T2={}",
+        picks("T0"),
+        picks("T1"),
+        picks("T2")
+    );
+}
+
+#[test]
+fn vcr_storm_schedules_end_with_stop_and_keep_seeks_in_range() {
+    let compiled = catalogue(WorkloadSpec::new("storm", 3))
+        .phase(storm_phase(6, 20))
+        .compile()
+        .unwrap();
+    for agent in &compiled.agents {
+        assert_eq!(agent.ops.last().map(|o| &o.op), Some(&McamOp::Stop));
+        let frames = compiled
+            .titles
+            .iter()
+            .find(|t| t.name == agent.title)
+            .unwrap()
+            .frames;
+        for op in &agent.ops {
+            if let McamOp::Seek { frame } = op.op {
+                assert!(frame < frames, "seek {frame} out of range {frames}");
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_specs_fail_to_compile() {
+    let base = || catalogue(WorkloadSpec::new("bad", 1));
+
+    assert_eq!(
+        WorkloadSpec::new("bad", 1).compile().unwrap_err(),
+        CompileError::NoTitles
+    );
+    assert_eq!(
+        base()
+            .title(TitleSpec::new("T0", 10, 9))
+            .compile()
+            .unwrap_err(),
+        CompileError::DuplicateTitle("T0".into())
+    );
+    let phase = |pop, arrival| Phase::new("p", SimDuration::ZERO, arrival, pop, Behaviour::Watch);
+    let flash = Arrival::Flash {
+        viewers: 4,
+        spacing: SimDuration::from_millis(10),
+    };
+    assert_eq!(
+        base()
+            .phase(phase(Popularity::Single("missing".into()), flash))
+            .compile()
+            .unwrap_err(),
+        CompileError::UnknownTitle {
+            phase: "p".into(),
+            title: "missing".into()
+        }
+    );
+    assert_eq!(
+        base()
+            .phase(phase(Popularity::Cycle(vec![]), flash))
+            .compile()
+            .unwrap_err(),
+        CompileError::NoArrivals("p".into())
+    );
+    assert_eq!(
+        base()
+            .phase(phase(
+                Popularity::Single("T0".into()),
+                Arrival::Flash {
+                    viewers: 2,
+                    spacing: SimDuration::ZERO,
+                },
+            ))
+            .compile()
+            .unwrap_err(),
+        CompileError::ImpossibleRate {
+            phase: "p".into(),
+            what: "zero inter-arrival spacing"
+        }
+    );
+    assert_eq!(
+        base()
+            .phase(phase(Popularity::Zipf { exponent: -2.0 }, flash))
+            .compile()
+            .unwrap_err(),
+        CompileError::BadZipf("p".into())
+    );
+    assert_eq!(
+        base()
+            .phase(Phase::new(
+                "p",
+                SimDuration::ZERO,
+                flash,
+                Popularity::Single("T0".into()),
+                Behaviour::VcrStorm {
+                    ops: 4,
+                    mix: VcrMix {
+                        seek_back_pct: 60,
+                        seek_fwd_pct: 30,
+                        ff_pct: 20,
+                        pause_pct: 10,
+                    },
+                    op_interval: SimDuration::from_millis(100),
+                    jump_frames: 25,
+                },
+            ))
+            .compile()
+            .unwrap_err(),
+        CompileError::BadMix {
+            phase: "p".into(),
+            sum: 120
+        }
+    );
+}
+
+#[test]
+fn phases_contending_for_a_title_in_time_are_rejected() {
+    let wave = |name: &str, start_ms, title: &str| {
+        Phase::new(
+            name,
+            SimDuration::from_millis(start_ms),
+            Arrival::Flash {
+                viewers: 5,
+                spacing: SimDuration::from_millis(100),
+            },
+            Popularity::Single(title.into()),
+            Behaviour::Watch,
+        )
+    };
+    // Same title, overlapping windows: rejected.
+    let err = catalogue(WorkloadSpec::new("clash", 1))
+        .phase(wave("a", 0, "T0"))
+        .phase(wave("b", 200, "T0"))
+        .compile()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        CompileError::OverlappingPhases {
+            first: "a".into(),
+            second: "b".into()
+        }
+    );
+    // Disjoint titles may overlap in time.
+    assert!(catalogue(WorkloadSpec::new("ok", 1))
+        .phase(wave("a", 0, "T0"))
+        .phase(wave("b", 200, "T1"))
+        .compile()
+        .is_ok());
+    // Same title, disjoint windows: fine.
+    assert!(catalogue(WorkloadSpec::new("ok2", 1))
+        .phase(wave("a", 0, "T0"))
+        .phase(wave("b", 600, "T0"))
+        .compile()
+        .is_ok());
+    // A record fleet touches no catalogue titles, so it may ride
+    // alongside any playback wave.
+    assert!(catalogue(WorkloadSpec::new("ok3", 1))
+        .phase(wave("a", 0, "T0"))
+        .phase(Phase::new(
+            "rec",
+            SimDuration::ZERO,
+            Arrival::Flash {
+                viewers: 3,
+                spacing: SimDuration::from_millis(50),
+            },
+            Popularity::Single("T0".into()),
+            Behaviour::Record { frames: 100 },
+        ))
+        .compile()
+        .is_ok());
+}
+
+/// Same compiled workload, two fresh worlds, same world seed: the
+/// hash-chained journals must match byte for byte — arrival times,
+/// admission decisions, health snapshots, everything.
+#[test]
+fn same_seed_runs_produce_bit_identical_journal_chains() {
+    let spec = catalogue(WorkloadSpec::new("replay", 21)).phase(storm_phase(4, 6));
+    let compiled = spec.compile().unwrap();
+
+    let run_once = || {
+        let mut world = World::builder(33).build();
+        let server = world.add_server("ksr1", StackKind::EstellePS);
+        let report = workload::run(&mut world, &server, &compiled);
+        world.journal().verify().expect("chain verifies");
+        (report, world.journal().to_jsonl())
+    };
+    let (report_a, chain_a) = run_once();
+    let (report_b, chain_b) = run_once();
+    assert!(report_a.admitted > 0, "storm must admit streams");
+    assert_eq!(report_a, report_b);
+    assert_eq!(chain_a, chain_b, "journal chains diverged");
+}

@@ -17,7 +17,7 @@
 //! Run with: `cargo run --release --example client_redirect`
 
 use directory::MovieEntry;
-use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 use netsim::{LinkConfig, SimDuration};
 
 fn main() {
@@ -26,8 +26,13 @@ fn main() {
         SimDuration::from_micros(500),
         0.0,
     );
-    let mut world = World::with_stream_link(5, link);
-    let cluster = world.add_cluster("vod", 4, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(5).stream_link(link).build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        4,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let dialed = cluster.servers[0].services.sps.location();
 
     // Everyone dials server 0.

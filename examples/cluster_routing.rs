@@ -7,7 +7,7 @@
 //! Run with `cargo run --example cluster_routing`.
 
 use directory::MovieEntry;
-use mcam::{McamOp, McamPdu, Placement, RebalanceConfig, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, RebalanceConfig, StackKind, World};
 use netsim::{LinkConfig, SimDuration};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
@@ -27,15 +27,14 @@ fn main() {
     };
     let per_server = store_config.capacity_bps();
 
-    let mut world = World::with_config(
-        42,
-        LinkConfig::lossy(
+    let mut world = World::builder(42)
+        .stream_link(LinkConfig::lossy(
             SimDuration::from_millis(2),
             SimDuration::from_micros(500),
             0.0,
-        ),
-        store_config,
-    );
+        ))
+        .store(store_config)
+        .build();
     // This walkthrough is about *routing over a fixed replica set*:
     // park the control plane's load sampling beyond the demo's
     // horizon so the hot title is not rebalanced mid-story (that
@@ -44,12 +43,9 @@ fn main() {
         sample_interval: SimDuration::from_secs(3_600),
         ..RebalanceConfig::default()
     };
-    let cluster = world.add_cluster_with(
-        "vod",
-        3,
-        StackKind::EstellePS,
-        Placement::round_robin(2),
-        routing_only,
+    let cluster = world.add_cluster(
+        ClusterSpec::new("vod", 3, StackKind::EstellePS, Placement::round_robin(2))
+            .rebalance(routing_only),
     );
     println!(
         "cluster: {} servers x {:.2} Mbit/s, K=2 replicas per movie",

@@ -15,7 +15,7 @@ use mcam::{McamOp, McamPdu, StackKind, World};
 use netsim::SimDuration;
 
 fn main() {
-    let mut world = World::new(77);
+    let mut world = World::builder(77).build();
     let server = world.add_server("ksr1", StackKind::EstellePS);
     let first = world.add_client(&server, StackKind::EstellePS, vec![]);
 

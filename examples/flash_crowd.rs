@@ -12,7 +12,7 @@
 //! Run with `cargo run --example flash_crowd`.
 
 use directory::MovieEntry;
-use mcam::{McamOp, McamPdu, Placement, ShareConfig, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, ShareConfig, StackKind, World};
 use netsim::{LinkConfig, SimDuration};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
@@ -31,24 +31,28 @@ fn main() {
         },
         ..StoreConfig::default()
     };
-    let mut world = World::with_config(
-        1994,
-        LinkConfig::lossy(
+    // A tight merge window plus a fast catch-up rate keeps every
+    // phase of the lifecycle visible inside a short premiere.
+    let mut world = World::builder(1994)
+        .stream_link(LinkConfig::lossy(
             SimDuration::from_millis(2),
             SimDuration::from_micros(500),
             0.0,
-        ),
-        tight,
-    );
-    // A tight merge window plus a fast catch-up rate keeps every
-    // phase of the lifecycle visible inside a short premiere.
-    world.share_config = ShareConfig {
-        enabled: true,
-        merge_window_blocks: 1,
-        catch_up_horizon_blocks: 8,
-        catch_up_rate_pct: 200,
-    };
-    let cluster = world.add_cluster("vod", 1, StackKind::EstellePS, Placement::round_robin(1));
+        ))
+        .store(tight)
+        .share(ShareConfig {
+            enabled: true,
+            merge_window_blocks: 1,
+            catch_up_horizon_blocks: 8,
+            catch_up_rate_pct: 200,
+        })
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        1,
+        StackKind::EstellePS,
+        Placement::round_robin(1),
+    ));
     let viewers: Vec<_> = (0..5)
         .map(|_| world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]))
         .collect();
@@ -111,7 +115,7 @@ fn main() {
     play(&world, &viewers[3]);
     println!(
         "latecomer: chasing at {}% of nominal rate",
-        world.share_config.catch_up_rate_pct
+        world.share_config().catch_up_rate_pct
     );
 
     // Act 4 — convergence: the latecomer's gap closes to the merge

@@ -10,7 +10,7 @@ use estelle::export::export_spec;
 use mcam::{McamOp, StackKind, World};
 
 fn main() {
-    let mut world = World::new(42);
+    let mut world = World::builder(42).build();
     let server = world.add_server("ksr1", StackKind::EstellePS);
     let client_a = world.add_client(&server, StackKind::EstellePS, vec![]);
     let client_b = world.add_client(&server, StackKind::EstellePS, vec![]);

@@ -14,7 +14,7 @@
 //! Run with: `cargo run --release --example hot_title_rebalance`
 
 use directory::MovieEntry;
-use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 use netsim::{LinkConfig, SimDuration};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
@@ -37,8 +37,16 @@ fn main() {
         SimDuration::from_micros(500),
         0.0,
     );
-    let mut world = World::with_config(7, link, store_config);
-    let cluster = world.add_cluster("vod", 4, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(7)
+        .stream_link(link)
+        .store(store_config)
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        4,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let clients: Vec<_> = (0..5)
         .map(|i| {
             let server = cluster.servers[i % 4].clone();

@@ -13,19 +13,18 @@
 
 use directory::MovieEntry;
 use journal::EventKind;
-use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 use netsim::{LinkConfig, SimDuration};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
 fn main() {
-    let mut world = World::with_config(
-        7,
-        LinkConfig::lossy(
+    let mut world = World::builder(7)
+        .stream_link(LinkConfig::lossy(
             SimDuration::from_millis(2),
             SimDuration::from_micros(500),
             0.0,
-        ),
-        StoreConfig {
+        ))
+        .store(StoreConfig {
             disks: 1,
             block_size: 128 * 1024,
             cache_blocks: 64,
@@ -35,9 +34,14 @@ fn main() {
                 ..DiskParams::default()
             },
             ..StoreConfig::default()
-        },
-    );
-    let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(2));
+        })
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        2,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let clients: Vec<_> = (0..2)
         .map(|i| world.add_client(&cluster.servers[i % 2], StackKind::EstellePS, vec![]))
         .collect();

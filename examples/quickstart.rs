@@ -9,7 +9,7 @@ use netsim::SimDuration;
 fn main() {
     // The world: a client workstation and a server machine connected
     // by a reliable control pipe plus a jittery CM datagram network.
-    let mut world = World::new(7);
+    let mut world = World::builder(7).build();
     let server = world.add_server("mannheim", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();

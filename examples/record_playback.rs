@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --example record_playback`.
 
-use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 use netsim::{LinkConfig, SimDuration};
 use store::{CachePolicy, DiskParams, StoreConfig};
 
@@ -22,16 +22,20 @@ fn main() {
         },
         ..StoreConfig::default()
     };
-    let mut world = World::with_config(
-        77,
-        LinkConfig::lossy(
+    let mut world = World::builder(77)
+        .stream_link(LinkConfig::lossy(
             SimDuration::from_millis(2),
             SimDuration::from_micros(500),
             0.0,
-        ),
-        store_config,
-    );
-    let cluster = world.add_cluster("vod", 2, StackKind::EstellePS, Placement::round_robin(2));
+        ))
+        .store(store_config)
+        .build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        2,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let camera_client = world.add_client(&cluster.servers[0], StackKind::EstellePS, vec![]);
     // The viewer connects to the *other* server: its stream will be
     // served from the replica copy, not the original.

@@ -36,15 +36,14 @@ fn main() {
         store_config.capacity_bps() as f64 / 1e6,
     );
 
-    let mut world = World::with_config(
-        94,
-        LinkConfig::lossy(
+    let mut world = World::builder(94)
+        .stream_link(LinkConfig::lossy(
             SimDuration::from_millis(2),
             SimDuration::from_micros(500),
             0.0,
-        ),
-        store_config,
-    );
+        ))
+        .store(store_config)
+        .build();
     let server = world.add_server("ksr1", StackKind::EstellePS);
     let clients: Vec<_> = ["ann", "ben", "col"]
         .iter()

@@ -9,14 +9,13 @@ use mcam::{McamOp, McamPdu, StackKind, World};
 use netsim::{LinkConfig, SimDuration};
 
 fn main() {
-    let mut world = World::with_stream_link(
-        1994,
-        LinkConfig::lossy(
+    let mut world = World::builder(1994)
+        .stream_link(LinkConfig::lossy(
             SimDuration::from_millis(4),
             SimDuration::from_millis(1),
             0.03,
-        ),
-    );
+        ))
+        .build();
     let server = world.add_server("vod", StackKind::EstellePS);
     // One client on the generated stack, one on the hand-coded ISODE
     // stack — the paper's conformance-comparison setup.

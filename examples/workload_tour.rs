@@ -1,0 +1,128 @@
+//! A tour of the workload compiler: declare a multi-phase scenario —
+//! a diurnal trickle, a Zipf-skewed evening ramp, a channel-surfing
+//! VCR storm, and a recording fleet riding alongside — compile it
+//! into per-client agent scripts, inspect the schedule, and run it on
+//! the World driver.
+//!
+//! Run with `cargo run --example workload_tour`.
+
+use mcam::{McamOp, StackKind, World};
+use netsim::SimDuration;
+use workload::{Arrival, Behaviour, Phase, Popularity, TitleSpec, VcrMix, WorkloadSpec};
+
+fn main() {
+    // 1. Declare. A spec is plain data: a seed, a title catalogue,
+    //    and phases pairing an arrival curve with a popularity model
+    //    and a per-viewer behaviour. Nothing here touches the driver.
+    let spec = WorkloadSpec::new("evening-at-the-video-server", 1994)
+        .title(TitleSpec::new("Metropolis", 60, 1))
+        .title(TitleSpec::new("Nosferatu", 90, 2))
+        .title(TitleSpec::new("Sunrise", 120, 3))
+        // Daytime: a slow diurnal trickle across the catalogue.
+        .phase(Phase::new(
+            "daytime",
+            SimDuration::ZERO,
+            Arrival::Diurnal {
+                viewers: 6,
+                duration: SimDuration::from_secs(8),
+                trough_pct: 20,
+            },
+            Popularity::Zipf { exponent: 1.1 },
+            Behaviour::Watch,
+        ))
+        // Evening: a ramp of viewers skewed onto the head title.
+        .phase(Phase::new(
+            "evening-ramp",
+            SimDuration::from_secs(9),
+            Arrival::Ramp {
+                viewers: 8,
+                duration: SimDuration::from_secs(4),
+            },
+            Popularity::Zipf { exponent: 1.3 },
+            Behaviour::Watch,
+        ))
+        // Channel surfers: a rewind-heavy VCR storm on one title,
+        // scheduled after the ramp so the phases don't contend.
+        .phase(Phase::new(
+            "surfers",
+            SimDuration::from_secs(14),
+            Arrival::Flash {
+                viewers: 3,
+                spacing: SimDuration::from_millis(120),
+            },
+            Popularity::Single("Sunrise".into()),
+            Behaviour::VcrStorm {
+                ops: 10,
+                mix: VcrMix::rewind_heavy(),
+                op_interval: SimDuration::from_millis(400),
+                jump_frames: 500,
+            },
+        ))
+        // A recording fleet may overlap anything: it creates fresh
+        // titles instead of contending for the catalogue.
+        .phase(Phase::new(
+            "archivists",
+            SimDuration::from_secs(2),
+            Arrival::Flash {
+                viewers: 2,
+                spacing: SimDuration::from_secs(1),
+            },
+            Popularity::Single("Metropolis".into()),
+            Behaviour::Record { frames: 250 },
+        ));
+
+    // 2. Compile. Validation is front-loaded (unknown titles,
+    //    impossible rates, contending phases are errors here, not
+    //    mid-run surprises); lowering is a pure function of
+    //    (spec, seed).
+    let compiled = spec.compile().expect("spec is well-formed");
+    println!(
+        "compiled '{}': {} titles, {} agents, {} ops, horizon {}",
+        compiled.name,
+        compiled.titles.len(),
+        compiled.agents.len(),
+        compiled.op_count(),
+        compiled.horizon()
+    );
+    for agent in &compiled.agents {
+        let seeks = agent
+            .ops
+            .iter()
+            .filter(|op| matches!(op.op, McamOp::Seek { .. }))
+            .count();
+        println!(
+            "  {}-{} starts {} on {:?}: {} ops ({} seeks)",
+            agent.phase,
+            agent.id,
+            agent.start,
+            agent.title,
+            agent.ops.len(),
+            seeks
+        );
+    }
+
+    // Compiling twice yields the same schedule, op for op — specs
+    // are replayable artifacts, not RNG snapshots.
+    let again = spec.compile().expect("still well-formed");
+    assert_eq!(compiled, again, "compilation must be deterministic");
+
+    // 3. Run on the World driver and read the verdict off the
+    //    hash-chained journal.
+    let mut world = World::builder(1994).build();
+    let server = world.add_server("ksr1", StackKind::EstellePS);
+    let report = workload::run(&mut world, &server, &compiled);
+    println!(
+        "ran: {} agents, {} ops, {} admitted, {} rejected, horizon {}",
+        report.agents, report.ops, report.admitted, report.rejected, report.horizon
+    );
+    assert_eq!(report.agents, compiled.agents.len());
+    assert!(report.admitted > 0, "the evening must admit viewers");
+
+    let journal = world.journal();
+    journal.verify().expect("hash chain intact");
+    println!(
+        "journal: {} events, {} admissions, chain verified",
+        journal.len(),
+        journal.count(journal::kind::STREAM_ADMIT)
+    );
+}

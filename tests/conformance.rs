@@ -9,7 +9,7 @@ use mcam::{McamOp, McamPdu, StackKind, World};
 use netsim::SimDuration;
 
 fn full_session(client_stack: StackKind, server_stack: StackKind) {
-    let mut world = World::new(123);
+    let mut world = World::builder(123).build();
     let server = world.add_server("conf", server_stack);
     let client = world.add_client(&server, client_stack, vec![]);
     world.start();

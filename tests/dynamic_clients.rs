@@ -14,7 +14,7 @@ use netsim::SimDuration;
 
 #[test]
 fn clients_join_a_running_system() {
-    let mut world = World::new(21);
+    let mut world = World::builder(21).build();
     let server = world.add_server("ksr1", StackKind::EstellePS);
     let first = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.enable_dynamic_clients();
@@ -78,7 +78,7 @@ fn clients_join_a_running_system() {
 #[test]
 fn without_extension_late_clients_panic() {
     let result = std::panic::catch_unwind(|| {
-        let mut world = World::new(22);
+        let mut world = World::builder(22).build();
         let server = world.add_server("ksr1", StackKind::EstellePS);
         world.start();
         // Base Estelle: the system population is frozen.
@@ -92,7 +92,7 @@ fn without_extension_late_clients_panic() {
 
 #[test]
 fn many_dynamic_clients_scale() {
-    let mut world = World::new(23);
+    let mut world = World::builder(23).build();
     let server = world.add_server("ksr1", StackKind::EstellePS);
     world.enable_dynamic_clients();
     world.start();

@@ -21,7 +21,7 @@ fn module_names(world: &World, parent: estelle::ModuleId) -> Vec<(String, estell
 
 #[test]
 fn estelle_ps_stack_mapping() {
-    let mut world = World::new(3);
+    let mut world = World::builder(3).build();
     let server = world.add_server("map", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
@@ -55,7 +55,7 @@ fn estelle_ps_stack_mapping() {
 
 #[test]
 fn isode_stack_mapping_uses_single_interface_module() {
-    let mut world = World::new(4);
+    let mut world = World::builder(4).build();
     let server = world.add_server("map", StackKind::Isode);
     let client = world.add_client(&server, StackKind::Isode, vec![]);
     world.start();
@@ -71,7 +71,7 @@ fn isode_stack_mapping_uses_single_interface_module() {
 
 #[test]
 fn client_root_records_created_modules() {
-    let mut world = World::new(5);
+    let mut world = World::builder(5).build();
     let server = world.add_server("map", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();

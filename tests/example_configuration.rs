@@ -8,7 +8,7 @@ use netsim::SimDuration;
 
 #[test]
 fn two_clients_three_server_entities() {
-    let mut world = World::new(8);
+    let mut world = World::builder(8).build();
     let server = world.add_server("ksr1", StackKind::EstellePS);
     // Client #1 uses two connections (the paper: "each client can open
     // several connections to the server"), client #2 one — three
@@ -65,7 +65,7 @@ fn two_clients_three_server_entities() {
 #[test]
 fn per_connection_labels_support_grouping() {
     // The connection labels Fig. 2's parallel execution depends on.
-    let mut world = World::new(9);
+    let mut world = World::builder(9).build();
     let server = world.add_server("ksr1", StackKind::EstellePS);
     let c0 = world.add_client(&server, StackKind::EstellePS, vec![]);
     let c1 = world.add_client(&server, StackKind::EstellePS, vec![]);

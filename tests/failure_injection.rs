@@ -21,7 +21,7 @@ fn bursty_gilbert_elliott_loss_on_the_stream() {
         bandwidth_bps: None,
         fifo: false,
     };
-    let mut world = World::with_stream_link(97, cfg);
+    let mut world = World::builder(97).stream_link(cfg).build();
     let server = world.add_server("s", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
@@ -62,7 +62,7 @@ fn bursty_gilbert_elliott_loss_on_the_stream() {
 
 #[test]
 fn directory_faults_surface_as_protocol_errors_not_hangs() {
-    let mut world = World::new(98);
+    let mut world = World::builder(98).build();
     let server = world.add_server("s", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
@@ -121,7 +121,7 @@ fn directory_faults_surface_as_protocol_errors_not_hangs() {
 
 #[test]
 fn equipment_contention_fails_record_cleanly() {
-    let mut world = World::new(99);
+    let mut world = World::builder(99).build();
     let server = world.add_server("s", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();

@@ -6,7 +6,7 @@ use mcam::{McamOp, McamPdu, StackKind, World};
 
 #[test]
 fn exported_spec_shows_the_paper_architecture() {
-    let mut world = World::new(77);
+    let mut world = World::builder(77).build();
     let server = world.add_server("ksr1", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();

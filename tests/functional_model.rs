@@ -7,7 +7,7 @@ use netsim::SimTime;
 
 #[test]
 fn server_entity_has_the_four_agents() {
-    let mut world = World::new(1);
+    let mut world = World::builder(1).build();
     let server = world.add_server("fm", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
@@ -43,7 +43,7 @@ fn server_entity_has_the_four_agents() {
 
 #[test]
 fn directory_and_equipment_reachable_through_agents() {
-    let mut world = World::new(2);
+    let mut world = World::builder(2).build();
     let server = world.add_server("fm", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();

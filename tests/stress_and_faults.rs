@@ -5,7 +5,7 @@
 
 use directory::{Attrs, DirError, Dn, Dsa, Dua, Filter, MovieEntry, Scope};
 use mcam::agents::source_for_entry;
-use mcam::{McamOp, McamPdu, Placement, StackKind, World};
+use mcam::{ClusterSpec, McamOp, McamPdu, Placement, StackKind, World};
 use netsim::{DelayModel, LinkConfig, LossModel, NetAddr, SimDuration};
 
 /// A violently reordering (non-FIFO, high-jitter) but lossless link:
@@ -21,7 +21,7 @@ fn heavy_reorder_stream_plays_in_order() {
         bandwidth_bps: None,
         fifo: false,
     };
-    let mut world = World::with_stream_link(31, cfg);
+    let mut world = World::builder(31).stream_link(cfg).build();
     let server = world.add_server("s", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
@@ -65,7 +65,7 @@ fn heavy_reorder_stream_plays_in_order() {
 /// the dynamically created stack modules are torn down and rebuilt.
 #[test]
 fn association_churn_rebuilds_the_stack() {
-    let mut world = World::new(32);
+    let mut world = World::builder(32).build();
     let server = world.add_server("s", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
@@ -101,7 +101,7 @@ fn association_churn_rebuilds_the_stack() {
 /// Ten clients with mixed stack kinds all transact concurrently.
 #[test]
 fn ten_clients_mixed_stacks() {
-    let mut world = World::new(33);
+    let mut world = World::builder(33).build();
     let server = world.add_server("ksr1", StackKind::EstellePS);
     let mut clients = Vec::new();
     for i in 0..10 {
@@ -170,7 +170,7 @@ fn pause_resume_under_loss() {
         SimDuration::from_micros(300),
         0.02,
     );
-    let mut world = World::with_stream_link(34, cfg);
+    let mut world = World::builder(34).stream_link(cfg).build();
     let server = world.add_server("s", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
@@ -241,8 +241,13 @@ fn bursty_loss_crash_and_referral_fanout() {
         bandwidth_bps: None,
         fifo: true,
     };
-    let mut world = World::with_stream_link(37, cfg);
-    let cluster = world.add_cluster("vod", 4, StackKind::EstellePS, Placement::round_robin(2));
+    let mut world = World::builder(37).stream_link(cfg).build();
+    let cluster = world.add_cluster(ClusterSpec::new(
+        "vod",
+        4,
+        StackKind::EstellePS,
+        Placement::round_robin(2),
+    ));
     let a = cluster.servers[0].services.sps.location();
     let b = cluster.servers[1].services.sps.location();
     let clients: Vec<_> = (0..8)

@@ -9,7 +9,7 @@ use mcam::{McamOp, McamPdu, StackKind, World};
 use netsim::SimDuration;
 
 fn setup(seed: u64, title: &str, frames: u64) -> (World, mcam::ClientHandle, mcam::StreamParams) {
-    let mut world = World::new(seed);
+    let mut world = World::builder(seed).build();
     let server = world.add_server("s", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
@@ -30,7 +30,7 @@ fn setup_recorded(
     title: &str,
     frames: u64,
 ) -> (World, mcam::ClientHandle, mcam::StreamParams) {
-    let mut world = World::new(seed);
+    let mut world = World::builder(seed).build();
     let server = world.add_server("s", StackKind::EstellePS);
     let client = world.add_client(&server, StackKind::EstellePS, vec![]);
     world.start();
